@@ -1,0 +1,64 @@
+//! E1 — Figure 1 workflow: end-to-end enrollment latency and per-step
+//! breakdown (steps 1–2 host attestation, 3–5 VNF enrollment, 6 first TLS
+//! session).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vnfguard_bench::attested_testbed;
+use vnfguard_core::deployment::TestbedBuilder;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_workflow");
+    group.sample_size(20);
+
+    // Steps 1-2: host attestation round (challenge → evidence → IAS →
+    // appraisal).
+    group.bench_function("step1_2_host_attestation", |b| {
+        let mut testbed = attested_testbed(b"e1 host");
+        b.iter(|| black_box(testbed.attest_host(0).unwrap()));
+    });
+
+    // Steps 3-5: VNF enclave attestation + credential generation +
+    // provisioning (a fresh guard per iteration).
+    group.bench_function("step3_5_vnf_enrollment", |b| {
+        let mut testbed = attested_testbed(b"e1 enroll");
+        let mut counter = 0u32;
+        b.iter(|| {
+            counter += 1;
+            let guard = testbed
+                .deploy_guard(0, &format!("vnf-{counter}"), 1)
+                .unwrap();
+            black_box(testbed.enroll(0, &guard).unwrap());
+        });
+    });
+
+    // Step 6: first mutually-authenticated TLS session from the enclave.
+    group.bench_function("step6_first_tls_session", |b| {
+        let mut testbed = attested_testbed(b"e1 session");
+        let mut guard = vnfguard_bench::enrolled_guard(&mut testbed, "vnf-tls");
+        b.iter(|| {
+            let session = testbed.open_session(&mut guard).unwrap();
+            guard.close_session(session).unwrap();
+        });
+    });
+
+    // The full pipeline from cold start: setup + steps 1-6.
+    group.bench_function("full_workflow_cold", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            let seed = counter.to_be_bytes();
+            let mut testbed = TestbedBuilder::new(&seed).build();
+            testbed.attest_host(0).unwrap();
+            let mut guard = testbed.deploy_guard(0, "vnf", 1).unwrap();
+            testbed.enroll(0, &guard).unwrap();
+            let session = testbed.open_session(&mut guard).unwrap();
+            black_box(session);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

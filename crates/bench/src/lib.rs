@@ -1,0 +1,38 @@
+//! Shared helpers for the experiment benchmarks (E1–E8).
+//!
+//! Each bench target regenerates one experiment of EXPERIMENTS.md; the
+//! helpers here build the standard deployment the paper's demo describes.
+
+use vnfguard_controller::SecurityMode;
+use vnfguard_core::deployment::{Testbed, TestbedBuilder, ValidationModel};
+use vnfguard_vnf::VnfGuard;
+
+/// Build the default trusted-HTTPS testbed with an attested host.
+pub fn attested_testbed(seed: &[u8]) -> Testbed {
+    let mut testbed = TestbedBuilder::new(seed).build();
+    testbed.attest_host(0).expect("host attestation");
+    testbed
+}
+
+/// Build a testbed in the given controller security mode.
+pub fn testbed_with_mode(seed: &[u8], mode: SecurityMode) -> Testbed {
+    let mut testbed = TestbedBuilder::new(seed).mode(mode).build();
+    testbed.attest_host(0).expect("host attestation");
+    testbed
+}
+
+/// Build a testbed with keystore-based client validation.
+pub fn keystore_testbed(seed: &[u8]) -> Testbed {
+    let mut testbed = TestbedBuilder::new(seed)
+        .validation(ValidationModel::Keystore)
+        .build();
+    testbed.attest_host(0).expect("host attestation");
+    testbed
+}
+
+/// Deploy and enroll one guard.
+pub fn enrolled_guard(testbed: &mut Testbed, name: &str) -> VnfGuard {
+    let guard = testbed.deploy_guard(0, name, 1).expect("deploy");
+    testbed.enroll(0, &guard).expect("enroll");
+    guard
+}

@@ -1,0 +1,195 @@
+//! Content-addressed container images.
+
+use vnfguard_crypto::sha2::{sha256, Sha256};
+
+/// One image layer: a content-addressed blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    pub digest: [u8; 32],
+    pub content: Vec<u8>,
+}
+
+impl Layer {
+    pub fn from_content(content: &[u8]) -> Layer {
+        Layer {
+            digest: sha256(content),
+            content: content.to_vec(),
+        }
+    }
+
+    /// Does the content still match the digest?
+    pub fn verify(&self) -> bool {
+        sha256(&self.content) == self.digest
+    }
+
+    pub fn size(&self) -> usize {
+        self.content.len()
+    }
+}
+
+/// A built image: layers, entrypoint binary, optional enclave image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    pub name: String,
+    pub tag: String,
+    pub layers: Vec<Layer>,
+    /// The VNF application binary executed as pid 1.
+    pub entrypoint: Layer,
+    /// The credential-enclave image shipped inside the container, if the
+    /// VNF is enclave-guarded. Its measurement is what the Verification
+    /// Manager expects to see in the TEE quote.
+    pub enclave_image: Option<Vec<u8>>,
+}
+
+impl Image {
+    /// Full image reference `name:tag`.
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+
+    /// The image digest: a hash over the manifest (layer digests, the
+    /// entrypoint digest and the enclave image).
+    pub fn digest(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"manifest");
+        h.update(self.name.as_bytes());
+        h.update(self.tag.as_bytes());
+        for layer in &self.layers {
+            h.update(&layer.digest);
+        }
+        h.update(&self.entrypoint.digest);
+        if let Some(enclave) = &self.enclave_image {
+            h.update(&sha256(enclave));
+        }
+        h.finalize()
+    }
+
+    /// Verify every layer against its digest.
+    pub fn verify(&self) -> bool {
+        self.entrypoint.verify() && self.layers.iter().all(Layer::verify)
+    }
+
+    pub fn total_size(&self) -> usize {
+        self.layers.iter().map(Layer::size).sum::<usize>() + self.entrypoint.size()
+    }
+}
+
+/// Fluent builder for images.
+pub struct ImageBuilder {
+    name: String,
+    tag: String,
+    layers: Vec<Layer>,
+    entrypoint: Option<Layer>,
+    enclave_image: Option<Vec<u8>>,
+}
+
+impl ImageBuilder {
+    pub fn new(name: &str, tag: &str) -> ImageBuilder {
+        ImageBuilder {
+            name: name.to_string(),
+            tag: tag.to_string(),
+            layers: Vec::new(),
+            entrypoint: None,
+            enclave_image: None,
+        }
+    }
+
+    /// Add a filesystem layer.
+    pub fn layer(mut self, content: &[u8]) -> ImageBuilder {
+        self.layers.push(Layer::from_content(content));
+        self
+    }
+
+    /// Set the entrypoint binary.
+    pub fn entrypoint(mut self, binary: &[u8]) -> ImageBuilder {
+        self.entrypoint = Some(Layer::from_content(binary));
+        self
+    }
+
+    /// Ship a credential-enclave image inside the container.
+    pub fn enclave_image(mut self, enclave: &[u8]) -> ImageBuilder {
+        self.enclave_image = Some(enclave.to_vec());
+        self
+    }
+
+    /// Build; an image always has an entrypoint (a base shell by default).
+    pub fn build(self) -> Image {
+        Image {
+            name: self.name,
+            tag: self.tag,
+            layers: self.layers,
+            entrypoint: self
+                .entrypoint
+                .unwrap_or_else(|| Layer::from_content(b"/bin/sh (base)")),
+            enclave_image: self.enclave_image,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Image {
+        ImageBuilder::new("vnf-firewall", "1.0")
+            .layer(b"base os layer")
+            .layer(b"libs layer")
+            .entrypoint(b"firewall binary v1")
+            .enclave_image(b"credential enclave v1")
+            .build()
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        assert_eq!(sample().digest(), sample().digest());
+    }
+
+    #[test]
+    fn digest_covers_every_part() {
+        let base = sample().digest();
+        let mut image = sample();
+        image.layers[0] = Layer::from_content(b"base os layer v2");
+        assert_ne!(image.digest(), base, "layer change");
+
+        let mut image = sample();
+        image.entrypoint = Layer::from_content(b"firewall binary TROJANED");
+        assert_ne!(image.digest(), base, "entrypoint change");
+
+        let mut image = sample();
+        image.enclave_image = Some(b"evil enclave".to_vec());
+        assert_ne!(image.digest(), base, "enclave change");
+
+        let mut image = sample();
+        image.tag = "1.1".into();
+        assert_ne!(image.digest(), base, "tag change");
+    }
+
+    #[test]
+    fn verification_detects_layer_tamper() {
+        let mut image = sample();
+        assert!(image.verify());
+        image.layers[1].content = b"swapped content".to_vec();
+        assert!(!image.verify());
+    }
+
+    #[test]
+    fn reference_format() {
+        assert_eq!(sample().reference(), "vnf-firewall:1.0");
+    }
+
+    #[test]
+    fn default_entrypoint() {
+        let image = ImageBuilder::new("minimal", "latest").build();
+        assert!(image.verify());
+        assert!(image.enclave_image.is_none());
+    }
+
+    #[test]
+    fn sizes() {
+        let image = sample();
+        assert_eq!(
+            image.total_size(),
+            b"base os layer".len() + b"libs layer".len() + b"firewall binary v1".len()
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! # vnfguard-container
+//!
+//! The container deployment substrate: content-addressed images, a
+//! registry, and a container host whose executions feed the Linux IMA
+//! model.
+//!
+//! The paper deploys VNFs with Docker 1.12 inside containers on an
+//! IMA-measuring host (§3). This crate reproduces the pieces the
+//! verification workflow observes:
+//!
+//! - **images** are stacks of content-addressed layers plus an entrypoint
+//!   binary and (for guarded VNFs) the credential-enclave image whose
+//!   MRENCLAVE the Verification Manager expects;
+//! - the **registry** serves images and verifies content addresses on
+//!   pull, so a tampered registry is detected at deploy time;
+//! - the **host** measures every started container's layers and entrypoint
+//!   into its IMA measurement list, which is what the integrity attestation
+//!   enclave later quotes.
+
+pub mod host;
+pub mod image;
+pub mod registry;
+
+pub use host::{Container, ContainerHost, ContainerState};
+pub use image::{Image, ImageBuilder, Layer};
+pub use registry::Registry;
+
+/// Errors from the container substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// The requested image (name:tag) is not in the registry.
+    ImageNotFound(String),
+    /// A pulled layer's content does not match its declared digest.
+    DigestMismatch { layer: usize },
+    /// Container id not found on this host.
+    NoSuchContainer(String),
+    /// The container is not in a state permitting the operation.
+    InvalidState { container: String, state: String },
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::ImageNotFound(name) => write!(f, "image not found: {name}"),
+            ContainerError::DigestMismatch { layer } => {
+                write!(f, "layer {layer} content does not match its digest")
+            }
+            ContainerError::NoSuchContainer(id) => write!(f, "no such container: {id}"),
+            ContainerError::InvalidState { container, state } => {
+                write!(f, "container {container} is {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}

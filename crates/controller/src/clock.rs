@@ -1,0 +1,69 @@
+//! A settable clock shared across the deployment.
+//!
+//! Certificate validation and CRL staleness are time-dependent; tests and
+//! benchmarks drive this clock explicitly instead of reading wall time, so
+//! expiry and revocation scenarios are deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared unix-seconds clock.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at the given time.
+    pub fn at(unix_secs: u64) -> SimClock {
+        SimClock {
+            now: Arc::new(AtomicU64::new(unix_secs)),
+        }
+    }
+
+    /// A clock starting at the current wall time.
+    pub fn wall() -> SimClock {
+        SimClock::at(vnfguard_pki::wall_now())
+    }
+
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    pub fn set(&self, unix_secs: u64) {
+        self.now.store(unix_secs, Ordering::SeqCst);
+    }
+
+    pub fn advance(&self, secs: u64) {
+        self.now.fetch_add(secs, Ordering::SeqCst);
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_advance() {
+        let clock = SimClock::at(1000);
+        assert_eq!(clock.now(), 1000);
+        clock.advance(500);
+        assert_eq!(clock.now(), 1500);
+        clock.set(99);
+        assert_eq!(clock.now(), 99);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::at(1);
+        let b = a.clone();
+        a.advance(9);
+        assert_eq!(b.now(), 10);
+    }
+}

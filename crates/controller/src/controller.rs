@@ -1,0 +1,174 @@
+//! The controller process: binds the REST API on the fabric under one of
+//! the three security modes.
+
+use crate::api::build_router;
+use crate::clock::SimClock;
+use crate::security::{SecurityMode, TlsUpgrade};
+use crate::state::ControllerState;
+use crate::ControllerError;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use vnfguard_net::fabric::Network;
+use vnfguard_net::server::{serve_with_identity, PlainUpgrade, ServerHandle};
+use vnfguard_tls::signer::IdentitySigner;
+use vnfguard_tls::validate::ClientValidator;
+
+/// Configuration for starting a controller.
+pub struct ControllerConfig {
+    /// Fabric address to bind, e.g. `"controller:8080"`.
+    pub address: String,
+    pub mode: SecurityMode,
+    /// Server TLS identity (required for HTTPS / trusted HTTPS).
+    pub identity: Option<Arc<dyn IdentitySigner>>,
+    /// Client validation (required for trusted HTTPS).
+    pub client_validator: Option<ClientValidator>,
+    pub clock: SimClock,
+}
+
+impl ControllerConfig {
+    pub fn http(address: &str) -> ControllerConfig {
+        ControllerConfig {
+            address: address.to_string(),
+            mode: SecurityMode::Http,
+            identity: None,
+            client_validator: None,
+            clock: SimClock::wall(),
+        }
+    }
+
+    pub fn https(address: &str, identity: Arc<dyn IdentitySigner>) -> ControllerConfig {
+        ControllerConfig {
+            address: address.to_string(),
+            mode: SecurityMode::Https,
+            identity: Some(identity),
+            client_validator: None,
+            clock: SimClock::wall(),
+        }
+    }
+
+    pub fn trusted_https(
+        address: &str,
+        identity: Arc<dyn IdentitySigner>,
+        validator: ClientValidator,
+    ) -> ControllerConfig {
+        ControllerConfig {
+            address: address.to_string(),
+            mode: SecurityMode::TrustedHttps,
+            identity: Some(identity),
+            client_validator: Some(validator),
+            clock: SimClock::wall(),
+        }
+    }
+
+    pub fn with_clock(mut self, clock: SimClock) -> ControllerConfig {
+        self.clock = clock;
+        self
+    }
+}
+
+/// A running controller.
+pub struct Controller {
+    state: Arc<RwLock<ControllerState>>,
+    handle: ServerHandle,
+    mode: SecurityMode,
+    address: String,
+    /// Handle to the client validator, for live CRL/keystore updates.
+    validator: Option<ClientValidator>,
+}
+
+impl Controller {
+    /// Start serving the REST API on `network`.
+    pub fn start(network: &Network, config: ControllerConfig) -> Result<Controller, ControllerError> {
+        let state = Arc::new(RwLock::new(ControllerState::new()));
+        let router = build_router(state.clone(), config.clock.clone());
+        let listener = network.listen(&config.address)?;
+
+        let handle = match config.mode {
+            SecurityMode::Http => serve_with_identity(listener, PlainUpgrade, router),
+            SecurityMode::Https => {
+                let identity = config.identity.clone().ok_or_else(|| {
+                    ControllerError::Misconfigured("HTTPS mode requires a server identity".into())
+                })?;
+                serve_with_identity(
+                    listener,
+                    TlsUpgrade {
+                        identity,
+                        client_validator: None,
+                        clock: config.clock.clone(),
+                    },
+                    router,
+                )
+            }
+            SecurityMode::TrustedHttps => {
+                let identity = config.identity.clone().ok_or_else(|| {
+                    ControllerError::Misconfigured(
+                        "trusted HTTPS mode requires a server identity".into(),
+                    )
+                })?;
+                let validator = config.client_validator.clone().ok_or_else(|| {
+                    ControllerError::Misconfigured(
+                        "trusted HTTPS mode requires a client validator".into(),
+                    )
+                })?;
+                serve_with_identity(
+                    listener,
+                    TlsUpgrade {
+                        identity,
+                        client_validator: Some(validator),
+                        clock: config.clock.clone(),
+                    },
+                    router,
+                )
+            }
+        };
+        Ok(Controller {
+            state,
+            handle,
+            mode: config.mode,
+            address: config.address,
+            validator: config.client_validator,
+        })
+    }
+
+    pub fn mode(&self) -> SecurityMode {
+        self.mode
+    }
+
+    pub fn address(&self) -> &str {
+        &self.address
+    }
+
+    /// Shared state handle (e.g. to sync dataplane switches or inspect the
+    /// audit log from tests).
+    pub fn state(&self) -> Arc<RwLock<ControllerState>> {
+        self.state.clone()
+    }
+
+    /// The client validator, if running in trusted-HTTPS mode.
+    pub fn client_validator(&self) -> Option<&ClientValidator> {
+        self.validator.as_ref()
+    }
+
+    pub fn requests_served(&self) -> u64 {
+        self.handle.requests()
+    }
+
+    pub fn handshake_failures(&self) -> u64 {
+        self.handle.upgrade_failures()
+    }
+
+    /// Stop serving.
+    pub fn stop(self) {
+        self.handle.stop();
+    }
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("address", &self.address)
+            .field("mode", &self.mode.as_str())
+            .field("requests", &self.requests_served())
+            .finish()
+    }
+}

@@ -1,0 +1,244 @@
+//! Controller state: switch inventory, devices, links, flows, audit log.
+
+use crate::flowspec::FlowSpec;
+use std::collections::BTreeMap;
+use vnfguard_dataplane::switch::Switch;
+
+/// A switch known to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchInfo {
+    pub dpid: u64,
+    pub ports: Vec<u16>,
+}
+
+/// A host/device attachment observed by the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceInfo {
+    pub mac: String,
+    pub ipv4: Option<String>,
+    pub attached_dpid: u64,
+    pub attached_port: u16,
+}
+
+/// A unidirectional inter-switch link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkInfo {
+    pub src_dpid: u64,
+    pub src_port: u16,
+    pub dst_dpid: u64,
+    pub dst_port: u16,
+}
+
+/// One audit-log entry for a north-bound API action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEvent {
+    pub time: u64,
+    /// Authenticated peer CN, or "anonymous".
+    pub peer: String,
+    pub action: String,
+    pub detail: String,
+}
+
+/// The mutable controller state behind the REST API.
+#[derive(Debug, Default)]
+pub struct ControllerState {
+    switches: BTreeMap<u64, SwitchInfo>,
+    devices: Vec<DeviceInfo>,
+    links: Vec<LinkInfo>,
+    /// Static flows, keyed by flow name (Floodlight semantics: names are
+    /// global and re-pushing a name replaces the flow).
+    flows: BTreeMap<String, FlowSpec>,
+    audit: Vec<AuditEvent>,
+}
+
+impl ControllerState {
+    pub fn new() -> ControllerState {
+        ControllerState::default()
+    }
+
+    pub fn register_switch(&mut self, dpid: u64, ports: Vec<u16>) {
+        self.switches.insert(dpid, SwitchInfo { dpid, ports });
+    }
+
+    pub fn switches(&self) -> impl Iterator<Item = &SwitchInfo> {
+        self.switches.values()
+    }
+
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    pub fn has_switch(&self, dpid: u64) -> bool {
+        self.switches.contains_key(&dpid)
+    }
+
+    pub fn add_device(&mut self, device: DeviceInfo) {
+        self.devices.retain(|d| d.mac != device.mac);
+        self.devices.push(device);
+    }
+
+    pub fn devices(&self) -> &[DeviceInfo] {
+        &self.devices
+    }
+
+    pub fn add_link(&mut self, link: LinkInfo) {
+        if !self.links.contains(&link) {
+            self.links.push(link);
+        }
+    }
+
+    pub fn links(&self) -> &[LinkInfo] {
+        &self.links
+    }
+
+    /// Install or replace a static flow. Fails if the switch is unknown.
+    pub fn push_flow(&mut self, spec: FlowSpec) -> Result<(), String> {
+        if !self.switches.contains_key(&spec.dpid) {
+            return Err(format!("unknown switch {:016x}", spec.dpid));
+        }
+        self.flows.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    pub fn delete_flow(&mut self, name: &str) -> bool {
+        self.flows.remove(name).is_some()
+    }
+
+    pub fn flows_for(&self, dpid: u64) -> Vec<&FlowSpec> {
+        self.flows.values().filter(|f| f.dpid == dpid).collect()
+    }
+
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Program a dataplane switch with this controller's flows for its dpid
+    /// (the southbound push, abstracted).
+    pub fn sync_switch(&self, switch: &mut Switch) {
+        for spec in self.flows_for(switch.dpid) {
+            switch.install_flow(spec.to_entry());
+        }
+    }
+
+    pub fn record_audit(&mut self, time: u64, peer: &str, action: &str, detail: &str) {
+        self.audit.push(AuditEvent {
+            time,
+            peer: peer.to_string(),
+            action: action.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    pub fn audit(&self) -> &[AuditEvent] {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfguard_dataplane::flow::{FlowAction, FlowMatch};
+
+    fn spec(name: &str, dpid: u64) -> FlowSpec {
+        FlowSpec {
+            name: name.into(),
+            dpid,
+            priority: 10,
+            matcher: FlowMatch::any(),
+            actions: vec![FlowAction::Drop],
+        }
+    }
+
+    #[test]
+    fn switch_registration() {
+        let mut state = ControllerState::new();
+        state.register_switch(1, vec![1, 2]);
+        state.register_switch(2, vec![1]);
+        assert_eq!(state.switch_count(), 2);
+        assert!(state.has_switch(1));
+        assert!(!state.has_switch(3));
+    }
+
+    #[test]
+    fn flows_require_known_switch() {
+        let mut state = ControllerState::new();
+        assert!(state.push_flow(spec("f", 1)).is_err());
+        state.register_switch(1, vec![1]);
+        state.push_flow(spec("f", 1)).unwrap();
+        assert_eq!(state.flow_count(), 1);
+    }
+
+    #[test]
+    fn flow_names_replace() {
+        let mut state = ControllerState::new();
+        state.register_switch(1, vec![1]);
+        state.register_switch(2, vec![1]);
+        state.push_flow(spec("f", 1)).unwrap();
+        state.push_flow(spec("f", 2)).unwrap();
+        assert_eq!(state.flow_count(), 1);
+        assert_eq!(state.flows_for(2).len(), 1);
+        assert!(state.flows_for(1).is_empty());
+    }
+
+    #[test]
+    fn delete_flow() {
+        let mut state = ControllerState::new();
+        state.register_switch(1, vec![1]);
+        state.push_flow(spec("f", 1)).unwrap();
+        assert!(state.delete_flow("f"));
+        assert!(!state.delete_flow("f"));
+    }
+
+    #[test]
+    fn device_deduplication_by_mac() {
+        let mut state = ControllerState::new();
+        state.add_device(DeviceInfo {
+            mac: "aa:aa".into(),
+            ipv4: None,
+            attached_dpid: 1,
+            attached_port: 1,
+        });
+        state.add_device(DeviceInfo {
+            mac: "aa:aa".into(),
+            ipv4: Some("10.0.0.1".into()),
+            attached_dpid: 1,
+            attached_port: 2,
+        });
+        assert_eq!(state.devices().len(), 1);
+        assert_eq!(state.devices()[0].attached_port, 2);
+    }
+
+    #[test]
+    fn sync_programs_dataplane_switch() {
+        let mut state = ControllerState::new();
+        state.register_switch(7, vec![1, 2]);
+        state.push_flow(spec("block-all", 7)).unwrap();
+        let mut switch = Switch::new(7, vec![1, 2]);
+        state.sync_switch(&mut switch);
+        assert_eq!(switch.flow_table().len(), 1);
+        assert!(switch.flow_table().get("block-all").is_some());
+    }
+
+    #[test]
+    fn audit_accumulates() {
+        let mut state = ControllerState::new();
+        state.record_audit(1, "vnf-1", "push_flow", "f1");
+        state.record_audit(2, "anonymous", "list", "");
+        assert_eq!(state.audit().len(), 2);
+        assert_eq!(state.audit()[0].peer, "vnf-1");
+    }
+
+    #[test]
+    fn links_deduplicate() {
+        let mut state = ControllerState::new();
+        let link = LinkInfo {
+            src_dpid: 1,
+            src_port: 1,
+            dst_dpid: 2,
+            dst_port: 2,
+        };
+        state.add_link(link);
+        state.add_link(link);
+        assert_eq!(state.links().len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! A complete testbed: the deployment of Figure 1 in one value.
+//!
+//! Assembles the network fabric, the attestation service, the Verification
+//! Manager, a controller (any of the three security modes), and one or more
+//! SGX container hosts — then exposes one method per workflow step. The
+//! examples and all benchmarks are built on this type.
+
+use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
+use crate::manager::{ManagerConfig, TcbPolicy, VerificationManager};
+use crate::CoreError;
+use std::sync::Arc;
+use vnfguard_container::host::ContainerHost;
+use vnfguard_container::image::Image;
+use vnfguard_container::registry::Registry;
+use vnfguard_controller::{Controller, ControllerConfig, SecurityMode, SimClock};
+use vnfguard_crypto::ed25519::SigningKey;
+use vnfguard_ias::AttestationService;
+use vnfguard_ima::appraisal::Verdict;
+use vnfguard_ima::list::IMA_PCR;
+use vnfguard_ima::tpm::SimTpm;
+use vnfguard_net::fabric::Network;
+use vnfguard_pki::cert::Certificate;
+use vnfguard_pki::{KeyStore, TrustStore};
+use vnfguard_sgx::enclave::Enclave;
+use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
+use vnfguard_sgx::sigstruct::EnclaveAuthor;
+use vnfguard_sgx::transition::TransitionModel;
+use vnfguard_tls::signer::LocalSigner;
+use vnfguard_tls::validate::ClientValidator;
+use vnfguard_vnf::credential_enclave::CredentialEnclave;
+use vnfguard_vnf::VnfGuard;
+
+/// How the trusted-HTTPS controller validates clients (E5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationModel {
+    /// CA-signature validation (the paper's design).
+    Ca,
+    /// Per-client keystore membership (Floodlight's native model).
+    Keystore,
+}
+
+/// One SGX-capable container host in the testbed.
+pub struct TestbedHost {
+    pub id: String,
+    pub platform: SgxPlatform,
+    pub container_host: ContainerHost,
+    pub integrity_enclave: Enclave,
+    pub tpm: Option<SimTpm>,
+    tpm_synced_entries: usize,
+}
+
+impl TestbedHost {
+    /// Extend the TPM with any measurement-list entries recorded since the
+    /// last sync (the kernel does this on every measurement; the testbed
+    /// batches it before attestation).
+    pub fn sync_tpm(&mut self) {
+        let entries = self.container_host.measurement_list().entries();
+        // A rewound/replaced list can be *shorter* than what was already
+        // extended — the TPM cannot rewind, so nothing more is extended and
+        // the divergence surfaces at attestation.
+        let start = self.tpm_synced_entries.min(entries.len());
+        if let Some(tpm) = &mut self.tpm {
+            for entry in &entries[start..] {
+                tpm.extend(IMA_PCR, &entry.template_hash);
+            }
+        }
+        self.tpm_synced_entries = self.tpm_synced_entries.max(entries.len());
+    }
+}
+
+/// Builder for [`Testbed`].
+pub struct TestbedBuilder {
+    seed: Vec<u8>,
+    mode: SecurityMode,
+    validation: ValidationModel,
+    host_count: usize,
+    with_tpm: bool,
+    tcb_policy: TcbPolicy,
+    transition_spin: (u64, u64),
+    controller_addr: String,
+}
+
+impl TestbedBuilder {
+    pub fn new(seed: &[u8]) -> TestbedBuilder {
+        TestbedBuilder {
+            seed: seed.to_vec(),
+            mode: SecurityMode::TrustedHttps,
+            validation: ValidationModel::Ca,
+            host_count: 1,
+            with_tpm: false,
+            tcb_policy: TcbPolicy::Strict,
+            transition_spin: (0, 0),
+            controller_addr: "controller:8443".into(),
+        }
+    }
+
+    pub fn mode(mut self, mode: SecurityMode) -> TestbedBuilder {
+        self.mode = mode;
+        self
+    }
+
+    pub fn validation(mut self, validation: ValidationModel) -> TestbedBuilder {
+        self.validation = validation;
+        self
+    }
+
+    pub fn hosts(mut self, count: usize) -> TestbedBuilder {
+        self.host_count = count;
+        self
+    }
+
+    pub fn with_tpm(mut self) -> TestbedBuilder {
+        self.with_tpm = true;
+        self
+    }
+
+    pub fn tcb_policy(mut self, policy: TcbPolicy) -> TestbedBuilder {
+        self.tcb_policy = policy;
+        self
+    }
+
+    /// Calibrated enclave-transition cost (ecall spin, oret spin).
+    pub fn transition_cost(mut self, ecall: u64, oret: u64) -> TestbedBuilder {
+        self.transition_spin = (ecall, oret);
+        self
+    }
+
+    pub fn build(self) -> Testbed {
+        let network = Network::new();
+        let clock = SimClock::at(1_600_000_000);
+        let mut ias = AttestationService::new(&self.seed);
+
+        let vm_config = ManagerConfig {
+            tcb_policy: self.tcb_policy,
+            require_tpm: self.with_tpm,
+            ..ManagerConfig::default()
+        };
+        let mut vm = VerificationManager::new(vm_config, &self.seed);
+
+        // Whitelist the integrity attestation enclave and seed the host
+        // reference database with the standard software stack.
+        vm.trust_integrity_enclave(
+            IntegrityAttestationEnclave::expected_measurement(1),
+            "integrity-attestation-v1",
+        );
+        for (path, content) in STANDARD_HOST_FILES {
+            vm.reference_db_mut().allow_content(path, content);
+        }
+
+        // Controller identity and client validation.
+        let controller_cn = "controller".to_string();
+        let server_key = SigningKey::from_seed(&vnfguard_crypto::sha2::sha256(
+            &[&self.seed[..], b"controller key"].concat(),
+        ));
+        let server_cert =
+            vm.issue_server_certificate(&controller_cn, server_key.public_key(), clock.now());
+        let server_identity = Arc::new(LocalSigner::new(server_key, server_cert));
+
+        let validator = match self.validation {
+            ValidationModel::Ca => {
+                let mut store = TrustStore::new();
+                store
+                    .add_anchor(vm.ca_certificate().clone())
+                    .expect("VM CA is a valid anchor");
+                ClientValidator::ca(store)
+            }
+            ValidationModel::Keystore => ClientValidator::keystore(KeyStore::new()),
+        };
+
+        let controller_config = match self.mode {
+            SecurityMode::Http => ControllerConfig::http(&self.controller_addr),
+            SecurityMode::Https => {
+                ControllerConfig::https(&self.controller_addr, server_identity.clone())
+            }
+            SecurityMode::TrustedHttps => ControllerConfig::trusted_https(
+                &self.controller_addr,
+                server_identity.clone(),
+                validator.clone(),
+            ),
+        }
+        .with_clock(clock.clone());
+        let controller =
+            Controller::start(&network, controller_config).expect("controller start");
+
+        // The enclave author whose MRSIGNER the deployment trusts.
+        let enclave_author = EnclaveAuthor::from_seed(&vnfguard_crypto::sha2::sha256(
+            &[&self.seed[..], b"enclave author"].concat(),
+        ));
+
+        let mut hosts = Vec::with_capacity(self.host_count);
+        for i in 0..self.host_count {
+            let id = format!("host-{i}");
+            let platform_seed = [&self.seed[..], id.as_bytes()].concat();
+            let platform = SgxPlatform::with_config(
+                &platform_seed,
+                PlatformConfig::default(),
+                TransitionModel::new(self.transition_spin.0, self.transition_spin.1),
+            );
+            ias.register_member(platform.epid_group_id(), platform.attestation_public_key());
+            let container_host = ContainerHost::standard(&id);
+            let integrity_enclave =
+                IntegrityAttestationEnclave::load(&platform, &enclave_author, 1)
+                    .expect("integrity enclave load");
+            let tpm = if self.with_tpm {
+                let tpm = SimTpm::new(&vnfguard_crypto::sha2::sha256(
+                    &[&platform_seed[..], b"tpm"].concat(),
+                ));
+                vm.register_host_tpm(&id, tpm.aik_public(), clock.now());
+                Some(tpm)
+            } else {
+                None
+            };
+            hosts.push(TestbedHost {
+                id,
+                platform,
+                container_host,
+                integrity_enclave,
+                tpm,
+                tpm_synced_entries: 0,
+            });
+        }
+
+        Testbed {
+            network,
+            clock,
+            ias,
+            vm,
+            controller,
+            controller_addr: self.controller_addr,
+            controller_cn,
+            registry: Registry::new(),
+            hosts,
+            enclave_author,
+            mode: self.mode,
+            validation: self.validation,
+        }
+    }
+}
+
+/// The standard host software stack (must match [`ContainerHost::standard`]).
+const STANDARD_HOST_FILES: &[(&str, &[u8])] = &[
+    ("/boot/vmlinuz-4.4.0-51-generic", b"kernel 4.4.0-51"),
+    ("/usr/bin/dockerd", b"docker daemon 1.12.2"),
+    ("/usr/bin/containerd", b"containerd 0.2.x"),
+    ("/sbin/init", b"systemd 229"),
+];
+
+/// The assembled deployment.
+pub struct Testbed {
+    pub network: Network,
+    pub clock: SimClock,
+    pub ias: AttestationService,
+    pub vm: VerificationManager,
+    pub controller: Controller,
+    pub controller_addr: String,
+    pub controller_cn: String,
+    pub registry: Registry,
+    pub hosts: Vec<TestbedHost>,
+    pub enclave_author: EnclaveAuthor,
+    pub mode: SecurityMode,
+    pub validation: ValidationModel,
+}
+
+impl Testbed {
+    /// Steps 1–2: attest a container host.
+    pub fn attest_host(&mut self, host_idx: usize) -> Result<Verdict, CoreError> {
+        let now = self.clock.now();
+        let host = &mut self.hosts[host_idx];
+        let challenge = self.vm.begin_host_attestation(&host.id, now);
+        host.sync_tpm();
+        let iml = host.container_host.measurement_list().encode();
+        let tpm_quote = host
+            .tpm
+            .as_ref()
+            .map(|tpm| tpm.quote(IMA_PCR, challenge.nonce).encode());
+        let evidence = host_evidence(
+            &host.platform,
+            &host.integrity_enclave,
+            &iml,
+            &challenge.nonce,
+            tpm_quote,
+        )?;
+        self.vm
+            .complete_host_attestation(&mut self.ias, challenge.id, &evidence, now)
+    }
+
+    /// Deploy a VNF container: the host runs `actual_image`, while the VM's
+    /// reference database is fed the digests of `reference_image` (what the
+    /// orchestrator *believes* is being deployed). Passing the same image
+    /// for both models honest deployment.
+    pub fn deploy_container(
+        &mut self,
+        host_idx: usize,
+        reference_image: &Image,
+        actual_image: &Image,
+    ) -> Result<String, CoreError> {
+        let host = &mut self.hosts[host_idx];
+        let container = host
+            .container_host
+            .run(actual_image)
+            .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+        let id = container.id.clone();
+        for (i, layer) in reference_image.layers.iter().enumerate() {
+            self.vm.reference_db_mut().allow_content(
+                &format!("/var/lib/docker/overlay2/{id}/layer-{i}"),
+                &layer.content,
+            );
+        }
+        self.vm.reference_db_mut().allow_content(
+            &format!("/var/lib/docker/overlay2/{id}/entrypoint"),
+            &reference_image.entrypoint.content,
+        );
+        Ok(id)
+    }
+
+    /// Load a VNF's credential enclave on a host and whitelist its
+    /// measurement with the VM.
+    pub fn deploy_guard(
+        &mut self,
+        host_idx: usize,
+        vnf_name: &str,
+        version: u32,
+    ) -> Result<VnfGuard, CoreError> {
+        let host = &self.hosts[host_idx];
+        let guard = VnfGuard::load(
+            &host.platform,
+            &self.network,
+            &self.enclave_author,
+            vnf_name,
+            version,
+        )?;
+        let image = CredentialEnclave::image_for(vnf_name, version);
+        self.vm.trust_enclave(
+            SgxPlatform::measure_image(&image, vnfguard_vnf::guard::ENCLAVE_SIZE),
+            &format!("{vnf_name}-v{version}"),
+        );
+        Ok(guard)
+    }
+
+    /// Load a guard from explicit enclave image bytes *without* whitelisting
+    /// (attack scenarios: tampered enclave images).
+    pub fn deploy_guard_unlisted(
+        &mut self,
+        host_idx: usize,
+        vnf_name: &str,
+        image: &[u8],
+    ) -> Result<VnfGuard, CoreError> {
+        let host = &self.hosts[host_idx];
+        Ok(VnfGuard::load_image(
+            &host.platform,
+            &self.network,
+            &self.enclave_author,
+            vnf_name,
+            image,
+            1,
+        )?)
+    }
+
+    /// Steps 3–5: attest the VNF enclave and provision credentials into it.
+    /// Returns the issued certificate.
+    pub fn enroll(
+        &mut self,
+        host_idx: usize,
+        guard: &VnfGuard,
+    ) -> Result<Certificate, CoreError> {
+        let now = self.clock.now();
+        let host_id = self.hosts[host_idx].id.clone();
+        let challenge = self
+            .vm
+            .begin_vnf_attestation(&host_id, &guard.name, now)?;
+        let provisioning_key = guard.provisioning_key()?;
+        let quote = guard.quote(
+            &self.hosts[host_idx].platform,
+            &challenge.nonce,
+            challenge.nonce,
+        )?;
+        let (wrapped, certificate) = self.vm.complete_vnf_enrollment(
+            &mut self.ias,
+            challenge.id,
+            &quote.encode(),
+            &provisioning_key,
+            &self.controller_cn,
+            now,
+        )?;
+        guard.provision(&wrapped)?;
+        // Keystore validation model: the controller's keystore must be
+        // updated with the new certificate (the maintenance burden the
+        // paper's CA approach removes).
+        if self.validation == ValidationModel::Keystore {
+            if let Some(validator) = self.controller.client_validator() {
+                if let Some(keystore) = validator.key_store() {
+                    keystore.write().set(&guard.name, certificate.clone());
+                }
+            }
+        }
+        Ok(certificate)
+    }
+
+    /// Distribute the VM's current CRL to the controller (revocation
+    /// propagation; experiment E8).
+    pub fn push_crl(&mut self) -> Result<(), CoreError> {
+        let crl = self.vm.current_crl(self.clock.now(), 3600);
+        if let Some(validator) = self.controller.client_validator() {
+            if let Some(store) = validator.trust_store() {
+                store.write().install_crl(crl)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Step 6 convenience: open an in-enclave TLS session from a guard to
+    /// the controller.
+    pub fn open_session(&self, guard: &mut VnfGuard) -> Result<u32, CoreError> {
+        Ok(guard.open_session(&self.controller_addr, self.clock.now())?)
+    }
+}
+
+impl std::fmt::Debug for Testbed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Testbed")
+            .field("mode", &self.mode.as_str())
+            .field("hosts", &self.hosts.len())
+            .field("enrollments", &self.vm.issued_count())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,108 @@
+//! # vnfguard-core
+//!
+//! The paper's primary contribution: the **Verification Manager** and the
+//! end-to-end workflow of Figure 1.
+//!
+//! > "We introduce a Verification Manager module that has a central
+//! > position in our proposed architecture: it obtains integrity
+//! > measurements of VNFs through an attestation protocol and appraises the
+//! > trustworthiness of the platform. Furthermore, it handles the
+//! > communication with third-party attestation services, generates the
+//! > HMAC key and nonces, as well as the certificates for the client
+//! > authentication." (§2)
+//!
+//! The crate provides:
+//!
+//! - [`manager::VerificationManager`] — attestation orchestration (host and
+//!   VNF), appraisal, the certificate authority, credential provisioning
+//!   and revocation, and an audit trail;
+//! - [`attestation`] — the evidence structures exchanged in steps 1–4 of
+//!   Figure 1, and the **integrity attestation enclave** that quotes the
+//!   host's IMA measurement list;
+//! - [`deployment`] — a full testbed assembling network, IAS, controller,
+//!   container hosts, and VNFs, with one method per workflow step. The
+//!   examples and every benchmark build on it.
+//!
+//! ## The six steps of Figure 1
+//!
+//! | Step | API |
+//! |---|---|
+//! | 1–2 host attestation via IAS | [`manager::VerificationManager::begin_host_attestation`] → [`attestation::host_evidence`] → [`manager::VerificationManager::complete_host_attestation`] |
+//! | 3–4 VNF enclave attestation via IAS | [`manager::VerificationManager::begin_vnf_attestation`] → [`manager::VerificationManager::complete_vnf_enrollment`] |
+//! | 5 credential provisioning | returned wrapped bundle → `VnfGuard::provision` |
+//! | 6 VNF ↔ controller TLS | `VnfGuard::open_session` / `request` |
+
+pub mod attestation;
+pub mod deployment;
+pub mod manager;
+pub mod remote;
+
+pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
+pub use remote::{HostAgent, RemoteIas};
+pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
+pub use manager::{ManagerConfig, VerificationManager};
+
+/// Errors from the Verification Manager and workflow orchestration.
+#[derive(Debug)]
+pub enum CoreError {
+    Sgx(vnfguard_sgx::SgxError),
+    Vnf(vnfguard_vnf::VnfError),
+    Controller(vnfguard_controller::ControllerError),
+    Pki(vnfguard_pki::PkiError),
+    /// Attestation was refused; the string carries the appraisal reason.
+    AttestationFailed(String),
+    /// An unknown or expired challenge was presented.
+    BadChallenge(String),
+    /// The workflow was invoked out of order (e.g. enrollment before host
+    /// attestation).
+    WorkflowViolation(String),
+    /// Structural error in evidence.
+    Encoding(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Sgx(e) => write!(f, "sgx: {e}"),
+            CoreError::Vnf(e) => write!(f, "vnf: {e}"),
+            CoreError::Controller(e) => write!(f, "controller: {e}"),
+            CoreError::Pki(e) => write!(f, "pki: {e}"),
+            CoreError::AttestationFailed(msg) => write!(f, "attestation failed: {msg}"),
+            CoreError::BadChallenge(msg) => write!(f, "bad challenge: {msg}"),
+            CoreError::WorkflowViolation(msg) => write!(f, "workflow violation: {msg}"),
+            CoreError::Encoding(msg) => write!(f, "encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vnfguard_sgx::SgxError> for CoreError {
+    fn from(e: vnfguard_sgx::SgxError) -> CoreError {
+        CoreError::Sgx(e)
+    }
+}
+
+impl From<vnfguard_vnf::VnfError> for CoreError {
+    fn from(e: vnfguard_vnf::VnfError) -> CoreError {
+        CoreError::Vnf(e)
+    }
+}
+
+impl From<vnfguard_controller::ControllerError> for CoreError {
+    fn from(e: vnfguard_controller::ControllerError) -> CoreError {
+        CoreError::Controller(e)
+    }
+}
+
+impl From<vnfguard_pki::PkiError> for CoreError {
+    fn from(e: vnfguard_pki::PkiError) -> CoreError {
+        CoreError::Pki(e)
+    }
+}
+
+impl From<vnfguard_encoding::EncodingError> for CoreError {
+    fn from(e: vnfguard_encoding::EncodingError) -> CoreError {
+        CoreError::Encoding(e.to_string())
+    }
+}

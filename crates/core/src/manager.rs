@@ -1,0 +1,614 @@
+//! The Verification Manager.
+
+use crate::attestation::{host_report_data, HostEvidence};
+use crate::CoreError;
+use std::collections::{BTreeMap, HashMap};
+use vnfguard_crypto::drbg::{HmacDrbg, SecureRandom};
+use vnfguard_crypto::ed25519::SigningKey;
+use vnfguard_crypto::sha2::sha256;
+use vnfguard_ias::{QuoteStatus, QuoteVerifier};
+use vnfguard_ima::appraisal::{AppraisalPolicy, ReferenceDatabase, Verdict};
+use vnfguard_ima::list::IMA_PCR;
+use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
+use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
+use vnfguard_pki::crl::{Crl, RevocationReason};
+use vnfguard_sgx::measurement::Measurement;
+use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
+use vnfguard_vnf::wrap_credentials;
+
+/// How strictly IAS TCB warnings are treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcbPolicy {
+    /// Only `OK` is acceptable.
+    Strict,
+    /// `GROUP_OUT_OF_DATE` / `CONFIGURATION_NEEDED` are tolerated.
+    Lenient,
+}
+
+impl TcbPolicy {
+    fn accepts(self, status: QuoteStatus) -> bool {
+        match self {
+            TcbPolicy::Strict => status.is_ok_strict(),
+            TcbPolicy::Lenient => status.is_ok_lenient(),
+        }
+    }
+}
+
+/// Verification Manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    pub name: String,
+    pub ca_validity: Validity,
+    pub credential_validity_secs: u64,
+    pub appraisal: AppraisalPolicy,
+    pub tcb_policy: TcbPolicy,
+    /// Challenges expire after this many seconds.
+    pub challenge_lifetime_secs: u64,
+    /// Host attestations are considered fresh for this long.
+    pub host_freshness_secs: u64,
+    /// Require the §4 TPM anchoring of the IMA aggregate.
+    pub require_tpm: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> ManagerConfig {
+        ManagerConfig {
+            name: "verification-manager".into(),
+            ca_validity: Validity::new(0, u64::MAX / 2),
+            credential_validity_secs: 24 * 3600,
+            appraisal: AppraisalPolicy::default(),
+            tcb_policy: TcbPolicy::Strict,
+            challenge_lifetime_secs: 300,
+            host_freshness_secs: 3600,
+            require_tpm: false,
+        }
+    }
+}
+
+/// An outstanding attestation challenge.
+#[derive(Debug, Clone)]
+pub struct Challenge {
+    pub id: u64,
+    pub nonce: [u8; 32],
+    pub issued_at: u64,
+    subject: ChallengeSubject,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChallengeSubject {
+    Host { host_id: String },
+    Vnf { host_id: String, vnf_name: String },
+}
+
+/// Host trust record.
+#[derive(Debug, Clone)]
+pub struct HostRecord {
+    pub host_id: String,
+    pub verdict: Verdict,
+    pub attested_at: u64,
+    pub iml_entries: usize,
+    /// TPM AIK public key registered for this host (§4 extension).
+    pub tpm_aik: Option<vnfguard_crypto::ed25519::VerifyingKey>,
+}
+
+/// Enrollment record for an issued credential.
+#[derive(Debug, Clone)]
+pub struct EnrollmentRecord {
+    pub serial: u64,
+    pub vnf_name: String,
+    pub host_id: String,
+    pub mrenclave: Measurement,
+    pub issued_at: u64,
+    pub revoked: bool,
+}
+
+/// Audit event emitted by the manager.
+#[derive(Debug, Clone)]
+pub struct VmEvent {
+    pub time: u64,
+    pub kind: String,
+    pub detail: String,
+}
+
+/// The Verification Manager (Figure 1, center).
+pub struct VerificationManager {
+    config: ManagerConfig,
+    ca: CertificateAuthority,
+    rng: HmacDrbg,
+    reference_db: ReferenceDatabase,
+    /// Whitelisted VNF credential-enclave measurements, with labels.
+    trusted_enclaves: BTreeMap<Measurement, String>,
+    /// Whitelisted integrity-attestation-enclave measurements.
+    trusted_integrity_enclaves: BTreeMap<Measurement, String>,
+    hosts: HashMap<String, HostRecord>,
+    enrollments: BTreeMap<u64, EnrollmentRecord>,
+    challenges: HashMap<u64, Challenge>,
+    next_challenge: u64,
+    events: Vec<VmEvent>,
+    /// The HMAC key the paper has the VM generate (used to authenticate
+    /// VM-originated notifications to hosts).
+    hmac_key: [u8; 32],
+}
+
+impl VerificationManager {
+    pub fn new(config: ManagerConfig, seed: &[u8]) -> VerificationManager {
+        let mut rng = HmacDrbg::new(seed);
+        let ca = CertificateAuthority::new(
+            DistinguishedName::new(&config.name),
+            config.ca_validity,
+            &mut rng,
+        );
+        let hmac_key = rng.gen_array::<32>();
+        VerificationManager {
+            config,
+            ca,
+            rng,
+            reference_db: ReferenceDatabase::new(),
+            trusted_enclaves: BTreeMap::new(),
+            trusted_integrity_enclaves: BTreeMap::new(),
+            hosts: HashMap::new(),
+            enrollments: BTreeMap::new(),
+            challenges: HashMap::new(),
+            next_challenge: 1,
+            events: Vec::new(),
+            hmac_key: [0; 32],
+        }
+        .with_hmac(hmac_key)
+    }
+
+    fn with_hmac(mut self, key: [u8; 32]) -> Self {
+        self.hmac_key = key;
+        self
+    }
+
+    /// The CA certificate to provision into the controller's trust store —
+    /// the paper's replacement for per-client keystore maintenance.
+    pub fn ca_certificate(&self) -> &Certificate {
+        self.ca.certificate()
+    }
+
+    /// Authenticate a VM-originated message (the paper's HMAC key).
+    pub fn hmac_tag(&self, message: &[u8]) -> [u8; 32] {
+        vnfguard_crypto::hmac::hmac_sha256(&self.hmac_key, message)
+    }
+
+    /// Reference database of known-good host file digests.
+    pub fn reference_db_mut(&mut self) -> &mut ReferenceDatabase {
+        &mut self.reference_db
+    }
+
+    /// Whitelist a VNF credential-enclave measurement.
+    pub fn trust_enclave(&mut self, measurement: Measurement, label: &str) {
+        self.trusted_enclaves.insert(measurement, label.to_string());
+    }
+
+    /// Whitelist an integrity-attestation-enclave measurement.
+    pub fn trust_integrity_enclave(&mut self, measurement: Measurement, label: &str) {
+        self.trusted_integrity_enclaves
+            .insert(measurement, label.to_string());
+    }
+
+    /// Register a host's TPM AIK (the §4 extension).
+    pub fn register_host_tpm(
+        &mut self,
+        host_id: &str,
+        aik: vnfguard_crypto::ed25519::VerifyingKey,
+        now: u64,
+    ) {
+        let record = self.hosts.entry(host_id.to_string()).or_insert(HostRecord {
+            host_id: host_id.to_string(),
+            verdict: Verdict::UnknownComponents,
+            attested_at: 0,
+            iml_entries: 0,
+            tpm_aik: None,
+        });
+        record.tpm_aik = Some(aik);
+        self.event(now, "tpm_registered", host_id);
+    }
+
+    fn event(&mut self, time: u64, kind: &str, detail: &str) {
+        self.events.push(VmEvent {
+            time,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    pub fn events(&self) -> &[VmEvent] {
+        &self.events
+    }
+
+    pub fn host_record(&self, host_id: &str) -> Option<&HostRecord> {
+        self.hosts.get(host_id)
+    }
+
+    pub fn enrollments(&self) -> impl Iterator<Item = &EnrollmentRecord> {
+        self.enrollments.values()
+    }
+
+    fn new_challenge(&mut self, subject: ChallengeSubject, now: u64) -> Challenge {
+        let id = self.next_challenge;
+        self.next_challenge += 1;
+        let challenge = Challenge {
+            id,
+            nonce: self.rng.gen_array::<32>(),
+            issued_at: now,
+            subject,
+        };
+        self.challenges.insert(id, challenge.clone());
+        challenge
+    }
+
+    fn take_challenge(&mut self, id: u64, now: u64) -> Result<Challenge, CoreError> {
+        let challenge = self
+            .challenges
+            .remove(&id)
+            .ok_or_else(|| CoreError::BadChallenge(format!("unknown challenge {id}")))?;
+        if now > challenge.issued_at + self.config.challenge_lifetime_secs {
+            return Err(CoreError::BadChallenge(format!(
+                "challenge {id} expired"
+            )));
+        }
+        Ok(challenge)
+    }
+
+    // ---- Steps 1–2: host attestation -------------------------------------
+
+    /// Step 1: initiate remote attestation of a container host.
+    pub fn begin_host_attestation(&mut self, host_id: &str, now: u64) -> Challenge {
+        self.event(now, "host_attestation_started", host_id);
+        self.new_challenge(
+            ChallengeSubject::Host {
+                host_id: host_id.to_string(),
+            },
+            now,
+        )
+    }
+
+    /// Step 2: verify the quote with the attestation service and appraise
+    /// the measurement list.
+    pub fn complete_host_attestation(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        evidence: &HostEvidence,
+        now: u64,
+    ) -> Result<Verdict, CoreError> {
+        let challenge = self.take_challenge(challenge_id, now)?;
+        let ChallengeSubject::Host { host_id } = challenge.subject.clone() else {
+            return Err(CoreError::BadChallenge(
+                "challenge is not a host challenge".into(),
+            ));
+        };
+
+        // IAS verification of the quote (revocation list + quote validity).
+        let report = ias.verify_quote(&evidence.quote, &challenge.nonce);
+        report
+            .verify(&ias.report_signing_key())
+            .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
+        if !self.config.tcb_policy.accepts(report.status) {
+            self.event(now, "host_attestation_rejected", &format!("{host_id}: {}", report.status));
+            return Err(CoreError::AttestationFailed(format!(
+                "IAS status {}",
+                report.status
+            )));
+        }
+        let body = report
+            .quote_body
+            .as_ref()
+            .ok_or_else(|| CoreError::AttestationFailed("report carries no quote body".into()))?;
+
+        // The quoting enclave must be one of our integrity enclaves and not
+        // a debug build.
+        if body.is_debug() {
+            return Err(CoreError::AttestationFailed("debug enclave".into()));
+        }
+        if !self.trusted_integrity_enclaves.contains_key(&body.mrenclave) {
+            self.event(now, "host_attestation_rejected", &format!("{host_id}: unknown enclave"));
+            return Err(CoreError::AttestationFailed(format!(
+                "integrity enclave measurement {} not whitelisted",
+                body.mrenclave
+            )));
+        }
+
+        // The quote must bind exactly the measurement list we received.
+        let expected = host_report_data(&evidence.iml, &challenge.nonce);
+        if body.report_data != expected {
+            return Err(CoreError::AttestationFailed(
+                "quote does not bind the transmitted measurement list".into(),
+            ));
+        }
+
+        // Appraise the list.
+        let list = evidence.measurement_list()?;
+        let result = self.reference_db.appraise(&list, &self.config.appraisal);
+
+        // §4 extension: check the TPM anchor if required/available.
+        if self.config.require_tpm || evidence.tpm_quote.is_some() {
+            let aik = self
+                .hosts
+                .get(&host_id)
+                .and_then(|h| h.tpm_aik)
+                .ok_or_else(|| {
+                    CoreError::AttestationFailed(format!("no TPM AIK registered for {host_id}"))
+                })?;
+            let quote = evidence.parsed_tpm_quote()?.ok_or_else(|| {
+                CoreError::AttestationFailed("TPM quote required but absent".into())
+            })?;
+            quote
+                .verify(&aik, &challenge.nonce)
+                .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
+            if quote.pcr_index != IMA_PCR {
+                return Err(CoreError::AttestationFailed("wrong PCR index".into()));
+            }
+            if quote.pcr_value != list.aggregate() {
+                self.event(now, "host_attestation_rejected", &format!("{host_id}: TPM/IML divergence"));
+                return Err(CoreError::AttestationFailed(
+                    "measurement list does not match the TPM-anchored aggregate".into(),
+                ));
+            }
+        }
+
+        let verdict = result.verdict;
+        let previous_aik = self.hosts.get(&host_id).and_then(|h| h.tpm_aik);
+        self.hosts.insert(
+            host_id.clone(),
+            HostRecord {
+                host_id: host_id.clone(),
+                verdict,
+                attested_at: now,
+                iml_entries: result.entries,
+                tpm_aik: previous_aik,
+            },
+        );
+        self.event(
+            now,
+            if verdict.is_trusted() {
+                "host_attested"
+            } else {
+                "host_untrusted"
+            },
+            &format!("{host_id}: {verdict:?}"),
+        );
+        Ok(verdict)
+    }
+
+    fn host_is_trusted(&self, host_id: &str, now: u64) -> bool {
+        match self.hosts.get(host_id) {
+            Some(record) => {
+                record.verdict.is_trusted()
+                    && now <= record.attested_at + self.config.host_freshness_secs
+            }
+            None => false,
+        }
+    }
+
+    // ---- Steps 3–5: VNF attestation and enrollment ------------------------
+
+    /// Step 3: initiate attestation of a VNF credential enclave. Fails
+    /// unless the hosting platform has a fresh, trusted attestation — the
+    /// paper's "the protocol continues only if the host is considered
+    /// trustworthy following the appraisal".
+    pub fn begin_vnf_attestation(
+        &mut self,
+        host_id: &str,
+        vnf_name: &str,
+        now: u64,
+    ) -> Result<Challenge, CoreError> {
+        if !self.host_is_trusted(host_id, now) {
+            self.event(now, "vnf_attestation_refused", &format!("{vnf_name}: host {host_id} untrusted"));
+            return Err(CoreError::WorkflowViolation(format!(
+                "host {host_id} has no fresh trusted attestation"
+            )));
+        }
+        self.event(now, "vnf_attestation_started", vnf_name);
+        Ok(self.new_challenge(
+            ChallengeSubject::Vnf {
+                host_id: host_id.to_string(),
+                vnf_name: vnf_name.to_string(),
+            },
+            now,
+        ))
+    }
+
+    /// Steps 4–5: verify the enclave quote via IAS, then generate and wrap
+    /// the credentials for the attested enclave's provisioning key.
+    ///
+    /// Returns the wrapped bundle (deliver to the enclave) and the issued
+    /// certificate (for records; it is public anyway).
+    pub fn complete_vnf_enrollment(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        now: u64,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let challenge = self.take_challenge(challenge_id, now)?;
+        let ChallengeSubject::Vnf { host_id, vnf_name } = challenge.subject.clone() else {
+            return Err(CoreError::BadChallenge(
+                "challenge is not a VNF challenge".into(),
+            ));
+        };
+        // Host trust may have been revoked between steps.
+        if !self.host_is_trusted(&host_id, now) {
+            return Err(CoreError::WorkflowViolation(format!(
+                "host {host_id} lost trust during enrollment"
+            )));
+        }
+
+        let report = ias.verify_quote(quote_bytes, &challenge.nonce);
+        report
+            .verify(&ias.report_signing_key())
+            .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
+        if !self.config.tcb_policy.accepts(report.status) {
+            self.event(now, "vnf_attestation_rejected", &format!("{vnf_name}: {}", report.status));
+            return Err(CoreError::AttestationFailed(format!(
+                "IAS status {}",
+                report.status
+            )));
+        }
+        let body = report
+            .quote_body
+            .as_ref()
+            .ok_or_else(|| CoreError::AttestationFailed("report carries no quote body".into()))?;
+        if body.is_debug() {
+            return Err(CoreError::AttestationFailed("debug enclave".into()));
+        }
+        // The enclave measurement must be whitelisted: this is where a
+        // trojaned VNF image (different enclave code) is caught.
+        if !self.trusted_enclaves.contains_key(&body.mrenclave) {
+            self.event(
+                now,
+                "vnf_attestation_rejected",
+                &format!("{vnf_name}: measurement {} unknown", body.mrenclave),
+            );
+            return Err(CoreError::AttestationFailed(format!(
+                "enclave measurement {} not whitelisted",
+                body.mrenclave
+            )));
+        }
+        // The quote must bind the provisioning key we are about to use —
+        // otherwise a man-in-the-middle could substitute its own key.
+        let expected = provisioning_report_data(provisioning_key, &challenge.nonce);
+        if body.report_data != expected {
+            return Err(CoreError::AttestationFailed(
+                "quote does not bind the provisioning key".into(),
+            ));
+        }
+
+        // Step 5: generate key material, certify, wrap.
+        let key_seed = self.rng.gen_array::<32>();
+        let client_key = SigningKey::from_seed(&key_seed);
+        let certificate = self.ca.issue(
+            DistinguishedName::new(&vnf_name).with_org(&self.config.name),
+            client_key.public_key(),
+            &IssueProfile {
+                validity_secs: self.config.credential_validity_secs,
+                ..IssueProfile::vnf_client(*body.mrenclave.as_bytes())
+            },
+            now,
+        );
+        let bundle = ProvisionBundle {
+            key_seed,
+            certificate: certificate.clone(),
+            ca_certificate: self.ca.certificate().clone(),
+            server_cn: controller_cn.to_string(),
+        };
+        let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
+        self.enrollments.insert(
+            certificate.serial(),
+            EnrollmentRecord {
+                serial: certificate.serial(),
+                vnf_name: vnf_name.clone(),
+                host_id,
+                mrenclave: body.mrenclave,
+                issued_at: now,
+                revoked: false,
+            },
+        );
+        self.event(now, "vnf_enrolled", &format!("{vnf_name} serial {}", certificate.serial()));
+        Ok((wrapped, certificate))
+    }
+
+    // ---- Revocation --------------------------------------------------------
+
+    /// Revoke one credential by serial.
+    pub fn revoke_credential(
+        &mut self,
+        serial: u64,
+        reason: RevocationReason,
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let record = self.enrollments.get_mut(&serial).ok_or_else(|| {
+            CoreError::WorkflowViolation(format!("no enrollment with serial {serial}"))
+        })?;
+        record.revoked = true;
+        self.ca.revoke(serial, reason, now);
+        self.event(now, "credential_revoked", &format!("serial {serial}"));
+        Ok(())
+    }
+
+    /// Revoke every credential issued to VNFs on a host (platform
+    /// compromise response).
+    pub fn revoke_host(&mut self, host_id: &str, now: u64) -> usize {
+        let serials: Vec<u64> = self
+            .enrollments
+            .values()
+            .filter(|e| e.host_id == host_id && !e.revoked)
+            .map(|e| e.serial)
+            .collect();
+        for serial in &serials {
+            let _ = self.revoke_credential(*serial, RevocationReason::PlatformCompromise, now);
+        }
+        // The host loses its trusted status.
+        if let Some(record) = self.hosts.get_mut(host_id) {
+            record.verdict = Verdict::Mismatch;
+        }
+        self.event(now, "host_revoked", &format!("{host_id}: {} credentials", serials.len()));
+        serials.len()
+    }
+
+    /// Produce the current CRL for distribution to relying parties.
+    pub fn current_crl(&self, now: u64, lifetime_secs: u64) -> Crl {
+        self.ca.current_crl(now, lifetime_secs)
+    }
+
+    /// Issue a client certificate for a non-enclave principal (operator
+    /// tooling, baseline clients in E4). No enclave binding is attached.
+    pub fn issue_client_certificate(
+        &mut self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
+        now: u64,
+    ) -> Certificate {
+        self.ca.issue(
+            DistinguishedName::new(cn).with_org(&self.config.name),
+            public_key,
+            &IssueProfile {
+                validity_secs: self.config.credential_validity_secs,
+                enclave_binding: None,
+                ..IssueProfile::vnf_client([0; 32])
+            },
+            now,
+        )
+    }
+
+    /// Issue a server certificate (for the controller's TLS identity).
+    pub fn issue_server_certificate(
+        &mut self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
+        now: u64,
+    ) -> Certificate {
+        self.ca.issue(
+            DistinguishedName::new(cn).with_org(&self.config.name),
+            public_key,
+            &IssueProfile::server(),
+            now,
+        )
+    }
+
+    /// Number of credentials issued so far.
+    pub fn issued_count(&self) -> u64 {
+        self.ca.issued_count()
+    }
+
+    /// Short identity fingerprint for logs.
+    pub fn fingerprint(&self) -> String {
+        let digest = sha256(&self.ca.certificate().encode());
+        digest[..6].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for VerificationManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerificationManager")
+            .field("name", &self.config.name)
+            .field("hosts", &self.hosts.len())
+            .field("enrollments", &self.enrollments.len())
+            .field("trusted_enclaves", &self.trusted_enclaves.len())
+            .finish_non_exhaustive()
+    }
+}

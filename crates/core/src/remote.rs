@@ -1,0 +1,564 @@
+//! The deployment's network services: remote IAS, host agents and the
+//! Verification Manager's own API.
+//!
+//! The testbed drives the workflow with in-process calls; this module
+//! provides the same protocol **across the fabric**, matching the paper's
+//! architecture where the Verification Manager, the attestation service,
+//! the container hosts and the controller are separate network entities:
+//!
+//! - [`serve_ias`] exposes an [`AttestationService`] as a REST endpoint
+//!   (`POST /attestation/v4/report`, like Intel's), and [`RemoteIas`] is
+//!   the client handle implementing [`QuoteVerifier`] — the manager code
+//!   is identical either way;
+//! - [`HostAgent`] runs on each container host and answers the VM's
+//!   challenges (produce host evidence; relay VNF enclave attestation and
+//!   provisioning);
+//! - [`serve_vm_api`] exposes the manager's operator surface (trigger
+//!   attestation/enrollment, revoke, fetch CA/CRL).
+//!
+//! Payload binary fields travel base64-encoded inside JSON bodies.
+
+use crate::attestation::{host_evidence, HostEvidence};
+use crate::manager::VerificationManager;
+use crate::CoreError;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use vnfguard_container::host::ContainerHost;
+use vnfguard_controller::SimClock;
+use vnfguard_encoding::{base64, Json};
+use vnfguard_ias::{AttestationReport, AttestationService, QuoteVerifier};
+use vnfguard_ima::list::IMA_PCR;
+use vnfguard_ima::tpm::SimTpm;
+use vnfguard_net::fabric::Network;
+use vnfguard_net::http::{Request, Response, Status};
+use vnfguard_net::rest::Router;
+use vnfguard_net::server::{serve, PlainUpgrade, ServerHandle};
+use vnfguard_sgx::enclave::Enclave;
+use vnfguard_sgx::platform::SgxPlatform;
+use vnfguard_vnf::VnfGuard;
+
+fn b64_field(doc: &Json, field: &str) -> Result<Vec<u8>, String> {
+    let text = doc
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing field {field:?}"))?;
+    base64::decode(text).map_err(|e| format!("bad base64 in {field:?}: {e}"))
+}
+
+fn b64_array32(doc: &Json, field: &str) -> Result<[u8; 32], String> {
+    let bytes = b64_field(doc, field)?;
+    bytes
+        .try_into()
+        .map_err(|_| format!("{field:?} must be 32 bytes"))
+}
+
+// ---------------------------------------------------------------------------
+// Remote IAS
+// ---------------------------------------------------------------------------
+
+/// Serve an attestation service on the fabric.
+///
+/// Endpoint: `POST /attestation/v4/report` with
+/// `{"isvEnclaveQuote": base64, "nonce": base64}` → `{"report": base64}`.
+pub fn serve_ias(
+    network: &Network,
+    address: &str,
+    service: AttestationService,
+) -> Result<(ServerHandle, Arc<Mutex<AttestationService>>), CoreError> {
+    let service = Arc::new(Mutex::new(service));
+    let mut router = Router::new();
+    {
+        let service = service.clone();
+        router.post("/attestation/v4/report", move |request, _| {
+            let Ok(body) = request.json() else {
+                return Response::error(Status::BadRequest, "invalid JSON");
+            };
+            let quote = match b64_field(&body, "isvEnclaveQuote") {
+                Ok(q) => q,
+                Err(msg) => return Response::error(Status::BadRequest, &msg),
+            };
+            let nonce = match b64_field(&body, "nonce") {
+                Ok(n) => n,
+                Err(msg) => return Response::error(Status::BadRequest, &msg),
+            };
+            let report = service.lock().verify_quote(&quote, &nonce);
+            Response::json(
+                Status::Ok,
+                &Json::object().with("report", base64::encode(&report.encode())),
+            )
+        });
+    }
+    {
+        let service = service.clone();
+        router.get("/attestation/v4/sigrl/:gid", move |_, params| {
+            let gid = params
+                .get("gid")
+                .and_then(|g| u32::from_str_radix(g, 16).ok())
+                .unwrap_or(0);
+            Response::json(
+                Status::Ok,
+                &Json::object().with("sigrl_size", service.lock().sigrl_len(gid) as i64),
+            )
+        });
+    }
+    let listener = network
+        .listen(address)
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    Ok((serve(listener, PlainUpgrade, router), service))
+}
+
+/// Client handle to a remote attestation service; implements
+/// [`QuoteVerifier`] so the Verification Manager uses it transparently.
+pub struct RemoteIas {
+    network: Network,
+    address: String,
+    report_key: vnfguard_crypto::ed25519::VerifyingKey,
+}
+
+impl RemoteIas {
+    /// Connect parameters plus the out-of-band-distributed report signing
+    /// key (Intel publishes this as a certificate).
+    pub fn new(
+        network: &Network,
+        address: &str,
+        report_key: vnfguard_crypto::ed25519::VerifyingKey,
+    ) -> RemoteIas {
+        RemoteIas {
+            network: network.clone(),
+            address: address.to_string(),
+            report_key,
+        }
+    }
+}
+
+impl QuoteVerifier for RemoteIas {
+    fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
+        // Service unreachability degrades to an unverifiable report: the
+        // caller's signature check will fail closed.
+        let fallback = || {
+            AttestationReport::decode(&[]).unwrap_or_else(|_| {
+                // An empty report cannot be built; craft a self-signed one
+                // with a throwaway key — signature verification at the VM
+                // will reject it.
+                let key = vnfguard_crypto::ed25519::SigningKey::from_seed(&[0; 32]);
+                AttestationReport::create(
+                    0,
+                    0,
+                    vnfguard_ias::QuoteStatus::SignatureInvalid,
+                    nonce,
+                    None,
+                    vec!["IAS_UNREACHABLE".into()],
+                    &key,
+                )
+            })
+        };
+        let Ok(stream) = self.network.connect(&self.address) else {
+            return fallback();
+        };
+        let mut client = vnfguard_net::server::HttpClient::new(stream);
+        let request = Request::post("/attestation/v4/report").with_json(
+            &Json::object()
+                .with("isvEnclaveQuote", base64::encode(quote_bytes))
+                .with("nonce", base64::encode(nonce)),
+        );
+        let Ok(response) = client.request(&request) else {
+            return fallback();
+        };
+        let Some(report) = response
+            .parse_json()
+            .ok()
+            .and_then(|d| b64_field(&d, "report").ok())
+            .and_then(|bytes| AttestationReport::decode(&bytes).ok())
+        else {
+            return fallback();
+        };
+        report
+    }
+
+    fn report_signing_key(&self) -> vnfguard_crypto::ed25519::VerifyingKey {
+        self.report_key
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Host agent
+// ---------------------------------------------------------------------------
+
+/// Shared state of a container host served by its agent.
+pub struct HostAgentState {
+    pub host_id: String,
+    pub platform: SgxPlatform,
+    pub container_host: RwLock<ContainerHost>,
+    pub integrity_enclave: Enclave,
+    pub tpm: Option<Mutex<SimTpm>>,
+    pub guards: RwLock<HashMap<String, Arc<VnfGuard>>>,
+}
+
+/// The per-host agent: answers the Verification Manager's attestation and
+/// provisioning requests over the fabric.
+pub struct HostAgent {
+    pub state: Arc<HostAgentState>,
+    handle: ServerHandle,
+    pub address: String,
+}
+
+impl HostAgent {
+    /// Serve the agent for a host at `agent:{host_id}`.
+    pub fn serve(network: &Network, state: Arc<HostAgentState>) -> Result<HostAgent, CoreError> {
+        let address = format!("agent:{}", state.host_id);
+        let mut router = Router::new();
+
+        // POST /agent/attest {nonce: b64} → {evidence: b64}
+        {
+            let state = state.clone();
+            router.post("/agent/attest", move |request, _| {
+                let Ok(body) = request.json() else {
+                    return Response::error(Status::BadRequest, "invalid JSON");
+                };
+                let nonce = match b64_array32(&body, "nonce") {
+                    Ok(n) => n,
+                    Err(msg) => return Response::error(Status::BadRequest, &msg),
+                };
+                let tpm_quote = state.tpm.as_ref().map(|tpm| {
+                    tpm.lock().quote(IMA_PCR, nonce).encode()
+                });
+                let iml = state.container_host.read().measurement_list().encode();
+                match host_evidence(
+                    &state.platform,
+                    &state.integrity_enclave,
+                    &iml,
+                    &nonce,
+                    tpm_quote,
+                ) {
+                    Ok(evidence) => Response::json(
+                        Status::Ok,
+                        &Json::object().with("evidence", base64::encode(&evidence.encode())),
+                    ),
+                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
+                }
+            });
+        }
+
+        // POST /agent/vnf/:name/attest {nonce: b64, basename: b64}
+        //   → {quote: b64, provisioning_key: b64}
+        {
+            let state = state.clone();
+            router.post("/agent/vnf/:name/attest", move |request, params| {
+                let name = params.get("name").unwrap_or("");
+                let guards = state.guards.read();
+                let Some(guard) = guards.get(name) else {
+                    return Response::error(Status::NotFound, &format!("no VNF {name:?}"));
+                };
+                let Ok(body) = request.json() else {
+                    return Response::error(Status::BadRequest, "invalid JSON");
+                };
+                let (nonce, basename) = match (
+                    b64_array32(&body, "nonce"),
+                    b64_array32(&body, "basename"),
+                ) {
+                    (Ok(n), Ok(b)) => (n, b),
+                    (Err(msg), _) | (_, Err(msg)) => {
+                        return Response::error(Status::BadRequest, &msg)
+                    }
+                };
+                let provisioning_key = match guard.provisioning_key() {
+                    Ok(key) => key,
+                    Err(e) => return Response::error(Status::ServerError, &e.to_string()),
+                };
+                match guard.quote(&state.platform, &nonce, basename) {
+                    Ok(quote) => Response::json(
+                        Status::Ok,
+                        &Json::object()
+                            .with("quote", base64::encode(&quote.encode()))
+                            .with("provisioning_key", base64::encode(&provisioning_key)),
+                    ),
+                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
+                }
+            });
+        }
+
+        // POST /agent/vnf/:name/provision {wrapped: b64} → {}
+        {
+            let state = state.clone();
+            router.post("/agent/vnf/:name/provision", move |request, params| {
+                let name = params.get("name").unwrap_or("");
+                let guards = state.guards.read();
+                let Some(guard) = guards.get(name) else {
+                    return Response::error(Status::NotFound, &format!("no VNF {name:?}"));
+                };
+                let Ok(body) = request.json() else {
+                    return Response::error(Status::BadRequest, "invalid JSON");
+                };
+                let wrapped = match b64_field(&body, "wrapped") {
+                    Ok(w) => w,
+                    Err(msg) => return Response::error(Status::BadRequest, &msg),
+                };
+                match guard.provision(&wrapped) {
+                    Ok(()) => Response::json(Status::Ok, &Json::object().with("ok", true)),
+                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
+                }
+            });
+        }
+
+        // GET /agent/vnfs → list of deployed guard names.
+        {
+            let state = state.clone();
+            router.get("/agent/vnfs", move |_, _| {
+                let guards = state.guards.read();
+                let names: Json = guards.keys().map(|k| Json::from(k.as_str())).collect();
+                Response::json(Status::Ok, &names)
+            });
+        }
+
+        let listener = network
+            .listen(&address)
+            .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+        let handle = serve(listener, PlainUpgrade, router);
+        Ok(HostAgent {
+            state,
+            handle,
+            address,
+        })
+    }
+
+    pub fn requests_served(&self) -> u64 {
+        self.handle.requests()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Remote orchestration (the VM driving agents over the fabric)
+// ---------------------------------------------------------------------------
+
+/// Drive the full host attestation (steps 1–2) against a remote agent.
+pub fn remote_attest_host(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    now: u64,
+) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
+    let challenge = vm.begin_host_attestation(host_id, now);
+    let stream = network
+        .connect(&format!("agent:{host_id}"))
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    let mut client = vnfguard_net::server::HttpClient::new(stream);
+    let response = client
+        .request(&Request::post("/agent/attest").with_json(
+            &Json::object().with("nonce", base64::encode(&challenge.nonce)),
+        ))
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    if !response.status.is_success() {
+        return Err(CoreError::AttestationFailed(format!(
+            "agent returned {}",
+            response.status.code()
+        )));
+    }
+    let body = response
+        .parse_json()
+        .map_err(|e| CoreError::Encoding(e.to_string()))?;
+    let evidence_bytes =
+        b64_field(&body, "evidence").map_err(CoreError::Encoding)?;
+    let evidence = HostEvidence::decode(&evidence_bytes)?;
+    vm.complete_host_attestation(ias, challenge.id, &evidence, now)
+}
+
+/// Drive VNF enrollment (steps 3–5) against a remote agent.
+pub fn remote_enroll_vnf(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    vnf_name: &str,
+    controller_cn: &str,
+    now: u64,
+) -> Result<vnfguard_pki::Certificate, CoreError> {
+    let challenge = vm.begin_vnf_attestation(host_id, vnf_name, now)?;
+    let stream = network
+        .connect(&format!("agent:{host_id}"))
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    let mut client = vnfguard_net::server::HttpClient::new(stream);
+
+    // Step 3: challenge the enclave through the agent.
+    let response = client
+        .request(
+            &Request::post(&format!("/agent/vnf/{vnf_name}/attest")).with_json(
+                &Json::object()
+                    .with("nonce", base64::encode(&challenge.nonce))
+                    .with("basename", base64::encode(&challenge.nonce)),
+            ),
+        )
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    if !response.status.is_success() {
+        return Err(CoreError::AttestationFailed(format!(
+            "agent returned {}",
+            response.status.code()
+        )));
+    }
+    let body = response
+        .parse_json()
+        .map_err(|e| CoreError::Encoding(e.to_string()))?;
+    let quote = b64_field(&body, "quote").map_err(CoreError::Encoding)?;
+    let provisioning_key =
+        b64_array32(&body, "provisioning_key").map_err(CoreError::Encoding)?;
+
+    // Steps 4-5: verify + generate + wrap, then deliver through the agent.
+    let (wrapped, certificate) = vm.complete_vnf_enrollment(
+        ias,
+        challenge.id,
+        &quote,
+        &provisioning_key,
+        controller_cn,
+        now,
+    )?;
+    let response = client
+        .request(
+            &Request::post(&format!("/agent/vnf/{vnf_name}/provision"))
+                .with_json(&Json::object().with("wrapped", base64::encode(&wrapped))),
+        )
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    if !response.status.is_success() {
+        return Err(CoreError::WorkflowViolation(format!(
+            "provisioning delivery failed: {}",
+            response.status.code()
+        )));
+    }
+    Ok(certificate)
+}
+
+// ---------------------------------------------------------------------------
+// The VM's operator API
+// ---------------------------------------------------------------------------
+
+/// Serve the Verification Manager's operator API on the fabric.
+///
+/// Endpoints:
+/// - `POST /vm/hosts/:id/attest` → `{verdict}`
+/// - `POST /vm/hosts/:id/vnfs/:name/enroll` → `{serial, subject}`
+/// - `POST /vm/revoke` `{serial, reason}` → `{}`
+/// - `GET  /vm/ca` → `{certificate: b64}`
+/// - `GET  /vm/crl` → `{crl: b64}`
+/// - `GET  /vm/status` → summary counts
+pub fn serve_vm_api(
+    network: &Network,
+    address: &str,
+    vm: Arc<Mutex<VerificationManager>>,
+    ias: Arc<Mutex<dyn QuoteVerifier + Send>>,
+    clock: SimClock,
+    controller_cn: &str,
+) -> Result<ServerHandle, CoreError> {
+    let mut router = Router::new();
+    let controller_cn = controller_cn.to_string();
+
+    {
+        let vm = vm.clone();
+        let ias = ias.clone();
+        let clock = clock.clone();
+        let network = network.clone();
+        router.post("/vm/hosts/:id/attest", move |_, params| {
+            let host_id = params.get("id").unwrap_or("");
+            let mut vm = vm.lock();
+            let mut ias = ias.lock();
+            match remote_attest_host(&mut vm, &mut *ias, &network, host_id, clock.now()) {
+                Ok(verdict) => Response::json(
+                    Status::Ok,
+                    &Json::object().with("verdict", format!("{verdict:?}")),
+                ),
+                Err(e) => Response::error(Status::Forbidden, &e.to_string()),
+            }
+        });
+    }
+    {
+        let vm = vm.clone();
+        let ias = ias.clone();
+        let clock = clock.clone();
+        let network = network.clone();
+        let controller_cn = controller_cn.clone();
+        router.post("/vm/hosts/:id/vnfs/:name/enroll", move |_, params| {
+            let host_id = params.get("id").unwrap_or("");
+            let vnf_name = params.get("name").unwrap_or("");
+            let mut vm = vm.lock();
+            let mut ias = ias.lock();
+            match remote_enroll_vnf(
+                &mut vm,
+                &mut *ias,
+                &network,
+                host_id,
+                vnf_name,
+                &controller_cn,
+                clock.now(),
+            ) {
+                Ok(cert) => Response::json(
+                    Status::Ok,
+                    &Json::object()
+                        .with("serial", cert.serial() as i64)
+                        .with("subject", cert.subject_cn()),
+                ),
+                Err(e) => Response::error(Status::Forbidden, &e.to_string()),
+            }
+        });
+    }
+    {
+        let vm = vm.clone();
+        let clock = clock.clone();
+        router.post("/vm/revoke", move |request, _| {
+            let Ok(body) = request.json() else {
+                return Response::error(Status::BadRequest, "invalid JSON");
+            };
+            let Some(serial) = body.get("serial").and_then(Json::as_i64) else {
+                return Response::error(Status::BadRequest, "missing 'serial'");
+            };
+            let mut vm = vm.lock();
+            match vm.revoke_credential(
+                serial as u64,
+                vnfguard_pki::crl::RevocationReason::KeyCompromise,
+                clock.now(),
+            ) {
+                Ok(()) => Response::json(Status::Ok, &Json::object().with("revoked", true)),
+                Err(e) => Response::error(Status::NotFound, &e.to_string()),
+            }
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get("/vm/ca", move |_, _| {
+            let vm = vm.lock();
+            Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("certificate", base64::encode(&vm.ca_certificate().encode())),
+            )
+        });
+    }
+    {
+        let vm = vm.clone();
+        let clock = clock.clone();
+        router.get("/vm/crl", move |_, _| {
+            let vm = vm.lock();
+            Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("crl", base64::encode(&vm.current_crl(clock.now(), 3600).encode())),
+            )
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get("/vm/status", move |_, _| {
+            let vm = vm.lock();
+            Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("issued", vm.issued_count() as i64)
+                    .with("enrollments", vm.enrollments().count() as i64)
+                    .with("events", vm.events().len() as i64),
+            )
+        });
+    }
+
+    let listener = network
+        .listen(address)
+        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+    Ok(serve(listener, PlainUpgrade, router))
+}

@@ -1,0 +1,321 @@
+//! AES-128 / AES-256 block encryption and CTR mode (FIPS 197, SP 800-38A).
+//!
+//! Only the *encryption* direction of the block cipher is implemented: both
+//! CTR and GCM use the forward permutation exclusively. The S-box is derived
+//! from its algebraic definition (multiplicative inverse in GF(2⁸) followed
+//! by the affine transform) rather than transcribed, and pinned by the FIPS
+//! 197 known-answer vectors in the tests.
+//!
+//! This is a table-based implementation; it is not hardened against cache
+//! timing side channels (out of scope for the simulation — see crate docs).
+
+use std::sync::OnceLock;
+
+/// AES block size in bytes.
+pub const BLOCK: usize = 16;
+
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b; // x^8 = x^4 + x^3 + x + 1 (mod the AES polynomial)
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^(2^8 - 2) = a^254 in GF(2^8).
+    let mut result = 1u8;
+    let mut base = a;
+    let mut exp = 254u32;
+    while exp > 0 {
+        if exp & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        exp >>= 1;
+    }
+    result
+}
+
+fn sbox() -> &'static [u8; 256] {
+    static SBOX: OnceLock<[u8; 256]> = OnceLock::new();
+    SBOX.get_or_init(|| {
+        let mut table = [0u8; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let b = gf_inv(i as u8);
+            *slot = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+        }
+        table
+    })
+}
+
+/// Key size variants supported by [`Aes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AesKeySize {
+    Aes128,
+    Aes256,
+}
+
+/// An expanded AES encryption key.
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; BLOCK]>,
+}
+
+impl Aes {
+    /// Expand a 16-byte key (AES-128).
+    pub fn new_128(key: &[u8; 16]) -> Aes {
+        Aes::expand(key, 4, 10)
+    }
+
+    /// Expand a 32-byte key (AES-256).
+    pub fn new_256(key: &[u8; 32]) -> Aes {
+        Aes::expand(key, 8, 14)
+    }
+
+    /// Expand a key of either supported length; panics on other lengths
+    /// (callers own key sizing).
+    pub fn new(key: &[u8]) -> Aes {
+        match key.len() {
+            16 => Aes::new_128(key.try_into().expect("16-byte key")),
+            32 => Aes::new_256(key.try_into().expect("32-byte key")),
+            n => panic!("unsupported AES key length {n}"),
+        }
+    }
+
+    fn expand(key: &[u8], nk: usize, nr: usize) -> Aes {
+        let s = sbox();
+        let total_words = 4 * (nr + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push(key[i * 4..i * 4 + 4].try_into().expect("word"));
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp = [s[temp[1] as usize], s[temp[2] as usize], s[temp[3] as usize], s[temp[0] as usize]];
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                temp = [s[temp[0] as usize], s[temp[1] as usize], s[temp[2] as usize], s[temp[3] as usize]];
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|chunk| {
+                let mut rk = [0u8; BLOCK];
+                for (i, word) in chunk.iter().enumerate() {
+                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK]) {
+        let s = sbox();
+        let rounds = self.round_keys.len() - 1;
+        xor_block(block, &self.round_keys[0]);
+        for round in 1..rounds {
+            sub_bytes(block, s);
+            shift_rows(block);
+            mix_columns(block);
+            xor_block(block, &self.round_keys[round]);
+        }
+        sub_bytes(block, s);
+        shift_rows(block);
+        xor_block(block, &self.round_keys[rounds]);
+    }
+
+    /// Encrypt and return a copy of the block.
+    pub fn encrypt(&self, block: &[u8; BLOCK]) -> [u8; BLOCK] {
+        let mut out = *block;
+        self.encrypt_block(&mut out);
+        out
+    }
+}
+
+fn xor_block(block: &mut [u8; BLOCK], key: &[u8; BLOCK]) {
+    for i in 0..BLOCK {
+        block[i] ^= key[i];
+    }
+}
+
+fn sub_bytes(block: &mut [u8; BLOCK], s: &[u8; 256]) {
+    for b in block.iter_mut() {
+        *b = s[*b as usize];
+    }
+}
+
+// State is column-major: byte index = 4*col + row.
+fn shift_rows(block: &mut [u8; BLOCK]) {
+    let orig = *block;
+    for row in 1..4 {
+        for col in 0..4 {
+            block[4 * col + row] = orig[4 * ((col + row) % 4) + row];
+        }
+    }
+}
+
+fn mix_columns(block: &mut [u8; BLOCK]) {
+    for col in 0..4 {
+        let c = &mut block[4 * col..4 * col + 4];
+        let [a0, a1, a2, a3] = [c[0], c[1], c[2], c[3]];
+        c[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+        c[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+        c[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+        c[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+}
+
+/// AES-CTR keystream application (encrypt == decrypt).
+///
+/// The 16-byte initial counter block is split as 12-byte nonce + 4-byte
+/// big-endian counter, matching the GCM convention.
+pub fn ctr_apply(aes: &Aes, nonce: &[u8; 12], initial_counter: u32, data: &mut [u8]) {
+    let mut counter_block = [0u8; BLOCK];
+    counter_block[..12].copy_from_slice(nonce);
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(BLOCK) {
+        counter_block[12..].copy_from_slice(&counter.to_be_bytes());
+        let keystream = aes.encrypt(&counter_block);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let s = sbox();
+        assert_eq!(s[0x00], 0x63);
+        assert_eq!(s[0x01], 0x7c);
+        assert_eq!(s[0x53], 0xed);
+        assert_eq!(s[0xff], 0x16);
+    }
+
+    #[test]
+    fn sbox_is_permutation() {
+        let s = sbox();
+        let mut seen = [false; 256];
+        for &v in s.iter() {
+            assert!(!seen[v as usize], "duplicate s-box value {v:#x}");
+            seen[v as usize] = true;
+        }
+    }
+
+    // FIPS 197 Appendix C.1.
+    #[test]
+    fn fips197_aes128_vector() {
+        let key: [u8; 16] = (0..16u8).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes::new_128(&key);
+        assert_eq!(hex(&aes.encrypt(&pt)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+    }
+
+    // FIPS 197 Appendix C.3.
+    #[test]
+    fn fips197_aes256_vector() {
+        let key: [u8; 32] = (0..32u8).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        let aes = Aes::new_256(&key);
+        assert_eq!(hex(&aes.encrypt(&pt)), "8ea2b7ca516745bfeafc49904b496089");
+    }
+
+    #[test]
+    fn ctr_roundtrip_and_offsets() {
+        let aes = Aes::new_128(&[7u8; 16]);
+        let nonce = [9u8; 12];
+        let original: Vec<u8> = (0..100u8).collect();
+        let mut data = original.clone();
+        ctr_apply(&aes, &nonce, 1, &mut data);
+        assert_ne!(data, original);
+        ctr_apply(&aes, &nonce, 1, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn ctr_counter_independence() {
+        // Encrypting block N alone must match block N of a longer stream.
+        let aes = Aes::new_128(&[1u8; 16]);
+        let nonce = [2u8; 12];
+        let mut long = vec![0u8; 48];
+        ctr_apply(&aes, &nonce, 1, &mut long);
+        let mut third = vec![0u8; 16];
+        ctr_apply(&aes, &nonce, 3, &mut third);
+        assert_eq!(&long[32..48], &third[..]);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_ciphertexts() {
+        let pt = [0u8; 16];
+        let a = Aes::new_128(&[1u8; 16]).encrypt(&pt);
+        let b = Aes::new_128(&[2u8; 16]).encrypt(&pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported AES key length")]
+    fn rejects_bad_key_length() {
+        let _ = Aes::new(&[0u8; 24]);
+    }
+
+    #[test]
+    fn gf_mul_properties() {
+        // x * 1 = x; distributivity spot checks.
+        for x in 0..=255u8 {
+            assert_eq!(gf_mul(x, 1), x);
+            assert_eq!(gf_mul(x, 0), 0);
+        }
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for x in 1..=255u8 {
+            assert_eq!(gf_mul(x, gf_inv(x)), 1, "inverse of {x:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the record-protection AEAD for the TLS channel and for sealed
+//! SGX blobs. GHASH is implemented over GF(2¹²⁸) with the standard
+//! bit-reflected reduction polynomial.
+
+use crate::aes::{ctr_apply, Aes, BLOCK};
+use crate::ct::ct_eq;
+
+/// Authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+/// Nonce length in bytes (the 96-bit fast path of GCM).
+pub const NONCE_LEN: usize = 12;
+
+/// Failure to authenticate during [`AesGcm::open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeadError;
+
+impl std::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AEAD authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+/// GF(2^128) multiplication, treating blocks as bit-reflected polynomials
+/// per the GCM specification.
+fn ghash_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = y;
+    // Process x from the most significant bit (bit 0 of the GCM ordering).
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            // R = 11100001 || 0^120
+            v ^= 0xe1u128 << 120;
+        }
+    }
+    z
+}
+
+fn block_to_u128(block: &[u8]) -> u128 {
+    let mut padded = [0u8; BLOCK];
+    padded[..block.len()].copy_from_slice(block);
+    u128::from_be_bytes(padded)
+}
+
+/// GHASH over `aad` then `ciphertext`, with the standard length block.
+fn ghash(h: u128, aad: &[u8], ciphertext: &[u8]) -> u128 {
+    let mut y = 0u128;
+    for chunk in aad.chunks(BLOCK) {
+        y = ghash_mul(y ^ block_to_u128(chunk), h);
+    }
+    for chunk in ciphertext.chunks(BLOCK) {
+        y = ghash_mul(y ^ block_to_u128(chunk), h);
+    }
+    let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+    ghash_mul(y ^ lengths, h)
+}
+
+/// An AES-GCM key (AES-128 or AES-256 depending on key length).
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl AesGcm {
+    /// Create from a 16- or 32-byte key.
+    pub fn new(key: &[u8]) -> AesGcm {
+        let aes = Aes::new(key);
+        let h = u128::from_be_bytes(aes.encrypt(&[0u8; BLOCK]));
+        AesGcm { aes, h }
+    }
+
+    fn tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let mut j0 = [0u8; BLOCK];
+        j0[..NONCE_LEN].copy_from_slice(nonce);
+        j0[BLOCK - 1] = 1;
+        let e_j0 = self.aes.encrypt(&j0);
+        let s = ghash(self.h, aad, ciphertext);
+        let tag = s ^ u128::from_be_bytes(e_j0);
+        tag.to_be_bytes()
+    }
+
+    /// Encrypt `plaintext` in place and return the authentication tag.
+    pub fn seal_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+    ) -> [u8; TAG_LEN] {
+        ctr_apply(&self.aes, nonce, 2, data);
+        self.tag(nonce, aad, data)
+    }
+
+    /// Encrypt, returning `ciphertext || tag`.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+        let mut out = plaintext.to_vec();
+        let tag = self.seal_in_place(nonce, aad, &mut out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verify the tag and decrypt in place. On failure the data is left
+    /// encrypted and an error is returned.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        data: &mut [u8],
+        tag: &[u8],
+    ) -> Result<(), AeadError> {
+        let expected = self.tag(nonce, aad, data);
+        if !ct_eq(&expected, tag) {
+            return Err(AeadError);
+        }
+        ctr_apply(&self.aes, nonce, 2, data);
+        Ok(())
+    }
+
+    /// Decrypt `ciphertext || tag` produced by [`AesGcm::seal`].
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        aad: &[u8],
+        sealed: &[u8],
+    ) -> Result<Vec<u8>, AeadError> {
+        if sealed.len() < TAG_LEN {
+            return Err(AeadError);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let mut out = ciphertext.to_vec();
+        self.open_in_place(nonce, aad, &mut out, tag)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // NIST GCM test case 1: zero key, zero nonce, empty everything.
+    #[test]
+    fn nist_case1_empty() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let sealed = gcm.seal(&[0u8; 12], &[], &[]);
+        assert_eq!(hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM test case 2: zero key/nonce, 16 zero bytes of plaintext.
+    #[test]
+    fn nist_case2_one_block() {
+        let gcm = AesGcm::new(&[0u8; 16]);
+        let sealed = gcm.seal(&[0u8; 12], &[], &[0u8; 16]);
+        assert_eq!(
+            hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn roundtrip_various_sizes() {
+        let gcm = AesGcm::new(&[3u8; 32]);
+        let nonce = [5u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 100, 1000] {
+            let pt: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = gcm.seal(&nonce, b"aad", &pt);
+            assert_eq!(sealed.len(), len + TAG_LEN);
+            assert_eq!(gcm.open(&nonce, b"aad", &sealed).unwrap(), pt, "len {len}");
+        }
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let gcm = AesGcm::new(&[1u8; 16]);
+        let nonce = [0u8; 12];
+        let sealed = gcm.seal(&nonce, b"header", b"secret credential");
+        // Flip each byte in turn: every position must break authentication.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x80;
+            assert!(gcm.open(&nonce, b"header", &bad).is_err(), "byte {i}");
+        }
+        // Wrong AAD.
+        assert!(gcm.open(&nonce, b"Header", &sealed).is_err());
+        // Wrong nonce.
+        assert!(gcm.open(&[1u8; 12], b"header", &sealed).is_err());
+        // Truncated.
+        assert!(gcm.open(&nonce, b"header", &sealed[..TAG_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn open_in_place_leaves_data_on_failure() {
+        let gcm = AesGcm::new(&[1u8; 16]);
+        let nonce = [0u8; 12];
+        let mut data = b"some plaintext bytes".to_vec();
+        let tag = gcm.seal_in_place(&nonce, &[], &mut data);
+        let ciphertext_copy = data.clone();
+        let mut bad_tag = tag;
+        bad_tag[0] ^= 1;
+        assert!(gcm.open_in_place(&nonce, &[], &mut data, &bad_tag).is_err());
+        assert_eq!(data, ciphertext_copy, "failed open must not decrypt");
+        gcm.open_in_place(&nonce, &[], &mut data, &tag).unwrap();
+        assert_eq!(data, b"some plaintext bytes");
+    }
+
+    #[test]
+    fn ghash_mul_algebra() {
+        // Commutativity and the identity element (x^0 reflected = MSB-first 1).
+        let one = 1u128 << 127;
+        for (a, b) in [(3u128, 7u128), (u128::MAX, 12345), (1 << 127, 1)] {
+            assert_eq!(ghash_mul(a, b), ghash_mul(b, a));
+            assert_eq!(ghash_mul(a, one), a);
+        }
+        assert_eq!(ghash_mul(0, 12345), 0);
+    }
+
+    #[test]
+    fn aes256_gcm_roundtrip() {
+        let gcm = AesGcm::new(&[9u8; 32]);
+        let sealed = gcm.seal(&[1u8; 12], &[], b"top secret");
+        assert_eq!(gcm.open(&[1u8; 12], &[], &sealed).unwrap(), b"top secret");
+    }
+}

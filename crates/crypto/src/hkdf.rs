@@ -1,0 +1,131 @@
+//! HKDF (RFC 5869) over HMAC-SHA-256.
+//!
+//! The TLS key schedule (`crates/tls`), SGX sealing-key derivation
+//! (`crates/sgx`) and credential provisioning all derive their keys here.
+
+use crate::hmac::{hmac_sha256, HmacSha256};
+use crate::sha2::SHA256_LEN;
+
+/// HKDF-Extract: compress input keying material into a pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; SHA256_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: stretch a pseudorandom key into `len` bytes of output
+/// keying material bound to `info`.
+///
+/// Panics if `len > 255 * 32` (RFC 5869 limit) — a programming error, since
+/// all callers request fixed small lengths.
+pub fn expand(prk: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    assert!(len <= 255 * SHA256_LEN, "HKDF-Expand length limit exceeded");
+    let mut okm = Vec::with_capacity(len);
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    while okm.len() < len {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&previous).update(info).update(&[counter]);
+        let block = mac.finalize();
+        let take = (len - okm.len()).min(SHA256_LEN);
+        okm.extend_from_slice(&block[..take]);
+        previous = block.to_vec();
+        counter = counter.saturating_add(1);
+    }
+    okm
+}
+
+/// Extract-then-expand convenience.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    expand(&extract(salt, ikm), info, len)
+}
+
+/// TLS-1.3-style labeled expansion: binds a protocol label and transcript
+/// hash into the derivation info, preventing cross-protocol key reuse.
+pub fn expand_label(prk: &[u8], label: &str, context: &[u8], len: usize) -> Vec<u8> {
+    let mut info = Vec::with_capacity(16 + label.len() + context.len());
+    info.extend_from_slice(&(len as u16).to_be_bytes());
+    let full_label = format!("vnfguard tls {label}");
+    info.push(full_label.len() as u8);
+    info.extend_from_slice(full_label.as_bytes());
+    info.push(context.len() as u8);
+    info.extend_from_slice(context);
+    expand(prk, &info, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    // RFC 5869 test case 3: zero-length salt and info.
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn expand_lengths() {
+        let prk = extract(b"salt", b"ikm");
+        for len in [0usize, 1, 31, 32, 33, 64, 100, 255 * 32] {
+            assert_eq!(expand(&prk, b"info", len).len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length limit")]
+    fn expand_rejects_oversize() {
+        let _ = expand(&[0u8; 32], b"", 255 * 32 + 1);
+    }
+
+    #[test]
+    fn labels_separate_keys() {
+        let prk = extract(b"salt", b"ikm");
+        let a = expand_label(&prk, "client key", b"ctx", 32);
+        let b = expand_label(&prk, "server key", b"ctx", 32);
+        let c = expand_label(&prk, "client key", b"other", 32);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Deterministic.
+        assert_eq!(a, expand_label(&prk, "client key", b"ctx", 32));
+    }
+
+    #[test]
+    fn expand_prefix_property() {
+        // The first N bytes of a longer expansion equal a shorter expansion.
+        let prk = extract(b"s", b"i");
+        let long = expand(&prk, b"x", 64);
+        let short = expand(&prk, b"x", 40);
+        assert_eq!(&long[..40], &short[..]);
+    }
+}

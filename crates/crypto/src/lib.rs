@@ -1,0 +1,51 @@
+//! # vnfguard-crypto
+//!
+//! From-scratch cryptographic primitives for the vnfguard workspace:
+//!
+//! - [`sha2`] — SHA-256 / SHA-512 (constants derived, not transcribed)
+//! - [`hmac`] — HMAC over both hashes
+//! - [`hkdf`] — HKDF and the TLS-style labeled expansion
+//! - [`aes`] / [`gcm`] — AES-128/256 in CTR and GCM modes
+//! - [`chacha`] — ChaCha20-Poly1305
+//! - [`x25519`] — Diffie–Hellman key agreement
+//! - [`ed25519`] — signatures
+//! - [`drbg`] — HMAC-DRBG and OS entropy
+//! - [`ct`] — constant-time comparison and wiping
+//! - [`mpint`] — the bignum helper backing scalar arithmetic and constant
+//!   derivation
+//!
+//! Every primitive is pinned by the published test vectors of its RFC/NIST
+//! specification, and the Curve25519 field arithmetic is additionally
+//! cross-checked against the bignum reference by property tests.
+//!
+//! ## Threat model of the simulation
+//!
+//! This crate exists so the reproduction of *Safeguarding VNF Credentials
+//! with Intel SGX* is fully self-contained. It provides **functional**
+//! correctness (interoperable algorithms, correct rejection of invalid
+//! inputs, constant-time tag/key comparison) but does **not** claim
+//! side-channel resistance: table-based AES and variable-time scalar
+//! multiplication are acceptable in a simulator whose adversary is modeled
+//! at the protocol layer, not the microarchitectural layer. A production
+//! deployment would swap this crate for a vetted implementation behind the
+//! same API.
+
+pub mod aes;
+pub mod chacha;
+pub mod ct;
+pub mod drbg;
+pub mod ed25519;
+pub mod field25519;
+pub mod gcm;
+pub mod hkdf;
+pub mod hmac;
+pub mod mpint;
+pub mod sha2;
+pub mod util;
+pub mod x25519;
+
+pub use ct::ct_eq;
+pub use drbg::{HmacDrbg, SecureRandom, SystemEntropy};
+pub use ed25519::{SigningKey, VerifyingKey};
+pub use gcm::{AeadError, AesGcm};
+pub use sha2::{sha256, sha512, Sha256, Sha512};

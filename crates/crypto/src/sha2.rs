@@ -1,0 +1,448 @@
+//! SHA-256 and SHA-512 (FIPS 180-4).
+//!
+//! The round constants and initial hash values are *derived at first use*
+//! from their definition — the fractional parts of the square and cube roots
+//! of the first primes — using exact integer arithmetic ([`crate::mpint`]),
+//! instead of being transcribed from the standard. The published test
+//! vectors in the test module pin the derivation to the real constants.
+
+use crate::mpint::MpInt;
+use std::sync::OnceLock;
+
+/// Digest size of SHA-256 in bytes.
+pub const SHA256_LEN: usize = 32;
+/// Digest size of SHA-512 in bytes.
+pub const SHA512_LEN: usize = 64;
+/// Block (chunk) size of SHA-256 in bytes.
+pub const SHA256_BLOCK: usize = 64;
+/// Block (chunk) size of SHA-512 in bytes.
+pub const SHA512_BLOCK: usize = 128;
+
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut candidate = 2u64;
+    while out.len() < n {
+        if out.iter().all(|&p| !candidate.is_multiple_of(p)) {
+            out.push(candidate);
+        }
+        candidate += 1;
+    }
+    out
+}
+
+/// First `frac_bits` bits of the fractional part of sqrt(p).
+fn sqrt_frac(p: u64, frac_bits: usize) -> u64 {
+    // floor(sqrt(p * 2^(2*frac_bits))) = floor(sqrt(p) * 2^frac_bits);
+    // the low `frac_bits` bits are the fractional part.
+    let scaled = MpInt::from_u64(p).shl(2 * frac_bits);
+    let root = scaled.isqrt();
+    let mask_bits = root.rem(&MpInt::from_u64(1).shl(frac_bits).clone());
+    mask_bits.low_u64()
+}
+
+/// First `frac_bits` bits of the fractional part of cbrt(p).
+fn cbrt_frac(p: u64, frac_bits: usize) -> u64 {
+    let scaled = MpInt::from_u64(p).shl(3 * frac_bits);
+    let root = scaled.icbrt();
+    let mask_bits = root.rem(&MpInt::from_u64(1).shl(frac_bits).clone());
+    mask_bits.low_u64()
+}
+
+struct Consts256 {
+    h: [u32; 8],
+    k: [u32; 64],
+}
+
+struct Consts512 {
+    h: [u64; 8],
+    k: [u64; 80],
+}
+
+fn consts256() -> &'static Consts256 {
+    static CONSTS: OnceLock<Consts256> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let ps = primes(64);
+        let mut h = [0u32; 8];
+        for i in 0..8 {
+            h[i] = sqrt_frac(ps[i], 32) as u32;
+        }
+        let mut k = [0u32; 64];
+        for i in 0..64 {
+            k[i] = cbrt_frac(ps[i], 32) as u32;
+        }
+        Consts256 { h, k }
+    })
+}
+
+fn consts512() -> &'static Consts512 {
+    static CONSTS: OnceLock<Consts512> = OnceLock::new();
+    CONSTS.get_or_init(|| {
+        let ps = primes(80);
+        let mut h = [0u64; 8];
+        for i in 0..8 {
+            h[i] = sqrt_frac(ps[i], 64);
+        }
+        let mut k = [0u64; 80];
+        for i in 0..80 {
+            k[i] = cbrt_frac(ps[i], 64);
+        }
+        Consts512 { h, k }
+    })
+}
+
+/// Incremental SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; SHA256_BLOCK],
+    buffered: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: consts256().h,
+            buffer: [0; SHA256_BLOCK],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorb more input.
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buffered > 0 {
+            let take = (SHA256_BLOCK - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == SHA256_BLOCK {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= SHA256_BLOCK {
+            let block: [u8; SHA256_BLOCK] = data[..SHA256_BLOCK].try_into().expect("block");
+            self.compress(&block);
+            data = &data[SHA256_BLOCK..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+        self
+    }
+
+    /// Finish and produce the digest.
+    pub fn finalize(mut self) -> [u8; SHA256_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit length.
+        self.update(&[0x80]);
+        while self.buffered != SHA256_BLOCK - 8 {
+            self.update(&[0]);
+        }
+        // Manual write of the length (update would count it).
+        self.buffer[SHA256_BLOCK - 8..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; SHA256_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; SHA256_BLOCK]) {
+        let k = &consts256().k;
+        let mut w = [0u32; 64];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("word"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256.
+pub fn sha256(data: &[u8]) -> [u8; SHA256_LEN] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Incremental SHA-512 hasher.
+#[derive(Clone)]
+pub struct Sha512 {
+    state: [u64; 8],
+    buffer: [u8; SHA512_BLOCK],
+    buffered: usize,
+    total_len: u128,
+}
+
+impl Default for Sha512 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha512 {
+    pub fn new() -> Sha512 {
+        Sha512 {
+            state: consts512().h,
+            buffer: [0; SHA512_BLOCK],
+            buffered: 0,
+            total_len: 0,
+        }
+    }
+
+    pub fn update(&mut self, mut data: &[u8]) -> &mut Self {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        if self.buffered > 0 {
+            let take = (SHA512_BLOCK - self.buffered).min(data.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&data[..take]);
+            self.buffered += take;
+            data = &data[take..];
+            if self.buffered == SHA512_BLOCK {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while data.len() >= SHA512_BLOCK {
+            let block: [u8; SHA512_BLOCK] = data[..SHA512_BLOCK].try_into().expect("block");
+            self.compress(&block);
+            data = &data[SHA512_BLOCK..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffered = data.len();
+        }
+        self
+    }
+
+    pub fn finalize(mut self) -> [u8; SHA512_LEN] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buffered != SHA512_BLOCK - 16 {
+            self.update(&[0]);
+        }
+        self.buffer[SHA512_BLOCK - 16..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
+
+        let mut out = [0u8; SHA512_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; SHA512_BLOCK]) {
+        let k = &consts512().k;
+        let mut w = [0u64; 80];
+        for i in 0..16 {
+            w[i] = u64::from_be_bytes(block[i * 8..i * 8 + 8].try_into().expect("word"));
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-512.
+pub fn sha512(data: &[u8]) -> [u8; SHA512_LEN] {
+    let mut h = Sha512::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // FIPS 180-4 / NIST CAVP published vectors.
+    #[test]
+    fn sha256_empty() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message() {
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha256(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn sha512_empty() {
+        assert_eq!(
+            hex(&sha512(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn sha512_abc() {
+        assert_eq!(
+            hex(&sha512(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(char::is_whitespace, "")
+                .as_str()
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        // Feed in awkward chunk sizes crossing block boundaries.
+        for chunk in [1usize, 3, 63, 64, 65, 127, 128, 129, 500] {
+            let mut h = Sha256::new();
+            for part in data.chunks(chunk) {
+                h.update(part);
+            }
+            assert_eq!(h.finalize(), sha256(&data), "chunk size {chunk}");
+
+            let mut h = Sha512::new();
+            for part in data.chunks(chunk) {
+                h.update(part);
+            }
+            assert_eq!(h.finalize(), sha512(&data), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn length_padding_boundaries() {
+        // Hash inputs around the padding boundary (55/56/64 bytes for SHA-256).
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xabu8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            // Just ensure distinct lengths give distinct digests and one-shot
+            // matches incremental; the KATs above pin correctness.
+            assert_eq!(h.finalize(), sha256(&data));
+        }
+    }
+
+    #[test]
+    fn derived_constants_match_fips() {
+        // Spot-check the first derived constants against FIPS 180-4 values.
+        let c = consts256();
+        assert_eq!(c.h[0], 0x6a09e667);
+        assert_eq!(c.h[7], 0x5be0cd19);
+        assert_eq!(c.k[0], 0x428a2f98);
+        assert_eq!(c.k[63], 0xc67178f2);
+        let c = consts512();
+        assert_eq!(c.h[0], 0x6a09e667f3bcc908);
+        assert_eq!(c.k[0], 0x428a2f98d728ae22);
+        assert_eq!(c.k[79], 0x6c44198c4a475817);
+    }
+}

@@ -1,0 +1,35 @@
+//! Small shared helpers.
+
+use crate::sha2::sha256;
+
+/// Short hex fingerprint (first 8 bytes of SHA-256) for log/debug output.
+/// Never used for security decisions — full digests are compared there.
+pub fn fingerprint_hex(data: &[u8]) -> String {
+    sha256(data)[..8]
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect()
+}
+
+/// Hex-encode arbitrary bytes (lowercase).
+pub fn to_hex(data: &[u8]) -> String {
+    data.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_short() {
+        let a = fingerprint_hex(b"hello");
+        assert_eq!(a.len(), 16);
+        assert_eq!(a, fingerprint_hex(b"hello"));
+        assert_ne!(a, fingerprint_hex(b"world"));
+    }
+
+    #[test]
+    fn hex_encoding() {
+        assert_eq!(to_hex(&[0xde, 0xad]), "dead");
+    }
+}

@@ -1,0 +1,48 @@
+//! # vnfguard-dataplane
+//!
+//! The forwarding plane of the simulated SDN deployment: packet wire
+//! formats (Ethernet / IPv4 / UDP / TCP), OpenFlow-style match/action flow
+//! tables, and a learning/flow-driven switch.
+//!
+//! The VNFs of `vnfguard-vnf` process these packets (firewall, NAT, load
+//! balancer); the controller of `vnfguard-controller` programs the flow
+//! tables over its north-bound REST API — the interface whose credentials
+//! the paper protects. Experiment **E7** runs packet processing inside and
+//! outside the enclave model to reproduce the overhead question raised by
+//! the paper's discussion of Coughlin et al.
+//!
+//! Wire formats follow the smoltcp philosophy: explicit parsing with
+//! validation, no panics on untrusted input, emission via builders.
+
+pub mod flow;
+pub mod switch;
+pub mod wire;
+
+pub use flow::{FlowAction, FlowEntry, FlowKey, FlowMatch, FlowTable};
+pub use switch::Switch;
+pub use wire::{EthernetFrame, Ipv4Packet, MacAddr, Protocol, TcpSegment, UdpDatagram};
+
+/// Errors from packet parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Buffer shorter than the header requires.
+    Truncated { needed: usize, got: usize },
+    /// A field held an unsupported value.
+    Unsupported(&'static str),
+    /// Header checksum did not verify.
+    BadChecksum,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated packet: needed {needed} bytes, got {got}")
+            }
+            ParseError::Unsupported(what) => write!(f, "unsupported {what}"),
+            ParseError::BadChecksum => write!(f, "bad header checksum"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,138 @@
+//! Standard base64 (RFC 4648) with padding.
+//!
+//! Used for embedding binary blobs (quotes, sealed keys, signatures) inside
+//! JSON documents exchanged on the REST interfaces.
+
+use crate::EncodingError;
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encode bytes as standard padded base64.
+///
+/// ```
+/// assert_eq!(vnfguard_encoding::base64::encode(b"hi"), "aGk=");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = *chunk.get(1).unwrap_or(&0) as u32;
+        let b2 = *chunk.get(2).unwrap_or(&0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(n >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 0x3f] as char);
+        out.push(if chunk.len() > 1 {
+            ALPHABET[(n >> 6) as usize & 0x3f] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            ALPHABET[n as usize & 0x3f] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decode standard base64, requiring correct padding.
+pub fn decode(s: &str) -> Result<Vec<u8>, EncodingError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(4) {
+        return Err(EncodingError::InvalidLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 4 * 3);
+    for (ci, chunk) in bytes.chunks_exact(4).enumerate() {
+        let last_chunk = ci == bytes.len() / 4 - 1;
+        let pad = chunk.iter().rev().take_while(|&&b| b == b'=').count();
+        if pad > 2 || (pad > 0 && !last_chunk) {
+            return Err(EncodingError::Malformed("padding in interior".into()));
+        }
+        let mut n: u32 = 0;
+        for (i, &b) in chunk.iter().enumerate() {
+            let v = if b == b'=' && i >= 4 - pad {
+                0
+            } else {
+                sextet(b).ok_or(EncodingError::InvalidCharacter {
+                    position: ci * 4 + i,
+                    byte: b,
+                })?
+            };
+            n = (n << 6) | v as u32;
+        }
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Ok(out)
+}
+
+fn sextet(b: u8) -> Option<u8> {
+    match b {
+        b'A'..=b'Z' => Some(b - b'A'),
+        b'a'..=b'z' => Some(b - b'a' + 26),
+        b'0'..=b'9' => Some(b - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", ""),
+            ("f", "Zg=="),
+            ("fo", "Zm8="),
+            ("foo", "Zm9v"),
+            ("foob", "Zm9vYg=="),
+            ("fooba", "Zm9vYmE="),
+            ("foobar", "Zm9vYmFy"),
+        ];
+        for (plain, encoded) in cases {
+            assert_eq!(encode(plain.as_bytes()), *encoded, "encode {plain}");
+            assert_eq!(
+                decode(encoded).unwrap(),
+                plain.as_bytes(),
+                "decode {encoded}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert!(matches!(
+            decode("abc"),
+            Err(EncodingError::InvalidLength(3))
+        ));
+    }
+
+    #[test]
+    fn rejects_interior_padding() {
+        assert!(decode("Zg==Zg==").is_err());
+        assert!(decode("Z===").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_character() {
+        assert!(matches!(
+            decode("Zm9!"),
+            Err(EncodingError::InvalidCharacter { position: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn roundtrip_binary() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1021).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,109 @@
+//! Lowercase hexadecimal encoding and decoding.
+//!
+//! Used pervasively for digests, enclave measurements and key fingerprints.
+//! Decoding accepts both upper- and lowercase input; encoding always emits
+//! lowercase, matching the convention of Linux IMA measurement lists and the
+//! Intel Attestation Service report fields.
+
+use crate::EncodingError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode `data` as a lowercase hex string.
+///
+/// ```
+/// assert_eq!(vnfguard_encoding::hex::encode(&[0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (case-insensitive) into bytes.
+///
+/// Returns [`EncodingError::InvalidLength`] for odd-length input and
+/// [`EncodingError::InvalidCharacter`] for non-hex bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, EncodingError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(EncodingError::InvalidLength(bytes.len()));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = nibble(pair[0]).ok_or(EncodingError::InvalidCharacter {
+            position: i * 2,
+            byte: pair[0],
+        })?;
+        let lo = nibble(pair[1]).ok_or(EncodingError::InvalidCharacter {
+            position: i * 2 + 1,
+            byte: pair[1],
+        })?;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+/// Decode into a fixed-size array, checking the exact length.
+pub fn decode_array<const N: usize>(s: &str) -> Result<[u8; N], EncodingError> {
+    let v = decode(s)?;
+    let got = v.len();
+    v.try_into().map_err(|_| EncodingError::InvalidLength(got))
+}
+
+fn nibble(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_lowercase() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decodes_mixed_case() {
+        assert_eq!(decode("DeadBEEF").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(EncodingError::InvalidLength(3)));
+    }
+
+    #[test]
+    fn rejects_bad_character_with_position() {
+        assert_eq!(
+            decode("00zz"),
+            Err(EncodingError::InvalidCharacter {
+                position: 2,
+                byte: b'z'
+            })
+        );
+    }
+
+    #[test]
+    fn decode_array_checks_length() {
+        let arr: [u8; 2] = decode_array("beef").unwrap();
+        assert_eq!(arr, [0xbe, 0xef]);
+        assert!(decode_array::<4>("beef").is_err());
+    }
+
+    #[test]
+    fn roundtrip_all_bytes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

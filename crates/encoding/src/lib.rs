@@ -1,0 +1,67 @@
+//! # vnfguard-encoding
+//!
+//! Self-contained codecs used across the vnfguard workspace: hexadecimal,
+//! base64, a JSON document model with parser and serializer, and a binary
+//! TLV (type-length-value) format used for wire structures such as
+//! certificates, SGX quotes and IMA measurement lists.
+//!
+//! Everything here is implemented from scratch on top of `std` so that the
+//! workspace has no external serialization dependencies (see DESIGN.md §2).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use vnfguard_encoding::json::{Json, parse};
+//!
+//! let doc = parse(r#"{"name":"vnf-1","port":6653,"tags":["fw","edge"]}"#).unwrap();
+//! assert_eq!(doc.get("name").and_then(Json::as_str), Some("vnf-1"));
+//! assert_eq!(doc.get("port").and_then(Json::as_i64), Some(6653));
+//! ```
+
+pub mod base64;
+pub mod hex;
+pub mod json;
+pub mod tlv;
+
+pub use json::Json;
+pub use tlv::{TlvReader, TlvWriter};
+
+/// Errors produced by the codecs in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodingError {
+    /// Input contained a byte that is not valid for the codec.
+    InvalidCharacter { position: usize, byte: u8 },
+    /// Input ended before a complete unit was decoded.
+    UnexpectedEnd,
+    /// Input has a length that the codec cannot accept (e.g. odd hex length).
+    InvalidLength(usize),
+    /// Structured document error with a human-readable description.
+    Malformed(String),
+    /// A declared length exceeds the remaining input (TLV).
+    LengthOverrun { declared: usize, available: usize },
+    /// Nesting deeper than the parser's safety limit.
+    TooDeep(usize),
+}
+
+impl std::fmt::Display for EncodingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodingError::InvalidCharacter { position, byte } => {
+                write!(f, "invalid byte 0x{byte:02x} at position {position}")
+            }
+            EncodingError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            EncodingError::InvalidLength(n) => write!(f, "invalid input length {n}"),
+            EncodingError::Malformed(msg) => write!(f, "malformed document: {msg}"),
+            EncodingError::LengthOverrun {
+                declared,
+                available,
+            } => write!(
+                f,
+                "declared length {declared} exceeds available {available} bytes"
+            ),
+            EncodingError::TooDeep(depth) => write!(f, "nesting deeper than limit {depth}"),
+        }
+    }
+}
+
+impl std::error::Error for EncodingError {}

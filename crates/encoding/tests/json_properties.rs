@@ -1,0 +1,64 @@
+//! Property tests: every JSON value the model can represent serializes and
+//! re-parses to itself, and the parser never panics on arbitrary input.
+
+use proptest::prelude::*;
+use vnfguard_encoding::json::{parse, Json};
+
+/// Strategy for arbitrary JSON values of bounded depth/size.
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        any::<i64>().prop_map(Json::Int),
+        // Finite floats only: NaN/inf serialize as null by design.
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Json::Float),
+        "[ -~]{0,20}".prop_map(Json::Str), // printable ASCII
+        "\\PC{0,8}".prop_map(Json::Str),   // arbitrary printable unicode
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6).prop_map(|fields| {
+                // Deduplicate keys: objects keep one value per key.
+                let mut object = Json::object();
+                for (key, value) in fields {
+                    object.set(&key, value);
+                }
+                object
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip(value in arb_json()) {
+        let text = value.to_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("failed to parse {text:?}: {e}"));
+        prop_assert_eq!(reparsed, value);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(input in proptest::collection::vec(any::<u8>(), 0..200)) {
+        if let Ok(text) = std::str::from_utf8(&input) {
+            let _ = parse(text);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(value in arb_json()) {
+        // Serialization is canonical: parse(serialize(x)) serializes the same.
+        let once = value.to_string();
+        let twice = parse(&once).unwrap().to_string();
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,53 @@
+//! # vnfguard-ima
+//!
+//! A model of the Linux Integrity Measurement Architecture (IMA).
+//!
+//! The paper's container host runs IMA: "The integrity measurement list is
+//! produced by the Linux Integrity Measurement subsystem, which allows to
+//! collect measurements of certain files (the measurement targets are
+//! configured by the administrator in a policy file)" (§2). This crate
+//! reproduces the pieces the Verification Manager consumes:
+//!
+//! - [`policy`] — administrator-configured measurement rules;
+//! - [`list`] — the measurement list in `ima-ng` template form, with the
+//!   PCR-10-style running aggregate and boot aggregate;
+//! - [`appraisal`] — reference-value databases and list appraisal (the
+//!   Verification Manager side);
+//! - [`tpm`] — the paper's *future work* extension: a simulated TPM that
+//!   anchors the aggregate in a hardware root of trust, so an adversary
+//!   with root cannot rewrite history undetected.
+
+pub mod appraisal;
+pub mod list;
+pub mod policy;
+pub mod tpm;
+
+pub use appraisal::{AppraisalResult, ReferenceDatabase, Verdict};
+pub use list::{ImaEntry, MeasurementList};
+pub use policy::{ImaPolicy, MeasureEvent, PolicyRule};
+pub use tpm::SimTpm;
+
+/// Errors from IMA structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImaError {
+    Encoding(String),
+    /// TPM quote verification failed.
+    BadTpmQuote,
+}
+
+impl std::fmt::Display for ImaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImaError::Encoding(msg) => write!(f, "encoding: {msg}"),
+            ImaError::BadTpmQuote => write!(f, "TPM quote verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for ImaError {}
+
+impl From<vnfguard_encoding::EncodingError> for ImaError {
+    fn from(e: vnfguard_encoding::EncodingError) -> ImaError {
+        ImaError::Encoding(e.to_string())
+    }
+}

@@ -1,0 +1,295 @@
+//! The IMA measurement list (`ima-ng` template) and its running aggregate.
+
+use crate::ImaError;
+use vnfguard_crypto::sha2::{sha256, Sha256};
+use vnfguard_encoding::{TlvReader, TlvWriter};
+
+const TAG_ENTRY: u8 = 0x90;
+const TAG_PCR: u8 = 0x91;
+const TAG_TEMPLATE_HASH: u8 = 0x92;
+const TAG_FILEDATA_HASH: u8 = 0x93;
+const TAG_PATH: u8 = 0x94;
+
+/// PCR index IMA extends by default.
+pub const IMA_PCR: u8 = 10;
+
+/// The digest recorded for a measurement-violation entry (IMA records
+/// all-zero digests when a file changes while open, making violations
+/// detectable by verifiers).
+pub const VIOLATION_DIGEST: [u8; 32] = [0u8; 32];
+
+/// One `ima-ng`-style measurement entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImaEntry {
+    pub pcr: u8,
+    /// Hash over the template data (what actually extends the PCR).
+    pub template_hash: [u8; 32],
+    /// Hash of the measured file content.
+    pub filedata_hash: [u8; 32],
+    /// Hint path ("eventname").
+    pub path: String,
+}
+
+impl ImaEntry {
+    fn template_hash_for(filedata_hash: &[u8; 32], path: &str) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(b"ima-ng");
+        h.update(filedata_hash);
+        h.update(path.as_bytes());
+        h.finalize()
+    }
+
+    /// Is this a measurement-violation entry?
+    pub fn is_violation(&self) -> bool {
+        self.filedata_hash == VIOLATION_DIGEST
+    }
+
+    fn encode_into(&self, w: &mut TlvWriter) {
+        w.nested(TAG_ENTRY, |inner| {
+            inner
+                .u8(TAG_PCR, self.pcr)
+                .bytes(TAG_TEMPLATE_HASH, &self.template_hash)
+                .bytes(TAG_FILEDATA_HASH, &self.filedata_hash)
+                .string(TAG_PATH, &self.path);
+        });
+    }
+
+    fn decode_from(r: &mut TlvReader) -> Result<ImaEntry, ImaError> {
+        let mut er = r.expect_nested(TAG_ENTRY)?;
+        let entry = ImaEntry {
+            pcr: er.expect_u8(TAG_PCR)?,
+            template_hash: er.expect_array::<32>(TAG_TEMPLATE_HASH)?,
+            filedata_hash: er.expect_array::<32>(TAG_FILEDATA_HASH)?,
+            path: er.expect_string(TAG_PATH)?,
+        };
+        er.finish()?;
+        Ok(entry)
+    }
+}
+
+/// The kernel's in-memory measurement list plus the running aggregate.
+#[derive(Debug, Clone)]
+pub struct MeasurementList {
+    entries: Vec<ImaEntry>,
+    aggregate: [u8; 32],
+}
+
+impl MeasurementList {
+    /// Start a list with the boot aggregate as entry zero (as IMA does),
+    /// computed over a description of the boot state.
+    pub fn new(boot_state: &[u8]) -> MeasurementList {
+        let mut list = MeasurementList {
+            entries: Vec::new(),
+            aggregate: [0u8; 32],
+        };
+        let boot_digest = sha256(boot_state);
+        list.push_measurement("boot_aggregate", &boot_digest);
+        list
+    }
+
+    fn extend_aggregate(&mut self, template_hash: &[u8; 32]) {
+        // PCR extend semantics: new = H(old || template_hash).
+        let mut h = Sha256::new();
+        h.update(&self.aggregate);
+        h.update(template_hash);
+        self.aggregate = h.finalize();
+    }
+
+    fn push_measurement(&mut self, path: &str, filedata_hash: &[u8; 32]) {
+        let template_hash = ImaEntry::template_hash_for(filedata_hash, path);
+        let entry = ImaEntry {
+            pcr: IMA_PCR,
+            template_hash,
+            filedata_hash: *filedata_hash,
+            path: path.to_string(),
+        };
+        self.extend_aggregate(&entry.template_hash);
+        self.entries.push(entry);
+    }
+
+    /// Measure a file's content under its path.
+    pub fn measure_file(&mut self, path: &str, content: &[u8]) {
+        let digest = sha256(content);
+        self.push_measurement(path, &digest);
+    }
+
+    /// Record a measurement violation for `path`.
+    pub fn record_violation(&mut self, path: &str) {
+        let digest = VIOLATION_DIGEST;
+        self.push_measurement(path, &digest);
+    }
+
+    pub fn entries(&self) -> &[ImaEntry] {
+        &self.entries
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The current aggregate (what PCR-10 would hold).
+    pub fn aggregate(&self) -> [u8; 32] {
+        self.aggregate
+    }
+
+    /// Recompute the aggregate from the entries; used by verifiers to check
+    /// list-internal consistency.
+    pub fn recompute_aggregate(entries: &[ImaEntry]) -> [u8; 32] {
+        let mut aggregate = [0u8; 32];
+        for entry in entries {
+            let mut h = Sha256::new();
+            h.update(&aggregate);
+            h.update(&entry.template_hash);
+            aggregate = h.finalize();
+        }
+        aggregate
+    }
+
+    /// Validate each entry's template hash and the aggregate chain.
+    pub fn verify_consistency(&self) -> bool {
+        for entry in &self.entries {
+            if entry.template_hash != ImaEntry::template_hash_for(&entry.filedata_hash, &entry.path)
+            {
+                return false;
+            }
+        }
+        Self::recompute_aggregate(&self.entries) == self.aggregate
+    }
+
+    /// A digest over the full encoded list — this is what the integrity
+    /// attestation enclave embeds into its quote's report data, binding the
+    /// transmitted list to the attestation.
+    pub fn digest(&self) -> [u8; 32] {
+        sha256(&self.encode())
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        for entry in &self.entries {
+            entry.encode_into(&mut w);
+        }
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<MeasurementList, ImaError> {
+        let mut r = TlvReader::new(bytes);
+        let mut entries = Vec::new();
+        while !r.is_empty() {
+            entries.push(ImaEntry::decode_from(&mut r)?);
+        }
+        let aggregate = Self::recompute_aggregate(&entries);
+        Ok(MeasurementList { entries, aggregate })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MeasurementList {
+        let mut list = MeasurementList::new(b"kernel-4.4.0-51-generic");
+        list.measure_file("/usr/bin/dockerd", b"dockerd binary v1.12.2");
+        list.measure_file("/usr/bin/vnf-firewall", b"firewall code");
+        list
+    }
+
+    #[test]
+    fn boot_aggregate_is_first() {
+        let list = MeasurementList::new(b"boot");
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.entries()[0].path, "boot_aggregate");
+    }
+
+    #[test]
+    fn aggregate_changes_with_each_measurement() {
+        let mut list = MeasurementList::new(b"boot");
+        let a0 = list.aggregate();
+        list.measure_file("/bin/a", b"x");
+        let a1 = list.aggregate();
+        list.measure_file("/bin/b", b"y");
+        let a2 = list.aggregate();
+        assert_ne!(a0, a1);
+        assert_ne!(a1, a2);
+    }
+
+    #[test]
+    fn consistency_verification() {
+        let list = sample();
+        assert!(list.verify_consistency());
+    }
+
+    #[test]
+    fn tampered_entry_breaks_consistency() {
+        let mut list = sample();
+        // Adversary rewrites a recorded digest to hide a malicious binary.
+        list.entries[1].filedata_hash = sha256(b"malicious content");
+        assert!(!list.verify_consistency());
+        // Even fixing the template hash leaves the aggregate broken.
+        list.entries[1].template_hash =
+            ImaEntry::template_hash_for(&list.entries[1].filedata_hash, &list.entries[1].path);
+        assert!(!list.verify_consistency());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = MeasurementList::new(b"boot");
+        a.measure_file("/bin/a", b"x");
+        a.measure_file("/bin/b", b"y");
+        let mut b = MeasurementList::new(b"boot");
+        b.measure_file("/bin/b", b"y");
+        b.measure_file("/bin/a", b"x");
+        assert_ne!(a.aggregate(), b.aggregate());
+    }
+
+    #[test]
+    fn violations_recorded_and_detectable() {
+        let mut list = sample();
+        list.record_violation("/usr/bin/dockerd");
+        assert!(list.entries().last().unwrap().is_violation());
+        assert!(list.verify_consistency());
+        assert_eq!(
+            list.entries().iter().filter(|e| e.is_violation()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let list = sample();
+        let decoded = MeasurementList::decode(&list.encode()).unwrap();
+        assert_eq!(decoded.entries(), list.entries());
+        assert_eq!(decoded.aggregate(), list.aggregate());
+        assert!(decoded.verify_consistency());
+    }
+
+    #[test]
+    fn digest_binds_content() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.digest(), b.digest());
+        b.measure_file("/bin/extra", b"z");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn same_path_different_content_gets_two_entries() {
+        // An upgraded (or trojaned) binary appears as an additional entry.
+        let mut list = MeasurementList::new(b"boot");
+        list.measure_file("/usr/bin/tool", b"v1");
+        list.measure_file("/usr/bin/tool", b"v2");
+        assert_eq!(list.len(), 3);
+        assert_ne!(
+            list.entries()[1].filedata_hash,
+            list.entries()[2].filedata_hash
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MeasurementList::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Simulated TPM anchoring of the IMA aggregate (the paper's future work).
+//!
+//! Paper §4: "The integrity measurements of the container host are not
+//! currently protected by a hardware root of trust, such as a Trusted
+//! Platform Module (TPM). … In future work we intend to implement a
+//! communication protocol to enable the integrity attestation enclave to
+//! retrieve authenticated integrity measurements from a TPM deployed on
+//! the platform."
+//!
+//! This module implements that extension: a TPM with PCR banks whose
+//! extend operation mirrors the kernel's, and signed PCR quotes under an
+//! attestation identity key (AIK). With the TPM in the loop, a root-level
+//! adversary can still *rewrite the in-memory list*, but the rewritten
+//! list no longer matches the hardware-held PCR value and appraisal fails.
+
+use crate::ImaError;
+use vnfguard_crypto::ed25519::{SigningKey, VerifyingKey};
+use vnfguard_crypto::sha2::Sha256;
+use vnfguard_encoding::{TlvReader, TlvWriter};
+
+const TAG_PCR_INDEX: u8 = 0xa0;
+const TAG_PCR_VALUE: u8 = 0xa1;
+const TAG_NONCE: u8 = 0xa2;
+const TAG_SIGNATURE: u8 = 0xa3;
+const TAG_BODY: u8 = 0xa4;
+
+/// Number of PCRs in the bank.
+pub const PCR_COUNT: usize = 24;
+
+/// A signed PCR quote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrQuote {
+    pub pcr_index: u8,
+    pub pcr_value: [u8; 32],
+    pub nonce: [u8; 32],
+    signature: Vec<u8>,
+}
+
+impl PcrQuote {
+    fn body_bytes(pcr_index: u8, pcr_value: &[u8; 32], nonce: &[u8; 32]) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.u8(TAG_PCR_INDEX, pcr_index)
+            .bytes(TAG_PCR_VALUE, pcr_value)
+            .bytes(TAG_NONCE, nonce);
+        w.finish()
+    }
+
+    /// Verify against the TPM's AIK public key and the expected nonce.
+    pub fn verify(&self, aik: &VerifyingKey, nonce: &[u8; 32]) -> Result<(), ImaError> {
+        if &self.nonce != nonce {
+            return Err(ImaError::BadTpmQuote);
+        }
+        let body = Self::body_bytes(self.pcr_index, &self.pcr_value, &self.nonce);
+        aik.verify(&body, &self.signature)
+            .map_err(|_| ImaError::BadTpmQuote)
+    }
+
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(
+            TAG_BODY,
+            &Self::body_bytes(self.pcr_index, &self.pcr_value, &self.nonce),
+        )
+        .bytes(TAG_SIGNATURE, &self.signature);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<PcrQuote, ImaError> {
+        let mut r = TlvReader::new(bytes);
+        let body = r.expect(TAG_BODY)?;
+        let signature = r.expect(TAG_SIGNATURE)?.to_vec();
+        r.finish()?;
+        let mut br = TlvReader::new(body);
+        let quote = PcrQuote {
+            pcr_index: br.expect_u8(TAG_PCR_INDEX)?,
+            pcr_value: br.expect_array::<32>(TAG_PCR_VALUE)?,
+            nonce: br.expect_array::<32>(TAG_NONCE)?,
+            signature,
+        };
+        br.finish()?;
+        Ok(quote)
+    }
+}
+
+/// A minimal TPM: PCR bank + AIK-signed quotes.
+pub struct SimTpm {
+    pcrs: [[u8; 32]; PCR_COUNT],
+    aik: SigningKey,
+    extend_count: u64,
+}
+
+impl SimTpm {
+    pub fn new(seed: &[u8; 32]) -> SimTpm {
+        SimTpm {
+            pcrs: [[0u8; 32]; PCR_COUNT],
+            aik: SigningKey::from_seed(seed),
+            extend_count: 0,
+        }
+    }
+
+    /// Public half of the attestation identity key.
+    pub fn aik_public(&self) -> VerifyingKey {
+        self.aik.public_key()
+    }
+
+    /// Extend a PCR with a digest; panics on out-of-range index
+    /// (programming error — the kernel uses fixed indices).
+    pub fn extend(&mut self, pcr: u8, digest: &[u8; 32]) {
+        let slot = &mut self.pcrs[pcr as usize];
+        let mut h = Sha256::new();
+        h.update(slot);
+        h.update(digest);
+        *slot = h.finalize();
+        self.extend_count += 1;
+    }
+
+    /// Read a PCR value (reads are unauthenticated, like real TPMs).
+    pub fn read(&self, pcr: u8) -> [u8; 32] {
+        self.pcrs[pcr as usize]
+    }
+
+    /// Produce a signed quote over one PCR, bound to a verifier nonce.
+    pub fn quote(&self, pcr: u8, nonce: [u8; 32]) -> PcrQuote {
+        let pcr_value = self.read(pcr);
+        let body = PcrQuote::body_bytes(pcr, &pcr_value, &nonce);
+        PcrQuote {
+            pcr_index: pcr,
+            pcr_value,
+            nonce,
+            signature: self.aik.sign(&body).to_vec(),
+        }
+    }
+
+    pub fn extend_count(&self) -> u64 {
+        self.extend_count
+    }
+}
+
+impl std::fmt::Debug for SimTpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTpm")
+            .field("extend_count", &self.extend_count)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{MeasurementList, IMA_PCR};
+
+    #[test]
+    fn extend_matches_list_aggregate() {
+        // Driving the TPM with the same template hashes as the list yields
+        // the same value: the hardware anchor mirrors the software chain.
+        let mut tpm = SimTpm::new(&[1; 32]);
+        let mut list = MeasurementList::new(b"boot");
+        list.measure_file("/bin/a", b"x");
+        list.measure_file("/bin/b", b"y");
+        for entry in list.entries() {
+            tpm.extend(IMA_PCR, &entry.template_hash);
+        }
+        assert_eq!(tpm.read(IMA_PCR), list.aggregate());
+        assert_eq!(tpm.extend_count(), 3);
+    }
+
+    #[test]
+    fn quote_verification() {
+        let mut tpm = SimTpm::new(&[1; 32]);
+        tpm.extend(IMA_PCR, &[5; 32]);
+        let nonce = [9; 32];
+        let quote = tpm.quote(IMA_PCR, nonce);
+        quote.verify(&tpm.aik_public(), &nonce).unwrap();
+        // Replay with a different nonce fails.
+        assert_eq!(
+            quote.verify(&tpm.aik_public(), &[8; 32]),
+            Err(ImaError::BadTpmQuote)
+        );
+        // Wrong AIK fails.
+        let other = SimTpm::new(&[2; 32]);
+        assert!(quote.verify(&other.aik_public(), &nonce).is_err());
+    }
+
+    #[test]
+    fn quote_tamper_detected() {
+        let mut tpm = SimTpm::new(&[1; 32]);
+        tpm.extend(IMA_PCR, &[5; 32]);
+        let nonce = [0; 32];
+        let quote = tpm.quote(IMA_PCR, nonce);
+        let mut bad = quote.clone();
+        bad.pcr_value = [7; 32];
+        assert!(bad.verify(&tpm.aik_public(), &nonce).is_err());
+    }
+
+    #[test]
+    fn quote_roundtrip() {
+        let mut tpm = SimTpm::new(&[3; 32]);
+        tpm.extend(2, &[1; 32]);
+        let quote = tpm.quote(2, [4; 32]);
+        let decoded = PcrQuote::decode(&quote.encode()).unwrap();
+        assert_eq!(decoded, quote);
+        decoded.verify(&tpm.aik_public(), &[4; 32]).unwrap();
+    }
+
+    #[test]
+    fn rewritten_list_no_longer_matches_tpm() {
+        // The attack from the paper's §4: root rewrites the in-memory list.
+        let mut tpm = SimTpm::new(&[1; 32]);
+        let mut list = MeasurementList::new(b"boot");
+        list.measure_file("/usr/bin/vnf", b"malicious");
+        for entry in list.entries() {
+            tpm.extend(IMA_PCR, &entry.template_hash);
+        }
+        // Adversary fabricates a clean-looking list.
+        let mut forged = MeasurementList::new(b"boot");
+        forged.measure_file("/usr/bin/vnf", b"clean");
+        assert!(forged.verify_consistency(), "forgery is self-consistent");
+        // ... but the TPM quote exposes it.
+        assert_ne!(tpm.read(IMA_PCR), forged.aggregate());
+    }
+
+    #[test]
+    fn pcrs_are_independent() {
+        let mut tpm = SimTpm::new(&[1; 32]);
+        tpm.extend(0, &[1; 32]);
+        assert_ne!(tpm.read(0), [0u8; 32]);
+        assert_eq!(tpm.read(1), [0u8; 32]);
+    }
+}

@@ -1,0 +1,220 @@
+//! The named-endpoint network fabric.
+//!
+//! Components bind string addresses ("controller:8443"), peers connect to
+//! them, and the operator (or adversary) can attach taps to any address.
+
+use crate::stream::{Duplex, TapHandle};
+use crate::NetError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Default)]
+struct NetworkInner {
+    listeners: HashMap<String, Sender<Duplex>>,
+    taps: HashMap<String, TapHandle>,
+    latency: Duration,
+    connections: u64,
+}
+
+/// A shared network fabric. Cloning shares the same fabric.
+#[derive(Clone, Default)]
+pub struct Network {
+    inner: Arc<Mutex<NetworkInner>>,
+}
+
+impl Network {
+    pub fn new() -> Network {
+        Network::default()
+    }
+
+    /// Set the one-way latency applied to all *future* connections.
+    pub fn set_latency(&self, latency: Duration) {
+        self.inner.lock().latency = latency;
+    }
+
+    /// Bind a listener at `addr`.
+    pub fn listen(&self, addr: &str) -> Result<Listener, NetError> {
+        let mut inner = self.inner.lock();
+        if inner.listeners.contains_key(addr) {
+            return Err(NetError::AddressInUse(addr.to_string()));
+        }
+        let (tx, rx) = unbounded();
+        inner.listeners.insert(addr.to_string(), tx);
+        Ok(Listener {
+            addr: addr.to_string(),
+            rx,
+            network: self.clone(),
+        })
+    }
+
+    /// Connect to `addr`, returning the client stream half.
+    pub fn connect(&self, addr: &str) -> Result<Duplex, NetError> {
+        let (latency, tap, listener_tx) = {
+            let mut inner = self.inner.lock();
+            let tx = inner
+                .listeners
+                .get(addr)
+                .cloned()
+                .ok_or_else(|| NetError::ConnectionRefused(addr.to_string()))?;
+            inner.connections += 1;
+            (inner.latency, inner.taps.get(addr).cloned(), tx)
+        };
+        let (client, server) = Duplex::pair(latency, tap.as_ref());
+        listener_tx
+            .send(server)
+            .map_err(|_| NetError::ConnectionRefused(addr.to_string()))?;
+        Ok(client)
+    }
+
+    /// Attach (or fetch) a tap on `addr`: every connection established to
+    /// that address *after* this call is recorded.
+    pub fn tap(&self, addr: &str) -> TapHandle {
+        self.inner
+            .lock()
+            .taps
+            .entry(addr.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Total connections established through this fabric.
+    pub fn connection_count(&self) -> u64 {
+        self.inner.lock().connections
+    }
+
+    fn unbind(&self, addr: &str) {
+        self.inner.lock().listeners.remove(addr);
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Network")
+            .field("listeners", &inner.listeners.len())
+            .field("taps", &inner.taps.len())
+            .field("connections", &inner.connections)
+            .finish()
+    }
+}
+
+/// A bound listener; unbinds its address when dropped.
+pub struct Listener {
+    addr: String,
+    rx: Receiver<Duplex>,
+    network: Network,
+}
+
+impl Listener {
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Block until the next inbound connection (EOF error when the fabric
+    /// drops the listener registration).
+    pub fn accept(&self) -> Result<Duplex, NetError> {
+        self.rx.recv().map_err(|_| NetError::ConnectionClosed)
+    }
+
+    /// Non-blocking accept.
+    pub fn try_accept(&self) -> Option<Duplex> {
+        self.rx.try_recv().ok()
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        self.network.unbind(&self.addr);
+    }
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Listener").field("addr", &self.addr).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn connect_and_exchange() {
+        let net = Network::new();
+        let listener = net.listen("controller:8080").unwrap();
+        let mut client = net.connect("controller:8080").unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        assert_eq!(net.connection_count(), 1);
+    }
+
+    #[test]
+    fn refuses_unknown_address() {
+        let net = Network::new();
+        assert!(matches!(
+            net.connect("nobody:1"),
+            Err(NetError::ConnectionRefused(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_double_bind() {
+        let net = Network::new();
+        let _l = net.listen("x:1").unwrap();
+        assert!(matches!(net.listen("x:1"), Err(NetError::AddressInUse(_))));
+    }
+
+    #[test]
+    fn rebind_after_drop() {
+        let net = Network::new();
+        drop(net.listen("x:1").unwrap());
+        assert!(net.listen("x:1").is_ok());
+    }
+
+    #[test]
+    fn multiple_clients_one_listener() {
+        let net = Network::new();
+        let listener = net.listen("svc:1").unwrap();
+        let mut c1 = net.connect("svc:1").unwrap();
+        let mut c2 = net.connect("svc:1").unwrap();
+        let mut s1 = listener.accept().unwrap();
+        let mut s2 = listener.accept().unwrap();
+        c1.write_all(b"one").unwrap();
+        c2.write_all(b"two").unwrap();
+        let mut b1 = [0u8; 3];
+        s1.read_exact(&mut b1).unwrap();
+        let mut b2 = [0u8; 3];
+        s2.read_exact(&mut b2).unwrap();
+        assert_eq!(&b1, b"one");
+        assert_eq!(&b2, b"two");
+    }
+
+    #[test]
+    fn tap_observes_future_connections() {
+        let net = Network::new();
+        let listener = net.listen("svc:1").unwrap();
+        let tap = net.tap("svc:1");
+        let mut client = net.connect("svc:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"password=hunter2").unwrap();
+        let mut buf = [0u8; 16];
+        server.read_exact(&mut buf).unwrap();
+        assert!(tap.contains(b"hunter2"));
+    }
+
+    #[test]
+    fn try_accept_nonblocking() {
+        let net = Network::new();
+        let listener = net.listen("svc:1").unwrap();
+        assert!(listener.try_accept().is_none());
+        let _client = net.connect("svc:1").unwrap();
+        assert!(listener.try_accept().is_some());
+    }
+}

@@ -1,0 +1,255 @@
+//! Path-pattern REST routing.
+
+use crate::http::{Method, Request, Response, Status};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Captured `:name` path parameters.
+#[derive(Debug, Default, Clone)]
+pub struct PathParams {
+    values: HashMap<String, String>,
+}
+
+impl PathParams {
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+}
+
+type Handler = dyn Fn(&Request, &PathParams) -> Response + Send + Sync;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Arc<Handler>,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// A REST router: register handlers on method + path patterns, then
+/// [`Router::dispatch`] requests to them.
+///
+/// Patterns use `:name` segments for captures, e.g.
+/// `/wm/device/:mac` or `/vm/vnf/:id/credentials`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl Router {
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Register a handler. Later registrations do not shadow earlier ones;
+    /// first match wins.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    pub fn delete(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Delete, pattern, handler)
+    }
+
+    pub fn route_count(&self) -> usize {
+        self.routes.len()
+    }
+
+    fn match_route<'a>(&'a self, method: Method, path: &str) -> Option<(&'a Route, PathParams)> {
+        let path_segments: Vec<&str> = path
+            .split('?')
+            .next()
+            .unwrap_or("")
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        'routes: for route in &self.routes {
+            if route.method != method || route.segments.len() != path_segments.len() {
+                continue;
+            }
+            let mut params = PathParams::default();
+            for (segment, actual) in route.segments.iter().zip(&path_segments) {
+                match segment {
+                    Segment::Literal(expected) if expected == actual => {}
+                    Segment::Literal(_) => continue 'routes,
+                    Segment::Param(name) => {
+                        params.values.insert(name.clone(), (*actual).to_string());
+                    }
+                }
+            }
+            return Some((route, params));
+        }
+        None
+    }
+
+    /// Dispatch a request, returning 404 for unmatched paths.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        match self.match_route(request.method, &request.path) {
+            Some((route, params)) => (route.handler)(request, &params),
+            None => Response::error(
+                Status::NotFound,
+                &format!("no route for {} {}", request.method.as_str(), request.path),
+            ),
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfguard_encoding::Json;
+
+    fn router() -> Router {
+        let mut router = Router::new();
+        router.get("/health", |_, _| {
+            Response::json(Status::Ok, &Json::object().with("status", "up"))
+        });
+        router.get("/wm/device/:mac", |_, params| {
+            Response::json(
+                Status::Ok,
+                &Json::object().with("mac", params.get("mac").unwrap_or("")),
+            )
+        });
+        router.post("/wm/staticflowpusher/json", |request, _| {
+            match request.json() {
+                Ok(body) => Response::json(Status::Created, &body),
+                Err(_) => Response::error(Status::BadRequest, "bad json"),
+            }
+        });
+        router.delete("/vm/vnf/:id/credentials", |_, params| {
+            Response::json(
+                Status::Ok,
+                &Json::object().with("revoked", params.get("id").unwrap_or("")),
+            )
+        });
+        router
+    }
+
+    #[test]
+    fn literal_match() {
+        let response = router().dispatch(&Request::get("/health"));
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            response.parse_json().unwrap().get("status").and_then(Json::as_str),
+            Some("up")
+        );
+    }
+
+    #[test]
+    fn param_capture() {
+        let response = router().dispatch(&Request::get("/wm/device/aa:bb:cc"));
+        assert_eq!(
+            response.parse_json().unwrap().get("mac").and_then(Json::as_str),
+            Some("aa:bb:cc")
+        );
+        let response = router().dispatch(&Request::delete("/vm/vnf/vnf-7/credentials"));
+        assert_eq!(
+            response.parse_json().unwrap().get("revoked").and_then(Json::as_str),
+            Some("vnf-7")
+        );
+    }
+
+    #[test]
+    fn method_mismatch_is_404() {
+        let response = router().dispatch(&Request::post("/health"));
+        assert_eq!(response.status, Status::NotFound);
+    }
+
+    #[test]
+    fn length_mismatch_is_404() {
+        assert_eq!(
+            router().dispatch(&Request::get("/wm/device")).status,
+            Status::NotFound
+        );
+        assert_eq!(
+            router().dispatch(&Request::get("/wm/device/a/b")).status,
+            Status::NotFound
+        );
+    }
+
+    #[test]
+    fn query_strings_ignored_for_matching() {
+        let response = router().dispatch(&Request::get("/health?verbose=1"));
+        assert_eq!(response.status, Status::Ok);
+    }
+
+    #[test]
+    fn body_passes_through() {
+        let request = Request::post("/wm/staticflowpusher/json")
+            .with_json(&Json::object().with("name", "f1"));
+        let response = router().dispatch(&request);
+        assert_eq!(response.status, Status::Created);
+        assert_eq!(
+            response.parse_json().unwrap().get("name").and_then(Json::as_str),
+            Some("f1")
+        );
+    }
+
+    #[test]
+    fn bad_json_rejected_by_handler() {
+        let mut request = Request::post("/wm/staticflowpusher/json");
+        request.body = b"{not json".to_vec();
+        assert_eq!(router().dispatch(&request).status, Status::BadRequest);
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut r = Router::new();
+        r.get("/a/:x", |_, _| Response::new(Status::Ok));
+        r.get("/a/b", |_, _| Response::new(Status::Conflict));
+        // The param route was registered first and matches.
+        assert_eq!(r.dispatch(&Request::get("/a/b")).status, Status::Ok);
+    }
+}

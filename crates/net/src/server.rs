@@ -1,0 +1,407 @@
+//! Thread-per-connection HTTP serving over the fabric.
+//!
+//! The security handshake (if any) is injected as a *stream wrapper*: the
+//! TLS layer in `vnfguard-tls` provides a wrapper that upgrades the raw
+//! stream before HTTP begins, which is how the controller's three security
+//! modes are composed (plain HTTP uses the identity wrapper).
+
+use crate::fabric::Listener;
+use crate::http::{read_request, write_response, Response, Status};
+use crate::rest::Router;
+use crate::stream::Duplex;
+use crate::NetError;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Upgrades an accepted raw stream (e.g. performs a TLS handshake) and
+/// returns the application-layer stream plus optional peer identity data.
+pub trait StreamUpgrade: Send + Sync + 'static {
+    /// The upgraded stream type.
+    type Upgraded: Read + Write + Send + 'static;
+
+    /// Perform the server side of the upgrade. Returning an error drops the
+    /// connection (e.g. client failed authentication).
+    fn upgrade(&self, raw: Duplex) -> Result<(Self::Upgraded, PeerIdentity), NetError>;
+}
+
+/// Identity information established during the upgrade (client certificate
+/// subject etc.); empty for unauthenticated transports.
+#[derive(Debug, Clone, Default)]
+pub struct PeerIdentity {
+    /// Authenticated peer common name, if client auth happened.
+    pub common_name: Option<String>,
+    /// Serial of the presented client certificate.
+    pub cert_serial: Option<u64>,
+}
+
+/// The identity upgrade: plain TCP-like service (Floodlight's HTTP mode).
+pub struct PlainUpgrade;
+
+impl StreamUpgrade for PlainUpgrade {
+    type Upgraded = Duplex;
+
+    fn upgrade(&self, raw: Duplex) -> Result<(Duplex, PeerIdentity), NetError> {
+        Ok((raw, PeerIdentity::default()))
+    }
+}
+
+/// Statistics exposed by a running server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    pub connections: AtomicU64,
+    pub requests: AtomicU64,
+    pub upgrade_failures: AtomicU64,
+}
+
+/// Handle to a running server; stops and joins on drop.
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn connections(&self) -> u64 {
+        self.stats.connections.load(Ordering::Relaxed)
+    }
+
+    pub fn requests(&self) -> u64 {
+        self.stats.requests.load(Ordering::Relaxed)
+    }
+
+    pub fn upgrade_failures(&self) -> u64 {
+        self.stats.upgrade_failures.load(Ordering::Relaxed)
+    }
+
+    /// Request shutdown and wait for the accept loop to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("connections", &self.connections())
+            .field("requests", &self.requests())
+            .finish()
+    }
+}
+
+/// Serve `router` on `listener`, upgrading each accepted stream through
+/// `upgrade`. Each connection is handled on its own thread with keep-alive.
+pub fn serve<U: StreamUpgrade>(listener: Listener, upgrade: U, router: Router) -> ServerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let router = Arc::new(router);
+    let upgrade = Arc::new(upgrade);
+
+    let accept_stop = stop.clone();
+    let accept_stats = stats.clone();
+    let thread = std::thread::spawn(move || {
+        loop {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Poll-accept so the stop flag is honored promptly.
+            let raw = match listener.try_accept() {
+                Some(stream) => stream,
+                None => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                }
+            };
+            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+            let router = router.clone();
+            let upgrade = upgrade.clone();
+            let stats = accept_stats.clone();
+            let stop = accept_stop.clone();
+            std::thread::spawn(move || {
+                let (mut stream, _identity) = match upgrade.upgrade(raw) {
+                    Ok(upgraded) => upgraded,
+                    Err(_) => {
+                        stats.upgrade_failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::SeqCst) {
+                    let request = match read_request(&mut stream) {
+                        Ok(request) => request,
+                        Err(_) => break, // peer closed or protocol error
+                    };
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let response = router.dispatch(&request);
+                    if write_response(&mut stream, &response).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    ServerHandle {
+        stop,
+        stats,
+        thread: Some(thread),
+    }
+}
+
+/// Serve with a router that also sees the authenticated peer identity.
+/// Handlers needing the identity are registered through a closure capturing
+/// it per connection; this variant passes the identity as a pseudo-header
+/// `x-peer-cn` / `x-peer-serial` so ordinary routes can authorize on it.
+pub fn serve_with_identity<U: StreamUpgrade>(
+    listener: Listener,
+    upgrade: U,
+    router: Router,
+) -> ServerHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let router = Arc::new(router);
+    let upgrade = Arc::new(upgrade);
+
+    let accept_stop = stop.clone();
+    let accept_stats = stats.clone();
+    let thread = std::thread::spawn(move || {
+        loop {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let raw = match listener.try_accept() {
+                Some(stream) => stream,
+                None => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    continue;
+                }
+            };
+            accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+            let router = router.clone();
+            let upgrade = upgrade.clone();
+            let stats = accept_stats.clone();
+            let stop = accept_stop.clone();
+            std::thread::spawn(move || {
+                let (mut stream, identity) = match upgrade.upgrade(raw) {
+                    Ok(upgraded) => upgraded,
+                    Err(_) => {
+                        stats.upgrade_failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                while !stop.load(Ordering::SeqCst) {
+                    let mut request = match read_request(&mut stream) {
+                        Ok(request) => request,
+                        Err(_) => break,
+                    };
+                    if let Some(cn) = &identity.common_name {
+                        request.headers.insert("x-peer-cn".into(), cn.clone());
+                    }
+                    if let Some(serial) = identity.cert_serial {
+                        request
+                            .headers
+                            .insert("x-peer-serial".into(), serial.to_string());
+                    }
+                    stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let response = router.dispatch(&request);
+                    if write_response(&mut stream, &response).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    ServerHandle {
+        stop,
+        stats,
+        thread: Some(thread),
+    }
+}
+
+/// A simple client: one request per call over a fresh or kept-alive stream.
+pub struct HttpClient<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> HttpClient<S> {
+    pub fn new(stream: S) -> HttpClient<S> {
+        HttpClient { stream }
+    }
+
+    pub fn request(
+        &mut self,
+        request: &crate::http::Request,
+    ) -> Result<crate::http::Response, NetError> {
+        crate::http::roundtrip(&mut self.stream, request)
+    }
+
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+}
+
+/// 500 response helper for handler panics and internal errors.
+pub fn internal_error(message: &str) -> Response {
+    Response::error(Status::ServerError, message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::Network;
+    use crate::http::{Method, Request};
+    use vnfguard_encoding::Json;
+
+    fn test_router() -> Router {
+        let mut router = Router::new();
+        router.get("/ping", |_, _| {
+            Response::json(Status::Ok, &Json::object().with("pong", true))
+        });
+        router.route(Method::Post, "/echo", |request, _| {
+            Response::json(Status::Ok, &request.json().unwrap_or(Json::Null))
+        });
+        router.get("/whoami", |request, _| {
+            Response::json(
+                Status::Ok,
+                &Json::object().with("cn", request.header("x-peer-cn").unwrap_or("anonymous")),
+            )
+        });
+        router
+    }
+
+    #[test]
+    fn serves_requests() {
+        let net = Network::new();
+        let listener = net.listen("svc:80").unwrap();
+        let handle = serve(listener, PlainUpgrade, test_router());
+
+        let stream = net.connect("svc:80").unwrap();
+        let mut client = HttpClient::new(stream);
+        let response = client.request(&Request::get("/ping")).unwrap();
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            response.parse_json().unwrap().get("pong"),
+            Some(&Json::Bool(true))
+        );
+        // Keep-alive: second request on the same stream.
+        let response = client
+            .request(&Request::post("/echo").with_json(&Json::object().with("n", 1i64)))
+            .unwrap();
+        assert_eq!(
+            response.parse_json().unwrap().get("n").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(handle.requests(), 2);
+        assert_eq!(handle.connections(), 1);
+        handle.stop();
+    }
+
+    #[test]
+    fn unknown_route_is_404() {
+        let net = Network::new();
+        let listener = net.listen("svc:80").unwrap();
+        let _handle = serve(listener, PlainUpgrade, test_router());
+        let mut client = HttpClient::new(net.connect("svc:80").unwrap());
+        let response = client.request(&Request::get("/nope")).unwrap();
+        assert_eq!(response.status, Status::NotFound);
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let net = Network::new();
+        let listener = net.listen("svc:80").unwrap();
+        let handle = serve(listener, PlainUpgrade, test_router());
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let net = net.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut client = HttpClient::new(net.connect("svc:80").unwrap());
+                for _ in 0..5 {
+                    let response = client.request(&Request::get("/ping")).unwrap();
+                    assert_eq!(response.status, Status::Ok);
+                }
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(handle.requests(), 40);
+        assert_eq!(handle.connections(), 8);
+    }
+
+    #[test]
+    fn identity_propagation() {
+        struct FixedIdentity;
+        impl StreamUpgrade for FixedIdentity {
+            type Upgraded = Duplex;
+            fn upgrade(&self, raw: Duplex) -> Result<(Duplex, PeerIdentity), NetError> {
+                Ok((
+                    raw,
+                    PeerIdentity {
+                        common_name: Some("vnf-42".into()),
+                        cert_serial: Some(7),
+                    },
+                ))
+            }
+        }
+        let net = Network::new();
+        let listener = net.listen("svc:443").unwrap();
+        let _handle = serve_with_identity(listener, FixedIdentity, test_router());
+        let mut client = HttpClient::new(net.connect("svc:443").unwrap());
+        let response = client.request(&Request::get("/whoami")).unwrap();
+        assert_eq!(
+            response.parse_json().unwrap().get("cn").and_then(Json::as_str),
+            Some("vnf-42")
+        );
+    }
+
+    #[test]
+    fn failed_upgrade_counted_and_dropped() {
+        struct RejectAll;
+        impl StreamUpgrade for RejectAll {
+            type Upgraded = Duplex;
+            fn upgrade(&self, _raw: Duplex) -> Result<(Duplex, PeerIdentity), NetError> {
+                Err(NetError::Protocol("handshake failed".into()))
+            }
+        }
+        let net = Network::new();
+        let listener = net.listen("svc:443").unwrap();
+        let handle = serve(listener, RejectAll, test_router());
+        let mut client = HttpClient::new(net.connect("svc:443").unwrap());
+        // The server drops the connection; the request errors out.
+        assert!(client.request(&Request::get("/ping")).is_err());
+        // Give the server thread a moment to account the failure.
+        for _ in 0..100 {
+            if handle.upgrade_failures() == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(handle.upgrade_failures(), 1);
+        assert_eq!(handle.requests(), 0);
+    }
+
+    #[test]
+    fn stop_unbinds_address() {
+        let net = Network::new();
+        let listener = net.listen("svc:80").unwrap();
+        let handle = serve(listener, PlainUpgrade, test_router());
+        handle.stop();
+        // Address free again.
+        assert!(net.listen("svc:80").is_ok());
+    }
+}

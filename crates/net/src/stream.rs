@@ -1,0 +1,313 @@
+//! In-memory byte streams with latency modeling and passive taps.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Direction of a tapped frame, relative to the connection initiator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → server.
+    ToServer,
+    /// Server → client.
+    ToClient,
+}
+
+/// Passive wiretap state shared by both stream halves.
+#[derive(Debug, Default)]
+pub struct TapState {
+    frames: Mutex<Vec<(Direction, Vec<u8>)>>,
+}
+
+/// Handle to read captured traffic — the eavesdropper's view of the wire.
+#[derive(Debug, Clone)]
+pub struct TapHandle {
+    state: Arc<TapState>,
+}
+
+impl TapHandle {
+    pub fn new() -> TapHandle {
+        TapHandle {
+            state: Arc::new(TapState::default()),
+        }
+    }
+
+    pub(crate) fn state(&self) -> Arc<TapState> {
+        self.state.clone()
+    }
+
+    /// All bytes captured in one direction, concatenated.
+    pub fn captured(&self, direction: Direction) -> Vec<u8> {
+        let frames = self.state.frames.lock();
+        frames
+            .iter()
+            .filter(|(d, _)| *d == direction)
+            .flat_map(|(_, bytes)| bytes.iter().copied())
+            .collect()
+    }
+
+    /// All captured bytes regardless of direction.
+    pub fn captured_all(&self) -> Vec<u8> {
+        let frames = self.state.frames.lock();
+        frames
+            .iter()
+            .flat_map(|(_, bytes)| bytes.iter().copied())
+            .collect()
+    }
+
+    /// Does the captured traffic contain `needle` as a byte substring?
+    /// (The attack check: did the credential cross the wire in clear?)
+    pub fn contains(&self, needle: &[u8]) -> bool {
+        let haystack = self.captured_all();
+        haystack
+            .windows(needle.len().max(1))
+            .any(|window| window == needle)
+    }
+
+    pub fn frame_count(&self) -> usize {
+        self.state.frames.lock().len()
+    }
+}
+
+impl Default for TapHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct Frame {
+    deliver_at: Instant,
+    bytes: Vec<u8>,
+}
+
+/// One endpoint of an in-memory reliable byte stream.
+pub struct Duplex {
+    tx: Sender<Frame>,
+    rx: Receiver<Frame>,
+    read_buffer: VecDeque<u8>,
+    latency: Duration,
+    tap: Option<(Arc<TapState>, Direction)>,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl Duplex {
+    /// Create a connected pair with the given one-way latency. The first
+    /// endpoint is the "client" half for tap direction purposes.
+    pub fn pair(latency: Duration, tap: Option<&TapHandle>) -> (Duplex, Duplex) {
+        let (tx_a, rx_b) = unbounded();
+        let (tx_b, rx_a) = unbounded();
+        let client = Duplex {
+            tx: tx_a,
+            rx: rx_a,
+            read_buffer: VecDeque::new(),
+            latency,
+            tap: tap.map(|t| (t.state(), Direction::ToServer)),
+            bytes_sent: 0,
+            bytes_received: 0,
+        };
+        let server = Duplex {
+            tx: tx_b,
+            rx: rx_b,
+            read_buffer: VecDeque::new(),
+            latency,
+            tap: tap.map(|t| (t.state(), Direction::ToClient)),
+            bytes_sent: 0,
+            bytes_received: 0,
+        };
+        (client, server)
+    }
+
+    /// Zero-latency untapped pair (the common case in tests).
+    pub fn pipe() -> (Duplex, Duplex) {
+        Duplex::pair(Duration::ZERO, None)
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    fn pull_frame(&mut self) -> io::Result<bool> {
+        match self.rx.recv() {
+            Ok(frame) => {
+                let now = Instant::now();
+                if frame.deliver_at > now {
+                    std::thread::sleep(frame.deliver_at - now);
+                }
+                self.bytes_received += frame.bytes.len() as u64;
+                self.read_buffer.extend(frame.bytes);
+                Ok(true)
+            }
+            Err(_) => Ok(false), // peer gone and channel drained: EOF
+        }
+    }
+}
+
+impl Read for Duplex {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        while self.read_buffer.is_empty() {
+            if !self.pull_frame()? {
+                return Ok(0); // EOF
+            }
+        }
+        let n = buf.len().min(self.read_buffer.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = self.read_buffer.pop_front().expect("checked non-empty");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for Duplex {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some((tap, direction)) = &self.tap {
+            tap.frames.lock().push((*direction, buf.to_vec()));
+        }
+        let frame = Frame {
+            deliver_at: Instant::now() + self.latency,
+            bytes: buf.to_vec(),
+        };
+        self.tx.send(frame).map_err(|_| {
+            io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped")
+        })?;
+        self.bytes_sent += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Duplex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Duplex")
+            .field("bytes_sent", &self.bytes_sent)
+            .field("bytes_received", &self.bytes_received)
+            .field("tapped", &self.tap.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let (mut a, mut b) = Duplex::pipe();
+        a.write_all(b"hello fabric").unwrap();
+        let mut buf = [0u8; 12];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello fabric");
+        // And the other direction.
+        b.write_all(b"pong").unwrap();
+        let mut buf = [0u8; 4];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn partial_reads_preserve_order() {
+        let (mut a, mut b) = Duplex::pipe();
+        a.write_all(b"0123456789").unwrap();
+        let mut first = [0u8; 3];
+        b.read_exact(&mut first).unwrap();
+        let mut rest = [0u8; 7];
+        b.read_exact(&mut rest).unwrap();
+        assert_eq!(&first, b"012");
+        assert_eq!(&rest, b"3456789");
+    }
+
+    #[test]
+    fn eof_on_peer_drop() {
+        let (mut a, b) = Duplex::pipe();
+        drop(b);
+        // Write fails with broken pipe.
+        assert!(a.write_all(b"x").is_err());
+        let mut buf = [0u8; 4];
+        assert_eq!(a.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn buffered_data_readable_after_peer_drop() {
+        let (mut a, mut b) = Duplex::pipe();
+        a.write_all(b"last words").unwrap();
+        drop(a);
+        let mut buf = Vec::new();
+        b.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"last words");
+    }
+
+    #[test]
+    fn taps_capture_both_directions() {
+        let tap = TapHandle::new();
+        let (mut client, mut server) = Duplex::pair(Duration::ZERO, Some(&tap));
+        client.write_all(b"GET /secret").unwrap();
+        let mut buf = [0u8; 11];
+        server.read_exact(&mut buf).unwrap();
+        server.write_all(b"the-credential").unwrap();
+        let mut buf = [0u8; 14];
+        client.read_exact(&mut buf).unwrap();
+
+        assert_eq!(tap.captured(Direction::ToServer), b"GET /secret");
+        assert_eq!(tap.captured(Direction::ToClient), b"the-credential");
+        assert!(tap.contains(b"credential"));
+        assert!(!tap.contains(b"not on the wire"));
+        assert_eq!(tap.frame_count(), 2);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let (mut a, mut b) = Duplex::pair(Duration::from_millis(30), None);
+        let start = Instant::now();
+        a.write_all(b"x").unwrap();
+        let mut buf = [0u8; 1];
+        b.read_exact(&mut buf).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "delivery was not delayed: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let (mut a, mut b) = Duplex::pipe();
+        a.write_all(b"12345").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(a.bytes_sent(), 5);
+        assert_eq!(b.bytes_received(), 5);
+        assert_eq!(a.bytes_received(), 0);
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (mut a, mut b) = Duplex::pipe();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 5];
+            b.read_exact(&mut buf).unwrap();
+            b.write_all(b"reply").unwrap();
+            buf
+        });
+        a.write_all(b"hello").unwrap();
+        let mut reply = [0u8; 5];
+        a.read_exact(&mut reply).unwrap();
+        assert_eq!(&reply, b"reply");
+        assert_eq!(&t.join().unwrap(), b"hello");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: HTTP framing over the in-memory streams is lossless for
+//! arbitrary header maps and binary bodies, and pipelining preserves order.
+
+use proptest::prelude::*;
+use vnfguard_net::http::{
+    read_request, read_response, write_request, write_response, Method, Request, Response, Status,
+};
+use vnfguard_net::stream::Duplex;
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    prop_oneof![
+        Just(Method::Get),
+        Just(Method::Post),
+        Just(Method::Put),
+        Just(Method::Delete),
+    ]
+}
+
+fn arb_headers() -> impl Strategy<Value = Vec<(String, String)>> {
+    proptest::collection::vec(("[a-z][a-z0-9-]{0,15}", "[ -~&&[^\r\n]]{0,30}"), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_roundtrip(
+        method in arb_method(),
+        path in "/[a-zA-Z0-9/_.-]{0,40}",
+        headers in arb_headers(),
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let mut request = Request::new(method, &path);
+        for (name, value) in &headers {
+            request = request.with_header(name, value.trim());
+        }
+        request.body = body.clone();
+
+        let (mut a, mut b) = Duplex::pipe();
+        write_request(&mut a, &request).unwrap();
+        let received = read_request(&mut b).unwrap();
+        prop_assert_eq!(received.method, request.method);
+        prop_assert_eq!(&received.path, &request.path);
+        prop_assert_eq!(&received.body, &body);
+        // Compare against the request's *final* header map (duplicate names
+        // in the generated list collapse last-write-wins at construction).
+        for (name, value) in &request.headers {
+            prop_assert_eq!(received.header(name), Some(value.as_str()));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(
+        code in prop_oneof![Just(200u16), Just(201), Just(204), Just(400), Just(401),
+                            Just(403), Just(404), Just(409), Just(500)],
+        body in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let mut response = Response::new(Status::from_code(code));
+        response.body = body.clone();
+        let (mut a, mut b) = Duplex::pipe();
+        write_response(&mut a, &response).unwrap();
+        let received = read_response(&mut b).unwrap();
+        prop_assert_eq!(received.status.code(), code);
+        prop_assert_eq!(received.body, body);
+    }
+
+    #[test]
+    fn pipelined_requests_keep_order(
+        bodies in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8)
+    ) {
+        let (mut a, mut b) = Duplex::pipe();
+        for body in &bodies {
+            let mut request = Request::post("/x");
+            request.body = body.clone();
+            write_request(&mut a, &request).unwrap();
+        }
+        for body in &bodies {
+            let received = read_request(&mut b).unwrap();
+            prop_assert_eq!(&received.body, body);
+        }
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let (mut a, mut b) = Duplex::pipe();
+        use std::io::Write as _;
+        a.write_all(&bytes).unwrap();
+        drop(a);
+        let _ = read_request(&mut b);
+        let (mut c, mut d) = Duplex::pipe();
+        c.write_all(&bytes).unwrap();
+        drop(c);
+        let _ = read_response(&mut d);
+    }
+}

@@ -1,0 +1,295 @@
+//! The certificate authority operated by the Verification Manager.
+//!
+//! Paper §3: "The Verification Manager acts as a certificate authority, and
+//! signs all newly created client certificates. The Floodlight controller
+//! must only validate that the client certificate has a valid signature
+//! from the trusted certificate authority."
+
+use crate::cert::{Certificate, DistinguishedName, KeyUsage, TbsCertificate, Validity};
+use crate::crl::{Crl, CrlEntry, RevocationReason};
+use crate::csr::CertificateRequest;
+use crate::PkiError;
+use std::collections::BTreeMap;
+use vnfguard_crypto::drbg::SecureRandom;
+use vnfguard_crypto::ed25519::{SigningKey, VerifyingKey};
+
+/// Issuance profile: what kind of certificate the CA should mint.
+#[derive(Debug, Clone)]
+pub struct IssueProfile {
+    pub validity_secs: u64,
+    pub key_usage: KeyUsage,
+    pub is_ca: bool,
+    /// Bind the issued certificate to an enclave measurement.
+    pub enclave_binding: Option<[u8; 32]>,
+}
+
+impl IssueProfile {
+    /// The profile used for VNF north-bound client credentials.
+    pub fn vnf_client(enclave_binding: [u8; 32]) -> IssueProfile {
+        IssueProfile {
+            validity_secs: 24 * 3600,
+            key_usage: KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::CLIENT_AUTH),
+            is_ca: false,
+            enclave_binding: Some(enclave_binding),
+        }
+    }
+
+    /// The profile for controller (server) certificates.
+    pub fn server() -> IssueProfile {
+        IssueProfile {
+            validity_secs: 365 * 24 * 3600,
+            key_usage: KeyUsage::DIGITAL_SIGNATURE.union(KeyUsage::SERVER_AUTH),
+            is_ca: false,
+            enclave_binding: None,
+        }
+    }
+}
+
+/// A certificate authority with an in-memory revocation registry.
+pub struct CertificateAuthority {
+    key: SigningKey,
+    certificate: Certificate,
+    next_serial: u64,
+    revoked: BTreeMap<u64, CrlEntry>,
+    issued: u64,
+}
+
+impl CertificateAuthority {
+    /// Create a new root CA with a self-signed certificate.
+    pub fn new(
+        name: DistinguishedName,
+        validity: Validity,
+        rng: &mut dyn SecureRandom,
+    ) -> CertificateAuthority {
+        let mut seed = [0u8; 32];
+        rng.fill(&mut seed);
+        let key = SigningKey::from_seed(&seed);
+        let tbs = TbsCertificate {
+            serial: 1,
+            subject: name.clone(),
+            issuer: name,
+            validity,
+            public_key: key.public_key(),
+            key_usage: KeyUsage::KEY_CERT_SIGN
+                .union(KeyUsage::CRL_SIGN)
+                .union(KeyUsage::DIGITAL_SIGNATURE),
+            is_ca: true,
+            enclave_binding: None,
+        };
+        let certificate = Certificate::sign(tbs, &key);
+        CertificateAuthority {
+            key,
+            certificate,
+            next_serial: 2,
+            revoked: BTreeMap::new(),
+            issued: 0,
+        }
+    }
+
+    /// The CA's own (self-signed) certificate — this is what the paper
+    /// provisions into the controller's trust store.
+    pub fn certificate(&self) -> &Certificate {
+        &self.certificate
+    }
+
+    pub fn public_key(&self) -> VerifyingKey {
+        self.key.public_key()
+    }
+
+    /// Number of certificates issued so far (excluding the root).
+    pub fn issued_count(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issue a certificate for an externally generated public key
+    /// (the paper's primary flow: the VM generates the key pair itself and
+    /// provisions it into the enclave).
+    pub fn issue(
+        &mut self,
+        subject: DistinguishedName,
+        public_key: VerifyingKey,
+        profile: &IssueProfile,
+        now: u64,
+    ) -> Certificate {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.issued += 1;
+        let tbs = TbsCertificate {
+            serial,
+            subject,
+            issuer: self.certificate.tbs.subject.clone(),
+            validity: Validity::new(now, now.saturating_add(profile.validity_secs)),
+            public_key,
+            key_usage: profile.key_usage,
+            is_ca: profile.is_ca,
+            enclave_binding: profile.enclave_binding,
+        };
+        Certificate::sign(tbs, &self.key)
+    }
+
+    /// Issue from a CSR after checking proof-of-possession (the
+    /// enclave-keygen enrollment mode).
+    pub fn sign_request(
+        &mut self,
+        request: &CertificateRequest,
+        profile: &IssueProfile,
+        now: u64,
+    ) -> Result<Certificate, PkiError> {
+        request.verify()?;
+        Ok(self.issue(request.subject.clone(), request.public_key, profile, now))
+    }
+
+    /// Mark a serial revoked.
+    pub fn revoke(&mut self, serial: u64, reason: RevocationReason, now: u64) {
+        self.revoked.insert(
+            serial,
+            CrlEntry {
+                serial,
+                revoked_at: now,
+                reason,
+            },
+        );
+    }
+
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revoked.contains_key(&serial)
+    }
+
+    /// Produce a freshly signed CRL valid until `now + lifetime_secs`.
+    pub fn current_crl(&self, now: u64, lifetime_secs: u64) -> Crl {
+        Crl::build(
+            self.certificate.tbs.subject.clone(),
+            now,
+            now.saturating_add(lifetime_secs),
+            self.revoked.values().copied(),
+            &self.key,
+        )
+    }
+}
+
+impl std::fmt::Debug for CertificateAuthority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CertificateAuthority")
+            .field("subject", &self.certificate.tbs.subject.common_name)
+            .field("issued", &self.issued)
+            .field("revoked", &self.revoked.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfguard_crypto::drbg::HmacDrbg;
+
+    fn test_ca() -> CertificateAuthority {
+        let mut rng = HmacDrbg::new(b"ca test seed");
+        CertificateAuthority::new(
+            DistinguishedName::new("verification-manager").with_org("rise-sics"),
+            Validity::new(0, 1_000_000),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let ca = test_ca();
+        assert!(ca.certificate().is_self_signed());
+        assert!(ca.certificate().tbs.is_ca);
+        assert!(ca
+            .certificate()
+            .tbs
+            .key_usage
+            .permits(KeyUsage::KEY_CERT_SIGN));
+    }
+
+    #[test]
+    fn issues_verifiable_certificates_with_unique_serials() {
+        let mut ca = test_ca();
+        let leaf = SigningKey::from_seed(&[9; 32]);
+        let a = ca.issue(
+            DistinguishedName::new("vnf-1"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([1; 32]),
+            100,
+        );
+        let b = ca.issue(
+            DistinguishedName::new("vnf-2"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([1; 32]),
+            100,
+        );
+        a.verify_signature(&ca.public_key()).unwrap();
+        b.verify_signature(&ca.public_key()).unwrap();
+        assert_ne!(a.serial(), b.serial());
+        assert_eq!(ca.issued_count(), 2);
+        assert_eq!(a.tbs.enclave_binding, Some([1; 32]));
+        assert!(a.tbs.key_usage.permits(KeyUsage::CLIENT_AUTH));
+        assert!(!a.tbs.is_ca);
+        assert_eq!(a.tbs.validity.not_after, 100 + 24 * 3600);
+    }
+
+    #[test]
+    fn sign_request_checks_pop() {
+        let mut ca = test_ca();
+        let leaf = SigningKey::from_seed(&[1; 32]);
+        let csr = CertificateRequest::new(DistinguishedName::new("vnf"), &leaf, b"ctx");
+        let cert = ca
+            .sign_request(&csr, &IssueProfile::vnf_client([2; 32]), 0)
+            .unwrap();
+        cert.verify_signature(&ca.public_key()).unwrap();
+
+        // A tampered CSR is refused.
+        let mut bad = csr;
+        bad.subject.common_name = "other".into();
+        assert!(ca
+            .sign_request(&bad, &IssueProfile::vnf_client([2; 32]), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn revocation_appears_in_crl() {
+        let mut ca = test_ca();
+        let leaf = SigningKey::from_seed(&[1; 32]);
+        let cert = ca.issue(
+            DistinguishedName::new("vnf"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([0; 32]),
+            0,
+        );
+        assert!(!ca.is_revoked(cert.serial()));
+        ca.revoke(cert.serial(), RevocationReason::KeyCompromise, 50);
+        assert!(ca.is_revoked(cert.serial()));
+
+        let crl = ca.current_crl(60, 300);
+        crl.verify(&ca.public_key()).unwrap();
+        let entry = crl.lookup(cert.serial()).unwrap();
+        assert_eq!(entry.reason, RevocationReason::KeyCompromise);
+        assert_eq!(entry.revoked_at, 50);
+        assert_eq!(crl.next_update, 360);
+    }
+
+    #[test]
+    fn crl_reflects_current_registry() {
+        let mut ca = test_ca();
+        assert!(ca.current_crl(0, 10).is_empty());
+        ca.revoke(5, RevocationReason::Unspecified, 1);
+        ca.revoke(6, RevocationReason::Unspecified, 2);
+        assert_eq!(ca.current_crl(3, 10).len(), 2);
+    }
+
+    #[test]
+    fn server_profile_lacks_client_auth() {
+        let mut ca = test_ca();
+        let key = SigningKey::from_seed(&[2; 32]);
+        let cert = ca.issue(
+            DistinguishedName::new("controller"),
+            key.public_key(),
+            &IssueProfile::server(),
+            0,
+        );
+        assert!(cert.tbs.key_usage.permits(KeyUsage::SERVER_AUTH));
+        assert!(!cert.tbs.key_usage.permits(KeyUsage::CLIENT_AUTH));
+        assert_eq!(cert.tbs.enclave_binding, None);
+    }
+}

@@ -1,0 +1,149 @@
+//! The per-client keystore model (Floodlight's default trusted-HTTPS mode).
+//!
+//! Floodlight validates clients "by adding client certificates to its
+//! keystore" (paper §3). This module reproduces that model faithfully —
+//! including its operational pain: every newly provisioned VNF credential
+//! requires a keystore update on the controller, lookups scan the store,
+//! and stale entries accumulate. Experiment E5 benchmarks this against the
+//! CA validation in [`crate::chain::TrustStore`].
+
+use crate::cert::Certificate;
+
+/// An alias→certificate store in the style of a Java keystore used as a
+/// trust source (linear structure, insertion order preserved).
+#[derive(Debug, Default)]
+pub struct KeyStore {
+    entries: Vec<(String, Certificate)>,
+}
+
+impl KeyStore {
+    pub fn new() -> KeyStore {
+        KeyStore::default()
+    }
+
+    /// Add (or replace) an entry under `alias`.
+    pub fn set(&mut self, alias: &str, cert: Certificate) {
+        if let Some(slot) = self.entries.iter_mut().find(|(a, _)| a == alias) {
+            slot.1 = cert;
+        } else {
+            self.entries.push((alias.to_string(), cert));
+        }
+    }
+
+    /// Remove an entry; returns whether it existed.
+    pub fn remove(&mut self, alias: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(a, _)| a != alias);
+        self.entries.len() != before
+    }
+
+    pub fn get(&self, alias: &str) -> Option<&Certificate> {
+        self.entries
+            .iter()
+            .find(|(a, _)| a == alias)
+            .map(|(_, c)| c)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn aliases(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(a, _)| a.as_str())
+    }
+
+    /// The keystore trust decision: is this exact certificate present?
+    ///
+    /// This is a full scan comparing fingerprints — the per-client model the
+    /// paper replaces. Cost grows linearly with enrolled clients.
+    pub fn contains_certificate(&self, cert: &Certificate) -> bool {
+        let fp = cert.fingerprint();
+        self.entries.iter().any(|(_, c)| c.fingerprint() == fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{CertificateAuthority, IssueProfile};
+    use crate::cert::{DistinguishedName, Validity};
+    use vnfguard_crypto::drbg::HmacDrbg;
+    use vnfguard_crypto::ed25519::SigningKey;
+
+    fn certs(n: usize) -> Vec<Certificate> {
+        let mut rng = HmacDrbg::new(b"keystore");
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::new("ca"),
+            Validity::new(0, 1000),
+            &mut rng,
+        );
+        let key = SigningKey::from_seed(&[1; 32]);
+        (0..n)
+            .map(|i| {
+                ca.issue(
+                    DistinguishedName::new(&format!("vnf-{i}")),
+                    key.public_key(),
+                    &IssueProfile::vnf_client([i as u8; 32]),
+                    0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut ks = KeyStore::new();
+        let cs = certs(2);
+        ks.set("a", cs[0].clone());
+        ks.set("b", cs[1].clone());
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks.get("a").unwrap().subject_cn(), "vnf-0");
+        assert!(ks.remove("a"));
+        assert!(!ks.remove("a"));
+        assert!(ks.get("a").is_none());
+        assert_eq!(ks.len(), 1);
+    }
+
+    #[test]
+    fn replace_under_same_alias() {
+        let mut ks = KeyStore::new();
+        let cs = certs(2);
+        ks.set("x", cs[0].clone());
+        ks.set("x", cs[1].clone());
+        assert_eq!(ks.len(), 1);
+        assert_eq!(ks.get("x").unwrap().subject_cn(), "vnf-1");
+    }
+
+    #[test]
+    fn membership_is_exact_certificate_match() {
+        let mut ks = KeyStore::new();
+        let cs = certs(3);
+        ks.set("a", cs[0].clone());
+        ks.set("b", cs[1].clone());
+        assert!(ks.contains_certificate(&cs[0]));
+        assert!(ks.contains_certificate(&cs[1]));
+        // Same subject, different serial — not trusted.
+        assert!(!ks.contains_certificate(&cs[2]));
+    }
+
+    #[test]
+    fn aliases_iteration() {
+        let mut ks = KeyStore::new();
+        for (i, c) in certs(3).into_iter().enumerate() {
+            ks.set(&format!("alias-{i}"), c);
+        }
+        let aliases: Vec<&str> = ks.aliases().collect();
+        assert_eq!(aliases, vec!["alias-0", "alias-1", "alias-2"]);
+    }
+
+    #[test]
+    fn empty_store_trusts_nothing() {
+        let ks = KeyStore::new();
+        assert!(ks.is_empty());
+        assert!(!ks.contains_certificate(&certs(1)[0]));
+    }
+}

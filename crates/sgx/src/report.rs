@@ -1,0 +1,159 @@
+//! Local attestation reports (`EREPORT`).
+//!
+//! A report binds an enclave's identity and 64 bytes of caller data to a
+//! MAC that only the *target* enclave on the same platform can re-derive
+//! (via its report key). The quoting enclave consumes these to produce
+//! remotely verifiable quotes.
+
+use crate::measurement::Measurement;
+use crate::SgxError;
+use vnfguard_encoding::{TlvReader, TlvWriter};
+
+const TAG_CPU_SVN: u8 = 0x50;
+const TAG_ATTRIBUTES: u8 = 0x51;
+const TAG_MRENCLAVE: u8 = 0x52;
+const TAG_MRSIGNER: u8 = 0x53;
+const TAG_PROD_ID: u8 = 0x54;
+const TAG_ISV_SVN: u8 = 0x55;
+const TAG_REPORT_DATA: u8 = 0x56;
+const TAG_BODY: u8 = 0x57;
+const TAG_KEY_ID: u8 = 0x58;
+const TAG_MAC: u8 = 0x59;
+
+/// Attribute flags carried in reports and quotes.
+pub mod attributes {
+    /// Enclave was initialized in debug mode (its memory is inspectable —
+    /// production appraisal must reject this).
+    pub const DEBUG: u64 = 1 << 1;
+    /// Enclave has been initialized.
+    pub const INIT: u64 = 1 << 0;
+}
+
+/// Identity of the enclave a report should be targeted at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInfo {
+    pub mrenclave: Measurement,
+}
+
+/// The signed body of a report (identical fields appear inside quotes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportBody {
+    pub cpu_svn: [u8; 16],
+    pub attributes: u64,
+    pub mrenclave: Measurement,
+    pub mrsigner: Measurement,
+    pub isv_prod_id: u16,
+    pub isv_svn: u16,
+    pub report_data: [u8; 64],
+}
+
+impl ReportBody {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(TAG_CPU_SVN, &self.cpu_svn)
+            .u64(TAG_ATTRIBUTES, self.attributes)
+            .bytes(TAG_MRENCLAVE, self.mrenclave.as_bytes())
+            .bytes(TAG_MRSIGNER, self.mrsigner.as_bytes())
+            .u32(TAG_PROD_ID, self.isv_prod_id as u32)
+            .u32(TAG_ISV_SVN, self.isv_svn as u32)
+            .bytes(TAG_REPORT_DATA, &self.report_data);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<ReportBody, SgxError> {
+        let mut r = TlvReader::new(bytes);
+        let body = ReportBody {
+            cpu_svn: r.expect_array::<16>(TAG_CPU_SVN)?,
+            attributes: r.expect_u64(TAG_ATTRIBUTES)?,
+            mrenclave: Measurement(r.expect_array::<32>(TAG_MRENCLAVE)?),
+            mrsigner: Measurement(r.expect_array::<32>(TAG_MRSIGNER)?),
+            isv_prod_id: r.expect_u32(TAG_PROD_ID)? as u16,
+            isv_svn: r.expect_u32(TAG_ISV_SVN)? as u16,
+            report_data: r.expect_array::<64>(TAG_REPORT_DATA)?,
+        };
+        r.finish()?;
+        Ok(body)
+    }
+
+    /// Is the debug attribute set?
+    pub fn is_debug(&self) -> bool {
+        self.attributes & attributes::DEBUG != 0
+    }
+}
+
+/// A MAC'd local-attestation report targeted at one enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    pub body: ReportBody,
+    /// Key-derivation diversifier for the report key.
+    pub key_id: [u8; 16],
+    /// HMAC-SHA256 under the target's report key.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = TlvWriter::new();
+        w.bytes(TAG_BODY, &self.body.encode())
+            .bytes(TAG_KEY_ID, &self.key_id)
+            .bytes(TAG_MAC, &self.mac);
+        w.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<Report, SgxError> {
+        let mut r = TlvReader::new(bytes);
+        let body = ReportBody::decode(r.expect(TAG_BODY)?)?;
+        let key_id = r.expect_array::<16>(TAG_KEY_ID)?;
+        let mac = r.expect_array::<32>(TAG_MAC)?;
+        r.finish()?;
+        Ok(Report { body, key_id, mac })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_body() -> ReportBody {
+        ReportBody {
+            cpu_svn: [1; 16],
+            attributes: attributes::INIT,
+            mrenclave: Measurement([2; 32]),
+            mrsigner: Measurement([3; 32]),
+            isv_prod_id: 4,
+            isv_svn: 5,
+            report_data: [6; 64],
+        }
+    }
+
+    #[test]
+    fn body_roundtrip() {
+        let body = sample_body();
+        assert_eq!(ReportBody::decode(&body.encode()).unwrap(), body);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let report = Report {
+            body: sample_body(),
+            key_id: [7; 16],
+            mac: [8; 32],
+        };
+        assert_eq!(Report::decode(&report.encode()).unwrap(), report);
+    }
+
+    #[test]
+    fn debug_flag() {
+        let mut body = sample_body();
+        assert!(!body.is_debug());
+        body.attributes |= attributes::DEBUG;
+        assert!(body.is_debug());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = sample_body().encode();
+        assert!(ReportBody::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(ReportBody::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,102 @@
+//! The enclave-transition cost model.
+//!
+//! Real SGX pays thousands of cycles per `ECALL`/`OCALL` crossing (TLB
+//! flushes, register scrubbing). The simulator models this as a calibrated
+//! busy-wait so that experiments measuring the enclave-residency overhead
+//! (E4, E7) reproduce the *shape* of that cost: a fixed per-crossing price
+//! that is amortized by batching. Tests run with the cost set to zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cost model shared by all enclaves of a platform.
+#[derive(Debug)]
+pub struct TransitionModel {
+    /// Busy-wait iterations per enclave entry (ECALL).
+    ecall_spin: u64,
+    /// Busy-wait iterations per enclave exit back to the caller.
+    oret_spin: u64,
+    ecalls: AtomicU64,
+}
+
+impl TransitionModel {
+    /// Zero-cost model (unit tests, functional runs).
+    pub fn free() -> TransitionModel {
+        TransitionModel::new(0, 0)
+    }
+
+    /// Calibrated model: `ecall_spin`/`oret_spin` busy-wait iterations per
+    /// crossing. On the machines this workspace targets, one iteration is
+    /// roughly one cycle, so ~8000/4000 approximates published SGX1 numbers.
+    pub fn new(ecall_spin: u64, oret_spin: u64) -> TransitionModel {
+        TransitionModel {
+            ecall_spin,
+            oret_spin,
+            ecalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Default calibration approximating SGX1 crossing costs.
+    pub fn sgx1_like() -> TransitionModel {
+        TransitionModel::new(8_000, 4_000)
+    }
+
+    /// Account and pay for one full ecall round trip.
+    pub fn enter_exit(&self) {
+        self.ecalls.fetch_add(1, Ordering::Relaxed);
+        spin(self.ecall_spin);
+        spin(self.oret_spin);
+    }
+
+    /// Number of ecalls performed through this model.
+    pub fn ecall_count(&self) -> u64 {
+        self.ecalls.load(Ordering::Relaxed)
+    }
+
+    /// Whether crossings are free (functional mode).
+    pub fn is_free(&self) -> bool {
+        self.ecall_spin == 0 && self.oret_spin == 0
+    }
+}
+
+#[inline]
+fn spin(iterations: u64) {
+    for _ in 0..iterations {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_crossings() {
+        let model = TransitionModel::free();
+        assert_eq!(model.ecall_count(), 0);
+        model.enter_exit();
+        model.enter_exit();
+        assert_eq!(model.ecall_count(), 2);
+    }
+
+    #[test]
+    fn free_model_is_flagged() {
+        assert!(TransitionModel::free().is_free());
+        assert!(!TransitionModel::sgx1_like().is_free());
+    }
+
+    #[test]
+    fn calibrated_model_costs_time() {
+        let free = TransitionModel::free();
+        let costly = TransitionModel::new(2_000_000, 0);
+        let t0 = std::time::Instant::now();
+        free.enter_exit();
+        let free_time = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        costly.enter_exit();
+        let costly_time = t1.elapsed();
+        assert!(
+            costly_time > free_time,
+            "calibrated crossing ({costly_time:?}) should exceed free ({free_time:?})"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! The HKDF-based key schedule (TLS 1.3 shaped).
+
+use crate::CipherSuite;
+use vnfguard_crypto::hkdf;
+use vnfguard_crypto::hmac::hmac_sha256;
+use vnfguard_crypto::sha2::Sha256;
+
+/// Running transcript hash over handshake message bytes.
+#[derive(Clone)]
+pub struct Transcript {
+    hasher: Sha256,
+}
+
+impl Transcript {
+    pub fn new() -> Transcript {
+        Transcript {
+            hasher: Sha256::new(),
+        }
+    }
+
+    pub fn absorb(&mut self, message_bytes: &[u8]) {
+        self.hasher.update(message_bytes);
+    }
+
+    /// Hash of everything absorbed so far (the transcript continues).
+    pub fn current(&self) -> [u8; 32] {
+        self.hasher.clone().finalize()
+    }
+}
+
+impl Default for Transcript {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Directional traffic secrets at one stage.
+#[derive(Clone)]
+pub struct StageSecrets {
+    pub client: [u8; 32],
+    pub server: [u8; 32],
+}
+
+/// Key material for one direction of the record layer.
+#[derive(Clone)]
+pub struct TrafficKeys {
+    pub key: Vec<u8>,
+    pub iv: [u8; 12],
+}
+
+/// The full schedule state.
+pub struct KeySchedule {
+    #[cfg_attr(not(test), allow(dead_code))]
+    handshake_secret: [u8; 32],
+    master_secret: [u8; 32],
+    pub handshake: StageSecrets,
+}
+
+fn derive_secret(prk: &[u8; 32], label: &str, transcript_hash: &[u8]) -> [u8; 32] {
+    hkdf::expand_label(prk, label, transcript_hash, 32)
+        .try_into()
+        .expect("32")
+}
+
+impl KeySchedule {
+    /// Enter the handshake stage from the ECDHE shared secret and the
+    /// transcript hash of ClientHello..ServerHello.
+    pub fn after_hellos(shared_secret: &[u8; 32], hello_hash: &[u8; 32]) -> KeySchedule {
+        let early = hkdf::extract(&[], &[0u8; 32]);
+        let derived = derive_secret(&early, "derived", &[]);
+        let handshake_secret = hkdf::extract(&derived, shared_secret);
+        let handshake = StageSecrets {
+            client: derive_secret(&handshake_secret, "c hs traffic", hello_hash),
+            server: derive_secret(&handshake_secret, "s hs traffic", hello_hash),
+        };
+        let derived = derive_secret(&handshake_secret, "derived", &[]);
+        let master_secret = hkdf::extract(&derived, &[0u8; 32]);
+        KeySchedule {
+            handshake_secret,
+            master_secret,
+            handshake,
+        }
+    }
+
+    /// Application traffic secrets, bound to the transcript through the
+    /// server Finished message.
+    pub fn application(&self, finished_hash: &[u8; 32]) -> StageSecrets {
+        StageSecrets {
+            client: derive_secret(&self.master_secret, "c ap traffic", finished_hash),
+            server: derive_secret(&self.master_secret, "s ap traffic", finished_hash),
+        }
+    }
+
+    /// The Finished MAC key for a handshake traffic secret.
+    pub fn finished_key(traffic_secret: &[u8; 32]) -> [u8; 32] {
+        derive_secret(traffic_secret, "finished", &[])
+    }
+
+    /// Compute a Finished MAC over a transcript hash.
+    pub fn finished_mac(traffic_secret: &[u8; 32], transcript_hash: &[u8; 32]) -> [u8; 32] {
+        hmac_sha256(&Self::finished_key(traffic_secret), transcript_hash)
+    }
+
+    /// Exporter for channel-binding values (e.g. binding a provisioned
+    /// credential to this exact session).
+    pub fn exporter(&self, label: &str, context: &[u8], len: usize) -> Vec<u8> {
+        hkdf::expand_label(&self.master_secret, label, context, len)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn handshake_secret(&self) -> [u8; 32] {
+        self.handshake_secret
+    }
+}
+
+/// Expand a traffic secret into record-protection keys for `suite`.
+pub fn traffic_keys(secret: &[u8; 32], suite: CipherSuite) -> TrafficKeys {
+    TrafficKeys {
+        key: hkdf::expand_label(secret, "key", &[], suite.key_len()),
+        iv: hkdf::expand_label(secret, "iv", &[], 12)
+            .try_into()
+            .expect("12"),
+    }
+}
+
+/// Per-record nonce: IV xor big-endian sequence number.
+pub fn record_nonce(iv: &[u8; 12], seq: u64) -> [u8; 12] {
+    let mut nonce = *iv;
+    let seq_bytes = seq.to_be_bytes();
+    for i in 0..8 {
+        nonce[4 + i] ^= seq_bytes[i];
+    }
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_shared() {
+        let shared = [7u8; 32];
+        let hash = [9u8; 32];
+        let a = KeySchedule::after_hellos(&shared, &hash);
+        let b = KeySchedule::after_hellos(&shared, &hash);
+        assert_eq!(a.handshake.client, b.handshake.client);
+        assert_eq!(a.handshake.server, b.handshake.server);
+        assert_eq!(a.handshake_secret(), b.handshake_secret());
+    }
+
+    #[test]
+    fn directions_differ() {
+        let ks = KeySchedule::after_hellos(&[1; 32], &[2; 32]);
+        assert_ne!(ks.handshake.client, ks.handshake.server);
+        let app = ks.application(&[3; 32]);
+        assert_ne!(app.client, app.server);
+        assert_ne!(app.client, ks.handshake.client);
+    }
+
+    #[test]
+    fn transcript_binds_all_stages() {
+        let a = KeySchedule::after_hellos(&[1; 32], &[2; 32]);
+        let b = KeySchedule::after_hellos(&[1; 32], &[3; 32]);
+        assert_ne!(a.handshake.client, b.handshake.client);
+        // Different finished hashes give different app secrets even with
+        // identical earlier stages.
+        assert_ne!(
+            a.application(&[4; 32]).client,
+            a.application(&[5; 32]).client
+        );
+    }
+
+    #[test]
+    fn shared_secret_binds_schedule() {
+        let a = KeySchedule::after_hellos(&[1; 32], &[2; 32]);
+        let b = KeySchedule::after_hellos(&[9; 32], &[2; 32]);
+        assert_ne!(a.handshake.server, b.handshake.server);
+    }
+
+    #[test]
+    fn finished_mac_depends_on_secret_and_hash() {
+        let m1 = KeySchedule::finished_mac(&[1; 32], &[2; 32]);
+        let m2 = KeySchedule::finished_mac(&[1; 32], &[3; 32]);
+        let m3 = KeySchedule::finished_mac(&[4; 32], &[2; 32]);
+        assert_ne!(m1, m2);
+        assert_ne!(m1, m3);
+        assert_eq!(m1, KeySchedule::finished_mac(&[1; 32], &[2; 32]));
+    }
+
+    #[test]
+    fn traffic_keys_lengths() {
+        let aes = traffic_keys(&[1; 32], CipherSuite::Aes128Gcm);
+        assert_eq!(aes.key.len(), 16);
+        let chacha = traffic_keys(&[1; 32], CipherSuite::ChaCha20Poly1305);
+        assert_eq!(chacha.key.len(), 32);
+        assert_ne!(aes.key, chacha.key[..16]);
+    }
+
+    #[test]
+    fn nonce_sequence() {
+        let iv = [0xaa; 12];
+        let n0 = record_nonce(&iv, 0);
+        let n1 = record_nonce(&iv, 1);
+        assert_eq!(n0, iv);
+        assert_ne!(n0, n1);
+        // Only the tail 8 bytes vary.
+        assert_eq!(n0[..4], n1[..4]);
+    }
+
+    #[test]
+    fn transcript_running_hash() {
+        let mut t = Transcript::new();
+        let h0 = t.current();
+        t.absorb(b"msg1");
+        let h1 = t.current();
+        t.absorb(b"msg2");
+        let h2 = t.current();
+        assert_ne!(h0, h1);
+        assert_ne!(h1, h2);
+        // Same absorptions give the same hash; current() is non-destructive.
+        let mut t2 = Transcript::new();
+        t2.absorb(b"msg1");
+        t2.absorb(b"msg2");
+        assert_eq!(t2.current(), h2);
+        assert_eq!(t2.current(), h2);
+    }
+
+    #[test]
+    fn exporter_diversity() {
+        let ks = KeySchedule::after_hellos(&[1; 32], &[2; 32]);
+        let a = ks.exporter("binding", b"ctx", 32);
+        let b = ks.exporter("binding", b"other", 32);
+        let c = ks.exporter("other", b"ctx", 32);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+    }
+}

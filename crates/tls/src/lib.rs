@@ -1,0 +1,125 @@
+//! # vnfguard-tls
+//!
+//! A TLS-1.3-shaped secure channel, built from scratch on the workspace
+//! crypto: X25519 ECDHE, an HKDF key schedule with labeled derivations,
+//! Ed25519 certificate authentication, AEAD-protected records, and both
+//! server-only and mutual authentication.
+//!
+//! This stands in for the paper's mbedtls-SGX: the handshake and record
+//! protection run wherever the caller places them — in particular *inside*
+//! the credential enclave (`vnfguard-vnf`), so that "the security context
+//! established for each TLS session (including the session key) does not
+//! leave the enclave" (paper §2).
+//!
+//! The crucial design decision enabling enclave residency is the
+//! [`signer::IdentitySigner`] trait: the handshake never touches a private
+//! key, it only requests signatures — the enclave implements the trait with
+//! an internal key that has no extraction path.
+//!
+//! Client validation supports both models the paper contrasts (§3):
+//! CA-signature validation ([`validate::ClientValidator::Ca`]) and
+//! per-client keystore membership ([`validate::ClientValidator::Keystore`]).
+//! Experiment **E5** benchmarks them against each other.
+//!
+//! ## Protocol shape (one round trip)
+//!
+//! ```text
+//! C → S  ClientHello(random, x25519 share, suites)
+//! S → C  ServerHello(random, x25519 share, suite)       [plaintext]
+//! S → C  {CertRequest?} {Cert} {CertVerify} {Finished}  [hs keys]
+//! C → S  {Cert CertVerify}? {Finished}                  [hs keys]
+//! ......  application data                               [app keys]
+//! ```
+
+pub mod handshake;
+pub mod keyschedule;
+pub mod messages;
+pub mod record;
+pub mod signer;
+pub mod stream;
+pub mod validate;
+
+pub use handshake::{client_handshake, server_handshake, ClientConfig, ServerConfig};
+pub use signer::{IdentitySigner, LocalSigner};
+pub use stream::TlsStream;
+pub use validate::ClientValidator;
+
+/// Cipher suites the channel can negotiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CipherSuite {
+    Aes128Gcm,
+    ChaCha20Poly1305,
+}
+
+impl CipherSuite {
+    pub(crate) fn to_u8(self) -> u8 {
+        match self {
+            CipherSuite::Aes128Gcm => 1,
+            CipherSuite::ChaCha20Poly1305 => 2,
+        }
+    }
+
+    pub(crate) fn from_u8(v: u8) -> Option<CipherSuite> {
+        match v {
+            1 => Some(CipherSuite::Aes128Gcm),
+            2 => Some(CipherSuite::ChaCha20Poly1305),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn key_len(self) -> usize {
+        match self {
+            CipherSuite::Aes128Gcm => 16,
+            CipherSuite::ChaCha20Poly1305 => 32,
+        }
+    }
+}
+
+/// Errors from handshaking and record protection.
+#[derive(Debug)]
+pub enum TlsError {
+    Io(std::io::Error),
+    /// Structural problem in a handshake message or record.
+    Protocol(String),
+    /// No common cipher suite.
+    NoSuiteOverlap,
+    /// Peer certificate failed validation.
+    CertificateRejected(vnfguard_pki::PkiError),
+    /// A CertificateVerify or Finished check failed.
+    AuthenticationFailed(String),
+    /// Server requires a client certificate and none was offered.
+    ClientCertificateRequired,
+    /// Record decryption failed (tampering or key mismatch).
+    BadRecord,
+    /// The peer's key share was invalid (e.g. low-order point).
+    BadKeyShare,
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::Io(e) => write!(f, "io: {e}"),
+            TlsError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            TlsError::NoSuiteOverlap => write!(f, "no common cipher suite"),
+            TlsError::CertificateRejected(e) => write!(f, "certificate rejected: {e}"),
+            TlsError::AuthenticationFailed(msg) => write!(f, "authentication failed: {msg}"),
+            TlsError::ClientCertificateRequired => write!(f, "client certificate required"),
+            TlsError::BadRecord => write!(f, "record authentication failed"),
+            TlsError::BadKeyShare => write!(f, "invalid peer key share"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<std::io::Error> for TlsError {
+    fn from(e: std::io::Error) -> TlsError {
+        TlsError::Io(e)
+    }
+}
+
+impl From<vnfguard_encoding::EncodingError> for TlsError {
+    fn from(e: vnfguard_encoding::EncodingError) -> TlsError {
+        TlsError::Protocol(e.to_string())
+    }
+}

@@ -1,0 +1,127 @@
+//! Identity signing abstraction.
+//!
+//! The handshake requests CertificateVerify signatures through this trait
+//! instead of holding a private key, so the key can live inside an SGX
+//! enclave (the paper's core requirement). [`LocalSigner`] is the plain
+//! in-process implementation used by servers and tests; the enclave-backed
+//! implementation lives in `vnfguard-vnf`.
+
+use vnfguard_crypto::ed25519::SigningKey;
+use vnfguard_pki::Certificate;
+
+/// Something that can present a certificate and sign handshake transcripts
+/// with the matching private key.
+pub trait IdentitySigner: Send + Sync {
+    /// The certificate to present to the peer.
+    fn certificate(&self) -> Certificate;
+
+    /// Sign `message` with the private key matching the certificate.
+    fn sign(&self, message: &[u8]) -> Vec<u8>;
+}
+
+/// Process-local signer: key material held in ordinary memory.
+pub struct LocalSigner {
+    key: SigningKey,
+    certificate: Certificate,
+}
+
+impl LocalSigner {
+    /// Create from a key and its certificate. Panics if the certificate's
+    /// public key does not match the signing key (a configuration bug that
+    /// would otherwise surface as remote authentication failures).
+    pub fn new(key: SigningKey, certificate: Certificate) -> LocalSigner {
+        assert_eq!(
+            certificate.tbs.public_key,
+            key.public_key(),
+            "certificate public key does not match signing key"
+        );
+        LocalSigner { key, certificate }
+    }
+}
+
+impl IdentitySigner for LocalSigner {
+    fn certificate(&self) -> Certificate {
+        self.certificate.clone()
+    }
+
+    fn sign(&self, message: &[u8]) -> Vec<u8> {
+        self.key.sign(message).to_vec()
+    }
+}
+
+impl std::fmt::Debug for LocalSigner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalSigner")
+            .field("subject", &self.certificate.subject_cn())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Domain-separated message actually signed in CertificateVerify: prevents
+/// cross-protocol signature reuse and distinguishes the two roles.
+pub fn certificate_verify_payload(server: bool, transcript_hash: &[u8; 32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(64);
+    payload.extend_from_slice(if server {
+        b"vnfguard-tls server CertificateVerify".as_slice()
+    } else {
+        b"vnfguard-tls client CertificateVerify".as_slice()
+    });
+    payload.extend_from_slice(transcript_hash);
+    payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfguard_pki::cert::{DistinguishedName, KeyUsage, TbsCertificate, Validity};
+
+    fn cert_for(key: &SigningKey) -> Certificate {
+        Certificate::sign(
+            TbsCertificate {
+                serial: 1,
+                subject: DistinguishedName::new("x"),
+                issuer: DistinguishedName::new("ca"),
+                validity: Validity::new(0, 100),
+                public_key: key.public_key(),
+                key_usage: KeyUsage::DIGITAL_SIGNATURE,
+                is_ca: false,
+                enclave_binding: None,
+            },
+            key,
+        )
+    }
+
+    #[test]
+    fn local_signer_signs_verifiably() {
+        let key = SigningKey::from_seed(&[1; 32]);
+        let signer = LocalSigner::new(key.clone(), cert_for(&key));
+        let sig = signer.sign(b"transcript");
+        signer
+            .certificate()
+            .tbs
+            .public_key
+            .verify(b"transcript", &sig)
+            .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_certificate_panics() {
+        let key = SigningKey::from_seed(&[1; 32]);
+        let other = SigningKey::from_seed(&[2; 32]);
+        let _ = LocalSigner::new(key, cert_for(&other));
+    }
+
+    #[test]
+    fn verify_payload_separates_roles() {
+        let h = [5u8; 32];
+        assert_ne!(
+            certificate_verify_payload(true, &h),
+            certificate_verify_payload(false, &h)
+        );
+        assert_ne!(
+            certificate_verify_payload(true, &h),
+            certificate_verify_payload(true, &[6u8; 32])
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Host-side wrapper deploying and driving a credential enclave.
+
+use crate::credential_enclave::{
+    self, decode_net_recv, decode_net_send, encode_attest_input, encode_open_session,
+    encode_session_request, op, CredentialEnclave, EnclaveStatus,
+};
+use crate::VnfError;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use vnfguard_net::fabric::Network;
+use vnfguard_net::http::{read_response, write_request, Request, Response};
+use vnfguard_net::stream::Duplex;
+use vnfguard_sgx::enclave::Enclave;
+use vnfguard_sgx::measurement::Measurement;
+use vnfguard_sgx::platform::SgxPlatform;
+use vnfguard_sgx::quote::Quote;
+use vnfguard_sgx::report::{Report, TargetInfo};
+use vnfguard_sgx::sigstruct::EnclaveAuthor;
+use vnfguard_sgx::SgxError;
+
+/// Default enclave size for credential enclaves.
+pub const ENCLAVE_SIZE: usize = 256 * 1024;
+
+/// A VNF's enclave-guarded credential store, as deployed on a container
+/// host. Owns the enclave and the network connections its ocalls use.
+pub struct VnfGuard {
+    pub name: String,
+    enclave: Enclave,
+    network: Network,
+    connections: HashMap<u32, Duplex>,
+    next_conn: u32,
+}
+
+impl VnfGuard {
+    /// Load the credential enclave for `name` on `platform`, using the
+    /// canonical image bytes for (name, version) signed by `author`.
+    pub fn load(
+        platform: &SgxPlatform,
+        network: &Network,
+        author: &EnclaveAuthor,
+        name: &str,
+        version: u32,
+    ) -> Result<VnfGuard, VnfError> {
+        let image = CredentialEnclave::image_for(name, version);
+        VnfGuard::load_image(platform, network, author, name, &image, version as u16)
+    }
+
+    /// Load from explicit image bytes (e.g. the enclave image shipped in a
+    /// container). A tampered image fails launch control here.
+    pub fn load_image(
+        platform: &SgxPlatform,
+        network: &Network,
+        author: &EnclaveAuthor,
+        name: &str,
+        image: &[u8],
+        isv_svn: u16,
+    ) -> Result<VnfGuard, VnfError> {
+        let mrenclave = SgxPlatform::measure_image(image, ENCLAVE_SIZE);
+        let signed = author.sign_enclave(mrenclave, 1, isv_svn, false);
+        let enclave = platform.load_enclave(
+            &signed,
+            ENCLAVE_SIZE,
+            Box::new(CredentialEnclave::new(image)),
+        )?;
+        Ok(VnfGuard {
+            name: name.to_string(),
+            enclave,
+            network: network.clone(),
+            connections: HashMap::new(),
+            next_conn: 1,
+        })
+    }
+
+    /// The enclave's measured identity.
+    pub fn mrenclave(&self) -> Measurement {
+        self.enclave.mrenclave()
+    }
+
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Fetch the enclave's provisioning public key.
+    pub fn provisioning_key(&self) -> Result<[u8; 32], VnfError> {
+        let bytes = self.enclave.ecall(op::GET_PROVISION_KEY, &[])?;
+        bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| VnfError::Encoding("bad provisioning key length".into()))
+    }
+
+    /// Produce a local attestation report targeted at `target` carrying the
+    /// provisioning-key binding and `nonce`.
+    pub fn attestation_report(
+        &self,
+        target: &TargetInfo,
+        nonce: &[u8; 32],
+    ) -> Result<Report, VnfError> {
+        let bytes = self
+            .enclave
+            .ecall(op::ATTEST, &encode_attest_input(target, nonce))?;
+        Ok(Report::decode(&bytes)?)
+    }
+
+    /// Full quote flow: report targeted at the platform QE, then quoted.
+    pub fn quote(
+        &self,
+        platform: &SgxPlatform,
+        nonce: &[u8; 32],
+        basename: [u8; 32],
+    ) -> Result<Quote, VnfError> {
+        let qe = platform.quoting_enclave();
+        let report = self.attestation_report(&qe.target_info(), nonce)?;
+        Ok(qe.quote(&report, basename)?)
+    }
+
+    /// Deliver a wrapped credential bundle into the enclave.
+    pub fn provision(&self, wrapped: &[u8]) -> Result<(), VnfError> {
+        self.enclave.ecall(op::PROVISION, wrapped)?;
+        Ok(())
+    }
+
+    /// Export the sealed credential blob for restart persistence.
+    pub fn export_sealed(&self) -> Result<Vec<u8>, VnfError> {
+        Ok(self.enclave.ecall(op::EXPORT_SEALED, &[])?)
+    }
+
+    /// Restore credentials from a sealed blob (same enclave identity and
+    /// platform only).
+    pub fn import_sealed(&self, blob: &[u8]) -> Result<(), VnfError> {
+        self.enclave.ecall(op::IMPORT_SEALED, blob)?;
+        Ok(())
+    }
+
+    /// Current provisioning status.
+    pub fn status(&self) -> Result<EnclaveStatus, VnfError> {
+        EnclaveStatus::decode(&self.enclave.ecall(op::STATUS, &[])?)
+    }
+
+    /// Wipe credentials (local revocation; paper: "provision or revoke").
+    pub fn wipe(&self) -> Result<(), VnfError> {
+        self.enclave.ecall(op::WIPE, &[])?;
+        Ok(())
+    }
+
+    fn run_io_ecall(&mut self, opcode: u16, input: &[u8]) -> Result<Vec<u8>, VnfError> {
+        let network = self.network.clone();
+        let connections = &mut self.connections;
+        let next_conn = &mut self.next_conn;
+        let result = self.enclave.ecall_io(opcode, input, |ocall_op, payload| {
+            match ocall_op {
+                credential_enclave::ocall::NET_CONNECT => {
+                    let addr = std::str::from_utf8(payload)
+                        .map_err(|_| SgxError::App("bad address".into()))?;
+                    let stream = network
+                        .connect(addr)
+                        .map_err(|e| SgxError::App(format!("connect {addr}: {e}")))?;
+                    let conn = *next_conn;
+                    *next_conn += 1;
+                    connections.insert(conn, stream);
+                    Ok(conn.to_be_bytes().to_vec())
+                }
+                credential_enclave::ocall::NET_SEND => {
+                    let (conn, bytes) = decode_net_send(payload)
+                        .map_err(|e| SgxError::App(e.to_string()))?;
+                    let stream = connections
+                        .get_mut(&conn)
+                        .ok_or_else(|| SgxError::App(format!("no connection {conn}")))?;
+                    stream
+                        .write_all(&bytes)
+                        .map_err(|e| SgxError::App(format!("send: {e}")))?;
+                    Ok(Vec::new())
+                }
+                credential_enclave::ocall::NET_RECV => {
+                    let (conn, max) = decode_net_recv(payload)
+                        .map_err(|e| SgxError::App(e.to_string()))?;
+                    let stream = connections
+                        .get_mut(&conn)
+                        .ok_or_else(|| SgxError::App(format!("no connection {conn}")))?;
+                    let mut buf = vec![0u8; max.min(64 * 1024)];
+                    let n = stream
+                        .read(&mut buf)
+                        .map_err(|e| SgxError::App(format!("recv: {e}")))?;
+                    buf.truncate(n);
+                    Ok(buf)
+                }
+                credential_enclave::ocall::NET_CLOSE => {
+                    let conn = u32::from_be_bytes(
+                        payload
+                            .try_into()
+                            .map_err(|_| SgxError::App("bad close payload".into()))?,
+                    );
+                    connections.remove(&conn);
+                    Ok(Vec::new())
+                }
+                other => Err(SgxError::App(format!("unknown ocall {other}"))),
+            }
+        })?;
+        Ok(result)
+    }
+
+    /// Open an in-enclave TLS session to the controller at `addr`.
+    pub fn open_session(&mut self, addr: &str, now: u64) -> Result<u32, VnfError> {
+        let bytes = self.run_io_ecall(op::OPEN_SESSION, &encode_open_session(addr, now))?;
+        let id: [u8; 4] = bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| VnfError::Encoding("bad session id".into()))?;
+        Ok(u32::from_be_bytes(id))
+    }
+
+    /// Perform an HTTPS request over an established in-enclave session.
+    pub fn request(&mut self, session: u32, request: &Request) -> Result<Response, VnfError> {
+        let mut raw = Vec::new();
+        write_request(&mut raw, request)?;
+        let response_bytes =
+            self.run_io_ecall(op::SESSION_REQUEST, &encode_session_request(session, &raw))?;
+        let mut reader = response_bytes.as_slice();
+        Ok(read_response(&mut reader)?)
+    }
+
+    /// Close an in-enclave session.
+    pub fn close_session(&mut self, session: u32) -> Result<(), VnfError> {
+        self.run_io_ecall(op::CLOSE_SESSION, &session.to_be_bytes())?;
+        Ok(())
+    }
+
+    /// Convenience: open a session, perform one request, close.
+    pub fn one_shot_request(
+        &mut self,
+        addr: &str,
+        now: u64,
+        request: &Request,
+    ) -> Result<Response, VnfError> {
+        let session = self.open_session(addr, now)?;
+        let response = self.request(session, request);
+        let _ = self.close_session(session);
+        response
+    }
+}
+
+impl std::fmt::Debug for VnfGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VnfGuard")
+            .field("name", &self.name)
+            .field("mrenclave", &self.mrenclave())
+            .field("open_connections", &self.connections.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,44 @@
+//! # vnfguard
+//!
+//! Umbrella crate re-exporting the full vnfguard workspace: a from-scratch
+//! reproduction of *"Safeguarding VNF Credentials with Intel SGX"*
+//! (Paladi & Karlsson, SIGCOMM Posters & Demos 2017).
+//!
+//! The system safeguards the TLS client credentials that virtual network
+//! functions (VNFs) use on the SDN north-bound interface, by keeping them
+//! inside (simulated) SGX enclaves and only provisioning them after remote
+//! attestation of both the container host and the VNF enclaves.
+//!
+//! See `DESIGN.md` for the crate inventory and `EXPERIMENTS.md` for the
+//! reproduced measurements.
+//!
+//! ## Layering
+//!
+//! - [`encoding`] — JSON / hex / base64 / TLV codecs
+//! - [`crypto`] — from-scratch primitives (SHA-2, HMAC, HKDF, AES-GCM,
+//!   ChaCha20-Poly1305, X25519, Ed25519)
+//! - [`pki`] — certificates, certificate authority, CRLs, keystores
+//! - [`sgx`] — the software SGX model (enclaves, measurement, sealing, quotes)
+//! - [`ias`] — the simulated Intel Attestation Service
+//! - [`ima`] — the Linux IMA model (measurement lists, appraisal)
+//! - [`net`] — in-memory network fabric and HTTP/1.1
+//! - [`tls`] — the TLS-1.3-shaped secure channel
+//! - [`dataplane`] — packet wire formats and flow tables
+//! - [`container`] — images, registry and the container host
+//! - [`controller`] — the Floodlight-model SDN controller
+//! - [`vnf`] — the VNF framework and credential enclave
+//! - [`core`] — the Verification Manager (the paper's contribution)
+
+pub use vnfguard_container as container;
+pub use vnfguard_controller as controller;
+pub use vnfguard_core as core;
+pub use vnfguard_crypto as crypto;
+pub use vnfguard_dataplane as dataplane;
+pub use vnfguard_encoding as encoding;
+pub use vnfguard_ias as ias;
+pub use vnfguard_ima as ima;
+pub use vnfguard_net as net;
+pub use vnfguard_pki as pki;
+pub use vnfguard_sgx as sgx;
+pub use vnfguard_tls as tls;
+pub use vnfguard_vnf as vnf;
