@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint. No network access required — all external
+# dependencies are vendored under vendor/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== test =="
+cargo test -q
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

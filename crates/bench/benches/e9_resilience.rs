@@ -1,0 +1,191 @@
+//! E9 — resilience overhead: what the retry/breaker machinery and the
+//! fault-injecting fabric cost on the happy path, and what enrollment
+//! latency looks like when the path to IAS is flaky.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use vnfguard_controller::SimClock;
+use vnfguard_core::deployment::{Testbed, TestbedBuilder};
+use vnfguard_core::remote::{
+    remote_attest_host, remote_enroll_vnf, serve_ias, HostAgent, HostAgentState, RemoteIas,
+};
+use vnfguard_core::resilience::{CircuitBreaker, RetryPolicy};
+use vnfguard_net::{FaultPlan, Network};
+
+struct RemoteWorld {
+    testbed: Testbed,
+    agent: HostAgent,
+    remote_ias: RemoteIas,
+    plan: FaultPlan,
+    _ias_handle: vnfguard_net::ServerHandle,
+}
+
+fn remote_world(seed: &[u8]) -> RemoteWorld {
+    let mut testbed = TestbedBuilder::new(seed).build();
+    let plan = FaultPlan::seeded(9);
+    testbed.network.install_faults(&plan);
+    let ias = std::mem::replace(
+        &mut testbed.ias,
+        vnfguard_ias::AttestationService::new(b"placeholder"),
+    );
+    let report_key = ias.report_signing_key();
+    let (_ias_handle, _shared) = serve_ias(&testbed.network, "ias:443", ias).unwrap();
+    let remote_ias = RemoteIas::new(&testbed.network, "ias:443", report_key).with_resilience(
+        testbed.clock.clone(),
+        RetryPolicy::new(8, 1, 16),
+        CircuitBreaker::new(64, 600),
+    );
+    let host = testbed.hosts.remove(0);
+    let state = Arc::new(HostAgentState {
+        host_id: host.id.clone(),
+        platform: host.platform,
+        container_host: RwLock::new(host.container_host),
+        integrity_enclave: host.integrity_enclave,
+        tpm: None,
+        guards: RwLock::new(HashMap::new()),
+        revoked_serials: RwLock::new(Default::default()),
+        vm_hmac_key: Some(testbed.vm.share_hmac_key()),
+    });
+    let agent = HostAgent::serve(&testbed.network, state).unwrap();
+    RemoteWorld {
+        testbed,
+        agent,
+        remote_ias,
+        plan,
+        _ias_handle,
+    }
+}
+
+/// Deploy and register a fresh guard behind the agent; returns its name.
+fn deploy_guard(world: &mut RemoteWorld, n: u64) -> String {
+    let name = format!("vnf-{n}");
+    let guard = vnfguard_vnf::VnfGuard::load(
+        &world.agent.state.platform,
+        &world.testbed.network,
+        &world.testbed.enclave_author,
+        &name,
+        1,
+    )
+    .unwrap();
+    world.testbed.vm.trust_enclave(guard.mrenclave(), &name);
+    world
+        .agent
+        .state
+        .guards
+        .write()
+        .insert(name.clone(), Arc::new(guard));
+    name
+}
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_resilience");
+
+    // The pure machinery: a retried operation that succeeds immediately.
+    group.bench_function("retry_run_success_path", |b| {
+        let policy = RetryPolicy::default();
+        let clock = SimClock::at(0);
+        b.iter(|| black_box(policy.run(&clock, |_| Ok::<_, String>(1)).result.unwrap()));
+    });
+
+    // A breaker sample (allow check + success record).
+    group.bench_function("breaker_sample", |b| {
+        let mut breaker = CircuitBreaker::new(5, 60);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 1;
+            assert!(breaker.allows(now));
+            breaker.record_success(now);
+        });
+    });
+
+    // Connection admission with no fault plan vs. an installed (but
+    // permissive) plan: the per-connect cost of the fault fabric.
+    group.bench_function("connect_no_fault_plan", |b| {
+        let network = Network::new();
+        let listener = network.listen("svc:1").unwrap();
+        b.iter(|| {
+            black_box(network.connect("svc:1").unwrap());
+            listener.try_accept();
+        });
+    });
+    group.bench_function("connect_with_fault_plan", |b| {
+        let network = Network::new();
+        let plan = FaultPlan::seeded(1);
+        plan.add_latency("svc:1", std::time::Duration::ZERO, std::time::Duration::ZERO);
+        network.install_faults(&plan);
+        let listener = network.listen("svc:1").unwrap();
+        b.iter(|| {
+            black_box(network.connect("svc:1").unwrap());
+            listener.try_accept();
+        });
+    });
+
+    // Full remote enrollment over a clean fabric vs. one refusing 30% of
+    // IAS connections (retries absorb the refusals).
+    group.sample_size(10);
+    group.bench_function("remote_enrollment_clean", |b| {
+        let mut world = remote_world(b"e9 clean");
+        let now = world.testbed.clock.now();
+        remote_attest_host(
+            &mut world.testbed.vm,
+            &mut world.remote_ias,
+            &world.testbed.network,
+            "host-0",
+            now,
+        )
+        .unwrap();
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            let name = deploy_guard(&mut world, n);
+            let now = world.testbed.clock.now();
+            remote_enroll_vnf(
+                &mut world.testbed.vm,
+                &mut world.remote_ias,
+                &world.testbed.network,
+                "host-0",
+                &name,
+                "controller",
+                now,
+            )
+            .unwrap();
+        });
+    });
+    group.bench_function("remote_enrollment_30pct_ias_refusal", |b| {
+        let mut world = remote_world(b"e9 flaky");
+        let now = world.testbed.clock.now();
+        remote_attest_host(
+            &mut world.testbed.vm,
+            &mut world.remote_ias,
+            &world.testbed.network,
+            "host-0",
+            now,
+        )
+        .unwrap();
+        world.plan.refuse_connections("ias:443", 0.30);
+        let mut n = 0;
+        b.iter(|| {
+            n += 1;
+            let name = deploy_guard(&mut world, n);
+            let now = world.testbed.clock.now();
+            remote_enroll_vnf(
+                &mut world.testbed.vm,
+                &mut world.remote_ias,
+                &world.testbed.network,
+                "host-0",
+                &name,
+                "controller",
+                now,
+            )
+            .unwrap();
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

@@ -36,11 +36,15 @@ pub mod attestation;
 pub mod deployment;
 pub mod manager;
 pub mod remote;
+pub mod resilience;
+pub mod revocation;
 
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
 pub use manager::{ManagerConfig, VerificationManager};
+pub use resilience::{BreakerState, CircuitBreaker, RetryPolicy};
+pub use revocation::RevocationNotifier;
 
 /// Errors from the Verification Manager and workflow orchestration.
 #[derive(Debug)]
@@ -58,6 +62,14 @@ pub enum CoreError {
     WorkflowViolation(String),
     /// Structural error in evidence.
     Encoding(String),
+    /// A required backing service (e.g. IAS) is unreachable and no
+    /// degradation policy permits proceeding without it.
+    ServiceUnavailable(String),
+    /// A container host's agent could not be reached.
+    HostUnreachable(String),
+    /// Credential delivery failed mid-provisioning; the issued certificate
+    /// was revoked and the enrollment rolled back.
+    ProvisioningRolledBack(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -71,6 +83,11 @@ impl std::fmt::Display for CoreError {
             CoreError::BadChallenge(msg) => write!(f, "bad challenge: {msg}"),
             CoreError::WorkflowViolation(msg) => write!(f, "workflow violation: {msg}"),
             CoreError::Encoding(msg) => write!(f, "encoding: {msg}"),
+            CoreError::ServiceUnavailable(msg) => write!(f, "service unavailable: {msg}"),
+            CoreError::HostUnreachable(msg) => write!(f, "host unreachable: {msg}"),
+            CoreError::ProvisioningRolledBack(msg) => {
+                write!(f, "provisioning rolled back: {msg}")
+            }
         }
     }
 }

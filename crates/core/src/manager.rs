@@ -48,6 +48,13 @@ pub struct ManagerConfig {
     pub host_freshness_secs: u64,
     /// Require the §4 TPM anchoring of the IMA aggregate.
     pub require_tpm: bool,
+    /// Graceful degradation: when the attestation service is unreachable,
+    /// allow a host's *cached* trusted verdict to stand in for a fresh
+    /// appraisal. Disabled by default — the safe posture is fail-closed.
+    pub degraded_verdicts: bool,
+    /// How long a cached verdict may be re-used under degradation. Bounded
+    /// separately from (and typically tighter than) `host_freshness_secs`.
+    pub degraded_ttl_secs: u64,
 }
 
 impl Default for ManagerConfig {
@@ -61,6 +68,8 @@ impl Default for ManagerConfig {
             challenge_lifetime_secs: 300,
             host_freshness_secs: 3600,
             require_tpm: false,
+            degraded_verdicts: false,
+            degraded_ttl_secs: 900,
         }
     }
 }
@@ -102,6 +111,18 @@ pub struct EnrollmentRecord {
     pub revoked: bool,
 }
 
+/// An enrollment whose credential was issued but not yet delivered. The
+/// two-phase protocol (prepare → commit, abort on delivery failure) keeps
+/// the manager's records consistent with what actually reached an enclave.
+#[derive(Debug, Clone)]
+pub struct PendingEnrollment {
+    pub serial: u64,
+    pub vnf_name: String,
+    pub host_id: String,
+    pub mrenclave: Measurement,
+    pub prepared_at: u64,
+}
+
 /// Audit event emitted by the manager.
 #[derive(Debug, Clone)]
 pub struct VmEvent {
@@ -122,6 +143,8 @@ pub struct VerificationManager {
     trusted_integrity_enclaves: BTreeMap<Measurement, String>,
     hosts: HashMap<String, HostRecord>,
     enrollments: BTreeMap<u64, EnrollmentRecord>,
+    /// Prepared-but-uncommitted enrollments, keyed by certificate serial.
+    pending_enrollments: BTreeMap<u64, PendingEnrollment>,
     challenges: HashMap<u64, Challenge>,
     next_challenge: u64,
     events: Vec<VmEvent>,
@@ -148,6 +171,7 @@ impl VerificationManager {
             trusted_integrity_enclaves: BTreeMap::new(),
             hosts: HashMap::new(),
             enrollments: BTreeMap::new(),
+            pending_enrollments: BTreeMap::new(),
             challenges: HashMap::new(),
             next_challenge: 1,
             events: Vec::new(),
@@ -170,6 +194,18 @@ impl VerificationManager {
     /// Authenticate a VM-originated message (the paper's HMAC key).
     pub fn hmac_tag(&self, message: &[u8]) -> [u8; 32] {
         vnfguard_crypto::hmac::hmac_sha256(&self.hmac_key, message)
+    }
+
+    /// The VM-generated HMAC key, for distribution to host agents so they
+    /// can authenticate VM-originated notifications (the paper's §2 key).
+    pub fn share_hmac_key(&self) -> [u8; 32] {
+        self.hmac_key
+    }
+
+    /// Opt in to (or out of) graceful degradation at runtime.
+    pub fn set_degraded_policy(&mut self, enabled: bool, ttl_secs: u64) {
+        self.config.degraded_verdicts = enabled;
+        self.config.degraded_ttl_secs = ttl_secs;
     }
 
     /// Reference database of known-good host file digests.
@@ -383,6 +419,48 @@ impl VerificationManager {
         }
     }
 
+    /// Graceful degradation: answer a host-trust query from the cached
+    /// verdict when the attestation service cannot be reached. Only
+    /// permitted when the policy opts in, the host's **last real appraisal
+    /// succeeded**, and that appraisal is within `degraded_ttl_secs`. Every
+    /// degraded answer is audit-logged as a `DegradedVerdict` event so
+    /// operators can see exactly which trust decisions lacked fresh
+    /// evidence.
+    pub fn degraded_host_verdict(
+        &mut self,
+        host_id: &str,
+        now: u64,
+    ) -> Result<Verdict, CoreError> {
+        if !self.config.degraded_verdicts {
+            return Err(CoreError::ServiceUnavailable(format!(
+                "attestation service unreachable and degraded verdicts are disabled \
+                 (host {host_id})"
+            )));
+        }
+        let record = self.hosts.get(host_id).ok_or_else(|| {
+            CoreError::ServiceUnavailable(format!(
+                "attestation service unreachable and host {host_id} has no cached verdict"
+            ))
+        })?;
+        if !record.verdict.is_trusted() {
+            return Err(CoreError::ServiceUnavailable(format!(
+                "attestation service unreachable and host {host_id}'s last appraisal failed"
+            )));
+        }
+        if now > record.attested_at + self.config.degraded_ttl_secs {
+            return Err(CoreError::ServiceUnavailable(format!(
+                "attestation service unreachable and host {host_id}'s cached verdict expired"
+            )));
+        }
+        let verdict = record.verdict;
+        self.event(
+            now,
+            "DegradedVerdict",
+            &format!("{host_id}: reusing cached {verdict:?} (attestation service unreachable)"),
+        );
+        Ok(verdict)
+    }
+
     // ---- Steps 3–5: VNF attestation and enrollment ------------------------
 
     /// Step 3: initiate attestation of a VNF credential enclave. Fails
@@ -416,6 +494,11 @@ impl VerificationManager {
     ///
     /// Returns the wrapped bundle (deliver to the enclave) and the issued
     /// certificate (for records; it is public anyway).
+    ///
+    /// Equivalent to [`prepare_vnf_enrollment`](Self::prepare_vnf_enrollment)
+    /// immediately followed by [`commit_vnf_enrollment`](Self::commit_vnf_enrollment)
+    /// — use the two-phase form when the bundle crosses a network that can
+    /// fail mid-delivery.
     pub fn complete_vnf_enrollment(
         &mut self,
         ias: &mut dyn QuoteVerifier,
@@ -425,6 +508,33 @@ impl VerificationManager {
         controller_cn: &str,
         now: u64,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let (serial, wrapped, certificate) = self.prepare_vnf_enrollment(
+            ias,
+            challenge_id,
+            quote_bytes,
+            provisioning_key,
+            controller_cn,
+            now,
+        )?;
+        self.commit_vnf_enrollment(serial, now)?;
+        Ok((wrapped, certificate))
+    }
+
+    /// Phase one of enrollment: run every check of steps 4–5, issue the
+    /// certificate and wrap the credentials — but record the enrollment as
+    /// *pending* rather than established. The returned serial is the commit
+    /// token. If delivery of the wrapped bundle fails, call
+    /// [`abort_vnf_enrollment`](Self::abort_vnf_enrollment) to revoke the
+    /// issued certificate; nothing half-provisioned survives.
+    pub fn prepare_vnf_enrollment(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        now: u64,
+    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
         let challenge = self.take_challenge(challenge_id, now)?;
         let ChallengeSubject::Vnf { host_id, vnf_name } = challenge.subject.clone() else {
             return Err(CoreError::BadChallenge(
@@ -497,19 +607,73 @@ impl VerificationManager {
             server_cn: controller_cn.to_string(),
         };
         let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
-        self.enrollments.insert(
-            certificate.serial(),
-            EnrollmentRecord {
-                serial: certificate.serial(),
+        let serial = certificate.serial();
+        self.pending_enrollments.insert(
+            serial,
+            PendingEnrollment {
+                serial,
                 vnf_name: vnf_name.clone(),
                 host_id,
                 mrenclave: body.mrenclave,
+                prepared_at: now,
+            },
+        );
+        self.event(now, "enrollment_prepared", &format!("{vnf_name} serial {serial}"));
+        Ok((serial, wrapped, certificate))
+    }
+
+    /// Phase two of enrollment: the wrapped bundle reached the enclave, so
+    /// promote the pending record to an established enrollment.
+    pub fn commit_vnf_enrollment(&mut self, serial: u64, now: u64) -> Result<(), CoreError> {
+        let pending = self.pending_enrollments.remove(&serial).ok_or_else(|| {
+            CoreError::WorkflowViolation(format!("no pending enrollment with serial {serial}"))
+        })?;
+        self.event(
+            now,
+            "vnf_enrolled",
+            &format!("{} serial {serial}", pending.vnf_name),
+        );
+        self.enrollments.insert(
+            serial,
+            EnrollmentRecord {
+                serial,
+                vnf_name: pending.vnf_name,
+                host_id: pending.host_id,
+                mrenclave: pending.mrenclave,
                 issued_at: now,
                 revoked: false,
             },
         );
-        self.event(now, "vnf_enrolled", &format!("{vnf_name} serial {}", certificate.serial()));
-        Ok((wrapped, certificate))
+        Ok(())
+    }
+
+    /// Roll back a prepared enrollment whose credential never reached the
+    /// enclave: the issued certificate is revoked (it may have crossed a
+    /// partially working network) and the pending record is dropped, so the
+    /// manager's state is exactly as if the enrollment never happened —
+    /// except for the audit trail and the CRL entry.
+    pub fn abort_vnf_enrollment(
+        &mut self,
+        serial: u64,
+        reason: &str,
+        now: u64,
+    ) -> Result<(), CoreError> {
+        let pending = self.pending_enrollments.remove(&serial).ok_or_else(|| {
+            CoreError::WorkflowViolation(format!("no pending enrollment with serial {serial}"))
+        })?;
+        self.ca
+            .revoke(serial, RevocationReason::CessationOfOperation, now);
+        self.event(
+            now,
+            "enrollment_rolled_back",
+            &format!("{} serial {serial}: {reason}", pending.vnf_name),
+        );
+        Ok(())
+    }
+
+    /// Enrollments issued but not yet committed (normally transient).
+    pub fn pending_enrollments(&self) -> impl Iterator<Item = &PendingEnrollment> {
+        self.pending_enrollments.values()
     }
 
     // ---- Revocation --------------------------------------------------------

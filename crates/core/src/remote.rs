@@ -20,14 +20,17 @@
 
 use crate::attestation::{host_evidence, HostEvidence};
 use crate::manager::VerificationManager;
+use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::CoreError;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 use vnfguard_container::host::ContainerHost;
 use vnfguard_controller::SimClock;
+use vnfguard_crypto::hmac::hmac_sha256;
 use vnfguard_encoding::{base64, Json};
-use vnfguard_ias::{AttestationReport, AttestationService, QuoteVerifier};
+use vnfguard_ias::{AttestationReport, AttestationService, Availability, QuoteVerifier};
 use vnfguard_ima::list::IMA_PCR;
 use vnfguard_ima::tpm::SimTpm;
 use vnfguard_net::fabric::Network;
@@ -108,17 +111,36 @@ pub fn serve_ias(
     Ok((serve(listener, PlainUpgrade, router), service))
 }
 
+/// Read deadline for one IAS request attempt.
+const IAS_READ_TIMEOUT: Duration = Duration::from_millis(750);
+
+/// Read deadline for one host-agent request.
+const AGENT_READ_TIMEOUT: Duration = Duration::from_millis(750);
+
 /// Client handle to a remote attestation service; implements
 /// [`QuoteVerifier`] so the Verification Manager uses it transparently.
+///
+/// Every `POST /attestation/v4/report` runs under a [`RetryPolicy`] behind
+/// a [`CircuitBreaker`]: transient refusals/timeouts are retried with
+/// jittered backoff, and once the service has failed `failure_threshold`
+/// consecutive operations the breaker opens and the handle reports
+/// [`Availability::Unavailable`] until a half-open probe succeeds.
 pub struct RemoteIas {
     network: Network,
     address: String,
     report_key: vnfguard_crypto::ed25519::VerifyingKey,
+    clock: SimClock,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    last_attempts: Vec<AttemptRecord>,
 }
 
 impl RemoteIas {
     /// Connect parameters plus the out-of-band-distributed report signing
-    /// key (Intel publishes this as a certificate).
+    /// key (Intel publishes this as a certificate). Uses a default retry
+    /// policy and breaker against a private clock; deployments that want
+    /// the breaker's cooldown tied to simulation time should follow up
+    /// with [`with_resilience`](Self::with_resilience).
     pub fn new(
         network: &Network,
         address: &str,
@@ -128,56 +150,111 @@ impl RemoteIas {
             network: network.clone(),
             address: address.to_string(),
             report_key,
+            clock: SimClock::at(0),
+            retry: RetryPolicy::default(),
+            breaker: CircuitBreaker::new(3, 60),
+            last_attempts: Vec::new(),
         }
     }
-}
 
-impl QuoteVerifier for RemoteIas {
-    fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
-        // Service unreachability degrades to an unverifiable report: the
-        // caller's signature check will fail closed.
-        let fallback = || {
-            AttestationReport::decode(&[]).unwrap_or_else(|_| {
-                // An empty report cannot be built; craft a self-signed one
-                // with a throwaway key — signature verification at the VM
-                // will reject it.
-                let key = vnfguard_crypto::ed25519::SigningKey::from_seed(&[0; 32]);
-                AttestationReport::create(
-                    0,
-                    0,
-                    vnfguard_ias::QuoteStatus::SignatureInvalid,
-                    nonce,
-                    None,
-                    vec!["IAS_UNREACHABLE".into()],
-                    &key,
-                )
-            })
-        };
-        let Ok(stream) = self.network.connect(&self.address) else {
-            return fallback();
-        };
+    /// Share the deployment clock and choose the retry/breaker parameters.
+    pub fn with_resilience(
+        mut self,
+        clock: SimClock,
+        retry: RetryPolicy,
+        breaker: CircuitBreaker,
+    ) -> RemoteIas {
+        self.clock = clock;
+        self.retry = retry;
+        self.breaker = breaker;
+        self
+    }
+
+    /// Current breaker state at the handle's clock.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state(self.clock.now())
+    }
+
+    /// Attempt log of the most recent retried operation.
+    pub fn last_attempts(&self) -> &[AttemptRecord] {
+        &self.last_attempts
+    }
+
+    fn post_report(
+        network: &Network,
+        address: &str,
+        quote_bytes: &[u8],
+        nonce: &[u8],
+    ) -> Result<AttestationReport, String> {
+        let mut stream = network
+            .connect_from("vm", address)
+            .map_err(|e| e.to_string())?;
+        stream.set_read_timeout(Some(IAS_READ_TIMEOUT));
         let mut client = vnfguard_net::server::HttpClient::new(stream);
         let request = Request::post("/attestation/v4/report").with_json(
             &Json::object()
                 .with("isvEnclaveQuote", base64::encode(quote_bytes))
                 .with("nonce", base64::encode(nonce)),
         );
-        let Ok(response) = client.request(&request) else {
-            return fallback();
-        };
-        let Some(report) = response
-            .parse_json()
-            .ok()
-            .and_then(|d| b64_field(&d, "report").ok())
-            .and_then(|bytes| AttestationReport::decode(&bytes).ok())
-        else {
-            return fallback();
-        };
-        report
+        let response = client.request(&request).map_err(|e| e.to_string())?;
+        let doc = response.parse_json().map_err(|e| e.to_string())?;
+        let bytes = b64_field(&doc, "report")?;
+        AttestationReport::decode(&bytes).map_err(|e| e.to_string())
+    }
+
+    /// An unverifiable self-signed report: the caller's signature check
+    /// against the real report key fails closed.
+    fn unverifiable_report(nonce: &[u8], advisory: &str) -> AttestationReport {
+        let key = vnfguard_crypto::ed25519::SigningKey::from_seed(&[0; 32]);
+        AttestationReport::create(
+            0,
+            0,
+            vnfguard_ias::QuoteStatus::SignatureInvalid,
+            nonce,
+            None,
+            vec![advisory.into()],
+            &key,
+        )
+    }
+}
+
+impl QuoteVerifier for RemoteIas {
+    fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
+        if !self.breaker.allows(self.clock.now()) {
+            // Open circuit: fail fast without touching the network. The
+            // report is unverifiable, so callers that ignore availability
+            // still fail closed.
+            return Self::unverifiable_report(nonce, "IAS_CIRCUIT_OPEN");
+        }
+        let network = self.network.clone();
+        let address = self.address.clone();
+        let outcome = self.retry.run(&self.clock, |_| {
+            Self::post_report(&network, &address, quote_bytes, nonce)
+        });
+        self.last_attempts = outcome.attempts;
+        match outcome.result {
+            Ok(report) => {
+                self.breaker.record_success(self.clock.now());
+                report
+            }
+            Err(_) => {
+                // One retried operation is one breaker sample.
+                self.breaker.record_failure(self.clock.now());
+                Self::unverifiable_report(nonce, "IAS_UNREACHABLE")
+            }
+        }
     }
 
     fn report_signing_key(&self) -> vnfguard_crypto::ed25519::VerifyingKey {
         self.report_key
+    }
+
+    fn availability(&self) -> Availability {
+        if self.breaker.allows(self.clock.now()) {
+            Availability::Available
+        } else {
+            Availability::Unavailable
+        }
     }
 }
 
@@ -193,6 +270,11 @@ pub struct HostAgentState {
     pub integrity_enclave: Enclave,
     pub tpm: Option<Mutex<SimTpm>>,
     pub guards: RwLock<HashMap<String, Arc<VnfGuard>>>,
+    /// Serials revoked by VM notification (evicted ahead of the next CRL).
+    pub revoked_serials: RwLock<BTreeSet<u64>>,
+    /// The VM's HMAC key for authenticating revocation notices; `None`
+    /// accepts unauthenticated notices (testbed convenience).
+    pub vm_hmac_key: Option<[u8; 32]>,
 }
 
 /// The per-host agent: answers the Verification Manager's attestation and
@@ -301,6 +383,33 @@ impl HostAgent {
             });
         }
 
+        // POST /agent/revocations {serial, tag: b64} → {} — a VM-pushed
+        // revocation notice, authenticated with the VM's HMAC key.
+        {
+            let state = state.clone();
+            router.post("/agent/revocations", move |request, _| {
+                let Ok(body) = request.json() else {
+                    return Response::error(Status::BadRequest, "invalid JSON");
+                };
+                let Some(serial) = body.get("serial").and_then(Json::as_i64) else {
+                    return Response::error(Status::BadRequest, "missing 'serial'");
+                };
+                let serial = serial as u64;
+                if let Some(key) = &state.vm_hmac_key {
+                    let tag = match b64_array32(&body, "tag") {
+                        Ok(t) => t,
+                        Err(msg) => return Response::error(Status::BadRequest, &msg),
+                    };
+                    let message = crate::revocation::revocation_message(&state.host_id, serial);
+                    if hmac_sha256(key, &message) != tag {
+                        return Response::error(Status::Forbidden, "bad revocation tag");
+                    }
+                }
+                state.revoked_serials.write().insert(serial);
+                Response::json(Status::Ok, &Json::object().with("revoked", true))
+            });
+        }
+
         // GET /agent/vnfs → list of deployed guard names.
         {
             let state = state.clone();
@@ -331,7 +440,23 @@ impl HostAgent {
 // Remote orchestration (the VM driving agents over the fabric)
 // ---------------------------------------------------------------------------
 
+fn connect_agent(
+    network: &Network,
+    host_id: &str,
+) -> Result<vnfguard_net::server::HttpClient<vnfguard_net::stream::Duplex>, CoreError> {
+    let mut stream = network
+        .connect_from("vm", &format!("agent:{host_id}"))
+        .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
+    stream.set_read_timeout(Some(AGENT_READ_TIMEOUT));
+    Ok(vnfguard_net::server::HttpClient::new(stream))
+}
+
 /// Drive the full host attestation (steps 1–2) against a remote agent.
+///
+/// When the attestation service reports itself [`Availability::Unavailable`]
+/// (circuit open), no fresh appraisal is possible; the call falls back to
+/// [`VerificationManager::degraded_host_verdict`] — policy-gated reuse of
+/// the cached verdict, audit-logged as `DegradedVerdict`.
 pub fn remote_attest_host(
     vm: &mut VerificationManager,
     ias: &mut dyn QuoteVerifier,
@@ -339,16 +464,16 @@ pub fn remote_attest_host(
     host_id: &str,
     now: u64,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
+    if ias.availability() == Availability::Unavailable {
+        return vm.degraded_host_verdict(host_id, now);
+    }
     let challenge = vm.begin_host_attestation(host_id, now);
-    let stream = network
-        .connect(&format!("agent:{host_id}"))
-        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
-    let mut client = vnfguard_net::server::HttpClient::new(stream);
+    let mut client = connect_agent(network, host_id)?;
     let response = client
         .request(&Request::post("/agent/attest").with_json(
             &Json::object().with("nonce", base64::encode(&challenge.nonce)),
         ))
-        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+        .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
     if !response.status.is_success() {
         return Err(CoreError::AttestationFailed(format!(
             "agent returned {}",
@@ -365,6 +490,13 @@ pub fn remote_attest_host(
 }
 
 /// Drive VNF enrollment (steps 3–5) against a remote agent.
+///
+/// Credential issuance has no degraded mode: when the attestation service
+/// is unavailable the call fails fast and closed with
+/// [`CoreError::ServiceUnavailable`]. Delivery uses the two-phase
+/// prepare → commit protocol: if the wrapped bundle cannot be confirmed
+/// delivered, the issued certificate is revoked and the enrollment rolled
+/// back, so no half-provisioned state survives a mid-transfer fault.
 pub fn remote_enroll_vnf(
     vm: &mut VerificationManager,
     ias: &mut dyn QuoteVerifier,
@@ -374,11 +506,13 @@ pub fn remote_enroll_vnf(
     controller_cn: &str,
     now: u64,
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
+    if ias.availability() == Availability::Unavailable {
+        return Err(CoreError::ServiceUnavailable(format!(
+            "attestation service unavailable; refusing to enroll {vnf_name}"
+        )));
+    }
     let challenge = vm.begin_vnf_attestation(host_id, vnf_name, now)?;
-    let stream = network
-        .connect(&format!("agent:{host_id}"))
-        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
-    let mut client = vnfguard_net::server::HttpClient::new(stream);
+    let mut client = connect_agent(network, host_id)?;
 
     // Step 3: challenge the enclave through the agent.
     let response = client
@@ -389,7 +523,7 @@ pub fn remote_enroll_vnf(
                     .with("basename", base64::encode(&challenge.nonce)),
             ),
         )
-        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
+        .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
     if !response.status.is_success() {
         return Err(CoreError::AttestationFailed(format!(
             "agent returned {}",
@@ -403,8 +537,9 @@ pub fn remote_enroll_vnf(
     let provisioning_key =
         b64_array32(&body, "provisioning_key").map_err(CoreError::Encoding)?;
 
-    // Steps 4-5: verify + generate + wrap, then deliver through the agent.
-    let (wrapped, certificate) = vm.complete_vnf_enrollment(
+    // Steps 4-5: verify + generate + wrap (prepare), deliver through the
+    // agent, and only then commit the enrollment.
+    let (serial, wrapped, certificate) = vm.prepare_vnf_enrollment(
         ias,
         challenge.id,
         &quote,
@@ -412,19 +547,31 @@ pub fn remote_enroll_vnf(
         controller_cn,
         now,
     )?;
-    let response = client
+    let delivery = client
         .request(
             &Request::post(&format!("/agent/vnf/{vnf_name}/provision"))
                 .with_json(&Json::object().with("wrapped", base64::encode(&wrapped))),
         )
-        .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
-    if !response.status.is_success() {
-        return Err(CoreError::WorkflowViolation(format!(
-            "provisioning delivery failed: {}",
-            response.status.code()
-        )));
+        .map_err(|e| e.to_string())
+        .and_then(|response| {
+            if response.status.is_success() {
+                Ok(())
+            } else {
+                Err(format!("agent returned {}", response.status.code()))
+            }
+        });
+    match delivery {
+        Ok(()) => {
+            vm.commit_vnf_enrollment(serial, now)?;
+            Ok(certificate)
+        }
+        Err(reason) => {
+            vm.abort_vnf_enrollment(serial, &reason, now)?;
+            Err(CoreError::ProvisioningRolledBack(format!(
+                "{vnf_name} serial {serial}: {reason}"
+            )))
+        }
     }
-    Ok(certificate)
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,119 @@
+//! Store-and-forward revocation notification.
+//!
+//! When the Verification Manager revokes a credential it notifies the
+//! hosting agent so the host can evict the VNF's session material without
+//! waiting for the next CRL pull. A host that is partitioned away must not
+//! make revocation fail: the notice is queued and re-delivered by
+//! [`RevocationNotifier::drain`] once the host is reachable again.
+//! Notices are authenticated with the VM's HMAC key (the key the paper has
+//! the manager generate), so an agent only honors VM-originated notices.
+
+use std::time::Duration;
+use vnfguard_encoding::{base64, Json};
+use vnfguard_net::fabric::Network;
+use vnfguard_net::http::Request;
+
+/// Read deadline for a notification round-trip to an agent.
+const NOTIFY_READ_TIMEOUT: Duration = Duration::from_millis(750);
+
+/// The canonical byte string an agent authenticates for a revocation.
+pub fn revocation_message(host_id: &str, serial: u64) -> Vec<u8> {
+    format!("revoke:{host_id}:{serial}").into_bytes()
+}
+
+/// A revocation notice that could not be delivered yet.
+#[derive(Debug, Clone)]
+pub struct PendingNotice {
+    pub host_id: String,
+    pub serial: u64,
+    pub tag: [u8; 32],
+    pub queued_at: u64,
+    pub attempts: u32,
+}
+
+/// Delivers revocation notices to host agents, queueing any that fail.
+pub struct RevocationNotifier {
+    network: Network,
+    origin: String,
+    queue: Vec<PendingNotice>,
+}
+
+impl RevocationNotifier {
+    pub fn new(network: &Network) -> RevocationNotifier {
+        RevocationNotifier {
+            network: network.clone(),
+            origin: "vm".to_string(),
+            queue: Vec::new(),
+        }
+    }
+
+    fn deliver_once(&self, host_id: &str, serial: u64, tag: &[u8; 32]) -> Result<(), String> {
+        let mut stream = self
+            .network
+            .connect_from(&self.origin, &format!("agent:{host_id}"))
+            .map_err(|e| e.to_string())?;
+        stream.set_read_timeout(Some(NOTIFY_READ_TIMEOUT));
+        let mut client = vnfguard_net::server::HttpClient::new(stream);
+        let response = client
+            .request(&Request::post("/agent/revocations").with_json(
+                &Json::object()
+                    .with("serial", serial as i64)
+                    .with("tag", base64::encode(tag)),
+            ))
+            .map_err(|e| e.to_string())?;
+        if response.status.is_success() {
+            Ok(())
+        } else {
+            Err(format!("agent returned {}", response.status.code()))
+        }
+    }
+
+    /// Try to deliver a notice now; on failure it is queued for
+    /// [`drain`](Self::drain). Returns `true` if delivered immediately.
+    pub fn notify(&mut self, host_id: &str, serial: u64, tag: [u8; 32], now: u64) -> bool {
+        match self.deliver_once(host_id, serial, &tag) {
+            Ok(()) => true,
+            Err(_) => {
+                self.queue.push(PendingNotice {
+                    host_id: host_id.to_string(),
+                    serial,
+                    tag,
+                    queued_at: now,
+                    attempts: 1,
+                });
+                false
+            }
+        }
+    }
+
+    /// Retry every queued notice; delivered ones leave the queue. Returns
+    /// the number delivered in this pass.
+    pub fn drain(&mut self, _now: u64) -> usize {
+        let mut remaining = Vec::new();
+        let mut delivered = 0;
+        for mut notice in std::mem::take(&mut self.queue) {
+            match self.deliver_once(&notice.host_id, notice.serial, &notice.tag) {
+                Ok(()) => delivered += 1,
+                Err(_) => {
+                    notice.attempts += 1;
+                    remaining.push(notice);
+                }
+            }
+        }
+        self.queue = remaining;
+        delivered
+    }
+
+    /// Notices still awaiting delivery.
+    pub fn pending(&self) -> &[PendingNotice] {
+        &self.queue
+    }
+}
+
+impl std::fmt::Debug for RevocationNotifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RevocationNotifier")
+            .field("pending", &self.queue.len())
+            .finish()
+    }
+}

@@ -60,6 +60,8 @@ fn remote_world(seed: &[u8]) -> RemoteWorld {
         integrity_enclave: host.integrity_enclave,
         tpm: None,
         guards: RwLock::new(guards),
+        revoked_serials: RwLock::new(Default::default()),
+        vm_hmac_key: None,
     });
     let agent = HostAgent::serve(&testbed.network, state).unwrap();
 

@@ -23,6 +23,15 @@ pub mod service;
 pub use report::{AttestationReport, QuoteStatus};
 pub use service::{AttestationService, GroupStatus};
 
+/// Reachability of a quote-verification backend, as judged by the handle
+/// itself (an in-process service is always available; a remote client may
+/// report `Unavailable` while its circuit breaker is open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Availability {
+    Available,
+    Unavailable,
+}
+
 /// Anything that can verify quotes on behalf of a relying party — the local
 /// [`AttestationService`] instance, or a client handle to a remote one.
 /// The Verification Manager is written against this trait, so the same
@@ -33,6 +42,13 @@ pub trait QuoteVerifier {
 
     /// The report-signing public key relying parties check reports against.
     fn report_signing_key(&self) -> vnfguard_crypto::ed25519::VerifyingKey;
+
+    /// Whether the backend is currently worth calling. Callers may use an
+    /// `Unavailable` answer to fall back to a degraded-verdict policy
+    /// instead of issuing a request that is known to fail.
+    fn availability(&self) -> Availability {
+        Availability::Available
+    }
 }
 
 impl QuoteVerifier for AttestationService {

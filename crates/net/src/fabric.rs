@@ -3,6 +3,7 @@
 //! Components bind string addresses ("controller:8443"), peers connect to
 //! them, and the operator (or adversary) can attach taps to any address.
 
+use crate::fault::{FaultPlan, LinkControl, RefuseReason};
 use crate::stream::{Duplex, TapHandle};
 use crate::NetError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -17,6 +18,7 @@ struct NetworkInner {
     taps: HashMap<String, TapHandle>,
     latency: Duration,
     connections: u64,
+    faults: Option<FaultPlan>,
 }
 
 /// A shared network fabric. Cloning shares the same fabric.
@@ -50,9 +52,17 @@ impl Network {
         })
     }
 
-    /// Connect to `addr`, returning the client stream half.
+    /// Connect to `addr`, returning the client stream half. The origin is
+    /// anonymous; use [`connect_from`](Self::connect_from) when the caller
+    /// should be subject to named-group partitions.
     pub fn connect(&self, addr: &str) -> Result<Duplex, NetError> {
-        let (latency, tap, listener_tx) = {
+        self.connect_from("", addr)
+    }
+
+    /// Connect to `addr` as the named endpoint `origin`. Fault plans use
+    /// the origin to enforce partitions between endpoint groups.
+    pub fn connect_from(&self, origin: &str, addr: &str) -> Result<Duplex, NetError> {
+        let (latency, tap, listener_tx, faults) = {
             let mut inner = self.inner.lock();
             let tx = inner
                 .listeners
@@ -60,13 +70,58 @@ impl Network {
                 .cloned()
                 .ok_or_else(|| NetError::ConnectionRefused(addr.to_string()))?;
             inner.connections += 1;
-            (inner.latency, inner.taps.get(addr).cloned(), tx)
+            (
+                inner.latency,
+                inner.taps.get(addr).cloned(),
+                tx,
+                inner.faults.clone(),
+            )
         };
-        let (client, server) = Duplex::pair(latency, tap.as_ref());
+        let mut extra_latency = Duration::ZERO;
+        let mut control = LinkControl::default();
+        if let Some(plan) = &faults {
+            match plan.admit(origin, addr) {
+                Ok(setup) => {
+                    extra_latency = setup.extra_latency;
+                    control = LinkControl::with_faults(setup.stalled, setup.drop_after_bytes);
+                }
+                // Injected refusals are indistinguishable from a missing
+                // listener to the caller (as on a real network); the fault
+                // event log is the bookkeeping channel.
+                Err(
+                    RefuseReason::Probabilistic
+                    | RefuseReason::Scheduled
+                    | RefuseReason::Isolated
+                    | RefuseReason::Partitioned,
+                ) => return Err(NetError::ConnectionRefused(addr.to_string())),
+            }
+        }
+        let control = Arc::new(control);
+        let (client, server) =
+            Duplex::pair_with_control(latency + extra_latency, tap.as_ref(), control.clone());
+        if let Some(plan) = &faults {
+            plan.register_link(origin, addr, &control);
+        }
         listener_tx
             .send(server)
             .map_err(|_| NetError::ConnectionRefused(addr.to_string()))?;
         Ok(client)
+    }
+
+    /// Attach a fault plan governing all future connections. Passing a
+    /// clone of a plan shares its seed, rules and event log.
+    pub fn install_faults(&self, plan: &FaultPlan) {
+        self.inner.lock().faults = Some(plan.clone());
+    }
+
+    /// Remove the fault plan; existing links keep their injected behavior.
+    pub fn clear_faults(&self) {
+        self.inner.lock().faults = None;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.lock().faults.clone()
     }
 
     /// Attach (or fetch) a tap on `addr`: every connection established to
@@ -207,6 +262,77 @@ mod tests {
         let mut buf = [0u8; 16];
         server.read_exact(&mut buf).unwrap();
         assert!(tap.contains(b"hunter2"));
+    }
+
+    #[test]
+    fn fault_plan_refuses_scheduled_connections() {
+        let net = Network::new();
+        let plan = crate::fault::FaultPlan::seeded(3);
+        net.install_faults(&plan);
+        let _listener = net.listen("ias:443").unwrap();
+        plan.refuse_next("ias:443", 1);
+        assert!(matches!(
+            net.connect("ias:443"),
+            Err(NetError::ConnectionRefused(_))
+        ));
+        assert!(net.connect("ias:443").is_ok());
+    }
+
+    #[test]
+    fn isolate_severs_established_connections() {
+        let net = Network::new();
+        let plan = crate::fault::FaultPlan::seeded(3);
+        net.install_faults(&plan);
+        let listener = net.listen("agent:7000").unwrap();
+        let mut client = net.connect("agent:7000").unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"pre").unwrap();
+        let mut buf = [0u8; 3];
+        server.read_exact(&mut buf).unwrap();
+
+        plan.isolate("agent:7000");
+        assert!(client.write_all(b"post").is_err());
+        assert!(matches!(
+            net.connect("agent:7000"),
+            Err(NetError::ConnectionRefused(_))
+        ));
+        plan.heal("agent:7000");
+        assert!(net.connect("agent:7000").is_ok());
+    }
+
+    #[test]
+    fn group_partition_respects_origins() {
+        let net = Network::new();
+        let plan = crate::fault::FaultPlan::seeded(3);
+        net.install_faults(&plan);
+        let _listener = net.listen("ias:443").unwrap();
+        plan.partition(&["vm"], &["ias:443"]);
+        assert!(net.connect_from("vm", "ias:443").is_err());
+        // Unnamed and unrelated origins still get through.
+        assert!(net.connect("ias:443").is_ok());
+        assert!(net.connect_from("agent", "ias:443").is_ok());
+        plan.heal_partition();
+        assert!(net.connect_from("vm", "ias:443").is_ok());
+    }
+
+    #[test]
+    fn injected_latency_delays_connection_traffic() {
+        let net = Network::new();
+        let plan = crate::fault::FaultPlan::seeded(3);
+        net.install_faults(&plan);
+        let listener = net.listen("svc:1").unwrap();
+        plan.add_latency("svc:1", Duration::from_millis(25), Duration::ZERO);
+        let mut client = net.connect("svc:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        let start = std::time::Instant::now();
+        client.write_all(b"x").unwrap();
+        let mut buf = [0u8; 1];
+        server.read_exact(&mut buf).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(20),
+            "latency not injected: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

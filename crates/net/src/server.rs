@@ -6,10 +6,12 @@
 //! modes are composed (plain HTTP uses the identity wrapper).
 
 use crate::fabric::Listener;
+use crate::fault::LinkControl;
 use crate::http::{read_request, write_response, Response, Status};
 use crate::rest::Router;
 use crate::stream::Duplex;
 use crate::NetError;
+use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,12 +55,35 @@ pub struct ServerStats {
     pub connections: AtomicU64,
     pub requests: AtomicU64,
     pub upgrade_failures: AtomicU64,
+    /// Connection handler threads currently alive (entered, not yet
+    /// exited). Zero after a completed shutdown.
+    pub active_handlers: AtomicU64,
+}
+
+/// One in-flight connection: the handler thread plus the link switches
+/// used to wake it out of a blocked read at shutdown.
+struct Worker {
+    control: Arc<LinkControl>,
+    thread: JoinHandle<()>,
+}
+
+type WorkerSet = Arc<Mutex<Vec<Worker>>>;
+
+/// Decrements `active_handlers` when the handler thread exits, however it
+/// exits.
+struct HandlerGuard(Arc<ServerStats>);
+
+impl Drop for HandlerGuard {
+    fn drop(&mut self) {
+        self.0.active_handlers.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Handle to a running server; stops and joins on drop.
 pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
+    workers: WorkerSet,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -75,7 +100,13 @@ impl ServerHandle {
         self.stats.upgrade_failures.load(Ordering::Relaxed)
     }
 
-    /// Request shutdown and wait for the accept loop to exit.
+    /// Shared statistics; remains readable after [`stop`](Self::stop).
+    pub fn stats(&self) -> Arc<ServerStats> {
+        self.stats.clone()
+    }
+
+    /// Request shutdown: stop accepting, sever every in-flight connection,
+    /// and join all handler threads before returning.
     pub fn stop(mut self) {
         self.shutdown();
     }
@@ -84,6 +115,17 @@ impl ServerHandle {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
+        }
+        // In-flight handlers may be parked in a blocking read (keep-alive
+        // connections with no pending request). Severing the link wakes
+        // them so the joins below cannot hang, and joining means no
+        // handler thread outlives the handle — they are not detached.
+        let workers = std::mem::take(&mut *self.workers.lock());
+        for worker in &workers {
+            worker.control.sever();
+        }
+        for worker in workers {
+            let _ = worker.thread.join();
         }
     }
 }
@@ -108,11 +150,13 @@ impl std::fmt::Debug for ServerHandle {
 pub fn serve<U: StreamUpgrade>(listener: Listener, upgrade: U, router: Router) -> ServerHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let workers: WorkerSet = Arc::new(Mutex::new(Vec::new()));
     let router = Arc::new(router);
     let upgrade = Arc::new(upgrade);
 
     let accept_stop = stop.clone();
     let accept_stats = stats.clone();
+    let accept_workers = workers.clone();
     let thread = std::thread::spawn(move || {
         loop {
             if accept_stop.load(Ordering::SeqCst) {
@@ -127,11 +171,14 @@ pub fn serve<U: StreamUpgrade>(listener: Listener, upgrade: U, router: Router) -
                 }
             };
             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+            accept_stats.active_handlers.fetch_add(1, Ordering::SeqCst);
+            let control = raw.control();
             let router = router.clone();
             let upgrade = upgrade.clone();
             let stats = accept_stats.clone();
             let stop = accept_stop.clone();
-            std::thread::spawn(move || {
+            let handler = std::thread::spawn(move || {
+                let _guard = HandlerGuard(stats.clone());
                 let (mut stream, _identity) = match upgrade.upgrade(raw) {
                     Ok(upgraded) => upgraded,
                     Err(_) => {
@@ -151,12 +198,21 @@ pub fn serve<U: StreamUpgrade>(listener: Listener, upgrade: U, router: Router) -
                     }
                 }
             });
+            let mut workers = accept_workers.lock();
+            // Completed handlers have nothing left to join; keep the set
+            // bounded by the number of live connections.
+            workers.retain(|w| !w.thread.is_finished());
+            workers.push(Worker {
+                control,
+                thread: handler,
+            });
         }
     });
 
     ServerHandle {
         stop,
         stats,
+        workers,
         thread: Some(thread),
     }
 }
@@ -172,11 +228,13 @@ pub fn serve_with_identity<U: StreamUpgrade>(
 ) -> ServerHandle {
     let stop = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    let workers: WorkerSet = Arc::new(Mutex::new(Vec::new()));
     let router = Arc::new(router);
     let upgrade = Arc::new(upgrade);
 
     let accept_stop = stop.clone();
     let accept_stats = stats.clone();
+    let accept_workers = workers.clone();
     let thread = std::thread::spawn(move || {
         loop {
             if accept_stop.load(Ordering::SeqCst) {
@@ -190,11 +248,14 @@ pub fn serve_with_identity<U: StreamUpgrade>(
                 }
             };
             accept_stats.connections.fetch_add(1, Ordering::Relaxed);
+            accept_stats.active_handlers.fetch_add(1, Ordering::SeqCst);
+            let control = raw.control();
             let router = router.clone();
             let upgrade = upgrade.clone();
             let stats = accept_stats.clone();
             let stop = accept_stop.clone();
-            std::thread::spawn(move || {
+            let handler = std::thread::spawn(move || {
+                let _guard = HandlerGuard(stats.clone());
                 let (mut stream, identity) = match upgrade.upgrade(raw) {
                     Ok(upgraded) => upgraded,
                     Err(_) => {
@@ -222,12 +283,19 @@ pub fn serve_with_identity<U: StreamUpgrade>(
                     }
                 }
             });
+            let mut workers = accept_workers.lock();
+            workers.retain(|w| !w.thread.is_finished());
+            workers.push(Worker {
+                control,
+                thread: handler,
+            });
         }
     });
 
     ServerHandle {
         stop,
         stats,
+        workers,
         thread: Some(thread),
     }
 }
@@ -393,6 +461,33 @@ mod tests {
         }
         assert_eq!(handle.upgrade_failures(), 1);
         assert_eq!(handle.requests(), 0);
+    }
+
+    #[test]
+    fn stop_joins_idle_keepalive_handlers() {
+        let net = Network::new();
+        let listener = net.listen("svc:80").unwrap();
+        let handle = serve(listener, PlainUpgrade, test_router());
+
+        // Two keep-alive clients that stay connected (handlers parked in a
+        // blocking read with no pending request).
+        let mut c1 = HttpClient::new(net.connect("svc:80").unwrap());
+        let mut c2 = HttpClient::new(net.connect("svc:80").unwrap());
+        c1.request(&Request::get("/ping")).unwrap();
+        c2.request(&Request::get("/ping")).unwrap();
+
+        let stats = handle.stats();
+        assert_eq!(stats.active_handlers.load(Ordering::SeqCst), 2);
+        // Must return promptly (handlers woken + joined), not hang on the
+        // parked reads — and afterwards no handler thread is still alive.
+        handle.stop();
+        assert_eq!(
+            stats.active_handlers.load(Ordering::SeqCst),
+            0,
+            "shutdown left detached connection handlers running"
+        );
+        // The severed streams now error on the client side too.
+        assert!(c1.request(&Request::get("/ping")).is_err());
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! In-memory byte streams with latency modeling and passive taps.
+//! In-memory byte streams with latency modeling, passive taps, fault
+//! switches and read deadlines.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{injected_io, LinkControl};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// How long a blocked read sleeps between checks of the sever/stall flags
+/// and the deadline. Data arrival wakes the reader immediately (channel
+/// condvar); this only bounds how stale a *control* change can go
+/// unnoticed.
+const READ_POLL_SLICE: Duration = Duration::from_millis(2);
 
 /// Direction of a tapped frame, relative to the connection initiator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,6 +98,8 @@ pub struct Duplex {
     read_buffer: VecDeque<u8>,
     latency: Duration,
     tap: Option<(Arc<TapState>, Direction)>,
+    control: Arc<LinkControl>,
+    read_timeout: Option<Duration>,
     bytes_sent: u64,
     bytes_received: u64,
 }
@@ -98,6 +108,16 @@ impl Duplex {
     /// Create a connected pair with the given one-way latency. The first
     /// endpoint is the "client" half for tap direction purposes.
     pub fn pair(latency: Duration, tap: Option<&TapHandle>) -> (Duplex, Duplex) {
+        Duplex::pair_with_control(latency, tap, Arc::new(LinkControl::default()))
+    }
+
+    /// Like [`pair`](Self::pair) but with fault switches injected by the
+    /// fabric; both halves share `control`.
+    pub(crate) fn pair_with_control(
+        latency: Duration,
+        tap: Option<&TapHandle>,
+        control: Arc<LinkControl>,
+    ) -> (Duplex, Duplex) {
         let (tx_a, rx_b) = unbounded();
         let (tx_b, rx_a) = unbounded();
         let client = Duplex {
@@ -106,6 +126,8 @@ impl Duplex {
             read_buffer: VecDeque::new(),
             latency,
             tap: tap.map(|t| (t.state(), Direction::ToServer)),
+            control: control.clone(),
+            read_timeout: None,
             bytes_sent: 0,
             bytes_received: 0,
         };
@@ -115,6 +137,8 @@ impl Duplex {
             read_buffer: VecDeque::new(),
             latency,
             tap: tap.map(|t| (t.state(), Direction::ToClient)),
+            control,
+            read_timeout: None,
             bytes_sent: 0,
             bytes_received: 0,
         };
@@ -126,6 +150,25 @@ impl Duplex {
         Duplex::pair(Duration::ZERO, None)
     }
 
+    /// Deadline for blocking reads. `None` (the default) blocks until data
+    /// or EOF; `Some(t)` makes a read that waits longer than `t` fail with
+    /// `io::ErrorKind::TimedOut` — which the HTTP layer surfaces as
+    /// [`NetError::TimedOut`](crate::NetError::TimedOut). This is what
+    /// makes injected stalls observable instead of hanging the caller.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+
+    pub fn read_timeout(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    /// The shared fault/shutdown switches for this link (both halves
+    /// return the same control).
+    pub fn control(&self) -> Arc<LinkControl> {
+        self.control.clone()
+    }
+
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
     }
@@ -134,18 +177,63 @@ impl Duplex {
         self.bytes_received
     }
 
+    fn deliver(&mut self, frame: Frame) {
+        let now = Instant::now();
+        if frame.deliver_at > now {
+            std::thread::sleep(frame.deliver_at - now);
+        }
+        self.bytes_received += frame.bytes.len() as u64;
+        self.read_buffer.extend(frame.bytes);
+    }
+
+    fn deadline_elapsed(deadline: Option<Instant>) -> Option<io::Error> {
+        match deadline {
+            Some(d) if Instant::now() >= d => Some(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "read deadline elapsed",
+            )),
+            _ => None,
+        }
+    }
+
     fn pull_frame(&mut self) -> io::Result<bool> {
-        match self.rx.recv() {
-            Ok(frame) => {
-                let now = Instant::now();
-                if frame.deliver_at > now {
-                    std::thread::sleep(frame.deliver_at - now);
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let reset = || {
+            injected_io(
+                io::ErrorKind::ConnectionReset,
+                "connection severed by fault injection",
+            )
+        };
+        loop {
+            // A stall withholds even frames already queued on the wire.
+            // Sever outranks stall so shutdown can always wake a reader.
+            if self.control.is_stalled() && !self.control.is_severed() {
+                if let Some(e) = Self::deadline_elapsed(deadline) {
+                    return Err(e);
                 }
-                self.bytes_received += frame.bytes.len() as u64;
-                self.read_buffer.extend(frame.bytes);
-                Ok(true)
+                std::thread::sleep(READ_POLL_SLICE);
+                continue;
             }
-            Err(_) => Ok(false), // peer gone and channel drained: EOF
+            // Frames that crossed the wire before a sever (e.g. the prefix
+            // allowed by a drop-after-N-bytes budget) stay readable.
+            if let Ok(frame) = self.rx.try_recv() {
+                self.deliver(frame);
+                return Ok(true);
+            }
+            if self.control.is_severed() {
+                return Err(reset());
+            }
+            if let Some(e) = Self::deadline_elapsed(deadline) {
+                return Err(e);
+            }
+            match self.rx.recv_timeout(READ_POLL_SLICE) {
+                Ok(frame) => {
+                    self.deliver(frame);
+                    return Ok(true);
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return Ok(false), // EOF
+            }
         }
     }
 }
@@ -173,17 +261,32 @@ impl Write for Duplex {
         if buf.is_empty() {
             return Ok(0);
         }
-        if let Some((tap, direction)) = &self.tap {
-            tap.frames.lock().push((*direction, buf.to_vec()));
+        if self.control.is_severed() {
+            return Err(injected_io(
+                io::ErrorKind::BrokenPipe,
+                "connection severed by fault injection",
+            ));
         }
-        let frame = Frame {
-            deliver_at: Instant::now() + self.latency,
-            bytes: buf.to_vec(),
-        };
-        self.tx.send(frame).map_err(|_| {
-            io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped")
-        })?;
-        self.bytes_sent += buf.len() as u64;
+        // A drop-after-N-bytes fault lets the first `allowed` bytes cross
+        // the wire, then severs. The truncated write still reports success
+        // (the bytes vanished from a "kernel buffer"); the failure surfaces
+        // on the peer's read and on the next local operation — like a TCP
+        // reset racing buffered data.
+        let allowed = self.control.take_write_budget(buf.len());
+        let deliver = &buf[..allowed];
+        if !deliver.is_empty() {
+            if let Some((tap, direction)) = &self.tap {
+                tap.frames.lock().push((*direction, deliver.to_vec()));
+            }
+            let frame = Frame {
+                deliver_at: Instant::now() + self.latency,
+                bytes: deliver.to_vec(),
+            };
+            self.tx.send(frame).map_err(|_| {
+                io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped")
+            })?;
+            self.bytes_sent += deliver.len() as u64;
+        }
         Ok(buf.len())
     }
 
@@ -293,6 +396,72 @@ mod tests {
         assert_eq!(a.bytes_sent(), 5);
         assert_eq!(b.bytes_received(), 5);
         assert_eq!(a.bytes_received(), 0);
+    }
+
+    #[test]
+    fn read_timeout_fires_without_data() {
+        let (mut a, _b) = Duplex::pipe();
+        a.set_read_timeout(Some(Duration::from_millis(20)));
+        let start = Instant::now();
+        let mut buf = [0u8; 1];
+        let err = a.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn read_timeout_does_not_fire_with_data() {
+        let (mut a, mut b) = Duplex::pipe();
+        b.set_read_timeout(Some(Duration::from_millis(50)));
+        a.write_all(b"prompt").unwrap();
+        let mut buf = [0u8; 6];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"prompt");
+    }
+
+    #[test]
+    fn sever_fails_both_directions_but_preserves_wire_data() {
+        let (mut a, mut b) = Duplex::pipe();
+        a.write_all(b"sent first").unwrap();
+        a.control().sever();
+        // The frame crossed the wire before the sever: still readable.
+        let mut buf = [0u8; 10];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"sent first");
+        // After the buffered data, reads and writes fail with injected
+        // errors, not EOF.
+        assert!(b.read(&mut buf).is_err());
+        assert!(a.write_all(b"more").is_err());
+    }
+
+    #[test]
+    fn stall_withholds_frames_until_released() {
+        let (mut a, mut b) = Duplex::pipe();
+        let control = a.control();
+        control.set_stalled(true);
+        a.write_all(b"delayed").unwrap();
+        b.set_read_timeout(Some(Duration::from_millis(15)));
+        let mut buf = [0u8; 7];
+        assert_eq!(
+            b.read(&mut buf).unwrap_err().kind(),
+            io::ErrorKind::TimedOut
+        );
+        control.set_stalled(false);
+        b.set_read_timeout(None);
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"delayed");
+    }
+
+    #[test]
+    fn write_budget_truncates_and_severs() {
+        let control = Arc::new(crate::fault::LinkControl::with_faults(false, Some(4)));
+        let (mut a, mut b) = Duplex::pair_with_control(Duration::ZERO, None, control);
+        a.write_all(b"123456").unwrap(); // reports success; only 4 cross
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"1234");
+        assert!(b.read(&mut buf).is_err(), "drop surfaces as reset");
+        assert!(a.write_all(b"x").is_err(), "link is severed for writes");
     }
 
     #[test]

@@ -55,6 +55,8 @@ fn main() {
         integrity_enclave: host.integrity_enclave,
         tpm: None,
         guards: RwLock::new(guards),
+        revoked_serials: RwLock::new(Default::default()),
+        vm_hmac_key: None,
     });
     let agent = HostAgent::serve(&network, state).unwrap();
     println!("[svc] host agent serving at {}", agent.address);

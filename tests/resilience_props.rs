@@ -1,0 +1,150 @@
+//! Property tests for the resilience primitives: RetryPolicy backoff math
+//! and CircuitBreaker state transitions under a simulated clock.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vnfguard::controller::SimClock;
+use vnfguard::core::resilience::{BreakerState, CircuitBreaker, RetryPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pre-jitter backoff bound never exceeds the cap, is monotone in
+    /// the attempt index, and is exactly `base * 2^n` while under the cap.
+    #[test]
+    fn backoff_bound_is_capped_and_monotone(
+        base in 0u64..1_000,
+        cap in 0u64..100_000,
+        attempt in 0u32..80,
+    ) {
+        let policy = RetryPolicy::new(4, base, cap);
+        let bound = policy.backoff_bound(attempt);
+        prop_assert!(bound <= cap);
+        if attempt > 0 {
+            prop_assert!(bound >= policy.backoff_bound(attempt - 1));
+        }
+        if attempt < 63 {
+            let exact = base.saturating_mul(1u64 << attempt);
+            if exact < cap {
+                prop_assert_eq!(bound, exact);
+            }
+        }
+    }
+
+    /// Every jittered delay in a run lies in `[0, backoff_bound(n)]`, the
+    /// attempt count is exactly `max_attempts` on total failure, and the
+    /// clock advances by exactly the sum of the delays.
+    #[test]
+    fn jitter_stays_within_bounds_and_drives_the_clock(
+        max_attempts in 1u32..10,
+        base in 0u64..100,
+        cap in 0u64..500,
+        seed in any::<u64>(),
+        start in 0u64..1_000_000,
+    ) {
+        let policy = RetryPolicy::new(max_attempts, base, cap).with_seed(seed);
+        let clock = SimClock::at(start);
+        let outcome = policy.run(&clock, |_| Err::<(), _>("down"));
+        prop_assert!(outcome.result.is_err());
+        prop_assert_eq!(outcome.attempts.len(), max_attempts as usize);
+        prop_assert_eq!(outcome.attempts[0].delay_before_secs, 0);
+        for record in &outcome.attempts[1..] {
+            prop_assert!(
+                record.delay_before_secs <= policy.backoff_bound(record.attempt - 1),
+                "attempt {} waited {} > bound {}",
+                record.attempt,
+                record.delay_before_secs,
+                policy.backoff_bound(record.attempt - 1)
+            );
+        }
+        let waited: u64 = outcome.attempts.iter().map(|a| a.delay_before_secs).sum();
+        prop_assert_eq!(clock.now(), start + waited);
+    }
+
+    /// The same policy seed replays the same delay sequence.
+    #[test]
+    fn retry_delays_replay_from_seed(seed in any::<u64>()) {
+        let delays = |s: u64| {
+            let clock = SimClock::at(0);
+            RetryPolicy::new(6, 1, 30)
+                .with_seed(s)
+                .run(&clock, |_| Err::<(), _>("x"))
+                .attempts
+                .iter()
+                .map(|a| a.delay_before_secs)
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(delays(seed), delays(seed));
+    }
+
+    /// Circuit-breaker invariants under arbitrary interleavings of clock
+    /// advances, successes and failures:
+    /// - a success always leaves the breaker Closed;
+    /// - the breaker only opens once `threshold` consecutive failures
+    ///   accumulate (or a half-open probe fails);
+    /// - while Open, `allows` refuses; once the cooldown elapses the state
+    ///   reads HalfOpen and `allows` admits the probe.
+    #[test]
+    fn breaker_transitions_are_sound(
+        threshold in 1u32..6,
+        cooldown in 1u64..100,
+        ops in vec((0u64..50, any::<bool>()), 1..60),
+    ) {
+        let clock = SimClock::at(0);
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        let mut streak = 0u32; // consecutive failures, model side
+        let mut opened_at: Option<u64> = None;
+        for (advance, success) in ops {
+            clock.advance(advance);
+            let now = clock.now();
+
+            // `allows` must agree with `state` before the event.
+            prop_assert_eq!(breaker.allows(now), breaker.state(now) != BreakerState::Open);
+
+            let state_before = breaker.state(now);
+            if success {
+                breaker.record_success(now);
+                streak = 0;
+                opened_at = None;
+                prop_assert_eq!(breaker.state(now), BreakerState::Closed);
+                prop_assert_eq!(breaker.consecutive_failures(), 0);
+            } else {
+                breaker.record_failure(now);
+                match state_before {
+                    BreakerState::Closed => {
+                        streak += 1;
+                        if streak >= threshold {
+                            opened_at = Some(now);
+                            prop_assert_eq!(breaker.state(now), BreakerState::Open);
+                        } else {
+                            prop_assert_eq!(breaker.state(now), BreakerState::Closed);
+                        }
+                    }
+                    BreakerState::HalfOpen => {
+                        // Failed probe: re-opened, cooldown restarted.
+                        opened_at = Some(now);
+                        prop_assert_eq!(breaker.state(now), BreakerState::Open);
+                    }
+                    BreakerState::Open => {
+                        // Bypassed-`allows` failure: no cooldown restart.
+                        prop_assert!(opened_at.is_some());
+                    }
+                }
+            }
+
+            // Open/HalfOpen timing must follow the recorded open instant.
+            if let Some(t) = opened_at {
+                let now = clock.now();
+                if now >= t + cooldown {
+                    prop_assert_eq!(breaker.state(now), BreakerState::HalfOpen);
+                    prop_assert!(breaker.allows(now));
+                } else {
+                    prop_assert_eq!(breaker.state(now), BreakerState::Open);
+                    prop_assert!(!breaker.allows(now));
+                }
+            } else {
+                prop_assert_eq!(breaker.state(clock.now()), BreakerState::Closed);
+            }
+        }
+    }
+}

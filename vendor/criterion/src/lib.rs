@@ -1,0 +1,280 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the `vnfguard-bench` benches use — benchmark
+//! groups, parameterized ids, throughput annotation, `iter` /
+//! `iter_with_setup` — with a simple mean-of-batches timer instead of
+//! criterion's statistical machinery. Output is one line per benchmark:
+//!
+//! ```text
+//! e8_revocation/build_crl/100 ... 12.3 µs/iter (820 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on iterations, for very fast routines.
+const MAX_ITERS: u64 = 100_000;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` repeatedly until the measurement target is reached.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up.
+        black_box(routine());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < TARGET && iters < MAX_ITERS {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = started.elapsed();
+    }
+
+    /// Time `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_with_setup<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> O,
+    ) {
+        black_box(routine(setup()));
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < TARGET && iters < MAX_ITERS {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            measured += t0.elapsed();
+            iters += 1;
+        }
+        self.iters_done = iters.max(1);
+        self.elapsed = measured;
+    }
+
+    /// `iter_batched` in criterion's `PerIteration`-like mode.
+    pub fn iter_batched<S, O>(
+        &mut self,
+        setup: impl FnMut() -> S,
+        routine: impl FnMut(S) -> O,
+        _size: BatchSize,
+    ) {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn format_per_iter(elapsed: Duration, iters: u64) -> String {
+    let nanos = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    if nanos >= 1e9 {
+        format!("{:.3} s/iter", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.2} ms/iter", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.2} µs/iter", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns/iter")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        let mut line = format!(
+            "{}/{} ... {} ({} iters)",
+            self.name,
+            id.id,
+            format_per_iter(bencher.elapsed, bencher.iters_done),
+            bencher.iters_done
+        );
+        if let Some(t) = self.throughput {
+            let per_iter_secs =
+                bencher.elapsed.as_secs_f64() / bencher.iters_done.max(1) as f64;
+            match t {
+                Throughput::Elements(n) => {
+                    line += &format!(", {:.0} elem/s", n as f64 / per_iter_secs.max(1e-12));
+                }
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    line += &format!(
+                        ", {:.1} MiB/s",
+                        n as f64 / per_iter_secs.max(1e-12) / (1024.0 * 1024.0)
+                    );
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        self.run(id.into(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        println!(
+            "{} ... {} ({} iters)",
+            name,
+            format_per_iter(bencher.elapsed, bencher.iters_done),
+            bencher.iters_done
+        );
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

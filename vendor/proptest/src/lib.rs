@@ -1,0 +1,232 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal property-testing harness exposing the API subset its tests use:
+//! the `proptest!` macro, `any::<T>()`, ranges and regex-literal string
+//! strategies, `Just`, `prop_oneof!`, `prop_map`/`prop_filter`/
+//! `prop_recursive`, and the `collection`/`option`/`array` helper modules.
+//!
+//! Generation is deterministic (per-test seeds) and there is **no
+//! shrinking** — a failing case prints as-is. That trades minimal
+//! counterexamples for a zero-dependency build.
+
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub mod collection {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// Accepted element-count specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng| {
+            let count = size.min + rng.below_usize(size.max_inclusive - size.min + 1);
+            (0..count).map(|_| element.generate(rng)).collect()
+        })
+    }
+}
+
+pub mod option {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(inner.generate(rng))
+            }
+        })
+    }
+}
+
+pub mod array {
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// `[T; 32]` with each element drawn from `element`.
+    pub fn uniform32<S>(element: S) -> BoxedStrategy<[S::Value; 32]>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::new(move |rng| std::array::from_fn(|_| element.generate(rng)))
+    }
+}
+
+/// Define property tests. Mirrors real proptest's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop_name(x in any::<u8>(), s in "[a-z]{1,8}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $( let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut __rng); )+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {{
+        $crate::strategy::BoxedStrategy::one_of(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    }};
+}
+
+/// Assertion macros: plain panics (no shrinking to feed a failure back into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current generated case when its precondition fails.
+/// Expands to `continue` targeting the case loop in `proptest!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u8, String)> {
+        (any::<u8>(), "[a-z]{1,4}").prop_map(|(n, s)| (n, s))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_generates_and_asserts(
+            n in 0u32..100,
+            v in crate::collection::vec(any::<u8>(), 0..8),
+            pair in arb_pair(),
+            opt in crate::option::of(any::<u16>()),
+        ) {
+            prop_assert!(n < 100);
+            prop_assert!(v.len() < 8);
+            prop_assert!(!pair.1.is_empty());
+            prop_assume!(opt.is_none() || opt.unwrap() < u16::MAX);
+            prop_assert_ne!(pair.1.len(), 0);
+        }
+
+        #[test]
+        fn oneof_picks_all_variants(choice in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&choice));
+        }
+    }
+
+    #[test]
+    fn deterministic_between_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = crate::collection::vec(any::<u8>(), 0..16);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

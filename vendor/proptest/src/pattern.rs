@@ -1,0 +1,290 @@
+//! String generation from the small regex subset used as strategies.
+//!
+//! Supported syntax — enough for every pattern in this workspace, and the
+//! parser panics loudly on anything else so silent misgeneration cannot
+//! creep in:
+//!
+//! - literal characters (including raw control characters);
+//! - `[...]` classes with ranges and `&&[^...]` subtraction;
+//! - `\PC` (any printable, non-control character) and common `\x` escapes;
+//! - `{n}` / `{m,n}` repetition suffixes.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct CharSet {
+    ranges: Vec<(char, char)>,
+    minus: Vec<(char, char)>,
+}
+
+impl CharSet {
+    fn single(c: char) -> CharSet {
+        CharSet {
+            ranges: vec![(c, c)],
+            minus: Vec::new(),
+        }
+    }
+
+    /// Printable characters: ASCII and a few BMP blocks, nothing from
+    /// Unicode category C (control/format/unassigned).
+    fn printable() -> CharSet {
+        CharSet {
+            ranges: vec![
+                (' ', '~'),                 // ASCII printable
+                ('\u{a1}', '\u{ff}'),       // Latin-1 supplement (printable)
+                ('\u{100}', '\u{17f}'),     // Latin extended-A
+                ('\u{391}', '\u{3a9}'),     // Greek capitals
+                ('\u{3b1}', '\u{3c9}'),     // Greek minuscules
+                ('\u{410}', '\u{44f}'),     // Cyrillic
+            ],
+            minus: Vec::new(),
+        }
+    }
+
+    fn contains(&self, c: char) -> bool {
+        self.ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi)
+            && !self.minus.iter().any(|&(lo, hi)| c >= lo && c <= hi)
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self
+            .ranges
+            .iter()
+            .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+            .sum();
+        assert!(total > 0, "empty character class");
+        for _ in 0..64 {
+            let mut idx = rng.below(total);
+            for &(lo, hi) in &self.ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if idx < span {
+                    let c = char::from_u32(lo as u32 + idx as u32)
+                        .expect("character ranges contain only valid scalars");
+                    if !self.minus.iter().any(|&(mlo, mhi)| c >= mlo && c <= mhi) {
+                        return c;
+                    }
+                    break; // excluded: resample
+                }
+                idx -= span;
+            }
+        }
+        // Exclusions dominated the class; fall back to a linear scan.
+        for &(lo, hi) in &self.ranges {
+            for code in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(code) {
+                    if self.contains(c) {
+                        return c;
+                    }
+                }
+            }
+        }
+        panic!("character class excludes every member");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> CharSet {
+    match chars.next() {
+        Some('P') => match chars.next() {
+            Some('C') => CharSet::printable(),
+            other => panic!("unsupported \\P class {other:?} in pattern {pattern:?}"),
+        },
+        Some('r') => CharSet::single('\r'),
+        Some('n') => CharSet::single('\n'),
+        Some('t') => CharSet::single('\t'),
+        Some(c @ ('\\' | '.' | '/' | '-' | '[' | ']' | '{' | '}')) => CharSet::single(c),
+        other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> CharSet {
+    let mut set = CharSet {
+        ranges: Vec::new(),
+        minus: Vec::new(),
+    };
+    let negated = chars.peek() == Some(&'^');
+    if negated {
+        chars.next();
+    }
+    loop {
+        match chars.next() {
+            None => panic!("unterminated class in pattern {pattern:?}"),
+            Some(']') => break,
+            Some('&') if chars.peek() == Some(&'&') => {
+                chars.next();
+                assert_eq!(
+                    chars.next(),
+                    Some('['),
+                    "only `&&[^...]` intersections are supported in {pattern:?}"
+                );
+                assert_eq!(
+                    chars.next(),
+                    Some('^'),
+                    "only `&&[^...]` intersections are supported in {pattern:?}"
+                );
+                loop {
+                    match chars.next() {
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            set.minus.extend(parse_escape(chars, pattern).ranges)
+                        }
+                        Some(c) => set.minus.push((c, c)),
+                    }
+                }
+            }
+            Some('\\') => set.ranges.extend(parse_escape(chars, pattern).ranges),
+            Some(c) => {
+                if chars.peek() == Some(&'-') {
+                    let mut probe = chars.clone();
+                    probe.next();
+                    match probe.peek() {
+                        Some(&']') | None => set.ranges.push((c, c)), // trailing '-'
+                        Some(&hi) => {
+                            chars.next();
+                            chars.next();
+                            assert!(c <= hi, "inverted range in pattern {pattern:?}");
+                            set.ranges.push((c, hi));
+                        }
+                    }
+                } else {
+                    set.ranges.push((c, c));
+                }
+            }
+        }
+    }
+    if negated {
+        let mut printable = CharSet::printable();
+        printable.minus = set.ranges;
+        printable
+    } else {
+        set
+    }
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let parse = |s: &str| -> usize {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad repetition {spec:?} in {pattern:?}"))
+            };
+            return match spec.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&spec);
+                    (n, n)
+                }
+            };
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repetition in pattern {pattern:?}");
+}
+
+impl Pattern {
+    pub fn compile(pattern: &str) -> Pattern {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => parse_escape(&mut chars, pattern),
+                '(' | ')' | '*' | '+' | '?' | '|' => {
+                    panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+                }
+                literal => CharSet::single(literal),
+            };
+            let (min, max) = parse_repeat(&mut chars, pattern);
+            atoms.push(Atom { set, min, max });
+        }
+        Pattern { atoms }
+    }
+
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = if atom.max > atom.min {
+                atom.min + rng.below_usize(atom.max - atom.min + 1)
+            } else {
+                atom.min
+            };
+            for _ in 0..count {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, seed: u64) -> String {
+        Pattern::compile(pattern).generate(&mut TestRng::from_seed(seed))
+    }
+
+    #[test]
+    fn literal_and_class() {
+        for seed in 0..50 {
+            let s = gen("/[a-z]{1,8}", seed);
+            assert!(s.starts_with('/'));
+            assert!(s.len() >= 2 && s.len() <= 9, "{s:?}");
+            assert!(s[1..].chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn subtraction_class() {
+        for seed in 0..200 {
+            let s = gen("[ -~&&[^\r\n]]{0,30}", seed);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_escape() {
+        for seed in 0..200 {
+            let s = gen("\\PC{0,8}", seed);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            assert!(s.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn header_name_shapes() {
+        for seed in 0..100 {
+            let s = gen("[a-z][a-z0-9-]{0,15}", seed);
+            assert!(!s.is_empty() && s.len() <= 16);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_ranges() {
+        assert_eq!(gen("a{3}", 1), "aaa");
+        let s = gen("[a-zA-Z0-9 ._-]{1,24}", 9);
+        assert!(!s.is_empty() && s.len() <= 24);
+    }
+}

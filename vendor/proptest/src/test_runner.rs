@@ -1,0 +1,100 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Configuration accepted by the `proptest!` macro.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64-based RNG, seeded deterministically per test so failures
+/// reproduce run to run (there is no shrinking in this stand-in).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            state: seed ^ 0x5bf0_3635_16f1_7c3d,
+        }
+    }
+
+    /// Deterministic seed derived from the test name (FNV-1a).
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::from_seed(hash)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_u128(&mut self) -> u128 {
+        ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Multiply-shift rejection-free mapping is fine for test generation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        if bound == 0 {
+            return 0;
+        }
+        self.next_u128() % bound
+    }
+
+    pub fn below_usize(&mut self, bound: usize) -> usize {
+        self.below(bound as u64) as usize
+    }
+
+    pub fn gen_bool(&mut self, probability: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        let mut c = TestRng::for_test("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+            assert!(rng.below_u128(u128::MAX) < u128::MAX);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace only uses `rand::rngs::OsRng` as an entropy source behind
+//! `RngCore::fill_bytes`. On Unix this reads `/dev/urandom`; if that is
+//! unavailable it falls back to a SplitMix64 stream seeded from the clock,
+//! the process id and ASLR — acceptable for the simulation workloads this
+//! repository runs (no production key material leaves the process).
+
+/// The subset of the `RngCore` trait the workspace uses.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+pub mod rngs {
+    use super::RngCore;
+    use std::io::Read;
+
+    /// OS-backed entropy source.
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct OsRng;
+
+    fn fallback_seed() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let aslr = (&fallback_seed as *const _) as u64;
+        nanos ^ aslr.rotate_left(32) ^ (std::process::id() as u64).wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn splitmix_fill(dest: &mut [u8]) {
+        let mut state = fallback_seed();
+        for chunk in dest.chunks_mut(8) {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut buf = [0u8; 8];
+            self.fill_bytes(&mut buf);
+            u64::from_le_bytes(buf)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            let from_os = std::fs::File::open("/dev/urandom")
+                .and_then(|mut f| f.read_exact(dest))
+                .is_ok();
+            if !from_os {
+                splitmix_fill(dest);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::OsRng;
+    use super::RngCore;
+
+    #[test]
+    fn fills_and_varies() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        OsRng.fill_bytes(&mut a);
+        OsRng.fill_bytes(&mut b);
+        assert_ne!(a, b, "two 256-bit draws collided");
+    }
+}
