@@ -13,4 +13,26 @@ cargo test -q
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --exclude rand \
+  --exclude proptest --exclude criterion --exclude crossbeam --exclude parking_lot -q
+
+echo "== api hygiene: no positional 'now: u64' outside *_at shims in core =="
+# The redesigned manager/remote API injects time via SimClock; explicit-time
+# entry points must advertise it with an `_at` suffix.
+violations=$(awk '
+  /fn [a-z_0-9]+/ {
+    name = $0; sub(/\(.*/, "", name); sub(/.*fn /, "", name)
+    is_pub = ($0 ~ /pub fn/)
+  }
+  /now: u64/ {
+    if (is_pub && name !~ /_at$/) print FILENAME ":" FNR ": fn " name
+  }
+' crates/core/src/*.rs)
+if [ -n "$violations" ]; then
+  echo "found pub fns taking a positional 'now: u64' without an _at suffix:"
+  echo "$violations"
+  exit 1
+fi
+
 echo "CI OK"

@@ -1,0 +1,180 @@
+//! E10 — observability overhead: what the telemetry bundle (counters,
+//! span timings, the ring-buffered journal) costs on the hot enrollment
+//! path, plus microbenchmarks of the primitives themselves and of the
+//! Prometheus render an operator scrape pays for.
+//!
+//! The acceptance bar is that `enrollment_telemetry_enabled` stays within
+//! a few percent of `enrollment_telemetry_disabled` — the bundle is
+//! always-on in the testbed, so its cost must be negligible next to the
+//! crypto and fabric round-trips it annotates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::sync::Arc;
+use vnfguard_core::deployment::{Testbed, TestbedBuilder};
+use vnfguard_core::remote::{
+    remote_attest_host, remote_enroll_vnf, serve_ias, HostAgent, HostAgentState, RemoteIas,
+};
+use vnfguard_telemetry::Telemetry;
+
+struct RemoteWorld {
+    testbed: Testbed,
+    agent: HostAgent,
+    remote_ias: RemoteIas,
+    _ias_handle: vnfguard_net::ServerHandle,
+}
+
+/// The distributed deployment of e9, but with an explicit telemetry
+/// bundle threaded through fabric, IAS, manager and IAS client.
+fn remote_world(seed: &[u8], telemetry: Telemetry) -> RemoteWorld {
+    let mut testbed = TestbedBuilder::new(seed)
+        .telemetry(telemetry.clone())
+        .build();
+    let ias = std::mem::replace(
+        &mut testbed.ias,
+        vnfguard_ias::AttestationService::new(b"placeholder"),
+    );
+    let report_key = ias.report_signing_key();
+    let (_ias_handle, _shared) = serve_ias(&testbed.network, "ias:443", ias).unwrap();
+    let remote_ias =
+        RemoteIas::new(&testbed.network, "ias:443", report_key).with_telemetry(&telemetry);
+    let host = testbed.hosts.remove(0);
+    let state = Arc::new(HostAgentState {
+        host_id: host.id.clone(),
+        platform: host.platform,
+        container_host: RwLock::new(host.container_host),
+        integrity_enclave: host.integrity_enclave,
+        tpm: None,
+        guards: RwLock::new(HashMap::new()),
+        revoked_serials: RwLock::new(Default::default()),
+        vm_hmac_key: Some(testbed.vm.share_hmac_key()),
+    });
+    let agent = HostAgent::serve(&testbed.network, state).unwrap();
+    RemoteWorld {
+        testbed,
+        agent,
+        remote_ias,
+        _ias_handle,
+    }
+}
+
+/// Deploy and register a fresh guard behind the agent; returns its name.
+fn deploy_guard(world: &mut RemoteWorld, n: u64) -> String {
+    let name = format!("vnf-{n}");
+    let guard = vnfguard_vnf::VnfGuard::load(
+        &world.agent.state.platform,
+        &world.testbed.network,
+        &world.testbed.enclave_author,
+        &name,
+        1,
+    )
+    .unwrap();
+    world.testbed.vm.trust_enclave(guard.mrenclave(), &name);
+    world
+        .agent
+        .state
+        .guards
+        .write()
+        .insert(name.clone(), Arc::new(guard));
+    name
+}
+
+/// One full remote enrollment per iteration against the given world.
+fn bench_enrollment(b: &mut criterion::Bencher, world: &mut RemoteWorld) {
+    remote_attest_host(
+        &mut world.testbed.vm,
+        &mut world.remote_ias,
+        &world.testbed.network,
+        "host-0",
+    )
+    .unwrap();
+    let mut n = 0;
+    b.iter(|| {
+        n += 1;
+        let name = deploy_guard(world, n);
+        remote_enroll_vnf(
+            &mut world.testbed.vm,
+            &mut world.remote_ias,
+            &world.testbed.network,
+            "host-0",
+            &name,
+            "controller",
+        )
+        .unwrap();
+    });
+}
+
+fn bench_e10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_observability");
+
+    // Primitive costs: what one instrumentation touch adds to a hot path.
+    group.bench_function("counter_inc", |b| {
+        let telemetry = Telemetry::new();
+        let counter = telemetry.counter("vnfguard_bench_ticks_total");
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("counter_inc_detached", |b| {
+        let telemetry = Telemetry::disabled();
+        let counter = telemetry.counter("vnfguard_bench_ticks_total");
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("histogram_record", |b| {
+        let telemetry = Telemetry::new();
+        let histogram = telemetry.histogram("vnfguard_bench_lat_micros");
+        let mut v = 0u64;
+        b.iter(|| {
+            v = (v + 17) % 10_000;
+            histogram.record(black_box(v));
+        });
+    });
+    group.bench_function("span_open_close", |b| {
+        let telemetry = Telemetry::new();
+        let histogram = telemetry.histogram("vnfguard_bench_span_micros");
+        b.iter(|| {
+            let _span = telemetry
+                .span("bench_span", 0)
+                .with_histogram(histogram.clone());
+        });
+    });
+    group.bench_function("journal_record", |b| {
+        let telemetry = Telemetry::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(telemetry.event(t, "bench_event", "detail"));
+        });
+    });
+
+    // What an operator scrape costs once the registry is populated.
+    group.bench_function("render_prometheus_populated", |b| {
+        let telemetry = Telemetry::new();
+        for i in 0..16 {
+            telemetry.counter(&format!("vnfguard_bench_c{i}_total")).add(i);
+            let h = telemetry.histogram(&format!("vnfguard_bench_h{i}_micros"));
+            for v in [3, 40, 500, 6_000] {
+                h.record(v * (i + 1));
+            }
+        }
+        b.iter(|| black_box(telemetry.render_prometheus().len()));
+    });
+
+    // The headline comparison: the full remote enrollment path with the
+    // bundle recording everything vs. fully disabled. These two must stay
+    // within a few percent of each other.
+    group.sample_size(10);
+    group.bench_function("enrollment_telemetry_enabled", |b| {
+        let mut world = remote_world(b"e10 enabled", Telemetry::new());
+        bench_enrollment(b, &mut world);
+    });
+    group.bench_function("enrollment_telemetry_disabled", |b| {
+        let mut world = remote_world(b"e10 disabled", Telemetry::disabled());
+        bench_enrollment(b, &mut world);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

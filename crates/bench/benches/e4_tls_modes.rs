@@ -55,7 +55,6 @@ fn bench_e4(c: &mut Criterion) {
         let client_cert = testbed.vm.issue_client_certificate(
             "native-client",
             client_key.public_key(),
-            testbed.clock.now(),
         );
         let signer = Arc::new(vnfguard_tls::LocalSigner::new(client_key, client_cert));
         let mut trust = TrustStore::new();

@@ -128,20 +128,17 @@ fn bench_e9(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("remote_enrollment_clean", |b| {
         let mut world = remote_world(b"e9 clean");
-        let now = world.testbed.clock.now();
         remote_attest_host(
             &mut world.testbed.vm,
             &mut world.remote_ias,
             &world.testbed.network,
             "host-0",
-            now,
         )
         .unwrap();
         let mut n = 0;
         b.iter(|| {
             n += 1;
             let name = deploy_guard(&mut world, n);
-            let now = world.testbed.clock.now();
             remote_enroll_vnf(
                 &mut world.testbed.vm,
                 &mut world.remote_ias,
@@ -149,20 +146,17 @@ fn bench_e9(c: &mut Criterion) {
                 "host-0",
                 &name,
                 "controller",
-                now,
             )
             .unwrap();
         });
     });
     group.bench_function("remote_enrollment_30pct_ias_refusal", |b| {
         let mut world = remote_world(b"e9 flaky");
-        let now = world.testbed.clock.now();
         remote_attest_host(
             &mut world.testbed.vm,
             &mut world.remote_ias,
             &world.testbed.network,
             "host-0",
-            now,
         )
         .unwrap();
         world.plan.refuse_connections("ias:443", 0.30);
@@ -170,7 +164,6 @@ fn bench_e9(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let name = deploy_guard(&mut world, n);
-            let now = world.testbed.clock.now();
             remote_enroll_vnf(
                 &mut world.testbed.vm,
                 &mut world.remote_ias,
@@ -178,7 +171,6 @@ fn bench_e9(c: &mut Criterion) {
                 "host-0",
                 &name,
                 "controller",
-                now,
             )
             .unwrap();
         });

@@ -25,6 +25,7 @@ use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
 use vnfguard_sgx::sigstruct::EnclaveAuthor;
 use vnfguard_sgx::transition::TransitionModel;
+use vnfguard_telemetry::Telemetry;
 use vnfguard_tls::signer::LocalSigner;
 use vnfguard_tls::validate::ClientValidator;
 use vnfguard_vnf::credential_enclave::CredentialEnclave;
@@ -78,6 +79,8 @@ pub struct TestbedBuilder {
     tcb_policy: TcbPolicy,
     transition_spin: (u64, u64),
     controller_addr: String,
+    degraded: Option<(bool, u64)>,
+    telemetry: Option<Telemetry>,
 }
 
 impl TestbedBuilder {
@@ -91,6 +94,8 @@ impl TestbedBuilder {
             tcb_policy: TcbPolicy::Strict,
             transition_spin: (0, 0),
             controller_addr: "controller:8443".into(),
+            degraded: None,
+            telemetry: None,
         }
     }
 
@@ -125,17 +130,42 @@ impl TestbedBuilder {
         self
     }
 
+    /// Opt the Verification Manager in to graceful degradation (cached
+    /// trusted verdicts honored for `ttl_secs` when IAS is unreachable).
+    pub fn degraded(mut self, enabled: bool, ttl_secs: u64) -> TestbedBuilder {
+        self.degraded = Some((enabled, ttl_secs));
+        self
+    }
+
+    /// Share an existing telemetry bundle instead of creating a fresh one
+    /// (lets a harness aggregate several testbeds, or pass
+    /// [`Telemetry::disabled`] to measure instrumentation overhead).
+    pub fn telemetry(mut self, telemetry: Telemetry) -> TestbedBuilder {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     pub fn build(self) -> Testbed {
         let network = Network::new();
         let clock = SimClock::at(1_600_000_000);
+        let telemetry = self.telemetry.unwrap_or_default();
+        network.set_telemetry(&telemetry);
         let mut ias = AttestationService::new(&self.seed);
+        ias.set_telemetry(&telemetry);
 
-        let vm_config = ManagerConfig {
-            tcb_policy: self.tcb_policy,
-            require_tpm: self.with_tpm,
-            ..ManagerConfig::default()
-        };
-        let mut vm = VerificationManager::new(vm_config, &self.seed);
+        let mut vm_config = ManagerConfig::builder()
+            .tcb_policy(self.tcb_policy)
+            .require_tpm(self.with_tpm);
+        if let Some((enabled, ttl_secs)) = self.degraded {
+            vm_config = vm_config.degraded_verdicts(enabled, ttl_secs);
+        }
+        let vm_config = vm_config.build().expect("testbed manager config is valid");
+        let mut vm = VerificationManager::with_runtime(
+            vm_config,
+            &self.seed,
+            clock.clone(),
+            telemetry.clone(),
+        );
 
         // Whitelist the integrity attestation enclave and seed the host
         // reference database with the standard software stack.
@@ -152,8 +182,7 @@ impl TestbedBuilder {
         let server_key = SigningKey::from_seed(&vnfguard_crypto::sha2::sha256(
             &[&self.seed[..], b"controller key"].concat(),
         ));
-        let server_cert =
-            vm.issue_server_certificate(&controller_cn, server_key.public_key(), clock.now());
+        let server_cert = vm.issue_server_certificate(&controller_cn, server_key.public_key());
         let server_identity = Arc::new(LocalSigner::new(server_key, server_cert));
 
         let validator = match self.validation {
@@ -205,7 +234,7 @@ impl TestbedBuilder {
                 let tpm = SimTpm::new(&vnfguard_crypto::sha2::sha256(
                     &[&platform_seed[..], b"tpm"].concat(),
                 ));
-                vm.register_host_tpm(&id, tpm.aik_public(), clock.now());
+                vm.register_host_tpm(&id, tpm.aik_public());
                 Some(tpm)
             } else {
                 None
@@ -223,6 +252,7 @@ impl TestbedBuilder {
         Testbed {
             network,
             clock,
+            telemetry,
             ias,
             vm,
             controller,
@@ -249,6 +279,9 @@ const STANDARD_HOST_FILES: &[(&str, &[u8])] = &[
 pub struct Testbed {
     pub network: Network,
     pub clock: SimClock,
+    /// The deployment-wide telemetry bundle (shared by fabric, IAS, and the
+    /// Verification Manager).
+    pub telemetry: Telemetry,
     pub ias: AttestationService,
     pub vm: VerificationManager,
     pub controller: Controller,
@@ -264,9 +297,8 @@ pub struct Testbed {
 impl Testbed {
     /// Steps 1–2: attest a container host.
     pub fn attest_host(&mut self, host_idx: usize) -> Result<Verdict, CoreError> {
-        let now = self.clock.now();
         let host = &mut self.hosts[host_idx];
-        let challenge = self.vm.begin_host_attestation(&host.id, now);
+        let challenge = self.vm.begin_host_attestation(&host.id);
         host.sync_tpm();
         let iml = host.container_host.measurement_list().encode();
         let tpm_quote = host
@@ -281,7 +313,7 @@ impl Testbed {
             tpm_quote,
         )?;
         self.vm
-            .complete_host_attestation(&mut self.ias, challenge.id, &evidence, now)
+            .complete_host_attestation(&mut self.ias, challenge.id, &evidence)
     }
 
     /// Deploy a VNF container: the host runs `actual_image`, while the VM's
@@ -363,11 +395,8 @@ impl Testbed {
         host_idx: usize,
         guard: &VnfGuard,
     ) -> Result<Certificate, CoreError> {
-        let now = self.clock.now();
         let host_id = self.hosts[host_idx].id.clone();
-        let challenge = self
-            .vm
-            .begin_vnf_attestation(&host_id, &guard.name, now)?;
+        let challenge = self.vm.begin_vnf_attestation(&host_id, &guard.name)?;
         let provisioning_key = guard.provisioning_key()?;
         let quote = guard.quote(
             &self.hosts[host_idx].platform,
@@ -380,7 +409,6 @@ impl Testbed {
             &quote.encode(),
             &provisioning_key,
             &self.controller_cn,
-            now,
         )?;
         guard.provision(&wrapped)?;
         // Keystore validation model: the controller's keystore must be
@@ -399,7 +427,7 @@ impl Testbed {
     /// Distribute the VM's current CRL to the controller (revocation
     /// propagation; experiment E8).
     pub fn push_crl(&mut self) -> Result<(), CoreError> {
-        let crl = self.vm.current_crl(self.clock.now(), 3600);
+        let crl = self.vm.current_crl(3600);
         if let Some(validator) = self.controller.client_validator() {
             if let Some(store) = validator.trust_store() {
                 store.write().install_crl(crl)?;

@@ -42,7 +42,7 @@ pub mod revocation;
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
-pub use manager::{ManagerConfig, VerificationManager};
+pub use manager::{ManagerConfig, ManagerConfigBuilder, VerificationManager};
 pub use resilience::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use revocation::RevocationNotifier;
 
@@ -70,6 +70,9 @@ pub enum CoreError {
     /// Credential delivery failed mid-provisioning; the issued certificate
     /// was revoked and the enrollment rolled back.
     ProvisioningRolledBack(String),
+    /// A [`manager::ManagerConfig`] builder was given an inconsistent or
+    /// unsafe combination of settings.
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -88,6 +91,7 @@ impl std::fmt::Display for CoreError {
             CoreError::ProvisioningRolledBack(msg) => {
                 write!(f, "provisioning rolled back: {msg}")
             }
+            CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }
     }
 }

@@ -3,6 +3,7 @@
 use crate::attestation::{host_report_data, HostEvidence};
 use crate::CoreError;
 use std::collections::{BTreeMap, HashMap};
+use vnfguard_controller::clock::SimClock;
 use vnfguard_crypto::drbg::{HmacDrbg, SecureRandom};
 use vnfguard_crypto::ed25519::SigningKey;
 use vnfguard_crypto::sha2::sha256;
@@ -13,6 +14,7 @@ use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
 use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
 use vnfguard_pki::crl::{Crl, RevocationReason};
 use vnfguard_sgx::measurement::Measurement;
+use vnfguard_telemetry::{Counter, Histogram, Telemetry};
 use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
 use vnfguard_vnf::wrap_credentials;
 
@@ -35,26 +37,29 @@ impl TcbPolicy {
 }
 
 /// Verification Manager configuration.
+///
+/// Built through [`ManagerConfig::builder`], which validates the combination
+/// of settings; `Default` yields the safe fail-closed posture.
 #[derive(Debug, Clone)]
 pub struct ManagerConfig {
-    pub name: String,
-    pub ca_validity: Validity,
-    pub credential_validity_secs: u64,
-    pub appraisal: AppraisalPolicy,
-    pub tcb_policy: TcbPolicy,
+    name: String,
+    ca_validity: Validity,
+    credential_validity_secs: u64,
+    appraisal: AppraisalPolicy,
+    tcb_policy: TcbPolicy,
     /// Challenges expire after this many seconds.
-    pub challenge_lifetime_secs: u64,
+    challenge_lifetime_secs: u64,
     /// Host attestations are considered fresh for this long.
-    pub host_freshness_secs: u64,
+    host_freshness_secs: u64,
     /// Require the §4 TPM anchoring of the IMA aggregate.
-    pub require_tpm: bool,
+    require_tpm: bool,
     /// Graceful degradation: when the attestation service is unreachable,
     /// allow a host's *cached* trusted verdict to stand in for a fresh
     /// appraisal. Disabled by default — the safe posture is fail-closed.
-    pub degraded_verdicts: bool,
+    degraded_verdicts: bool,
     /// How long a cached verdict may be re-used under degradation. Bounded
     /// separately from (and typically tighter than) `host_freshness_secs`.
-    pub degraded_ttl_secs: u64,
+    degraded_ttl_secs: u64,
 }
 
 impl Default for ManagerConfig {
@@ -71,6 +76,141 @@ impl Default for ManagerConfig {
             degraded_verdicts: false,
             degraded_ttl_secs: 900,
         }
+    }
+}
+
+impl ManagerConfig {
+    /// Start from the validated defaults.
+    pub fn builder() -> ManagerConfigBuilder {
+        ManagerConfigBuilder {
+            config: ManagerConfig::default(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn tcb_policy(&self) -> TcbPolicy {
+        self.tcb_policy
+    }
+
+    pub fn credential_validity_secs(&self) -> u64 {
+        self.credential_validity_secs
+    }
+
+    pub fn challenge_lifetime_secs(&self) -> u64 {
+        self.challenge_lifetime_secs
+    }
+
+    pub fn host_freshness_secs(&self) -> u64 {
+        self.host_freshness_secs
+    }
+
+    pub fn require_tpm(&self) -> bool {
+        self.require_tpm
+    }
+
+    pub fn degraded_verdicts(&self) -> bool {
+        self.degraded_verdicts
+    }
+
+    pub fn degraded_ttl_secs(&self) -> u64 {
+        self.degraded_ttl_secs
+    }
+}
+
+/// Builder for [`ManagerConfig`]; `build` rejects inconsistent settings
+/// instead of letting them surface as confusing runtime behavior.
+#[derive(Debug, Clone)]
+pub struct ManagerConfigBuilder {
+    config: ManagerConfig,
+}
+
+impl ManagerConfigBuilder {
+    pub fn name(mut self, name: &str) -> Self {
+        self.config.name = name.to_string();
+        self
+    }
+
+    pub fn ca_validity(mut self, validity: Validity) -> Self {
+        self.config.ca_validity = validity;
+        self
+    }
+
+    pub fn credential_validity_secs(mut self, secs: u64) -> Self {
+        self.config.credential_validity_secs = secs;
+        self
+    }
+
+    pub fn appraisal(mut self, policy: AppraisalPolicy) -> Self {
+        self.config.appraisal = policy;
+        self
+    }
+
+    pub fn tcb_policy(mut self, policy: TcbPolicy) -> Self {
+        self.config.tcb_policy = policy;
+        self
+    }
+
+    pub fn challenge_lifetime_secs(mut self, secs: u64) -> Self {
+        self.config.challenge_lifetime_secs = secs;
+        self
+    }
+
+    pub fn host_freshness_secs(mut self, secs: u64) -> Self {
+        self.config.host_freshness_secs = secs;
+        self
+    }
+
+    pub fn require_tpm(mut self, required: bool) -> Self {
+        self.config.require_tpm = required;
+        self
+    }
+
+    /// Opt in to graceful degradation: cached trusted verdicts may answer
+    /// host-trust queries for `ttl_secs` when the attestation service is
+    /// unreachable. (This subsumes the former `set_degraded_policy` runtime
+    /// toggle — degradation is a deployment decision, made at build time.)
+    pub fn degraded_verdicts(mut self, enabled: bool, ttl_secs: u64) -> Self {
+        self.config.degraded_verdicts = enabled;
+        self.config.degraded_ttl_secs = ttl_secs;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<ManagerConfig, CoreError> {
+        let c = &self.config;
+        if c.name.is_empty() {
+            return Err(CoreError::InvalidConfig("manager name is empty".into()));
+        }
+        if c.credential_validity_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "credential_validity_secs must be nonzero".into(),
+            ));
+        }
+        if c.challenge_lifetime_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "challenge_lifetime_secs must be nonzero".into(),
+            ));
+        }
+        if c.ca_validity.not_after <= c.ca_validity.not_before {
+            return Err(CoreError::InvalidConfig(
+                "ca_validity interval is empty".into(),
+            ));
+        }
+        if c.degraded_verdicts && c.degraded_ttl_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "degraded_ttl_secs must be nonzero when degraded verdicts are enabled".into(),
+            ));
+        }
+        if c.degraded_ttl_secs > c.credential_validity_secs {
+            return Err(CoreError::InvalidConfig(format!(
+                "degraded_ttl_secs ({}) exceeds credential_validity_secs ({})",
+                c.degraded_ttl_secs, c.credential_validity_secs
+            )));
+        }
+        Ok(self.config)
     }
 }
 
@@ -123,15 +263,51 @@ pub struct PendingEnrollment {
     pub prepared_at: u64,
 }
 
-/// Audit event emitted by the manager.
-#[derive(Debug, Clone)]
-pub struct VmEvent {
-    pub time: u64,
-    pub kind: String,
-    pub detail: String,
+/// Audit event emitted by the manager — an entry in the telemetry
+/// [`Journal`](vnfguard_telemetry::Journal), which subsumed the former
+/// ad-hoc event vec (ring-buffered, sequence-numbered).
+pub type VmEvent = vnfguard_telemetry::Event;
+
+/// Pre-fetched manager metrics, bound once at construction so the hot path
+/// never takes the registry lock for name lookups.
+struct ManagerMetrics {
+    challenges: Counter,
+    host_attestations: Counter,
+    host_attestation_failures: Counter,
+    enrollments: Counter,
+    enrollment_failures: Counter,
+    enrollment_aborts: Counter,
+    degraded_verdicts: Counter,
+    revocations: Counter,
+    certificates_issued: Counter,
+    host_attestation_micros: Histogram,
+    enrollment_micros: Histogram,
+}
+
+impl ManagerMetrics {
+    fn bind(telemetry: &Telemetry) -> ManagerMetrics {
+        ManagerMetrics {
+            challenges: telemetry.counter("vnfguard_core_challenges_total"),
+            host_attestations: telemetry.counter("vnfguard_core_host_attestations_total"),
+            host_attestation_failures: telemetry
+                .counter("vnfguard_core_host_attestation_failures_total"),
+            enrollments: telemetry.counter("vnfguard_core_enrollments_total"),
+            enrollment_failures: telemetry.counter("vnfguard_core_enrollment_failures_total"),
+            enrollment_aborts: telemetry.counter("vnfguard_core_enrollment_aborts_total"),
+            degraded_verdicts: telemetry.counter("vnfguard_core_degraded_verdicts_total"),
+            revocations: telemetry.counter("vnfguard_core_revocations_total"),
+            certificates_issued: telemetry.counter("vnfguard_core_certificates_issued_total"),
+            host_attestation_micros: telemetry.histogram("vnfguard_core_host_attestation_micros"),
+            enrollment_micros: telemetry.histogram("vnfguard_core_enrollment_micros"),
+        }
+    }
 }
 
 /// The Verification Manager (Figure 1, center).
+///
+/// Time comes from the [`SimClock`] injected at construction: workflow
+/// methods read it implicitly, and each has a thin `*_at(now)` shim for
+/// callers that need to pin an explicit instant (expiry tests, replays).
 pub struct VerificationManager {
     config: ManagerConfig,
     ca: CertificateAuthority,
@@ -147,14 +323,28 @@ pub struct VerificationManager {
     pending_enrollments: BTreeMap<u64, PendingEnrollment>,
     challenges: HashMap<u64, Challenge>,
     next_challenge: u64,
-    events: Vec<VmEvent>,
+    clock: SimClock,
+    telemetry: Telemetry,
+    metrics: ManagerMetrics,
     /// The HMAC key the paper has the VM generate (used to authenticate
     /// VM-originated notifications to hosts).
     hmac_key: [u8; 32],
 }
 
 impl VerificationManager {
+    /// A manager with its own clock (starting at 0) and telemetry bundle.
     pub fn new(config: ManagerConfig, seed: &[u8]) -> VerificationManager {
+        VerificationManager::with_runtime(config, seed, SimClock::at(0), Telemetry::new())
+    }
+
+    /// A manager sharing the deployment's clock and telemetry. Clones of
+    /// both handles observe the same state.
+    pub fn with_runtime(
+        config: ManagerConfig,
+        seed: &[u8],
+        clock: SimClock,
+        telemetry: Telemetry,
+    ) -> VerificationManager {
         let mut rng = HmacDrbg::new(seed);
         let ca = CertificateAuthority::new(
             DistinguishedName::new(&config.name),
@@ -162,6 +352,7 @@ impl VerificationManager {
             &mut rng,
         );
         let hmac_key = rng.gen_array::<32>();
+        let metrics = ManagerMetrics::bind(&telemetry);
         VerificationManager {
             config,
             ca,
@@ -174,15 +365,27 @@ impl VerificationManager {
             pending_enrollments: BTreeMap::new(),
             challenges: HashMap::new(),
             next_challenge: 1,
-            events: Vec::new(),
-            hmac_key: [0; 32],
+            clock,
+            telemetry,
+            metrics,
+            hmac_key,
         }
-        .with_hmac(hmac_key)
     }
 
-    fn with_hmac(mut self, key: [u8; 32]) -> Self {
-        self.hmac_key = key;
-        self
+    /// The clock this manager reads for all implicit `now` values.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The telemetry bundle receiving this manager's metrics, spans and
+    /// audit events.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ManagerConfig {
+        &self.config
     }
 
     /// The CA certificate to provision into the controller's trust store —
@@ -200,12 +403,6 @@ impl VerificationManager {
     /// can authenticate VM-originated notifications (the paper's §2 key).
     pub fn share_hmac_key(&self) -> [u8; 32] {
         self.hmac_key
-    }
-
-    /// Opt in to (or out of) graceful degradation at runtime.
-    pub fn set_degraded_policy(&mut self, enabled: bool, ttl_secs: u64) {
-        self.config.degraded_verdicts = enabled;
-        self.config.degraded_ttl_secs = ttl_secs;
     }
 
     /// Reference database of known-good host file digests.
@@ -229,6 +426,15 @@ impl VerificationManager {
         &mut self,
         host_id: &str,
         aik: vnfguard_crypto::ed25519::VerifyingKey,
+    ) {
+        self.register_host_tpm_at(host_id, aik, self.clock.now());
+    }
+
+    /// Explicit-time shim for [`register_host_tpm`](Self::register_host_tpm).
+    pub fn register_host_tpm_at(
+        &mut self,
+        host_id: &str,
+        aik: vnfguard_crypto::ed25519::VerifyingKey,
         now: u64,
     ) {
         let record = self.hosts.entry(host_id.to_string()).or_insert(HostRecord {
@@ -242,16 +448,13 @@ impl VerificationManager {
         self.event(now, "tpm_registered", host_id);
     }
 
-    fn event(&mut self, time: u64, kind: &str, detail: &str) {
-        self.events.push(VmEvent {
-            time,
-            kind: kind.to_string(),
-            detail: detail.to_string(),
-        });
+    fn event(&self, time: u64, kind: &str, detail: &str) {
+        self.telemetry.event(time, kind, detail);
     }
 
-    pub fn events(&self) -> &[VmEvent] {
-        &self.events
+    /// The manager's audit journal (retained events, oldest first).
+    pub fn events(&self) -> Vec<VmEvent> {
+        self.telemetry.journal().events()
     }
 
     pub fn host_record(&self, host_id: &str) -> Option<&HostRecord> {
@@ -272,6 +475,7 @@ impl VerificationManager {
             subject,
         };
         self.challenges.insert(id, challenge.clone());
+        self.metrics.challenges.inc();
         challenge
     }
 
@@ -291,7 +495,13 @@ impl VerificationManager {
     // ---- Steps 1–2: host attestation -------------------------------------
 
     /// Step 1: initiate remote attestation of a container host.
-    pub fn begin_host_attestation(&mut self, host_id: &str, now: u64) -> Challenge {
+    pub fn begin_host_attestation(&mut self, host_id: &str) -> Challenge {
+        self.begin_host_attestation_at(host_id, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`begin_host_attestation`](Self::begin_host_attestation).
+    pub fn begin_host_attestation_at(&mut self, host_id: &str, now: u64) -> Challenge {
         self.event(now, "host_attestation_started", host_id);
         self.new_challenge(
             ChallengeSubject::Host {
@@ -308,6 +518,38 @@ impl VerificationManager {
         ias: &mut dyn QuoteVerifier,
         challenge_id: u64,
         evidence: &HostEvidence,
+    ) -> Result<Verdict, CoreError> {
+        self.complete_host_attestation_at(ias, challenge_id, evidence, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`complete_host_attestation`](Self::complete_host_attestation).
+    pub fn complete_host_attestation_at(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        evidence: &HostEvidence,
+        now: u64,
+    ) -> Result<Verdict, CoreError> {
+        let result = {
+            let _span = self
+                .telemetry
+                .span("host_attestation", now)
+                .with_histogram(self.metrics.host_attestation_micros.clone());
+            self.host_attestation_inner(ias, challenge_id, evidence, now)
+        };
+        match &result {
+            Ok(_) => self.metrics.host_attestations.inc(),
+            Err(_) => self.metrics.host_attestation_failures.inc(),
+        }
+        result
+    }
+
+    fn host_attestation_inner(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        evidence: &HostEvidence,
         now: u64,
     ) -> Result<Verdict, CoreError> {
         let challenge = self.take_challenge(challenge_id, now)?;
@@ -318,10 +560,12 @@ impl VerificationManager {
         };
 
         // IAS verification of the quote (revocation list + quote validity).
+        let ias_span = self.telemetry.span("ias_verify", now);
         let report = ias.verify_quote(&evidence.quote, &challenge.nonce);
         report
             .verify(&ias.report_signing_key())
             .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
+        drop(ias_span);
         if !self.config.tcb_policy.accepts(report.status) {
             self.event(now, "host_attestation_rejected", &format!("{host_id}: {}", report.status));
             return Err(CoreError::AttestationFailed(format!(
@@ -356,11 +600,14 @@ impl VerificationManager {
         }
 
         // Appraise the list.
+        let appraise_span = self.telemetry.span("appraise", now);
         let list = evidence.measurement_list()?;
         let result = self.reference_db.appraise(&list, &self.config.appraisal);
+        drop(appraise_span);
 
         // §4 extension: check the TPM anchor if required/available.
         if self.config.require_tpm || evidence.tpm_quote.is_some() {
+            let _tpm_span = self.telemetry.span("tpm_check", now);
             let aik = self
                 .hosts
                 .get(&host_id)
@@ -426,7 +673,13 @@ impl VerificationManager {
     /// degraded answer is audit-logged as a `DegradedVerdict` event so
     /// operators can see exactly which trust decisions lacked fresh
     /// evidence.
-    pub fn degraded_host_verdict(
+    pub fn degraded_host_verdict(&mut self, host_id: &str) -> Result<Verdict, CoreError> {
+        self.degraded_host_verdict_at(host_id, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`degraded_host_verdict`](Self::degraded_host_verdict).
+    pub fn degraded_host_verdict_at(
         &mut self,
         host_id: &str,
         now: u64,
@@ -453,6 +706,7 @@ impl VerificationManager {
             )));
         }
         let verdict = record.verdict;
+        self.metrics.degraded_verdicts.inc();
         self.event(
             now,
             "DegradedVerdict",
@@ -468,6 +722,16 @@ impl VerificationManager {
     /// paper's "the protocol continues only if the host is considered
     /// trustworthy following the appraisal".
     pub fn begin_vnf_attestation(
+        &mut self,
+        host_id: &str,
+        vnf_name: &str,
+    ) -> Result<Challenge, CoreError> {
+        self.begin_vnf_attestation_at(host_id, vnf_name, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`begin_vnf_attestation`](Self::begin_vnf_attestation).
+    pub fn begin_vnf_attestation_at(
         &mut self,
         host_id: &str,
         vnf_name: &str,
@@ -506,9 +770,29 @@ impl VerificationManager {
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
         controller_cn: &str,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        self.complete_vnf_enrollment_at(
+            ias,
+            challenge_id,
+            quote_bytes,
+            provisioning_key,
+            controller_cn,
+            self.clock.now(),
+        )
+    }
+
+    /// Explicit-time shim for
+    /// [`complete_vnf_enrollment`](Self::complete_vnf_enrollment).
+    pub fn complete_vnf_enrollment_at(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
         now: u64,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
-        let (serial, wrapped, certificate) = self.prepare_vnf_enrollment(
+        let (serial, wrapped, certificate) = self.prepare_vnf_enrollment_at(
             ias,
             challenge_id,
             quote_bytes,
@@ -516,7 +800,7 @@ impl VerificationManager {
             controller_cn,
             now,
         )?;
-        self.commit_vnf_enrollment(serial, now)?;
+        self.commit_vnf_enrollment_at(serial, now)?;
         Ok((wrapped, certificate))
     }
 
@@ -527,6 +811,55 @@ impl VerificationManager {
     /// [`abort_vnf_enrollment`](Self::abort_vnf_enrollment) to revoke the
     /// issued certificate; nothing half-provisioned survives.
     pub fn prepare_vnf_enrollment(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        self.prepare_vnf_enrollment_at(
+            ias,
+            challenge_id,
+            quote_bytes,
+            provisioning_key,
+            controller_cn,
+            self.clock.now(),
+        )
+    }
+
+    /// Explicit-time shim for
+    /// [`prepare_vnf_enrollment`](Self::prepare_vnf_enrollment).
+    pub fn prepare_vnf_enrollment_at(
+        &mut self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        now: u64,
+    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        let result = {
+            let _span = self
+                .telemetry
+                .span("vnf_enrollment", now)
+                .with_histogram(self.metrics.enrollment_micros.clone());
+            self.prepare_enrollment_inner(
+                ias,
+                challenge_id,
+                quote_bytes,
+                provisioning_key,
+                controller_cn,
+                now,
+            )
+        };
+        if result.is_err() {
+            self.metrics.enrollment_failures.inc();
+        }
+        result
+    }
+
+    fn prepare_enrollment_inner(
         &mut self,
         ias: &mut dyn QuoteVerifier,
         challenge_id: u64,
@@ -548,10 +881,12 @@ impl VerificationManager {
             )));
         }
 
+        let ias_span = self.telemetry.span("ias_verify", now);
         let report = ias.verify_quote(quote_bytes, &challenge.nonce);
         report
             .verify(&ias.report_signing_key())
             .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
+        drop(ias_span);
         if !self.config.tcb_policy.accepts(report.status) {
             self.event(now, "vnf_attestation_rejected", &format!("{vnf_name}: {}", report.status));
             return Err(CoreError::AttestationFailed(format!(
@@ -589,6 +924,7 @@ impl VerificationManager {
         }
 
         // Step 5: generate key material, certify, wrap.
+        let issue_span = self.telemetry.span("issue_certificate", now);
         let key_seed = self.rng.gen_array::<32>();
         let client_key = SigningKey::from_seed(&key_seed);
         let certificate = self.ca.issue(
@@ -600,6 +936,9 @@ impl VerificationManager {
             },
             now,
         );
+        self.metrics.certificates_issued.inc();
+        drop(issue_span);
+        let wrap_span = self.telemetry.span("wrap_credentials", now);
         let bundle = ProvisionBundle {
             key_seed,
             certificate: certificate.clone(),
@@ -607,6 +946,7 @@ impl VerificationManager {
             server_cn: controller_cn.to_string(),
         };
         let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
+        drop(wrap_span);
         let serial = certificate.serial();
         self.pending_enrollments.insert(
             serial,
@@ -624,7 +964,13 @@ impl VerificationManager {
 
     /// Phase two of enrollment: the wrapped bundle reached the enclave, so
     /// promote the pending record to an established enrollment.
-    pub fn commit_vnf_enrollment(&mut self, serial: u64, now: u64) -> Result<(), CoreError> {
+    pub fn commit_vnf_enrollment(&mut self, serial: u64) -> Result<(), CoreError> {
+        self.commit_vnf_enrollment_at(serial, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`commit_vnf_enrollment`](Self::commit_vnf_enrollment).
+    pub fn commit_vnf_enrollment_at(&mut self, serial: u64, now: u64) -> Result<(), CoreError> {
         let pending = self.pending_enrollments.remove(&serial).ok_or_else(|| {
             CoreError::WorkflowViolation(format!("no pending enrollment with serial {serial}"))
         })?;
@@ -644,6 +990,7 @@ impl VerificationManager {
                 revoked: false,
             },
         );
+        self.metrics.enrollments.inc();
         Ok(())
     }
 
@@ -652,7 +999,13 @@ impl VerificationManager {
     /// partially working network) and the pending record is dropped, so the
     /// manager's state is exactly as if the enrollment never happened —
     /// except for the audit trail and the CRL entry.
-    pub fn abort_vnf_enrollment(
+    pub fn abort_vnf_enrollment(&mut self, serial: u64, reason: &str) -> Result<(), CoreError> {
+        self.abort_vnf_enrollment_at(serial, reason, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`abort_vnf_enrollment`](Self::abort_vnf_enrollment).
+    pub fn abort_vnf_enrollment_at(
         &mut self,
         serial: u64,
         reason: &str,
@@ -663,6 +1016,7 @@ impl VerificationManager {
         })?;
         self.ca
             .revoke(serial, RevocationReason::CessationOfOperation, now);
+        self.metrics.enrollment_aborts.inc();
         self.event(
             now,
             "enrollment_rolled_back",
@@ -683,6 +1037,15 @@ impl VerificationManager {
         &mut self,
         serial: u64,
         reason: RevocationReason,
+    ) -> Result<(), CoreError> {
+        self.revoke_credential_at(serial, reason, self.clock.now())
+    }
+
+    /// Explicit-time shim for [`revoke_credential`](Self::revoke_credential).
+    pub fn revoke_credential_at(
+        &mut self,
+        serial: u64,
+        reason: RevocationReason,
         now: u64,
     ) -> Result<(), CoreError> {
         let record = self.enrollments.get_mut(&serial).ok_or_else(|| {
@@ -690,13 +1053,19 @@ impl VerificationManager {
         })?;
         record.revoked = true;
         self.ca.revoke(serial, reason, now);
+        self.metrics.revocations.inc();
         self.event(now, "credential_revoked", &format!("serial {serial}"));
         Ok(())
     }
 
     /// Revoke every credential issued to VNFs on a host (platform
     /// compromise response).
-    pub fn revoke_host(&mut self, host_id: &str, now: u64) -> usize {
+    pub fn revoke_host(&mut self, host_id: &str) -> usize {
+        self.revoke_host_at(host_id, self.clock.now())
+    }
+
+    /// Explicit-time shim for [`revoke_host`](Self::revoke_host).
+    pub fn revoke_host_at(&mut self, host_id: &str, now: u64) -> usize {
         let serials: Vec<u64> = self
             .enrollments
             .values()
@@ -704,7 +1073,7 @@ impl VerificationManager {
             .map(|e| e.serial)
             .collect();
         for serial in &serials {
-            let _ = self.revoke_credential(*serial, RevocationReason::PlatformCompromise, now);
+            let _ = self.revoke_credential_at(*serial, RevocationReason::PlatformCompromise, now);
         }
         // The host loses its trusted status.
         if let Some(record) = self.hosts.get_mut(host_id) {
@@ -715,7 +1084,12 @@ impl VerificationManager {
     }
 
     /// Produce the current CRL for distribution to relying parties.
-    pub fn current_crl(&self, now: u64, lifetime_secs: u64) -> Crl {
+    pub fn current_crl(&self, lifetime_secs: u64) -> Crl {
+        self.current_crl_at(self.clock.now(), lifetime_secs)
+    }
+
+    /// Explicit-time shim for [`current_crl`](Self::current_crl).
+    pub fn current_crl_at(&self, now: u64, lifetime_secs: u64) -> Crl {
         self.ca.current_crl(now, lifetime_secs)
     }
 
@@ -725,8 +1099,19 @@ impl VerificationManager {
         &mut self,
         cn: &str,
         public_key: vnfguard_crypto::ed25519::VerifyingKey,
+    ) -> Certificate {
+        self.issue_client_certificate_at(cn, public_key, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`issue_client_certificate`](Self::issue_client_certificate).
+    pub fn issue_client_certificate_at(
+        &mut self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
         now: u64,
     ) -> Certificate {
+        self.metrics.certificates_issued.inc();
         self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
             public_key,
@@ -744,8 +1129,19 @@ impl VerificationManager {
         &mut self,
         cn: &str,
         public_key: vnfguard_crypto::ed25519::VerifyingKey,
+    ) -> Certificate {
+        self.issue_server_certificate_at(cn, public_key, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`issue_server_certificate`](Self::issue_server_certificate).
+    pub fn issue_server_certificate_at(
+        &mut self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
         now: u64,
     ) -> Certificate {
+        self.metrics.certificates_issued.inc();
         self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
             public_key,
@@ -774,5 +1170,103 @@ impl std::fmt::Debug for VerificationManager {
             .field("enrollments", &self.enrollments.len())
             .field("trusted_enclaves", &self.trusted_enclaves.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = ManagerConfig::builder().build().unwrap();
+        let default = ManagerConfig::default();
+        assert_eq!(built.name, default.name);
+        assert_eq!(built.credential_validity_secs, default.credential_validity_secs);
+        assert_eq!(built.tcb_policy, default.tcb_policy);
+        assert!(!built.degraded_verdicts);
+    }
+
+    #[test]
+    fn builder_rejects_zero_credential_lifetime() {
+        let err = ManagerConfig::builder()
+            .credential_validity_secs(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn builder_rejects_zero_challenge_lifetime() {
+        assert!(ManagerConfig::builder()
+            .challenge_lifetime_secs(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_degraded_ttl_beyond_credential_lifetime() {
+        let err = ManagerConfig::builder()
+            .credential_validity_secs(600)
+            .degraded_verdicts(true, 900)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig(_)));
+        // The same TTL under a longer credential lifetime is fine.
+        assert!(ManagerConfig::builder()
+            .credential_validity_secs(3600)
+            .degraded_verdicts(true, 900)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_empty_ca_validity() {
+        assert!(ManagerConfig::builder()
+            .ca_validity(Validity::new(100, 100))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn clock_injection_drives_implicit_now() {
+        let clock = SimClock::at(5_000);
+        let mut vm = VerificationManager::with_runtime(
+            ManagerConfig::default(),
+            b"clock test",
+            clock.clone(),
+            Telemetry::new(),
+        );
+        let challenge = vm.begin_host_attestation("host-1");
+        assert_eq!(challenge.issued_at, 5_000);
+        clock.advance(100);
+        let challenge = vm.begin_host_attestation("host-1");
+        assert_eq!(challenge.issued_at, 5_100);
+        // The explicit-time shim overrides the clock.
+        let challenge = vm.begin_host_attestation_at("host-1", 42);
+        assert_eq!(challenge.issued_at, 42);
+    }
+
+    #[test]
+    fn events_land_in_shared_journal() {
+        let telemetry = Telemetry::new();
+        let mut vm = VerificationManager::with_runtime(
+            ManagerConfig::default(),
+            b"journal test",
+            SimClock::at(1_000),
+            telemetry.clone(),
+        );
+        vm.begin_host_attestation("host-1");
+        let events = vm.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, "host_attestation_started");
+        assert_eq!(events[0].time, 1_000);
+        assert_eq!(events[0].seq, 1);
+        // The same journal is visible through the shared telemetry handle.
+        assert_eq!(telemetry.journal().len(), 1);
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_core_challenges_total"),
+            Some(1)
+        );
     }
 }

@@ -14,7 +14,13 @@
 //!   challenges (produce host evidence; relay VNF enclave attestation and
 //!   provisioning);
 //! - [`serve_vm_api`] exposes the manager's operator surface (trigger
-//!   attestation/enrollment, revoke, fetch CA/CRL).
+//!   attestation/enrollment, revoke, fetch CA/CRL, scrape metrics, tail
+//!   the audit journal).
+//!
+//! Handlers use the [`ApiResult`] convention: they return
+//! `Result<Response, ApiError>` and the router maps every error through a
+//! single `ApiError → Response` conversion, so status-code policy lives in
+//! one place per route instead of being re-spelled at each early return.
 //!
 //! Payload binary fields travel base64-encoded inside JSON bodies.
 
@@ -35,10 +41,11 @@ use vnfguard_ima::list::IMA_PCR;
 use vnfguard_ima::tpm::SimTpm;
 use vnfguard_net::fabric::Network;
 use vnfguard_net::http::{Request, Response, Status};
-use vnfguard_net::rest::Router;
+use vnfguard_net::rest::{ApiError, ApiResult, Router};
 use vnfguard_net::server::{serve, PlainUpgrade, ServerHandle};
 use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::platform::SgxPlatform;
+use vnfguard_telemetry::{Counter, Histogram, Telemetry};
 use vnfguard_vnf::VnfGuard;
 
 fn b64_field(doc: &Json, field: &str) -> Result<Vec<u8>, String> {
@@ -54,6 +61,13 @@ fn b64_array32(doc: &Json, field: &str) -> Result<[u8; 32], String> {
     bytes
         .try_into()
         .map_err(|_| format!("{field:?} must be 32 bytes"))
+}
+
+/// Parse the JSON body of an API request, mapping malformed input to 400.
+fn api_json(request: &Request) -> ApiResult<Json> {
+    request
+        .json()
+        .map_err(|_| ApiError::bad_request("invalid JSON"))
 }
 
 // ---------------------------------------------------------------------------
@@ -73,36 +87,28 @@ pub fn serve_ias(
     let mut router = Router::new();
     {
         let service = service.clone();
-        router.post("/attestation/v4/report", move |request, _| {
-            let Ok(body) = request.json() else {
-                return Response::error(Status::BadRequest, "invalid JSON");
-            };
-            let quote = match b64_field(&body, "isvEnclaveQuote") {
-                Ok(q) => q,
-                Err(msg) => return Response::error(Status::BadRequest, &msg),
-            };
-            let nonce = match b64_field(&body, "nonce") {
-                Ok(n) => n,
-                Err(msg) => return Response::error(Status::BadRequest, &msg),
-            };
+        router.post_api("/attestation/v4/report", move |request, _| {
+            let body = api_json(request)?;
+            let quote = b64_field(&body, "isvEnclaveQuote").map_err(ApiError::bad_request)?;
+            let nonce = b64_field(&body, "nonce").map_err(ApiError::bad_request)?;
             let report = service.lock().verify_quote(&quote, &nonce);
-            Response::json(
+            Ok(Response::json(
                 Status::Ok,
                 &Json::object().with("report", base64::encode(&report.encode())),
-            )
+            ))
         });
     }
     {
         let service = service.clone();
-        router.get("/attestation/v4/sigrl/:gid", move |_, params| {
+        router.get_api("/attestation/v4/sigrl/:gid", move |_, params| {
             let gid = params
                 .get("gid")
                 .and_then(|g| u32::from_str_radix(g, 16).ok())
                 .unwrap_or(0);
-            Response::json(
+            Ok(Response::json(
                 Status::Ok,
                 &Json::object().with("sigrl_size", service.lock().sigrl_len(gid) as i64),
-            )
+            ))
         });
     }
     let listener = network
@@ -125,6 +131,13 @@ const AGENT_READ_TIMEOUT: Duration = Duration::from_millis(750);
 /// jittered backoff, and once the service has failed `failure_threshold`
 /// consecutive operations the breaker opens and the handle reports
 /// [`Availability::Unavailable`] until a half-open probe succeeds.
+///
+/// With [`with_telemetry`](Self::with_telemetry), each retried operation
+/// records its wall-clock round-trip into
+/// `vnfguard_core_ias_roundtrip_micros`, retries and exhausted operations
+/// bump `vnfguard_core_ias_retries_total` /
+/// `vnfguard_core_ias_failures_total`, and every breaker transition is
+/// counted and journaled.
 pub struct RemoteIas {
     network: Network,
     address: String,
@@ -133,6 +146,11 @@ pub struct RemoteIas {
     retry: RetryPolicy,
     breaker: CircuitBreaker,
     last_attempts: Vec<AttemptRecord>,
+    telemetry: Telemetry,
+    retries: Counter,
+    failures: Counter,
+    breaker_transitions: Counter,
+    roundtrip_micros: Histogram,
 }
 
 impl RemoteIas {
@@ -154,6 +172,11 @@ impl RemoteIas {
             retry: RetryPolicy::default(),
             breaker: CircuitBreaker::new(3, 60),
             last_attempts: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            retries: Counter::detached(),
+            failures: Counter::detached(),
+            breaker_transitions: Counter::detached(),
+            roundtrip_micros: Histogram::detached(),
         }
     }
 
@@ -167,6 +190,17 @@ impl RemoteIas {
         self.clock = clock;
         self.retry = retry;
         self.breaker = breaker;
+        self
+    }
+
+    /// Record round-trips, retries, failures and breaker transitions into a
+    /// shared telemetry bundle.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> RemoteIas {
+        self.telemetry = telemetry.clone();
+        self.retries = telemetry.counter("vnfguard_core_ias_retries_total");
+        self.failures = telemetry.counter("vnfguard_core_ias_failures_total");
+        self.breaker_transitions = telemetry.counter("vnfguard_core_ias_breaker_transitions_total");
+        self.roundtrip_micros = telemetry.histogram("vnfguard_core_ias_roundtrip_micros");
         self
     }
 
@@ -216,6 +250,16 @@ impl RemoteIas {
             &key,
         )
     }
+
+    /// Count and journal any breaker transitions recorded past `before`.
+    fn note_transitions(&self, before: usize) {
+        let transitions = self.breaker.transitions();
+        for (at, state) in &transitions[before.min(transitions.len())..] {
+            self.breaker_transitions.inc();
+            self.telemetry
+                .event(*at, "ias_breaker_transition", &format!("{state:?}"));
+        }
+    }
 }
 
 impl QuoteVerifier for RemoteIas {
@@ -228,11 +272,20 @@ impl QuoteVerifier for RemoteIas {
         }
         let network = self.network.clone();
         let address = self.address.clone();
-        let outcome = self.retry.run(&self.clock, |_| {
-            Self::post_report(&network, &address, quote_bytes, nonce)
-        });
+        let outcome = {
+            let _span = self
+                .telemetry
+                .span("ias_roundtrip", self.clock.now())
+                .with_histogram(self.roundtrip_micros.clone());
+            self.retry.run(&self.clock, |_| {
+                Self::post_report(&network, &address, quote_bytes, nonce)
+            })
+        };
+        self.retries
+            .add(outcome.attempts.len().saturating_sub(1) as u64);
         self.last_attempts = outcome.attempts;
-        match outcome.result {
+        let transitions_before = self.breaker.transitions().len();
+        let report = match outcome.result {
             Ok(report) => {
                 self.breaker.record_success(self.clock.now());
                 report
@@ -240,9 +293,12 @@ impl QuoteVerifier for RemoteIas {
             Err(_) => {
                 // One retried operation is one breaker sample.
                 self.breaker.record_failure(self.clock.now());
+                self.failures.inc();
                 Self::unverifiable_report(nonce, "IAS_UNREACHABLE")
             }
-        }
+        };
+        self.note_transitions(transitions_before);
+        report
     }
 
     fn report_signing_key(&self) -> vnfguard_crypto::ed25519::VerifyingKey {
@@ -294,31 +350,26 @@ impl HostAgent {
         // POST /agent/attest {nonce: b64} → {evidence: b64}
         {
             let state = state.clone();
-            router.post("/agent/attest", move |request, _| {
-                let Ok(body) = request.json() else {
-                    return Response::error(Status::BadRequest, "invalid JSON");
-                };
-                let nonce = match b64_array32(&body, "nonce") {
-                    Ok(n) => n,
-                    Err(msg) => return Response::error(Status::BadRequest, &msg),
-                };
-                let tpm_quote = state.tpm.as_ref().map(|tpm| {
-                    tpm.lock().quote(IMA_PCR, nonce).encode()
-                });
+            router.post_api("/agent/attest", move |request, _| {
+                let body = api_json(request)?;
+                let nonce = b64_array32(&body, "nonce").map_err(ApiError::bad_request)?;
+                let tpm_quote = state
+                    .tpm
+                    .as_ref()
+                    .map(|tpm| tpm.lock().quote(IMA_PCR, nonce).encode());
                 let iml = state.container_host.read().measurement_list().encode();
-                match host_evidence(
+                let evidence = host_evidence(
                     &state.platform,
                     &state.integrity_enclave,
                     &iml,
                     &nonce,
                     tpm_quote,
-                ) {
-                    Ok(evidence) => Response::json(
-                        Status::Ok,
-                        &Json::object().with("evidence", base64::encode(&evidence.encode())),
-                    ),
-                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
-                }
+                )
+                .map_err(|e| ApiError::server_error(e.to_string()))?;
+                Ok(Response::json(
+                    Status::Ok,
+                    &Json::object().with("evidence", base64::encode(&evidence.encode())),
+                ))
             });
         }
 
@@ -326,60 +377,45 @@ impl HostAgent {
         //   → {quote: b64, provisioning_key: b64}
         {
             let state = state.clone();
-            router.post("/agent/vnf/:name/attest", move |request, params| {
+            router.post_api("/agent/vnf/:name/attest", move |request, params| {
                 let name = params.get("name").unwrap_or("");
                 let guards = state.guards.read();
-                let Some(guard) = guards.get(name) else {
-                    return Response::error(Status::NotFound, &format!("no VNF {name:?}"));
-                };
-                let Ok(body) = request.json() else {
-                    return Response::error(Status::BadRequest, "invalid JSON");
-                };
-                let (nonce, basename) = match (
-                    b64_array32(&body, "nonce"),
-                    b64_array32(&body, "basename"),
-                ) {
-                    (Ok(n), Ok(b)) => (n, b),
-                    (Err(msg), _) | (_, Err(msg)) => {
-                        return Response::error(Status::BadRequest, &msg)
-                    }
-                };
-                let provisioning_key = match guard.provisioning_key() {
-                    Ok(key) => key,
-                    Err(e) => return Response::error(Status::ServerError, &e.to_string()),
-                };
-                match guard.quote(&state.platform, &nonce, basename) {
-                    Ok(quote) => Response::json(
-                        Status::Ok,
-                        &Json::object()
-                            .with("quote", base64::encode(&quote.encode()))
-                            .with("provisioning_key", base64::encode(&provisioning_key)),
-                    ),
-                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
-                }
+                let guard = guards
+                    .get(name)
+                    .ok_or_else(|| ApiError::not_found(format!("no VNF {name:?}")))?;
+                let body = api_json(request)?;
+                let nonce = b64_array32(&body, "nonce").map_err(ApiError::bad_request)?;
+                let basename = b64_array32(&body, "basename").map_err(ApiError::bad_request)?;
+                let provisioning_key = guard
+                    .provisioning_key()
+                    .map_err(|e| ApiError::server_error(e.to_string()))?;
+                let quote = guard
+                    .quote(&state.platform, &nonce, basename)
+                    .map_err(|e| ApiError::server_error(e.to_string()))?;
+                Ok(Response::json(
+                    Status::Ok,
+                    &Json::object()
+                        .with("quote", base64::encode(&quote.encode()))
+                        .with("provisioning_key", base64::encode(&provisioning_key)),
+                ))
             });
         }
 
         // POST /agent/vnf/:name/provision {wrapped: b64} → {}
         {
             let state = state.clone();
-            router.post("/agent/vnf/:name/provision", move |request, params| {
+            router.post_api("/agent/vnf/:name/provision", move |request, params| {
                 let name = params.get("name").unwrap_or("");
                 let guards = state.guards.read();
-                let Some(guard) = guards.get(name) else {
-                    return Response::error(Status::NotFound, &format!("no VNF {name:?}"));
-                };
-                let Ok(body) = request.json() else {
-                    return Response::error(Status::BadRequest, "invalid JSON");
-                };
-                let wrapped = match b64_field(&body, "wrapped") {
-                    Ok(w) => w,
-                    Err(msg) => return Response::error(Status::BadRequest, &msg),
-                };
-                match guard.provision(&wrapped) {
-                    Ok(()) => Response::json(Status::Ok, &Json::object().with("ok", true)),
-                    Err(e) => Response::error(Status::ServerError, &e.to_string()),
-                }
+                let guard = guards
+                    .get(name)
+                    .ok_or_else(|| ApiError::not_found(format!("no VNF {name:?}")))?;
+                let body = api_json(request)?;
+                let wrapped = b64_field(&body, "wrapped").map_err(ApiError::bad_request)?;
+                guard
+                    .provision(&wrapped)
+                    .map_err(|e| ApiError::server_error(e.to_string()))?;
+                Ok(Response::json(Status::Ok, &Json::object().with("ok", true)))
             });
         }
 
@@ -387,36 +423,35 @@ impl HostAgent {
         // revocation notice, authenticated with the VM's HMAC key.
         {
             let state = state.clone();
-            router.post("/agent/revocations", move |request, _| {
-                let Ok(body) = request.json() else {
-                    return Response::error(Status::BadRequest, "invalid JSON");
-                };
-                let Some(serial) = body.get("serial").and_then(Json::as_i64) else {
-                    return Response::error(Status::BadRequest, "missing 'serial'");
-                };
-                let serial = serial as u64;
+            router.post_api("/agent/revocations", move |request, _| {
+                let body = api_json(request)?;
+                let serial = body
+                    .get("serial")
+                    .and_then(Json::as_i64)
+                    .ok_or_else(|| ApiError::bad_request("missing 'serial'"))?
+                    as u64;
                 if let Some(key) = &state.vm_hmac_key {
-                    let tag = match b64_array32(&body, "tag") {
-                        Ok(t) => t,
-                        Err(msg) => return Response::error(Status::BadRequest, &msg),
-                    };
+                    let tag = b64_array32(&body, "tag").map_err(ApiError::bad_request)?;
                     let message = crate::revocation::revocation_message(&state.host_id, serial);
                     if hmac_sha256(key, &message) != tag {
-                        return Response::error(Status::Forbidden, "bad revocation tag");
+                        return Err(ApiError::forbidden("bad revocation tag"));
                     }
                 }
                 state.revoked_serials.write().insert(serial);
-                Response::json(Status::Ok, &Json::object().with("revoked", true))
+                Ok(Response::json(
+                    Status::Ok,
+                    &Json::object().with("revoked", true),
+                ))
             });
         }
 
         // GET /agent/vnfs → list of deployed guard names.
         {
             let state = state.clone();
-            router.get("/agent/vnfs", move |_, _| {
+            router.get_api("/agent/vnfs", move |_, _| {
                 let guards = state.guards.read();
                 let names: Json = guards.keys().map(|k| Json::from(k.as_str())).collect();
-                Response::json(Status::Ok, &names)
+                Ok(Response::json(Status::Ok, &names))
             });
         }
 
@@ -452,6 +487,7 @@ fn connect_agent(
 }
 
 /// Drive the full host attestation (steps 1–2) against a remote agent.
+/// Time comes from the manager's injected clock.
 ///
 /// When the attestation service reports itself [`Availability::Unavailable`]
 /// (circuit open), no fresh appraisal is possible; the call falls back to
@@ -462,17 +498,17 @@ pub fn remote_attest_host(
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
-    now: u64,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
     if ias.availability() == Availability::Unavailable {
-        return vm.degraded_host_verdict(host_id, now);
+        return vm.degraded_host_verdict(host_id);
     }
-    let challenge = vm.begin_host_attestation(host_id, now);
+    let challenge = vm.begin_host_attestation(host_id);
     let mut client = connect_agent(network, host_id)?;
     let response = client
-        .request(&Request::post("/agent/attest").with_json(
-            &Json::object().with("nonce", base64::encode(&challenge.nonce)),
-        ))
+        .request(
+            &Request::post("/agent/attest")
+                .with_json(&Json::object().with("nonce", base64::encode(&challenge.nonce))),
+        )
         .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
     if !response.status.is_success() {
         return Err(CoreError::AttestationFailed(format!(
@@ -483,13 +519,13 @@ pub fn remote_attest_host(
     let body = response
         .parse_json()
         .map_err(|e| CoreError::Encoding(e.to_string()))?;
-    let evidence_bytes =
-        b64_field(&body, "evidence").map_err(CoreError::Encoding)?;
+    let evidence_bytes = b64_field(&body, "evidence").map_err(CoreError::Encoding)?;
     let evidence = HostEvidence::decode(&evidence_bytes)?;
-    vm.complete_host_attestation(ias, challenge.id, &evidence, now)
+    vm.complete_host_attestation(ias, challenge.id, &evidence)
 }
 
-/// Drive VNF enrollment (steps 3–5) against a remote agent.
+/// Drive VNF enrollment (steps 3–5) against a remote agent. Time comes
+/// from the manager's injected clock.
 ///
 /// Credential issuance has no degraded mode: when the attestation service
 /// is unavailable the call fails fast and closed with
@@ -504,14 +540,13 @@ pub fn remote_enroll_vnf(
     host_id: &str,
     vnf_name: &str,
     controller_cn: &str,
-    now: u64,
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
     if ias.availability() == Availability::Unavailable {
         return Err(CoreError::ServiceUnavailable(format!(
             "attestation service unavailable; refusing to enroll {vnf_name}"
         )));
     }
-    let challenge = vm.begin_vnf_attestation(host_id, vnf_name, now)?;
+    let challenge = vm.begin_vnf_attestation(host_id, vnf_name)?;
     let mut client = connect_agent(network, host_id)?;
 
     // Step 3: challenge the enclave through the agent.
@@ -534,19 +569,12 @@ pub fn remote_enroll_vnf(
         .parse_json()
         .map_err(|e| CoreError::Encoding(e.to_string()))?;
     let quote = b64_field(&body, "quote").map_err(CoreError::Encoding)?;
-    let provisioning_key =
-        b64_array32(&body, "provisioning_key").map_err(CoreError::Encoding)?;
+    let provisioning_key = b64_array32(&body, "provisioning_key").map_err(CoreError::Encoding)?;
 
     // Steps 4-5: verify + generate + wrap (prepare), deliver through the
     // agent, and only then commit the enrollment.
-    let (serial, wrapped, certificate) = vm.prepare_vnf_enrollment(
-        ias,
-        challenge.id,
-        &quote,
-        &provisioning_key,
-        controller_cn,
-        now,
-    )?;
+    let (serial, wrapped, certificate) =
+        vm.prepare_vnf_enrollment(ias, challenge.id, &quote, &provisioning_key, controller_cn)?;
     let delivery = client
         .request(
             &Request::post(&format!("/agent/vnf/{vnf_name}/provision"))
@@ -562,11 +590,11 @@ pub fn remote_enroll_vnf(
         });
     match delivery {
         Ok(()) => {
-            vm.commit_vnf_enrollment(serial, now)?;
+            vm.commit_vnf_enrollment(serial)?;
             Ok(certificate)
         }
         Err(reason) => {
-            vm.abort_vnf_enrollment(serial, &reason, now)?;
+            vm.abort_vnf_enrollment(serial, &reason)?;
             Err(CoreError::ProvisioningRolledBack(format!(
                 "{vnf_name} serial {serial}: {reason}"
             )))
@@ -587,120 +615,154 @@ pub fn remote_enroll_vnf(
 /// - `GET  /vm/ca` → `{certificate: b64}`
 /// - `GET  /vm/crl` → `{crl: b64}`
 /// - `GET  /vm/status` → summary counts
+/// - `GET  /vm/metrics` → Prometheus text exposition of every registered
+///   metric in the manager's telemetry bundle
+/// - `GET  /vm/events?since=N` → journal events with `seq > N` (use the
+///   returned `next_seq` as the next `since` cursor)
+///
+/// The router itself is instrumented: every dispatch bumps
+/// `vnfguard_core_api_requests_total`, every non-2xx response
+/// `vnfguard_core_api_request_errors_total`. Workflow timestamps come from
+/// the manager's injected clock.
 pub fn serve_vm_api(
     network: &Network,
     address: &str,
     vm: Arc<Mutex<VerificationManager>>,
     ias: Arc<Mutex<dyn QuoteVerifier + Send>>,
-    clock: SimClock,
     controller_cn: &str,
 ) -> Result<ServerHandle, CoreError> {
     let mut router = Router::new();
     let controller_cn = controller_cn.to_string();
+    let telemetry = vm.lock().telemetry().clone();
+    router.instrument(
+        telemetry.counter("vnfguard_core_api_requests_total"),
+        telemetry.counter("vnfguard_core_api_request_errors_total"),
+    );
 
     {
         let vm = vm.clone();
         let ias = ias.clone();
-        let clock = clock.clone();
         let network = network.clone();
-        router.post("/vm/hosts/:id/attest", move |_, params| {
+        router.post_api("/vm/hosts/:id/attest", move |_, params| {
             let host_id = params.get("id").unwrap_or("");
             let mut vm = vm.lock();
             let mut ias = ias.lock();
-            match remote_attest_host(&mut vm, &mut *ias, &network, host_id, clock.now()) {
-                Ok(verdict) => Response::json(
-                    Status::Ok,
-                    &Json::object().with("verdict", format!("{verdict:?}")),
-                ),
-                Err(e) => Response::error(Status::Forbidden, &e.to_string()),
-            }
+            let verdict = remote_attest_host(&mut vm, &mut *ias, &network, host_id)
+                .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object().with("verdict", format!("{verdict:?}")),
+            ))
         });
     }
     {
         let vm = vm.clone();
         let ias = ias.clone();
-        let clock = clock.clone();
         let network = network.clone();
         let controller_cn = controller_cn.clone();
-        router.post("/vm/hosts/:id/vnfs/:name/enroll", move |_, params| {
+        router.post_api("/vm/hosts/:id/vnfs/:name/enroll", move |_, params| {
             let host_id = params.get("id").unwrap_or("");
             let vnf_name = params.get("name").unwrap_or("");
             let mut vm = vm.lock();
             let mut ias = ias.lock();
-            match remote_enroll_vnf(
-                &mut vm,
-                &mut *ias,
-                &network,
-                host_id,
-                vnf_name,
-                &controller_cn,
-                clock.now(),
-            ) {
-                Ok(cert) => Response::json(
-                    Status::Ok,
-                    &Json::object()
-                        .with("serial", cert.serial() as i64)
-                        .with("subject", cert.subject_cn()),
-                ),
-                Err(e) => Response::error(Status::Forbidden, &e.to_string()),
-            }
+            let cert =
+                remote_enroll_vnf(&mut vm, &mut *ias, &network, host_id, vnf_name, &controller_cn)
+                    .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("serial", cert.serial() as i64)
+                    .with("subject", cert.subject_cn()),
+            ))
         });
     }
     {
         let vm = vm.clone();
-        let clock = clock.clone();
-        router.post("/vm/revoke", move |request, _| {
-            let Ok(body) = request.json() else {
-                return Response::error(Status::BadRequest, "invalid JSON");
-            };
-            let Some(serial) = body.get("serial").and_then(Json::as_i64) else {
-                return Response::error(Status::BadRequest, "missing 'serial'");
-            };
+        router.post_api("/vm/revoke", move |request, _| {
+            let body = api_json(request)?;
+            let serial = body
+                .get("serial")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| ApiError::bad_request("missing 'serial'"))?;
             let mut vm = vm.lock();
-            match vm.revoke_credential(
+            vm.revoke_credential(
                 serial as u64,
                 vnfguard_pki::crl::RevocationReason::KeyCompromise,
-                clock.now(),
-            ) {
-                Ok(()) => Response::json(Status::Ok, &Json::object().with("revoked", true)),
-                Err(e) => Response::error(Status::NotFound, &e.to_string()),
-            }
+            )
+            .map_err(|e| ApiError::not_found(e.to_string()))?;
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object().with("revoked", true),
+            ))
         });
     }
     {
         let vm = vm.clone();
-        router.get("/vm/ca", move |_, _| {
+        router.get_api("/vm/ca", move |_, _| {
             let vm = vm.lock();
-            Response::json(
+            Ok(Response::json(
                 Status::Ok,
                 &Json::object()
                     .with("certificate", base64::encode(&vm.ca_certificate().encode())),
-            )
+            ))
         });
     }
     {
         let vm = vm.clone();
-        let clock = clock.clone();
-        router.get("/vm/crl", move |_, _| {
+        router.get_api("/vm/crl", move |_, _| {
             let vm = vm.lock();
-            Response::json(
+            Ok(Response::json(
                 Status::Ok,
-                &Json::object()
-                    .with("crl", base64::encode(&vm.current_crl(clock.now(), 3600).encode())),
-            )
+                &Json::object().with("crl", base64::encode(&vm.current_crl(3600).encode())),
+            ))
         });
     }
     {
         let vm = vm.clone();
-        router.get("/vm/status", move |_, _| {
+        router.get_api("/vm/status", move |_, _| {
             let vm = vm.lock();
-            Response::json(
+            Ok(Response::json(
                 Status::Ok,
                 &Json::object()
                     .with("issued", vm.issued_count() as i64)
                     .with("enrollments", vm.enrollments().count() as i64)
                     .with("events", vm.events().len() as i64),
-            )
+            ))
+        });
+    }
+    {
+        let telemetry = telemetry.clone();
+        router.get_api("/vm/metrics", move |_, _| {
+            Ok(Response::text(Status::Ok, &telemetry.render_prometheus()))
+        });
+    }
+    {
+        let telemetry = telemetry.clone();
+        router.get_api("/vm/events", move |request, _| {
+            let since = match request.query_param("since") {
+                Some(raw) => raw.parse::<u64>().map_err(|_| {
+                    ApiError::bad_request("'since' must be an integer sequence number")
+                })?,
+                None => 0,
+            };
+            let journal = telemetry.journal();
+            let events: Json = journal
+                .since(since)
+                .iter()
+                .map(|e| {
+                    Json::object()
+                        .with("seq", e.seq as i64)
+                        .with("time", e.time as i64)
+                        .with("kind", e.kind.as_str())
+                        .with("detail", e.detail.as_str())
+                })
+                .collect();
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("events", events)
+                    .with("next_seq", journal.next_seq() as i64),
+            ))
         });
     }
 

@@ -179,10 +179,10 @@ impl CircuitBreaker {
         }
     }
 
-    pub fn state(&self, now: u64) -> BreakerState {
+    pub fn state(&self, at: u64) -> BreakerState {
         match self.open_since {
             None => BreakerState::Closed,
-            Some(opened) if now >= opened.saturating_add(self.cooldown_secs) => {
+            Some(opened) if at >= opened.saturating_add(self.cooldown_secs) => {
                 BreakerState::HalfOpen
             }
             Some(_) => BreakerState::Open,
@@ -190,29 +190,29 @@ impl CircuitBreaker {
     }
 
     /// Should a call be attempted right now? (Closed or half-open probe.)
-    pub fn allows(&self, now: u64) -> bool {
-        self.state(now) != BreakerState::Open
+    pub fn allows(&self, at: u64) -> bool {
+        self.state(at) != BreakerState::Open
     }
 
-    pub fn record_success(&mut self, now: u64) {
+    pub fn record_success(&mut self, at: u64) {
         self.consecutive_failures = 0;
         if self.open_since.take().is_some() {
-            self.transitions.push((now, BreakerState::Closed));
+            self.transitions.push((at, BreakerState::Closed));
         }
     }
 
-    pub fn record_failure(&mut self, now: u64) {
-        match self.state(now) {
+    pub fn record_failure(&mut self, at: u64) {
+        match self.state(at) {
             BreakerState::HalfOpen => {
                 // Failed probe: restart the cooldown.
-                self.open_since = Some(now);
-                self.transitions.push((now, BreakerState::Open));
+                self.open_since = Some(at);
+                self.transitions.push((at, BreakerState::Open));
             }
             BreakerState::Closed => {
                 self.consecutive_failures += 1;
                 if self.consecutive_failures >= self.failure_threshold {
-                    self.open_since = Some(now);
-                    self.transitions.push((now, BreakerState::Open));
+                    self.open_since = Some(at);
+                    self.transitions.push((at, BreakerState::Open));
                 }
             }
             // Failures reported while open (callers that bypassed

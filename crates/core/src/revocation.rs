@@ -70,7 +70,7 @@ impl RevocationNotifier {
 
     /// Try to deliver a notice now; on failure it is queued for
     /// [`drain`](Self::drain). Returns `true` if delivered immediately.
-    pub fn notify(&mut self, host_id: &str, serial: u64, tag: [u8; 32], now: u64) -> bool {
+    pub fn notify(&mut self, host_id: &str, serial: u64, tag: [u8; 32], at: u64) -> bool {
         match self.deliver_once(host_id, serial, &tag) {
             Ok(()) => true,
             Err(_) => {
@@ -78,7 +78,7 @@ impl RevocationNotifier {
                     host_id: host_id.to_string(),
                     serial,
                     tag,
-                    queued_at: now,
+                    queued_at: at,
                     attempts: 1,
                 });
                 false
@@ -88,7 +88,7 @@ impl RevocationNotifier {
 
     /// Retry every queued notice; delivered ones leave the queue. Returns
     /// the number delivered in this pass.
-    pub fn drain(&mut self, _now: u64) -> usize {
+    pub fn drain(&mut self, _at: u64) -> usize {
         let mut remaining = Vec::new();
         let mut delivered = 0;
         for mut notice in std::mem::take(&mut self.queue) {

@@ -53,7 +53,7 @@ fn challenges_are_single_use() {
     let host_id = testbed.hosts[0].id.clone();
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let iml = testbed.hosts[0].container_host.measurement_list().encode();
     let evidence = vnfguard_core::attestation::host_evidence(
         &testbed.hosts[0].platform,
@@ -66,12 +66,12 @@ fn challenges_are_single_use() {
     // First presentation succeeds.
     testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence)
         .unwrap();
     // The same challenge id is consumed: replaying the exchange fails.
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence)
         .unwrap_err();
     assert!(matches!(err, CoreError::BadChallenge(_)));
 }
@@ -85,7 +85,7 @@ fn host_challenge_cannot_complete_vnf_enrollment() {
     // A *host* challenge presented to the VNF-enrollment endpoint.
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let prov = guard.provisioning_key().unwrap();
     let quote = guard
         .quote(&testbed.hosts[0].platform, &challenge.nonce, challenge.nonce)
@@ -98,7 +98,6 @@ fn host_challenge_cannot_complete_vnf_enrollment() {
             &quote.encode(),
             &prov,
             "controller",
-            testbed.clock.now(),
         )
         .unwrap_err();
     assert!(matches!(err, CoreError::BadChallenge(_)));
@@ -133,11 +132,7 @@ fn enrollment_records_track_revocation_state() {
 
     testbed
         .vm
-        .revoke_credential(
-            cert.serial(),
-            vnfguard_pki::crl::RevocationReason::Superseded,
-            testbed.clock.now(),
-        )
+        .revoke_credential(cert.serial(), vnfguard_pki::crl::RevocationReason::Superseded)
         .unwrap();
     assert!(testbed
         .vm
@@ -147,11 +142,9 @@ fn enrollment_records_track_revocation_state() {
         .revoked);
     // Revoking an unknown serial is a workflow violation.
     assert!(matches!(
-        testbed.vm.revoke_credential(
-            99_999,
-            vnfguard_pki::crl::RevocationReason::Unspecified,
-            testbed.clock.now()
-        ),
+        testbed
+            .vm
+            .revoke_credential(99_999, vnfguard_pki::crl::RevocationReason::Unspecified),
         Err(CoreError::WorkflowViolation(_))
     ));
 }
@@ -163,7 +156,7 @@ fn require_tpm_refuses_hosts_without_quotes() {
     let host_id = testbed.hosts[0].id.clone();
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     testbed.hosts[0].sync_tpm();
     let iml = testbed.hosts[0].container_host.measurement_list().encode();
     let evidence = vnfguard_core::attestation::host_evidence(
@@ -176,7 +169,7 @@ fn require_tpm_refuses_hosts_without_quotes() {
     .unwrap();
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence)
         .unwrap_err();
     assert!(
         matches!(err, CoreError::AttestationFailed(ref msg) if msg.contains("TPM")),

@@ -5,7 +5,6 @@
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vnfguard_controller::SimClock;
 use vnfguard_core::deployment::TestbedBuilder;
 use vnfguard_core::manager::VerificationManager;
 use vnfguard_core::remote::{
@@ -76,7 +75,6 @@ fn remote_world(seed: &[u8]) -> RemoteWorld {
 #[test]
 fn networked_attestation_and_enrollment() {
     let mut world = remote_world(b"remote world 1");
-    let now = world.testbed.clock.now();
 
     // Steps 1-2 across the fabric (VM → agent → integrity enclave → QE,
     // then VM → remote IAS).
@@ -85,7 +83,6 @@ fn networked_attestation_and_enrollment() {
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
-        now,
     )
     .unwrap();
     assert!(verdict.is_trusted());
@@ -98,7 +95,6 @@ fn networked_attestation_and_enrollment() {
         "host-0",
         "vnf-remote",
         "controller",
-        now,
     )
     .unwrap();
     assert_eq!(certificate.subject_cn(), "vnf-remote");
@@ -114,13 +110,11 @@ fn networked_attestation_and_enrollment() {
 #[test]
 fn networked_enrollment_of_unknown_vnf_fails() {
     let mut world = remote_world(b"remote world 2");
-    let now = world.testbed.clock.now();
     remote_attest_host(
         &mut world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
-        now,
     )
     .unwrap();
     let err = remote_enroll_vnf(
@@ -130,7 +124,6 @@ fn networked_enrollment_of_unknown_vnf_fails() {
         "host-0",
         "ghost-vnf",
         "controller",
-        now,
     )
     .unwrap_err();
     assert!(err.to_string().contains("404") || err.to_string().contains("agent"));
@@ -139,7 +132,6 @@ fn networked_enrollment_of_unknown_vnf_fails() {
 #[test]
 fn unreachable_ias_fails_closed() {
     let mut world = remote_world(b"remote world 3");
-    let now = world.testbed.clock.now();
     // Point the client at an address nobody serves.
     let mut dead_ias = RemoteIas::new(
         &world.testbed.network,
@@ -151,7 +143,6 @@ fn unreachable_ias_fails_closed() {
         &mut dead_ias,
         &world.testbed.network,
         "host-0",
-        now,
     )
     .unwrap_err();
     // The synthesized fail-closed report does not verify under the real key.
@@ -165,12 +156,11 @@ fn unreachable_ias_fails_closed() {
 fn operator_api_drives_the_workflow() {
     let world = remote_world(b"remote world 4");
     let network = world.testbed.network.clone();
-    let clock: SimClock = world.testbed.clock.clone();
 
     // Wrap VM + IAS for the API service.
     let vm: Arc<Mutex<VerificationManager>> = Arc::new(Mutex::new(world.testbed.vm));
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(world.remote_ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, clock, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
 
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
 

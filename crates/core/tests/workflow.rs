@@ -68,7 +68,8 @@ fn figure1_workflow_end_to_end() {
         .any(|e| e.get("peer").and_then(Json::as_str) == Some("vnf-fw")));
 
     // The VM recorded the full workflow.
-    let kinds: Vec<&str> = testbed.vm.events().iter().map(|e| e.kind.as_str()).collect();
+    let events = testbed.vm.events();
+    let kinds: Vec<&str> = events.iter().map(|e| e.kind.as_str()).collect();
     for expected in [
         "host_attestation_started",
         "host_attested",
@@ -198,7 +199,7 @@ fn use_case_2_revocation_evicts_vnf() {
     // Revoke and distribute the CRL to the controller.
     testbed
         .vm
-        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise, testbed.clock.now())
+        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise)
         .unwrap();
     testbed.push_crl().unwrap();
 
@@ -220,7 +221,7 @@ fn host_wide_revocation() {
     testbed.enroll(1, &g2).unwrap();
 
     // Host 0 is found compromised: evict everything on it.
-    let revoked = testbed.vm.revoke_host("host-0", testbed.clock.now());
+    let revoked = testbed.vm.revoke_host("host-0");
     assert_eq!(revoked, 2);
     testbed.push_crl().unwrap();
 
@@ -341,7 +342,7 @@ fn stale_challenge_rejected() {
     let host_id = testbed.hosts[0].id.clone();
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     // Evidence prepared but presented after the challenge lifetime.
     let iml = testbed.hosts[0].container_host.measurement_list().encode();
     let evidence = vnfguard_core::attestation::host_evidence(
@@ -355,7 +356,7 @@ fn stale_challenge_rejected() {
     testbed.clock.advance(301);
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence)
         .unwrap_err();
     assert!(matches!(err, CoreError::BadChallenge(_)));
 }
@@ -367,7 +368,7 @@ fn quote_replay_with_wrong_nonce_rejected() {
     // Attacker records evidence for challenge A...
     let challenge_a = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let iml = testbed.hosts[0].container_host.measurement_list().encode();
     let evidence = vnfguard_core::attestation::host_evidence(
         &testbed.hosts[0].platform,
@@ -380,10 +381,10 @@ fn quote_replay_with_wrong_nonce_rejected() {
     // ...and replays it against challenge B.
     let challenge_b = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge_b.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge_b.id, &evidence)
         .unwrap_err();
     assert!(matches!(err, CoreError::AttestationFailed(_)), "{err}");
 }

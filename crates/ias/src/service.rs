@@ -6,6 +6,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use vnfguard_crypto::ed25519::{SigningKey, VerifyingKey};
 use vnfguard_crypto::hkdf;
 use vnfguard_sgx::quote::{Quote, QUOTE_VERSION};
+use vnfguard_telemetry::{Counter, Telemetry};
 
 /// Administrative status of an EPID group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,8 @@ pub struct AttestationService {
     next_report_id: u64,
     clock: u64,
     requests_served: u64,
+    requests_counter: Option<Counter>,
+    non_ok_counter: Option<Counter>,
 }
 
 impl AttestationService {
@@ -55,7 +58,16 @@ impl AttestationService {
             next_report_id: 1,
             clock: 1_500_000_000,
             requests_served: 0,
+            requests_counter: None,
+            non_ok_counter: None,
         }
+    }
+
+    /// Attach telemetry: verification requests and non-OK verdicts land in
+    /// `vnfguard_ias_*` counters.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.requests_counter = Some(telemetry.counter("vnfguard_ias_requests_total"));
+        self.non_ok_counter = Some(telemetry.counter("vnfguard_ias_non_ok_verdicts_total"));
     }
 
     /// The public key relying parties use to verify report signatures —
@@ -139,10 +151,18 @@ impl AttestationService {
     /// Manager expects to consume.
     pub fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
         self.requests_served += 1;
+        if let Some(counter) = &self.requests_counter {
+            counter.inc();
+        }
         let id = self.next_report_id;
         self.next_report_id += 1;
 
         let (status, quote_body, advisories) = self.evaluate(quote_bytes);
+        if status != QuoteStatus::Ok {
+            if let Some(counter) = &self.non_ok_counter {
+                counter.inc();
+            }
+        }
         AttestationReport::create(
             id,
             self.clock,
@@ -359,6 +379,24 @@ mod tests {
         let mut ias = service_with(&platform_a);
         let report = ias.verify_quote(&quote_b, b"");
         assert_eq!(report.status, QuoteStatus::KeyRevoked);
+    }
+
+    #[test]
+    fn telemetry_counts_requests_and_non_ok_verdicts() {
+        let (platform, quote) = quoted_platform(b"p");
+        let mut ias = service_with(&platform);
+        let telemetry = Telemetry::new();
+        ias.set_telemetry(&telemetry);
+        ias.verify_quote(&quote, b"n1");
+        ias.verify_quote(b"garbage", b"n2");
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_ias_requests_total"),
+            Some(2)
+        );
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_ias_non_ok_verdicts_total"),
+            Some(1)
+        );
     }
 
     #[test]

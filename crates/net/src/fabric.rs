@@ -11,6 +11,15 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+use vnfguard_telemetry::{Counter, Telemetry};
+
+/// Pre-fetched fabric counters (avoids registry lookups on the hot path).
+#[derive(Clone)]
+struct FabricCounters {
+    connections: Counter,
+    refusals: Counter,
+    bytes: Counter,
+}
 
 #[derive(Default)]
 struct NetworkInner {
@@ -19,6 +28,7 @@ struct NetworkInner {
     latency: Duration,
     connections: u64,
     faults: Option<FaultPlan>,
+    counters: Option<FabricCounters>,
 }
 
 /// A shared network fabric. Cloning shares the same fabric.
@@ -35,6 +45,17 @@ impl Network {
     /// Set the one-way latency applied to all *future* connections.
     pub fn set_latency(&self, latency: Duration) {
         self.inner.lock().latency = latency;
+    }
+
+    /// Attach telemetry: connection attempts, refusals (missing listener or
+    /// injected fault), and bytes carried over future connections land in
+    /// `vnfguard_net_*` counters.
+    pub fn set_telemetry(&self, telemetry: &Telemetry) {
+        self.inner.lock().counters = Some(FabricCounters {
+            connections: telemetry.counter("vnfguard_net_connections_total"),
+            refusals: telemetry.counter("vnfguard_net_refusals_total"),
+            bytes: telemetry.counter("vnfguard_net_bytes_total"),
+        });
     }
 
     /// Bind a listener at `addr`.
@@ -62,19 +83,25 @@ impl Network {
     /// Connect to `addr` as the named endpoint `origin`. Fault plans use
     /// the origin to enforce partitions between endpoint groups.
     pub fn connect_from(&self, origin: &str, addr: &str) -> Result<Duplex, NetError> {
-        let (latency, tap, listener_tx, faults) = {
+        let (latency, tap, listener_tx, faults, counters) = {
             let mut inner = self.inner.lock();
-            let tx = inner
-                .listeners
-                .get(addr)
-                .cloned()
-                .ok_or_else(|| NetError::ConnectionRefused(addr.to_string()))?;
+            let counters = inner.counters.clone();
+            let tx = match inner.listeners.get(addr).cloned() {
+                Some(tx) => tx,
+                None => {
+                    if let Some(c) = &counters {
+                        c.refusals.inc();
+                    }
+                    return Err(NetError::ConnectionRefused(addr.to_string()));
+                }
+            };
             inner.connections += 1;
             (
                 inner.latency,
                 inner.taps.get(addr).cloned(),
                 tx,
                 inner.faults.clone(),
+                counters,
             )
         };
         let mut extra_latency = Duration::ZERO;
@@ -93,12 +120,24 @@ impl Network {
                     | RefuseReason::Scheduled
                     | RefuseReason::Isolated
                     | RefuseReason::Partitioned,
-                ) => return Err(NetError::ConnectionRefused(addr.to_string())),
+                ) => {
+                    if let Some(c) = &counters {
+                        c.refusals.inc();
+                    }
+                    return Err(NetError::ConnectionRefused(addr.to_string()));
+                }
             }
         }
         let control = Arc::new(control);
-        let (client, server) =
+        let (mut client, mut server) =
             Duplex::pair_with_control(latency + extra_latency, tap.as_ref(), control.clone());
+        if let Some(c) = &counters {
+            c.connections.inc();
+            // Both halves feed one fabric-wide counter, so it totals the
+            // bytes carried in both directions.
+            client.attach_byte_counter(c.bytes.clone());
+            server.attach_byte_counter(c.bytes.clone());
+        }
         if let Some(plan) = &faults {
             plan.register_link(origin, addr, &control);
         }
@@ -332,6 +371,36 @@ mod tests {
             start.elapsed() >= Duration::from_millis(20),
             "latency not injected: {:?}",
             start.elapsed()
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_connections_refusals_and_bytes() {
+        let net = Network::new();
+        let telemetry = Telemetry::new();
+        net.set_telemetry(&telemetry);
+        let listener = net.listen("svc:1").unwrap();
+        let mut client = net.connect("svc:1").unwrap();
+        let mut server = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        server.write_all(b"pong!").unwrap();
+        let mut buf = [0u8; 5];
+        client.read_exact(&mut buf).unwrap();
+        let _ = net.connect("nobody:1");
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_net_connections_total"),
+            Some(1)
+        );
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_net_refusals_total"),
+            Some(1)
+        );
+        // 4 bytes client→server plus 5 back.
+        assert_eq!(
+            telemetry.metrics().counter_value("vnfguard_net_bytes_total"),
+            Some(9)
         );
     }
 

@@ -158,6 +158,19 @@ impl Request {
             .map_err(|_| NetError::Protocol("request body is not UTF-8".into()))?;
         Ok(vnfguard_encoding::json::parse(text)?)
     }
+
+    /// The value of a `?name=value` query parameter, if present. Returns
+    /// `Some("")` for a bare `?name` flag.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        let query = self.path.split_once('?')?.1;
+        query.split('&').find_map(|pair| {
+            let (key, value) = match pair.split_once('=') {
+                Some((key, value)) => (key, value),
+                None => (pair, ""),
+            };
+            (key == name).then_some(value)
+        })
+    }
 }
 
 /// An HTTP response.
@@ -188,6 +201,17 @@ impl Response {
 
     pub fn error(status: Status, message: &str) -> Response {
         Response::json(status, &Json::object().with("error", message))
+    }
+
+    /// A plain-text response (used by the Prometheus-style `/vm/metrics`
+    /// exposition).
+    pub fn text(status: Status, body: &str) -> Response {
+        let mut response = Response::new(status);
+        response.body = body.as_bytes().to_vec();
+        response
+            .headers
+            .insert("content-type".into(), "text/plain; version=0.0.4".into());
+        response
     }
 
     pub fn header(&self, name: &str) -> Option<&str> {
@@ -450,6 +474,23 @@ mod tests {
             read_request(&mut server),
             Err(NetError::ConnectionClosed)
         ));
+    }
+
+    #[test]
+    fn query_param_parsing() {
+        let request = Request::get("/vm/events?since=42&verbose");
+        assert_eq!(request.query_param("since"), Some("42"));
+        assert_eq!(request.query_param("verbose"), Some(""));
+        assert_eq!(request.query_param("missing"), None);
+        assert_eq!(Request::get("/vm/events").query_param("since"), None);
+    }
+
+    #[test]
+    fn text_response_sets_plain_content_type() {
+        let response = Response::text(Status::Ok, "vnfguard_core_enrollments_total 3\n");
+        assert_eq!(response.status, Status::Ok);
+        assert!(response.header("content-type").unwrap().starts_with("text/plain"));
+        assert_eq!(response.body, b"vnfguard_core_enrollments_total 3\n");
     }
 
     #[test]

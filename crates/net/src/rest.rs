@@ -1,8 +1,9 @@
-//! Path-pattern REST routing.
+//! Path-pattern REST routing and the `ApiResult` handler convention.
 
 use crate::http::{Method, Request, Response, Status};
 use std::collections::HashMap;
 use std::sync::Arc;
+use vnfguard_telemetry::Counter;
 
 /// Captured `:name` path parameters.
 #[derive(Debug, Default, Clone)]
@@ -15,6 +16,66 @@ impl PathParams {
         self.values.get(name).map(String::as_str)
     }
 }
+
+/// A handler-level API error: a status code plus a message that the single
+/// `From<ApiError> for Response` mapping renders as `{"error": message}`.
+///
+/// Handlers registered through [`Router::get_api`] and friends return
+/// [`ApiResult`] and use `?` on fallible steps instead of hand-building
+/// error responses at every exit point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    pub status: Status,
+    pub message: String,
+}
+
+impl ApiError {
+    pub fn new(status: Status, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status,
+            message: message.into(),
+        }
+    }
+
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::BadRequest, message)
+    }
+
+    pub fn unauthorized(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::Unauthorized, message)
+    }
+
+    pub fn forbidden(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::Forbidden, message)
+    }
+
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::NotFound, message)
+    }
+
+    pub fn conflict(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::Conflict, message)
+    }
+
+    pub fn server_error(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::ServerError, message)
+    }
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.status.code(), self.status.reason(), self.message)
+    }
+}
+
+impl From<ApiError> for Response {
+    fn from(error: ApiError) -> Response {
+        Response::error(error.status, &error.message)
+    }
+}
+
+/// The return type of `*_api` route handlers.
+pub type ApiResult<T> = Result<T, ApiError>;
 
 type Handler = dyn Fn(&Request, &PathParams) -> Response + Send + Sync;
 
@@ -37,11 +98,22 @@ enum Segment {
 #[derive(Default)]
 pub struct Router {
     routes: Vec<Route>,
+    requests_total: Option<Counter>,
+    request_errors_total: Option<Counter>,
 }
 
 impl Router {
     pub fn new() -> Router {
         Router::default()
+    }
+
+    /// Attach telemetry counters: `requests` is bumped once per dispatched
+    /// request, `errors` once per non-2xx response (including unmatched
+    /// routes and handler-raised [`ApiError`]s).
+    pub fn instrument(&mut self, requests: Counter, errors: Counter) -> &mut Self {
+        self.requests_total = Some(requests);
+        self.request_errors_total = Some(errors);
+        self
     }
 
     /// Register a handler. Later registrations do not shadow earlier ones;
@@ -95,6 +167,47 @@ impl Router {
         self.route(Method::Delete, pattern, handler)
     }
 
+    /// Register an [`ApiResult`]-returning handler: `Ok(response)` passes
+    /// through, `Err(error)` goes through the single
+    /// `From<ApiError> for Response` mapping.
+    pub fn route_api(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> ApiResult<Response> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(method, pattern, move |request, params| {
+            match handler(request, params) {
+                Ok(response) => response,
+                Err(error) => error.into(),
+            }
+        })
+    }
+
+    pub fn get_api(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> ApiResult<Response> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route_api(Method::Get, pattern, handler)
+    }
+
+    pub fn post_api(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> ApiResult<Response> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route_api(Method::Post, pattern, handler)
+    }
+
+    pub fn delete_api(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &PathParams) -> ApiResult<Response> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route_api(Method::Delete, pattern, handler)
+    }
+
     pub fn route_count(&self) -> usize {
         self.routes.len()
     }
@@ -128,13 +241,22 @@ impl Router {
 
     /// Dispatch a request, returning 404 for unmatched paths.
     pub fn dispatch(&self, request: &Request) -> Response {
-        match self.match_route(request.method, &request.path) {
+        if let Some(counter) = &self.requests_total {
+            counter.inc();
+        }
+        let response = match self.match_route(request.method, &request.path) {
             Some((route, params)) => (route.handler)(request, &params),
             None => Response::error(
                 Status::NotFound,
                 &format!("no route for {} {}", request.method.as_str(), request.path),
             ),
+        };
+        if !response.status.is_success() {
+            if let Some(counter) = &self.request_errors_total {
+                counter.inc();
+            }
         }
+        response
     }
 }
 
@@ -251,5 +373,55 @@ mod tests {
         r.get("/a/b", |_, _| Response::new(Status::Conflict));
         // The param route was registered first and matches.
         assert_eq!(r.dispatch(&Request::get("/a/b")).status, Status::Ok);
+    }
+
+    #[test]
+    fn api_error_maps_to_json_error_response() {
+        let response: Response = ApiError::forbidden("quote rejected").into();
+        assert_eq!(response.status, Status::Forbidden);
+        assert_eq!(
+            response.parse_json().unwrap().get("error").and_then(Json::as_str),
+            Some("quote rejected")
+        );
+    }
+
+    #[test]
+    fn api_handlers_use_question_mark() {
+        fn lookup(id: &str) -> ApiResult<String> {
+            if id == "vnf-1" {
+                Ok("enrolled".to_string())
+            } else {
+                Err(ApiError::not_found(format!("unknown vnf {id}")))
+            }
+        }
+        let mut r = Router::new();
+        r.get_api("/vm/vnf/:id", |_, params| {
+            let state = lookup(params.get("id").unwrap_or(""))?;
+            Ok(Response::json(Status::Ok, &Json::object().with("state", state.as_str())))
+        });
+        assert_eq!(r.dispatch(&Request::get("/vm/vnf/vnf-1")).status, Status::Ok);
+        let miss = r.dispatch(&Request::get("/vm/vnf/vnf-9"));
+        assert_eq!(miss.status, Status::NotFound);
+        assert_eq!(
+            miss.parse_json().unwrap().get("error").and_then(Json::as_str),
+            Some("unknown vnf vnf-9")
+        );
+    }
+
+    #[test]
+    fn instrumented_router_counts_requests_and_errors() {
+        use vnfguard_telemetry::Counter;
+        let requests = Counter::detached();
+        let errors = Counter::detached();
+        let mut r = Router::new();
+        r.instrument(requests.clone(), errors.clone());
+        r.get("/ok", |_, _| Response::new(Status::Ok));
+        r.get_api("/fail", |_, _| Err(ApiError::server_error("boom")));
+        r.dispatch(&Request::get("/ok"));
+        r.dispatch(&Request::get("/fail"));
+        r.dispatch(&Request::get("/nope"));
+        assert_eq!(requests.get(), 3);
+        // /fail (500) and the unmatched route (404) both count as errors.
+        assert_eq!(errors.get(), 2);
     }
 }

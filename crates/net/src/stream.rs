@@ -3,6 +3,7 @@
 
 use crate::fault::{injected_io, LinkControl};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use vnfguard_telemetry::Counter;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -102,6 +103,8 @@ pub struct Duplex {
     read_timeout: Option<Duration>,
     bytes_sent: u64,
     bytes_received: u64,
+    /// Fabric-wide byte counter (telemetry), bumped on sends.
+    fabric_bytes: Option<Counter>,
 }
 
 impl Duplex {
@@ -130,6 +133,7 @@ impl Duplex {
             read_timeout: None,
             bytes_sent: 0,
             bytes_received: 0,
+            fabric_bytes: None,
         };
         let server = Duplex {
             tx: tx_b,
@@ -141,8 +145,16 @@ impl Duplex {
             read_timeout: None,
             bytes_sent: 0,
             bytes_received: 0,
+            fabric_bytes: None,
         };
         (client, server)
+    }
+
+    /// Attach a fabric-wide telemetry counter bumped by every byte this
+    /// half sends (the fabric attaches one to both halves, so the counter
+    /// totals traffic in both directions).
+    pub(crate) fn attach_byte_counter(&mut self, counter: Counter) {
+        self.fabric_bytes = Some(counter);
     }
 
     /// Zero-latency untapped pair (the common case in tests).
@@ -286,6 +298,9 @@ impl Write for Duplex {
                 io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped")
             })?;
             self.bytes_sent += deliver.len() as u64;
+            if let Some(counter) = &self.fabric_bytes {
+                counter.add(deliver.len() as u64);
+            }
         }
         Ok(buf.len())
     }

@@ -1,0 +1,160 @@
+//! A ring-buffered structured event journal with monotone sequence
+//! numbers, subsuming the manager's former ad-hoc `VmEvent` vec.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// One structured audit event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone sequence number (starts at 1); the cursor for
+    /// `GET /vm/events?since=`.
+    pub seq: u64,
+    /// Simulated-clock timestamp (unix seconds).
+    pub time: u64,
+    pub kind: String,
+    pub detail: String,
+}
+
+struct JournalInner {
+    next_seq: u64,
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// Bounded event journal; cloning shares the buffer. When full, the oldest
+/// event is evicted (and counted), so sequence numbers stay monotone and a
+/// reader polling `since(cursor)` can detect gaps.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<JournalInner>>,
+}
+
+impl Journal {
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            inner: Arc::new(Mutex::new(JournalInner {
+                next_seq: 1,
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Append an event; returns its sequence number.
+    pub fn record(&self, time: u64, kind: &str, detail: &str) -> u64 {
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() >= inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(Event {
+            seq,
+            time,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+        seq
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Retained events with `seq >= since`, oldest first. `since(0)` (or 1)
+    /// returns everything retained.
+    pub fn since(&self, since: u64) -> Vec<Event> {
+        self.inner
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .filter(|e| e.seq >= since)
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal poisoned").events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sequence number the next event will get; poll cursor for
+    /// `since`.
+    pub fn next_seq(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").next_seq
+    }
+
+    /// Events evicted by the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").dropped
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new(4096)
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("journal poisoned");
+        f.debug_struct("Journal")
+            .field("len", &inner.events.len())
+            .field("next_seq", &inner.next_seq)
+            .field("dropped", &inner.dropped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_are_monotone_from_one() {
+        let journal = Journal::new(16);
+        assert_eq!(journal.record(10, "a", ""), 1);
+        assert_eq!(journal.record(11, "b", ""), 2);
+        assert_eq!(journal.next_seq(), 3);
+    }
+
+    #[test]
+    fn since_filters_by_cursor() {
+        let journal = Journal::new(16);
+        for i in 0..5 {
+            journal.record(i, "k", &format!("e{i}"));
+        }
+        assert_eq!(journal.since(0).len(), 5);
+        assert_eq!(journal.since(4).len(), 2);
+        assert_eq!(journal.since(6).len(), 0);
+        assert_eq!(journal.since(4)[0].detail, "e3");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let journal = Journal::new(3);
+        for i in 0..5 {
+            journal.record(i, "k", "");
+        }
+        assert_eq!(journal.len(), 3);
+        assert_eq!(journal.dropped(), 2);
+        let seqs: Vec<u64> = journal.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [3, 4, 5]);
+    }
+}

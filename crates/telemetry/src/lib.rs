@@ -1,0 +1,199 @@
+//! # vnfguard-telemetry
+//!
+//! Zero-dependency observability substrate for the deployment: counters,
+//! gauges and log-bucketed latency histograms in a [`MetricsRegistry`],
+//! hierarchical spans in a [`Tracer`], and a ring-buffered structured
+//! [`Journal`] of audit events — bundled behind one clonable [`Telemetry`]
+//! handle that every crate in the workspace can thread through its hot
+//! paths.
+//!
+//! Design rules:
+//!
+//! - **Two time bases.** Event timestamps come from the deployment's
+//!   simulated clock (callers pass unix seconds), so the audit timeline is
+//!   deterministic and replayable. Latency measurements use the monotonic
+//!   wall clock (`std::time::Instant`) internally, because simulated time
+//!   does not advance while code executes.
+//! - **Cheap when off.** [`Telemetry::disabled`] returns a handle whose
+//!   spans and journal writes are no-ops and whose counters are detached
+//!   from any registry; the enrollment-path overhead of the enabled mode is
+//!   measured by the `e10_observability` bench and must stay under 5%.
+//! - **Shared by clone.** All types are `Arc`-backed; clones observe the
+//!   same state, mirroring how `SimClock` and `Network` behave elsewhere
+//!   in the workspace.
+//!
+//! Metric naming convention: `vnfguard_<crate>_<name>`, with `_total` for
+//! counters and `_micros` for latency histograms (see DESIGN.md
+//! §Observability).
+
+pub mod journal;
+pub mod metrics;
+pub mod spans;
+
+pub use journal::{Event, Journal};
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use spans::{SpanGuard, SpanRecord, Tracer};
+
+/// One observability handle bundling metrics, spans and the event journal.
+///
+/// Cloning shares the underlying state. Constructed enabled by
+/// [`Telemetry::new`] (or `Default`); [`Telemetry::disabled`] yields a
+/// no-op handle for overhead baselines.
+#[derive(Clone)]
+pub struct Telemetry {
+    enabled: bool,
+    metrics: MetricsRegistry,
+    tracer: Tracer,
+    journal: Journal,
+}
+
+impl Telemetry {
+    /// An enabled telemetry bundle with default capacities.
+    pub fn new() -> Telemetry {
+        Telemetry {
+            enabled: true,
+            metrics: MetricsRegistry::default(),
+            tracer: Tracer::default(),
+            journal: Journal::default(),
+        }
+    }
+
+    /// A disabled bundle: spans and journal writes are no-ops, counters and
+    /// histograms are detached from the registry (atomic bumps on dead
+    /// storage). Used to measure instrumentation overhead.
+    pub fn disabled() -> Telemetry {
+        Telemetry {
+            enabled: false,
+            ..Telemetry::new()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metrics registry backing this handle.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The span tracer backing this handle.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The structured event journal backing this handle.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Get-or-register a counter. Disabled handles return a detached
+    /// counter that never appears in the rendered exposition.
+    pub fn counter(&self, name: &str) -> Counter {
+        if self.enabled {
+            self.metrics.counter(name)
+        } else {
+            Counter::detached()
+        }
+    }
+
+    /// Get-or-register a gauge (detached when disabled).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if self.enabled {
+            self.metrics.gauge(name)
+        } else {
+            Gauge::detached()
+        }
+    }
+
+    /// Get-or-register a histogram (detached when disabled).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if self.enabled {
+            self.metrics.histogram(name)
+        } else {
+            Histogram::detached()
+        }
+    }
+
+    /// Open a span; it closes (and records its duration) when the returned
+    /// guard drops. `unix_now` stamps the span's position on the simulated
+    /// timeline; the duration itself is wall-clock microseconds.
+    pub fn span(&self, name: &str, unix_now: u64) -> SpanGuard {
+        if self.enabled {
+            self.tracer.start(name, unix_now)
+        } else {
+            SpanGuard::noop()
+        }
+    }
+
+    /// Append a structured event to the journal; returns its sequence
+    /// number (0 when disabled).
+    pub fn event(&self, time: u64, kind: &str, detail: &str) -> u64 {
+        if self.enabled {
+            self.journal.record(time, kind, detail)
+        } else {
+            0
+        }
+    }
+
+    /// Render every registered metric in Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.metrics.render_prometheus()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("journal_len", &self.journal.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_bundle_registers_and_renders() {
+        let tele = Telemetry::new();
+        tele.counter("vnfguard_test_ops_total").add(3);
+        tele.histogram("vnfguard_test_latency_micros").record(100);
+        tele.event(1_600_000_000, "test_event", "detail");
+        let text = tele.render_prometheus();
+        assert!(text.contains("vnfguard_test_ops_total 3"));
+        assert!(text.contains("vnfguard_test_latency_micros_count 1"));
+        assert_eq!(tele.journal().len(), 1);
+    }
+
+    #[test]
+    fn disabled_bundle_is_inert() {
+        let tele = Telemetry::disabled();
+        tele.counter("vnfguard_test_ops_total").add(3);
+        {
+            let _span = tele.span("invisible", 0);
+        }
+        tele.event(0, "invisible", "");
+        assert_eq!(tele.render_prometheus(), "");
+        assert_eq!(tele.journal().len(), 0);
+        assert!(tele.tracer().finished().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tele = Telemetry::new();
+        let other = tele.clone();
+        other.counter("vnfguard_test_shared_total").inc();
+        assert_eq!(
+            tele.metrics().counter_value("vnfguard_test_shared_total"),
+            Some(1)
+        );
+    }
+}

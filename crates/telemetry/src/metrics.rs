@@ -1,0 +1,392 @@
+//! Counters, gauges, and log-bucketed latency histograms, collected in a
+//! [`MetricsRegistry`] and rendered as Prometheus text exposition.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter not attached to any registry (used by disabled telemetry:
+    /// increments land on dead storage and are never rendered).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge. Cloning shares the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram buckets; one more holds the overflow.
+pub const FINITE_BUCKETS: usize = 32;
+
+/// Upper bound (inclusive) of finite bucket `idx`: `2^idx`.
+pub fn bucket_bound(idx: usize) -> u64 {
+    1u64 << idx
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; FINITE_BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically microseconds).
+///
+/// Finite bucket `i` holds samples in `(2^(i-1), 2^i]` (bucket 0 holds 0
+/// and 1); samples above `2^31` land in the overflow bucket. Tracks exact
+/// count, sum and max alongside the buckets, so `max` is precise while
+/// `p50/p90/p99` are bucket-bound estimates.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros() as usize).min(FINITE_BUCKETS)
+        }
+    }
+
+    pub fn record(&self, v: u64) {
+        let inner = &self.inner;
+        inner.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(v, Ordering::Relaxed);
+        inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn max(&self) -> u64 {
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (finite buckets then overflow).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (0 < q ≤ 1) as the upper bound of the
+    /// bucket containing the target rank, clamped to the exact observed
+    /// max. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.inner.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return if idx < FINITE_BUCKETS {
+                    bucket_bound(idx).min(self.max())
+                } else {
+                    self.max()
+                };
+            }
+        }
+        self.max()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named metrics. Get-or-register by name; cloning shares
+/// the registry. Rendering emits Prometheus text exposition, with
+/// `_p50/_p90/_p99/_max` companion lines for each histogram.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Current value of a registered counter (None if never registered).
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .counters
+            .get(name)
+            .map(Counter::get)
+    }
+
+    /// Snapshot of a registered histogram (None if never registered).
+    pub fn histogram_snapshot(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .histograms
+            .get(name)
+            .cloned()
+    }
+
+    /// Render every metric in Prometheus text exposition format, sorted by
+    /// name. Histogram bucket lines stop at the highest occupied finite
+    /// bucket (plus the mandatory `+Inf` line) to keep the surface compact.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, counter) in &inner.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", counter.get()));
+        }
+        for (name, gauge) in &inner.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
+        }
+        for (name, histogram) in &inner.histograms {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let counts = histogram.bucket_counts();
+            let last_occupied = counts[..FINITE_BUCKETS]
+                .iter()
+                .rposition(|&c| c > 0)
+                .unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (idx, &count) in counts.iter().take(last_occupied + 1).enumerate() {
+                cumulative += count;
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_bound(idx)
+                ));
+            }
+            out.push_str(&format!(
+                "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                histogram.count()
+            ));
+            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
+            out.push_str(&format!("{name}_count {}\n", histogram.count()));
+            out.push_str(&format!("{name}_p50 {}\n", histogram.quantile(0.50)));
+            out.push_str(&format!("{name}_p90 {}\n", histogram.quantile(0.90)));
+            out.push_str(&format!("{name}_p99 {}\n", histogram.quantile(0.99)));
+            out.push_str(&format!("{name}_max {}\n", histogram.max()));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let registry = MetricsRegistry::default();
+        let c = registry.counter("c_total");
+        c.inc();
+        c.add(4);
+        assert_eq!(registry.counter("c_total").get(), 5);
+        let g = registry.gauge("g");
+        g.set(-3);
+        g.add(10);
+        assert_eq!(registry.gauge("g").get(), 7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket i holds (2^(i-1), 2^i]; bucket 0 holds {0, 1}.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(1 << 10), 10);
+        assert_eq!(Histogram::bucket_index((1 << 10) + 1), 11);
+        assert_eq!(Histogram::bucket_index(1 << 31), 31);
+        assert_eq!(Histogram::bucket_index((1u64 << 31) + 1), FINITE_BUCKETS);
+        assert_eq!(Histogram::bucket_index(u64::MAX), FINITE_BUCKETS);
+    }
+
+    #[test]
+    fn histogram_exact_aggregates_and_quantiles() {
+        let h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 6106);
+        assert_eq!(h.max(), 5000);
+        // p50: rank 3 of 6 → the bucket holding 3 (bound 4).
+        assert_eq!(h.quantile(0.50), 4);
+        // p99: rank 6 → bucket holding 5000 (bound 8192), clamped to max.
+        assert_eq!(h.quantile(0.99), 5000);
+        assert_eq!(h.quantile(1.0), 5000);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(Histogram::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_returns_max() {
+        let h = Histogram::default();
+        h.record(u64::MAX / 2);
+        assert_eq!(h.quantile(0.5), u64::MAX / 2);
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_max() {
+        let h = Histogram::default();
+        h.record(5); // bucket bound 8, but max is 5
+        assert_eq!(h.quantile(0.5), 5);
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let registry = MetricsRegistry::default();
+        registry.counter("vnfguard_x_ops_total").add(2);
+        registry.gauge("vnfguard_x_depth").set(4);
+        let h = registry.histogram("vnfguard_x_micros");
+        h.record(3);
+        h.record(300);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE vnfguard_x_ops_total counter"));
+        assert!(text.contains("vnfguard_x_ops_total 2"));
+        assert!(text.contains("vnfguard_x_depth 4"));
+        assert!(text.contains("vnfguard_x_micros_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("vnfguard_x_micros_sum 303"));
+        assert!(text.contains("vnfguard_x_micros_count 2"));
+        assert!(text.contains("vnfguard_x_micros_p50 "));
+        assert!(text.contains("vnfguard_x_micros_max 300"));
+        // Cumulative bucket counts are monotone: the le="4" line counts the
+        // sample 3, the last finite line counts both.
+        assert!(text.contains("vnfguard_x_micros_bucket{le=\"4\"} 1"));
+        assert!(text.contains("vnfguard_x_micros_bucket{le=\"512\"} 2"));
+    }
+
+    #[test]
+    fn detached_metrics_never_render() {
+        let registry = MetricsRegistry::default();
+        let c = Counter::detached();
+        c.add(10);
+        assert_eq!(registry.render_prometheus(), "");
+    }
+}

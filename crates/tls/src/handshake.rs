@@ -15,6 +15,7 @@ use vnfguard_crypto::drbg::SecureRandom;
 use vnfguard_crypto::x25519;
 use vnfguard_pki::cert::KeyUsage;
 use vnfguard_pki::{Certificate, TrustStore};
+use vnfguard_telemetry::Telemetry;
 
 /// Client-side configuration.
 pub struct ClientConfig {
@@ -28,6 +29,9 @@ pub struct ClientConfig {
     pub suites: Vec<CipherSuite>,
     /// Validation time (unix seconds).
     pub now: u64,
+    /// Observability sink for handshake spans and counters (disabled by
+    /// default).
+    pub telemetry: Telemetry,
 }
 
 impl ClientConfig {
@@ -38,6 +42,7 @@ impl ClientConfig {
             identity: None,
             suites: vec![CipherSuite::Aes128Gcm, CipherSuite::ChaCha20Poly1305],
             now,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -50,6 +55,11 @@ impl ClientConfig {
         self.expected_server_cn = Some(cn.to_string());
         self
     }
+
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> ClientConfig {
+        self.telemetry = telemetry.clone();
+        self
+    }
 }
 
 /// Server-side configuration.
@@ -60,6 +70,9 @@ pub struct ServerConfig {
     pub client_auth: Option<ClientValidator>,
     pub suites: Vec<CipherSuite>,
     pub now: u64,
+    /// Observability sink for handshake spans and counters (disabled by
+    /// default).
+    pub telemetry: Telemetry,
 }
 
 impl ServerConfig {
@@ -69,11 +82,17 @@ impl ServerConfig {
             client_auth: None,
             suites: vec![CipherSuite::Aes128Gcm, CipherSuite::ChaCha20Poly1305],
             now,
+            telemetry: Telemetry::disabled(),
         }
     }
 
     pub fn require_client_auth(mut self, validator: ClientValidator) -> ServerConfig {
         self.client_auth = Some(validator);
+        self
+    }
+
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> ServerConfig {
+        self.telemetry = telemetry.clone();
         self
     }
 }
@@ -116,11 +135,31 @@ fn recv_hs(
 
 /// Run the client side of the handshake over `stream`.
 pub fn client_handshake<S: Read + Write>(
+    stream: S,
+    config: &ClientConfig,
+    rng: &mut dyn SecureRandom,
+) -> Result<(TlsStream<S>, SessionInfo), TlsError> {
+    let telemetry = &config.telemetry;
+    let result = {
+        let _span = telemetry
+            .span("tls_client_handshake", config.now)
+            .with_histogram(telemetry.histogram("vnfguard_tls_client_handshake_micros"));
+        client_handshake_inner(stream, config, rng)
+    };
+    telemetry.counter("vnfguard_tls_handshakes_total").inc();
+    if result.is_err() {
+        telemetry.counter("vnfguard_tls_handshake_failures_total").inc();
+    }
+    result
+}
+
+fn client_handshake_inner<S: Read + Write>(
     mut stream: S,
     config: &ClientConfig,
     rng: &mut dyn SecureRandom,
 ) -> Result<(TlsStream<S>, SessionInfo), TlsError> {
     let mut transcript = Transcript::new();
+    let hello_phase = config.telemetry.span("tls_client_hello", config.now);
 
     // ClientHello.
     let mut random = [0u8; 32];
@@ -162,8 +201,10 @@ pub fn client_handshake<S: Read + Write>(
     let schedule = KeySchedule::after_hellos(&shared, &transcript.current());
     let mut write_seal = SealState::new(suite, &traffic_keys(&schedule.handshake.client, suite));
     let mut read_seal = SealState::new(suite, &traffic_keys(&schedule.handshake.server, suite));
+    drop(hello_phase);
 
     // Server's encrypted flight.
+    let auth_phase = config.telemetry.span("tls_client_auth", config.now);
     let mut cert_requested = false;
     let mut server_cert: Option<Certificate> = None;
     let app_secrets;
@@ -263,6 +304,7 @@ pub fn client_handshake<S: Read + Write>(
         Err(e) => return Err(e),
     }
 
+    drop(auth_phase);
     let info = SessionInfo {
         suite,
         peer_certificate: server_cert,
@@ -281,11 +323,31 @@ pub fn client_handshake<S: Read + Write>(
 
 /// Run the server side of the handshake over `stream`.
 pub fn server_handshake<S: Read + Write>(
+    stream: S,
+    config: &ServerConfig,
+    rng: &mut dyn SecureRandom,
+) -> Result<(TlsStream<S>, SessionInfo), TlsError> {
+    let telemetry = &config.telemetry;
+    let result = {
+        let _span = telemetry
+            .span("tls_server_handshake", config.now)
+            .with_histogram(telemetry.histogram("vnfguard_tls_server_handshake_micros"));
+        server_handshake_inner(stream, config, rng)
+    };
+    telemetry.counter("vnfguard_tls_handshakes_total").inc();
+    if result.is_err() {
+        telemetry.counter("vnfguard_tls_handshake_failures_total").inc();
+    }
+    result
+}
+
+fn server_handshake_inner<S: Read + Write>(
     mut stream: S,
     config: &ServerConfig,
     rng: &mut dyn SecureRandom,
 ) -> Result<(TlsStream<S>, SessionInfo), TlsError> {
     let mut transcript = Transcript::new();
+    let hello_phase = config.telemetry.span("tls_server_hello", config.now);
 
     // ClientHello.
     let ch_bytes = read_plaintext(&mut stream)?;
@@ -329,8 +391,10 @@ pub fn server_handshake<S: Read + Write>(
     let schedule = KeySchedule::after_hellos(&shared, &transcript.current());
     let mut write_seal = SealState::new(suite, &traffic_keys(&schedule.handshake.server, suite));
     let mut read_seal = SealState::new(suite, &traffic_keys(&schedule.handshake.client, suite));
+    drop(hello_phase);
 
     // Server flight.
+    let auth_phase = config.telemetry.span("tls_server_auth", config.now);
     if config.client_auth.is_some() {
         send_hs(
             &mut stream,
@@ -406,6 +470,7 @@ pub fn server_handshake<S: Read + Write>(
         &Handshake::SessionConfirm,
     )?;
 
+    drop(auth_phase);
     let info = SessionInfo {
         suite,
         peer_certificate: client_cert,

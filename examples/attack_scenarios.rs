@@ -249,7 +249,7 @@ fn credential_revocation_race() -> Outcome {
     let certificate = testbed.enroll(0, &guard).unwrap();
     testbed
         .vm
-        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise, testbed.clock.now())
+        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise)
         .unwrap();
     testbed.push_crl().unwrap();
     testbed.clock.advance(1);

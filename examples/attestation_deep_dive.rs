@@ -36,7 +36,7 @@ fn main() {
     println!("\n=== 2. challenge, report and quote ===");
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     println!("  VM nonce: {}", to_hex(&challenge.nonce));
     let iml = testbed.hosts[0].container_host.measurement_list().encode();
     let evidence = host_evidence(
@@ -87,7 +87,7 @@ fn main() {
     println!("\n=== 4. appraisal ===");
     let verdict = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &evidence)
         .unwrap();
     println!("  verdict: {verdict:?} → workflow may continue");
 
@@ -95,7 +95,7 @@ fn main() {
     println!("\n=== 5. what tampering does ===");
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let mut tampered = host_evidence(
         &testbed.hosts[0].platform,
         &testbed.hosts[0].integrity_enclave,
@@ -110,13 +110,13 @@ fn main() {
     tampered.iml = other_list.encode();
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &tampered, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &tampered)
         .unwrap_err();
     println!("  substituted IML  → {err}");
 
     let challenge = testbed
         .vm
-        .begin_host_attestation(&host_id, testbed.clock.now());
+        .begin_host_attestation(&host_id);
     let mut forged = host_evidence(
         &testbed.hosts[0].platform,
         &testbed.hosts[0].integrity_enclave,
@@ -129,7 +129,7 @@ fn main() {
     forged.quote[last] ^= 1; // one bit in the EPID signature
     let err = testbed
         .vm
-        .complete_host_attestation(&mut testbed.ias, challenge.id, &forged, testbed.clock.now())
+        .complete_host_attestation(&mut testbed.ias, challenge.id, &forged)
         .unwrap_err();
     println!("  forged quote bit → {err}");
 

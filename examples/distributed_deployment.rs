@@ -12,7 +12,6 @@
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vnfguard::controller::SimClock;
 use vnfguard::core::deployment::TestbedBuilder;
 use vnfguard::core::remote::{serve_ias, serve_vm_api, HostAgent, HostAgentState, RemoteIas};
 use vnfguard::encoding::Json;
@@ -24,7 +23,6 @@ fn main() {
     println!("=== distributed deployment: one service per Figure-1 box ===\n");
     let mut testbed = TestbedBuilder::new(b"distributed").build();
     let network = testbed.network.clone();
-    let clock: SimClock = testbed.clock.clone();
 
     // Detach the IAS onto the fabric.
     let ias = std::mem::replace(
@@ -65,8 +63,8 @@ fn main() {
     let vm = Arc::new(Mutex::new(testbed.vm));
     let remote_ias: Arc<Mutex<dyn QuoteVerifier + Send>> =
         Arc::new(Mutex::new(RemoteIas::new(&network, "ias:443", report_key)));
-    let _vm_api = serve_vm_api(&network, "vm:8443", vm.clone(), remote_ias, clock, "controller")
-        .unwrap();
+    let _vm_api =
+        serve_vm_api(&network, "vm:8443", vm.clone(), remote_ias, "controller").unwrap();
     println!("[svc] Verification Manager API serving at vm:8443");
     println!("[svc] controller serving at {} (trusted HTTPS)\n", testbed.controller_addr);
 
@@ -118,6 +116,30 @@ fn main() {
         "[net] fabric carried {} connections; agent answered {} requests",
         network.connection_count(),
         agent.requests_served()
+    );
+
+    // The observability surface: scrape the Prometheus exposition and tail
+    // the audit journal, both over the same operator API.
+    let metrics = operator.request(&Request::get("/vm/metrics")).unwrap();
+    let exposition = String::from_utf8_lossy(&metrics.body).into_owned();
+    let interesting = exposition
+        .lines()
+        .filter(|l| l.contains("enrollments_total") || l.contains("host_attestations_total"))
+        .map(str::to_string)
+        .collect::<Vec<_>>();
+    println!("\n[obs] GET /vm/metrics (excerpt):");
+    for line in interesting {
+        println!("      {line}");
+    }
+    let events = operator
+        .request(&Request::get("/vm/events?since=0"))
+        .unwrap()
+        .parse_json()
+        .unwrap();
+    println!(
+        "[obs] GET /vm/events?since=0 → {} events, next_seq={}",
+        events.get("events").and_then(Json::as_array).map(|a| a.len()).unwrap_or(0),
+        events.get("next_seq").and_then(Json::as_i64).unwrap_or(0),
     );
     println!("\nEvery workflow interaction crossed the network, none carried key material in clear.");
 }

@@ -26,7 +26,17 @@ struct World {
 }
 
 fn world(seed: &[u8], plan_seed: u64, retry: RetryPolicy, breaker: CircuitBreaker) -> World {
-    let mut testbed = TestbedBuilder::new(seed).build();
+    world_with(seed, plan_seed, retry, breaker, |b| b)
+}
+
+fn world_with(
+    seed: &[u8],
+    plan_seed: u64,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    configure: impl FnOnce(TestbedBuilder) -> TestbedBuilder,
+) -> World {
+    let mut testbed = configure(TestbedBuilder::new(seed)).build();
     let plan = FaultPlan::seeded(plan_seed);
     testbed.network.install_faults(&plan);
     let ias = std::mem::replace(
@@ -70,18 +80,15 @@ fn world(seed: &[u8], plan_seed: u64, retry: RetryPolicy, breaker: CircuitBreake
 }
 
 fn attest(w: &mut World) -> Result<vnfguard::ima::appraisal::Verdict, CoreError> {
-    let now = w.testbed.clock.now();
     remote_attest_host(
         &mut w.testbed.vm,
         &mut w.remote_ias,
         &w.testbed.network,
         "host-0",
-        now,
     )
 }
 
 fn enroll(w: &mut World) -> Result<vnfguard::pki::Certificate, CoreError> {
-    let now = w.testbed.clock.now();
     remote_enroll_vnf(
         &mut w.testbed.vm,
         &mut w.remote_ias,
@@ -89,7 +96,6 @@ fn enroll(w: &mut World) -> Result<vnfguard::pki::Certificate, CoreError> {
         "host-0",
         "vnf-drill",
         "controller",
-        now,
     )
 }
 
@@ -139,7 +145,20 @@ fn main() {
     println!("                        2nd try → {}", attest(&mut w).unwrap_err());
     println!("  breaker is now {:?}", w.remote_ias.breaker_state());
     println!("  open circuit, policy OFF: {}", attest(&mut w).unwrap_err());
-    w.testbed.vm.set_degraded_policy(true, 900);
+
+    // Degradation is a build-time policy now (ManagerConfig::builder()'s
+    // degraded_verdicts): stand up the same drill with the policy ON.
+    let mut w = world_with(
+        b"drill partition",
+        11,
+        RetryPolicy::new(2, 1, 4).with_seed(11),
+        CircuitBreaker::new(2, 3600),
+        |b| b.degraded(true, 900),
+    );
+    attest(&mut w).unwrap();
+    w.plan.partition(&["vm"], &["ias:443"]);
+    let _ = attest(&mut w); // trip the breaker...
+    let _ = attest(&mut w); // ...two failed operations open it
     let verdict = attest(&mut w).unwrap();
     let audited = w
         .testbed
@@ -167,7 +186,7 @@ fn main() {
         }
         other => println!("  unexpected: {other:?}"),
     }
-    let crl = w.testbed.vm.current_crl(w.testbed.clock.now(), 3600);
+    let crl = w.testbed.vm.current_crl(3600);
     println!(
         "  pending enrollments: {}; committed: {}; CRL entries: {}; enclave provisioned: {}",
         w.testbed.vm.pending_enrollments().count(),
@@ -193,7 +212,7 @@ fn main() {
     let now = w.testbed.clock.now();
     w.testbed
         .vm
-        .revoke_credential(serial, vnfguard::pki::crl::RevocationReason::KeyCompromise, now)
+        .revoke_credential(serial, vnfguard::pki::crl::RevocationReason::KeyCompromise)
         .unwrap();
     let tag = w.testbed.vm.hmac_tag(&revocation_message("host-0", serial));
     w.plan.isolate("agent:host-0");

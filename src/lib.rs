@@ -28,6 +28,7 @@
 //! - [`controller`] — the Floodlight-model SDN controller
 //! - [`vnf`] — the VNF framework and credential enclave
 //! - [`core`] — the Verification Manager (the paper's contribution)
+//! - [`telemetry`] — spans, metrics and the event journal
 
 pub use vnfguard_container as container;
 pub use vnfguard_controller as controller;
@@ -40,5 +41,6 @@ pub use vnfguard_ima as ima;
 pub use vnfguard_net as net;
 pub use vnfguard_pki as pki;
 pub use vnfguard_sgx as sgx;
+pub use vnfguard_telemetry as telemetry;
 pub use vnfguard_tls as tls;
 pub use vnfguard_vnf as vnf;

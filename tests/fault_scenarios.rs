@@ -42,7 +42,17 @@ fn chaos_world(
     retry: RetryPolicy,
     breaker: CircuitBreaker,
 ) -> ChaosWorld {
-    let mut testbed = TestbedBuilder::new(seed).build();
+    chaos_world_with(seed, plan_seed, retry, breaker, |b| b)
+}
+
+fn chaos_world_with(
+    seed: &[u8],
+    plan_seed: u64,
+    retry: RetryPolicy,
+    breaker: CircuitBreaker,
+    configure: impl FnOnce(TestbedBuilder) -> TestbedBuilder,
+) -> ChaosWorld {
+    let mut testbed = configure(TestbedBuilder::new(seed)).build();
     let plan = FaultPlan::seeded(plan_seed);
     testbed.network.install_faults(&plan);
 
@@ -92,18 +102,15 @@ fn chaos_world(
 }
 
 fn attest_host0(world: &mut ChaosWorld) -> Result<vnfguard::ima::appraisal::Verdict, CoreError> {
-    let now = world.testbed.clock.now();
     remote_attest_host(
         &mut world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
-        now,
     )
 }
 
 fn enroll_vnf(world: &mut ChaosWorld) -> Result<vnfguard::pki::Certificate, CoreError> {
-    let now = world.testbed.clock.now();
     remote_enroll_vnf(
         &mut world.testbed.vm,
         &mut world.remote_ias,
@@ -111,7 +118,6 @@ fn enroll_vnf(world: &mut ChaosWorld) -> Result<vnfguard::pki::Certificate, Core
         "host-0",
         "vnf-chaos",
         "controller",
-        now,
     )
 }
 
@@ -166,16 +172,18 @@ fn enrollment_completes_despite_ias_refusals() {
 
 #[test]
 fn ias_partition_opens_breaker_and_gates_degradation() {
-    let mut world = chaos_world(
+    // Graceful degradation is a build-time policy decision now: the
+    // manager config opts in before the deployment exists.
+    let mut world = chaos_world_with(
         b"chaos: ias partition",
         11,
         RetryPolicy::new(2, 1, 4).with_seed(11),
         CircuitBreaker::new(2, 3600),
+        |b| b.degraded(true, 900),
     );
 
     // Healthy attestation first: the VM caches a trusted verdict.
     assert!(attest_host0(&mut world).unwrap().is_trusted());
-    world.testbed.vm.set_degraded_policy(true, 900);
 
     // Partition the VM away from IAS.
     world.plan.partition(&["vm"], &["ias:443"]);
@@ -210,7 +218,7 @@ fn ias_partition_opens_breaker_and_gates_degradation() {
 
     // A host whose last real appraisal failed gets nothing under
     // degradation, trusted cache or not.
-    world.testbed.vm.revoke_host("host-0", world.testbed.clock.now());
+    world.testbed.vm.revoke_host("host-0");
     let err = attest_host0(&mut world).unwrap_err();
     assert!(matches!(err, CoreError::ServiceUnavailable(_)), "got: {err}");
     assert_eq!(
@@ -268,7 +276,7 @@ fn mid_provision_drop_never_half_provisions() {
                 assert!(provisioned, "budget {budget}: committed but undelivered");
                 assert_eq!(vm.enrollments().count(), 1);
                 assert!(vm
-                    .current_crl(world.testbed.clock.now(), 3600)
+                    .current_crl(3600)
                     .lookup(certificate.serial())
                     .is_none());
             }
@@ -284,7 +292,7 @@ fn mid_provision_drop_never_half_provisions() {
                     .and_then(|s| s.trim().parse().ok())
                     .expect("rollback error names the serial");
                 assert!(
-                    vm.current_crl(world.testbed.clock.now(), 3600)
+                    vm.current_crl(3600)
                         .lookup(serial)
                         .is_some(),
                     "budget {budget}: rolled-back serial {serial} missing from CRL"
@@ -329,7 +337,7 @@ fn revocations_queue_and_drain_after_heal() {
     world
         .testbed
         .vm
-        .revoke_credential(serial, vnfguard::pki::crl::RevocationReason::KeyCompromise, now)
+        .revoke_credential(serial, vnfguard::pki::crl::RevocationReason::KeyCompromise)
         .unwrap();
     let tag = world.testbed.vm.hmac_tag(&revocation_message("host-0", serial));
 
