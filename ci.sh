@@ -10,6 +10,9 @@ cargo build --release
 echo "== test =="
 cargo test -q
 
+echo "== crash matrix (sealed WAL, crash injection, recovery; >=8 seeds) =="
+cargo test -q --test crash_recovery
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -31,6 +34,31 @@ violations=$(awk '
 ' crates/core/src/*.rs)
 if [ -n "$violations" ]; then
   echo "found pub fns taking a positional 'now: u64' without an _at suffix:"
+  echo "$violations"
+  exit 1
+fi
+
+echo "== wal hygiene: manager mutations must journal before mutating =="
+# WAL-before-response: any pub fn in the manager that issues/revokes through
+# the CA or touches the enrollment maps must have a journal call in its body
+# (WalRecord append). Keeps new workflow endpoints from bypassing the WAL.
+violations=$(awk '
+  function flush() {
+    if (is_pub && body ~ /\.ca\.(issue|revoke)\(|enrollments\.(insert|remove)\(/ \
+        && body !~ /journal/)
+      print "crates/core/src/manager.rs: pub fn " name " mutates authority state without a WAL append"
+    body = ""; is_pub = 0; name = ""
+  }
+  /^    (pub )?fn [a-z_0-9]+/ {
+    flush()
+    name = $0; sub(/\(.*/, "", name); sub(/.*fn /, "", name)
+    is_pub = ($0 ~ /pub fn/)
+  }
+  { body = body "\n" $0 }
+  END { flush() }
+' crates/core/src/manager.rs)
+if [ -n "$violations" ]; then
+  echo "found manager entry points bypassing the write-ahead log:"
   echo "$violations"
   exit 1
 fi

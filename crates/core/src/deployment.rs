@@ -6,7 +6,9 @@
 //! examples and all benchmarks are built on this type.
 
 use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
-use crate::manager::{ManagerConfig, TcbPolicy, VerificationManager};
+use crate::crash::CrashPlan;
+use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
+use crate::revocation::RevocationNotifier;
 use crate::CoreError;
 use std::sync::Arc;
 use vnfguard_container::host::ContainerHost;
@@ -22,9 +24,11 @@ use vnfguard_net::fabric::Network;
 use vnfguard_pki::cert::Certificate;
 use vnfguard_pki::{KeyStore, TrustStore};
 use vnfguard_sgx::enclave::Enclave;
+use vnfguard_sgx::measurement::Measurement;
 use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
 use vnfguard_sgx::sigstruct::EnclaveAuthor;
 use vnfguard_sgx::transition::TransitionModel;
+use vnfguard_store::{Media, StateStore, StateVault};
 use vnfguard_telemetry::Telemetry;
 use vnfguard_tls::signer::LocalSigner;
 use vnfguard_tls::validate::ClientValidator;
@@ -81,6 +85,10 @@ pub struct TestbedBuilder {
     controller_addr: String,
     degraded: Option<(bool, u64)>,
     telemetry: Option<Telemetry>,
+    durable: bool,
+    wal_compaction: u64,
+    crash_plan: Option<CrashPlan>,
+    pending_enrollment_ttl: Option<u64>,
 }
 
 impl TestbedBuilder {
@@ -96,6 +104,10 @@ impl TestbedBuilder {
             controller_addr: "controller:8443".into(),
             degraded: None,
             telemetry: None,
+            durable: false,
+            wal_compaction: 256,
+            crash_plan: None,
+            pending_enrollment_ttl: None,
         }
     }
 
@@ -145,6 +157,35 @@ impl TestbedBuilder {
         self
     }
 
+    /// Give the Verification Manager a sealed write-ahead log on a crash-
+    /// surviving medium, enabling [`Testbed::recover_vm`].
+    pub fn durable(mut self) -> TestbedBuilder {
+        self.durable = true;
+        self
+    }
+
+    /// Log-frame threshold for WAL snapshot compaction (default 256; `0`
+    /// disables compaction). Only meaningful with [`durable`](Self::durable).
+    pub fn wal_compaction(mut self, frames: u64) -> TestbedBuilder {
+        self.wal_compaction = frames;
+        self
+    }
+
+    /// Attach a crash-injection plan to the Verification Manager. The plan
+    /// survives [`Testbed::recover_vm`] so multi-crash schedules replay
+    /// across incarnations.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> TestbedBuilder {
+        self.crash_plan = Some(plan);
+        self
+    }
+
+    /// Expire prepared-but-uncommitted enrollments after `secs` (see
+    /// `VerificationManager::sweep_pending_enrollments`).
+    pub fn pending_enrollment_ttl(mut self, secs: u64) -> TestbedBuilder {
+        self.pending_enrollment_ttl = Some(secs);
+        self
+    }
+
     pub fn build(self) -> Testbed {
         let network = Network::new();
         let clock = SimClock::at(1_600_000_000);
@@ -159,13 +200,47 @@ impl TestbedBuilder {
         if let Some((enabled, ttl_secs)) = self.degraded {
             vm_config = vm_config.degraded_verdicts(enabled, ttl_secs);
         }
+        if let Some(ttl) = self.pending_enrollment_ttl {
+            vm_config = vm_config.pending_enrollment_ttl_secs(ttl);
+        }
         let vm_config = vm_config.build().expect("testbed manager config is valid");
+
+        // The enclave author whose MRSIGNER the deployment trusts.
+        let enclave_author = EnclaveAuthor::from_seed(&vnfguard_crypto::sha2::sha256(
+            &[&self.seed[..], b"enclave author"].concat(),
+        ));
+
+        // The SGX platform the manager itself runs on — it hosts the state
+        // vault enclave, so sealed WAL blobs only ever open here.
+        let vm_platform = SgxPlatform::with_config(
+            &vnfguard_crypto::sha2::sha256(&[&self.seed[..], b"vm platform"].concat()),
+            PlatformConfig::default(),
+            TransitionModel::new(0, 0),
+        );
+
+        let store_media = self.durable.then(Media::new);
+        let store = store_media.as_ref().map(|media| {
+            let vault = StateVault::load(&vm_platform, &enclave_author)
+                .expect("state vault loads on the VM platform");
+            StateStore::new(media.clone(), vault).with_compaction(self.wal_compaction)
+        });
+
         let mut vm = VerificationManager::with_runtime(
-            vm_config,
+            vm_config.clone(),
             &self.seed,
             clock.clone(),
             telemetry.clone(),
         );
+        if let Some(store) = &store {
+            vm = vm.with_store(store.clone());
+        }
+        if let Some(plan) = &self.crash_plan {
+            vm = vm.with_crash_plan(plan.clone());
+        }
+        let mut notifier = RevocationNotifier::new(&network).with_telemetry(&telemetry);
+        if let Some(store) = &store {
+            notifier = notifier.with_store(store.clone());
+        }
 
         // Whitelist the integrity attestation enclave and seed the host
         // reference database with the standard software stack.
@@ -211,11 +286,6 @@ impl TestbedBuilder {
         let controller =
             Controller::start(&network, controller_config).expect("controller start");
 
-        // The enclave author whose MRSIGNER the deployment trusts.
-        let enclave_author = EnclaveAuthor::from_seed(&vnfguard_crypto::sha2::sha256(
-            &[&self.seed[..], b"enclave author"].concat(),
-        ));
-
         let mut hosts = Vec::with_capacity(self.host_count);
         for i in 0..self.host_count {
             let id = format!("host-{i}");
@@ -255,6 +325,7 @@ impl TestbedBuilder {
             telemetry,
             ias,
             vm,
+            notifier,
             controller,
             controller_addr: self.controller_addr,
             controller_cn,
@@ -263,6 +334,13 @@ impl TestbedBuilder {
             enclave_author,
             mode: self.mode,
             validation: self.validation,
+            seed: self.seed,
+            vm_config,
+            vm_platform,
+            store_media,
+            crash_plan: self.crash_plan,
+            wal_compaction: self.wal_compaction,
+            trust_log: Vec::new(),
         }
     }
 }
@@ -275,6 +353,13 @@ const STANDARD_HOST_FILES: &[(&str, &[u8])] = &[
     ("/sbin/init", b"systemd 229"),
 ];
 
+/// Config-time trust decisions made after build, replayed into a recovered
+/// manager (they are deployment inputs, not journaled state transitions).
+enum TrustAction {
+    TrustEnclave(Measurement, String),
+    AllowContent(String, Vec<u8>),
+}
+
 /// The assembled deployment.
 pub struct Testbed {
     pub network: Network,
@@ -284,6 +369,9 @@ pub struct Testbed {
     pub telemetry: Telemetry,
     pub ias: AttestationService,
     pub vm: VerificationManager,
+    /// Store-and-forward revocation notifier, journaling into the same WAL
+    /// as the manager when the testbed is durable.
+    pub notifier: RevocationNotifier,
     pub controller: Controller,
     pub controller_addr: String,
     pub controller_cn: String,
@@ -292,6 +380,14 @@ pub struct Testbed {
     pub enclave_author: EnclaveAuthor,
     pub mode: SecurityMode,
     pub validation: ValidationModel,
+    seed: Vec<u8>,
+    vm_config: ManagerConfig,
+    vm_platform: SgxPlatform,
+    /// The crash-surviving medium behind the VM's WAL (`None`: volatile).
+    store_media: Option<Media>,
+    crash_plan: Option<CrashPlan>,
+    wal_compaction: u64,
+    trust_log: Vec<TrustAction>,
 }
 
 impl Testbed {
@@ -333,15 +429,19 @@ impl Testbed {
             .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
         let id = container.id.clone();
         for (i, layer) in reference_image.layers.iter().enumerate() {
-            self.vm.reference_db_mut().allow_content(
-                &format!("/var/lib/docker/overlay2/{id}/layer-{i}"),
-                &layer.content,
-            );
+            let path = format!("/var/lib/docker/overlay2/{id}/layer-{i}");
+            self.vm.reference_db_mut().allow_content(&path, &layer.content);
+            self.trust_log
+                .push(TrustAction::AllowContent(path, layer.content.clone()));
         }
-        self.vm.reference_db_mut().allow_content(
-            &format!("/var/lib/docker/overlay2/{id}/entrypoint"),
-            &reference_image.entrypoint.content,
-        );
+        let entrypoint = format!("/var/lib/docker/overlay2/{id}/entrypoint");
+        self.vm
+            .reference_db_mut()
+            .allow_content(&entrypoint, &reference_image.entrypoint.content);
+        self.trust_log.push(TrustAction::AllowContent(
+            entrypoint,
+            reference_image.entrypoint.content.clone(),
+        ));
         Ok(id)
     }
 
@@ -362,10 +462,12 @@ impl Testbed {
             version,
         )?;
         let image = CredentialEnclave::image_for(vnf_name, version);
-        self.vm.trust_enclave(
-            SgxPlatform::measure_image(&image, vnfguard_vnf::guard::ENCLAVE_SIZE),
-            &format!("{vnf_name}-v{version}"),
-        );
+        let measurement =
+            SgxPlatform::measure_image(&image, vnfguard_vnf::guard::ENCLAVE_SIZE);
+        let label = format!("{vnf_name}-v{version}");
+        self.vm.trust_enclave(measurement, &label);
+        self.trust_log
+            .push(TrustAction::TrustEnclave(measurement, label));
         Ok(guard)
     }
 
@@ -440,6 +542,72 @@ impl Testbed {
     /// the controller.
     pub fn open_session(&self, guard: &mut VnfGuard) -> Result<u32, CoreError> {
         Ok(guard.open_session(&self.controller_addr, self.clock.now())?)
+    }
+
+    /// The crash-surviving medium behind the VM's WAL, if the testbed was
+    /// built [`durable`](TestbedBuilder::durable). Exposed so chaos tests
+    /// can inject media faults (torn tails, flipped bytes) between crash
+    /// and recovery.
+    pub fn store_media(&self) -> Option<&Media> {
+        self.store_media.as_ref()
+    }
+
+    /// Restart the Verification Manager after a crash: reload the state
+    /// vault on the same platform, replay the sealed snapshot + WAL, and
+    /// replace `vm` (and the notifier) with the recovered incarnation.
+    ///
+    /// Config-time trust (integrity enclave, reference files, TPM AIKs,
+    /// whitelisted guard measurements) is replayed from the deployment's
+    /// own records — it is input, not journaled state. Host attestations
+    /// are *not* carried over: every host must re-attest to the new
+    /// incarnation before further enrollments.
+    pub fn recover_vm(&mut self) -> Result<RecoveryReport, CoreError> {
+        let media = self.store_media.clone().ok_or_else(|| {
+            CoreError::Store(
+                "testbed is not durable (build with TestbedBuilder::durable)".into(),
+            )
+        })?;
+        let vault = StateVault::load(&self.vm_platform, &self.enclave_author)?;
+        let store = StateStore::new(media, vault).with_compaction(self.wal_compaction);
+        let mut notifier = RevocationNotifier::new(&self.network)
+            .with_telemetry(&self.telemetry)
+            .with_store(store.clone());
+        let (mut vm, report) = VerificationManager::recover(
+            self.vm_config.clone(),
+            &self.seed,
+            self.clock.clone(),
+            self.telemetry.clone(),
+            store,
+            Some(&mut notifier),
+        )?;
+        vm.trust_integrity_enclave(
+            IntegrityAttestationEnclave::expected_measurement(1),
+            "integrity-attestation-v1",
+        );
+        for (path, content) in STANDARD_HOST_FILES {
+            vm.reference_db_mut().allow_content(path, content);
+        }
+        for host in &self.hosts {
+            if let Some(tpm) = &host.tpm {
+                vm.register_host_tpm(&host.id, tpm.aik_public());
+            }
+        }
+        for action in &self.trust_log {
+            match action {
+                TrustAction::TrustEnclave(measurement, label) => {
+                    vm.trust_enclave(*measurement, label);
+                }
+                TrustAction::AllowContent(path, content) => {
+                    vm.reference_db_mut().allow_content(path, content);
+                }
+            }
+        }
+        if let Some(plan) = &self.crash_plan {
+            vm = vm.with_crash_plan(plan.clone());
+        }
+        self.vm = vm;
+        self.notifier = notifier;
+        Ok(report)
     }
 }
 

@@ -33,6 +33,7 @@
 //! | 6 VNF ↔ controller TLS | `VnfGuard::open_session` / `request` |
 
 pub mod attestation;
+pub mod crash;
 pub mod deployment;
 pub mod manager;
 pub mod remote;
@@ -40,11 +41,12 @@ pub mod resilience;
 pub mod revocation;
 
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
+pub use crash::{CrashEvent, CrashPlan};
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
-pub use manager::{ManagerConfig, ManagerConfigBuilder, VerificationManager};
+pub use manager::{ManagerConfig, ManagerConfigBuilder, RecoveryReport, VerificationManager};
 pub use resilience::{BreakerState, CircuitBreaker, RetryPolicy};
-pub use revocation::RevocationNotifier;
+pub use revocation::{DeliveredNotice, RevocationNotifier};
 
 /// Errors from the Verification Manager and workflow orchestration.
 #[derive(Debug)]
@@ -73,6 +75,13 @@ pub enum CoreError {
     /// A [`manager::ManagerConfig`] builder was given an inconsistent or
     /// unsafe combination of settings.
     InvalidConfig(String),
+    /// The VM process crashed at the named injection site. The manager is
+    /// dead: every further workflow call fails until state is rebuilt with
+    /// [`manager::VerificationManager::recover`].
+    VmCrashed(String),
+    /// The durability layer failed: sealing, unsealing, or media
+    /// corruption beyond the tolerated torn tail.
+    Store(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -92,6 +101,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "provisioning rolled back: {msg}")
             }
             CoreError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            CoreError::VmCrashed(site) => {
+                write!(f, "verification manager crashed at {site}; recovery required")
+            }
+            CoreError::Store(msg) => write!(f, "state store: {msg}"),
         }
     }
 }
@@ -125,5 +138,11 @@ impl From<vnfguard_pki::PkiError> for CoreError {
 impl From<vnfguard_encoding::EncodingError> for CoreError {
     fn from(e: vnfguard_encoding::EncodingError) -> CoreError {
         CoreError::Encoding(e.to_string())
+    }
+}
+
+impl From<vnfguard_store::StoreError> for CoreError {
+    fn from(e: vnfguard_store::StoreError) -> CoreError {
+        CoreError::Store(e.to_string())
     }
 }

@@ -1,8 +1,11 @@
 //! The Verification Manager.
 
 use crate::attestation::{host_report_data, HostEvidence};
+use crate::crash::CrashPlan;
+use crate::revocation::{revocation_message, RevocationNotifier};
 use crate::CoreError;
 use std::collections::{BTreeMap, HashMap};
+use vnfguard_store::{StateStore, StoreStats, WalRecord};
 use vnfguard_controller::clock::SimClock;
 use vnfguard_crypto::drbg::{HmacDrbg, SecureRandom};
 use vnfguard_crypto::ed25519::SigningKey;
@@ -60,6 +63,11 @@ pub struct ManagerConfig {
     /// How long a cached verdict may be re-used under degradation. Bounded
     /// separately from (and typically tighter than) `host_freshness_secs`.
     degraded_ttl_secs: u64,
+    /// Prepared enrollments older than this are aborted by
+    /// [`VerificationManager::sweep_pending_enrollments`] (and treated as
+    /// crash orphans during recovery). `0` disables the sweep and leaves
+    /// recovery on its default grace period.
+    pending_enrollment_ttl_secs: u64,
 }
 
 impl Default for ManagerConfig {
@@ -75,6 +83,7 @@ impl Default for ManagerConfig {
             require_tpm: false,
             degraded_verdicts: false,
             degraded_ttl_secs: 900,
+            pending_enrollment_ttl_secs: 0,
         }
     }
 }
@@ -117,6 +126,10 @@ impl ManagerConfig {
 
     pub fn degraded_ttl_secs(&self) -> u64 {
         self.degraded_ttl_secs
+    }
+
+    pub fn pending_enrollment_ttl_secs(&self) -> u64 {
+        self.pending_enrollment_ttl_secs
     }
 }
 
@@ -178,6 +191,13 @@ impl ManagerConfigBuilder {
         self
     }
 
+    /// Expire prepared-but-uncommitted enrollments after `secs` (see
+    /// [`VerificationManager::sweep_pending_enrollments`]). `0` disables.
+    pub fn pending_enrollment_ttl_secs(mut self, secs: u64) -> Self {
+        self.config.pending_enrollment_ttl_secs = secs;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ManagerConfig, CoreError> {
         let c = &self.config;
@@ -208,6 +228,12 @@ impl ManagerConfigBuilder {
             return Err(CoreError::InvalidConfig(format!(
                 "degraded_ttl_secs ({}) exceeds credential_validity_secs ({})",
                 c.degraded_ttl_secs, c.credential_validity_secs
+            )));
+        }
+        if c.pending_enrollment_ttl_secs > c.credential_validity_secs {
+            return Err(CoreError::InvalidConfig(format!(
+                "pending_enrollment_ttl_secs ({}) exceeds credential_validity_secs ({})",
+                c.pending_enrollment_ttl_secs, c.credential_validity_secs
             )));
         }
         Ok(self.config)
@@ -280,6 +306,9 @@ struct ManagerMetrics {
     degraded_verdicts: Counter,
     revocations: Counter,
     certificates_issued: Counter,
+    recoveries: Counter,
+    recovered_orphans: Counter,
+    wal_records: Counter,
     host_attestation_micros: Histogram,
     enrollment_micros: Histogram,
 }
@@ -297,11 +326,46 @@ impl ManagerMetrics {
             degraded_verdicts: telemetry.counter("vnfguard_core_degraded_verdicts_total"),
             revocations: telemetry.counter("vnfguard_core_revocations_total"),
             certificates_issued: telemetry.counter("vnfguard_core_certificates_issued_total"),
+            recoveries: telemetry.counter("vnfguard_core_recoveries_total"),
+            recovered_orphans: telemetry.counter("vnfguard_core_recovery_orphans_total"),
+            wal_records: telemetry.counter("vnfguard_core_wal_records_total"),
             host_attestation_micros: telemetry.histogram("vnfguard_core_host_attestation_micros"),
             enrollment_micros: telemetry.histogram("vnfguard_core_enrollment_micros"),
         }
     }
 }
+
+/// What a [`VerificationManager::recover`] pass reconstructed and repaired.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// When the recovery ran.
+    pub at: u64,
+    /// Manager incarnation number (previous generation + 1).
+    pub generation: u64,
+    /// Whether a compacted snapshot seeded the replay.
+    pub from_snapshot: bool,
+    /// Whether a torn or corrupt log tail was dropped. Dropped records were
+    /// never acknowledged, so this is informational, not a loss.
+    pub truncated_tail: bool,
+    /// Log records applied on top of the snapshot.
+    pub replayed_records: u64,
+    /// Committed enrollments restored into the live manager.
+    pub enrollments_restored: usize,
+    /// In-grace pending enrollments restored (still awaiting commit/abort).
+    pub pending_restored: usize,
+    /// Revocation-registry entries re-applied to the CA.
+    pub revocations_restored: usize,
+    /// Orphaned pending enrollments aborted and revoked by this pass.
+    pub orphans_aborted: usize,
+    /// Undelivered revocation notices handed back to the notifier.
+    pub notices_requeued: usize,
+}
+
+/// Grace period applied to pending enrollments during recovery when the
+/// config does not set `pending_enrollment_ttl_secs`: a prepare younger
+/// than this may still be awaiting its commit, so it is restored as
+/// pending rather than aborted.
+pub const DEFAULT_ORPHAN_GRACE_SECS: u64 = 300;
 
 /// The Verification Manager (Figure 1, center).
 ///
@@ -329,6 +393,16 @@ pub struct VerificationManager {
     /// The HMAC key the paper has the VM generate (used to authenticate
     /// VM-originated notifications to hosts).
     hmac_key: [u8; 32],
+    /// Sealed write-ahead log; `None` runs the manager volatile (the
+    /// paper's original posture).
+    store: Option<StateStore>,
+    /// Crash-point injection schedule (tests only in practice).
+    crash_plan: Option<CrashPlan>,
+    /// Set once a crash point fires: the site name. A crashed manager
+    /// refuses every further workflow call.
+    crashed: Option<String>,
+    /// Outcome of the recovery pass that produced this incarnation.
+    last_recovery: Option<RecoveryReport>,
 }
 
 impl VerificationManager {
@@ -369,7 +443,24 @@ impl VerificationManager {
             telemetry,
             metrics,
             hmac_key,
+            store: None,
+            crash_plan: None,
+            crashed: None,
+            last_recovery: None,
         }
+    }
+
+    /// Attach a sealed state store: from here on every state transition is
+    /// journaled before the operation is acknowledged (WAL-before-response).
+    pub fn with_store(mut self, store: StateStore) -> VerificationManager {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attach a crash-injection plan evaluated at each named crash point.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> VerificationManager {
+        self.crash_plan = Some(plan);
+        self
     }
 
     /// The clock this manager reads for all implicit `now` values.
@@ -450,6 +541,68 @@ impl VerificationManager {
 
     fn event(&self, time: u64, kind: &str, detail: &str) {
         self.telemetry.event(time, kind, detail);
+    }
+
+    /// WAL-before-response: seal and append `record`, failing the
+    /// operation if the journal write fails. A no-op without a store.
+    fn journal(&self, record: &WalRecord) -> Result<(), CoreError> {
+        if let Some(store) = &self.store {
+            store.append(record)?;
+            self.metrics.wal_records.inc();
+        }
+        Ok(())
+    }
+
+    /// Journal from a path whose signature cannot surface an error. The
+    /// failure is still audited so an operator sees the durability gap.
+    fn journal_infallible(&self, record: &WalRecord) {
+        if let Err(e) = self.journal(record) {
+            self.event(self.clock.now(), "wal_append_failed", &e.to_string());
+        }
+    }
+
+    /// Evaluate the crash plan at `site`. A firing plan kills the manager:
+    /// the WAL retains whatever was journaled, memory mutations after the
+    /// site never happen, and every later call fails [`CoreError::VmCrashed`].
+    fn crash_point(&mut self, site: &str) -> Result<(), CoreError> {
+        let fired = self
+            .crash_plan
+            .as_ref()
+            .is_some_and(|plan| plan.fires(site));
+        if fired {
+            self.crashed = Some(site.to_string());
+            self.event(self.clock.now(), "vm_crashed", site);
+            return Err(CoreError::VmCrashed(site.to_string()));
+        }
+        Ok(())
+    }
+
+    /// A crashed manager answers nothing until recovered.
+    fn ensure_alive(&self) -> Result<(), CoreError> {
+        match &self.crashed {
+            Some(site) => Err(CoreError::VmCrashed(site.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Occupancy of the attached state store, if any.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// The recovery pass that produced this incarnation, if any.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.last_recovery.as_ref()
+    }
+
+    /// The crash site that killed this manager, if a crash point fired.
+    pub fn crashed_site(&self) -> Option<&str> {
+        self.crashed.as_deref()
+    }
+
+    /// Whether the CA's revocation registry contains `serial`.
+    pub fn credential_is_revoked(&self, serial: u64) -> bool {
+        self.ca.is_revoked(serial)
     }
 
     /// The manager's audit journal (retained events, oldest first).
@@ -684,6 +837,7 @@ impl VerificationManager {
         host_id: &str,
         now: u64,
     ) -> Result<Verdict, CoreError> {
+        self.ensure_alive()?;
         if !self.config.degraded_verdicts {
             return Err(CoreError::ServiceUnavailable(format!(
                 "attestation service unreachable and degraded verdicts are disabled \
@@ -706,6 +860,11 @@ impl VerificationManager {
             )));
         }
         let verdict = record.verdict;
+        self.journal(&WalRecord::DegradedVerdictGranted {
+            host_id: host_id.to_string(),
+            at: now,
+        })?;
+        self.crash_point("degraded.verdict")?;
         self.metrics.degraded_verdicts.inc();
         self.event(
             now,
@@ -868,6 +1027,7 @@ impl VerificationManager {
         controller_cn: &str,
         now: u64,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        self.ensure_alive()?;
         let challenge = self.take_challenge(challenge_id, now)?;
         let ChallengeSubject::Vnf { host_id, vnf_name } = challenge.subject.clone() else {
             return Err(CoreError::BadChallenge(
@@ -948,6 +1108,21 @@ impl VerificationManager {
         let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
         drop(wrap_span);
         let serial = certificate.serial();
+        // WAL-before-response: the issuance and the preparation must be
+        // durable before the serial (the commit token) leaves the manager.
+        self.journal(&WalRecord::CertIssued {
+            serial,
+            subject: vnf_name.clone(),
+            at: now,
+        })?;
+        self.journal(&WalRecord::EnrollmentPrepared {
+            serial,
+            vnf_name: vnf_name.clone(),
+            host_id: host_id.clone(),
+            mrenclave: *body.mrenclave.as_bytes(),
+            at: now,
+        })?;
+        self.crash_point("enrollment.prepare")?;
         self.pending_enrollments.insert(
             serial,
             PendingEnrollment {
@@ -971,6 +1146,14 @@ impl VerificationManager {
     /// Explicit-time shim for
     /// [`commit_vnf_enrollment`](Self::commit_vnf_enrollment).
     pub fn commit_vnf_enrollment_at(&mut self, serial: u64, now: u64) -> Result<(), CoreError> {
+        self.ensure_alive()?;
+        if !self.pending_enrollments.contains_key(&serial) {
+            return Err(CoreError::WorkflowViolation(format!(
+                "no pending enrollment with serial {serial}"
+            )));
+        }
+        self.journal(&WalRecord::EnrollmentCommitted { serial, at: now })?;
+        self.crash_point("enrollment.commit")?;
         let pending = self.pending_enrollments.remove(&serial).ok_or_else(|| {
             CoreError::WorkflowViolation(format!("no pending enrollment with serial {serial}"))
         })?;
@@ -1011,6 +1194,18 @@ impl VerificationManager {
         reason: &str,
         now: u64,
     ) -> Result<(), CoreError> {
+        self.ensure_alive()?;
+        if !self.pending_enrollments.contains_key(&serial) {
+            return Err(CoreError::WorkflowViolation(format!(
+                "no pending enrollment with serial {serial}"
+            )));
+        }
+        self.journal(&WalRecord::EnrollmentAborted {
+            serial,
+            reason: reason.to_string(),
+            at: now,
+        })?;
+        self.crash_point("enrollment.abort")?;
         let pending = self.pending_enrollments.remove(&serial).ok_or_else(|| {
             CoreError::WorkflowViolation(format!("no pending enrollment with serial {serial}"))
         })?;
@@ -1028,6 +1223,194 @@ impl VerificationManager {
     /// Enrollments issued but not yet committed (normally transient).
     pub fn pending_enrollments(&self) -> impl Iterator<Item = &PendingEnrollment> {
         self.pending_enrollments.values()
+    }
+
+    /// Abort every pending enrollment older than the configured
+    /// `pending_enrollment_ttl_secs` — the bound on the otherwise unbounded
+    /// prepare queue. Each expiry revokes the issued serial (the wrapped
+    /// bundle may be in flight somewhere) and counts as an enrollment
+    /// abort. A TTL of `0` disables the sweep. Returns how many expired.
+    pub fn sweep_pending_enrollments(&mut self) -> Result<usize, CoreError> {
+        self.sweep_pending_enrollments_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`sweep_pending_enrollments`](Self::sweep_pending_enrollments).
+    pub fn sweep_pending_enrollments_at(&mut self, now: u64) -> Result<usize, CoreError> {
+        self.ensure_alive()?;
+        let ttl = self.config.pending_enrollment_ttl_secs;
+        if ttl == 0 {
+            return Ok(0);
+        }
+        let stale: Vec<u64> = self
+            .pending_enrollments
+            .values()
+            .filter(|p| now > p.prepared_at.saturating_add(ttl))
+            .map(|p| p.serial)
+            .collect();
+        let mut swept = 0;
+        for serial in stale {
+            self.journal(&WalRecord::EnrollmentAborted {
+                serial,
+                reason: "pending enrollment expired".into(),
+                at: now,
+            })?;
+            self.crash_point("enrollment.expire")?;
+            if let Some(pending) = self.pending_enrollments.remove(&serial) {
+                self.ca
+                    .revoke(serial, RevocationReason::CessationOfOperation, now);
+                self.metrics.enrollment_aborts.inc();
+                self.event(
+                    now,
+                    "enrollment_expired",
+                    &format!("{} serial {serial}", pending.vnf_name),
+                );
+                swept += 1;
+            }
+        }
+        Ok(swept)
+    }
+
+    /// Rebuild a manager from its sealed store after a crash.
+    ///
+    /// The deterministic parts of the manager's identity (CA key, HMAC
+    /// key) re-derive from `seed` exactly as in
+    /// [`with_runtime`](Self::with_runtime); the authority state —
+    /// serials, enrollments, revocations — replays from the snapshot and
+    /// log. The pass then resolves what the crash left dangling:
+    ///
+    /// - committed enrollments and the revocation registry are restored
+    ///   verbatim (nothing acknowledged is ever lost);
+    /// - pending enrollments older than the grace period (the configured
+    ///   pending TTL, else [`DEFAULT_ORPHAN_GRACE_SECS`]) are **aborted**
+    ///   and their serials revoked — their bundles may have crossed the
+    ///   wire, so fail closed — with a revocation notice pushed through
+    ///   `notifier`; younger ones are restored as still-pending;
+    /// - undelivered revocation notices re-enter the notifier's
+    ///   store-and-forward queue.
+    ///
+    /// Host trust records are deliberately *not* restored: attestation
+    /// verdicts are evidence-bound and time-bound, so hosts must re-attest
+    /// to the new incarnation.
+    pub fn recover(
+        config: ManagerConfig,
+        seed: &[u8],
+        clock: SimClock,
+        telemetry: Telemetry,
+        store: StateStore,
+        mut notifier: Option<&mut RevocationNotifier>,
+    ) -> Result<(VerificationManager, RecoveryReport), CoreError> {
+        let replay = store.replay()?;
+        let state = replay.state;
+        state.check_invariants().map_err(CoreError::Store)?;
+        let now = clock.now();
+        let mut vm = VerificationManager::with_runtime(config, seed, clock, telemetry);
+        vm.store = Some(store);
+        let generation = state.generation + 1;
+        // Diverge the DRBG from the dead incarnation: replaying its nonce
+        // and key-seed sequence would reuse challenge nonces.
+        vm.rng.reseed(
+            &[b"recovery generation" as &[u8], &generation.to_be_bytes()].concat(),
+        );
+        vm.ca.restore_issuance(state.max_serial + 1, state.issued);
+        for (serial, (reason, at)) in &state.revoked {
+            vm.ca
+                .revoke(*serial, RevocationReason::from_u8(*reason), *at);
+        }
+        for e in state.enrollments.values() {
+            vm.enrollments.insert(
+                e.serial,
+                EnrollmentRecord {
+                    serial: e.serial,
+                    vnf_name: e.vnf_name.clone(),
+                    host_id: e.host_id.clone(),
+                    mrenclave: Measurement(e.mrenclave),
+                    issued_at: e.issued_at,
+                    revoked: e.revoked,
+                },
+            );
+        }
+        let grace = match vm.config.pending_enrollment_ttl_secs {
+            0 => DEFAULT_ORPHAN_GRACE_SECS,
+            ttl => ttl,
+        };
+        let mut orphans_aborted = 0;
+        let mut pending_restored = 0;
+        for p in state.pending.values() {
+            if now > p.prepared_at.saturating_add(grace) {
+                vm.journal(&WalRecord::EnrollmentAborted {
+                    serial: p.serial,
+                    reason: "orphaned by crash".into(),
+                    at: now,
+                })?;
+                vm.ca
+                    .revoke(p.serial, RevocationReason::CessationOfOperation, now);
+                vm.metrics.enrollment_aborts.inc();
+                vm.metrics.recovered_orphans.inc();
+                vm.event(
+                    now,
+                    "enrollment_rolled_back",
+                    &format!("{} serial {}: orphaned by crash", p.vnf_name, p.serial),
+                );
+                if let Some(n) = notifier.as_deref_mut() {
+                    let tag = vm.hmac_tag(&revocation_message(&p.host_id, p.serial));
+                    n.notify(&p.host_id, p.serial, tag, now);
+                }
+                orphans_aborted += 1;
+            } else {
+                vm.pending_enrollments.insert(
+                    p.serial,
+                    PendingEnrollment {
+                        serial: p.serial,
+                        vnf_name: p.vnf_name.clone(),
+                        host_id: p.host_id.clone(),
+                        mrenclave: Measurement(p.mrenclave),
+                        prepared_at: p.prepared_at,
+                    },
+                );
+                pending_restored += 1;
+            }
+        }
+        let notices_requeued = state.notices.len();
+        if let Some(n) = notifier {
+            n.restore(state.notices.iter().map(|notice| {
+                crate::revocation::PendingNotice {
+                    host_id: notice.host_id.clone(),
+                    serial: notice.serial,
+                    tag: notice.tag,
+                    queued_at: notice.queued_at,
+                    attempts: 0,
+                }
+            }));
+        }
+        vm.journal(&WalRecord::RecoveryCompleted { generation, at: now })?;
+        vm.metrics.recoveries.inc();
+        let report = RecoveryReport {
+            at: now,
+            generation,
+            from_snapshot: replay.from_snapshot,
+            truncated_tail: replay.truncated_tail,
+            replayed_records: replay.replayed_records,
+            enrollments_restored: state.enrollments.len(),
+            pending_restored,
+            revocations_restored: state.revoked.len(),
+            orphans_aborted,
+            notices_requeued,
+        };
+        vm.event(
+            now,
+            "recovery_completed",
+            &format!(
+                "generation {generation}: {} enrollments, {} pending restored, \
+                 {} orphans aborted, {} notices requeued",
+                report.enrollments_restored,
+                report.pending_restored,
+                report.orphans_aborted,
+                report.notices_requeued
+            ),
+        );
+        vm.last_recovery = Some(report.clone());
+        Ok((vm, report))
     }
 
     // ---- Revocation --------------------------------------------------------
@@ -1048,6 +1431,18 @@ impl VerificationManager {
         reason: RevocationReason,
         now: u64,
     ) -> Result<(), CoreError> {
+        self.ensure_alive()?;
+        if !self.enrollments.contains_key(&serial) {
+            return Err(CoreError::WorkflowViolation(format!(
+                "no enrollment with serial {serial}"
+            )));
+        }
+        self.journal(&WalRecord::CredentialRevoked {
+            serial,
+            reason_code: reason.to_u8(),
+            at: now,
+        })?;
+        self.crash_point("revocation.revoke")?;
         let record = self.enrollments.get_mut(&serial).ok_or_else(|| {
             CoreError::WorkflowViolation(format!("no enrollment with serial {serial}"))
         })?;
@@ -1112,7 +1507,7 @@ impl VerificationManager {
         now: u64,
     ) -> Certificate {
         self.metrics.certificates_issued.inc();
-        self.ca.issue(
+        let certificate = self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
             public_key,
             &IssueProfile {
@@ -1121,7 +1516,13 @@ impl VerificationManager {
                 ..IssueProfile::vnf_client([0; 32])
             },
             now,
-        )
+        );
+        self.journal_infallible(&WalRecord::CertIssued {
+            serial: certificate.serial(),
+            subject: cn.to_string(),
+            at: now,
+        });
+        certificate
     }
 
     /// Issue a server certificate (for the controller's TLS identity).
@@ -1142,12 +1543,18 @@ impl VerificationManager {
         now: u64,
     ) -> Certificate {
         self.metrics.certificates_issued.inc();
-        self.ca.issue(
+        let certificate = self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
             public_key,
             &IssueProfile::server(),
             now,
-        )
+        );
+        self.journal_infallible(&WalRecord::CertIssued {
+            serial: certificate.serial(),
+            subject: cn.to_string(),
+            at: now,
+        });
+        certificate
     }
 
     /// Number of credentials issued so far.

@@ -615,6 +615,8 @@ pub fn remote_enroll_vnf(
 /// - `GET  /vm/ca` → `{certificate: b64}`
 /// - `GET  /vm/crl` → `{crl: b64}`
 /// - `GET  /vm/status` → summary counts
+/// - `GET  /vm/recovery` → `{recovered}` plus the last recovery report and
+///   sealed-store occupancy, for operators auditing a crash restart
 /// - `GET  /vm/metrics` → Prometheus text exposition of every registered
 ///   metric in the manager's telemetry bundle
 /// - `GET  /vm/events?since=N` → journal events with `seq > N` (use the
@@ -728,6 +730,37 @@ pub fn serve_vm_api(
                     .with("enrollments", vm.enrollments().count() as i64)
                     .with("events", vm.events().len() as i64),
             ))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/recovery", move |_, _| {
+            let vm = vm.lock();
+            let mut body = Json::object().with("recovered", vm.recovery_report().is_some());
+            if let Some(report) = vm.recovery_report() {
+                body = body
+                    .with("generation", report.generation as i64)
+                    .with("recovered_at", report.at as i64)
+                    .with("from_snapshot", report.from_snapshot)
+                    .with("truncated_tail", report.truncated_tail)
+                    .with("replayed_records", report.replayed_records as i64)
+                    .with("enrollments_restored", report.enrollments_restored as i64)
+                    .with("pending_restored", report.pending_restored as i64)
+                    .with("revocations_restored", report.revocations_restored as i64)
+                    .with("orphans_aborted", report.orphans_aborted as i64)
+                    .with("notices_requeued", report.notices_requeued as i64);
+            }
+            if let Some(stats) = vm.store_stats() {
+                body = body.with(
+                    "store",
+                    Json::object()
+                        .with("log_frames", stats.log_frames as i64)
+                        .with("log_bytes", stats.log_bytes as i64)
+                        .with("compactions", stats.compactions as i64)
+                        .with("has_snapshot", stats.has_snapshot),
+                );
+            }
+            Ok(Response::json(Status::Ok, &body))
         });
     }
     {

@@ -12,6 +12,8 @@ use std::time::Duration;
 use vnfguard_encoding::{base64, Json};
 use vnfguard_net::fabric::Network;
 use vnfguard_net::http::Request;
+use vnfguard_store::{StateStore, WalRecord};
+use vnfguard_telemetry::Telemetry;
 
 /// Read deadline for a notification round-trip to an agent.
 const NOTIFY_READ_TIMEOUT: Duration = Duration::from_millis(750);
@@ -31,11 +33,32 @@ pub struct PendingNotice {
     pub attempts: u32,
 }
 
+/// A revocation notice that reached its agent, with the delivery time the
+/// drain pass actually recorded (previously the drain timestamp was
+/// accepted and ignored, leaving the audit trail without delivery times).
+#[derive(Debug, Clone)]
+pub struct DeliveredNotice {
+    pub host_id: String,
+    pub serial: u64,
+    /// When the notice was first queued (equals `delivered_at` for
+    /// immediate deliveries).
+    pub queued_at: u64,
+    /// When delivery actually succeeded.
+    pub delivered_at: u64,
+    /// Delivery attempts including the successful one.
+    pub attempts: u32,
+}
+
 /// Delivers revocation notices to host agents, queueing any that fail.
 pub struct RevocationNotifier {
     network: Network,
     origin: String,
     queue: Vec<PendingNotice>,
+    delivered: Vec<DeliveredNotice>,
+    /// Journal queue/delivery transitions so recovery can resume
+    /// store-and-forward where the dead incarnation left it.
+    store: Option<StateStore>,
+    telemetry: Telemetry,
 }
 
 impl RevocationNotifier {
@@ -44,6 +67,29 @@ impl RevocationNotifier {
             network: network.clone(),
             origin: "vm".to_string(),
             queue: Vec::new(),
+            delivered: Vec::new(),
+            store: None,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Journal notice transitions into the manager's sealed WAL.
+    pub fn with_store(mut self, store: StateStore) -> RevocationNotifier {
+        self.store = Some(store);
+        self
+    }
+
+    /// Emit delivery events into the deployment's telemetry journal.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> RevocationNotifier {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Best-effort WAL append: a notifier journaling failure must not turn
+    /// a successful delivery into an error (the agent already acted on it).
+    fn journal(&self, record: &WalRecord) {
+        if let Some(store) = &self.store {
+            let _ = store.append(record);
         }
     }
 
@@ -72,8 +118,38 @@ impl RevocationNotifier {
     /// [`drain`](Self::drain). Returns `true` if delivered immediately.
     pub fn notify(&mut self, host_id: &str, serial: u64, tag: [u8; 32], at: u64) -> bool {
         match self.deliver_once(host_id, serial, &tag) {
-            Ok(()) => true,
+            Ok(()) => {
+                self.journal(&WalRecord::RevocationDelivered {
+                    host_id: host_id.to_string(),
+                    serial,
+                    at,
+                });
+                self.telemetry.event(
+                    at,
+                    "revocation_delivered",
+                    &format!("{host_id} serial {serial} (immediate)"),
+                );
+                self.delivered.push(DeliveredNotice {
+                    host_id: host_id.to_string(),
+                    serial,
+                    queued_at: at,
+                    delivered_at: at,
+                    attempts: 1,
+                });
+                true
+            }
             Err(_) => {
+                self.journal(&WalRecord::RevocationQueued {
+                    host_id: host_id.to_string(),
+                    serial,
+                    tag,
+                    at,
+                });
+                self.telemetry.event(
+                    at,
+                    "revocation_queued",
+                    &format!("{host_id} serial {serial}"),
+                );
                 self.queue.push(PendingNotice {
                     host_id: host_id.to_string(),
                     serial,
@@ -86,14 +162,40 @@ impl RevocationNotifier {
         }
     }
 
-    /// Retry every queued notice; delivered ones leave the queue. Returns
-    /// the number delivered in this pass.
-    pub fn drain(&mut self, _at: u64) -> usize {
+    /// Retry every queued notice at time `at`; delivered ones leave the
+    /// queue with their delivery time recorded in the
+    /// [`delivery_log`](Self::delivery_log). Returns the number delivered
+    /// in this pass.
+    pub fn drain(&mut self, at: u64) -> usize {
         let mut remaining = Vec::new();
         let mut delivered = 0;
         for mut notice in std::mem::take(&mut self.queue) {
             match self.deliver_once(&notice.host_id, notice.serial, &notice.tag) {
-                Ok(()) => delivered += 1,
+                Ok(()) => {
+                    self.journal(&WalRecord::RevocationDelivered {
+                        host_id: notice.host_id.clone(),
+                        serial: notice.serial,
+                        at,
+                    });
+                    self.telemetry.event(
+                        at,
+                        "revocation_delivered",
+                        &format!(
+                            "{} serial {} after {} attempts",
+                            notice.host_id,
+                            notice.serial,
+                            notice.attempts + 1
+                        ),
+                    );
+                    self.delivered.push(DeliveredNotice {
+                        host_id: notice.host_id,
+                        serial: notice.serial,
+                        queued_at: notice.queued_at,
+                        delivered_at: at,
+                        attempts: notice.attempts + 1,
+                    });
+                    delivered += 1;
+                }
                 Err(_) => {
                     notice.attempts += 1;
                     remaining.push(notice);
@@ -104,9 +206,28 @@ impl RevocationNotifier {
         delivered
     }
 
+    /// Re-enter recovered notices into the store-and-forward queue,
+    /// skipping any (host, serial) pair already queued.
+    pub fn restore(&mut self, notices: impl IntoIterator<Item = PendingNotice>) {
+        for notice in notices {
+            if !self
+                .queue
+                .iter()
+                .any(|n| n.host_id == notice.host_id && n.serial == notice.serial)
+            {
+                self.queue.push(notice);
+            }
+        }
+    }
+
     /// Notices still awaiting delivery.
     pub fn pending(&self) -> &[PendingNotice] {
         &self.queue
+    }
+
+    /// Every successful delivery, in order, with recorded delivery times.
+    pub fn delivery_log(&self) -> &[DeliveredNotice] {
+        &self.delivered
     }
 }
 

@@ -155,6 +155,15 @@ impl CertificateAuthority {
         self.revoked.contains_key(&serial)
     }
 
+    /// Restore issuance continuity after a crash-recovery replay: the next
+    /// serial to mint and the lifetime issued count. Serial allocation
+    /// never moves backwards — a recovered CA must not re-mint a serial a
+    /// previous incarnation already signed.
+    pub fn restore_issuance(&mut self, next_serial: u64, issued: u64) {
+        self.next_serial = self.next_serial.max(next_serial);
+        self.issued = self.issued.max(issued);
+    }
+
     /// Produce a freshly signed CRL valid until `now + lifetime_secs`.
     pub fn current_crl(&self, now: u64, lifetime_secs: u64) -> Crl {
         Crl::build(

@@ -37,7 +37,9 @@ pub enum RevocationReason {
 }
 
 impl RevocationReason {
-    fn to_u8(self) -> u8 {
+    /// Stable wire code for this reason (CRL entries and the manager's
+    /// write-ahead log share this encoding).
+    pub fn to_u8(self) -> u8 {
         match self {
             RevocationReason::KeyCompromise => 1,
             RevocationReason::PlatformCompromise => 2,
@@ -47,7 +49,8 @@ impl RevocationReason {
         }
     }
 
-    fn from_u8(v: u8) -> RevocationReason {
+    /// Decode a wire code; unknown values map to `Unspecified`.
+    pub fn from_u8(v: u8) -> RevocationReason {
         match v {
             1 => RevocationReason::KeyCompromise,
             2 => RevocationReason::PlatformCompromise,

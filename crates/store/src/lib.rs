@@ -1,0 +1,316 @@
+//! # vnfguard-store
+//!
+//! Crash-fault tolerance for the Verification Manager: a sealed,
+//! checksummed, append-only write-ahead log of manager state transitions
+//! plus periodically compacted snapshots.
+//!
+//! The paper keeps the manager's authority state — issued serials,
+//! enrollments, revocations — implicit and volatile; a VM crash would
+//! silently forget certificates it signed and enrollments it half
+//! completed. This crate supplies the missing durability layer with the
+//! same trust posture the paper applies to VNF credentials: state only
+//! ever touches host storage **sealed to the VM's own enclave identity**
+//! (see [`vault::StateVault`]), and recovery replays it only where the
+//! identical vault enclave can re-derive the seal keys.
+//!
+//! Layout:
+//!
+//! - [`wal::Media`] — the durable medium (snapshot slot + framed log) that
+//!   survives a crash, with torn-write and bit-rot fault hooks;
+//! - [`record::WalRecord`] — one journaled state transition;
+//!   [`record::ManagerState`] — the aggregate replay target, which doubles
+//!   as the snapshot payload;
+//! - [`vault::StateVault`] — the sealing enclave;
+//! - [`StateStore`] — the handle the manager journals through:
+//!   WAL-before-response appends, threshold-driven compaction, and
+//!   [`StateStore::replay`] for recovery.
+
+pub mod record;
+pub mod vault;
+pub mod wal;
+
+pub use record::{EnrollmentEntry, ManagerState, NoticeEntry, PendingEntry, WalRecord};
+pub use vault::{PayloadKind, StateVault};
+pub use wal::Media;
+
+use std::sync::Arc;
+
+/// Errors from the durability layer.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Sealing or unsealing failed — wrong platform, wrong vault build, or
+    /// a tampered blob. Unlike a torn tail this is not survivable: the
+    /// medium's content cannot be trusted.
+    Sealing(String),
+    /// The medium's structure is invalid beyond the tolerated torn tail.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Sealing(msg) => write!(f, "sealing: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<vnfguard_sgx::SgxError> for StoreError {
+    fn from(e: vnfguard_sgx::SgxError) -> StoreError {
+        StoreError::Sealing(e.to_string())
+    }
+}
+
+impl From<vnfguard_encoding::EncodingError> for StoreError {
+    fn from(e: vnfguard_encoding::EncodingError) -> StoreError {
+        StoreError::Corrupt(e.to_string())
+    }
+}
+
+/// Outcome of a [`StateStore::replay`].
+#[derive(Debug, Clone)]
+pub struct Replay {
+    /// The reconstructed aggregate state.
+    pub state: ManagerState,
+    /// Log records applied on top of the snapshot (not counting the
+    /// snapshot itself).
+    pub replayed_records: u64,
+    /// Whether a snapshot seeded the replay.
+    pub from_snapshot: bool,
+    /// Whether a torn or corrupt tail was dropped.
+    pub truncated_tail: bool,
+    /// Bytes the tail truncation discarded.
+    pub dropped_bytes: usize,
+}
+
+/// Occupancy counters for operator surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    pub log_frames: u64,
+    pub log_bytes: usize,
+    pub compactions: u64,
+    pub has_snapshot: bool,
+}
+
+/// The manager's journaling handle: sealed appends, compaction, replay.
+///
+/// Clones share the media and the vault, so the manager and the
+/// revocation notifier journal into the same log.
+#[derive(Clone)]
+pub struct StateStore {
+    media: Media,
+    vault: Arc<StateVault>,
+    /// Auto-compact once the log holds this many frames (`None`: manual).
+    compact_every: Option<u64>,
+}
+
+impl StateStore {
+    pub fn new(media: Media, vault: StateVault) -> StateStore {
+        StateStore {
+            media,
+            vault: Arc::new(vault),
+            compact_every: None,
+        }
+    }
+
+    /// Enable threshold compaction: after an append brings the log to
+    /// `frames` frames, fold it into a fresh sealed snapshot. `0` disables.
+    pub fn with_compaction(mut self, frames: u64) -> StateStore {
+        self.compact_every = (frames > 0).then_some(frames);
+        self
+    }
+
+    /// Seal `record` and append it to the log — the WAL-before-response
+    /// step. Returns only once the frame is on the medium.
+    pub fn append(&self, record: &WalRecord) -> Result<(), StoreError> {
+        let sealed = self.vault.seal(PayloadKind::Record, &record.encode())?;
+        self.media.append_frame(&sealed);
+        if let Some(every) = self.compact_every {
+            if self.media.frame_count() >= every {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold snapshot + log into a new sealed snapshot and truncate the
+    /// log. Returns the number of log records folded in.
+    pub fn compact(&self) -> Result<u64, StoreError> {
+        let replay = self.replay()?;
+        let sealed = self
+            .vault
+            .seal(PayloadKind::Snapshot, &replay.state.encode())?;
+        self.media.install_snapshot(sealed);
+        Ok(replay.replayed_records)
+    }
+
+    /// Reconstruct the aggregate state: unseal the snapshot (if present),
+    /// then apply every intact log record. A torn or corrupt *tail* is
+    /// dropped (those records were never acknowledged); an unsealable
+    /// intact frame is a hard error (the media passed its checksums, so
+    /// the blob was written by someone else's keys).
+    pub fn replay(&self) -> Result<Replay, StoreError> {
+        let mut state = ManagerState::default();
+        let from_snapshot = match self.media.snapshot() {
+            Some(blob) => {
+                let plaintext = self.vault.unseal(PayloadKind::Snapshot, &blob)?;
+                state = ManagerState::decode(&plaintext)?;
+                true
+            }
+            None => false,
+        };
+        let log = self.media.log();
+        let parsed = wal::parse_log(&log);
+        let mut replayed = 0;
+        for frame in &parsed.frames {
+            let plaintext = self.vault.unseal(PayloadKind::Record, frame)?;
+            state.apply(&WalRecord::decode(&plaintext)?);
+            replayed += 1;
+        }
+        Ok(Replay {
+            state,
+            replayed_records: replayed,
+            from_snapshot,
+            truncated_tail: parsed.truncated,
+            dropped_bytes: parsed.dropped_bytes,
+        })
+    }
+
+    /// The backing medium (for crash tests and occupancy surfaces).
+    pub fn media(&self) -> &Media {
+        &self.media
+    }
+
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            log_frames: self.media.frame_count(),
+            log_bytes: self.media.log_bytes(),
+            compactions: self.media.compactions(),
+            has_snapshot: self.media.has_snapshot(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateStore")
+            .field("stats", &self.stats())
+            .field("compact_every", &self.compact_every)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnfguard_sgx::platform::SgxPlatform;
+    use vnfguard_sgx::sigstruct::EnclaveAuthor;
+
+    fn store_on(platform: &SgxPlatform, media: Media) -> StateStore {
+        let vault = StateVault::load(platform, &EnclaveAuthor::from_seed(&[9; 32])).unwrap();
+        StateStore::new(media, vault)
+    }
+
+    fn issue_and_commit(store: &StateStore, serial: u64, at: u64) {
+        store
+            .append(&WalRecord::CertIssued {
+                serial,
+                subject: format!("vnf-{serial}"),
+                at,
+            })
+            .unwrap();
+        store
+            .append(&WalRecord::EnrollmentPrepared {
+                serial,
+                vnf_name: format!("vnf-{serial}"),
+                host_id: "host-0".into(),
+                mrenclave: [1; 32],
+                at,
+            })
+            .unwrap();
+        store
+            .append(&WalRecord::EnrollmentCommitted { serial, at: at + 1 })
+            .unwrap();
+    }
+
+    #[test]
+    fn replay_after_simulated_crash() {
+        let platform = SgxPlatform::new(b"vm");
+        let media = Media::new();
+        {
+            let store = store_on(&platform, media.clone());
+            issue_and_commit(&store, 2, 100);
+            issue_and_commit(&store, 3, 200);
+        } // crash: the store (and its vault) are gone; the media survives
+        let revived = store_on(&platform, media);
+        let replay = revived.replay().unwrap();
+        assert_eq!(replay.replayed_records, 6);
+        assert!(!replay.from_snapshot);
+        assert_eq!(replay.state.enrollments.len(), 2);
+        assert_eq!(replay.state.max_serial, 3);
+        replay.state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_replay_result() {
+        let platform = SgxPlatform::new(b"vm");
+        let plain = store_on(&platform, Media::new());
+        let compacted = store_on(&platform, Media::new());
+        for serial in 2..8 {
+            issue_and_commit(&plain, serial, serial * 10);
+            issue_and_commit(&compacted, serial, serial * 10);
+        }
+        compacted.compact().unwrap();
+        issue_and_commit(&plain, 8, 80);
+        issue_and_commit(&compacted, 8, 80);
+        let a = plain.replay().unwrap();
+        let b = compacted.replay().unwrap();
+        assert_eq!(a.state, b.state, "snapshot+log must equal full replay");
+        assert!(b.from_snapshot);
+        assert_eq!(b.replayed_records, 3, "only the post-snapshot records");
+    }
+
+    #[test]
+    fn threshold_compaction_fires_on_append() {
+        let platform = SgxPlatform::new(b"vm");
+        let store = store_on(&platform, Media::new()).with_compaction(4);
+        issue_and_commit(&store, 2, 10); // 3 frames
+        assert_eq!(store.stats().compactions, 0);
+        issue_and_commit(&store, 3, 20); // crosses 4 → compacts
+        assert!(store.stats().compactions >= 1);
+        assert!(store.stats().has_snapshot);
+        let replay = store.replay().unwrap();
+        assert_eq!(replay.state.enrollments.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_is_survivable_corrupt_body_is_not_lost() {
+        let platform = SgxPlatform::new(b"vm");
+        let media = Media::new();
+        let store = store_on(&platform, media.clone());
+        issue_and_commit(&store, 2, 10);
+        store
+            .append(&WalRecord::CredentialRevoked {
+                serial: 2,
+                reason_code: 1,
+                at: 20,
+            })
+            .unwrap();
+        media.tear_tail(5);
+        let replay = store.replay().unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.replayed_records, 3, "torn revocation dropped");
+        assert!(!replay.state.enrollments[&2].revoked);
+    }
+
+    #[test]
+    fn foreign_platform_cannot_replay() {
+        let media = Media::new();
+        let store = store_on(&SgxPlatform::new(b"vm"), media.clone());
+        issue_and_commit(&store, 2, 10);
+        let thief = store_on(&SgxPlatform::new(b"exfil target"), media);
+        assert!(matches!(thief.replay(), Err(StoreError::Sealing(_))));
+    }
+}

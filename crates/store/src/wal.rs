@@ -1,0 +1,287 @@
+//! The durable medium and its checksummed frame format.
+//!
+//! [`Media`] models the block device (or host file) backing the manager's
+//! write-ahead log. It survives a VM crash — clones share the same bytes —
+//! but it is *host-visible* storage: everything written to it is a sealed
+//! blob produced by the [`vault`](crate::vault), never plaintext state.
+//!
+//! The log region is a byte stream of frames:
+//!
+//! ```text
+//! ┌──────┬───────────┬───────────────┬────────────┐
+//! │ 0xA5 │ len (u32) │ payload bytes │ crc32 (u32)│
+//! └──────┴───────────┴───────────────┴────────────┘
+//! ```
+//!
+//! The CRC covers the payload. Replay walks frames front to back and stops
+//! at the first frame that is incomplete or fails its checksum — the
+//! torn-tail rule: a crash mid-append may leave a partial final frame, and
+//! that frame's record simply never happened (its response was never sent,
+//! so nothing observable is lost).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Frame marker byte; a cheap misalignment detector.
+const FRAME_MAGIC: u8 = 0xA5;
+/// Magic + length prefix.
+const FRAME_HEADER: usize = 5;
+/// Trailing checksum.
+const FRAME_TRAILER: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[derive(Default)]
+struct MediaInner {
+    /// The latest compacted snapshot (a sealed blob), if any.
+    snapshot: Option<Vec<u8>>,
+    /// Frames appended since the snapshot.
+    log: Vec<u8>,
+    /// Frames appended since the snapshot (not adjusted by `tear_tail`).
+    frames: u64,
+    /// Snapshot installations over the media's lifetime.
+    compactions: u64,
+}
+
+/// Durable storage shared across VM incarnations.
+///
+/// Cloning is shallow: every clone reads and writes the same underlying
+/// bytes, which is how a recovered manager finds the log its predecessor
+/// wrote. Fault hooks ([`tear_tail`](Media::tear_tail),
+/// [`corrupt_byte`](Media::corrupt_byte)) simulate interrupted or bit-rotted
+/// writes for the crash matrix.
+#[derive(Clone, Default)]
+pub struct Media {
+    inner: Arc<Mutex<MediaInner>>,
+}
+
+impl Media {
+    pub fn new() -> Media {
+        Media::default()
+    }
+
+    /// Append one frame around `payload`.
+    pub fn append_frame(&self, payload: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.log.push(FRAME_MAGIC);
+        inner
+            .log
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        inner.log.extend_from_slice(payload);
+        inner.log.extend_from_slice(&crc32(payload).to_be_bytes());
+        inner.frames += 1;
+    }
+
+    /// Replace the snapshot region and truncate the log (compaction).
+    pub fn install_snapshot(&self, sealed: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        inner.snapshot = Some(sealed);
+        inner.log.clear();
+        inner.frames = 0;
+        inner.compactions += 1;
+    }
+
+    /// The current snapshot blob, if one was installed.
+    pub fn snapshot(&self) -> Option<Vec<u8>> {
+        self.inner.lock().snapshot.clone()
+    }
+
+    /// A copy of the raw log bytes.
+    pub fn log(&self) -> Vec<u8> {
+        self.inner.lock().log.clone()
+    }
+
+    /// Frames appended since the last snapshot.
+    pub fn frame_count(&self) -> u64 {
+        self.inner.lock().frames
+    }
+
+    /// Raw size of the log region.
+    pub fn log_bytes(&self) -> usize {
+        self.inner.lock().log.len()
+    }
+
+    /// Snapshot installations so far.
+    pub fn compactions(&self) -> u64 {
+        self.inner.lock().compactions
+    }
+
+    pub fn has_snapshot(&self) -> bool {
+        self.inner.lock().snapshot.is_some()
+    }
+
+    /// An independent deep copy: identical bytes now, divergent writes
+    /// after. Recovery benchmarks fork one pre-built log so repeated
+    /// cold starts never see each other's `RecoveryCompleted` appends.
+    pub fn fork(&self) -> Media {
+        let inner = self.inner.lock();
+        Media {
+            inner: Arc::new(Mutex::new(MediaInner {
+                snapshot: inner.snapshot.clone(),
+                log: inner.log.clone(),
+                frames: inner.frames,
+                compactions: inner.compactions,
+            })),
+        }
+    }
+
+    /// Simulate a torn write: drop the final `bytes` of the log, as if the
+    /// crash interrupted the last append mid-flight.
+    pub fn tear_tail(&self, bytes: usize) {
+        let mut inner = self.inner.lock();
+        let len = inner.log.len();
+        inner.log.truncate(len.saturating_sub(bytes));
+    }
+
+    /// Simulate bit rot: flip one bit of the log at `offset`.
+    pub fn corrupt_byte(&self, offset: usize) {
+        let mut inner = self.inner.lock();
+        if let Some(byte) = inner.log.get_mut(offset) {
+            *byte ^= 0x01;
+        }
+    }
+}
+
+impl std::fmt::Debug for Media {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Media")
+            .field("log_bytes", &inner.log.len())
+            .field("frames", &inner.frames)
+            .field("snapshot", &inner.snapshot.as_ref().map(Vec::len))
+            .field("compactions", &inner.compactions)
+            .finish()
+    }
+}
+
+/// Result of walking a log region.
+pub(crate) struct ParsedLog {
+    /// Payloads of every frame with a valid header and checksum, in order.
+    pub frames: Vec<Vec<u8>>,
+    /// True when trailing bytes were dropped (torn or corrupt tail).
+    pub truncated: bool,
+    /// How many bytes the truncation discarded.
+    pub dropped_bytes: usize,
+}
+
+/// Walk `log` front to back, stopping at the first incomplete or
+/// checksum-failing frame.
+pub(crate) fn parse_log(log: &[u8]) -> ParsedLog {
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    while pos < log.len() {
+        let rest = &log[pos..];
+        if rest.len() < FRAME_HEADER + FRAME_TRAILER || rest[0] != FRAME_MAGIC {
+            break;
+        }
+        let len = u32::from_be_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
+        let total = FRAME_HEADER + len + FRAME_TRAILER;
+        if rest.len() < total {
+            break;
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let stored = u32::from_be_bytes(
+            rest[FRAME_HEADER + len..total].try_into().expect("4 bytes"),
+        );
+        if crc32(payload) != stored {
+            break;
+        }
+        frames.push(payload.to_vec());
+        pos += total;
+    }
+    ParsedLog {
+        frames,
+        truncated: pos < log.len(),
+        dropped_bytes: log.len() - pos,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_roundtrip_in_order() {
+        let media = Media::new();
+        media.append_frame(b"one");
+        media.append_frame(b"two");
+        media.append_frame(&[]);
+        let parsed = parse_log(&media.log());
+        assert_eq!(parsed.frames, vec![b"one".to_vec(), b"two".to_vec(), vec![]]);
+        assert!(!parsed.truncated);
+        assert_eq!(media.frame_count(), 3);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_last_frame() {
+        let media = Media::new();
+        media.append_frame(b"keep me");
+        media.append_frame(b"torn away");
+        media.tear_tail(3);
+        let parsed = parse_log(&media.log());
+        assert_eq!(parsed.frames, vec![b"keep me".to_vec()]);
+        assert!(parsed.truncated);
+        assert!(parsed.dropped_bytes > 0);
+    }
+
+    #[test]
+    fn checksum_failure_stops_replay() {
+        let media = Media::new();
+        media.append_frame(b"good");
+        media.append_frame(b"flipped");
+        // Corrupt a payload byte of the second frame.
+        let first_total = FRAME_HEADER + 4 + FRAME_TRAILER;
+        media.corrupt_byte(first_total + FRAME_HEADER);
+        let parsed = parse_log(&media.log());
+        assert_eq!(parsed.frames, vec![b"good".to_vec()]);
+        assert!(parsed.truncated);
+    }
+
+    #[test]
+    fn snapshot_truncates_log() {
+        let media = Media::new();
+        media.append_frame(b"folded");
+        media.install_snapshot(b"sealed snapshot".to_vec());
+        assert_eq!(media.frame_count(), 0);
+        assert_eq!(media.log_bytes(), 0);
+        assert_eq!(media.compactions(), 1);
+        assert_eq!(media.snapshot().unwrap(), b"sealed snapshot");
+    }
+
+    #[test]
+    fn forks_diverge() {
+        let a = Media::new();
+        a.append_frame(b"shared history");
+        let b = a.fork();
+        a.append_frame(b"a only");
+        assert_eq!(a.frame_count(), 2);
+        assert_eq!(b.frame_count(), 1);
+        assert_eq!(parse_log(&b.log()).frames, vec![b"shared history".to_vec()]);
+    }
+
+    #[test]
+    fn clones_share_bytes() {
+        let a = Media::new();
+        let b = a.clone();
+        a.append_frame(b"written by a");
+        assert_eq!(b.frame_count(), 1);
+    }
+}

@@ -27,6 +27,7 @@
 //! - [`container`] — images, registry and the container host
 //! - [`controller`] — the Floodlight-model SDN controller
 //! - [`vnf`] — the VNF framework and credential enclave
+//! - [`store`] — the sealed write-ahead log behind the Verification Manager
 //! - [`core`] — the Verification Manager (the paper's contribution)
 //! - [`telemetry`] — spans, metrics and the event journal
 
@@ -41,6 +42,7 @@ pub use vnfguard_ima as ima;
 pub use vnfguard_net as net;
 pub use vnfguard_pki as pki;
 pub use vnfguard_sgx as sgx;
+pub use vnfguard_store as store;
 pub use vnfguard_telemetry as telemetry;
 pub use vnfguard_tls as tls;
 pub use vnfguard_vnf as vnf;

@@ -1,0 +1,410 @@
+//! Crash-fault tolerance chaos matrix.
+//!
+//! A durable testbed runs the Figure 1 workflow while a seeded
+//! [`CrashPlan`] kills the Verification Manager at WAL-adjacent injection
+//! sites. After every crash the testbed restarts the manager from the
+//! sealed snapshot + log ([`Testbed::recover_vm`]) and the scenario keeps
+//! going. The crash-consistency contract checked for every seed:
+//!
+//! - **no acknowledged enrollment is lost** — a certificate handed to the
+//!   caller survives any later crash;
+//! - **every orphaned prepare is eventually revoked** — a serial issued by
+//!   a dead incarnation either completes or ends up on the CRL;
+//! - **no serial is both active and revoked** — the in-memory `revoked`
+//!   flag and the CA agree at all times;
+//! - **every issued leaf serial is accounted for** — enrolled, revoked, or
+//!   the controller's own server certificate; nothing leaks.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use vnfguard::core::crash::CrashPlan;
+use vnfguard::core::deployment::{Testbed, TestbedBuilder};
+use vnfguard::core::remote::serve_vm_api;
+use vnfguard::core::CoreError;
+use vnfguard::encoding::Json;
+use vnfguard::ias::QuoteVerifier;
+use vnfguard::net::http::Request;
+use vnfguard::net::server::HttpClient;
+use vnfguard::pki::crl::RevocationReason;
+
+/// How long a prepared enrollment may sit uncommitted before the sweep (or
+/// a recovery past the grace window) aborts it.
+const PENDING_TTL: u64 = 600;
+
+/// Enrollments driven to acknowledged completion per seed.
+const VNFS_PER_SEED: usize = 5;
+
+struct Outcome {
+    committed: BTreeSet<u64>,
+    crashes: usize,
+    recoveries: usize,
+}
+
+/// One full chaos scenario: enroll [`VNFS_PER_SEED`] VNFs and revoke half,
+/// riding out every injected crash via recovery, then age and sweep the
+/// orphans and check the consistency contract.
+fn run_crash_scenario(seed: u64) -> Outcome {
+    let plan = CrashPlan::seeded(seed);
+    plan.crash_with_probability("enrollment.prepare", 0.20)
+        .crash_with_probability("enrollment.commit", 0.20)
+        .crash_with_probability("revocation.revoke", 0.25)
+        .crash_with_probability("enrollment.expire", 0.20);
+    let mut tb = TestbedBuilder::new(format!("crash matrix {seed}").as_bytes())
+        .durable()
+        // Half the seeds recover through a snapshot, half replay the
+        // full log from frame zero.
+        .wal_compaction(if seed.is_multiple_of(2) { 6 } else { 0 })
+        .crash_plan(plan.clone())
+        .pending_enrollment_ttl(PENDING_TTL)
+        .build();
+    tb.attest_host(0).unwrap();
+
+    let mut committed = BTreeSet::new();
+    let mut crashes = 0;
+    let mut recoveries = 0;
+
+    // Phase 1: enroll until every VNF holds an acknowledged certificate.
+    for i in 0..VNFS_PER_SEED {
+        let name = format!("vnf-{i}");
+        let guard = tb.deploy_guard(0, &name, 1).unwrap();
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts <= 24, "seed {seed}: enrollment of {name} livelocked");
+            match tb.enroll(0, &guard) {
+                Ok(certificate) => {
+                    committed.insert(certificate.serial());
+                    break;
+                }
+                Err(CoreError::VmCrashed(site)) => {
+                    crashes += 1;
+                    let report = tb.recover_vm().unwrap_or_else(|e| {
+                        panic!("seed {seed}: recovery after crash at {site} failed: {e}")
+                    });
+                    recoveries += 1;
+                    assert_eq!(
+                        report.generation as usize, recoveries,
+                        "seed {seed}: recovery generations must count up"
+                    );
+                    for serial in &committed {
+                        assert!(
+                            tb.vm.enrollments().any(|e| e.serial == *serial),
+                            "seed {seed}: committed serial {serial} lost in crash at {site}"
+                        );
+                    }
+                    // Host attestations die with the incarnation; the new
+                    // one only trusts hosts that re-attest to it.
+                    tb.attest_host(0).unwrap();
+                }
+                Err(other) => panic!("seed {seed}: unexpected enrollment error: {other}"),
+            }
+        }
+    }
+    assert_eq!(committed.len(), VNFS_PER_SEED);
+
+    // Phase 2: revoke half of the acknowledged credentials. A crash at the
+    // revocation site strikes *after* the WAL append, so the revocation
+    // must be visible in the recovered incarnation even though the caller
+    // saw an error.
+    let to_revoke: Vec<u64> = committed.iter().copied().take(VNFS_PER_SEED / 2).collect();
+    for serial in &to_revoke {
+        match tb.vm.revoke_credential(*serial, RevocationReason::KeyCompromise) {
+            Ok(()) => {}
+            Err(CoreError::VmCrashed(_)) => {
+                crashes += 1;
+                tb.recover_vm().unwrap();
+                recoveries += 1;
+                assert!(
+                    tb.vm.credential_is_revoked(*serial),
+                    "seed {seed}: WAL-journaled revocation of {serial} lost in crash"
+                );
+            }
+            Err(other) => panic!("seed {seed}: unexpected revocation error: {other}"),
+        }
+    }
+
+    // Phase 3: age every orphaned prepare past its TTL and sweep. A crash
+    // mid-sweep is fine — recovery aborts expired orphans itself.
+    tb.clock.advance(PENDING_TTL + 1);
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        assert!(attempts <= 24, "seed {seed}: sweep livelocked");
+        match tb.vm.sweep_pending_enrollments() {
+            Ok(_) => break,
+            Err(CoreError::VmCrashed(_)) => {
+                crashes += 1;
+                tb.recover_vm().unwrap();
+                recoveries += 1;
+            }
+            Err(other) => panic!("seed {seed}: unexpected sweep error: {other}"),
+        }
+    }
+    assert_eq!(
+        tb.vm.pending_enrollments().count(),
+        0,
+        "seed {seed}: orphaned prepares survived the sweep"
+    );
+
+    // The contract.
+    for serial in &committed {
+        let record = tb
+            .vm
+            .enrollments()
+            .find(|e| e.serial == *serial)
+            .unwrap_or_else(|| panic!("seed {seed}: committed serial {serial} missing"));
+        assert_eq!(
+            record.revoked,
+            to_revoke.contains(serial),
+            "seed {seed}: serial {serial} revocation flag wrong"
+        );
+    }
+    for record in tb.vm.enrollments() {
+        assert_eq!(
+            record.revoked,
+            tb.vm.credential_is_revoked(record.serial),
+            "seed {seed}: serial {} disagrees with the CA",
+            record.serial
+        );
+    }
+    // Serial 2 is the controller's server certificate; every later leaf
+    // serial must be an enrollment or on the CRL.
+    let max_serial = tb.vm.issued_count() + 1;
+    for serial in 3..=max_serial {
+        let enrolled = tb.vm.enrollments().any(|e| e.serial == serial && !e.revoked);
+        let revoked = tb.vm.credential_is_revoked(serial);
+        assert!(
+            enrolled || revoked,
+            "seed {seed}: serial {serial} leaked — neither enrolled nor revoked"
+        );
+    }
+
+    Outcome {
+        committed,
+        crashes,
+        recoveries,
+    }
+}
+
+/// The chaos matrix: ten seeds, each a full crash/recover scenario. The
+/// matrix must be non-vacuous — across the seeds a healthy number of
+/// crashes actually fire, and every crash is matched by a recovery.
+#[test]
+fn crash_matrix_preserves_consistency_across_seeds() {
+    let mut total_crashes = 0;
+    let mut total_committed = 0;
+    for seed in 0..10 {
+        let outcome = run_crash_scenario(seed);
+        assert_eq!(outcome.crashes, outcome.recoveries, "seed {seed}");
+        total_crashes += outcome.crashes;
+        total_committed += outcome.committed.len();
+    }
+    assert!(
+        total_crashes >= 8,
+        "matrix too tame: only {total_crashes} crashes fired across all seeds"
+    );
+    assert_eq!(total_committed, 10 * VNFS_PER_SEED);
+}
+
+/// The same crash-plan seed replays the same crash schedule and converges
+/// to the same recovered state — the crash matrix is a deterministic
+/// regression witness, not a flaky fuzzer.
+#[test]
+fn same_crash_seed_replays_the_same_schedule() {
+    let run = |seed: u64| {
+        let outcome = run_crash_scenario(seed);
+        (outcome.committed, outcome.crashes)
+    };
+    assert_eq!(run(3), run(3));
+}
+
+/// A torn WAL tail (the medium lost the end of the final append) rolls the
+/// log back to the last intact record. The dropped record was never
+/// acknowledged-and-persisted as a unit, so the recovered state is a
+/// consistent prefix: earlier enrollments intact, the torn commit demoted
+/// to a pending prepare.
+#[test]
+fn torn_wal_tail_recovers_to_a_consistent_prefix() {
+    let mut tb = TestbedBuilder::new(b"torn tail")
+        .durable()
+        .pending_enrollment_ttl(PENDING_TTL)
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard_a = tb.deploy_guard(0, "vnf-a", 1).unwrap();
+    let cert_a = tb.enroll(0, &guard_a).unwrap();
+    let guard_b = tb.deploy_guard(0, "vnf-b", 1).unwrap();
+    let cert_b = tb.enroll(0, &guard_b).unwrap();
+
+    // Clip bytes off the final frame — vnf-b's EnrollmentCommitted record.
+    tb.store_media().unwrap().tear_tail(3);
+    let report = tb.recover_vm().unwrap();
+    assert!(report.truncated_tail, "the torn tail must be detected");
+
+    // vnf-a's enrollment is intact; vnf-b rolled back to prepared (its
+    // commit never fully reached the medium) and will be aborted by the
+    // sweep if nobody completes it.
+    assert!(tb.vm.enrollments().any(|e| e.serial == cert_a.serial()));
+    assert!(!tb.vm.enrollments().any(|e| e.serial == cert_b.serial()));
+    assert!(tb
+        .vm
+        .pending_enrollments()
+        .any(|p| p.serial == cert_b.serial()));
+
+    tb.clock.advance(PENDING_TTL + 1);
+    assert_eq!(tb.vm.sweep_pending_enrollments().unwrap(), 1);
+    assert!(tb.vm.credential_is_revoked(cert_b.serial()));
+    assert!(!tb.vm.credential_is_revoked(cert_a.serial()));
+}
+
+/// A crash that strands a prepared enrollment past the grace window:
+/// recovery itself aborts the orphan, puts its serial on the CRL, and
+/// queues a store-and-forward revocation notice for the host. The new
+/// incarnation refuses VNF work for the host until it re-attests.
+#[test]
+fn recovery_aborts_expired_orphans_and_queues_notices() {
+    let plan = CrashPlan::seeded(9);
+    plan.crash_once("enrollment.prepare");
+    let mut tb = TestbedBuilder::new(b"orphan abort")
+        .durable()
+        .crash_plan(plan)
+        .pending_enrollment_ttl(120)
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-orphan", 1).unwrap();
+    let err = tb.enroll(0, &guard).unwrap_err();
+    assert!(matches!(err, CoreError::VmCrashed(ref s) if s == "enrollment.prepare"));
+    // The dead incarnation refuses everything.
+    assert!(matches!(
+        tb.vm.sweep_pending_enrollments(),
+        Err(CoreError::VmCrashed(_))
+    ));
+
+    // The manager stays down well past the orphan grace window.
+    tb.clock.advance(600);
+    let report = tb.recover_vm().unwrap();
+    assert_eq!(report.orphans_aborted, 1);
+    assert_eq!(report.pending_restored, 0);
+    assert_eq!(report.enrollments_restored, 0);
+
+    // Serial 3 (the first leaf after the controller cert) was orphaned:
+    // revoked, with its notice queued (no agent is listening here).
+    assert!(tb.vm.credential_is_revoked(3));
+    assert!(tb
+        .notifier
+        .pending()
+        .iter()
+        .any(|n| n.serial == 3 && n.host_id == "host-0"));
+
+    // Fresh incarnation, fresh trust: the host must re-attest first.
+    let err = tb.vm.begin_vnf_attestation("host-0", "vnf-orphan").unwrap_err();
+    assert!(matches!(err, CoreError::WorkflowViolation(_)));
+    tb.attest_host(0).unwrap();
+    let certificate = tb.enroll(0, &guard).unwrap();
+    assert!(certificate.serial() > 3, "the orphaned serial is never reused");
+}
+
+/// Snapshot-seeded recovery and full-log replay converge to the same
+/// state; only the replay work differs.
+#[test]
+fn snapshot_and_full_replay_agree() {
+    let run = |compaction: u64| {
+        let mut tb = TestbedBuilder::new(b"snapshot equivalence")
+            .durable()
+            .wal_compaction(compaction)
+            .build();
+        tb.attest_host(0).unwrap();
+        for i in 0..5 {
+            let guard = tb.deploy_guard(0, &format!("vnf-{i}"), 1).unwrap();
+            tb.enroll(0, &guard).unwrap();
+        }
+        tb.vm
+            .revoke_credential(3, RevocationReason::KeyCompromise)
+            .unwrap();
+        let report = tb.recover_vm().unwrap();
+        (tb, report)
+    };
+    let (tb_snap, report_snap) = run(4);
+    let (tb_full, report_full) = run(0);
+
+    assert!(report_snap.from_snapshot);
+    assert!(!report_full.from_snapshot);
+    assert!(
+        report_snap.replayed_records < report_full.replayed_records,
+        "the snapshot must absorb most of the log"
+    );
+
+    let view = |tb: &Testbed| {
+        tb.vm
+            .enrollments()
+            .map(|e| (e.serial, e.vnf_name.clone(), e.host_id.clone(), e.revoked))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(view(&tb_snap), view(&tb_full));
+    assert_eq!(tb_snap.vm.issued_count(), tb_full.vm.issued_count());
+    assert!(tb_snap.vm.credential_is_revoked(3));
+    assert!(tb_full.vm.credential_is_revoked(3));
+}
+
+/// `GET /vm/recovery` serves the last recovery report and live WAL
+/// occupancy to operators, exactly as a collector would scrape it.
+#[test]
+fn recovery_report_is_served_over_the_operator_api() {
+    let plan = CrashPlan::seeded(42);
+    plan.crash_once("revocation.revoke");
+    let mut tb = TestbedBuilder::new(b"recovery api")
+        .durable()
+        .crash_plan(plan)
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-api", 1).unwrap();
+    let certificate = tb.enroll(0, &guard).unwrap();
+
+    let err = tb
+        .vm
+        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::VmCrashed(_)));
+    let report = tb.recover_vm().unwrap();
+    assert_eq!(report.generation, 1);
+    // WAL-before-response: the revocation the caller never saw confirmed
+    // still survived the crash.
+    assert!(tb.vm.credential_is_revoked(certificate.serial()));
+
+    let network = tb.network.clone();
+    let vm = Arc::new(Mutex::new(tb.vm));
+    let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
+    let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
+    let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
+
+    let body = client
+        .request(&Request::get("/vm/recovery"))
+        .unwrap()
+        .parse_json()
+        .unwrap();
+    assert_eq!(body.get("recovered").and_then(Json::as_bool), Some(true));
+    assert_eq!(body.get("generation").and_then(Json::as_i64), Some(1));
+    assert_eq!(body.get("orphans_aborted").and_then(Json::as_i64), Some(0));
+    assert_eq!(body.get("enrollments_restored").and_then(Json::as_i64), Some(1));
+    let store = body.get("store").expect("store occupancy block");
+    assert!(store.get("log_frames").and_then(Json::as_i64).unwrap() > 0);
+}
+
+/// A never-crashed manager reports `recovered: false` — the route is
+/// always live, so dashboards need no special-casing.
+#[test]
+fn recovery_route_on_a_fresh_manager_reports_nothing() {
+    let tb = TestbedBuilder::new(b"fresh vm api").durable().build();
+    let network = tb.network.clone();
+    let vm = Arc::new(Mutex::new(tb.vm));
+    let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
+    let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
+    let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
+    let body = client
+        .request(&Request::get("/vm/recovery"))
+        .unwrap()
+        .parse_json()
+        .unwrap();
+    assert_eq!(body.get("recovered").and_then(Json::as_bool), Some(false));
+    assert!(body.get("generation").is_none());
+}

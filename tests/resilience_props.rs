@@ -147,4 +147,111 @@ proptest! {
             }
         }
     }
+
+    /// A failed half-open probe re-opens the breaker with a *fresh*
+    /// cooldown: it refuses for a full `cooldown` measured from the probe
+    /// failure (not the original open), reads HalfOpen exactly at the new
+    /// boundary, and logs the re-open as its latest transition.
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown(
+        threshold in 1u32..6,
+        cooldown in 1u64..100,
+        wait_extra in 0u64..50,
+        mid in 0u64..1_000,
+    ) {
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        for _ in 0..threshold {
+            breaker.record_failure(10);
+        }
+        prop_assert_eq!(breaker.state(10), BreakerState::Open);
+
+        let probe_time = 10 + cooldown + wait_extra;
+        prop_assert_eq!(breaker.state(probe_time), BreakerState::HalfOpen);
+        breaker.record_failure(probe_time);
+
+        // The whole window [probe_time, probe_time + cooldown) refuses,
+        // even instants that the original cooldown would already admit.
+        let in_window = probe_time + mid % cooldown;
+        prop_assert_eq!(breaker.state(probe_time), BreakerState::Open);
+        prop_assert_eq!(breaker.state(in_window), BreakerState::Open);
+        prop_assert!(!breaker.allows(in_window));
+        prop_assert_eq!(breaker.state(probe_time + cooldown), BreakerState::HalfOpen);
+        prop_assert!(breaker.allows(probe_time + cooldown));
+
+        prop_assert_eq!(
+            breaker.transitions().last().copied(),
+            Some((probe_time, BreakerState::Open))
+        );
+    }
+
+    /// A successful half-open probe *fully* closes the breaker: the failure
+    /// streak resets to zero, so re-opening takes a complete fresh run of
+    /// `threshold` consecutive failures, and the close is logged.
+    #[test]
+    fn successful_probe_fully_closes(
+        threshold in 1u32..6,
+        cooldown in 1u64..100,
+        wait_extra in 0u64..50,
+    ) {
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        for _ in 0..threshold {
+            breaker.record_failure(5);
+        }
+        let probe_time = 5 + cooldown + wait_extra;
+        prop_assert_eq!(breaker.state(probe_time), BreakerState::HalfOpen);
+
+        breaker.record_success(probe_time);
+        prop_assert_eq!(breaker.state(probe_time), BreakerState::Closed);
+        prop_assert_eq!(breaker.consecutive_failures(), 0);
+        prop_assert_eq!(
+            breaker.transitions().last().copied(),
+            Some((probe_time, BreakerState::Closed))
+        );
+
+        // Closed is not "half-closed": threshold - 1 fresh failures leave
+        // it Closed, and only the threshold-th opens it again.
+        for i in 0..threshold - 1 {
+            let at = probe_time + 1 + u64::from(i);
+            breaker.record_failure(at);
+            prop_assert_eq!(breaker.state(at), BreakerState::Closed);
+            prop_assert!(breaker.allows(at));
+        }
+        let at = probe_time + 1 + u64::from(threshold);
+        breaker.record_failure(at);
+        prop_assert_eq!(breaker.state(at), BreakerState::Open);
+    }
+
+    /// The transition log is a faithful, ordered journal: timestamps are
+    /// non-decreasing, the first entry is always an Open (a breaker starts
+    /// Closed), and no two consecutive entries are both Closed (a close is
+    /// only ever recorded when leaving an open period; consecutive Opens
+    /// are legal — a failed half-open probe re-opens).
+    #[test]
+    fn transition_log_is_ordered(
+        threshold in 1u32..6,
+        cooldown in 1u64..100,
+        ops in vec((0u64..50, any::<bool>()), 1..80),
+    ) {
+        let clock = SimClock::at(0);
+        let mut breaker = CircuitBreaker::new(threshold, cooldown);
+        for (advance, success) in ops {
+            clock.advance(advance);
+            if success {
+                breaker.record_success(clock.now());
+            } else {
+                breaker.record_failure(clock.now());
+            }
+        }
+        let transitions = breaker.transitions();
+        if let Some((_, first)) = transitions.first() {
+            prop_assert_eq!(*first, BreakerState::Open);
+        }
+        for pair in transitions.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "transition timestamps went backwards");
+            prop_assert!(
+                !(pair[0].1 == BreakerState::Closed && pair[1].1 == BreakerState::Closed),
+                "two consecutive Closed entries"
+            );
+        }
+    }
 }
