@@ -63,4 +63,27 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "== trace hygiene: REST surfaces must propagate trace context or opt out =="
+# Every library file that builds a Router or an HTTP client must either
+# thread the distributed-trace context (instrument_traces / with_trace /
+# trace_context / traceparent) or carry an explicit 'trace-opt-out' marker
+# explaining why it stays untraced. Keeps new routes and clients from
+# silently breaking trace propagation.
+violations=""
+for f in $(grep -rl --include='*.rs' -e 'Router::new()' -e 'HttpClient::new(' crates/*/src src 2>/dev/null || true); do
+  if ! grep -q -e 'instrument_traces' -e 'with_trace' -e 'trace_context' \
+       -e 'traceparent' -e 'trace-opt-out' "$f"; then
+    violations="$violations$f
+"
+  fi
+done
+if [ -n "$violations" ]; then
+  echo "found REST surfaces that neither propagate trace context nor opt out:"
+  echo "$violations"
+  exit 1
+fi
+
+echo "== e12: tracing overhead bar (<=5% vs disabled telemetry) =="
+cargo bench -p vnfguard-bench --bench e12_tracing
+
 echo "CI OK"

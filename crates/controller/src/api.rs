@@ -8,6 +8,7 @@ use std::sync::Arc;
 use vnfguard_encoding::Json;
 use vnfguard_net::http::{Request, Response, Status};
 use vnfguard_net::rest::Router;
+use vnfguard_telemetry::Telemetry;
 
 fn peer_of(request: &Request) -> String {
     request
@@ -18,7 +19,22 @@ fn peer_of(request: &Request) -> String {
 
 /// Build the REST router over shared controller state.
 pub fn build_router(state: Arc<RwLock<ControllerState>>, clock: SimClock) -> Router {
+    build_router_traced(state, clock, None)
+}
+
+/// [`build_router`] with optional distributed tracing: requests carrying a
+/// `traceparent` header are recorded as server spans attributed to the
+/// `controller` service, timestamped from the controller's clock.
+pub fn build_router_traced(
+    state: Arc<RwLock<ControllerState>>,
+    clock: SimClock,
+    telemetry: Option<&Telemetry>,
+) -> Router {
     let mut router = Router::new();
+    if let Some(telemetry) = telemetry {
+        let trace_clock = clock.clone();
+        router.instrument_traces(telemetry, "controller", move || trace_clock.now());
+    }
 
     // GET /wm/core/controller/summary/json
     {

@@ -15,6 +15,7 @@ use vnfguard_net::http::{roundtrip, Request, Response};
 use vnfguard_net::stream::Duplex;
 use vnfguard_pki::TrustStore;
 use vnfguard_tls::handshake::{client_handshake, ClientConfig};
+use vnfguard_telemetry::TraceContext;
 use vnfguard_tls::signer::IdentitySigner;
 use vnfguard_tls::stream::TlsStream;
 
@@ -28,6 +29,8 @@ enum Transport {
 /// A connected north-bound API client (persistent connection).
 pub struct NorthboundClient {
     transport: Transport,
+    /// Trace context injected into every request as a `traceparent` header.
+    trace: Option<TraceContext>,
 }
 
 impl NorthboundClient {
@@ -36,6 +39,7 @@ impl NorthboundClient {
         let stream = network.connect(address)?;
         Ok(NorthboundClient {
             transport: Transport::Plain(stream),
+            trace: None,
         })
     }
 
@@ -63,11 +67,26 @@ impl NorthboundClient {
         let (stream, _info) = client_handshake(raw, &config, &mut rng)?;
         Ok(NorthboundClient {
             transport: Transport::Tls(Box::new(stream)),
+            trace: None,
         })
+    }
+
+    /// Propagate `ctx` as the `traceparent` header on subsequent requests
+    /// (pass `None` to stop propagating).
+    pub fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
     }
 
     /// Raw request/response exchange.
     pub fn request(&mut self, request: &Request) -> Result<Response, ControllerError> {
+        let traced;
+        let request = match &self.trace {
+            Some(ctx) if ctx.is_valid() && !request.headers.contains_key("traceparent") => {
+                traced = request.clone().with_trace(ctx);
+                &traced
+            }
+            _ => request,
+        };
         match &mut self.transport {
             Transport::Plain(stream) => Ok(roundtrip(stream, request)?),
             Transport::Tls(stream) => Ok(roundtrip(stream.as_mut(), request)?),

@@ -1,7 +1,7 @@
 //! The controller process: binds the REST API on the fabric under one of
 //! the three security modes.
 
-use crate::api::build_router;
+use crate::api::build_router_traced;
 use crate::clock::SimClock;
 use crate::security::{SecurityMode, TlsUpgrade};
 use crate::state::ControllerState;
@@ -23,6 +23,9 @@ pub struct ControllerConfig {
     /// Client validation (required for trusted HTTPS).
     pub client_validator: Option<ClientValidator>,
     pub clock: SimClock,
+    /// Telemetry bundle for distributed tracing of north-bound requests;
+    /// `None` serves untraced.
+    pub telemetry: Option<vnfguard_telemetry::Telemetry>,
 }
 
 impl ControllerConfig {
@@ -33,6 +36,7 @@ impl ControllerConfig {
             identity: None,
             client_validator: None,
             clock: SimClock::wall(),
+            telemetry: None,
         }
     }
 
@@ -43,6 +47,7 @@ impl ControllerConfig {
             identity: Some(identity),
             client_validator: None,
             clock: SimClock::wall(),
+            telemetry: None,
         }
     }
 
@@ -57,11 +62,19 @@ impl ControllerConfig {
             identity: Some(identity),
             client_validator: Some(validator),
             clock: SimClock::wall(),
+            telemetry: None,
         }
     }
 
     pub fn with_clock(mut self, clock: SimClock) -> ControllerConfig {
         self.clock = clock;
+        self
+    }
+
+    /// Record north-bound requests as distributed-trace server spans in
+    /// `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &vnfguard_telemetry::Telemetry) -> ControllerConfig {
+        self.telemetry = Some(telemetry.clone());
         self
     }
 }
@@ -80,7 +93,8 @@ impl Controller {
     /// Start serving the REST API on `network`.
     pub fn start(network: &Network, config: ControllerConfig) -> Result<Controller, ControllerError> {
         let state = Arc::new(RwLock::new(ControllerState::new()));
-        let router = build_router(state.clone(), config.clock.clone());
+        let router =
+            build_router_traced(state.clone(), config.clock.clone(), config.telemetry.as_ref());
         let listener = network.listen(&config.address)?;
 
         let handle = match config.mode {

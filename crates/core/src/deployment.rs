@@ -89,6 +89,7 @@ pub struct TestbedBuilder {
     wal_compaction: u64,
     crash_plan: Option<CrashPlan>,
     pending_enrollment_ttl: Option<u64>,
+    tracing: Option<f64>,
 }
 
 impl TestbedBuilder {
@@ -108,6 +109,7 @@ impl TestbedBuilder {
             wal_compaction: 256,
             crash_plan: None,
             pending_enrollment_ttl: None,
+            tracing: None,
         }
     }
 
@@ -186,11 +188,28 @@ impl TestbedBuilder {
         self
     }
 
+    /// Enable end-to-end distributed tracing: seed the deployment's trace-id
+    /// generator from the testbed seed (ids stay reproducible run-to-run),
+    /// head-sample new traces at `sample_rate` (clamped to `0.0..=1.0`), and
+    /// serve the controller's north-bound API with trace instrumentation.
+    pub fn tracing(mut self, sample_rate: f64) -> TestbedBuilder {
+        self.tracing = Some(sample_rate);
+        self
+    }
+
     pub fn build(self) -> Testbed {
         let network = Network::new();
         let clock = SimClock::at(1_600_000_000);
         let telemetry = self.telemetry.unwrap_or_default();
         network.set_telemetry(&telemetry);
+        if let Some(rate) = self.tracing {
+            use vnfguard_crypto::drbg::SecureRandom;
+            let mut drbg = vnfguard_crypto::drbg::HmacDrbg::new(
+                &[&self.seed[..], b"trace ids"].concat(),
+            );
+            telemetry.seed_trace_ids(u64::from_be_bytes(drbg.gen_array::<8>()));
+            telemetry.set_trace_sampling(rate);
+        }
         let mut ias = AttestationService::new(&self.seed);
         ias.set_telemetry(&telemetry);
 
@@ -271,7 +290,7 @@ impl TestbedBuilder {
             ValidationModel::Keystore => ClientValidator::keystore(KeyStore::new()),
         };
 
-        let controller_config = match self.mode {
+        let mut controller_config = match self.mode {
             SecurityMode::Http => ControllerConfig::http(&self.controller_addr),
             SecurityMode::Https => {
                 ControllerConfig::https(&self.controller_addr, server_identity.clone())
@@ -283,6 +302,9 @@ impl TestbedBuilder {
             ),
         }
         .with_clock(clock.clone());
+        if self.tracing.is_some() {
+            controller_config = controller_config.with_telemetry(&telemetry);
+        }
         let controller =
             Controller::start(&network, controller_config).expect("controller start");
 
@@ -562,6 +584,43 @@ impl Testbed {
     /// are *not* carried over: every host must re-attest to the new
     /// incarnation before further enrollments.
     pub fn recover_vm(&mut self) -> Result<RecoveryReport, CoreError> {
+        let (vm, notifier, report) = self.recover_vm_incarnation()?;
+        self.vm = vm;
+        self.notifier = notifier;
+        Ok(report)
+    }
+
+    /// Move the Verification Manager out of the testbed (e.g. to wrap it in
+    /// an `Arc<Mutex<..>>` for `serve_vm_api`), leaving a fresh placeholder
+    /// incarnation behind so the testbed's own methods keep working.
+    pub fn take_vm(&mut self) -> VerificationManager {
+        let placeholder = VerificationManager::with_runtime(
+            self.vm_config.clone(),
+            &self.seed,
+            self.clock.clone(),
+            self.telemetry.clone(),
+        );
+        std::mem::replace(&mut self.vm, placeholder)
+    }
+
+    /// Like [`recover_vm`](Self::recover_vm), but install the recovered
+    /// incarnation into a *shared* manager handle (the one `serve_vm_api`
+    /// routes dispatch against) instead of `self.vm`. This models an
+    /// in-place process restart: HTTP clients keep talking to the same
+    /// address and hit the new incarnation on their next request.
+    pub fn recover_vm_shared(
+        &mut self,
+        shared: &Arc<parking_lot::Mutex<VerificationManager>>,
+    ) -> Result<RecoveryReport, CoreError> {
+        let (vm, notifier, report) = self.recover_vm_incarnation()?;
+        *shared.lock() = vm;
+        self.notifier = notifier;
+        Ok(report)
+    }
+
+    fn recover_vm_incarnation(
+        &mut self,
+    ) -> Result<(VerificationManager, RevocationNotifier, RecoveryReport), CoreError> {
         let media = self.store_media.clone().ok_or_else(|| {
             CoreError::Store(
                 "testbed is not durable (build with TestbedBuilder::durable)".into(),
@@ -605,9 +664,7 @@ impl Testbed {
         if let Some(plan) = &self.crash_plan {
             vm = vm.with_crash_plan(plan.clone());
         }
-        self.vm = vm;
-        self.notifier = notifier;
-        Ok(report)
+        Ok((vm, notifier, report))
     }
 }
 

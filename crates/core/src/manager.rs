@@ -17,7 +17,7 @@ use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
 use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
 use vnfguard_pki::crl::{Crl, RevocationReason};
 use vnfguard_sgx::measurement::Measurement;
-use vnfguard_telemetry::{Counter, Histogram, Telemetry};
+use vnfguard_telemetry::{Counter, Histogram, SpanGuard, Telemetry, TraceContext};
 use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
 use vnfguard_vnf::wrap_credentials;
 
@@ -403,6 +403,9 @@ pub struct VerificationManager {
     crashed: Option<String>,
     /// Outcome of the recovery pass that produced this incarnation.
     last_recovery: Option<RecoveryReport>,
+    /// Distributed-trace context scoping the current workflow call; set by
+    /// the remote orchestration layer, never persisted.
+    active_trace: Option<TraceContext>,
 }
 
 impl VerificationManager {
@@ -447,6 +450,7 @@ impl VerificationManager {
             crash_plan: None,
             crashed: None,
             last_recovery: None,
+            active_trace: None,
         }
     }
 
@@ -472,6 +476,47 @@ impl VerificationManager {
     /// audit events.
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Scope subsequent workflow calls to a distributed-trace context: the
+    /// workflow spans (host attestation, enrollment) and their inner steps
+    /// become children of `ctx`, and crash points annotate it. Pass `None`
+    /// to clear. The remote orchestration layer sets this around each call.
+    pub fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.active_trace = ctx;
+    }
+
+    /// The distributed-trace context currently scoping workflow calls.
+    pub fn trace_context(&self) -> Option<&TraceContext> {
+        self.active_trace.as_ref()
+    }
+
+    /// Open a top-level workflow span. Under an active trace context the
+    /// span joins the trace and `active_trace` is swapped to its context so
+    /// inner steps chain under it — the caller must restore the saved
+    /// context when the workflow returns.
+    fn workflow_span(&mut self, name: &str, now: u64) -> SpanGuard {
+        match self.active_trace.clone() {
+            Some(parent) => {
+                let (ctx, guard) = self.telemetry.trace_child(&parent, "vm", name, now);
+                self.active_trace = Some(ctx);
+                guard
+            }
+            None => self.telemetry.span(name, now),
+        }
+    }
+
+    /// Open an inner workflow step span, chained under the active trace
+    /// context when one is set. Returns the step's own context (for
+    /// propagation to a remote backend) alongside the guard.
+    fn step_span(&self, name: &str, now: u64) -> (Option<TraceContext>, SpanGuard) {
+        match &self.active_trace {
+            Some(parent) => {
+                let (ctx, guard) = self.telemetry.trace_child(parent, "vm", name, now);
+                (Some(ctx), guard)
+            }
+            None => (None, self.telemetry.span(name, now)),
+        }
     }
 
     /// The active configuration.
@@ -572,6 +617,15 @@ impl VerificationManager {
         if fired {
             self.crashed = Some(site.to_string());
             self.event(self.clock.now(), "vm_crashed", site);
+            if let Some(ctx) = &self.active_trace {
+                // Stitch the crash onto the active trace and remember the
+                // context so the recovery pass (a new manager incarnation
+                // sharing this telemetry bundle) can annotate the same
+                // trace with the generation it restores into.
+                self.telemetry
+                    .trace_annotate(ctx, self.clock.now(), "crash", site);
+                self.telemetry.traces().set_crash_scope(ctx.clone());
+            }
             return Err(CoreError::VmCrashed(site.to_string()));
         }
         Ok(())
@@ -684,13 +738,14 @@ impl VerificationManager {
         evidence: &HostEvidence,
         now: u64,
     ) -> Result<Verdict, CoreError> {
+        let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self
-                .telemetry
-                .span("host_attestation", now)
+                .workflow_span("host_attestation", now)
                 .with_histogram(self.metrics.host_attestation_micros.clone());
             self.host_attestation_inner(ias, challenge_id, evidence, now)
         };
+        self.active_trace = saved_trace;
         match &result {
             Ok(_) => self.metrics.host_attestations.inc(),
             Err(_) => self.metrics.host_attestation_failures.inc(),
@@ -713,7 +768,12 @@ impl VerificationManager {
         };
 
         // IAS verification of the quote (revocation list + quote validity).
-        let ias_span = self.telemetry.span("ias_verify", now);
+        let (ias_ctx, ias_span) = self.step_span("ias_verify", now);
+        if let Some(ctx) = ias_ctx {
+            // A remote backend propagates this step's context on the wire,
+            // so its server spans and retry attempts chain under it.
+            ias.set_trace_context(Some(ctx));
+        }
         let report = ias.verify_quote(&evidence.quote, &challenge.nonce);
         report
             .verify(&ias.report_signing_key())
@@ -753,14 +813,14 @@ impl VerificationManager {
         }
 
         // Appraise the list.
-        let appraise_span = self.telemetry.span("appraise", now);
+        let (_, appraise_span) = self.step_span("appraise", now);
         let list = evidence.measurement_list()?;
         let result = self.reference_db.appraise(&list, &self.config.appraisal);
         drop(appraise_span);
 
         // §4 extension: check the TPM anchor if required/available.
         if self.config.require_tpm || evidence.tpm_quote.is_some() {
-            let _tpm_span = self.telemetry.span("tpm_check", now);
+            let (_, _tpm_span) = self.step_span("tpm_check", now);
             let aik = self
                 .hosts
                 .get(&host_id)
@@ -998,10 +1058,10 @@ impl VerificationManager {
         controller_cn: &str,
         now: u64,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self
-                .telemetry
-                .span("vnf_enrollment", now)
+                .workflow_span("vnf_enrollment", now)
                 .with_histogram(self.metrics.enrollment_micros.clone());
             self.prepare_enrollment_inner(
                 ias,
@@ -1012,6 +1072,7 @@ impl VerificationManager {
                 now,
             )
         };
+        self.active_trace = saved_trace;
         if result.is_err() {
             self.metrics.enrollment_failures.inc();
         }
@@ -1041,7 +1102,10 @@ impl VerificationManager {
             )));
         }
 
-        let ias_span = self.telemetry.span("ias_verify", now);
+        let (ias_ctx, ias_span) = self.step_span("ias_verify", now);
+        if let Some(ctx) = ias_ctx {
+            ias.set_trace_context(Some(ctx));
+        }
         let report = ias.verify_quote(quote_bytes, &challenge.nonce);
         report
             .verify(&ias.report_signing_key())
@@ -1084,7 +1148,7 @@ impl VerificationManager {
         }
 
         // Step 5: generate key material, certify, wrap.
-        let issue_span = self.telemetry.span("issue_certificate", now);
+        let (_, issue_span) = self.step_span("issue_certificate", now);
         let key_seed = self.rng.gen_array::<32>();
         let client_key = SigningKey::from_seed(&key_seed);
         let certificate = self.ca.issue(
@@ -1098,7 +1162,7 @@ impl VerificationManager {
         );
         self.metrics.certificates_issued.inc();
         drop(issue_span);
-        let wrap_span = self.telemetry.span("wrap_credentials", now);
+        let (_, wrap_span) = self.step_span("wrap_credentials", now);
         let bundle = ProvisionBundle {
             key_seed,
             certificate: certificate.clone(),
@@ -1409,6 +1473,17 @@ impl VerificationManager {
                 report.notices_requeued
             ),
         );
+        if let Some(ctx) = vm.telemetry.traces().take_crash_scope() {
+            // The crash fired under a distributed trace; stitch the
+            // recovery generation onto that same trace so operators see
+            // crash and restart as one causal story.
+            vm.telemetry.trace_annotate(
+                &ctx,
+                now,
+                "recovery",
+                &format!("generation {generation}"),
+            );
+        }
         vm.last_recovery = Some(report.clone());
         Ok((vm, report))
     }

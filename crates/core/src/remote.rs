@@ -45,7 +45,7 @@ use vnfguard_net::rest::{ApiError, ApiResult, Router};
 use vnfguard_net::server::{serve, PlainUpgrade, ServerHandle};
 use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::platform::SgxPlatform;
-use vnfguard_telemetry::{Counter, Histogram, Telemetry};
+use vnfguard_telemetry::{Counter, Histogram, Telemetry, TraceContext, TraceSpan};
 use vnfguard_vnf::VnfGuard;
 
 fn b64_field(doc: &Json, field: &str) -> Result<Vec<u8>, String> {
@@ -68,6 +68,56 @@ fn api_json(request: &Request) -> ApiResult<Json> {
     request
         .json()
         .map_err(|_| ApiError::bad_request("invalid JSON"))
+}
+
+/// Render one span (and, recursively, its children) as a JSON node for the
+/// `GET /vm/traces/{id}` tree view.
+fn span_node(span: &TraceSpan, children: &HashMap<u64, Vec<&TraceSpan>>) -> Json {
+    let annotations: Json = span
+        .annotations
+        .iter()
+        .map(|annotation| {
+            Json::object()
+                .with("time", annotation.time as i64)
+                .with("kind", annotation.kind.as_str())
+                .with("detail", annotation.detail.as_str())
+        })
+        .collect();
+    let kids: Json = children
+        .get(&span.span_id)
+        .map(|kids| kids.iter().map(|kid| span_node(kid, children)).collect())
+        .unwrap_or_else(|| std::iter::empty::<Json>().collect());
+    Json::object()
+        .with("span_id", format!("{:016x}", span.span_id))
+        .with("service", span.service.as_str())
+        .with("name", span.name.as_str())
+        .with("started_at", span.started_at as i64)
+        .with("offset_micros", span.offset_micros as i64)
+        .with("duration_micros", span.duration_micros as i64)
+        .with("annotations", annotations)
+        .with("children", kids)
+}
+
+/// Assemble a trace's spans into the nested-tree JSON body served by
+/// `GET /vm/traces/{id}`. Spans whose parent fell out of the ring buffer
+/// surface as additional roots rather than disappearing.
+fn trace_tree_json(trace_id_hex: &str, spans: &[TraceSpan]) -> Json {
+    let ids: BTreeSet<u64> = spans.iter().map(|span| span.span_id).collect();
+    let mut children: HashMap<u64, Vec<&TraceSpan>> = HashMap::new();
+    let mut roots: Vec<&TraceSpan> = Vec::new();
+    for span in spans {
+        match span.parent_id {
+            Some(parent) if ids.contains(&parent) => {
+                children.entry(parent).or_default().push(span)
+            }
+            _ => roots.push(span),
+        }
+    }
+    let tree: Json = roots.iter().map(|root| span_node(root, &children)).collect();
+    Json::object()
+        .with("trace_id", trace_id_hex)
+        .with("span_count", spans.len() as i64)
+        .with("roots", tree)
 }
 
 // ---------------------------------------------------------------------------
@@ -111,6 +161,13 @@ pub fn serve_ias(
             ))
         });
     }
+    // Server-side trace spans for requests that carry a `traceparent`
+    // header, attributed to the `ias` service and timestamped from the
+    // service's own clock.
+    if let Some(telemetry) = service.lock().telemetry().cloned() {
+        let service = service.clone();
+        router.instrument_traces(&telemetry, "ias", move || service.lock().now());
+    }
     let listener = network
         .listen(address)
         .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
@@ -147,6 +204,7 @@ pub struct RemoteIas {
     breaker: CircuitBreaker,
     last_attempts: Vec<AttemptRecord>,
     telemetry: Telemetry,
+    trace: Option<TraceContext>,
     retries: Counter,
     failures: Counter,
     breaker_transitions: Counter,
@@ -173,6 +231,7 @@ impl RemoteIas {
             breaker: CircuitBreaker::new(3, 60),
             last_attempts: Vec::new(),
             telemetry: Telemetry::disabled(),
+            trace: None,
             retries: Counter::detached(),
             failures: Counter::detached(),
             breaker_transitions: Counter::detached(),
@@ -219,17 +278,20 @@ impl RemoteIas {
         address: &str,
         quote_bytes: &[u8],
         nonce: &[u8],
+        trace: &TraceContext,
     ) -> Result<AttestationReport, String> {
         let mut stream = network
             .connect_from("vm", address)
             .map_err(|e| e.to_string())?;
         stream.set_read_timeout(Some(IAS_READ_TIMEOUT));
         let mut client = vnfguard_net::server::HttpClient::new(stream);
-        let request = Request::post("/attestation/v4/report").with_json(
-            &Json::object()
-                .with("isvEnclaveQuote", base64::encode(quote_bytes))
-                .with("nonce", base64::encode(nonce)),
-        );
+        let request = Request::post("/attestation/v4/report")
+            .with_trace(trace)
+            .with_json(
+                &Json::object()
+                    .with("isvEnclaveQuote", base64::encode(quote_bytes))
+                    .with("nonce", base64::encode(nonce)),
+            );
         let response = client.request(&request).map_err(|e| e.to_string())?;
         let doc = response.parse_json().map_err(|e| e.to_string())?;
         let bytes = b64_field(&doc, "report")?;
@@ -264,23 +326,58 @@ impl RemoteIas {
 
 impl QuoteVerifier for RemoteIas {
     fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
+        let trace = self.trace.clone().unwrap_or_default();
         if !self.breaker.allows(self.clock.now()) {
             // Open circuit: fail fast without touching the network. The
             // report is unverifiable, so callers that ignore availability
             // still fail closed.
+            self.telemetry.trace_annotate(
+                &trace,
+                self.clock.now(),
+                "breaker",
+                &format!("{}: circuit open, failing fast", self.address),
+            );
             return Self::unverifiable_report(nonce, "IAS_CIRCUIT_OPEN");
         }
         let network = self.network.clone();
         let address = self.address.clone();
-        let outcome = {
-            let _span = self
-                .telemetry
-                .span("ias_roundtrip", self.clock.now())
-                .with_histogram(self.roundtrip_micros.clone());
-            self.retry.run(&self.clock, |_| {
-                Self::post_report(&network, &address, quote_bytes, nonce)
-            })
+        let telemetry = self.telemetry.clone();
+        let clock = self.clock.clone();
+        let (roundtrip_ctx, outcome) = {
+            // The whole retried operation is one `ias_roundtrip` span; each
+            // attempt gets its own child span so retries show up as
+            // distinct bars in the waterfall.
+            let (roundtrip_ctx, span) = telemetry.trace_child(
+                &trace,
+                "vm",
+                "ias_roundtrip",
+                clock.now(),
+            );
+            let _span = span.with_histogram(self.roundtrip_micros.clone());
+            let outcome = self.retry.run(&self.clock, |attempt| {
+                let (attempt_ctx, _attempt_span) = telemetry.trace_child(
+                    &roundtrip_ctx,
+                    "vm",
+                    &format!("ias_attempt_{attempt}"),
+                    clock.now(),
+                );
+                Self::post_report(&network, &address, quote_bytes, nonce, &attempt_ctx)
+            });
+            (roundtrip_ctx, outcome)
         };
+        // Failed attempts become `fault`/`retry` annotations naming the
+        // fault site, attached to the round-trip span.
+        for record in &outcome.attempts {
+            if let Some(error) = &record.error {
+                let kind = if record.attempt == 0 { "fault" } else { "retry" };
+                self.telemetry.trace_annotate(
+                    &roundtrip_ctx,
+                    record.at,
+                    kind,
+                    &format!("{} attempt {}: {}", self.address, record.attempt, error),
+                );
+            }
+        }
         self.retries
             .add(outcome.attempts.len().saturating_sub(1) as u64);
         self.last_attempts = outcome.attempts;
@@ -311,6 +408,10 @@ impl QuoteVerifier for RemoteIas {
         } else {
             Availability::Unavailable
         }
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
     }
 }
 
@@ -344,6 +445,30 @@ pub struct HostAgent {
 impl HostAgent {
     /// Serve the agent for a host at `agent:{host_id}`.
     pub fn serve(network: &Network, state: Arc<HostAgentState>) -> Result<HostAgent, CoreError> {
+        Self::launch(network, state, None)
+    }
+
+    /// Serve the agent with distributed tracing: requests carrying a
+    /// `traceparent` header are recorded as server spans attributed to the
+    /// `agent` service, timestamped via `now_fn` (simulated unix seconds).
+    pub fn serve_traced(
+        network: &Network,
+        state: Arc<HostAgentState>,
+        telemetry: &Telemetry,
+        now_fn: impl Fn() -> u64 + Send + Sync + 'static,
+    ) -> Result<HostAgent, CoreError> {
+        Self::launch(
+            network,
+            state,
+            Some((telemetry.clone(), Arc::new(now_fn) as Arc<dyn Fn() -> u64 + Send + Sync>)),
+        )
+    }
+
+    fn launch(
+        network: &Network,
+        state: Arc<HostAgentState>,
+        tracing: Option<(Telemetry, Arc<dyn Fn() -> u64 + Send + Sync>)>,
+    ) -> Result<HostAgent, CoreError> {
         let address = format!("agent:{}", state.host_id);
         let mut router = Router::new();
 
@@ -455,6 +580,10 @@ impl HostAgent {
             });
         }
 
+        if let Some((telemetry, now_fn)) = tracing {
+            router.instrument_traces(&telemetry, "agent", move || now_fn());
+        }
+
         let listener = network
             .listen(&address)
             .map_err(|e| CoreError::WorkflowViolation(e.to_string()))?;
@@ -499,17 +628,53 @@ pub fn remote_attest_host(
     network: &Network,
     host_id: &str,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
+    remote_attest_host_traced(vm, ias, network, host_id, None)
+}
+
+/// [`remote_attest_host`] scoped to a distributed-trace context: the
+/// manager's workflow spans, the IAS round-trips and the agent hop all
+/// become children of `trace`.
+pub fn remote_attest_host_traced(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    trace: Option<&TraceContext>,
+) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
+    let base = trace.cloned().unwrap_or_default();
+    let telemetry = vm.telemetry().clone();
+    vm.set_trace_context(Some(base.clone()));
+    ias.set_trace_context(Some(base.clone()));
+    let result = remote_attest_host_inner(vm, ias, network, host_id, &base, &telemetry);
+    ias.set_trace_context(None);
+    vm.set_trace_context(None);
+    result
+}
+
+fn remote_attest_host_inner(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    base: &TraceContext,
+    telemetry: &Telemetry,
+) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
     if ias.availability() == Availability::Unavailable {
         return vm.degraded_host_verdict(host_id);
     }
     let challenge = vm.begin_host_attestation(host_id);
     let mut client = connect_agent(network, host_id)?;
-    let response = client
-        .request(
-            &Request::post("/agent/attest")
-                .with_json(&Json::object().with("nonce", base64::encode(&challenge.nonce))),
-        )
-        .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
+    let response = {
+        let (agent_ctx, _span) =
+            telemetry.trace_child(base, "vm", "agent_attest", vm.clock().now());
+        client
+            .request(
+                &Request::post("/agent/attest")
+                    .with_trace(&agent_ctx)
+                    .with_json(&Json::object().with("nonce", base64::encode(&challenge.nonce))),
+            )
+            .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?
+    };
     if !response.status.is_success() {
         return Err(CoreError::AttestationFailed(format!(
             "agent returned {}",
@@ -541,6 +706,44 @@ pub fn remote_enroll_vnf(
     vnf_name: &str,
     controller_cn: &str,
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
+    remote_enroll_vnf_traced(vm, ias, network, host_id, vnf_name, controller_cn, None)
+}
+
+/// [`remote_enroll_vnf`] scoped to a distributed-trace context: the
+/// two-phase enrollment, the IAS verification and both agent hops become
+/// children of `trace`.
+#[allow(clippy::too_many_arguments)]
+pub fn remote_enroll_vnf_traced(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    vnf_name: &str,
+    controller_cn: &str,
+    trace: Option<&TraceContext>,
+) -> Result<vnfguard_pki::Certificate, CoreError> {
+    let base = trace.cloned().unwrap_or_default();
+    let telemetry = vm.telemetry().clone();
+    vm.set_trace_context(Some(base.clone()));
+    ias.set_trace_context(Some(base.clone()));
+    let result =
+        remote_enroll_vnf_inner(vm, ias, network, host_id, vnf_name, controller_cn, &base, &telemetry);
+    ias.set_trace_context(None);
+    vm.set_trace_context(None);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn remote_enroll_vnf_inner(
+    vm: &mut VerificationManager,
+    ias: &mut dyn QuoteVerifier,
+    network: &Network,
+    host_id: &str,
+    vnf_name: &str,
+    controller_cn: &str,
+    base: &TraceContext,
+    telemetry: &Telemetry,
+) -> Result<vnfguard_pki::Certificate, CoreError> {
     if ias.availability() == Availability::Unavailable {
         return Err(CoreError::ServiceUnavailable(format!(
             "attestation service unavailable; refusing to enroll {vnf_name}"
@@ -550,15 +753,21 @@ pub fn remote_enroll_vnf(
     let mut client = connect_agent(network, host_id)?;
 
     // Step 3: challenge the enclave through the agent.
-    let response = client
-        .request(
-            &Request::post(&format!("/agent/vnf/{vnf_name}/attest")).with_json(
-                &Json::object()
-                    .with("nonce", base64::encode(&challenge.nonce))
-                    .with("basename", base64::encode(&challenge.nonce)),
-            ),
-        )
-        .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?;
+    let response = {
+        let (agent_ctx, _span) =
+            telemetry.trace_child(base, "vm", "agent_vnf_attest", vm.clock().now());
+        client
+            .request(
+                &Request::post(&format!("/agent/vnf/{vnf_name}/attest"))
+                    .with_trace(&agent_ctx)
+                    .with_json(
+                        &Json::object()
+                            .with("nonce", base64::encode(&challenge.nonce))
+                            .with("basename", base64::encode(&challenge.nonce)),
+                    ),
+            )
+            .map_err(|e| CoreError::HostUnreachable(format!("agent:{host_id}: {e}")))?
+    };
     if !response.status.is_success() {
         return Err(CoreError::AttestationFailed(format!(
             "agent returned {}",
@@ -575,19 +784,24 @@ pub fn remote_enroll_vnf(
     // agent, and only then commit the enrollment.
     let (serial, wrapped, certificate) =
         vm.prepare_vnf_enrollment(ias, challenge.id, &quote, &provisioning_key, controller_cn)?;
-    let delivery = client
-        .request(
-            &Request::post(&format!("/agent/vnf/{vnf_name}/provision"))
-                .with_json(&Json::object().with("wrapped", base64::encode(&wrapped))),
-        )
-        .map_err(|e| e.to_string())
-        .and_then(|response| {
-            if response.status.is_success() {
-                Ok(())
-            } else {
-                Err(format!("agent returned {}", response.status.code()))
-            }
-        });
+    let delivery = {
+        let (agent_ctx, _span) =
+            telemetry.trace_child(base, "vm", "agent_provision", vm.clock().now());
+        client
+            .request(
+                &Request::post(&format!("/agent/vnf/{vnf_name}/provision"))
+                    .with_trace(&agent_ctx)
+                    .with_json(&Json::object().with("wrapped", base64::encode(&wrapped))),
+            )
+            .map_err(|e| e.to_string())
+            .and_then(|response| {
+                if response.status.is_success() {
+                    Ok(())
+                } else {
+                    Err(format!("agent returned {}", response.status.code()))
+                }
+            })
+    };
     match delivery {
         Ok(()) => {
             vm.commit_vnf_enrollment(serial)?;
@@ -621,6 +835,10 @@ pub fn remote_enroll_vnf(
 ///   metric in the manager's telemetry bundle
 /// - `GET  /vm/events?since=N` → journal events with `seq > N` (use the
 ///   returned `next_seq` as the next `since` cursor)
+/// - `GET  /vm/traces` → index of assembled distributed traces
+/// - `GET  /vm/traces/{trace_id}` → one trace as a nested span tree
+///   (append `?format=chrome` for Chrome `trace_event` JSON or
+///   `?format=ascii` for the waterfall rendering)
 ///
 /// The router itself is instrumented: every dispatch bumps
 /// `vnfguard_core_api_requests_total`, every non-2xx response
@@ -640,17 +858,23 @@ pub fn serve_vm_api(
         telemetry.counter("vnfguard_core_api_requests_total"),
         telemetry.counter("vnfguard_core_api_request_errors_total"),
     );
+    {
+        let clock = vm.lock().clock().clone();
+        router.instrument_traces(&telemetry, "vm_api", move || clock.now());
+    }
 
     {
         let vm = vm.clone();
         let ias = ias.clone();
         let network = network.clone();
-        router.post_api("/vm/hosts/:id/attest", move |_, params| {
+        router.post_api("/vm/hosts/:id/attest", move |request, params| {
             let host_id = params.get("id").unwrap_or("");
+            let trace = request.trace_context();
             let mut vm = vm.lock();
             let mut ias = ias.lock();
-            let verdict = remote_attest_host(&mut vm, &mut *ias, &network, host_id)
-                .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            let verdict =
+                remote_attest_host_traced(&mut vm, &mut *ias, &network, host_id, trace.as_ref())
+                    .map_err(|e| ApiError::forbidden(e.to_string()))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object().with("verdict", format!("{verdict:?}")),
@@ -662,14 +886,22 @@ pub fn serve_vm_api(
         let ias = ias.clone();
         let network = network.clone();
         let controller_cn = controller_cn.clone();
-        router.post_api("/vm/hosts/:id/vnfs/:name/enroll", move |_, params| {
+        router.post_api("/vm/hosts/:id/vnfs/:name/enroll", move |request, params| {
             let host_id = params.get("id").unwrap_or("");
             let vnf_name = params.get("name").unwrap_or("");
+            let trace = request.trace_context();
             let mut vm = vm.lock();
             let mut ias = ias.lock();
-            let cert =
-                remote_enroll_vnf(&mut vm, &mut *ias, &network, host_id, vnf_name, &controller_cn)
-                    .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            let cert = remote_enroll_vnf_traced(
+                &mut vm,
+                &mut *ias,
+                &network,
+                host_id,
+                vnf_name,
+                &controller_cn,
+                trace.as_ref(),
+            )
+            .map_err(|e| ApiError::forbidden(e.to_string()))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -767,6 +999,68 @@ pub fn serve_vm_api(
         let telemetry = telemetry.clone();
         router.get_api("/vm/metrics", move |_, _| {
             Ok(Response::text(Status::Ok, &telemetry.render_prometheus()))
+        });
+    }
+    {
+        let telemetry = telemetry.clone();
+        router.get_api("/vm/traces", move |_, _| {
+            let traces: Json = telemetry
+                .traces()
+                .summaries()
+                .iter()
+                .map(|summary| {
+                    Json::object()
+                        .with("trace_id", format!("{:032x}", summary.trace_id))
+                        .with("root", summary.root_name.as_str())
+                        .with("spans", summary.span_count as i64)
+                        .with("annotations", summary.annotation_count as i64)
+                        .with("started_at", summary.started_at as i64)
+                        .with("duration_micros", summary.duration_micros as i64)
+                })
+                .collect();
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("traces", traces)
+                    .with("dropped", telemetry.traces().dropped() as i64),
+            ))
+        });
+    }
+    {
+        let telemetry = telemetry.clone();
+        router.get_api("/vm/traces/:id", move |request, params| {
+            let raw = params.get("id").unwrap_or("");
+            let trace_id = u128::from_str_radix(raw, 16)
+                .map_err(|_| ApiError::bad_request("trace id must be hex"))?;
+            let spans = telemetry.traces().trace(trace_id);
+            if spans.is_empty() {
+                return Err(ApiError::not_found(format!("no trace {raw}")));
+            }
+            match request.query_param("format") {
+                None => Ok(Response::json(Status::Ok, &trace_tree_json(raw, &spans))),
+                Some("chrome") => {
+                    let body = telemetry
+                        .traces()
+                        .render_chrome(trace_id)
+                        .unwrap_or_else(|| "[]".to_string());
+                    let mut response = Response::new(Status::Ok);
+                    response.body = body.into_bytes();
+                    response
+                        .headers
+                        .insert("content-type".into(), "application/json".into());
+                    Ok(response)
+                }
+                Some("ascii") => {
+                    let body = telemetry
+                        .traces()
+                        .render_waterfall(trace_id)
+                        .unwrap_or_default();
+                    Ok(Response::text(Status::Ok, &body))
+                }
+                Some(other) => Err(ApiError::bad_request(format!(
+                    "unknown format {other:?}; expected 'chrome' or 'ascii'"
+                ))),
+            }
         });
     }
     {

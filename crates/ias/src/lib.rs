@@ -49,6 +49,12 @@ pub trait QuoteVerifier {
     fn availability(&self) -> Availability {
         Availability::Available
     }
+
+    /// Scope subsequent [`QuoteVerifier::verify_quote`] calls to a
+    /// distributed-trace context (propagated on the wire by remote
+    /// backends). The default implementation ignores it; in-process
+    /// verifiers have no wire hop to annotate.
+    fn set_trace_context(&mut self, _ctx: Option<vnfguard_telemetry::TraceContext>) {}
 }
 
 impl QuoteVerifier for AttestationService {

@@ -44,6 +44,7 @@ pub struct AttestationService {
     requests_served: u64,
     requests_counter: Option<Counter>,
     non_ok_counter: Option<Counter>,
+    telemetry: Option<Telemetry>,
 }
 
 impl AttestationService {
@@ -60,14 +61,22 @@ impl AttestationService {
             requests_served: 0,
             requests_counter: None,
             non_ok_counter: None,
+            telemetry: None,
         }
     }
 
     /// Attach telemetry: verification requests and non-OK verdicts land in
-    /// `vnfguard_ias_*` counters.
+    /// `vnfguard_ias_*` counters, and the bundle is kept so the REST front
+    /// end (`core::remote::serve_ias`) can record server-side trace spans.
     pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
         self.requests_counter = Some(telemetry.counter("vnfguard_ias_requests_total"));
         self.non_ok_counter = Some(telemetry.counter("vnfguard_ias_non_ok_verdicts_total"));
+        self.telemetry = Some(telemetry.clone());
+    }
+
+    /// The telemetry bundle attached via [`AttestationService::set_telemetry`].
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
     }
 
     /// The public key relying parties use to verify report signatures —
@@ -79,6 +88,11 @@ impl AttestationService {
     /// Advance the service clock (timestamps in reports).
     pub fn set_clock(&mut self, unix_secs: u64) {
         self.clock = unix_secs;
+    }
+
+    /// The service clock's current position (unix seconds).
+    pub fn now(&self) -> u64 {
+        self.clock
     }
 
     /// Register an EPID group.

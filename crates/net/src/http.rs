@@ -7,6 +7,7 @@ use crate::NetError;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use vnfguard_encoding::Json;
+use vnfguard_telemetry::TraceContext;
 
 /// Upper bound on header section and body sizes (defense against
 /// adversarial peers on the REST surface).
@@ -139,6 +140,23 @@ impl Request {
     pub fn with_header(mut self, name: &str, value: &str) -> Request {
         self.headers.insert(name.to_ascii_lowercase(), value.to_string());
         self
+    }
+
+    /// Inject a distributed-trace context as a `traceparent` header.
+    /// Invalid (all-zero) contexts — the disabled-telemetry case — add
+    /// nothing, so callers can thread contexts unconditionally.
+    pub fn with_trace(self, ctx: &TraceContext) -> Request {
+        if ctx.is_valid() {
+            self.with_header("traceparent", &ctx.traceparent())
+        } else {
+            self
+        }
+    }
+
+    /// Extract the distributed-trace context from the `traceparent`
+    /// header, if present and well-formed.
+    pub fn trace_context(&self) -> Option<TraceContext> {
+        self.header("traceparent").and_then(TraceContext::parse)
     }
 
     pub fn with_json(mut self, body: &Json) -> Request {

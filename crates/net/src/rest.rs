@@ -3,7 +3,7 @@
 use crate::http::{Method, Request, Response, Status};
 use std::collections::HashMap;
 use std::sync::Arc;
-use vnfguard_telemetry::Counter;
+use vnfguard_telemetry::{Counter, Telemetry};
 
 /// Captured `:name` path parameters.
 #[derive(Debug, Default, Clone)]
@@ -81,8 +81,19 @@ type Handler = dyn Fn(&Request, &PathParams) -> Response + Send + Sync;
 
 struct Route {
     method: Method,
+    pattern: String,
     segments: Vec<Segment>,
     handler: Arc<Handler>,
+}
+
+/// Distributed-tracing hookup for a router: the telemetry bundle to record
+/// server spans into, the logical service name they are attributed to, and
+/// a clock closure supplying simulated unix seconds for span timestamps.
+#[derive(Clone)]
+struct RouterTracing {
+    telemetry: Telemetry,
+    service: String,
+    now_fn: Arc<dyn Fn() -> u64 + Send + Sync>,
 }
 
 enum Segment {
@@ -100,6 +111,7 @@ pub struct Router {
     routes: Vec<Route>,
     requests_total: Option<Counter>,
     request_errors_total: Option<Counter>,
+    tracing: Option<RouterTracing>,
 }
 
 impl Router {
@@ -113,6 +125,27 @@ impl Router {
     pub fn instrument(&mut self, requests: Counter, errors: Counter) -> &mut Self {
         self.requests_total = Some(requests);
         self.request_errors_total = Some(errors);
+        self
+    }
+
+    /// Attach distributed tracing: requests that carry a `traceparent`
+    /// header are dispatched under a server span (named `METHOD pattern`,
+    /// attributed to `service`), the handler sees the server span's context
+    /// so downstream calls chain onto it, and every response — including
+    /// [`ApiError`] mappings and 404s — echoes the request's trace id in an
+    /// `x-vnfguard-trace` header. `now_fn` supplies simulated unix seconds
+    /// for span timestamps.
+    pub fn instrument_traces(
+        &mut self,
+        telemetry: &Telemetry,
+        service: &str,
+        now_fn: impl Fn() -> u64 + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.tracing = Some(RouterTracing {
+            telemetry: telemetry.clone(),
+            service: service.to_string(),
+            now_fn: Arc::new(now_fn),
+        });
         self
     }
 
@@ -137,6 +170,7 @@ impl Router {
             .collect();
         self.routes.push(Route {
             method,
+            pattern: pattern.to_string(),
             segments,
             handler: Arc::new(handler),
         });
@@ -244,13 +278,37 @@ impl Router {
         if let Some(counter) = &self.requests_total {
             counter.inc();
         }
-        let response = match self.match_route(request.method, &request.path) {
-            Some((route, params)) => (route.handler)(request, &params),
+        let incoming = self
+            .tracing
+            .as_ref()
+            .and_then(|tracing| request.trace_context().map(|ctx| (tracing, ctx)));
+        let mut response = match self.match_route(request.method, &request.path) {
+            Some((route, params)) => match &incoming {
+                Some((tracing, ctx)) => {
+                    let name = format!("{} {}", request.method.as_str(), route.pattern);
+                    let (server_ctx, _span) = tracing.telemetry.trace_child(
+                        ctx,
+                        &tracing.service,
+                        &name,
+                        (tracing.now_fn)(),
+                    );
+                    // Hand the handler the server span's context so its
+                    // downstream clients chain onto this hop.
+                    let traced = request.clone().with_trace(&server_ctx);
+                    (route.handler)(&traced, &params)
+                }
+                None => (route.handler)(request, &params),
+            },
             None => Response::error(
                 Status::NotFound,
                 &format!("no route for {} {}", request.method.as_str(), request.path),
             ),
         };
+        if let Some((_, ctx)) = &incoming {
+            response
+                .headers
+                .insert("x-vnfguard-trace".into(), format!("{:032x}", ctx.trace_id));
+        }
         if !response.status.is_success() {
             if let Some(counter) = &self.request_errors_total {
                 counter.inc();
@@ -423,5 +481,50 @@ mod tests {
         assert_eq!(requests.get(), 3);
         // /fail (500) and the unmatched route (404) both count as errors.
         assert_eq!(errors.get(), 2);
+    }
+
+    #[test]
+    fn traced_dispatch_opens_server_span_and_rechains_handler() {
+        let telemetry = Telemetry::new();
+        let mut r = Router::new();
+        r.instrument_traces(&telemetry, "vm_api", || 1_600_000_000);
+        r.get("/chained", |request, _| {
+            // The handler must see the server span's context, not the
+            // caller's, so downstream hops parent correctly.
+            let ctx = request.trace_context().expect("handler sees trace");
+            assert!(ctx.parent_id.is_none(), "parent id is not wire-carried");
+            Response::new(Status::Ok)
+        });
+        let (root, root_guard) = telemetry.trace_root("client", "drill", 0);
+        let response = r.dispatch(&Request::get("/chained").with_trace(&root));
+        drop(root_guard);
+        assert_eq!(response.status, Status::Ok);
+        assert_eq!(
+            response.header("x-vnfguard-trace"),
+            Some(format!("{:032x}", root.trace_id).as_str())
+        );
+        let spans = telemetry.traces().trace(root.trace_id);
+        let server = spans.iter().find(|s| s.name == "GET /chained").unwrap();
+        assert_eq!(server.service, "vm_api");
+        assert_eq!(server.parent_id, Some(root.span_id));
+    }
+
+    #[test]
+    fn api_errors_echo_trace_id_header() {
+        let telemetry = Telemetry::new();
+        let mut r = Router::new();
+        r.instrument_traces(&telemetry, "vm_api", || 0);
+        r.get_api("/fail", |_, _| Err(ApiError::forbidden("denied")));
+        let (root, _guard) = telemetry.trace_root("client", "drill", 0);
+        let expected = format!("{:032x}", root.trace_id);
+        let failure = r.dispatch(&Request::get("/fail").with_trace(&root));
+        assert_eq!(failure.status, Status::Forbidden);
+        assert_eq!(failure.header("x-vnfguard-trace"), Some(expected.as_str()));
+        // Unmatched routes echo the trace id too.
+        let missing = r.dispatch(&Request::get("/nope").with_trace(&root));
+        assert_eq!(missing.status, Status::NotFound);
+        assert_eq!(missing.header("x-vnfguard-trace"), Some(expected.as_str()));
+        // Requests without a traceparent get no echo header.
+        assert_eq!(r.dispatch(&Request::get("/fail")).header("x-vnfguard-trace"), None);
     }
 }

@@ -301,6 +301,9 @@ pub fn serve_with_identity<U: StreamUpgrade>(
 }
 
 /// A simple client: one request per call over a fresh or kept-alive stream.
+///
+/// trace-opt-out: transport-level client with no telemetry handle; callers
+/// inject trace context per request via `Request::with_trace`.
 pub struct HttpClient<S: Read + Write> {
     stream: S,
 }

@@ -29,10 +29,12 @@
 pub mod journal;
 pub mod metrics;
 pub mod spans;
+pub mod trace;
 
 pub use journal::{Event, Journal};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use spans::{SpanGuard, SpanRecord, Tracer};
+pub use trace::{Annotation, TraceCollector, TraceContext, TraceIds, TraceSpan, TraceSummary};
 
 /// One observability handle bundling metrics, spans and the event journal.
 ///
@@ -45,6 +47,8 @@ pub struct Telemetry {
     metrics: MetricsRegistry,
     tracer: Tracer,
     journal: Journal,
+    traces: TraceCollector,
+    trace_ids: TraceIds,
 }
 
 impl Telemetry {
@@ -55,6 +59,8 @@ impl Telemetry {
             metrics: MetricsRegistry::default(),
             tracer: Tracer::default(),
             journal: Journal::default(),
+            traces: TraceCollector::default(),
+            trace_ids: TraceIds::default(),
         }
     }
 
@@ -85,6 +91,27 @@ impl Telemetry {
     /// The structured event journal backing this handle.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// The distributed-trace collector backing this handle.
+    pub fn traces(&self) -> &TraceCollector {
+        &self.traces
+    }
+
+    /// The seeded trace/span id generator backing this handle.
+    pub fn trace_ids(&self) -> &TraceIds {
+        &self.trace_ids
+    }
+
+    /// Reseed the trace/span id generator (the deployment builder derives
+    /// this from its HMAC-DRBG so ids are deterministic per testbed seed).
+    pub fn seed_trace_ids(&self, seed: u64) {
+        self.trace_ids.seed(seed);
+    }
+
+    /// Set the head-based sampling rate for new trace roots.
+    pub fn set_trace_sampling(&self, rate: f64) {
+        self.trace_ids.set_sample_rate(rate);
     }
 
     /// Get-or-register a counter. Disabled handles return a detached
@@ -136,9 +163,104 @@ impl Telemetry {
         }
     }
 
-    /// Render every registered metric in Prometheus text exposition format.
+    /// Start a new distributed trace: draws a fresh trace id, makes the
+    /// head-based sampling decision, and opens the root span (named `name`,
+    /// attributed to `service`). Returns the context to propagate plus the
+    /// root's guard. Disabled handles return an invalid context and a noop
+    /// guard.
+    pub fn trace_root(&self, service: &str, name: &str, unix_now: u64) -> (TraceContext, SpanGuard) {
+        if !self.enabled {
+            return (TraceContext::disabled(), SpanGuard::noop());
+        }
+        let ctx = TraceContext {
+            trace_id: self.trace_ids.next_trace_id(),
+            span_id: self.trace_ids.next_span_id(),
+            parent_id: None,
+            sampled: self.trace_ids.decide_sampled(),
+        };
+        let guard = self.open_trace_span(&ctx, service, name, unix_now);
+        (ctx, guard)
+    }
+
+    /// Open a span as a child of `parent` within the same trace. When the
+    /// parent is not recording (invalid, unsampled, or disabled telemetry)
+    /// the span still lands in the local [`Tracer`] but not in the trace
+    /// collector, and the parent context is propagated unchanged.
+    pub fn trace_child(
+        &self,
+        parent: &TraceContext,
+        service: &str,
+        name: &str,
+        unix_now: u64,
+    ) -> (TraceContext, SpanGuard) {
+        if !self.enabled {
+            return (parent.clone(), SpanGuard::noop());
+        }
+        if !parent.is_recording() {
+            return (parent.clone(), self.tracer.start(name, unix_now));
+        }
+        let ctx = TraceContext {
+            trace_id: parent.trace_id,
+            span_id: self.trace_ids.next_span_id(),
+            parent_id: Some(parent.span_id),
+            sampled: true,
+        };
+        let guard = self.open_trace_span(&ctx, service, name, unix_now);
+        (ctx, guard)
+    }
+
+    fn open_trace_span(
+        &self,
+        ctx: &TraceContext,
+        service: &str,
+        name: &str,
+        unix_now: u64,
+    ) -> SpanGuard {
+        let guard = self.tracer.start(name, unix_now);
+        if !ctx.is_recording() {
+            return guard;
+        }
+        guard.with_trace(spans::OpenTraceSpan {
+            collector: self.traces.clone(),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            service: service.to_string(),
+            name: name.to_string(),
+            started_at: unix_now,
+            offset_micros: self.traces.offset_micros(),
+        })
+    }
+
+    /// Attach an annotation (fault, retry, breaker transition, crash,
+    /// recovery, ...) to the span identified by `ctx`. No-op when disabled
+    /// or when the context is not recording.
+    pub fn trace_annotate(&self, ctx: &TraceContext, time: u64, kind: &str, detail: &str) {
+        if self.enabled && ctx.is_recording() {
+            self.traces.annotate(ctx.span_id, time, kind, detail);
+        }
+    }
+
+    /// Render every registered metric in Prometheus text exposition format,
+    /// plus the telemetry subsystem's own data-loss counters (journal and
+    /// span ring-buffer evictions) so scrape-side can detect observability
+    /// data loss.
     pub fn render_prometheus(&self) -> String {
-        self.metrics.render_prometheus()
+        let mut out = self.metrics.render_prometheus();
+        if !self.enabled {
+            return out;
+        }
+        for (name, value) in [
+            ("vnfguard_telemetry_journal_dropped_total", self.journal.dropped()),
+            ("vnfguard_telemetry_spans_dropped_total", self.tracer.dropped()),
+            (
+                "vnfguard_telemetry_trace_spans_dropped_total",
+                self.traces.dropped(),
+            ),
+        ] {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        out
     }
 }
 
@@ -184,6 +306,55 @@ mod tests {
         assert_eq!(tele.render_prometheus(), "");
         assert_eq!(tele.journal().len(), 0);
         assert!(tele.tracer().finished().is_empty());
+    }
+
+    #[test]
+    fn trace_root_and_children_assemble_one_tree() {
+        let tele = Telemetry::new();
+        let (root, root_guard) = tele.trace_root("operator", "drill", 100);
+        assert!(root.is_recording());
+        {
+            let (child, _guard) = tele.trace_child(&root, "vm", "attest", 101);
+            assert_eq!(child.trace_id, root.trace_id);
+            assert_eq!(child.parent_id, Some(root.span_id));
+            tele.trace_annotate(&child, 101, "fault", "ias:443 refused");
+        }
+        drop(root_guard);
+        let spans = tele.traces().trace(root.trace_id);
+        assert_eq!(spans.len(), 2);
+        let child = spans.iter().find(|s| s.name == "attest").unwrap();
+        assert_eq!(child.annotations.len(), 1);
+        assert_eq!(child.annotations[0].detail, "ias:443 refused");
+        // the local tracer sees the same spans (dual recording)
+        assert_eq!(tele.tracer().finished().len(), 2);
+    }
+
+    #[test]
+    fn unsampled_and_disabled_traces_record_nothing() {
+        let tele = Telemetry::new();
+        tele.set_trace_sampling(0.0);
+        let (root, guard) = tele.trace_root("operator", "quiet", 0);
+        assert!(root.is_valid() && !root.sampled);
+        drop(guard);
+        assert_eq!(tele.traces().span_count(), 0);
+        // the plain tracer still recorded the span locally
+        assert_eq!(tele.tracer().finished().len(), 1);
+
+        let off = Telemetry::disabled();
+        let (ctx, guard) = off.trace_root("operator", "void", 0);
+        assert!(!ctx.is_valid());
+        drop(guard);
+        assert_eq!(off.traces().span_count(), 0);
+    }
+
+    #[test]
+    fn render_exposes_drop_counters() {
+        let tele = Telemetry::new();
+        let text = tele.render_prometheus();
+        assert!(text.contains("vnfguard_telemetry_journal_dropped_total 0"));
+        assert!(text.contains("vnfguard_telemetry_spans_dropped_total 0"));
+        assert!(text.contains("vnfguard_telemetry_trace_spans_dropped_total 0"));
+        assert_eq!(Telemetry::disabled().render_prometheus(), "");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Hierarchical spans: RAII-timed regions with parent/child structure.
 
 use crate::metrics::Histogram;
+use crate::trace::{TraceCollector, TraceSpan};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -35,6 +36,7 @@ struct TracerInner {
     open: Vec<OpenSpan>,
     finished: VecDeque<SpanRecord>,
     capacity: usize,
+    dropped: u64,
 }
 
 impl Default for TracerInner {
@@ -45,6 +47,7 @@ impl Default for TracerInner {
             open: Vec::new(),
             finished: VecDeque::new(),
             capacity: 4096,
+            dropped: 0,
         }
     }
 }
@@ -82,6 +85,7 @@ impl Tracer {
             id,
             begun: Instant::now(),
             histogram: None,
+            trace: None,
         }
     }
 
@@ -94,6 +98,7 @@ impl Tracer {
             let open = inner.open.remove(pos);
             if inner.finished.len() >= inner.capacity {
                 inner.finished.pop_front();
+                inner.dropped += 1;
             }
             inner.finished.push_back(SpanRecord {
                 id: open.id,
@@ -121,6 +126,11 @@ impl Tracer {
     pub fn open_count(&self) -> usize {
         self.inner.lock().expect("tracer poisoned").open.len()
     }
+
+    /// Number of finished spans evicted from the ring buffer so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("tracer poisoned").dropped
+    }
 }
 
 impl std::fmt::Debug for Tracer {
@@ -133,13 +143,28 @@ impl std::fmt::Debug for Tracer {
     }
 }
 
+/// The trace-side half of an open span: where and as-what to record it in
+/// the [`TraceCollector`] when the guard drops.
+pub(crate) struct OpenTraceSpan {
+    pub collector: TraceCollector,
+    pub trace_id: u128,
+    pub span_id: u64,
+    pub parent_id: Option<u64>,
+    pub service: String,
+    pub name: String,
+    pub started_at: u64,
+    pub offset_micros: u64,
+}
+
 /// RAII guard for an open span; records the span (and optionally a
-/// histogram sample of its duration) on drop.
+/// histogram sample of its duration, and optionally a distributed-trace
+/// span) on drop.
 pub struct SpanGuard {
     tracer: Option<Tracer>,
     id: u64,
     begun: Instant,
     histogram: Option<Histogram>,
+    trace: Option<OpenTraceSpan>,
 }
 
 impl SpanGuard {
@@ -150,12 +175,19 @@ impl SpanGuard {
             id: 0,
             begun: Instant::now(),
             histogram: None,
+            trace: None,
         }
     }
 
     /// Also record the span's duration into `histogram` on drop.
     pub fn with_histogram(mut self, histogram: Histogram) -> SpanGuard {
         self.histogram = Some(histogram);
+        self
+    }
+
+    /// Also record the span into a trace collector on drop.
+    pub(crate) fn with_trace(mut self, trace: OpenTraceSpan) -> SpanGuard {
+        self.trace = Some(trace);
         self
     }
 }
@@ -168,6 +200,19 @@ impl Drop for SpanGuard {
         }
         if let Some(tracer) = &self.tracer {
             tracer.finish(self.id, micros);
+        }
+        if let Some(trace) = self.trace.take() {
+            trace.collector.record(TraceSpan {
+                trace_id: trace.trace_id,
+                span_id: trace.span_id,
+                parent_id: trace.parent_id,
+                service: trace.service,
+                name: trace.name,
+                started_at: trace.started_at,
+                offset_micros: trace.offset_micros,
+                duration_micros: micros,
+                annotations: Vec::new(),
+            });
         }
     }
 }
@@ -246,5 +291,6 @@ mod tests {
         assert_eq!(spans.len(), 4096);
         assert_eq!(spans.first().unwrap().name, "s904");
         assert_eq!(spans.last().unwrap().name, "s4999");
+        assert_eq!(tracer.dropped(), 904);
     }
 }

@@ -219,6 +219,26 @@ impl VnfGuard {
         Ok(read_response(&mut reader)?)
     }
 
+    /// Like [`request`](Self::request), but stamps the wire-format trace
+    /// context (`traceparent` value) onto the request first. The VNF crate
+    /// carries no telemetry handle, so the caller hands over the header
+    /// string produced by `TraceContext::traceparent()`; `None` leaves the
+    /// request untraced.
+    pub fn request_traced(
+        &mut self,
+        session: u32,
+        request: &Request,
+        traceparent: Option<&str>,
+    ) -> Result<Response, VnfError> {
+        match traceparent {
+            Some(value) if !request.headers.contains_key("traceparent") => {
+                let traced = request.clone().with_header("traceparent", value);
+                self.request(session, &traced)
+            }
+            _ => self.request(session, request),
+        }
+    }
+
     /// Close an in-enclave session.
     pub fn close_session(&mut self, session: u32) -> Result<(), VnfError> {
         self.run_io_ecall(op::CLOSE_SESSION, &session.to_be_bytes())?;
