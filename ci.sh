@@ -44,7 +44,7 @@ echo "== wal hygiene: manager mutations must journal before mutating =="
 # (WalRecord append). Keeps new workflow endpoints from bypassing the WAL.
 violations=$(awk '
   function flush() {
-    if (is_pub && body ~ /\.ca\.(issue|revoke)\(|enrollments\.(insert|remove)\(/ \
+    if (is_pub && body ~ /\.ca\.(issue|revoke|issue_crl|rotate_to)\(|enrollments\.(insert|remove)\(/ \
         && body !~ /journal/)
       print "crates/core/src/manager.rs: pub fn " name " mutates authority state without a WAL append"
     body = ""; is_pub = 0; name = ""
@@ -85,5 +85,8 @@ fi
 
 echo "== e12: tracing overhead bar (<=5% vs disabled telemetry) =="
 cargo bench -p vnfguard-bench --bench e12_tracing
+
+echo "== e13: lifecycle (renewal vs enrollment, rotation, CRL lookup) =="
+cargo bench -p vnfguard-bench --bench e13_lifecycle
 
 echo "CI OK"

@@ -1,0 +1,152 @@
+//! E13 — credential lifecycle: the lightweight renewal path against the
+//! full six-step enrollment it replaces, CA rotation and handover
+//! verification cost, and the controller's per-handshake CRL lookup as
+//! revocations accumulate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vnfguard_core::deployment::TestbedBuilder;
+use vnfguard_core::lifecycle::verify_handover;
+use vnfguard_crypto::drbg::HmacDrbg;
+use vnfguard_crypto::ed25519::SigningKey;
+use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
+use vnfguard_pki::cert::{DistinguishedName, KeyUsage, Validity};
+use vnfguard_pki::crl::RevocationReason;
+use vnfguard_pki::TrustStore;
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_lifecycle");
+
+    // The paper's enrollment (steps 3-5: challenge, quote, IAS round,
+    // issue, wrap) versus the renewal path (verdict check, issue, wrap).
+    // The gap is what makes short-lived credentials affordable.
+    group.bench_function("full_enrollment", |b| {
+        let mut tb = TestbedBuilder::new(b"e13 enrollment").build();
+        tb.attest_host(0).unwrap();
+        let guard = tb.deploy_guard(0, "vnf-bench", 1).unwrap();
+        b.iter(|| black_box(tb.enroll(0, &guard).unwrap()));
+    });
+
+    group.bench_function("renewal", |b| {
+        let mut tb = TestbedBuilder::new(b"e13 renewal").build();
+        tb.attest_host(0).unwrap();
+        let guard = tb.deploy_guard(0, "vnf-bench", 1).unwrap();
+        let mut serial = tb.enroll(0, &guard).unwrap().serial();
+        b.iter(|| {
+            let renewed = tb.renew(&guard, serial).unwrap();
+            serial = renewed.serial();
+            black_box(renewed)
+        });
+    });
+
+    // Manager-side only (the provisioning ecall into the enclave is the
+    // same in both paths): attestation challenge + quote + IAS round +
+    // issuance, versus verdict check + issuance.
+    group.bench_function("vm_enrollment_path", |b| {
+        let mut tb = TestbedBuilder::new(b"e13 vm enrollment").build();
+        tb.attest_host(0).unwrap();
+        let guard = tb.deploy_guard(0, "vnf-bench", 1).unwrap();
+        let host_id = tb.hosts[0].id.clone();
+        let key = guard.provisioning_key().unwrap();
+        b.iter(|| {
+            let challenge = tb.vm.begin_vnf_attestation(&host_id, &guard.name).unwrap();
+            let quote = guard
+                .quote(&tb.hosts[0].platform, &challenge.nonce, challenge.nonce)
+                .unwrap();
+            black_box(
+                tb.vm
+                    .complete_vnf_enrollment(
+                        &mut tb.ias,
+                        challenge.id,
+                        &quote.encode(),
+                        &key,
+                        "controller",
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+
+    group.bench_function("vm_renewal_path", |b| {
+        let mut tb = TestbedBuilder::new(b"e13 vm renewal").build();
+        tb.attest_host(0).unwrap();
+        let guard = tb.deploy_guard(0, "vnf-bench", 1).unwrap();
+        let key = guard.provisioning_key().unwrap();
+        let mut serial = tb.enroll(0, &guard).unwrap().serial();
+        b.iter(|| {
+            let (wrapped, renewed) = tb
+                .vm
+                .renew_vnf_credential(serial, &key, "controller")
+                .unwrap();
+            serial = renewed.serial();
+            black_box((wrapped, renewed))
+        });
+    });
+
+    // One CA rotation: next-epoch keygen, self-signed root, cross-sign,
+    // WAL records.
+    group.bench_function("rotate_ca", |b| {
+        let mut tb = TestbedBuilder::new(b"e13 rotation").build();
+        b.iter(|| black_box(tb.rotate_ca().unwrap()));
+    });
+
+    // The relying-party side of a rotation: verifying the cross-signed
+    // handover against the existing anchors.
+    group.bench_function("verify_handover", |b| {
+        let mut rng = HmacDrbg::new(b"e13 handover");
+        let mut ca = CertificateAuthority::new(
+            DistinguishedName::new("vm-ca"),
+            Validity::new(0, u64::MAX / 2),
+            &mut rng,
+        );
+        let mut store = TrustStore::new();
+        store.add_anchor(ca.certificate().clone()).unwrap();
+        let (root, cross) = ca.rotate_to(
+            SigningKey::from_seed(&[7; 32]),
+            Validity::new(0, u64::MAX / 2),
+        );
+        b.iter(|| black_box(verify_handover(&store, &root, &cross).is_ok()));
+    });
+
+    // Controller-side cost of enforcing a distributed CRL during client
+    // validation, as the revocation list grows.
+    for revoked in [10usize, 100, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("controller_crl_lookup", revoked),
+            &revoked,
+            |b, &revoked| {
+                let mut rng = HmacDrbg::new(b"e13 crl");
+                let mut ca = CertificateAuthority::new(
+                    DistinguishedName::new("vm-ca"),
+                    Validity::new(0, u64::MAX / 2),
+                    &mut rng,
+                );
+                let key = SigningKey::from_seed(&[1; 32]);
+                for i in 0..revoked {
+                    let cert = ca.issue(
+                        DistinguishedName::new(&format!("vnf-{i}")),
+                        key.public_key(),
+                        &IssueProfile::vnf_client([0; 32]),
+                        0,
+                    );
+                    ca.revoke(cert.serial(), RevocationReason::KeyCompromise, 1);
+                }
+                let good = ca.issue(
+                    DistinguishedName::new("vnf-good"),
+                    key.public_key(),
+                    &IssueProfile::vnf_client([0; 32]),
+                    0,
+                );
+                let mut store = TrustStore::new();
+                store.add_anchor(ca.certificate().clone()).unwrap();
+                store.install_crl(ca.current_crl(10, 300)).unwrap();
+                b.iter(|| black_box(store.validate(&good, 100, KeyUsage::CLIENT_AUTH).is_ok()));
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_e13);
+criterion_main!(benches);

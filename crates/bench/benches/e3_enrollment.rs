@@ -78,6 +78,7 @@ fn bench_e3(c: &mut Criterion) {
             certificate: cert,
             ca_certificate: ca.certificate().clone(),
             server_cn: "controller".into(),
+            ca_previous: Vec::new(),
         };
         let enclave_key = vnfguard_crypto::x25519::EphemeralKeyPair::from_seed([9; 32]);
         b.iter(|| {

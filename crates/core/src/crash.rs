@@ -25,6 +25,10 @@ pub const CRASH_SITES: &[&str] = &[
     "enrollment.expire",
     "revocation.revoke",
     "degraded.verdict",
+    "renewal.issue",
+    "rotation.prepare",
+    "rotation.commit",
+    "crl.issue",
 ];
 
 /// One evaluated crash decision (the replay witness).

@@ -7,6 +7,7 @@
 
 use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
 use crate::crash::CrashPlan;
+use crate::lifecycle::{verify_handover, CaRotation};
 use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
 use crate::revocation::RevocationNotifier;
 use crate::CoreError;
@@ -22,7 +23,7 @@ use vnfguard_ima::list::IMA_PCR;
 use vnfguard_ima::tpm::SimTpm;
 use vnfguard_net::fabric::Network;
 use vnfguard_pki::cert::Certificate;
-use vnfguard_pki::{KeyStore, TrustStore};
+use vnfguard_pki::{KeyStore, RevocationPolicy, TrustStore};
 use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::measurement::Measurement;
 use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
@@ -90,6 +91,10 @@ pub struct TestbedBuilder {
     crash_plan: Option<CrashPlan>,
     pending_enrollment_ttl: Option<u64>,
     tracing: Option<f64>,
+    renewal_window: Option<u64>,
+    crl_lifetime: Option<u64>,
+    rotation_drain: Option<u64>,
+    revocation_policy: Option<RevocationPolicy>,
 }
 
 impl TestbedBuilder {
@@ -110,6 +115,10 @@ impl TestbedBuilder {
             crash_plan: None,
             pending_enrollment_ttl: None,
             tracing: None,
+            renewal_window: None,
+            crl_lifetime: None,
+            rotation_drain: None,
+            revocation_policy: None,
         }
     }
 
@@ -188,6 +197,32 @@ impl TestbedBuilder {
         self
     }
 
+    /// Flag credentials for renewal `secs` before expiry (see
+    /// `VerificationManager::certs_expiring`).
+    pub fn renewal_window(mut self, secs: u64) -> TestbedBuilder {
+        self.renewal_window = Some(secs);
+        self
+    }
+
+    /// `next_update` horizon of CRLs issued by the VM.
+    pub fn crl_lifetime(mut self, secs: u64) -> TestbedBuilder {
+        self.crl_lifetime = Some(secs);
+        self
+    }
+
+    /// Length of the dual-trust window after a CA rotation.
+    pub fn rotation_drain(mut self, secs: u64) -> TestbedBuilder {
+        self.rotation_drain = Some(secs);
+        self
+    }
+
+    /// Revocation posture of the controller's trust store when its cached
+    /// CRL goes stale (CA validation model only; default fail-open).
+    pub fn revocation_policy(mut self, policy: RevocationPolicy) -> TestbedBuilder {
+        self.revocation_policy = Some(policy);
+        self
+    }
+
     /// Enable end-to-end distributed tracing: seed the deployment's trace-id
     /// generator from the testbed seed (ids stay reproducible run-to-run),
     /// head-sample new traces at `sample_rate` (clamped to `0.0..=1.0`), and
@@ -221,6 +256,15 @@ impl TestbedBuilder {
         }
         if let Some(ttl) = self.pending_enrollment_ttl {
             vm_config = vm_config.pending_enrollment_ttl_secs(ttl);
+        }
+        if let Some(secs) = self.renewal_window {
+            vm_config = vm_config.renewal_window_secs(secs);
+        }
+        if let Some(secs) = self.crl_lifetime {
+            vm_config = vm_config.crl_lifetime_secs(secs);
+        }
+        if let Some(secs) = self.rotation_drain {
+            vm_config = vm_config.rotation_drain_secs(secs);
         }
         let vm_config = vm_config.build().expect("testbed manager config is valid");
 
@@ -285,6 +329,9 @@ impl TestbedBuilder {
                 store
                     .add_anchor(vm.ca_certificate().clone())
                     .expect("VM CA is a valid anchor");
+                if let Some(policy) = self.revocation_policy {
+                    store.set_revocation_policy(policy);
+                }
                 ClientValidator::ca(store)
             }
             ValidationModel::Keystore => ClientValidator::keystore(KeyStore::new()),
@@ -548,16 +595,82 @@ impl Testbed {
         Ok(certificate)
     }
 
-    /// Distribute the VM's current CRL to the controller (revocation
-    /// propagation; experiment E8).
+    /// Issue a fresh, journaled CRL on the VM and distribute it to the
+    /// controller (revocation propagation; experiments E8 and E13).
     pub fn push_crl(&mut self) -> Result<(), CoreError> {
-        let crl = self.vm.current_crl(3600);
+        let crl = self.vm.issue_crl()?;
         if let Some(validator) = self.controller.client_validator() {
             if let Some(store) = validator.trust_store() {
                 store.write().install_crl(crl)?;
             }
         }
         Ok(())
+    }
+
+    /// Renew an enrolled guard's credential by serial: a fresh certificate
+    /// is wrapped to the guard's provisioning key without re-running the
+    /// six-step enrollment, provided the host's attestation verdict is
+    /// still fresh. Returns the new certificate.
+    pub fn renew(&mut self, guard: &VnfGuard, serial: u64) -> Result<Certificate, CoreError> {
+        let provisioning_key = guard.provisioning_key()?;
+        let (wrapped, certificate) =
+            self.vm
+                .renew_vnf_credential(serial, &provisioning_key, &self.controller_cn)?;
+        guard.provision(&wrapped)?;
+        if self.validation == ValidationModel::Keystore {
+            if let Some(validator) = self.controller.client_validator() {
+                if let Some(keystore) = validator.key_store() {
+                    keystore.write().set(&guard.name, certificate.clone());
+                }
+            }
+        }
+        Ok(certificate)
+    }
+
+    /// Rotate the VM's CA to a new key, cross-signed by the old one. The
+    /// controller keeps trusting the old root until
+    /// [`retire_previous_roots`](Testbed::retire_previous_roots) — the
+    /// dual-trust drain window.
+    pub fn rotate_ca(&mut self) -> Result<CaRotation, CoreError> {
+        self.vm.rotate_ca()
+    }
+
+    /// Deliver a CA rotation to the controller: verify the cross-signed
+    /// handover against its existing anchors, then add the new root so
+    /// both generations validate during the drain window.
+    pub fn distribute_ca(&mut self, rotation: &CaRotation) -> Result<(), CoreError> {
+        if let Some(validator) = self.controller.client_validator() {
+            if let Some(store) = validator.trust_store() {
+                let mut store = store.write();
+                verify_handover(&store, &rotation.new_root, &rotation.cross_signed)?;
+                store.add_anchor(rotation.new_root.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// End the dual-trust window: drop every controller anchor that is not
+    /// the VM's current CA root. Returns how many anchors were retired.
+    pub fn retire_previous_roots(&mut self) -> usize {
+        let current = self.vm.ca_certificate().fingerprint();
+        let cn = self.vm.ca_certificate().subject_cn().to_string();
+        let mut retired = 0;
+        if let Some(validator) = self.controller.client_validator() {
+            if let Some(store) = validator.trust_store() {
+                let mut store = store.write();
+                let stale: Vec<[u8; 32]> = store
+                    .anchors()
+                    .filter(|a| a.subject_cn() == cn && a.fingerprint() != current)
+                    .map(|a| a.fingerprint())
+                    .collect();
+                for fp in stale {
+                    if store.remove_anchor(&fp) {
+                        retired += 1;
+                    }
+                }
+            }
+        }
+        retired
     }
 
     /// Step 6 convenience: open an in-enclave TLS session from a guard to

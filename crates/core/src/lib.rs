@@ -35,6 +35,7 @@
 pub mod attestation;
 pub mod crash;
 pub mod deployment;
+pub mod lifecycle;
 pub mod manager;
 pub mod remote;
 pub mod resilience;
@@ -42,6 +43,9 @@ pub mod revocation;
 
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
 pub use crash::{CrashEvent, CrashPlan};
+pub use lifecycle::{
+    verify_handover, CaRotation, LifecycleMonitor, LifecycleStatus, LifecycleTick, RenewalDue,
+};
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
 pub use manager::{ManagerConfig, ManagerConfigBuilder, RecoveryReport, VerificationManager};

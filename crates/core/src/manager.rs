@@ -2,6 +2,7 @@
 
 use crate::attestation::{host_report_data, HostEvidence};
 use crate::crash::CrashPlan;
+use crate::lifecycle::{CaRotation, LifecycleStatus, RenewalDue};
 use crate::revocation::{revocation_message, RevocationNotifier};
 use crate::CoreError;
 use std::collections::{BTreeMap, HashMap};
@@ -17,7 +18,7 @@ use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
 use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
 use vnfguard_pki::crl::{Crl, RevocationReason};
 use vnfguard_sgx::measurement::Measurement;
-use vnfguard_telemetry::{Counter, Histogram, SpanGuard, Telemetry, TraceContext};
+use vnfguard_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry, TraceContext};
 use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
 use vnfguard_vnf::wrap_credentials;
 
@@ -68,6 +69,18 @@ pub struct ManagerConfig {
     /// crash orphans during recovery). `0` disables the sweep and leaves
     /// recovery on its default grace period.
     pending_enrollment_ttl_secs: u64,
+    /// A credential becomes *due for renewal* this long before its
+    /// `not_after`. The renewal sweep and the guards' auto-renew hook both
+    /// key off this window; sweeps clamp it below the credential lifetime
+    /// so a short-lived deployment is not perpetually "due".
+    renewal_window_secs: u64,
+    /// `next_update` horizon of issued CRLs: a relying party whose cached
+    /// CRL is older than this is running on stale revocation data.
+    crl_lifetime_secs: u64,
+    /// After a CA rotation, relying parties keep the previous root
+    /// trusted for this long (the dual-trust drain window) so credentials
+    /// issued under the old key keep validating while the fleet renews.
+    rotation_drain_secs: u64,
 }
 
 impl Default for ManagerConfig {
@@ -84,6 +97,9 @@ impl Default for ManagerConfig {
             degraded_verdicts: false,
             degraded_ttl_secs: 900,
             pending_enrollment_ttl_secs: 0,
+            renewal_window_secs: 6 * 3600,
+            crl_lifetime_secs: 3600,
+            rotation_drain_secs: 24 * 3600,
         }
     }
 }
@@ -130,6 +146,18 @@ impl ManagerConfig {
 
     pub fn pending_enrollment_ttl_secs(&self) -> u64 {
         self.pending_enrollment_ttl_secs
+    }
+
+    pub fn renewal_window_secs(&self) -> u64 {
+        self.renewal_window_secs
+    }
+
+    pub fn crl_lifetime_secs(&self) -> u64 {
+        self.crl_lifetime_secs
+    }
+
+    pub fn rotation_drain_secs(&self) -> u64 {
+        self.rotation_drain_secs
     }
 }
 
@@ -198,6 +226,24 @@ impl ManagerConfigBuilder {
         self
     }
 
+    /// Flag credentials for renewal `secs` before they expire.
+    pub fn renewal_window_secs(mut self, secs: u64) -> Self {
+        self.config.renewal_window_secs = secs;
+        self
+    }
+
+    /// `next_update` horizon of issued CRLs.
+    pub fn crl_lifetime_secs(mut self, secs: u64) -> Self {
+        self.config.crl_lifetime_secs = secs;
+        self
+    }
+
+    /// Length of the dual-trust window after a CA rotation.
+    pub fn rotation_drain_secs(mut self, secs: u64) -> Self {
+        self.config.rotation_drain_secs = secs;
+        self
+    }
+
     /// Validate and produce the configuration.
     pub fn build(self) -> Result<ManagerConfig, CoreError> {
         let c = &self.config;
@@ -235,6 +281,23 @@ impl ManagerConfigBuilder {
                 "pending_enrollment_ttl_secs ({}) exceeds credential_validity_secs ({})",
                 c.pending_enrollment_ttl_secs, c.credential_validity_secs
             )));
+        }
+        if c.renewal_window_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "renewal_window_secs must be nonzero".into(),
+            ));
+        }
+        if c.crl_lifetime_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "crl_lifetime_secs must be nonzero".into(),
+            ));
+        }
+        if c.rotation_drain_secs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "rotation_drain_secs must be nonzero: credentials issued under the old \
+                 root need a window to renew"
+                    .into(),
+            ));
         }
         Ok(self.config)
     }
@@ -309,8 +372,16 @@ struct ManagerMetrics {
     recoveries: Counter,
     recovered_orphans: Counter,
     wal_records: Counter,
+    renewals: Counter,
+    renewal_failures: Counter,
+    rotations: Counter,
+    crls_issued: Counter,
+    certs_active: Gauge,
+    certs_expiring: Gauge,
+    crl_age_seconds: Gauge,
     host_attestation_micros: Histogram,
     enrollment_micros: Histogram,
+    renewal_micros: Histogram,
 }
 
 impl ManagerMetrics {
@@ -329,8 +400,16 @@ impl ManagerMetrics {
             recoveries: telemetry.counter("vnfguard_core_recoveries_total"),
             recovered_orphans: telemetry.counter("vnfguard_core_recovery_orphans_total"),
             wal_records: telemetry.counter("vnfguard_core_wal_records_total"),
+            renewals: telemetry.counter("vnfguard_core_renewals_total"),
+            renewal_failures: telemetry.counter("vnfguard_core_renewal_failures_total"),
+            rotations: telemetry.counter("vnfguard_core_ca_rotations_total"),
+            crls_issued: telemetry.counter("vnfguard_core_crls_issued_total"),
+            certs_active: telemetry.gauge("vnfguard_core_certs_active"),
+            certs_expiring: telemetry.gauge("vnfguard_core_certs_expiring"),
+            crl_age_seconds: telemetry.gauge("vnfguard_core_crl_age_seconds"),
             host_attestation_micros: telemetry.histogram("vnfguard_core_host_attestation_micros"),
             enrollment_micros: telemetry.histogram("vnfguard_core_enrollment_micros"),
+            renewal_micros: telemetry.histogram("vnfguard_core_renewal_micros"),
         }
     }
 }
@@ -355,6 +434,13 @@ pub struct RecoveryReport {
     pub pending_restored: usize,
     /// Revocation-registry entries re-applied to the CA.
     pub revocations_restored: usize,
+    /// Committed CA rotations re-applied (deterministic key re-derivation
+    /// plus [`install_rotation`](CertificateAuthority::install_rotation)).
+    pub rotations_restored: usize,
+    /// A rotation was prepared but never committed before the crash: the
+    /// pass left the CA on the pre-rotation key (rollback) and the
+    /// operator should re-run the rotation.
+    pub rotation_rolled_back: bool,
     /// Orphaned pending enrollments aborted and revoked by this pass.
     pub orphans_aborted: usize,
     /// Undelivered revocation notices handed back to the notifier.
@@ -396,6 +482,14 @@ pub struct VerificationManager {
     /// Sealed write-ahead log; `None` runs the manager volatile (the
     /// paper's original posture).
     store: Option<StateStore>,
+    /// Seed for deriving per-epoch CA rotation keys (see
+    /// [`epoch_key`](Self::epoch_key)): recovery re-derives the same keys
+    /// from the same manager seed instead of persisting key material.
+    rotation_seed: [u8; 32],
+    /// When the last signed CRL was issued (drives the age gauge).
+    last_crl_issued_at: Option<u64>,
+    /// End of the dual-trust window opened by the last rotation.
+    rotation_drain_deadline: Option<u64>,
     /// Crash-point injection schedule (tests only in practice).
     crash_plan: Option<CrashPlan>,
     /// Set once a crash point fires: the site name. A crashed manager
@@ -429,6 +523,10 @@ impl VerificationManager {
             &mut rng,
         );
         let hmac_key = rng.gen_array::<32>();
+        // Rotation keys derive from the construction seed, not the DRBG
+        // stream: recovery must re-derive the exact epoch keys regardless
+        // of how far the dead incarnation had advanced its DRBG.
+        let rotation_seed = sha256(&[seed, b"ca rotation" as &[u8]].concat());
         let metrics = ManagerMetrics::bind(&telemetry);
         VerificationManager {
             config,
@@ -446,6 +544,9 @@ impl VerificationManager {
             telemetry,
             metrics,
             hmac_key,
+            rotation_seed,
+            last_crl_issued_at: None,
+            rotation_drain_deadline: None,
             store: None,
             crash_plan: None,
             crashed: None,
@@ -1168,6 +1269,7 @@ impl VerificationManager {
             certificate: certificate.clone(),
             ca_certificate: self.ca.certificate().clone(),
             server_cn: controller_cn.to_string(),
+            ca_previous: self.drain_window_roots(now),
         };
         let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
         drop(wrap_span);
@@ -1377,6 +1479,30 @@ impl VerificationManager {
             &[b"recovery generation" as &[u8], &generation.to_be_bytes()].concat(),
         );
         vm.ca.restore_issuance(state.max_serial + 1, state.issued);
+        vm.ca.restore_crl_number(state.crl_number);
+        // Re-apply committed rotations in epoch order: the per-epoch keys
+        // re-derive from the manager seed, and the journaled serials make
+        // the replayed roots byte-identical to the pre-crash ones.
+        for r in &state.rotations {
+            let key = vm.epoch_key(r.epoch);
+            vm.ca
+                .install_rotation(key, vm.config.ca_validity, r.root_serial, r.cross_serial);
+        }
+        if let Some(last) = state.rotations.last() {
+            vm.rotation_drain_deadline = Some(last.at + vm.config.rotation_drain_secs);
+        }
+        let rotation_rolled_back = state.pending_rotation.is_some();
+        if let Some(epoch) = state.pending_rotation {
+            // Prepared but never committed: the key swap never happened and
+            // no certificate was journaled, so recovery leaves the CA on
+            // the pre-crash epoch. The prepare marker is idempotent — a
+            // retried rotation re-prepares the same epoch.
+            vm.event(
+                now,
+                "ca_rotation_rolled_back",
+                &format!("epoch {epoch} prepared but never committed"),
+            );
+        }
         for (serial, (reason, at)) in &state.revoked {
             vm.ca
                 .revoke(*serial, RevocationReason::from_u8(*reason), *at);
@@ -1458,6 +1584,8 @@ impl VerificationManager {
             enrollments_restored: state.enrollments.len(),
             pending_restored,
             revocations_restored: state.revoked.len(),
+            rotations_restored: state.rotations.len(),
+            rotation_rolled_back,
             orphans_aborted,
             notices_requeued,
         };
@@ -1561,6 +1689,364 @@ impl VerificationManager {
     /// Explicit-time shim for [`current_crl`](Self::current_crl).
     pub fn current_crl_at(&self, now: u64, lifetime_secs: u64) -> Crl {
         self.ca.current_crl(now, lifetime_secs)
+    }
+
+    // ---- Credential lifecycle ---------------------------------------------
+
+    /// Issue a new numbered CRL for distribution. Unlike
+    /// [`current_crl`](Self::current_crl) (a read-only preview), this bumps
+    /// the monotonic CRL number and journals the issuance first, so the
+    /// number never regresses across a crash — relying parties use it to
+    /// reject replayed revocation data.
+    pub fn issue_crl(&mut self) -> Result<Crl, CoreError> {
+        self.issue_crl_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for [`issue_crl`](Self::issue_crl).
+    pub fn issue_crl_at(&mut self, now: u64) -> Result<Crl, CoreError> {
+        self.ensure_alive()?;
+        self.journal(&WalRecord::CrlIssued {
+            number: self.ca.crl_number() + 1,
+            at: now,
+        })?;
+        self.crash_point("crl.issue")?;
+        let crl = self.ca.issue_crl(now, self.config.crl_lifetime_secs);
+        self.last_crl_issued_at = Some(now);
+        self.metrics.crls_issued.inc();
+        self.metrics.crl_age_seconds.set(0);
+        self.event(
+            now,
+            "crl_issued",
+            &format!("number {}, {} entries", crl.crl_number, crl.len()),
+        );
+        Ok(crl)
+    }
+
+    /// The signing key for CA epoch `epoch`, derived deterministically from
+    /// the construction seed (epoch 0 is the original DRBG-derived key, so
+    /// this is only meaningful for `epoch >= 1`).
+    fn epoch_key(&self, epoch: u64) -> SigningKey {
+        let seed = sha256(&[&self.rotation_seed[..], &epoch.to_be_bytes()].concat());
+        SigningKey::from_seed(&seed)
+    }
+
+    /// Rotate the CA to a fresh key epoch.
+    ///
+    /// The new root is cross-signed by the *outgoing* key, so relying
+    /// parties can verify the handover against the anchor they already
+    /// trust (see [`crate::lifecycle::verify_handover`]). Both roots stay
+    /// valid through the dual-trust drain window; the revocation registry
+    /// and serial allocator carry over. The rotation is two-phase in the
+    /// WAL — `CaRotationPrepared` then `CaRotationCommitted` — and
+    /// [`recover`](Self::recover) resumes a committed rotation (re-deriving
+    /// the epoch key) or rolls back an uncommitted one.
+    pub fn rotate_ca(&mut self) -> Result<CaRotation, CoreError> {
+        self.rotate_ca_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for [`rotate_ca`](Self::rotate_ca).
+    pub fn rotate_ca_at(&mut self, now: u64) -> Result<CaRotation, CoreError> {
+        let saved_trace = self.active_trace.clone();
+        let result = {
+            let _span = self.workflow_span("ca_rotation", now);
+            self.rotate_ca_inner(now)
+        };
+        self.active_trace = saved_trace;
+        result
+    }
+
+    fn rotate_ca_inner(&mut self, now: u64) -> Result<CaRotation, CoreError> {
+        self.ensure_alive()?;
+        let epoch = self.ca.epoch() as u64 + 1;
+        self.journal(&WalRecord::CaRotationPrepared { epoch, at: now })?;
+        self.crash_point("rotation.prepare")?;
+        self.event(now, "ca_rotation_prepared", &format!("epoch {epoch}"));
+
+        // Journal the exact serials the rotation will mint, then the
+        // commit marker — all durable before any in-memory key swap, so
+        // recovery can replay the rotation byte-identically.
+        let root_serial = self.ca.next_serial();
+        let cross_serial = root_serial + 1;
+        self.journal(&WalRecord::CertIssued {
+            serial: root_serial,
+            subject: self.config.name.clone(),
+            at: now,
+        })?;
+        self.journal(&WalRecord::CertIssued {
+            serial: cross_serial,
+            subject: format!("{} (cross-signed)", self.config.name),
+            at: now,
+        })?;
+        self.journal(&WalRecord::CaRotationCommitted {
+            epoch,
+            root_serial,
+            cross_serial,
+            at: now,
+        })?;
+        self.crash_point("rotation.commit")?;
+
+        let (_, rotate_span) = self.step_span("rotate_keys", now);
+        let previous_root = self.ca.certificate().clone();
+        let new_key = self.epoch_key(epoch);
+        let (new_root, cross_signed) = self.ca.rotate_to(new_key, self.config.ca_validity);
+        drop(rotate_span);
+        self.metrics.certificates_issued.add(2);
+        self.metrics.rotations.inc();
+        let drain_deadline = now + self.config.rotation_drain_secs;
+        self.rotation_drain_deadline = Some(drain_deadline);
+        self.event(
+            now,
+            "ca_rotated",
+            &format!("epoch {epoch}, dual trust until {drain_deadline}"),
+        );
+        Ok(CaRotation {
+            epoch,
+            new_root,
+            cross_signed,
+            previous_root,
+            rotated_at: now,
+            drain_deadline,
+        })
+    }
+
+    /// Renew an established credential without re-running the six-step
+    /// enrollment protocol.
+    ///
+    /// The trust argument is the *cached attestation verdict*: renewal is
+    /// only granted while the hosting platform's last appraisal is both
+    /// trusted and fresh (the same recency bound enrollment itself uses).
+    /// A stale or failed verdict returns
+    /// [`CoreError::AttestationFailed`] — the caller must fall back to the
+    /// full protocol. The new certificate keeps the enclave binding of the
+    /// original enrollment and is wrapped for the same provisioning key;
+    /// the old credential stays valid until its own expiry (it was never
+    /// compromised — revoking it would break sessions mid-handover).
+    pub fn renew_vnf_credential(
+        &mut self,
+        serial: u64,
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        self.renew_vnf_credential_at(serial, provisioning_key, controller_cn, self.clock.now())
+    }
+
+    /// Explicit-time shim for
+    /// [`renew_vnf_credential`](Self::renew_vnf_credential).
+    pub fn renew_vnf_credential_at(
+        &mut self,
+        serial: u64,
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        now: u64,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let saved_trace = self.active_trace.clone();
+        let result = {
+            let _span = self
+                .workflow_span("credential_renewal", now)
+                .with_histogram(self.metrics.renewal_micros.clone());
+            self.renew_inner(serial, provisioning_key, controller_cn, now)
+        };
+        self.active_trace = saved_trace;
+        match &result {
+            Ok(_) => self.metrics.renewals.inc(),
+            Err(_) => self.metrics.renewal_failures.inc(),
+        }
+        result
+    }
+
+    fn renew_inner(
+        &mut self,
+        serial: u64,
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        now: u64,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        self.ensure_alive()?;
+        let old = self
+            .enrollments
+            .get(&serial)
+            .ok_or_else(|| {
+                CoreError::WorkflowViolation(format!("no enrollment with serial {serial}"))
+            })?
+            .clone();
+        if old.revoked {
+            return Err(CoreError::WorkflowViolation(format!(
+                "credential {serial} is revoked; renewal refused"
+            )));
+        }
+        if !self.host_is_trusted(&old.host_id, now) {
+            self.event(
+                now,
+                "renewal_refused",
+                &format!(
+                    "{} serial {serial}: host {} verdict stale",
+                    old.vnf_name, old.host_id
+                ),
+            );
+            return Err(CoreError::AttestationFailed(format!(
+                "host {} has no fresh trusted attestation; full re-attestation required",
+                old.host_id
+            )));
+        }
+
+        let (_, issue_span) = self.step_span("issue_certificate", now);
+        let key_seed = self.rng.gen_array::<32>();
+        let client_key = SigningKey::from_seed(&key_seed);
+        let certificate = self.ca.issue(
+            DistinguishedName::new(&old.vnf_name).with_org(&self.config.name),
+            client_key.public_key(),
+            &IssueProfile {
+                validity_secs: self.config.credential_validity_secs,
+                ..IssueProfile::vnf_client(*old.mrenclave.as_bytes())
+            },
+            now,
+        );
+        self.metrics.certificates_issued.inc();
+        drop(issue_span);
+        let (_, wrap_span) = self.step_span("wrap_credentials", now);
+        // The bundle carries the *current* root, so a renewal during a
+        // dual-trust window migrates the guard onto the new epoch — plus
+        // the draining roots, so it still validates a controller whose
+        // server certificate chains to the outgoing key.
+        let bundle = ProvisionBundle {
+            key_seed,
+            certificate: certificate.clone(),
+            ca_certificate: self.ca.certificate().clone(),
+            server_cn: controller_cn.to_string(),
+            ca_previous: self.drain_window_roots(now),
+        };
+        let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
+        drop(wrap_span);
+        let new_serial = certificate.serial();
+        self.journal(&WalRecord::CertIssued {
+            serial: new_serial,
+            subject: old.vnf_name.clone(),
+            at: now,
+        })?;
+        self.journal(&WalRecord::CredentialRenewed {
+            old_serial: serial,
+            new_serial,
+            vnf_name: old.vnf_name.clone(),
+            host_id: old.host_id.clone(),
+            mrenclave: *old.mrenclave.as_bytes(),
+            at: now,
+        })?;
+        self.crash_point("renewal.issue")?;
+        self.enrollments.insert(
+            new_serial,
+            EnrollmentRecord {
+                serial: new_serial,
+                vnf_name: old.vnf_name.clone(),
+                host_id: old.host_id,
+                mrenclave: old.mrenclave,
+                issued_at: now,
+                revoked: false,
+            },
+        );
+        self.event(
+            now,
+            "credential_renewed",
+            &format!("{} serial {serial} -> {new_serial}", old.vnf_name),
+        );
+        Ok((wrapped, certificate))
+    }
+
+    /// Unrevoked enrollments inside the renewal window at the clock's now.
+    pub fn certs_expiring(&self) -> Vec<RenewalDue> {
+        self.certs_expiring_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for [`certs_expiring`](Self::certs_expiring).
+    pub fn certs_expiring_at(&self, now: u64) -> Vec<RenewalDue> {
+        let validity = self.config.credential_validity_secs;
+        // Clamp: a window at or beyond the whole lifetime would flag every
+        // credential the moment it is issued.
+        let window = self
+            .config
+            .renewal_window_secs
+            .min(validity.saturating_sub(1));
+        self.enrollments
+            .values()
+            .filter(|e| !e.revoked)
+            .filter_map(|e| {
+                let not_after = e.issued_at.saturating_add(validity);
+                if now.saturating_add(window) >= not_after {
+                    Some(RenewalDue {
+                        serial: e.serial,
+                        vnf_name: e.vnf_name.clone(),
+                        host_id: e.host_id.clone(),
+                        not_after,
+                        expired: now > not_after,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Point-in-time lifecycle posture. Also refreshes the lifecycle
+    /// gauges (`vnfguard_core_certs_active`, `vnfguard_core_certs_expiring`,
+    /// `vnfguard_core_crl_age_seconds`) so a metrics scrape after any
+    /// status sweep sees current values.
+    pub fn lifecycle_status(&self) -> LifecycleStatus {
+        self.lifecycle_status_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for [`lifecycle_status`](Self::lifecycle_status).
+    pub fn lifecycle_status_at(&self, now: u64) -> LifecycleStatus {
+        let validity = self.config.credential_validity_secs;
+        let active = self
+            .enrollments
+            .values()
+            .filter(|e| !e.revoked && now <= e.issued_at.saturating_add(validity))
+            .count();
+        let expiring = self.certs_expiring_at(now).len();
+        let crl_age_secs = self.last_crl_issued_at.map(|at| now.saturating_sub(at));
+        self.metrics.certs_active.set(active as i64);
+        self.metrics.certs_expiring.set(expiring as i64);
+        if let Some(age) = crl_age_secs {
+            self.metrics.crl_age_seconds.set(age as i64);
+        }
+        LifecycleStatus {
+            at: now,
+            active,
+            expiring,
+            crl_age_secs,
+            epoch: self.ca.epoch() as u64,
+            crl_number: self.ca.crl_number(),
+            drain_deadline: self.rotation_drain_deadline,
+        }
+    }
+
+    /// Current CA key epoch (0 until the first rotation).
+    pub fn ca_epoch(&self) -> u64 {
+        self.ca.epoch() as u64
+    }
+
+    /// The current root endorsed by the previous epoch's key (`None`
+    /// before the first rotation).
+    pub fn ca_cross_signed(&self) -> Option<&Certificate> {
+        self.ca.cross_signed()
+    }
+
+    /// Self-signed roots from earlier key epochs, oldest first.
+    pub fn ca_previous_roots(&self) -> &[Certificate] {
+        self.ca.previous_roots()
+    }
+
+    /// End of the dual-trust window opened by the last rotation.
+    pub fn rotation_drain_deadline(&self) -> Option<u64> {
+        self.rotation_drain_deadline
+    }
+
+    /// Previous roots to bundle as extra trust anchors while a dual-trust
+    /// window is open; empty once the drain deadline passes.
+    fn drain_window_roots(&self, now: u64) -> Vec<Certificate> {
+        match self.rotation_drain_deadline {
+            Some(deadline) if now <= deadline => self.ca.previous_roots().to_vec(),
+            _ => Vec::new(),
+        }
     }
 
     /// Issue a client certificate for a non-enclave principal (operator
@@ -1700,6 +2186,51 @@ mod tests {
             .degraded_verdicts(true, 900)
             .build()
             .is_ok());
+    }
+
+    #[test]
+    fn renewal_window_clamps_below_credential_lifetime() {
+        // A window covering the whole lifetime must not flag a credential
+        // the instant it is issued.
+        let config = ManagerConfig::builder()
+            .credential_validity_secs(3600)
+            .renewal_window_secs(3600)
+            .build()
+            .unwrap();
+        let mut vm = VerificationManager::with_runtime(
+            config,
+            b"clamp test",
+            SimClock::at(1_000),
+            Telemetry::new(),
+        );
+        let key = SigningKey::from_seed(&[3; 32]);
+        let cert = vm.issue_client_certificate_at("op", key.public_key(), 1_000);
+        vm.enrollments.insert(
+            cert.serial(),
+            EnrollmentRecord {
+                serial: cert.serial(),
+                vnf_name: "op".into(),
+                host_id: "h".into(),
+                mrenclave: Measurement([0; 32]),
+                issued_at: 1_000,
+                revoked: false,
+            },
+        );
+        assert!(vm.certs_expiring_at(1_000).is_empty());
+        assert_eq!(vm.certs_expiring_at(1_001).len(), 1);
+    }
+
+    #[test]
+    fn builder_rejects_zero_lifecycle_horizons() {
+        assert!(ManagerConfig::builder()
+            .renewal_window_secs(0)
+            .build()
+            .is_err());
+        assert!(ManagerConfig::builder().crl_lifetime_secs(0).build().is_err());
+        assert!(ManagerConfig::builder()
+            .rotation_drain_secs(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -826,8 +826,19 @@ fn remote_enroll_vnf_inner(
 /// - `POST /vm/hosts/:id/attest` → `{verdict}`
 /// - `POST /vm/hosts/:id/vnfs/:name/enroll` → `{serial, subject}`
 /// - `POST /vm/revoke` `{serial, reason}` → `{}`
-/// - `GET  /vm/ca` → `{certificate: b64}`
-/// - `GET  /vm/crl` → `{crl: b64}`
+/// - `POST /vm/renew` `{serial, provisioning_key: b64}` → `{wrapped: b64,
+///   serial, subject}` — the lightweight renewal path: re-issues a live
+///   credential against the cached attestation verdict, without the
+///   six-step protocol (403 when the verdict is stale)
+/// - `POST /vm/rotate` → `{epoch, drain_deadline}` — rotate the CA key,
+///   cross-signing the new root with the outgoing key
+/// - `GET  /vm/ca` → `{certificate: b64, epoch, cross_signed?: b64,
+///   previous: [b64], drain_deadline?}` — everything a relying party needs
+///   to verify a rotation handover and run the dual-trust window
+/// - `GET  /vm/crl` → `{crl: b64, crl_number}` — issues a fresh numbered
+///   CRL (journaled, monotonic) rather than a read-only preview
+/// - `GET  /vm/lifecycle` → credential-estate posture (active/expiring
+///   counts, CRL age, CA epoch, drain deadline)
 /// - `GET  /vm/status` → summary counts
 /// - `GET  /vm/recovery` → `{recovered}` plus the last recovery report and
 ///   sealed-store occupancy, for operators auditing a crash restart
@@ -932,23 +943,106 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/ca", move |_, _| {
-            let vm = vm.lock();
+        let controller_cn = controller_cn.clone();
+        router.post_api("/vm/renew", move |request, _| {
+            let body = api_json(request)?;
+            let serial = body
+                .get("serial")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| ApiError::bad_request("missing 'serial'"))?;
+            let provisioning_key =
+                b64_array32(&body, "provisioning_key").map_err(ApiError::bad_request)?;
+            let trace = request.trace_context();
+            let mut vm = vm.lock();
+            vm.set_trace_context(trace);
+            let result =
+                vm.renew_vnf_credential(serial as u64, &provisioning_key, &controller_cn);
+            vm.set_trace_context(None);
+            let (wrapped, cert) = result.map_err(|e| match e {
+                CoreError::WorkflowViolation(_) => ApiError::not_found(e.to_string()),
+                _ => ApiError::forbidden(e.to_string()),
+            })?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
-                    .with("certificate", base64::encode(&vm.ca_certificate().encode())),
+                    .with("wrapped", base64::encode(&wrapped))
+                    .with("serial", cert.serial() as i64)
+                    .with("subject", cert.subject_cn()),
             ))
         });
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/crl", move |_, _| {
-            let vm = vm.lock();
+        router.post_api("/vm/rotate", move |request, _| {
+            let trace = request.trace_context();
+            let mut vm = vm.lock();
+            vm.set_trace_context(trace);
+            let result = vm.rotate_ca();
+            vm.set_trace_context(None);
+            let rotation = result.map_err(|e| ApiError::forbidden(e.to_string()))?;
             Ok(Response::json(
                 Status::Ok,
-                &Json::object().with("crl", base64::encode(&vm.current_crl(3600).encode())),
+                &Json::object()
+                    .with("epoch", rotation.epoch as i64)
+                    .with("drain_deadline", rotation.drain_deadline as i64),
             ))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/ca", move |_, _| {
+            let vm = vm.lock();
+            let mut body = Json::object()
+                .with("certificate", base64::encode(&vm.ca_certificate().encode()))
+                .with("epoch", vm.ca_epoch() as i64);
+            if let Some(cross) = vm.ca_cross_signed() {
+                body = body.with("cross_signed", base64::encode(&cross.encode()));
+            }
+            let previous: Vec<Json> = vm
+                .ca_previous_roots()
+                .iter()
+                .map(|c| Json::from(base64::encode(&c.encode())))
+                .collect();
+            body = body.with("previous", previous);
+            if let Some(deadline) = vm.rotation_drain_deadline() {
+                body = body.with("drain_deadline", deadline as i64);
+            }
+            Ok(Response::json(Status::Ok, &body))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/crl", move |_, _| {
+            let mut vm = vm.lock();
+            let crl = vm
+                .issue_crl()
+                .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            Ok(Response::json(
+                Status::Ok,
+                &Json::object()
+                    .with("crl", base64::encode(&crl.encode()))
+                    .with("crl_number", crl.crl_number as i64),
+            ))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/lifecycle", move |_, _| {
+            let vm = vm.lock();
+            let status = vm.lifecycle_status();
+            let mut body = Json::object()
+                .with("at", status.at as i64)
+                .with("active", status.active as i64)
+                .with("expiring", status.expiring as i64)
+                .with("epoch", status.epoch as i64)
+                .with("crl_number", status.crl_number as i64);
+            if let Some(age) = status.crl_age_secs {
+                body = body.with("crl_age_secs", age as i64);
+            }
+            if let Some(deadline) = status.drain_deadline {
+                body = body.with("drain_deadline", deadline as i64);
+            }
+            Ok(Response::json(Status::Ok, &body))
         });
     }
     {
@@ -979,6 +1073,8 @@ pub fn serve_vm_api(
                     .with("enrollments_restored", report.enrollments_restored as i64)
                     .with("pending_restored", report.pending_restored as i64)
                     .with("revocations_restored", report.revocations_restored as i64)
+                    .with("rotations_restored", report.rotations_restored as i64)
+                    .with("rotation_rolled_back", report.rotation_rolled_back)
                     .with("orphans_aborted", report.orphans_aborted as i64)
                     .with("notices_requeued", report.notices_requeued as i64);
             }

@@ -46,12 +46,28 @@ impl IssueProfile {
 }
 
 /// A certificate authority with an in-memory revocation registry.
+///
+/// The CA key can be **rotated**: [`rotate_to`](Self::rotate_to) installs a
+/// successor signing key under the same distinguished name, keeping the
+/// outgoing self-signed root (for the relying parties' dual-trust window)
+/// and minting a cross-signed copy of the new root under the old key so the
+/// handover is verifiable rather than trust-on-first-use.
 pub struct CertificateAuthority {
     key: SigningKey,
     certificate: Certificate,
     next_serial: u64,
     revoked: BTreeMap<u64, CrlEntry>,
     issued: u64,
+    /// Monotonic CRL issue number; the last number handed out by
+    /// [`issue_crl`](Self::issue_crl).
+    crl_number: u64,
+    /// Self-signed roots from earlier key epochs, oldest first.
+    previous_roots: Vec<Certificate>,
+    /// The current root's public key endorsed (signed) by the previous
+    /// epoch's key; `None` before the first rotation.
+    cross_signed: Option<Certificate>,
+    /// Key epoch: 0 for the original key, +1 per rotation.
+    epoch: u32,
 }
 
 impl CertificateAuthority {
@@ -83,6 +99,10 @@ impl CertificateAuthority {
             next_serial: 2,
             revoked: BTreeMap::new(),
             issued: 0,
+            crl_number: 0,
+            previous_roots: Vec::new(),
+            cross_signed: None,
+            epoch: 0,
         }
     }
 
@@ -99,6 +119,12 @@ impl CertificateAuthority {
     /// Number of certificates issued so far (excluding the root).
     pub fn issued_count(&self) -> u64 {
         self.issued
+    }
+
+    /// The serial the next issuance will mint. Lets a journaling caller
+    /// record serials durably *before* the allocation happens.
+    pub fn next_serial(&self) -> u64 {
+        self.next_serial
     }
 
     /// Issue a certificate for an externally generated public key
@@ -164,15 +190,122 @@ impl CertificateAuthority {
         self.issued = self.issued.max(issued);
     }
 
-    /// Produce a freshly signed CRL valid until `now + lifetime_secs`.
+    /// Restore the CRL counter after a crash-recovery replay; never moves
+    /// backwards, so a recovered CA cannot re-issue an already published
+    /// CRL number.
+    pub fn restore_crl_number(&mut self, crl_number: u64) {
+        self.crl_number = self.crl_number.max(crl_number);
+    }
+
+    /// The last CRL number handed out by [`issue_crl`](Self::issue_crl).
+    pub fn crl_number(&self) -> u64 {
+        self.crl_number
+    }
+
+    /// Produce a freshly signed CRL valid until `now + lifetime_secs`,
+    /// carrying the *current* CRL number (no bump). Relying parties that
+    /// enforce number monotonicity should be fed from
+    /// [`issue_crl`](Self::issue_crl) instead.
     pub fn current_crl(&self, now: u64, lifetime_secs: u64) -> Crl {
         Crl::build(
             self.certificate.tbs.subject.clone(),
             now,
             now.saturating_add(lifetime_secs),
+            self.crl_number,
             self.revoked.values().copied(),
             &self.key,
         )
+    }
+
+    /// Mint the next numbered CRL: bumps the monotonic counter and signs.
+    /// The Verification Manager journals the bump before calling this so
+    /// the sequence survives crash recovery.
+    pub fn issue_crl(&mut self, now: u64, lifetime_secs: u64) -> Crl {
+        self.crl_number += 1;
+        self.current_crl(now, lifetime_secs)
+    }
+
+    /// Serials currently in the revocation registry, with their entries.
+    pub fn revoked_entries(&self) -> impl Iterator<Item = &CrlEntry> {
+        self.revoked.values()
+    }
+
+    /// Rotate to a successor signing key under the same distinguished name.
+    ///
+    /// Allocates two serials: a new self-signed root for `new_key`, and a
+    /// cross-signed copy of that root signed by the *outgoing* key — the
+    /// cryptographic handover evidence a relying party checks against its
+    /// currently trusted anchor before adopting the new root. The outgoing
+    /// root is retained (served for the dual-trust drain window) and the
+    /// revocation registry carries over, so post-rotation CRLs still cover
+    /// serials minted by earlier epochs.
+    pub fn rotate_to(&mut self, new_key: SigningKey, validity: Validity) -> (Certificate, Certificate) {
+        let root_serial = self.next_serial;
+        let cross_serial = self.next_serial + 1;
+        self.next_serial += 2;
+        self.issued += 2;
+        self.install_rotation(new_key, validity, root_serial, cross_serial)
+    }
+
+    /// Deterministically re-apply a journaled rotation during crash
+    /// recovery: same key, validity and serials as the pre-crash rotation.
+    /// Does **not** advance the serial allocator — recovery restores that
+    /// separately from the journaled issuance records.
+    pub fn install_rotation(
+        &mut self,
+        new_key: SigningKey,
+        validity: Validity,
+        root_serial: u64,
+        cross_serial: u64,
+    ) -> (Certificate, Certificate) {
+        let subject = self.certificate.tbs.subject.clone();
+        let usage = KeyUsage::KEY_CERT_SIGN
+            .union(KeyUsage::CRL_SIGN)
+            .union(KeyUsage::DIGITAL_SIGNATURE);
+        let root_tbs = TbsCertificate {
+            serial: root_serial,
+            subject: subject.clone(),
+            issuer: subject.clone(),
+            validity,
+            public_key: new_key.public_key(),
+            key_usage: usage,
+            is_ca: true,
+            enclave_binding: None,
+        };
+        let new_root = Certificate::sign(root_tbs, &new_key);
+        let cross_tbs = TbsCertificate {
+            serial: cross_serial,
+            subject: subject.clone(),
+            issuer: subject,
+            validity,
+            public_key: new_key.public_key(),
+            key_usage: usage,
+            is_ca: true,
+            enclave_binding: None,
+        };
+        let cross = Certificate::sign(cross_tbs, &self.key);
+        let old_root = std::mem::replace(&mut self.certificate, new_root.clone());
+        self.previous_roots.push(old_root);
+        self.key = new_key;
+        self.cross_signed = Some(cross.clone());
+        self.epoch += 1;
+        (new_root, cross)
+    }
+
+    /// Self-signed roots from earlier key epochs, oldest first.
+    pub fn previous_roots(&self) -> &[Certificate] {
+        &self.previous_roots
+    }
+
+    /// The current root endorsed by the previous epoch's key (`None`
+    /// before the first rotation).
+    pub fn cross_signed(&self) -> Option<&Certificate> {
+        self.cross_signed.as_ref()
+    }
+
+    /// Key epoch: 0 for the original key, +1 per rotation.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 }
 
@@ -285,6 +418,76 @@ mod tests {
         ca.revoke(5, RevocationReason::Unspecified, 1);
         ca.revoke(6, RevocationReason::Unspecified, 2);
         assert_eq!(ca.current_crl(3, 10).len(), 2);
+    }
+
+    #[test]
+    fn issue_crl_bumps_number_monotonically() {
+        let mut ca = test_ca();
+        assert_eq!(ca.crl_number(), 0);
+        assert_eq!(ca.issue_crl(10, 100).crl_number, 1);
+        assert_eq!(ca.issue_crl(20, 100).crl_number, 2);
+        // current_crl re-serves the latest number without bumping.
+        assert_eq!(ca.current_crl(30, 100).crl_number, 2);
+        // Restoration never moves backwards.
+        ca.restore_crl_number(1);
+        assert_eq!(ca.crl_number(), 2);
+        ca.restore_crl_number(9);
+        assert_eq!(ca.issue_crl(40, 100).crl_number, 10);
+    }
+
+    #[test]
+    fn rotation_swaps_key_and_keeps_registry() {
+        let mut ca = test_ca();
+        let old_key = ca.public_key();
+        let old_root = ca.certificate().clone();
+        let leaf = SigningKey::from_seed(&[1; 32]);
+        let pre = ca.issue(
+            DistinguishedName::new("vnf"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([0; 32]),
+            0,
+        );
+        ca.revoke(pre.serial(), RevocationReason::KeyCompromise, 5);
+
+        let next = SigningKey::from_seed(&[77; 32]);
+        let (new_root, cross) = ca.rotate_to(next.clone(), Validity::new(0, 9_000_000));
+        assert_eq!(ca.epoch(), 1);
+        assert_eq!(ca.previous_roots(), &[old_root]);
+        assert_eq!(ca.cross_signed(), Some(&cross));
+        assert_eq!(ca.public_key().as_bytes(), next.public_key().as_bytes());
+        // Same DN, new self-signed root; the cross cert verifies under the
+        // outgoing key and the two minted serials are distinct.
+        assert_eq!(new_root.tbs.subject, ca.certificate().tbs.subject);
+        assert!(new_root.is_self_signed());
+        cross.verify_signature(&old_key).unwrap();
+        assert_ne!(new_root.serial(), cross.serial());
+
+        // Post-rotation issuance signs with the new key; post-rotation CRLs
+        // still cover the pre-rotation revocation.
+        let post = ca.issue(
+            DistinguishedName::new("vnf-2"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([0; 32]),
+            10,
+        );
+        post.verify_signature(&ca.public_key()).unwrap();
+        assert!(post.verify_signature(&old_key).is_err());
+        let crl = ca.issue_crl(20, 100);
+        crl.verify(&ca.public_key()).unwrap();
+        assert!(crl.lookup(pre.serial()).is_some());
+    }
+
+    #[test]
+    fn install_rotation_replays_deterministically() {
+        let mut a = test_ca();
+        let mut b = test_ca();
+        let key = SigningKey::from_seed(&[13; 32]);
+        let validity = Validity::new(100, 5_000_000);
+        let (root_a, cross_a) = a.rotate_to(key.clone(), validity);
+        let (root_b, cross_b) =
+            b.install_rotation(key, validity, root_a.serial(), cross_a.serial());
+        assert_eq!(root_a, root_b);
+        assert_eq!(cross_a, cross_b);
     }
 
     #[test]

@@ -5,15 +5,34 @@ use crate::cert::{Certificate, KeyUsage};
 use crate::crl::Crl;
 use crate::PkiError;
 
+/// What a relying party does when its cached CRL is past `next_update`.
+///
+/// The lifecycle subsystem distributes CRLs on a poll loop; a partitioned
+/// controller eventually holds a stale list. Fail-open keeps the network
+/// running on possibly outdated revocation data, fail-closed refuses every
+/// client from that issuer until a fresh CRL arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RevocationPolicy {
+    /// Keep honoring a stale CRL's entries; do not reject on staleness.
+    #[default]
+    FailOpen,
+    /// Reject all certificates from an issuer whose cached CRL is stale.
+    FailClosed,
+}
+
 /// A set of trust anchors plus current revocation data.
 ///
 /// This is what the network controller holds instead of a per-client
 /// keystore: one CA certificate and a CRL, independent of how many VNF
-/// clients exist.
+/// clients exist. During a CA rotation's dual-trust window the store holds
+/// *two* self-signed roots sharing one distinguished name (old and new
+/// generation); all lookups therefore try every matching anchor rather than
+/// the first.
 #[derive(Debug, Default)]
 pub struct TrustStore {
     anchors: Vec<Certificate>,
     crls: Vec<Crl>,
+    revocation_policy: RevocationPolicy,
 }
 
 impl TrustStore {
@@ -35,23 +54,87 @@ impl TrustStore {
         if !anchor.is_self_signed() {
             return Err(PkiError::BadSignature);
         }
+        if self
+            .anchors
+            .iter()
+            .any(|a| a.fingerprint() == anchor.fingerprint())
+        {
+            return Ok(()); // idempotent re-install
+        }
         self.anchors.push(anchor);
         Ok(())
     }
 
+    /// Remove the anchor with this fingerprint (end of a rotation's drain
+    /// window). Returns whether an anchor was removed. Cached CRLs are kept:
+    /// they are re-verified against the remaining anchors on replacement.
+    pub fn remove_anchor(&mut self, fingerprint: &[u8; 32]) -> bool {
+        let before = self.anchors.len();
+        self.anchors.retain(|a| a.fingerprint() != *fingerprint);
+        self.anchors.len() != before
+    }
+
+    /// The installed trust anchors.
+    pub fn anchors(&self) -> impl Iterator<Item = &Certificate> {
+        self.anchors.iter()
+    }
+
+    /// How to treat a stale cached CRL during validation.
+    pub fn set_revocation_policy(&mut self, policy: RevocationPolicy) {
+        self.revocation_policy = policy;
+    }
+
+    pub fn revocation_policy(&self) -> RevocationPolicy {
+        self.revocation_policy
+    }
+
     /// Install or replace the CRL from `issuer`, verifying its signature
-    /// against the matching anchor.
+    /// against any matching anchor (during a rotation window two anchors
+    /// share the issuer name — the CRL is signed by the current key).
+    /// Refuses to replace a cached CRL with a lower-numbered one.
     pub fn install_crl(&mut self, crl: Crl) -> Result<(), PkiError> {
-        let anchor = self
-            .anchors
+        let mut seen_issuer = false;
+        let mut verified = false;
+        for anchor in &self.anchors {
+            if anchor.tbs.subject.common_name == crl.issuer.common_name {
+                seen_issuer = true;
+                if crl.verify(&anchor.tbs.public_key).is_ok() {
+                    verified = true;
+                    break;
+                }
+            }
+        }
+        if !seen_issuer {
+            return Err(PkiError::UnknownIssuer(crl.issuer.common_name.clone()));
+        }
+        if !verified {
+            return Err(PkiError::BadSignature);
+        }
+        if let Some(existing) = self
+            .crls
             .iter()
-            .find(|a| a.tbs.subject.common_name == crl.issuer.common_name)
-            .ok_or_else(|| PkiError::UnknownIssuer(crl.issuer.common_name.clone()))?;
-        crl.verify(&anchor.tbs.public_key)?;
+            .find(|existing| existing.issuer.common_name == crl.issuer.common_name)
+        {
+            if existing.crl_number > crl.crl_number {
+                return Err(PkiError::CrlReplay {
+                    issuer: crl.issuer.common_name.clone(),
+                    cached: existing.crl_number,
+                    offered: crl.crl_number,
+                });
+            }
+        }
         self.crls
             .retain(|existing| existing.issuer.common_name != crl.issuer.common_name);
         self.crls.push(crl);
         Ok(())
+    }
+
+    /// The cached CRL from `issuer_cn`, if any (controller-side freshness
+    /// gauges read its `issued_at`/`crl_number`).
+    pub fn crl(&self, issuer_cn: &str) -> Option<&Crl> {
+        self.crls
+            .iter()
+            .find(|crl| crl.issuer.common_name == issuer_cn)
     }
 
     pub fn anchor_count(&self) -> usize {
@@ -61,20 +144,34 @@ impl TrustStore {
     /// Validate a leaf certificate at time `now`, requiring `usage`.
     ///
     /// Checks, in order: issuer known → signature → validity window →
-    /// revocation → key usage. The cost of this routine is independent of
-    /// the number of clients ever enrolled (experiment E5).
+    /// revocation (incl. the fail-open/fail-closed staleness policy) → key
+    /// usage. The cost of this routine is independent of the number of
+    /// clients ever enrolled (experiment E5). Every anchor whose subject
+    /// matches the leaf's issuer is tried, so a dual-trust rotation window
+    /// accepts leaves from either CA generation.
     pub fn validate(
         &self,
         cert: &Certificate,
         now: u64,
         usage: KeyUsage,
     ) -> Result<(), PkiError> {
-        let issuer = self
-            .anchors
-            .iter()
-            .find(|a| a.tbs.subject == cert.tbs.issuer)
-            .ok_or_else(|| PkiError::UnknownIssuer(cert.tbs.issuer.to_string()))?;
-        cert.verify_signature(&issuer.tbs.public_key)?;
+        let mut seen_issuer = false;
+        let mut verified = false;
+        for anchor in &self.anchors {
+            if anchor.tbs.subject == cert.tbs.issuer {
+                seen_issuer = true;
+                if cert.verify_signature(&anchor.tbs.public_key).is_ok() {
+                    verified = true;
+                    break;
+                }
+            }
+        }
+        if !seen_issuer {
+            return Err(PkiError::UnknownIssuer(cert.tbs.issuer.to_string()));
+        }
+        if !verified {
+            return Err(PkiError::BadSignature);
+        }
         if !cert.tbs.validity.contains(now) {
             return Err(PkiError::Expired {
                 now,
@@ -88,6 +185,13 @@ impl TrustStore {
                     return Err(PkiError::Revoked {
                         serial: cert.serial(),
                         reason: entry.reason,
+                    });
+                }
+                if self.revocation_policy == RevocationPolicy::FailClosed && crl.is_stale(now) {
+                    return Err(PkiError::StaleCrl {
+                        issuer: crl.issuer.common_name.clone(),
+                        next_update: crl.next_update,
+                        now,
                     });
                 }
             }
@@ -247,8 +351,98 @@ mod tests {
     fn crl_from_unknown_issuer_rejected() {
         let (_, mut store) = setup();
         let key = SigningKey::from_seed(&[9; 32]);
-        let crl = Crl::build(DistinguishedName::new("nobody"), 0, 10, [], &key);
+        let crl = Crl::build(DistinguishedName::new("nobody"), 0, 10, 0, [], &key);
         assert!(store.install_crl(crl).is_err());
+    }
+
+    #[test]
+    fn lower_numbered_crl_rejected() {
+        let (mut ca, mut store) = setup();
+        let fresh = ca.issue_crl(10, 100);
+        let newer = ca.issue_crl(20, 100);
+        store.install_crl(newer).unwrap();
+        assert!(matches!(
+            store.install_crl(fresh),
+            Err(PkiError::CrlReplay { cached: 2, offered: 1, .. })
+        ));
+        // Re-installing the same number is idempotent, not a replay.
+        store.install_crl(ca.current_crl(30, 100)).unwrap();
+    }
+
+    #[test]
+    fn fail_closed_rejects_on_stale_crl() {
+        let (mut ca, mut store) = setup();
+        let leaf = SigningKey::from_seed(&[1; 32]);
+        let cert = ca.issue(
+            DistinguishedName::new("vnf-1"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([7; 32]),
+            100,
+        );
+        store.install_crl(ca.issue_crl(100, 50)).unwrap();
+        // Fresh CRL: fine under either policy.
+        store.validate(&cert, 140, KeyUsage::CLIENT_AUTH).unwrap();
+        store.set_revocation_policy(RevocationPolicy::FailClosed);
+        store.validate(&cert, 150, KeyUsage::CLIENT_AUTH).unwrap();
+        // One past next_update: fail-closed rejects, fail-open does not.
+        assert!(matches!(
+            store.validate(&cert, 151, KeyUsage::CLIENT_AUTH),
+            Err(PkiError::StaleCrl { next_update: 150, .. })
+        ));
+        store.set_revocation_policy(RevocationPolicy::FailOpen);
+        store.validate(&cert, 151, KeyUsage::CLIENT_AUTH).unwrap();
+    }
+
+    #[test]
+    fn dual_trust_window_accepts_both_epochs() {
+        let (mut ca, mut store) = setup();
+        let leaf = SigningKey::from_seed(&[1; 32]);
+        let old_leaf = ca.issue(
+            DistinguishedName::new("vnf-old"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([7; 32]),
+            100,
+        );
+        let old_root = ca.certificate().clone();
+        let (new_root, cross) =
+            ca.rotate_to(SigningKey::from_seed(&[42; 32]), Validity::new(0, 2_000_000));
+        // The handover is verifiable: cross cert carries the new key, signed
+        // by the old one — and cannot itself be abused as an anchor.
+        assert_eq!(cross.tbs.public_key, new_root.tbs.public_key);
+        cross.verify_signature(&old_root.tbs.public_key).unwrap();
+        assert!(!cross.is_self_signed());
+        assert!(store.add_anchor(cross.clone()).is_err());
+
+        store.add_anchor(new_root.clone()).unwrap();
+        assert_eq!(store.anchor_count(), 2);
+        let new_leaf = ca.issue(
+            DistinguishedName::new("vnf-new"),
+            leaf.public_key(),
+            &IssueProfile::vnf_client([7; 32]),
+            100,
+        );
+        // Both epochs validate while both anchors are installed, and the
+        // post-rotation CRL (signed by the new key) still installs and
+        // covers serials minted by the old epoch.
+        store.validate(&old_leaf, 200, KeyUsage::CLIENT_AUTH).unwrap();
+        store.validate(&new_leaf, 200, KeyUsage::CLIENT_AUTH).unwrap();
+        ca.revoke(old_leaf.serial(), RevocationReason::Superseded, 250);
+        store.install_crl(ca.issue_crl(260, 300)).unwrap();
+        assert!(matches!(
+            store.validate(&old_leaf, 270, KeyUsage::CLIENT_AUTH),
+            Err(PkiError::Revoked { .. })
+        ));
+
+        // Drain deadline: retire the old root; old-epoch signatures stop
+        // verifying, the new epoch is untouched.
+        assert!(store.remove_anchor(&old_root.fingerprint()));
+        assert!(!store.remove_anchor(&old_root.fingerprint()));
+        assert_eq!(store.anchor_count(), 1);
+        assert!(store.validate(&new_leaf, 300, KeyUsage::CLIENT_AUTH).is_ok());
+        assert_eq!(
+            store.validate(&old_leaf, 300, KeyUsage::CLIENT_AUTH),
+            Err(PkiError::BadSignature)
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ const TAG_SIGNATURE: u8 = 0x35;
 const TAG_SERIAL: u8 = 0x36;
 const TAG_REVOKED_AT: u8 = 0x37;
 const TAG_REASON: u8 = 0x38;
+const TAG_NUMBER: u8 = 0x39;
 
 /// Why a credential was revoked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +76,11 @@ pub struct Crl {
     pub issuer: DistinguishedName,
     pub issued_at: u64,
     pub next_update: u64,
+    /// Monotonically increasing issue number (RFC 5280 CRL number). Relying
+    /// parties must never replace a cached CRL with a lower-numbered one;
+    /// the Verification Manager journals the counter so it survives crash
+    /// recovery.
+    pub crl_number: u64,
     entries: BTreeMap<u64, CrlEntry>,
     signature: Vec<u8>,
 }
@@ -85,16 +91,18 @@ impl Crl {
         issuer: DistinguishedName,
         issued_at: u64,
         next_update: u64,
+        crl_number: u64,
         entries: impl IntoIterator<Item = CrlEntry>,
         key: &SigningKey,
     ) -> Crl {
         let entries: BTreeMap<u64, CrlEntry> =
             entries.into_iter().map(|e| (e.serial, e)).collect();
-        let body = Self::body_bytes(&issuer, issued_at, next_update, &entries);
+        let body = Self::body_bytes(&issuer, issued_at, next_update, crl_number, &entries);
         Crl {
             issuer,
             issued_at,
             next_update,
+            crl_number,
             entries,
             signature: key.sign(&body).to_vec(),
         }
@@ -104,12 +112,14 @@ impl Crl {
         issuer: &DistinguishedName,
         issued_at: u64,
         next_update: u64,
+        crl_number: u64,
         entries: &BTreeMap<u64, CrlEntry>,
     ) -> Vec<u8> {
         let mut w = TlvWriter::new();
         w.string(TAG_ISSUER_CN, &issuer.common_name)
             .u64(TAG_ISSUED_AT, issued_at)
-            .u64(TAG_NEXT_UPDATE, next_update);
+            .u64(TAG_NEXT_UPDATE, next_update)
+            .u64(TAG_NUMBER, crl_number);
         for entry in entries.values() {
             w.nested(TAG_ENTRY, |inner| {
                 inner
@@ -123,7 +133,13 @@ impl Crl {
 
     /// Verify the issuer signature.
     pub fn verify(&self, issuer_key: &VerifyingKey) -> Result<(), PkiError> {
-        let body = Self::body_bytes(&self.issuer, self.issued_at, self.next_update, &self.entries);
+        let body = Self::body_bytes(
+            &self.issuer,
+            self.issued_at,
+            self.next_update,
+            self.crl_number,
+            &self.entries,
+        );
         issuer_key
             .verify(&body, &self.signature)
             .map_err(|_| PkiError::BadSignature)
@@ -153,7 +169,13 @@ impl Crl {
 
     pub fn encode(&self) -> Vec<u8> {
         let mut w = TlvWriter::new();
-        let body = Self::body_bytes(&self.issuer, self.issued_at, self.next_update, &self.entries);
+        let body = Self::body_bytes(
+            &self.issuer,
+            self.issued_at,
+            self.next_update,
+            self.crl_number,
+            &self.entries,
+        );
         w.bytes(TAG_BODY, &body).bytes(TAG_SIGNATURE, &self.signature);
         w.finish()
     }
@@ -168,6 +190,7 @@ impl Crl {
         let issuer_cn = br.expect_string(TAG_ISSUER_CN)?;
         let issued_at = br.expect_u64(TAG_ISSUED_AT)?;
         let next_update = br.expect_u64(TAG_NEXT_UPDATE)?;
+        let crl_number = br.expect_u64(TAG_NUMBER)?;
         let mut entries = BTreeMap::new();
         while !br.is_empty() {
             let mut er = br.expect_nested(TAG_ENTRY)?;
@@ -183,6 +206,7 @@ impl Crl {
             issuer: DistinguishedName::new(&issuer_cn),
             issued_at,
             next_update,
+            crl_number,
             entries,
             signature,
         })
@@ -215,11 +239,13 @@ mod tests {
             DistinguishedName::new("vm-ca"),
             1000,
             2000,
+            7,
             sample_entries(),
             &key,
         );
         crl.verify(&key.public_key()).unwrap();
         assert_eq!(crl.len(), 2);
+        assert_eq!(crl.crl_number, 7);
         assert!(crl.lookup(3).is_some());
         assert_eq!(
             crl.lookup(3).unwrap().reason,
@@ -235,18 +261,20 @@ mod tests {
             DistinguishedName::new("vm-ca"),
             1,
             2,
+            42,
             sample_entries(),
             &key,
         );
         let decoded = Crl::decode(&crl.encode()).unwrap();
         assert_eq!(decoded, crl);
+        assert_eq!(decoded.crl_number, 42);
         decoded.verify(&key.public_key()).unwrap();
     }
 
     #[test]
     fn empty_crl_is_valid() {
         let key = SigningKey::from_seed(&[3; 32]);
-        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, [], &key);
+        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, 0, [], &key);
         crl.verify(&key.public_key()).unwrap();
         assert!(crl.is_empty());
         let decoded = Crl::decode(&crl.encode()).unwrap();
@@ -256,7 +284,7 @@ mod tests {
     #[test]
     fn forged_entry_rejected() {
         let key = SigningKey::from_seed(&[4; 32]);
-        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, sample_entries(), &key);
+        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, 1, sample_entries(), &key);
         let mut bytes = crl.encode();
         // Tamper a byte inside the body.
         let mid = bytes.len() / 2;
@@ -269,7 +297,7 @@ mod tests {
     #[test]
     fn wrong_issuer_key_rejected() {
         let key = SigningKey::from_seed(&[5; 32]);
-        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, [], &key);
+        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, 0, [], &key);
         let other = SigningKey::from_seed(&[6; 32]);
         assert!(crl.verify(&other.public_key()).is_err());
     }
@@ -277,7 +305,7 @@ mod tests {
     #[test]
     fn staleness() {
         let key = SigningKey::from_seed(&[7; 32]);
-        let crl = Crl::build(DistinguishedName::new("ca"), 100, 200, [], &key);
+        let crl = Crl::build(DistinguishedName::new("ca"), 100, 200, 0, [], &key);
         assert!(!crl.is_stale(150));
         assert!(!crl.is_stale(200));
         assert!(crl.is_stale(201));
@@ -298,7 +326,7 @@ mod tests {
                 reason: RevocationReason::KeyCompromise,
             },
         ];
-        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, entries, &key);
+        let crl = Crl::build(DistinguishedName::new("ca"), 1, 2, 0, entries, &key);
         assert_eq!(crl.len(), 1);
         // Last write wins.
         assert_eq!(crl.lookup(5).unwrap().revoked_at, 2);

@@ -28,7 +28,7 @@ pub mod keystore;
 
 pub use ca::CertificateAuthority;
 pub use cert::{Certificate, DistinguishedName, KeyUsage, Validity};
-pub use chain::TrustStore;
+pub use chain::{RevocationPolicy, TrustStore};
 pub use crl::{Crl, RevocationReason};
 pub use csr::CertificateRequest;
 pub use keystore::KeyStore;
@@ -50,6 +50,12 @@ pub enum PkiError {
     NotAuthorized(String),
     /// The certificate does not carry a required property (usage, binding).
     ConstraintViolated(String),
+    /// The cached CRL for the issuer is past `next_update` and the relying
+    /// party runs a fail-closed revocation policy.
+    StaleCrl { issuer: String, next_update: u64, now: u64 },
+    /// An offered CRL carries a lower number than the cached one — a replay
+    /// or out-of-order distribution that must not overwrite fresher data.
+    CrlReplay { issuer: String, cached: u64, offered: u64 },
 }
 
 impl std::fmt::Display for PkiError {
@@ -71,6 +77,22 @@ impl std::fmt::Display for PkiError {
             PkiError::UnknownIssuer(name) => write!(f, "unknown issuer: {name}"),
             PkiError::NotAuthorized(msg) => write!(f, "issuer not authorized: {msg}"),
             PkiError::ConstraintViolated(msg) => write!(f, "constraint violated: {msg}"),
+            PkiError::StaleCrl {
+                issuer,
+                next_update,
+                now,
+            } => write!(
+                f,
+                "CRL from {issuer} stale at {now} (next_update {next_update}) under fail-closed policy"
+            ),
+            PkiError::CrlReplay {
+                issuer,
+                cached,
+                offered,
+            } => write!(
+                f,
+                "CRL replay from {issuer}: offered number {offered} below cached {cached}"
+            ),
         }
     }
 }

@@ -1,0 +1,129 @@
+//! Property tests over CRL encoding, staleness and lookup invariants.
+
+use proptest::prelude::*;
+use vnfguard_crypto::ed25519::SigningKey;
+use vnfguard_pki::cert::DistinguishedName;
+use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
+
+fn arb_entry() -> impl Strategy<Value = CrlEntry> {
+    (any::<u64>(), any::<u64>(), any::<u8>()).prop_map(|(serial, revoked_at, reason)| CrlEntry {
+        serial,
+        revoked_at,
+        reason: RevocationReason::from_u8(reason),
+    })
+}
+
+fn arb_crl_parts() -> impl Strategy<Value = (String, u64, u64, u64, Vec<CrlEntry>)> {
+    (
+        "[a-zA-Z0-9 ._-]{1,24}",
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(arb_entry(), 0..12),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn encode_decode_roundtrip(
+        parts in arb_crl_parts(),
+        signer_seed in any::<[u8; 32]>()
+    ) {
+        let (cn, issued_at, next_update, number, entries) = parts;
+        let key = SigningKey::from_seed(&signer_seed);
+        let crl = Crl::build(
+            DistinguishedName::new(&cn),
+            issued_at,
+            next_update,
+            number,
+            entries,
+            &key,
+        );
+        let decoded = Crl::decode(&crl.encode()).unwrap();
+        prop_assert_eq!(&decoded, &crl);
+        prop_assert_eq!(decoded.crl_number, number);
+        decoded.verify(&key.public_key()).unwrap();
+    }
+
+    #[test]
+    fn staleness_boundary_is_exactly_next_update(
+        next_update in any::<u64>(),
+        signer_seed in any::<[u8; 32]>()
+    ) {
+        let key = SigningKey::from_seed(&signer_seed);
+        let crl = Crl::build(DistinguishedName::new("ca"), 0, next_update, 1, [], &key);
+        // A CRL is fresh at exactly `next_update` and stale one tick later.
+        prop_assert!(!crl.is_stale(next_update));
+        prop_assert!(!crl.is_stale(next_update.saturating_sub(1)));
+        if next_update < u64::MAX {
+            prop_assert!(crl.is_stale(next_update + 1));
+        }
+    }
+
+    #[test]
+    fn duplicate_serials_last_write_wins(
+        serial in any::<u64>(),
+        first_at in any::<u64>(),
+        first_reason in any::<u8>(),
+        last_at in any::<u64>(),
+        last_reason in any::<u8>(),
+        signer_seed in any::<[u8; 32]>()
+    ) {
+        let key = SigningKey::from_seed(&signer_seed);
+        let entries = vec![
+            CrlEntry { serial, revoked_at: first_at, reason: RevocationReason::from_u8(first_reason) },
+            CrlEntry { serial, revoked_at: last_at, reason: RevocationReason::from_u8(last_reason) },
+        ];
+        let crl = Crl::build(DistinguishedName::new("ca"), 0, 10, 1, entries, &key);
+        prop_assert_eq!(crl.len(), 1);
+        let entry = crl.lookup(serial).unwrap();
+        prop_assert_eq!(entry.revoked_at, last_at);
+        prop_assert_eq!(entry.reason, RevocationReason::from_u8(last_reason));
+    }
+
+    #[test]
+    fn lookup_only_finds_listed_serials(
+        parts in arb_crl_parts(),
+        probe in any::<u64>()
+    ) {
+        let (cn, issued_at, next_update, number, entries) = parts;
+        let key = SigningKey::from_seed(&[1; 32]);
+        let listed = entries.iter().any(|e| e.serial == probe);
+        let crl = Crl::build(
+            DistinguishedName::new(&cn),
+            issued_at,
+            next_update,
+            number,
+            entries,
+            &key,
+        );
+        prop_assert_eq!(crl.lookup(probe).is_some(), listed);
+    }
+
+    #[test]
+    fn signature_rejected_after_issuer_key_change(
+        parts in arb_crl_parts(),
+        old_seed in any::<[u8; 32]>(),
+        new_seed in any::<[u8; 32]>()
+    ) {
+        let (cn, issued_at, next_update, number, entries) = parts;
+        prop_assume!(old_seed != new_seed);
+        // A CRL signed by the pre-rotation key must not verify under the
+        // rotated key, and vice versa — relying parties re-verify cached
+        // CRLs when anchors change.
+        let old_key = SigningKey::from_seed(&old_seed);
+        let new_key = SigningKey::from_seed(&new_seed);
+        let crl = Crl::build(
+            DistinguishedName::new(&cn),
+            issued_at,
+            next_update,
+            number,
+            entries,
+            &old_key,
+        );
+        crl.verify(&old_key.public_key()).unwrap();
+        prop_assert!(crl.verify(&new_key.public_key()).is_err());
+    }
+}

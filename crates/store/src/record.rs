@@ -22,6 +22,9 @@ const TAG_REASON_CODE: u8 = 0x07;
 const TAG_REASON_TEXT: u8 = 0x08;
 const TAG_TAG: u8 = 0x09;
 const TAG_GENERATION: u8 = 0x0a;
+const TAG_NUMBER: u8 = 0x0b;
+const TAG_CROSS_SERIAL: u8 = 0x0c;
+const TAG_OLD_SERIAL: u8 = 0x0d;
 
 const TAG_ENROLLMENT: u8 = 0x20;
 const TAG_PENDING: u8 = 0x21;
@@ -32,6 +35,10 @@ const TAG_ISSUED: u8 = 0x25;
 const TAG_DEGRADED: u8 = 0x26;
 const TAG_SNAP_GENERATION: u8 = 0x27;
 const TAG_REVOKED_FLAG: u8 = 0x28;
+const TAG_CRL_NUMBER: u8 = 0x29;
+const TAG_CA_EPOCH: u8 = 0x2a;
+const TAG_PENDING_ROTATION: u8 = 0x2b;
+const TAG_ROTATION: u8 = 0x2c;
 
 const KIND_CERT_ISSUED: u8 = 1;
 const KIND_PREPARED: u8 = 2;
@@ -42,6 +49,10 @@ const KIND_NOTICE_QUEUED: u8 = 6;
 const KIND_NOTICE_DELIVERED: u8 = 7;
 const KIND_DEGRADED: u8 = 8;
 const KIND_RECOVERED: u8 = 9;
+const KIND_CRL_ISSUED: u8 = 10;
+const KIND_ROTATION_PREPARED: u8 = 11;
+const KIND_ROTATION_COMMITTED: u8 = 12;
+const KIND_RENEWED: u8 = 13;
 
 /// The `RevocationReason` code recorded for an aborted preparation
 /// (cessation of operation — mirrors `vnfguard_pki`'s encoding).
@@ -83,6 +94,31 @@ pub enum WalRecord {
     DegradedVerdictGranted { host_id: String, at: u64 },
     /// A recovery pass completed; `generation` counts manager incarnations.
     RecoveryCompleted { generation: u64, at: u64 },
+    /// A numbered CRL was published. Journaled *before* the CA bumps its
+    /// counter so `crl_number` stays strictly monotonic across recovery.
+    CrlIssued { number: u64, at: u64 },
+    /// Phase one of a CA rotation: the successor epoch was announced but
+    /// its certificates are not durable yet. A crash here rolls back.
+    CaRotationPrepared { epoch: u64, at: u64 },
+    /// Phase two: the rotation's new self-signed root and cross-signed
+    /// handover certificate (identified by their journaled serials) are
+    /// authoritative. A crash after this record resumes the rotation.
+    CaRotationCommitted {
+        epoch: u64,
+        root_serial: u64,
+        cross_serial: u64,
+        at: u64,
+    },
+    /// A lightweight renewal re-issued a live enrollment under a new
+    /// serial without a fresh attestation round (verdict still cached).
+    CredentialRenewed {
+        old_serial: u64,
+        new_serial: u64,
+        vnf_name: String,
+        host_id: String,
+        mrenclave: [u8; 32],
+        at: u64,
+    },
 }
 
 impl WalRecord {
@@ -158,6 +194,44 @@ impl WalRecord {
                     .u64(TAG_GENERATION, *generation)
                     .u64(TAG_AT, *at);
             }
+            WalRecord::CrlIssued { number, at } => {
+                w.u8(TAG_KIND, KIND_CRL_ISSUED)
+                    .u64(TAG_NUMBER, *number)
+                    .u64(TAG_AT, *at);
+            }
+            WalRecord::CaRotationPrepared { epoch, at } => {
+                w.u8(TAG_KIND, KIND_ROTATION_PREPARED)
+                    .u64(TAG_GENERATION, *epoch)
+                    .u64(TAG_AT, *at);
+            }
+            WalRecord::CaRotationCommitted {
+                epoch,
+                root_serial,
+                cross_serial,
+                at,
+            } => {
+                w.u8(TAG_KIND, KIND_ROTATION_COMMITTED)
+                    .u64(TAG_GENERATION, *epoch)
+                    .u64(TAG_SERIAL, *root_serial)
+                    .u64(TAG_CROSS_SERIAL, *cross_serial)
+                    .u64(TAG_AT, *at);
+            }
+            WalRecord::CredentialRenewed {
+                old_serial,
+                new_serial,
+                vnf_name,
+                host_id,
+                mrenclave,
+                at,
+            } => {
+                w.u8(TAG_KIND, KIND_RENEWED)
+                    .u64(TAG_OLD_SERIAL, *old_serial)
+                    .u64(TAG_SERIAL, *new_serial)
+                    .string(TAG_NAME, vnf_name)
+                    .string(TAG_HOST, host_id)
+                    .bytes(TAG_MRENCLAVE, mrenclave)
+                    .u64(TAG_AT, *at);
+            }
         }
         w.finish()
     }
@@ -211,6 +285,28 @@ impl WalRecord {
                 generation: r.expect_u64(TAG_GENERATION)?,
                 at: r.expect_u64(TAG_AT)?,
             },
+            KIND_CRL_ISSUED => WalRecord::CrlIssued {
+                number: r.expect_u64(TAG_NUMBER)?,
+                at: r.expect_u64(TAG_AT)?,
+            },
+            KIND_ROTATION_PREPARED => WalRecord::CaRotationPrepared {
+                epoch: r.expect_u64(TAG_GENERATION)?,
+                at: r.expect_u64(TAG_AT)?,
+            },
+            KIND_ROTATION_COMMITTED => WalRecord::CaRotationCommitted {
+                epoch: r.expect_u64(TAG_GENERATION)?,
+                root_serial: r.expect_u64(TAG_SERIAL)?,
+                cross_serial: r.expect_u64(TAG_CROSS_SERIAL)?,
+                at: r.expect_u64(TAG_AT)?,
+            },
+            KIND_RENEWED => WalRecord::CredentialRenewed {
+                old_serial: r.expect_u64(TAG_OLD_SERIAL)?,
+                new_serial: r.expect_u64(TAG_SERIAL)?,
+                vnf_name: r.expect_string(TAG_NAME)?,
+                host_id: r.expect_string(TAG_HOST)?,
+                mrenclave: r.expect_array::<32>(TAG_MRENCLAVE)?,
+                at: r.expect_u64(TAG_AT)?,
+            },
             other => {
                 return Err(StoreError::Corrupt(format!("unknown record kind {other}")))
             }
@@ -250,6 +346,18 @@ pub struct NoticeEntry {
     pub queued_at: u64,
 }
 
+/// One committed CA rotation as carried by the WAL/snapshot. The signing
+/// key itself is never journaled — recovery re-derives it from the sealed
+/// deployment seed and the epoch — but the serials and timestamp pin the
+/// exact certificates the pre-crash incarnation served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RotationEntry {
+    pub epoch: u64,
+    pub root_serial: u64,
+    pub cross_serial: u64,
+    pub at: u64,
+}
+
 /// The manager's authority state as reconstructed from snapshot + log.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ManagerState {
@@ -269,6 +377,15 @@ pub struct ManagerState {
     pub degraded_grants: u64,
     /// Completed recovery passes (manager incarnations − 1).
     pub generation: u64,
+    /// Highest CRL number journaled as issued.
+    pub crl_number: u64,
+    /// Current CA key epoch (0 = the original deployment key).
+    pub ca_epoch: u64,
+    /// A rotation journaled as prepared but never committed; recovery
+    /// rolls it back. `None` when no rotation is in flight.
+    pub pending_rotation: Option<u64>,
+    /// Committed rotations in epoch order.
+    pub rotations: Vec<RotationEntry>,
 }
 
 impl ManagerState {
@@ -360,6 +477,55 @@ impl ManagerState {
             WalRecord::RecoveryCompleted { generation, .. } => {
                 self.generation = self.generation.max(*generation);
             }
+            WalRecord::CrlIssued { number, .. } => {
+                self.crl_number = self.crl_number.max(*number);
+            }
+            WalRecord::CaRotationPrepared { epoch, .. } => {
+                if *epoch > self.ca_epoch {
+                    self.pending_rotation = Some(*epoch);
+                }
+            }
+            WalRecord::CaRotationCommitted {
+                epoch,
+                root_serial,
+                cross_serial,
+                at,
+            } => {
+                if *epoch > self.ca_epoch {
+                    self.rotations.push(RotationEntry {
+                        epoch: *epoch,
+                        root_serial: *root_serial,
+                        cross_serial: *cross_serial,
+                        at: *at,
+                    });
+                    self.ca_epoch = *epoch;
+                }
+                if self.pending_rotation == Some(*epoch) {
+                    self.pending_rotation = None;
+                }
+            }
+            WalRecord::CredentialRenewed {
+                old_serial: _,
+                new_serial,
+                vnf_name,
+                host_id,
+                mrenclave,
+                at,
+            } => {
+                // The old enrollment stays live until its certificate
+                // expires; renewal only adds the successor credential.
+                self.enrollments.insert(
+                    *new_serial,
+                    EnrollmentEntry {
+                        serial: *new_serial,
+                        vnf_name: vnf_name.clone(),
+                        host_id: host_id.clone(),
+                        mrenclave: *mrenclave,
+                        issued_at: *at,
+                        revoked: self.revoked.contains_key(new_serial),
+                    },
+                );
+            }
         }
     }
 
@@ -369,7 +535,20 @@ impl ManagerState {
         w.u64(TAG_MAX_SERIAL, self.max_serial)
             .u64(TAG_ISSUED, self.issued)
             .u64(TAG_DEGRADED, self.degraded_grants)
-            .u64(TAG_SNAP_GENERATION, self.generation);
+            .u64(TAG_SNAP_GENERATION, self.generation)
+            .u64(TAG_CRL_NUMBER, self.crl_number)
+            .u64(TAG_CA_EPOCH, self.ca_epoch)
+            // Epochs start at 1, so 0 encodes "no rotation in flight".
+            .u64(TAG_PENDING_ROTATION, self.pending_rotation.unwrap_or(0));
+        for rotation in &self.rotations {
+            w.nested(TAG_ROTATION, |inner| {
+                inner
+                    .u64(TAG_GENERATION, rotation.epoch)
+                    .u64(TAG_SERIAL, rotation.root_serial)
+                    .u64(TAG_CROSS_SERIAL, rotation.cross_serial)
+                    .u64(TAG_AT, rotation.at);
+            });
+        }
         for e in self.enrollments.values() {
             w.nested(TAG_ENROLLMENT, |inner| {
                 inner
@@ -419,7 +598,13 @@ impl ManagerState {
             issued: r.expect_u64(TAG_ISSUED)?,
             degraded_grants: r.expect_u64(TAG_DEGRADED)?,
             generation: r.expect_u64(TAG_SNAP_GENERATION)?,
+            crl_number: r.expect_u64(TAG_CRL_NUMBER)?,
+            ca_epoch: r.expect_u64(TAG_CA_EPOCH)?,
             ..ManagerState::default()
+        };
+        state.pending_rotation = match r.expect_u64(TAG_PENDING_ROTATION)? {
+            0 => None,
+            epoch => Some(epoch),
         };
         while !r.is_empty() {
             let (tag, value) = r.next()?;
@@ -466,6 +651,14 @@ impl ManagerState {
                         queued_at: inner.expect_u64(TAG_AT)?,
                     });
                 }
+                TAG_ROTATION => {
+                    state.rotations.push(RotationEntry {
+                        epoch: inner.expect_u64(TAG_GENERATION)?,
+                        root_serial: inner.expect_u64(TAG_SERIAL)?,
+                        cross_serial: inner.expect_u64(TAG_CROSS_SERIAL)?,
+                        at: inner.expect_u64(TAG_AT)?,
+                    });
+                }
                 other => {
                     return Err(StoreError::Corrupt(format!(
                         "unknown snapshot section 0x{other:02x}"
@@ -508,6 +701,36 @@ impl ManagerState {
                 return Err(format!(
                     "serial {serial} exceeds recorded max serial {}",
                     self.max_serial
+                ));
+            }
+        }
+        let mut expected_epoch = 0;
+        for rotation in &self.rotations {
+            expected_epoch += 1;
+            if rotation.epoch != expected_epoch {
+                return Err(format!(
+                    "rotation epochs out of order: found {} where {} was expected",
+                    rotation.epoch, expected_epoch
+                ));
+            }
+            if rotation.root_serial > self.max_serial || rotation.cross_serial > self.max_serial {
+                return Err(format!(
+                    "rotation {} names serials ({}, {}) beyond max serial {}",
+                    rotation.epoch, rotation.root_serial, rotation.cross_serial, self.max_serial
+                ));
+            }
+        }
+        if expected_epoch != self.ca_epoch {
+            return Err(format!(
+                "CA epoch {} disagrees with {} committed rotations",
+                self.ca_epoch, expected_epoch
+            ));
+        }
+        if let Some(pending) = self.pending_rotation {
+            if pending != self.ca_epoch + 1 {
+                return Err(format!(
+                    "pending rotation epoch {pending} is not the successor of CA epoch {}",
+                    self.ca_epoch
                 ));
             }
         }
@@ -570,6 +793,37 @@ mod tests {
                 generation: 1,
                 at: 140,
             },
+            WalRecord::CrlIssued { number: 1, at: 145 },
+            WalRecord::CertIssued {
+                serial: 4,
+                subject: "vm-ca".into(),
+                at: 150,
+            },
+            WalRecord::CertIssued {
+                serial: 5,
+                subject: "vm-ca".into(),
+                at: 150,
+            },
+            WalRecord::CaRotationPrepared { epoch: 1, at: 150 },
+            WalRecord::CaRotationCommitted {
+                epoch: 1,
+                root_serial: 4,
+                cross_serial: 5,
+                at: 150,
+            },
+            WalRecord::CertIssued {
+                serial: 6,
+                subject: "vnf-a".into(),
+                at: 160,
+            },
+            WalRecord::CredentialRenewed {
+                old_serial: 2,
+                new_serial: 6,
+                vnf_name: "vnf-a".into(),
+                host_id: "host-0".into(),
+                mrenclave: [7; 32],
+                at: 160,
+            },
         ]
     }
 
@@ -594,15 +848,89 @@ mod tests {
         for record in sample_records() {
             state.apply(&record);
         }
-        assert_eq!(state.max_serial, 3);
-        assert_eq!(state.issued, 2);
+        assert_eq!(state.max_serial, 6);
+        assert_eq!(state.issued, 5);
         assert!(state.enrollments[&2].revoked);
         assert!(state.pending.is_empty());
         assert!(state.revoked.contains_key(&3), "aborted prepare is revoked");
         assert_eq!(state.notices.len(), 1);
         assert_eq!(state.degraded_grants, 1);
         assert_eq!(state.generation, 1);
+        assert_eq!(state.crl_number, 1);
+        assert_eq!(state.ca_epoch, 1);
+        assert_eq!(state.pending_rotation, None);
+        assert_eq!(
+            state.rotations,
+            vec![RotationEntry {
+                epoch: 1,
+                root_serial: 4,
+                cross_serial: 5,
+                at: 150,
+            }]
+        );
+        let renewed = &state.enrollments[&6];
+        assert_eq!(renewed.vnf_name, "vnf-a");
+        assert!(!renewed.revoked);
         state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn prepared_rotation_without_commit_stays_pending() {
+        let mut state = ManagerState::default();
+        state.apply(&WalRecord::CaRotationPrepared { epoch: 1, at: 10 });
+        assert_eq!(state.pending_rotation, Some(1));
+        assert_eq!(state.ca_epoch, 0);
+        state.check_invariants().unwrap();
+        // A replayed commit resolves the in-flight rotation.
+        state.apply(&WalRecord::CertIssued {
+            serial: 2,
+            subject: "vm-ca".into(),
+            at: 11,
+        });
+        state.apply(&WalRecord::CertIssued {
+            serial: 3,
+            subject: "vm-ca".into(),
+            at: 11,
+        });
+        state.apply(&WalRecord::CaRotationCommitted {
+            epoch: 1,
+            root_serial: 2,
+            cross_serial: 3,
+            at: 11,
+        });
+        assert_eq!(state.pending_rotation, None);
+        assert_eq!(state.ca_epoch, 1);
+        state.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crl_number_replay_is_monotonic() {
+        let mut state = ManagerState::default();
+        state.apply(&WalRecord::CrlIssued { number: 3, at: 1 });
+        state.apply(&WalRecord::CrlIssued { number: 2, at: 2 });
+        assert_eq!(state.crl_number, 3);
+    }
+
+    #[test]
+    fn invariants_catch_rotation_epoch_gap() {
+        let mut state = ManagerState {
+            max_serial: 10,
+            ..ManagerState::default()
+        };
+        state.rotations.push(RotationEntry {
+            epoch: 2,
+            root_serial: 4,
+            cross_serial: 5,
+            at: 1,
+        });
+        state.ca_epoch = 2;
+        assert!(state.check_invariants().is_err());
+        // A pending rotation must be the successor epoch.
+        let state = ManagerState {
+            pending_rotation: Some(3),
+            ..ManagerState::default()
+        };
+        assert!(state.check_invariants().is_err());
     }
 
     #[test]

@@ -21,6 +21,19 @@ use vnfguard_sgx::SgxError;
 /// Default enclave size for credential enclaves.
 pub const ENCLAVE_SIZE: usize = 256 * 1024;
 
+/// Callback the guard invokes to obtain a freshly wrapped credential
+/// bundle when its certificate enters the renewal window. Returns the
+/// wrapped bundle and the new credential's `not_after`.
+pub type RenewFn = Box<dyn FnMut() -> Result<(Vec<u8>, u64), VnfError> + Send + Sync>;
+
+/// Auto-renewal state: when the credential expires, how early to renew,
+/// and the callback that fetches a replacement bundle.
+struct AutoRenew {
+    not_after: u64,
+    window_secs: u64,
+    renewer: RenewFn,
+}
+
 /// A VNF's enclave-guarded credential store, as deployed on a container
 /// host. Owns the enclave and the network connections its ocalls use.
 pub struct VnfGuard {
@@ -29,6 +42,7 @@ pub struct VnfGuard {
     network: Network,
     connections: HashMap<u32, Duplex>,
     next_conn: u32,
+    auto_renew: Option<AutoRenew>,
 }
 
 impl VnfGuard {
@@ -68,6 +82,7 @@ impl VnfGuard {
             network: network.clone(),
             connections: HashMap::new(),
             next_conn: 1,
+            auto_renew: None,
         })
     }
 
@@ -199,8 +214,70 @@ impl VnfGuard {
         Ok(result)
     }
 
-    /// Open an in-enclave TLS session to the controller at `addr`.
+    /// Arm transparent credential renewal: once `now` enters the window
+    /// `window_secs` before `not_after`, the next
+    /// [`open_session`](Self::open_session) calls `renewer` for a fresh
+    /// wrapped bundle and provisions it before opening — sessions never
+    /// start on a certificate about to expire. The renewer typically posts
+    /// to the manager's `/vm/renew` endpoint.
+    pub fn set_auto_renew(&mut self, not_after: u64, window_secs: u64, renewer: RenewFn) {
+        self.auto_renew = Some(AutoRenew {
+            not_after,
+            window_secs,
+            renewer,
+        });
+    }
+
+    /// Disarm auto-renewal.
+    pub fn clear_auto_renew(&mut self) {
+        self.auto_renew = None;
+    }
+
+    /// `not_after` of the credential auto-renewal is tracking, if armed.
+    pub fn credential_not_after(&self) -> Option<u64> {
+        self.auto_renew.as_ref().map(|r| r.not_after)
+    }
+
+    /// Run the auto-renew hook if the credential is inside its renewal
+    /// window at `now`. Returns whether a renewal happened. A failing
+    /// renewer propagates its error only once the credential is actually
+    /// expired — while the old certificate is still valid, the session can
+    /// proceed and retry renewal later.
+    pub fn maybe_renew(&mut self, now: u64) -> Result<bool, VnfError> {
+        let Some(mut renew) = self.auto_renew.take() else {
+            return Ok(false);
+        };
+        let due = now.saturating_add(renew.window_secs) >= renew.not_after;
+        if !due {
+            self.auto_renew = Some(renew);
+            return Ok(false);
+        }
+        let expired = now > renew.not_after;
+        match (renew.renewer)() {
+            Ok((wrapped, not_after)) => {
+                self.provision(&wrapped)?;
+                renew.not_after = not_after;
+                self.auto_renew = Some(renew);
+                Ok(true)
+            }
+            Err(e) if expired => {
+                self.auto_renew = Some(renew);
+                Err(e)
+            }
+            Err(_) => {
+                // Still valid: degrade to the old credential, retry next
+                // session.
+                self.auto_renew = Some(renew);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Open an in-enclave TLS session to the controller at `addr`. With
+    /// auto-renewal armed, the credential is refreshed first when due (see
+    /// [`maybe_renew`](Self::maybe_renew)).
     pub fn open_session(&mut self, addr: &str, now: u64) -> Result<u32, VnfError> {
+        self.maybe_renew(now)?;
         let bytes = self.run_io_ecall(op::OPEN_SESSION, &encode_open_session(addr, now))?;
         let id: [u8; 4] = bytes
             .as_slice()

@@ -26,7 +26,7 @@ pub mod guard;
 pub mod nf;
 
 pub use credential_enclave::{wrap_credentials, CredentialEnclave, ProvisionBundle};
-pub use guard::VnfGuard;
+pub use guard::{RenewFn, VnfGuard};
 pub use nf::{DpiCounter, Firewall, LoadBalancer, NatGateway, NetworkFunction};
 
 /// Errors from the VNF layer.

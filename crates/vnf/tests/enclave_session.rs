@@ -83,6 +83,7 @@ fn setup() -> World {
         certificate: client_cert,
         ca_certificate: ca.certificate().clone(),
         server_cn: "controller".into(),
+        ca_previous: Vec::new(),
     };
     let prov_key = guard.provisioning_key().unwrap();
     let wrapped = wrap_credentials(&mut rng, &prov_key, &bundle);
