@@ -281,25 +281,61 @@ impl LifecycleMonitor {
     /// monitor verifies the cross-signed handover against its currently
     /// trusted anchors, installs the new root alongside the old one
     /// (dual-trust window), and schedules the displaced anchors for
-    /// retirement at the VM's drain deadline. Returns the epoch adopted
-    /// this call, if any.
+    /// retirement at the VM's drain deadline. A monitor that missed
+    /// intermediate rotations walks the response's `chain` — one
+    /// `{epoch, root, cross_signed}` entry per rotation — adopting each
+    /// skipped epoch in order, so every handover still verifies against an
+    /// anchor adopted one step earlier. Returns the epoch adopted this
+    /// call, if any.
     pub fn poll_ca_at(&mut self, now: u64) -> Result<Option<u64>, CoreError> {
         self.ca_polls.inc();
         let doc = self.fetch("/vm/ca")?;
-        let root = Self::b64_cert(&doc, "certificate")?;
         let epoch = doc.get("epoch").and_then(Json::as_i64).unwrap_or(0) as u64;
         if epoch <= self.known_epoch {
             return Ok(None);
         }
-        let cross = Self::b64_cert(&doc, "cross_signed")?;
         let deadline = doc
             .get("drain_deadline")
             .and_then(Json::as_i64)
             .map(|d| d as u64)
             .unwrap_or(now);
+        // Handovers not yet adopted, oldest first. A VM that serves no
+        // chain degrades to the single latest cross cert — correct as long
+        // as the monitor never falls more than one epoch behind.
+        let mut handovers: Vec<(u64, Certificate, Certificate)> = Vec::new();
+        match doc.get("chain").and_then(Json::as_array) {
+            Some(entries) => {
+                for entry in entries {
+                    let entry_epoch =
+                        entry.get("epoch").and_then(Json::as_i64).unwrap_or(0) as u64;
+                    if entry_epoch <= self.known_epoch {
+                        continue;
+                    }
+                    handovers.push((
+                        entry_epoch,
+                        Self::b64_cert(entry, "root")?,
+                        Self::b64_cert(entry, "cross_signed")?,
+                    ));
+                }
+                handovers.sort_by_key(|(e, _, _)| *e);
+            }
+            None => handovers.push((
+                epoch,
+                Self::b64_cert(&doc, "certificate")?,
+                Self::b64_cert(&doc, "cross_signed")?,
+            )),
+        }
         let mut trust = self.trust.write();
-        verify_handover(&trust, &root, &cross)?;
-        let new_fp = root.fingerprint();
+        let mut adopted: Option<(u64, [u8; 32])> = None;
+        for (entry_epoch, root, cross) in handovers {
+            verify_handover(&trust, &root, &cross)?;
+            let fingerprint = root.fingerprint();
+            trust.add_anchor(root)?;
+            adopted = Some((entry_epoch, fingerprint));
+        }
+        let Some((adopted_epoch, new_fp)) = adopted else {
+            return Ok(None);
+        };
         let displaced: Vec<RetiringAnchor> = trust
             .anchors()
             .filter(|a| a.subject_cn() == self.issuer_cn && a.fingerprint() != new_fp)
@@ -309,20 +345,19 @@ impl LifecycleMonitor {
                 deadline,
             })
             .collect();
-        trust.add_anchor(root)?;
         drop(trust);
         self.retiring.extend(displaced);
-        self.known_epoch = epoch;
+        self.known_epoch = adopted_epoch;
         self.rotations_adopted.inc();
         self.telemetry.event(
             now,
             "ca_rotation_adopted",
             &format!(
-                "{}: epoch {epoch}, dual trust until {deadline}",
+                "{}: epoch {adopted_epoch}, dual trust until {deadline}",
                 self.issuer_cn
             ),
         );
-        Ok(Some(epoch))
+        Ok(Some(adopted_epoch))
     }
 
     /// Poll `GET /vm/crl` and install the signed CRL into the shared trust
@@ -381,16 +416,19 @@ impl LifecycleMonitor {
     }
 
     /// One full maintenance pass: poll the CA, poll the CRL, retire
-    /// drained anchors. Poll failures propagate — the caller decides
-    /// whether a missed poll is tolerable (the trust store's revocation
-    /// policy governs what stale data means in the meantime).
+    /// drained anchors. The phases are independent — a failed CA poll must
+    /// not stop CRL installation or anchor retirement (revocation data
+    /// would go stale behind an unverifiable rotation). Every phase runs;
+    /// the first failure is then reported, CA poll first. The caller
+    /// decides whether a missed poll is tolerable (the trust store's
+    /// revocation policy governs what stale data means in the meantime).
     pub fn tick_at(&mut self, now: u64) -> Result<LifecycleTick, CoreError> {
-        let adopted_epoch = self.poll_ca_at(now)?;
-        let crl_installed = Some(self.poll_crl_at(now)?);
+        let ca_result = self.poll_ca_at(now);
+        let crl_result = self.poll_crl_at(now);
         let anchors_retired = self.enforce_drain_at(now);
         Ok(LifecycleTick {
-            adopted_epoch,
-            crl_installed,
+            adopted_epoch: ca_result?,
+            crl_installed: Some(crl_result?),
             anchors_retired,
         })
     }

@@ -336,6 +336,11 @@ pub struct EnrollmentRecord {
     pub vnf_name: String,
     pub host_id: String,
     pub mrenclave: Measurement,
+    /// Digest of the enclave's provisioning public key as bound by the
+    /// enrollment quote (see [`provisioning_key_hash`]). Renewals must
+    /// present the same key — serials are public, so without this check
+    /// anyone could have a successor credential wrapped to their own key.
+    pub provisioning_key_hash: [u8; 32],
     pub issued_at: u64,
     pub revoked: bool,
 }
@@ -349,7 +354,21 @@ pub struct PendingEnrollment {
     pub vnf_name: String,
     pub host_id: String,
     pub mrenclave: Measurement,
+    /// Digest of the quote-bound provisioning public key (see
+    /// [`provisioning_key_hash`]).
+    pub provisioning_key_hash: [u8; 32],
     pub prepared_at: u64,
+}
+
+/// Domain-separated digest of an enclave's provisioning public key, as
+/// persisted in enrollment records and the WAL. The manager stores the
+/// digest rather than the key itself: renewal only ever needs an equality
+/// check, and the WAL should not accumulate key material.
+pub fn provisioning_key_hash(provisioning_key: &[u8; 32]) -> [u8; 32] {
+    let mut input = Vec::with_capacity(64);
+    input.extend_from_slice(b"vnfguard-provisioning-key-v1\0\0\0\0");
+    input.extend_from_slice(provisioning_key);
+    sha256(&input)
 }
 
 /// Audit event emitted by the manager — an entry in the telemetry
@@ -488,6 +507,12 @@ pub struct VerificationManager {
     rotation_seed: [u8; 32],
     /// When the last signed CRL was issued (drives the age gauge).
     last_crl_issued_at: Option<u64>,
+    /// The most recently issued numbered CRL, re-served to read-only
+    /// distribution requests so polling does not grow the WAL.
+    last_crl: Option<Crl>,
+    /// Set when revocations or a key rotation obsolete `last_crl`; the
+    /// next [`latest_crl_at`](Self::latest_crl_at) mints a fresh one.
+    crl_dirty: bool,
     /// End of the dual-trust window opened by the last rotation.
     rotation_drain_deadline: Option<u64>,
     /// Crash-point injection schedule (tests only in practice).
@@ -546,6 +571,8 @@ impl VerificationManager {
             hmac_key,
             rotation_seed,
             last_crl_issued_at: None,
+            last_crl: None,
+            crl_dirty: false,
             rotation_drain_deadline: None,
             store: None,
             crash_plan: None,
@@ -1281,11 +1308,13 @@ impl VerificationManager {
             subject: vnf_name.clone(),
             at: now,
         })?;
+        let key_hash = provisioning_key_hash(provisioning_key);
         self.journal(&WalRecord::EnrollmentPrepared {
             serial,
             vnf_name: vnf_name.clone(),
             host_id: host_id.clone(),
             mrenclave: *body.mrenclave.as_bytes(),
+            provisioning_key_hash: key_hash,
             at: now,
         })?;
         self.crash_point("enrollment.prepare")?;
@@ -1296,6 +1325,7 @@ impl VerificationManager {
                 vnf_name: vnf_name.clone(),
                 host_id,
                 mrenclave: body.mrenclave,
+                provisioning_key_hash: key_hash,
                 prepared_at: now,
             },
         );
@@ -1335,6 +1365,7 @@ impl VerificationManager {
                 vnf_name: pending.vnf_name,
                 host_id: pending.host_id,
                 mrenclave: pending.mrenclave,
+                provisioning_key_hash: pending.provisioning_key_hash,
                 issued_at: now,
                 revoked: false,
             },
@@ -1377,6 +1408,7 @@ impl VerificationManager {
         })?;
         self.ca
             .revoke(serial, RevocationReason::CessationOfOperation, now);
+        self.crl_dirty = true;
         self.metrics.enrollment_aborts.inc();
         self.event(
             now,
@@ -1515,6 +1547,7 @@ impl VerificationManager {
                     vnf_name: e.vnf_name.clone(),
                     host_id: e.host_id.clone(),
                     mrenclave: Measurement(e.mrenclave),
+                    provisioning_key_hash: e.provisioning_key_hash,
                     issued_at: e.issued_at,
                     revoked: e.revoked,
                 },
@@ -1555,6 +1588,7 @@ impl VerificationManager {
                         vnf_name: p.vnf_name.clone(),
                         host_id: p.host_id.clone(),
                         mrenclave: Measurement(p.mrenclave),
+                        provisioning_key_hash: p.provisioning_key_hash,
                         prepared_at: p.prepared_at,
                     },
                 );
@@ -1651,6 +1685,8 @@ impl VerificationManager {
         })?;
         record.revoked = true;
         self.ca.revoke(serial, reason, now);
+        // The cached distribution CRL no longer covers this serial.
+        self.crl_dirty = true;
         self.metrics.revocations.inc();
         self.event(now, "credential_revoked", &format!("serial {serial}"));
         Ok(())
@@ -1712,6 +1748,8 @@ impl VerificationManager {
         self.crash_point("crl.issue")?;
         let crl = self.ca.issue_crl(now, self.config.crl_lifetime_secs);
         self.last_crl_issued_at = Some(now);
+        self.last_crl = Some(crl.clone());
+        self.crl_dirty = false;
         self.metrics.crls_issued.inc();
         self.metrics.crl_age_seconds.set(0);
         self.event(
@@ -1720,6 +1758,26 @@ impl VerificationManager {
             &format!("number {}, {} entries", crl.crl_number, crl.len()),
         );
         Ok(crl)
+    }
+
+    /// The CRL to serve to a polling relying party. Re-serves the most
+    /// recently issued numbered CRL byte-for-byte, so distribution reads
+    /// (`GET /vm/crl`) neither journal WAL records nor burn CRL numbers. A
+    /// fresh CRL is minted through [`issue_crl_at`](Self::issue_crl_at)
+    /// only when none has been issued yet, when a revocation or key
+    /// rotation obsoleted the cached one, or when the cached one passed
+    /// its `next_update`.
+    pub fn latest_crl(&mut self) -> Result<Crl, CoreError> {
+        self.latest_crl_at(self.clock.now())
+    }
+
+    /// Explicit-time shim for [`latest_crl`](Self::latest_crl).
+    pub fn latest_crl_at(&mut self, now: u64) -> Result<Crl, CoreError> {
+        self.ensure_alive()?;
+        match &self.last_crl {
+            Some(crl) if !self.crl_dirty && !crl.is_stale(now) => Ok(crl.clone()),
+            _ => self.issue_crl_at(now),
+        }
     }
 
     /// The signing key for CA epoch `epoch`, derived deterministically from
@@ -1792,6 +1850,9 @@ impl VerificationManager {
         drop(rotate_span);
         self.metrics.certificates_issued.add(2);
         self.metrics.rotations.inc();
+        // Post-rotation CRLs must be signed by the new epoch key; the
+        // cached one carries the outgoing signature.
+        self.crl_dirty = true;
         let drain_deadline = now + self.config.rotation_drain_secs;
         self.rotation_drain_deadline = Some(drain_deadline);
         self.event(
@@ -1874,6 +1935,25 @@ impl VerificationManager {
                 "credential {serial} is revoked; renewal refused"
             )));
         }
+        // Serials are public (they appear in certificates and CRLs), so the
+        // caller must prove nothing by naming one. What gates the renewal is
+        // the provisioning key: only the key the enrollment quote bound may
+        // receive the successor bundle — anything else is an attacker asking
+        // for a live credential wrapped to a key of their choosing.
+        if provisioning_key_hash(provisioning_key) != old.provisioning_key_hash {
+            self.event(
+                now,
+                "renewal_refused",
+                &format!(
+                    "{} serial {serial}: provisioning key does not match enrollment",
+                    old.vnf_name
+                ),
+            );
+            return Err(CoreError::AttestationFailed(format!(
+                "provisioning key does not match the one bound at enrollment \
+                 of serial {serial}; full re-attestation required"
+            )));
+        }
         if !self.host_is_trusted(&old.host_id, now) {
             self.event(
                 now,
@@ -1929,6 +2009,7 @@ impl VerificationManager {
             vnf_name: old.vnf_name.clone(),
             host_id: old.host_id.clone(),
             mrenclave: *old.mrenclave.as_bytes(),
+            provisioning_key_hash: old.provisioning_key_hash,
             at: now,
         })?;
         self.crash_point("renewal.issue")?;
@@ -1939,6 +2020,7 @@ impl VerificationManager {
                 vnf_name: old.vnf_name.clone(),
                 host_id: old.host_id,
                 mrenclave: old.mrenclave,
+                provisioning_key_hash: old.provisioning_key_hash,
                 issued_at: now,
                 revoked: false,
             },
@@ -2033,6 +2115,30 @@ impl VerificationManager {
     /// Self-signed roots from earlier key epochs, oldest first.
     pub fn ca_previous_roots(&self) -> &[Certificate] {
         self.ca.previous_roots()
+    }
+
+    /// The complete rotation handover chain, oldest first: one
+    /// `(epoch, root, cross)` triple per rotation, where `cross` endorses
+    /// that epoch's `root` under the preceding epoch's key. A relying
+    /// party that missed intermediate rotations walks the chain forward,
+    /// verifying each handover against the anchor adopted one step
+    /// earlier, instead of wedging on a cross cert whose signer it never
+    /// trusted. Empty before the first rotation.
+    pub fn ca_rotation_chain(&self) -> Vec<(u64, Certificate, Certificate)> {
+        let crosses = self.ca.cross_signed_history();
+        let current_epoch = self.ca.epoch() as u64;
+        (1..=current_epoch)
+            .map(|epoch| {
+                // previous_roots[i] is the epoch-i root once epoch i is
+                // displaced; the newest epoch's root is still current.
+                let root = if epoch == current_epoch {
+                    self.ca.certificate().clone()
+                } else {
+                    self.ca.previous_roots()[epoch as usize].clone()
+                };
+                (epoch, root, crosses[epoch as usize - 1].clone())
+            })
+            .collect()
     }
 
     /// End of the dual-trust window opened by the last rotation.
@@ -2212,6 +2318,7 @@ mod tests {
                 vnf_name: "op".into(),
                 host_id: "h".into(),
                 mrenclave: Measurement([0; 32]),
+                provisioning_key_hash: [0; 32],
                 issued_at: 1_000,
                 revoked: false,
             },

@@ -833,10 +833,15 @@ fn remote_enroll_vnf_inner(
 /// - `POST /vm/rotate` → `{epoch, drain_deadline}` — rotate the CA key,
 ///   cross-signing the new root with the outgoing key
 /// - `GET  /vm/ca` → `{certificate: b64, epoch, cross_signed?: b64,
-///   previous: [b64], drain_deadline?}` — everything a relying party needs
-///   to verify a rotation handover and run the dual-trust window
-/// - `GET  /vm/crl` → `{crl: b64, crl_number}` — issues a fresh numbered
-///   CRL (journaled, monotonic) rather than a read-only preview
+///   chain: [{epoch, root: b64, cross_signed: b64}], previous: [b64],
+///   drain_deadline?}` — everything a relying party needs to verify a
+///   rotation handover and run the dual-trust window; `chain` carries one
+///   entry per rotation so a monitor that missed intermediate epochs can
+///   walk trust forward instead of wedging
+/// - `GET  /vm/crl` → `{crl: b64, crl_number}` — re-serves the most
+///   recently issued numbered CRL; a fresh one is minted (journaled,
+///   monotonic) only when revocations, a rotation, or expiry obsoleted
+///   the cached copy, so polling neither grows the WAL nor burns numbers
 /// - `GET  /vm/lifecycle` → credential-estate posture (active/expiring
 ///   counts, CRL age, CA epoch, drain deadline)
 /// - `GET  /vm/status` → summary counts
@@ -998,6 +1003,17 @@ pub fn serve_vm_api(
             if let Some(cross) = vm.ca_cross_signed() {
                 body = body.with("cross_signed", base64::encode(&cross.encode()));
             }
+            let chain: Vec<Json> = vm
+                .ca_rotation_chain()
+                .into_iter()
+                .map(|(epoch, root, cross)| {
+                    Json::object()
+                        .with("epoch", epoch as i64)
+                        .with("root", base64::encode(&root.encode()))
+                        .with("cross_signed", base64::encode(&cross.encode()))
+                })
+                .collect();
+            body = body.with("chain", chain);
             let previous: Vec<Json> = vm
                 .ca_previous_roots()
                 .iter()
@@ -1015,7 +1031,7 @@ pub fn serve_vm_api(
         router.get_api("/vm/crl", move |_, _| {
             let mut vm = vm.lock();
             let crl = vm
-                .issue_crl()
+                .latest_crl()
                 .map_err(|e| ApiError::forbidden(e.to_string()))?;
             Ok(Response::json(
                 Status::Ok,

@@ -106,6 +106,61 @@ fn renewal_of_revoked_credential_refused() {
 }
 
 #[test]
+fn renewal_with_foreign_provisioning_key_refused() {
+    let mut tb = TestbedBuilder::new(b"lifecycle key binding").build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-bind", 1).unwrap();
+    let certificate = tb.enroll(0, &guard).unwrap();
+
+    // Serials are public (certificates, CRLs), and the host verdict is
+    // fresh — yet a renewal wrapped to an attacker-chosen key must be
+    // refused: only the provisioning key the enrollment quote bound may
+    // receive the successor bundle.
+    let controller_cn = tb.controller_cn.clone();
+    let err = tb
+        .vm
+        .renew_vnf_credential(certificate.serial(), &[0x41; 32], &controller_cn)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::AttestationFailed(_)), "{err}");
+    assert!(err.to_string().contains("provisioning key"), "{err}");
+    assert!(tb.vm.events().iter().any(|e| e.kind == "renewal_refused"));
+
+    // The enrolled enclave's own key still renews, and the binding is
+    // carried forward onto the successor serial.
+    let renewed = tb.renew(&guard, certificate.serial()).unwrap();
+    assert_ne!(renewed.serial(), certificate.serial());
+    let err = tb
+        .vm
+        .renew_vnf_credential(renewed.serial(), &[0x41; 32], &controller_cn)
+        .unwrap_err();
+    assert!(matches!(err, CoreError::AttestationFailed(_)), "{err}");
+    tb.renew(&guard, renewed.serial()).unwrap();
+}
+
+#[test]
+fn renewal_key_binding_survives_recovery() {
+    let mut tb = TestbedBuilder::new(b"lifecycle key binding crash")
+        .durable()
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-bind-r", 1).unwrap();
+    let certificate = tb.enroll(0, &guard).unwrap();
+
+    tb.recover_vm().unwrap();
+    // Host verdicts do not survive recovery; re-attest so the only thing
+    // standing between the attacker and a renewal is the key binding.
+    tb.attest_host(0).unwrap();
+    let controller_cn = tb.controller_cn.clone();
+    let err = tb
+        .vm
+        .renew_vnf_credential(certificate.serial(), &[0x41; 32], &controller_cn)
+        .unwrap_err();
+    assert!(err.to_string().contains("provisioning key"), "{err}");
+    // The replayed hash still matches the genuine enclave key.
+    tb.renew(&guard, certificate.serial()).unwrap();
+}
+
+#[test]
 fn guard_auto_renews_before_expiry() {
     let mut tb = TestbedBuilder::new(b"lifecycle auto renew").build();
     tb.attest_host(0).unwrap();
@@ -139,6 +194,50 @@ fn guard_auto_renews_before_expiry() {
 
     // Inside the window: open_session renews first, then connects.
     tb.clock.advance(79_000);
+    tb.open_session(&mut guard).unwrap();
+    assert_eq!(guard.status().unwrap().serial, renewed.serial());
+    assert_eq!(guard.credential_not_after(), Some(renewed_not_after));
+}
+
+#[test]
+fn failed_renewal_provision_keeps_auto_renew_armed() {
+    let mut tb = TestbedBuilder::new(b"lifecycle renew degrade").build();
+    tb.attest_host(0).unwrap();
+    let mut guard = tb.deploy_guard(0, "vnf-degrade", 1).unwrap();
+    let first = tb.enroll(0, &guard).unwrap();
+    let not_after = first.tbs.validity.not_after;
+
+    tb.clock.advance(1000);
+    let key = guard.provisioning_key().unwrap();
+    let (wrapped, renewed) = tb
+        .vm
+        .renew_vnf_credential(first.serial(), &key, &tb.controller_cn.clone())
+        .unwrap();
+    let renewed_not_after = renewed.tbs.validity.not_after;
+    // First attempt hands back a bundle the enclave cannot unwrap (the
+    // fetch succeeded, provisioning fails); the retry is genuine.
+    let mut queue = vec![(wrapped, renewed_not_after), (vec![0u8; 16], renewed_not_after)];
+    guard.set_auto_renew(
+        not_after,
+        7200,
+        Box::new(move || {
+            queue
+                .pop()
+                .ok_or_else(|| vnfguard_vnf::VnfError::Encoding("renewals exhausted".into()))
+        }),
+    );
+
+    // Inside the window the garbage bundle fails to provision — but the
+    // still-valid credential keeps serving and the hook stays armed
+    // instead of being silently dropped on the error path.
+    tb.clock.advance(79_000);
+    tb.open_session(&mut guard).unwrap();
+    assert_eq!(guard.status().unwrap().serial, first.serial());
+    assert_eq!(guard.credential_not_after(), Some(not_after));
+
+    // Because the hook survived, the next session retries and swaps in
+    // the genuine bundle.
+    tb.clock.advance(1);
     tb.open_session(&mut guard).unwrap();
     assert_eq!(guard.status().unwrap().serial, renewed.serial());
     assert_eq!(guard.credential_not_after(), Some(renewed_not_after));
@@ -260,6 +359,11 @@ fn monitor_distributes_rotations_and_crls() {
     tb.clock.advance(1);
     assert!(tb.open_session(&mut guard).is_err());
 
+    // Polling again without new revocations re-serves number 2: GET
+    // /vm/crl is a read, not a fresh issuance per request.
+    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    assert_eq!(tick.crl_installed, Some(2));
+
     // Rotate through the API; the monitor verifies the cross-signed
     // handover and adopts epoch 1, then retires the old root after drain.
     let response = client.request(&Request::post("/vm/rotate")).unwrap();
@@ -270,6 +374,97 @@ fn monitor_distributes_rotations_and_crls() {
     let deadline = monitor.drain_deadline().unwrap();
     assert_eq!(monitor.enforce_drain_at(deadline), 0); // window still open
     assert_eq!(monitor.enforce_drain_at(deadline + 1), 1);
+}
+
+#[test]
+fn monitor_catches_up_after_missed_rotations() {
+    let mut tb = TestbedBuilder::new(b"lifecycle missed rotations").build();
+    tb.attest_host(0).unwrap();
+    let mut guard = tb.deploy_guard(0, "vnf-lag2", 1).unwrap();
+    tb.enroll(0, &guard).unwrap();
+    let issuer_cn = tb.vm.ca_certificate().subject_cn().to_string();
+
+    let trust = tb
+        .controller
+        .client_validator()
+        .unwrap()
+        .trust_store()
+        .unwrap();
+    let mut monitor = LifecycleMonitor::new(
+        tb.network.clone(),
+        "vm:8443",
+        "controller",
+        trust,
+        tb.telemetry.clone(),
+        &issuer_cn,
+    );
+    let network = tb.network.clone();
+    let vm = Arc::new(Mutex::new(tb.take_vm()));
+    let ias = std::mem::replace(&mut tb.ias, vnfguard_ias::AttestationService::new(b"x"));
+    let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(ias));
+    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+
+    monitor.tick_at(tb.clock.now()).unwrap();
+    assert_eq!(monitor.known_epoch(), 0);
+
+    // Two rotations land while the monitor is offline. Epoch 2's handover
+    // is endorsed by the epoch-1 key the monitor never learned, so a
+    // latest-cross-only endpoint would wedge it forever; the served chain
+    // lets it verify every missed handover in order.
+    let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
+    for _ in 0..2 {
+        let response = client.request(&Request::post("/vm/rotate")).unwrap();
+        assert!(response.status.is_success(), "{:?}", response.status.code());
+    }
+
+    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    assert_eq!(tick.adopted_epoch, Some(2));
+    assert_eq!(monitor.known_epoch(), 2);
+    // The catch-up CRL is signed by the epoch-2 key anchored moments
+    // earlier in the same tick.
+    assert_eq!(tick.crl_installed, Some(2));
+
+    // The pre-rotation credential still serves through the drain
+    // window...
+    tb.clock.advance(1);
+    tb.open_session(&mut guard).unwrap();
+    // ...and BOTH displaced roots retire together at the deadline.
+    let deadline = monitor.drain_deadline().unwrap();
+    assert_eq!(monitor.enforce_drain_at(deadline + 1), 2);
+    tb.clock.advance(1);
+    assert!(tb.open_session(&mut guard).is_err());
+}
+
+#[test]
+fn crl_reads_serve_cached_list_until_state_changes() {
+    let mut tb = TestbedBuilder::new(b"lifecycle crl cache")
+        .crl_lifetime(600)
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-crl-cache", 1).unwrap();
+    let certificate = tb.enroll(0, &guard).unwrap();
+
+    // The first read mints CRL number 1; repeated polls re-serve the very
+    // same bytes instead of journaling a fresh issuance per request.
+    let first = tb.vm.latest_crl().unwrap();
+    assert_eq!(first.crl_number, 1);
+    let second = tb.vm.latest_crl().unwrap();
+    assert_eq!(second.encode(), first.encode());
+
+    // A revocation invalidates the cache: exactly one new number, and the
+    // fresh list carries the revoked serial.
+    tb.vm
+        .revoke_credential(certificate.serial(), RevocationReason::KeyCompromise)
+        .unwrap();
+    let third = tb.vm.latest_crl().unwrap();
+    assert_eq!(third.crl_number, 2);
+    assert!(third.lookup(certificate.serial()).is_some());
+    assert_eq!(tb.vm.latest_crl().unwrap().crl_number, 2);
+
+    // Past next_update the cached list is stale; a fresh one is minted so
+    // relying parties never receive an expired CRL.
+    tb.clock.advance(700);
+    assert_eq!(tb.vm.latest_crl().unwrap().crl_number, 3);
 }
 
 #[test]

@@ -66,6 +66,11 @@ pub struct CertificateAuthority {
     /// The current root's public key endorsed (signed) by the previous
     /// epoch's key; `None` before the first rotation.
     cross_signed: Option<Certificate>,
+    /// Every cross-signed handover cert ever minted, oldest first (index
+    /// `i` endorses the epoch `i + 1` root under the epoch `i` key). A
+    /// relying party that missed intermediate rotations walks this chain
+    /// to re-establish trust step by step.
+    cross_history: Vec<Certificate>,
     /// Key epoch: 0 for the original key, +1 per rotation.
     epoch: u32,
 }
@@ -102,6 +107,7 @@ impl CertificateAuthority {
             crl_number: 0,
             previous_roots: Vec::new(),
             cross_signed: None,
+            cross_history: Vec::new(),
             epoch: 0,
         }
     }
@@ -288,6 +294,7 @@ impl CertificateAuthority {
         self.previous_roots.push(old_root);
         self.key = new_key;
         self.cross_signed = Some(cross.clone());
+        self.cross_history.push(cross.clone());
         self.epoch += 1;
         (new_root, cross)
     }
@@ -301,6 +308,12 @@ impl CertificateAuthority {
     /// before the first rotation).
     pub fn cross_signed(&self) -> Option<&Certificate> {
         self.cross_signed.as_ref()
+    }
+
+    /// Every cross-signed handover cert ever minted, oldest first: entry
+    /// `i` endorses the epoch `i + 1` root under the epoch `i` key.
+    pub fn cross_signed_history(&self) -> &[Certificate] {
+        &self.cross_history
     }
 
     /// Key epoch: 0 for the original key, +1 per rotation.

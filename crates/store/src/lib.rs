@@ -227,6 +227,7 @@ mod tests {
                 vnf_name: format!("vnf-{serial}"),
                 host_id: "host-0".into(),
                 mrenclave: [1; 32],
+                provisioning_key_hash: [2; 32],
                 at,
             })
             .unwrap();

@@ -25,6 +25,7 @@ const TAG_GENERATION: u8 = 0x0a;
 const TAG_NUMBER: u8 = 0x0b;
 const TAG_CROSS_SERIAL: u8 = 0x0c;
 const TAG_OLD_SERIAL: u8 = 0x0d;
+const TAG_PROV_KEY_HASH: u8 = 0x0e;
 
 const TAG_ENROLLMENT: u8 = 0x20;
 const TAG_PENDING: u8 = 0x21;
@@ -66,12 +67,15 @@ pub enum WalRecord {
     /// serial its predecessor already signed.
     CertIssued { serial: u64, subject: String, at: u64 },
     /// Phase one of enrollment: credential issued and wrapped, delivery
-    /// outcome unknown.
+    /// outcome unknown. `provisioning_key_hash` is the digest of the
+    /// enclave's quote-bound provisioning public key — the renewal path
+    /// checks new wrap requests against it, so it must survive recovery.
     EnrollmentPrepared {
         serial: u64,
         vnf_name: String,
         host_id: String,
         mrenclave: [u8; 32],
+        provisioning_key_hash: [u8; 32],
         at: u64,
     },
     /// Phase two: the wrapped bundle reached the enclave.
@@ -117,6 +121,7 @@ pub enum WalRecord {
         vnf_name: String,
         host_id: String,
         mrenclave: [u8; 32],
+        provisioning_key_hash: [u8; 32],
         at: u64,
     },
 }
@@ -136,6 +141,7 @@ impl WalRecord {
                 vnf_name,
                 host_id,
                 mrenclave,
+                provisioning_key_hash,
                 at,
             } => {
                 w.u8(TAG_KIND, KIND_PREPARED)
@@ -143,6 +149,7 @@ impl WalRecord {
                     .string(TAG_NAME, vnf_name)
                     .string(TAG_HOST, host_id)
                     .bytes(TAG_MRENCLAVE, mrenclave)
+                    .bytes(TAG_PROV_KEY_HASH, provisioning_key_hash)
                     .u64(TAG_AT, *at);
             }
             WalRecord::EnrollmentCommitted { serial, at } => {
@@ -222,6 +229,7 @@ impl WalRecord {
                 vnf_name,
                 host_id,
                 mrenclave,
+                provisioning_key_hash,
                 at,
             } => {
                 w.u8(TAG_KIND, KIND_RENEWED)
@@ -230,6 +238,7 @@ impl WalRecord {
                     .string(TAG_NAME, vnf_name)
                     .string(TAG_HOST, host_id)
                     .bytes(TAG_MRENCLAVE, mrenclave)
+                    .bytes(TAG_PROV_KEY_HASH, provisioning_key_hash)
                     .u64(TAG_AT, *at);
             }
         }
@@ -250,6 +259,7 @@ impl WalRecord {
                 vnf_name: r.expect_string(TAG_NAME)?,
                 host_id: r.expect_string(TAG_HOST)?,
                 mrenclave: r.expect_array::<32>(TAG_MRENCLAVE)?,
+                provisioning_key_hash: r.expect_array::<32>(TAG_PROV_KEY_HASH)?,
                 at: r.expect_u64(TAG_AT)?,
             },
             KIND_COMMITTED => WalRecord::EnrollmentCommitted {
@@ -305,6 +315,7 @@ impl WalRecord {
                 vnf_name: r.expect_string(TAG_NAME)?,
                 host_id: r.expect_string(TAG_HOST)?,
                 mrenclave: r.expect_array::<32>(TAG_MRENCLAVE)?,
+                provisioning_key_hash: r.expect_array::<32>(TAG_PROV_KEY_HASH)?,
                 at: r.expect_u64(TAG_AT)?,
             },
             other => {
@@ -323,6 +334,9 @@ pub struct EnrollmentEntry {
     pub vnf_name: String,
     pub host_id: String,
     pub mrenclave: [u8; 32],
+    /// Digest of the enclave's quote-bound provisioning public key;
+    /// renewals must wrap to this key and nothing else.
+    pub provisioning_key_hash: [u8; 32],
     pub issued_at: u64,
     pub revoked: bool,
 }
@@ -334,6 +348,8 @@ pub struct PendingEntry {
     pub vnf_name: String,
     pub host_id: String,
     pub mrenclave: [u8; 32],
+    /// Digest of the enclave's quote-bound provisioning public key.
+    pub provisioning_key_hash: [u8; 32],
     pub prepared_at: u64,
 }
 
@@ -404,6 +420,7 @@ impl ManagerState {
                 vnf_name,
                 host_id,
                 mrenclave,
+                provisioning_key_hash,
                 at,
             } => {
                 self.pending.insert(
@@ -413,6 +430,7 @@ impl ManagerState {
                         vnf_name: vnf_name.clone(),
                         host_id: host_id.clone(),
                         mrenclave: *mrenclave,
+                        provisioning_key_hash: *provisioning_key_hash,
                         prepared_at: *at,
                     },
                 );
@@ -426,6 +444,7 @@ impl ManagerState {
                             vnf_name: pending.vnf_name,
                             host_id: pending.host_id,
                             mrenclave: pending.mrenclave,
+                            provisioning_key_hash: pending.provisioning_key_hash,
                             issued_at: *at,
                             revoked: self.revoked.contains_key(serial),
                         },
@@ -510,6 +529,7 @@ impl ManagerState {
                 vnf_name,
                 host_id,
                 mrenclave,
+                provisioning_key_hash,
                 at,
             } => {
                 // The old enrollment stays live until its certificate
@@ -521,6 +541,7 @@ impl ManagerState {
                         vnf_name: vnf_name.clone(),
                         host_id: host_id.clone(),
                         mrenclave: *mrenclave,
+                        provisioning_key_hash: *provisioning_key_hash,
                         issued_at: *at,
                         revoked: self.revoked.contains_key(new_serial),
                     },
@@ -556,6 +577,7 @@ impl ManagerState {
                     .string(TAG_NAME, &e.vnf_name)
                     .string(TAG_HOST, &e.host_id)
                     .bytes(TAG_MRENCLAVE, &e.mrenclave)
+                    .bytes(TAG_PROV_KEY_HASH, &e.provisioning_key_hash)
                     .u64(TAG_AT, e.issued_at)
                     .u8(TAG_REVOKED_FLAG, e.revoked as u8);
             });
@@ -567,6 +589,7 @@ impl ManagerState {
                     .string(TAG_NAME, &p.vnf_name)
                     .string(TAG_HOST, &p.host_id)
                     .bytes(TAG_MRENCLAVE, &p.mrenclave)
+                    .bytes(TAG_PROV_KEY_HASH, &p.provisioning_key_hash)
                     .u64(TAG_AT, p.prepared_at);
             });
         }
@@ -619,6 +642,7 @@ impl ManagerState {
                             vnf_name: inner.expect_string(TAG_NAME)?,
                             host_id: inner.expect_string(TAG_HOST)?,
                             mrenclave: inner.expect_array::<32>(TAG_MRENCLAVE)?,
+                            provisioning_key_hash: inner.expect_array::<32>(TAG_PROV_KEY_HASH)?,
                             issued_at: inner.expect_u64(TAG_AT)?,
                             revoked: inner.expect_u8(TAG_REVOKED_FLAG)? != 0,
                         },
@@ -633,6 +657,7 @@ impl ManagerState {
                             vnf_name: inner.expect_string(TAG_NAME)?,
                             host_id: inner.expect_string(TAG_HOST)?,
                             mrenclave: inner.expect_array::<32>(TAG_MRENCLAVE)?,
+                            provisioning_key_hash: inner.expect_array::<32>(TAG_PROV_KEY_HASH)?,
                             prepared_at: inner.expect_u64(TAG_AT)?,
                         },
                     );
@@ -754,6 +779,7 @@ mod tests {
                 vnf_name: "vnf-a".into(),
                 host_id: "host-0".into(),
                 mrenclave: [7; 32],
+                provisioning_key_hash: [21; 32],
                 at: 100,
             },
             WalRecord::EnrollmentCommitted { serial: 2, at: 101 },
@@ -767,6 +793,7 @@ mod tests {
                 vnf_name: "vnf-b".into(),
                 host_id: "host-0".into(),
                 mrenclave: [8; 32],
+                provisioning_key_hash: [22; 32],
                 at: 110,
             },
             WalRecord::EnrollmentAborted {
@@ -822,6 +849,7 @@ mod tests {
                 vnf_name: "vnf-a".into(),
                 host_id: "host-0".into(),
                 mrenclave: [7; 32],
+                provisioning_key_hash: [21; 32],
                 at: 160,
             },
         ]
@@ -871,6 +899,8 @@ mod tests {
         let renewed = &state.enrollments[&6];
         assert_eq!(renewed.vnf_name, "vnf-a");
         assert!(!renewed.revoked);
+        assert_eq!(renewed.provisioning_key_hash, [21; 32]);
+        assert_eq!(state.enrollments[&2].provisioning_key_hash, [21; 32]);
         state.check_invariants().unwrap();
     }
 
@@ -973,6 +1003,7 @@ mod tests {
             vnf_name: "x".into(),
             host_id: "h".into(),
             mrenclave: [0; 32],
+            provisioning_key_hash: [0; 32],
             at: 0,
         });
         state.apply(&WalRecord::EnrollmentCommitted { serial: 2, at: 1 });

@@ -240,9 +240,11 @@ impl VnfGuard {
 
     /// Run the auto-renew hook if the credential is inside its renewal
     /// window at `now`. Returns whether a renewal happened. A failing
-    /// renewer propagates its error only once the credential is actually
-    /// expired — while the old certificate is still valid, the session can
-    /// proceed and retry renewal later.
+    /// renewal — whether fetching the wrapped bundle or provisioning it
+    /// into the enclave — propagates its error only once the credential is
+    /// actually expired; while the old certificate is still valid, the
+    /// session can proceed and retry renewal later. Either way the hook
+    /// stays armed: a transient failure must not silently disarm renewal.
     pub fn maybe_renew(&mut self, now: u64) -> Result<bool, VnfError> {
         let Some(mut renew) = self.auto_renew.take() else {
             return Ok(false);
@@ -253,9 +255,12 @@ impl VnfGuard {
             return Ok(false);
         }
         let expired = now > renew.not_after;
-        match (renew.renewer)() {
-            Ok((wrapped, not_after)) => {
-                self.provision(&wrapped)?;
+        let outcome = (renew.renewer)().and_then(|(wrapped, not_after)| {
+            self.provision(&wrapped)?;
+            Ok(not_after)
+        });
+        match outcome {
+            Ok(not_after) => {
                 renew.not_after = not_after;
                 self.auto_renew = Some(renew);
                 Ok(true)
