@@ -13,6 +13,12 @@ cargo test -q
 echo "== crash matrix (sealed WAL, crash injection, recovery; >=8 seeds) =="
 cargo test -q --test crash_recovery
 
+echo "== failover chaos matrix (replicated VM, node loss, oracle divergence; >=10 seeds) =="
+cargo test -q --test replication
+
+echo "== store replay properties (idempotence, prefix consistency, torn tails) =="
+cargo test -q --test store_props
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -88,5 +94,8 @@ cargo bench -p vnfguard-bench --bench e12_tracing
 
 echo "== e13: lifecycle (renewal vs enrollment, rotation, CRL lookup) =="
 cargo bench -p vnfguard-bench --bench e13_lifecycle
+
+echo "== e14: failover time + replication overhead bar (<=10% vs unreplicated) =="
+cargo bench -p vnfguard-bench --bench e14_failover
 
 echo "CI OK"

@@ -9,6 +9,7 @@ use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
 use crate::crash::CrashPlan;
 use crate::lifecycle::{verify_handover, CaRotation};
 use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
+use crate::replication::{ReplicaSet, ReplicationConfig, StandbyNode};
 use crate::revocation::RevocationNotifier;
 use crate::CoreError;
 use std::sync::Arc;
@@ -22,6 +23,7 @@ use vnfguard_ima::appraisal::Verdict;
 use vnfguard_ima::list::IMA_PCR;
 use vnfguard_ima::tpm::SimTpm;
 use vnfguard_net::fabric::Network;
+use vnfguard_net::fault::FaultPlan;
 use vnfguard_pki::cert::Certificate;
 use vnfguard_pki::{KeyStore, RevocationPolicy, TrustStore};
 use vnfguard_sgx::enclave::Enclave;
@@ -95,6 +97,9 @@ pub struct TestbedBuilder {
     crl_lifetime: Option<u64>,
     rotation_drain: Option<u64>,
     revocation_policy: Option<RevocationPolicy>,
+    replicas: usize,
+    replication_config: Option<ReplicationConfig>,
+    faults: Option<FaultPlan>,
 }
 
 impl TestbedBuilder {
@@ -119,6 +124,9 @@ impl TestbedBuilder {
             crl_lifetime: None,
             rotation_drain: None,
             revocation_policy: None,
+            replicas: 0,
+            replication_config: None,
+            faults: None,
         }
     }
 
@@ -223,6 +231,33 @@ impl TestbedBuilder {
         self
     }
 
+    /// Replicate the Verification Manager's WAL to `n` standby managers
+    /// over the fabric (implies [`durable`](Self::durable)), enabling
+    /// [`Testbed::kill_primary`] and [`Testbed::promote`].
+    pub fn replicas(mut self, n: usize) -> TestbedBuilder {
+        self.replicas = n;
+        if n > 0 {
+            self.durable = true;
+        }
+        self
+    }
+
+    /// Override the replication tuning (window, retention, link retries).
+    pub fn replication_config(mut self, config: ReplicationConfig) -> TestbedBuilder {
+        self.replication_config = Some(config);
+        self
+    }
+
+    /// Install a fault plan on the fabric *before* any link is dialed.
+    /// Unlike a post-build `Network::install_faults`, this also governs the
+    /// long-lived links the testbed itself establishes — notably the
+    /// primary-to-standby replication connections, which a later `isolate`
+    /// or `partition` can then sever.
+    pub fn faults(mut self, plan: FaultPlan) -> TestbedBuilder {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Enable end-to-end distributed tracing: seed the deployment's trace-id
     /// generator from the testbed seed (ids stay reproducible run-to-run),
     /// head-sample new traces at `sample_rate` (clamped to `0.0..=1.0`), and
@@ -237,6 +272,9 @@ impl TestbedBuilder {
         let clock = SimClock::at(1_600_000_000);
         let telemetry = self.telemetry.unwrap_or_default();
         network.set_telemetry(&telemetry);
+        if let Some(plan) = &self.faults {
+            network.install_faults(plan);
+        }
         if let Some(rate) = self.tracing {
             use vnfguard_crypto::drbg::SecureRandom;
             let mut drbg = vnfguard_crypto::drbg::HmacDrbg::new(
@@ -288,6 +326,60 @@ impl TestbedBuilder {
             StateStore::new(media.clone(), vault).with_compaction(self.wal_compaction)
         });
 
+        // Standbys come up before the manager so the very first journaled
+        // record (the controller's server certificate) already streams:
+        // each standby runs its own vault on its own platform and re-seals
+        // what it receives into its own media.
+        let mut standbys = Vec::with_capacity(self.replicas);
+        let mut standby_media = Vec::with_capacity(self.replicas);
+        let mut standby_platforms = Vec::with_capacity(self.replicas);
+        let mut replication = None;
+        if self.replicas > 0 {
+            let store = store.as_ref().expect("replicas imply durable");
+            let mut addrs = Vec::with_capacity(self.replicas);
+            for i in 0..self.replicas {
+                let platform = SgxPlatform::with_config(
+                    &vnfguard_crypto::sha2::sha256(
+                        &[&self.seed[..], format!("vm standby {i} platform").as_bytes()]
+                            .concat(),
+                    ),
+                    PlatformConfig::default(),
+                    TransitionModel::new(0, 0),
+                );
+                let vault = StateVault::load(&platform, &enclave_author)
+                    .expect("state vault loads on the standby platform");
+                let media = Media::new();
+                let standby_store =
+                    StateStore::new(media.clone(), vault).with_compaction(self.wal_compaction);
+                let addr = format!("vm-standby-{i}:7600");
+                let node = StandbyNode::spawn(
+                    &network,
+                    &addr,
+                    standby_store,
+                    clock.clone(),
+                    telemetry.clone(),
+                    0,
+                )
+                .expect("standby binds its fabric address");
+                addrs.push(addr);
+                standbys.push(node);
+                standby_media.push(media);
+                standby_platforms.push(platform);
+            }
+            let set = ReplicaSet::new(
+                &network,
+                &addrs,
+                0,
+                1,
+                self.replication_config.clone().unwrap_or_default(),
+                clock.clone(),
+                telemetry.clone(),
+            );
+            set.attach_store(store.clone());
+            store.set_observer(Arc::new(set.clone()));
+            replication = Some(set);
+        }
+
         let mut vm = VerificationManager::with_runtime(
             vm_config.clone(),
             &self.seed,
@@ -299,6 +391,9 @@ impl TestbedBuilder {
         }
         if let Some(plan) = &self.crash_plan {
             vm = vm.with_crash_plan(plan.clone());
+        }
+        if let Some(set) = &replication {
+            vm.with_replication(set.clone());
         }
         let mut notifier = RevocationNotifier::new(&network).with_telemetry(&telemetry);
         if let Some(store) = &store {
@@ -410,6 +505,11 @@ impl TestbedBuilder {
             crash_plan: self.crash_plan,
             wal_compaction: self.wal_compaction,
             trust_log: Vec::new(),
+            replication,
+            standbys,
+            standby_media,
+            standby_platforms,
+            replication_config: self.replication_config.unwrap_or_default(),
         }
     }
 }
@@ -457,6 +557,16 @@ pub struct Testbed {
     crash_plan: Option<CrashPlan>,
     wal_compaction: u64,
     trust_log: Vec<TrustAction>,
+    /// The primary-side replication handle (a clone of the one installed
+    /// as the store's append observer); `None` when unreplicated.
+    replication: Option<ReplicaSet>,
+    /// Standby managers receiving the WAL stream, in builder order.
+    pub standbys: Vec<StandbyNode>,
+    /// Each standby's crash-surviving medium (parallel to `standbys`).
+    standby_media: Vec<Media>,
+    /// Each standby's SGX platform (its vault seals only open there).
+    standby_platforms: Vec<SgxPlatform>,
+    replication_config: ReplicationConfig,
 }
 
 impl Testbed {
@@ -649,6 +759,33 @@ impl Testbed {
         Ok(())
     }
 
+    /// Catch the controller up on every rotation it missed: walk the VM's
+    /// handover chain oldest-first and adopt each epoch not yet anchored,
+    /// verifying each cross-signature against an anchor adopted one step
+    /// earlier. This is the CA monitor's catch-up walk, for harnesses that
+    /// rotated while the controller was out of the loop — e.g. when a
+    /// crash-retry across a failover committed more than one epoch.
+    /// Returns how many roots were adopted.
+    pub fn distribute_ca_chain(&mut self) -> Result<usize, CoreError> {
+        let chain = self.vm.ca_rotation_chain();
+        let mut adopted = 0;
+        if let Some(validator) = self.controller.client_validator() {
+            if let Some(store) = validator.trust_store() {
+                let mut store = store.write();
+                for (_, root, cross) in chain {
+                    let fingerprint = root.fingerprint();
+                    if store.anchors().any(|a| a.fingerprint() == fingerprint) {
+                        continue;
+                    }
+                    verify_handover(&store, &root, &cross)?;
+                    store.add_anchor(root)?;
+                    adopted += 1;
+                }
+            }
+        }
+        Ok(adopted)
+    }
+
     /// End the dual-trust window: drop every controller anchor that is not
     /// the VM's current CA root. Returns how many anchors were retired.
     pub fn retire_previous_roots(&mut self) -> usize {
@@ -779,6 +916,201 @@ impl Testbed {
         }
         Ok((vm, notifier, report))
     }
+
+    /// The primary-side replication handle, when built with
+    /// [`replicas`](TestbedBuilder::replicas).
+    pub fn replication(&self) -> Option<&ReplicaSet> {
+        self.replication.as_ref()
+    }
+
+    /// Node-loss injection: kill the primary Verification Manager in
+    /// place. Every later call on it fails [`CoreError::VmCrashed`]; the
+    /// standbys keep everything it journaled. Follow with
+    /// [`promote`](Self::promote) to fail over.
+    pub fn kill_primary(&mut self, reason: &str) {
+        self.vm.halt(reason);
+    }
+
+    /// True once every standby's view of the primary is staler than
+    /// `timeout_secs` — the missed-heartbeat promotion trigger for
+    /// operators who poll instead of being told.
+    pub fn failover_due(&self, timeout_secs: u64) -> bool {
+        !self.standbys.is_empty()
+            && self
+                .standbys
+                .iter()
+                .all(|s| s.primary_suspect(timeout_secs))
+    }
+
+    /// Deterministic failover: promote the standby with the highest
+    /// contiguous WAL high-water mark (lowest builder index on ties) to
+    /// primary.
+    ///
+    /// The chosen standby stops accepting frames and its store is
+    /// recovered through the exact crash-recovery path — CA and HMAC keys
+    /// re-derive from the deployment seed, serial and CRL-number
+    /// high-water marks reconcile from the replayed state, orphaned
+    /// two-phase enrollments abort via the grace-TTL sweep, and the
+    /// failed primary's undelivered revocation notices are requeued and
+    /// drained. The surviving standbys (and the new primary's frames)
+    /// move to `epoch + 1`, fencing the old primary: its next append is
+    /// rejected and the operation fails instead of committing into a dead
+    /// timeline.
+    pub fn promote(&mut self) -> Result<PromotionReport, CoreError> {
+        if self.standbys.is_empty() {
+            return Err(CoreError::ServiceUnavailable(
+                "no standbys to promote (build with TestbedBuilder::replicas)".into(),
+            ));
+        }
+        let chosen = self
+            .standbys
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.status().next_seq))
+            .max_by_key(|&(i, next_seq)| (next_seq, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .expect("standbys is non-empty");
+        let node = self.standbys.remove(chosen);
+        let media = self.standby_media.remove(chosen);
+        let platform = self.standby_platforms.remove(chosen);
+        let high_water = node.status().next_seq - 1;
+        node.stop();
+        let old_epoch = self.replication.as_ref().map_or(0, ReplicaSet::epoch);
+        let new_epoch = old_epoch + 1;
+        for standby in &self.standbys {
+            standby.set_epoch(new_epoch);
+        }
+        let store = node.store();
+        let survivors: Vec<String> = self
+            .standbys
+            .iter()
+            .map(|s| s.addr().to_string())
+            .collect();
+        let set = ReplicaSet::new(
+            &self.network,
+            &survivors,
+            new_epoch,
+            high_water + 1,
+            self.replication_config.clone(),
+            self.clock.clone(),
+            self.telemetry.clone(),
+        );
+        set.attach_store(store.clone());
+        // Observer before recovery: the records recovery itself journals
+        // (orphan aborts, RecoveryCompleted) stream to the survivors at
+        // the new epoch; a survivor that was lagging answers with a gap
+        // ack and is caught up from the retained buffer or a snapshot.
+        store.set_observer(Arc::new(set.clone()));
+        let mut notifier = RevocationNotifier::new(&self.network)
+            .with_telemetry(&self.telemetry)
+            .with_store(store.clone());
+        let (mut vm, recovery) = VerificationManager::recover(
+            self.vm_config.clone(),
+            &self.seed,
+            self.clock.clone(),
+            self.telemetry.clone(),
+            store,
+            Some(&mut notifier),
+        )?;
+        vm.trust_integrity_enclave(
+            IntegrityAttestationEnclave::expected_measurement(1),
+            "integrity-attestation-v1",
+        );
+        for (path, content) in STANDARD_HOST_FILES {
+            vm.reference_db_mut().allow_content(path, content);
+        }
+        for host in &self.hosts {
+            if let Some(tpm) = &host.tpm {
+                vm.register_host_tpm(&host.id, tpm.aik_public());
+            }
+        }
+        for action in &self.trust_log {
+            match action {
+                TrustAction::TrustEnclave(measurement, label) => {
+                    vm.trust_enclave(*measurement, label);
+                }
+                TrustAction::AllowContent(path, content) => {
+                    vm.reference_db_mut().allow_content(path, content);
+                }
+            }
+        }
+        if let Some(plan) = &self.crash_plan {
+            vm = vm.with_crash_plan(plan.clone());
+        }
+        vm.with_replication(set.clone());
+        // The failed primary's store-and-forward queue was part of the
+        // replicated state, so its undelivered notices came back in the
+        // replay; push them out now rather than waiting for the next
+        // revocation.
+        let notices_requeued = notifier.pending().len();
+        let notices_delivered = notifier.drain(self.clock.now());
+        let promoted_addr = node.addr().to_string();
+        self.telemetry.event(
+            self.clock.now(),
+            "failover_promoted",
+            &format!("{promoted_addr} promoted to primary at epoch {new_epoch} (high-water {high_water})"),
+        );
+        self.vm = vm;
+        self.notifier = notifier;
+        self.store_media = Some(media);
+        self.vm_platform = platform;
+        self.replication = Some(set);
+        Ok(PromotionReport {
+            epoch: new_epoch,
+            promoted_addr,
+            high_water,
+            recovery,
+            notices_requeued,
+            notices_delivered,
+        })
+    }
+
+    /// An *oracle twin*: a manager recovered from an independent fork of
+    /// the current primary's media, without touching the deployment. The
+    /// chaos tests compare a promoted standby against this — byte-equal
+    /// CA roots, serials, enrollment records, and CRL numbers mean the
+    /// replication stream lost nothing the primary had made durable.
+    pub fn oracle_twin(&self) -> Result<VerificationManager, CoreError> {
+        let media = self
+            .store_media
+            .as_ref()
+            .ok_or_else(|| {
+                CoreError::Store(
+                    "testbed is not durable (build with TestbedBuilder::durable)".into(),
+                )
+            })?
+            .fork();
+        let vault = StateVault::load(&self.vm_platform, &self.enclave_author)?;
+        let store = StateStore::new(media, vault).with_compaction(self.wal_compaction);
+        // Fresh telemetry: the twin is a measuring instrument, not part of
+        // the deployment, and must not disturb the shared metrics.
+        let (vm, _) = VerificationManager::recover(
+            self.vm_config.clone(),
+            &self.seed,
+            self.clock.clone(),
+            Telemetry::new(),
+            store,
+            None,
+        )?;
+        Ok(vm)
+    }
+}
+
+/// Outcome of a [`Testbed::promote`] failover.
+#[derive(Debug)]
+pub struct PromotionReport {
+    /// The fencing epoch the deployment moved to.
+    pub epoch: u64,
+    /// Fabric address of the standby that became primary.
+    pub promoted_addr: String,
+    /// The promoted standby's contiguous WAL high-water mark at selection.
+    pub high_water: u64,
+    /// The crash-recovery pass that rebuilt manager state from its store.
+    pub recovery: RecoveryReport,
+    /// Undelivered revocation notices recovered from the replicated queue.
+    pub notices_requeued: usize,
+    /// How many of those were delivered by the post-promotion drain.
+    pub notices_delivered: usize,
 }
 
 impl std::fmt::Debug for Testbed {

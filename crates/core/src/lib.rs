@@ -38,6 +38,7 @@ pub mod deployment;
 pub mod lifecycle;
 pub mod manager;
 pub mod remote;
+pub mod replication;
 pub mod resilience;
 pub mod revocation;
 

@@ -3,6 +3,7 @@
 use crate::attestation::{host_report_data, HostEvidence};
 use crate::crash::CrashPlan;
 use crate::lifecycle::{CaRotation, LifecycleStatus, RenewalDue};
+use crate::replication::{ReplicaSet, ReplicationStatus};
 use crate::revocation::{revocation_message, RevocationNotifier};
 use crate::CoreError;
 use std::collections::{BTreeMap, HashMap};
@@ -525,6 +526,9 @@ pub struct VerificationManager {
     /// Distributed-trace context scoping the current workflow call; set by
     /// the remote orchestration layer, never persisted.
     active_trace: Option<TraceContext>,
+    /// Primary-side replication handle (also installed as the store's
+    /// append observer); `None` runs unreplicated.
+    replication: Option<ReplicaSet>,
 }
 
 impl VerificationManager {
@@ -579,6 +583,7 @@ impl VerificationManager {
             crashed: None,
             last_recovery: None,
             active_trace: None,
+            replication: None,
         }
     }
 
@@ -759,12 +764,22 @@ impl VerificationManager {
         Ok(())
     }
 
-    /// A crashed manager answers nothing until recovered.
+    /// A crashed manager answers nothing until recovered; a fenced one —
+    /// deposed by a promoted standby at a higher replication epoch —
+    /// answers nothing ever again (its timeline is dead).
     fn ensure_alive(&self) -> Result<(), CoreError> {
-        match &self.crashed {
-            Some(site) => Err(CoreError::VmCrashed(site.clone())),
-            None => Ok(()),
+        if let Some(site) = &self.crashed {
+            return Err(CoreError::VmCrashed(site.clone()));
         }
+        if let Some(replication) = &self.replication {
+            if replication.is_fenced() {
+                return Err(CoreError::ServiceUnavailable(format!(
+                    "manager fenced: a newer primary holds a replication epoch above {}",
+                    replication.epoch()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Occupancy of the attached state store, if any.
@@ -780,6 +795,38 @@ impl VerificationManager {
     /// The crash site that killed this manager, if a crash point fired.
     pub fn crashed_site(&self) -> Option<&str> {
         self.crashed.as_deref()
+    }
+
+    /// Attach the primary-side replication handle. The same [`ReplicaSet`]
+    /// clone must already be installed as the store's append observer —
+    /// this hook only gives the manager fencing awareness and the
+    /// `GET /vm/replication` surface.
+    pub fn with_replication(&mut self, replication: ReplicaSet) {
+        self.replication = Some(replication);
+    }
+
+    /// Role, epoch, and per-standby lag; `None` when unreplicated.
+    /// Reading refreshes the replication gauges, mirroring how
+    /// [`lifecycle_status`](Self::lifecycle_status) refreshes its own.
+    pub fn replication_status(&self) -> Option<ReplicationStatus> {
+        self.replication.as_ref().map(ReplicaSet::status)
+    }
+
+    /// Stream a liveness frame to every standby (a no-op when
+    /// unreplicated). Drains any buffered records first, so a quiet
+    /// primary still converges its standbys.
+    pub fn replication_heartbeat(&self) {
+        if let Some(replication) = &self.replication {
+            replication.heartbeat();
+        }
+    }
+
+    /// Kill this incarnation in place (node-loss injection): every later
+    /// call fails [`CoreError::VmCrashed`], exactly as if a crash point
+    /// fired. The WAL and the standbys keep what was already journaled.
+    pub fn halt(&mut self, reason: &str) {
+        self.crashed = Some(reason.to_string());
+        self.event(self.clock.now(), "vm_halted", reason);
     }
 
     /// Whether the CA's revocation registry contains `serial`.

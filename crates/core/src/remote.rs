@@ -847,6 +847,9 @@ fn remote_enroll_vnf_inner(
 /// - `GET  /vm/status` → summary counts
 /// - `GET  /vm/recovery` → `{recovered}` plus the last recovery report and
 ///   sealed-store occupancy, for operators auditing a crash restart
+/// - `GET  /vm/replication` → role (`primary`/`fenced`/`unreplicated`),
+///   fencing epoch, and per-standby ack high-water mark and lag (records
+///   and seconds); reading refreshes the replication lag gauges
 /// - `GET  /vm/metrics` → Prometheus text exposition of every registered
 ///   metric in the manager's telemetry bundle
 /// - `GET  /vm/events?since=N` → journal events with `seq > N` (use the
@@ -1104,6 +1107,45 @@ pub fn serve_vm_api(
                         .with("has_snapshot", stats.has_snapshot),
                 );
             }
+            Ok(Response::json(Status::Ok, &body))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/replication", move |_, _| {
+            let vm = vm.lock();
+            // Reading the status refreshes the replication gauges, so a
+            // metrics scrape right after this sees current lag numbers.
+            let body = match vm.replication_status() {
+                None => Json::object().with("role", "unreplicated"),
+                Some(status) => {
+                    let standbys: Json = status
+                        .standbys
+                        .iter()
+                        .map(|s| {
+                            let mut entry = Json::object()
+                                .with("addr", s.addr.as_str())
+                                .with("acked_seq", s.acked_seq as i64)
+                                .with("lag_records", s.lag_records as i64)
+                                .with("snapshots_sent", s.snapshots_sent as i64);
+                            if let Some(secs) = s.lag_seconds {
+                                entry = entry.with("lag_seconds", secs as i64);
+                            }
+                            entry
+                        })
+                        .collect();
+                    let mut body = Json::object()
+                        .with("role", status.role)
+                        .with("epoch", status.epoch as i64)
+                        .with("head_seq", status.head_seq as i64)
+                        .with("fenced", status.fenced)
+                        .with("standbys", standbys);
+                    if let Some(age) = status.heartbeat_age_seconds {
+                        body = body.with("heartbeat_age_seconds", age as i64);
+                    }
+                    body
+                }
+            };
             Ok(Response::json(Status::Ok, &body))
         });
     }

@@ -33,6 +33,7 @@ pub use record::{EnrollmentEntry, ManagerState, NoticeEntry, PendingEntry, WalRe
 pub use vault::{PayloadKind, StateVault};
 pub use wal::Media;
 
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// Errors from the durability layer.
@@ -44,6 +45,10 @@ pub enum StoreError {
     Sealing(String),
     /// The medium's structure is invalid beyond the tolerated torn tail.
     Corrupt(String),
+    /// An [`AppendObserver`] vetoed the append (e.g. a fenced replication
+    /// primary). The frame reached the local medium but the operation must
+    /// not be acknowledged: a deposed node's writes are not authoritative.
+    Rejected(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -51,6 +56,7 @@ impl std::fmt::Display for StoreError {
         match self {
             StoreError::Sealing(msg) => write!(f, "sealing: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Rejected(msg) => write!(f, "append rejected: {msg}"),
         }
     }
 }
@@ -94,16 +100,32 @@ pub struct StoreStats {
     pub has_snapshot: bool,
 }
 
+/// Sees every record the moment it lands on the medium — before the
+/// append is acknowledged to the caller. This is the replication tap: a
+/// streaming primary forwards each record to its standbys from here, so
+/// "WAL-before-response" extends to "WAL-and-stream-before-response".
+///
+/// Returning `Err` vetoes the append: the caller's operation fails with
+/// [`StoreError::Rejected`]. Observers must reserve this for authority
+/// failures (a fenced primary), never for mere delivery trouble — an
+/// unreachable standby is the observer's problem to buffer and retry.
+pub trait AppendObserver: Send + Sync {
+    fn appended(&self, record: &WalRecord) -> Result<(), String>;
+}
+
 /// The manager's journaling handle: sealed appends, compaction, replay.
 ///
-/// Clones share the media and the vault, so the manager and the
-/// revocation notifier journal into the same log.
+/// Clones share the media, the vault, and the observer slot, so the
+/// manager and the revocation notifier journal into the same log and feed
+/// the same replication stream.
 #[derive(Clone)]
 pub struct StateStore {
     media: Media,
     vault: Arc<StateVault>,
     /// Auto-compact once the log holds this many frames (`None`: manual).
     compact_every: Option<u64>,
+    /// Replication tap; shared by all clones of this store.
+    observer: Arc<Mutex<Option<Arc<dyn AppendObserver>>>>,
 }
 
 impl StateStore {
@@ -112,7 +134,20 @@ impl StateStore {
             media,
             vault: Arc::new(vault),
             compact_every: None,
+            observer: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Install (or replace) the append observer. Takes effect for every
+    /// clone of this store, including clones taken before this call.
+    pub fn set_observer(&self, observer: Arc<dyn AppendObserver>) {
+        *self.observer.lock() = Some(observer);
+    }
+
+    /// Remove the append observer (e.g. when a deployment is demoted out
+    /// of replicated operation).
+    pub fn clear_observer(&self) {
+        *self.observer.lock() = None;
     }
 
     /// Enable threshold compaction: after an append brings the log to
@@ -123,15 +158,33 @@ impl StateStore {
     }
 
     /// Seal `record` and append it to the log — the WAL-before-response
-    /// step. Returns only once the frame is on the medium.
+    /// step. Returns only once the frame is on the medium and any
+    /// installed [`AppendObserver`] has accepted it.
     pub fn append(&self, record: &WalRecord) -> Result<(), StoreError> {
         let sealed = self.vault.seal(PayloadKind::Record, &record.encode())?;
         self.media.append_frame(&sealed);
+        let observer = self.observer.lock().clone();
+        if let Some(observer) = observer {
+            observer
+                .appended(record)
+                .map_err(StoreError::Rejected)?;
+        }
         if let Some(every) = self.compact_every {
             if self.media.frame_count() >= every {
                 self.compact()?;
             }
         }
+        Ok(())
+    }
+
+    /// Install `state` as the sealed snapshot and truncate the log —
+    /// snapshot-assisted catch-up on a replication standby that fell too
+    /// far behind the primary's retained stream. The state is re-sealed
+    /// under *this* store's vault, so a standby's medium only ever holds
+    /// blobs its own platform can open.
+    pub fn install_state(&self, state: &ManagerState) -> Result<(), StoreError> {
+        let sealed = self.vault.seal(PayloadKind::Snapshot, &state.encode())?;
+        self.media.install_snapshot(sealed);
         Ok(())
     }
 

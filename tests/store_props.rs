@@ -1,0 +1,280 @@
+//! Property tests for the sealed store's replay semantics — the invariant
+//! the replication standby apply path relies on.
+//!
+//! A standby never applies a frame twice (duplicates are skipped by
+//! sequence number) and may be promoted at any point in the stream, so
+//! two properties carry the whole failover design:
+//!
+//! - **replay idempotence**: replaying the same log is a pure read —
+//!   doing it twice (before or after compaction, or through a snapshot
+//!   round-trip) yields the same `ManagerState`;
+//! - **prefix consistency**: every strict prefix of a valid WAL replays
+//!   to a valid *earlier* manager state — `check_invariants` passes and
+//!   the monotone counters (serials, issuance, CRL number, CA epoch)
+//!   never run backwards along the prefix chain.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use vnfguard::sgx::platform::SgxPlatform;
+use vnfguard::sgx::sigstruct::EnclaveAuthor;
+use vnfguard::store::{ManagerState, Media, StateStore, StateVault, WalRecord};
+
+/// Model of what the live manager would journal: tracks enough state to
+/// only ever emit record sequences a real deployment could produce (the
+/// prefix-consistency property is about valid logs, not arbitrary ones).
+#[derive(Default)]
+struct ScriptModel {
+    next_serial: u64,
+    pending: Vec<u64>,
+    committed: Vec<u64>,
+    revoked: Vec<u64>,
+    queued_notices: Vec<u64>,
+    ca_epoch: u64,
+    rotation_prepared: bool,
+    crl_number: u64,
+    generation: u64,
+}
+
+impl ScriptModel {
+    fn issue(&mut self, at: u64) -> WalRecord {
+        self.next_serial += 1;
+        WalRecord::CertIssued {
+            serial: self.next_serial,
+            subject: format!("cn-{}", self.next_serial),
+            at,
+        }
+    }
+}
+
+/// Deterministically expand opcode bytes into a valid journal script. Each
+/// opcode picks the next action *admissible in the current model state*;
+/// inadmissible picks fall through to a plain issuance so every byte
+/// produces at least one record.
+fn script(ops: &[u8]) -> Vec<WalRecord> {
+    let mut model = ScriptModel::default();
+    let mut records = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let at = 1_000 + i as u64;
+        match op % 10 {
+            // Two-phase enrollment: issue + prepare (serials must exist
+            // before any record names them).
+            0 | 1 => {
+                records.push(model.issue(at));
+                let serial = model.next_serial;
+                records.push(WalRecord::EnrollmentPrepared {
+                    serial,
+                    vnf_name: format!("vnf-{serial}"),
+                    host_id: format!("host-{}", serial % 3),
+                    mrenclave: [serial as u8; 32],
+                    provisioning_key_hash: [!(serial as u8); 32],
+                    at,
+                });
+                model.pending.push(serial);
+            }
+            2 | 3 if !model.pending.is_empty() => {
+                let serial = model.pending.remove((*op as usize) % model.pending.len());
+                records.push(WalRecord::EnrollmentCommitted { serial, at });
+                model.committed.push(serial);
+            }
+            4 if !model.pending.is_empty() => {
+                let serial = model.pending.remove((*op as usize) % model.pending.len());
+                records.push(WalRecord::EnrollmentAborted {
+                    serial,
+                    reason: "provisioning rolled back".into(),
+                    at,
+                });
+                model.revoked.push(serial);
+            }
+            5 if !model.committed.is_empty() => {
+                let serial = model.committed.remove((*op as usize) % model.committed.len());
+                records.push(WalRecord::CredentialRevoked {
+                    serial,
+                    reason_code: 1,
+                    at,
+                });
+                records.push(WalRecord::RevocationQueued {
+                    host_id: format!("host-{}", serial % 3),
+                    serial,
+                    tag: [serial as u8; 32],
+                    at,
+                });
+                model.revoked.push(serial);
+                model.queued_notices.push(serial);
+            }
+            6 if !model.queued_notices.is_empty() => {
+                let serial = model
+                    .queued_notices
+                    .remove((*op as usize) % model.queued_notices.len());
+                records.push(WalRecord::RevocationDelivered {
+                    host_id: format!("host-{}", serial % 3),
+                    serial,
+                    at,
+                });
+            }
+            7 => {
+                model.crl_number += 1;
+                records.push(WalRecord::CrlIssued {
+                    number: model.crl_number,
+                    at,
+                });
+            }
+            // CA rotation: prepare, then commit naming freshly issued
+            // root + cross serials (epochs stay contiguous).
+            8 => {
+                if model.rotation_prepared {
+                    records.push(model.issue(at));
+                    let root_serial = model.next_serial;
+                    records.push(model.issue(at));
+                    let cross_serial = model.next_serial;
+                    model.ca_epoch += 1;
+                    model.rotation_prepared = false;
+                    records.push(WalRecord::CaRotationCommitted {
+                        epoch: model.ca_epoch,
+                        root_serial,
+                        cross_serial,
+                        at,
+                    });
+                } else {
+                    model.rotation_prepared = true;
+                    records.push(WalRecord::CaRotationPrepared {
+                        epoch: model.ca_epoch + 1,
+                        at,
+                    });
+                }
+            }
+            9 if !model.committed.is_empty() => {
+                let old = model.committed[(*op as usize) % model.committed.len()];
+                records.push(model.issue(at));
+                let serial = model.next_serial;
+                records.push(WalRecord::CredentialRenewed {
+                    old_serial: old,
+                    new_serial: serial,
+                    vnf_name: format!("vnf-{old}"),
+                    host_id: format!("host-{}", old % 3),
+                    mrenclave: [old as u8; 32],
+                    provisioning_key_hash: [!(old as u8); 32],
+                    at,
+                });
+                model.committed.push(serial);
+            }
+            _ => {
+                model.generation += 1;
+                records.push(WalRecord::RecoveryCompleted {
+                    generation: model.generation,
+                    at,
+                });
+            }
+        }
+    }
+    records
+}
+
+fn fresh_store(compaction: u64) -> StateStore {
+    let platform = SgxPlatform::new(b"store props vm");
+    let author = EnclaveAuthor::from_seed(&[7; 32]);
+    let vault = StateVault::load(&platform, &author).expect("vault loads");
+    StateStore::new(Media::new(), vault).with_compaction(compaction)
+}
+
+/// Fold a record slice directly (the reference replay, no sealing).
+fn fold(records: &[WalRecord]) -> ManagerState {
+    let mut state = ManagerState::default();
+    for record in records {
+        state.apply(record);
+    }
+    state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Replaying the same log twice is a no-op: `replay` is a pure read,
+    /// before and after compaction, and a snapshot round-trip through
+    /// `install_state` reproduces the same state byte-for-byte.
+    #[test]
+    fn replay_is_idempotent(ops in vec(any::<u8>(), 1..60), compaction in 0u64..20) {
+        let records = script(&ops);
+        let store = fresh_store(compaction);
+        for record in &records {
+            store.append(record).unwrap();
+        }
+        let first = store.replay().unwrap().state;
+        let second = store.replay().unwrap().state;
+        prop_assert_eq!(&first, &second, "replay mutated the log");
+        prop_assert_eq!(&first, &fold(&records), "sealed replay diverged from direct fold");
+
+        // Forced compaction folds the log into a sealed snapshot; the
+        // replayed state must not change.
+        store.compact().unwrap();
+        let compacted = store.replay().unwrap().state;
+        prop_assert_eq!(&first, &compacted, "compaction changed the replayed state");
+
+        // Snapshot round-trip (the standby catch-up path).
+        let catch_up = fresh_store(0);
+        catch_up.install_state(&first).unwrap();
+        prop_assert_eq!(&first, &catch_up.replay().unwrap().state, "install_state round-trip diverged");
+    }
+
+    /// Every strict prefix of a valid WAL replays to a valid earlier
+    /// state: invariants hold and the monotone counters never regress as
+    /// the prefix grows — which is why a standby frozen at any ack
+    /// boundary is a legal promotion candidate.
+    #[test]
+    fn prefixes_replay_to_valid_earlier_states(ops in vec(any::<u8>(), 1..40)) {
+        let records = script(&ops);
+        let mut state = ManagerState::default();
+        let mut prev = state.clone();
+        for (i, record) in records.iter().enumerate() {
+            state.apply(record);
+            state
+                .check_invariants()
+                .unwrap_or_else(|e| panic!("prefix {}: {e}", i + 1));
+            prop_assert!(state.max_serial >= prev.max_serial, "max_serial regressed");
+            prop_assert!(state.issued >= prev.issued, "issued regressed");
+            prop_assert!(state.crl_number >= prev.crl_number, "crl_number regressed");
+            prop_assert!(state.ca_epoch >= prev.ca_epoch, "ca_epoch regressed");
+            prop_assert!(state.generation >= prev.generation, "generation regressed");
+            prop_assert!(
+                state.rotations.len() >= prev.rotations.len(),
+                "committed rotations regressed"
+            );
+            // A serial that reached the committed-or-revoked frontier
+            // never leaves it (enrollments stay, revocations are final).
+            for serial in prev.revoked.keys() {
+                prop_assert!(state.revoked.contains_key(serial), "revocation forgotten");
+            }
+            for serial in prev.enrollments.keys() {
+                prop_assert!(
+                    state.enrollments.contains_key(serial),
+                    "committed enrollment vanished"
+                );
+            }
+            prev = state.clone();
+        }
+    }
+
+    /// A torn tail replays to exactly the state of some strict prefix —
+    /// never a mixture, never garbage (the rule that lets a standby treat
+    /// its own torn log as merely "behind" at promotion time).
+    #[test]
+    fn torn_tail_replays_to_a_prefix_state(ops in vec(any::<u8>(), 2..30), tear in 1usize..64) {
+        let records = script(&ops);
+        let store = fresh_store(0);
+        for record in &records {
+            store.append(record).unwrap();
+        }
+        store.media().tear_tail(tear);
+        let replayed = store.replay().unwrap().state;
+        let mut prefix_states = Vec::with_capacity(records.len() + 1);
+        let mut state = ManagerState::default();
+        prefix_states.push(state.clone());
+        for record in &records {
+            state.apply(record);
+            prefix_states.push(state.clone());
+        }
+        prop_assert!(
+            prefix_states.contains(&replayed),
+            "torn-tail replay is not any prefix state"
+        );
+    }
+}
