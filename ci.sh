@@ -26,20 +26,45 @@ echo "== rustdoc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --exclude rand \
   --exclude proptest --exclude criterion --exclude crossbeam --exclude parking_lot -q
 
-echo "== api hygiene: no positional 'now: u64' outside *_at shims in core =="
-# The redesigned manager/remote API injects time via SimClock; explicit-time
-# entry points must advertise it with an `_at` suffix.
+echo "== api hygiene: no positional 'now: u64' params in core =="
+# The manager/remote/lifecycle API injects time via SimClock; the *_at shim
+# pairs are gone and no new explicit-time entry point may appear.
 violations=$(awk '
   /fn [a-z_0-9]+/ {
     name = $0; sub(/\(.*/, "", name); sub(/.*fn /, "", name)
     is_pub = ($0 ~ /pub fn/)
   }
   /now: u64/ {
-    if (is_pub && name !~ /_at$/) print FILENAME ":" FNR ": fn " name
+    if (is_pub) print FILENAME ":" FNR ": fn " name
   }
 ' crates/core/src/*.rs)
 if [ -n "$violations" ]; then
-  echo "found pub fns taking a positional 'now: u64' without an _at suffix:"
+  echo "found pub fns taking a positional 'now: u64' (inject the SimClock instead):"
+  echo "$violations"
+  exit 1
+fi
+
+echo "== shard hygiene: no shard lock held across a network call =="
+# The VmService contract: one shard lock per manager call, never around
+# network I/O. Two sides of the gate:
+#  - service.rs (where the shard locks live) must never reach the fabric;
+#  - the /vm/ route handlers in serve_vm_api must not take any lock other
+#    than the IAS handle — shard locking happens inside VmService methods.
+violations=$(grep -n -e 'HttpClient' -e 'connect(' -e 'Network' crates/core/src/service.rs || true)
+if [ -n "$violations" ]; then
+  echo "core/src/service.rs touches the network fabric under shard locks:"
+  echo "$violations"
+  exit 1
+fi
+violations=$(awk '
+  /^pub fn serve_vm_api/ { in_region = 1 }
+  in_region && /^(pub )?fn / && $0 !~ /serve_vm_api/ { in_region = 0 }
+  in_region && /\.lock\(\)/ && $0 !~ /ias\.lock\(\)/ {
+    print "crates/core/src/remote.rs:" FNR ": " $0
+  }
+' crates/core/src/remote.rs)
+if [ -n "$violations" ]; then
+  echo "found /vm/ route handlers taking a non-IAS lock (shard locks belong inside VmService):"
   echo "$violations"
   exit 1
 fi
@@ -97,5 +122,8 @@ cargo bench -p vnfguard-bench --bench e13_lifecycle
 
 echo "== e14: failover time + replication overhead bar (<=10% vs unreplicated) =="
 cargo bench -p vnfguard-bench --bench e14_failover
+
+echo "== e15: shard saturation (4-shard >= 2x 1-shard) + crash-under-load matrix =="
+cargo bench -p vnfguard-bench --bench e15_saturation
 
 echo "CI OK"

@@ -84,7 +84,7 @@ fn deploy_guard(world: &mut RemoteWorld, n: u64) -> String {
 /// One full remote enrollment per iteration against the given world.
 fn bench_enrollment(b: &mut criterion::Bencher, world: &mut RemoteWorld) {
     remote_attest_host(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
@@ -95,7 +95,7 @@ fn bench_enrollment(b: &mut criterion::Bencher, world: &mut RemoteWorld) {
         n += 1;
         let name = deploy_guard(world, n);
         remote_enroll_vnf(
-            &mut world.testbed.vm,
+            &world.testbed.vm,
             &mut world.remote_ias,
             &world.testbed.network,
             "host-0",

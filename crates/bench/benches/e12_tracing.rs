@@ -109,7 +109,7 @@ fn batch(world: &mut RemoteWorld, traced: bool) -> Duration {
             let (ctx, _span) = world.telemetry.trace_root("operator", "enrollment", now);
             black_box(
                 remote_enroll_vnf_traced(
-                    &mut world.testbed.vm,
+                    &world.testbed.vm,
                     &mut world.remote_ias,
                     &world.testbed.network,
                     "host-0",
@@ -122,7 +122,7 @@ fn batch(world: &mut RemoteWorld, traced: bool) -> Duration {
         } else {
             black_box(
                 remote_enroll_vnf(
-                    &mut world.testbed.vm,
+                    &world.testbed.vm,
                     &mut world.remote_ias,
                     &world.testbed.network,
                     "host-0",
@@ -148,9 +148,9 @@ fn measure(attempt: usize) -> (f64, f64, f64) {
     let seed_off = format!("e12 disabled {attempt}");
     let mut on = remote_world(seed_on.as_bytes(), Telemetry::new(), true);
     let mut off = remote_world(seed_off.as_bytes(), Telemetry::disabled(), false);
-    remote_attest_host(&mut on.testbed.vm, &mut on.remote_ias, &on.testbed.network, "host-0")
+    remote_attest_host(&on.testbed.vm, &mut on.remote_ias, &on.testbed.network, "host-0")
         .unwrap();
-    remote_attest_host(&mut off.testbed.vm, &mut off.remote_ias, &off.testbed.network, "host-0")
+    remote_attest_host(&off.testbed.vm, &mut off.remote_ias, &off.testbed.network, "host-0")
         .unwrap();
     // Warm both paths before timing.
     for _ in 0..2 {

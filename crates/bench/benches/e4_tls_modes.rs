@@ -50,7 +50,7 @@ fn bench_e4(c: &mut Criterion) {
     // Trusted HTTPS with a native (non-enclave) client: same mutual-auth
     // handshake, key material held in ordinary process memory.
     group.bench_function("trusted_https_native", |b| {
-        let mut testbed = attested_testbed(b"e4 mtls native");
+        let testbed = attested_testbed(b"e4 mtls native");
         let client_key = vnfguard_crypto::ed25519::SigningKey::from_seed(&[10; 32]);
         let client_cert = testbed.vm.issue_client_certificate(
             "native-client",

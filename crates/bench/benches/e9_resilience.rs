@@ -129,7 +129,7 @@ fn bench_e9(c: &mut Criterion) {
     group.bench_function("remote_enrollment_clean", |b| {
         let mut world = remote_world(b"e9 clean");
         remote_attest_host(
-            &mut world.testbed.vm,
+            &world.testbed.vm,
             &mut world.remote_ias,
             &world.testbed.network,
             "host-0",
@@ -140,7 +140,7 @@ fn bench_e9(c: &mut Criterion) {
             n += 1;
             let name = deploy_guard(&mut world, n);
             remote_enroll_vnf(
-                &mut world.testbed.vm,
+                &world.testbed.vm,
                 &mut world.remote_ias,
                 &world.testbed.network,
                 "host-0",
@@ -153,7 +153,7 @@ fn bench_e9(c: &mut Criterion) {
     group.bench_function("remote_enrollment_30pct_ias_refusal", |b| {
         let mut world = remote_world(b"e9 flaky");
         remote_attest_host(
-            &mut world.testbed.vm,
+            &world.testbed.vm,
             &mut world.remote_ias,
             &world.testbed.network,
             "host-0",
@@ -165,7 +165,7 @@ fn bench_e9(c: &mut Criterion) {
             n += 1;
             let name = deploy_guard(&mut world, n);
             remote_enroll_vnf(
-                &mut world.testbed.vm,
+                &world.testbed.vm,
                 &mut world.remote_ias,
                 &world.testbed.network,
                 "host-0",

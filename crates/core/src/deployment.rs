@@ -1,9 +1,22 @@
 //! A complete testbed: the deployment of Figure 1 in one value.
 //!
 //! Assembles the network fabric, the attestation service, the Verification
-//! Manager, a controller (any of the three security modes), and one or more
-//! SGX container hosts — then exposes one method per workflow step. The
-//! examples and all benchmarks are built on this type.
+//! Manager — optionally partitioned into shards behind a
+//! [`VmService`] handle — a controller (any of the three security modes),
+//! and one or more SGX container hosts, then exposes one method per
+//! workflow step. The examples and all benchmarks are built on this type.
+//!
+//! ## Sharding
+//!
+//! With [`TestbedBuilder::shards`] the manager state is partitioned by
+//! VNF identity across `n` [`VerificationManager`] shards, each with its
+//! own sealed WAL on its own media and its own SGX platform. Shard 0 is
+//! the **authority shard**: the CA, CRL number, rotation epoch, host
+//! attestation records, and operator certificates live there; the other
+//! shards carry disjoint serial and challenge spans and adopt the
+//! authority's rotations and host verdicts through the service layer.
+//! `Testbed::vm` is always a [`VmService`] — a single-shard testbed is
+//! simply a service with one shard, routing everything to it.
 
 use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
 use crate::crash::CrashPlan;
@@ -11,8 +24,10 @@ use crate::lifecycle::{verify_handover, CaRotation};
 use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
 use crate::replication::{ReplicaSet, ReplicationConfig, StandbyNode};
 use crate::revocation::RevocationNotifier;
+use crate::service::VmService;
 use crate::CoreError;
 use std::sync::Arc;
+use std::time::Duration;
 use vnfguard_container::host::ContainerHost;
 use vnfguard_container::image::Image;
 use vnfguard_container::registry::Registry;
@@ -100,6 +115,9 @@ pub struct TestbedBuilder {
     replicas: usize,
     replication_config: Option<ReplicationConfig>,
     faults: Option<FaultPlan>,
+    shards: usize,
+    group_commit: bool,
+    wal_write_latency: Option<Duration>,
 }
 
 impl TestbedBuilder {
@@ -127,6 +145,9 @@ impl TestbedBuilder {
             replicas: 0,
             replication_config: None,
             faults: None,
+            shards: 1,
+            group_commit: false,
+            wal_write_latency: None,
         }
     }
 
@@ -190,9 +211,40 @@ impl TestbedBuilder {
         self
     }
 
+    /// Partition the Verification Manager into `n` shards keyed by VNF
+    /// identity (clamped to at least 1). Shard 0 is the authority shard:
+    /// CA, CRL, rotation, and host attestation stay there, while
+    /// enrollment and renewal state spread across all shards with
+    /// disjoint serial spans. Each shard gets its own sealed WAL when
+    /// the testbed is [`durable`](Self::durable).
+    pub fn shards(mut self, n: usize) -> TestbedBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Coalesce concurrent WAL appends on each shard into single group
+    /// frames (one media flush per group) instead of one flush per
+    /// record. WAL-before-response semantics are preserved: a workflow
+    /// call still returns only after its records are sealed on media.
+    pub fn group_commit(mut self, enabled: bool) -> TestbedBuilder {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Model the flush cost of cloud block storage: every media flush on
+    /// every shard WAL sleeps for `latency`. With sharding the sleeps of
+    /// different shards overlap across server threads, and with
+    /// [`group_commit`](Self::group_commit) a whole workflow pays one
+    /// sleep instead of one per record — the effects E15 measures.
+    pub fn wal_write_latency(mut self, latency: Duration) -> TestbedBuilder {
+        self.wal_write_latency = Some(latency);
+        self
+    }
+
     /// Attach a crash-injection plan to the Verification Manager. The plan
-    /// survives [`Testbed::recover_vm`] so multi-crash schedules replay
-    /// across incarnations.
+    /// is shared across every shard (whichever shard first reaches an
+    /// armed site crashes) and survives [`Testbed::recover_vm`] so
+    /// multi-crash schedules replay across incarnations.
     pub fn crash_plan(mut self, plan: CrashPlan) -> TestbedBuilder {
         self.crash_plan = Some(plan);
         self
@@ -231,9 +283,11 @@ impl TestbedBuilder {
         self
     }
 
-    /// Replicate the Verification Manager's WAL to `n` standby managers
-    /// over the fabric (implies [`durable`](Self::durable)), enabling
-    /// [`Testbed::kill_primary`] and [`Testbed::promote`].
+    /// Replicate each shard's WAL to `n` standby managers over the fabric
+    /// (implies [`durable`](Self::durable)), enabling
+    /// [`Testbed::kill_primary`] and [`Testbed::promote`]. Every shard
+    /// gets its own standby set with its own sequence space; `promote`
+    /// fails over the authority shard.
     pub fn replicas(mut self, n: usize) -> TestbedBuilder {
         self.replicas = n;
         if n > 0 {
@@ -268,6 +322,7 @@ impl TestbedBuilder {
     }
 
     pub fn build(self) -> Testbed {
+        let shard_count = self.shards.max(1);
         let network = Network::new();
         let clock = SimClock::at(1_600_000_000);
         let telemetry = self.telemetry.unwrap_or_default();
@@ -311,103 +366,167 @@ impl TestbedBuilder {
             &[&self.seed[..], b"enclave author"].concat(),
         ));
 
-        // The SGX platform the manager itself runs on — it hosts the state
-        // vault enclave, so sealed WAL blobs only ever open here.
-        let vm_platform = SgxPlatform::with_config(
-            &vnfguard_crypto::sha2::sha256(&[&self.seed[..], b"vm platform"].concat()),
-            PlatformConfig::default(),
-            TransitionModel::new(0, 0),
-        );
+        // One SGX platform per shard — each hosts its own state vault
+        // enclave, so each shard's sealed WAL blobs only ever open on its
+        // own platform. Shard 0 keeps the historical single-manager seed
+        // label so single-shard deployments are bit-identical to before.
+        let mut shard_platforms = Vec::with_capacity(shard_count);
+        for s in 0..shard_count {
+            let label = if s == 0 {
+                b"vm platform".to_vec()
+            } else {
+                format!("vm shard {s} platform").into_bytes()
+            };
+            shard_platforms.push(SgxPlatform::with_config(
+                &vnfguard_crypto::sha2::sha256(&[&self.seed[..], &label[..]].concat()),
+                PlatformConfig::default(),
+                TransitionModel::new(0, 0),
+            ));
+        }
 
-        let store_media = self.durable.then(Media::new);
-        let store = store_media.as_ref().map(|media| {
-            let vault = StateVault::load(&vm_platform, &enclave_author)
-                .expect("state vault loads on the VM platform");
-            StateStore::new(media.clone(), vault).with_compaction(self.wal_compaction)
-        });
+        // One medium + sealed store per shard.
+        let mut shard_media: Vec<Option<Media>> = Vec::with_capacity(shard_count);
+        let mut shard_stores: Vec<Option<StateStore>> = Vec::with_capacity(shard_count);
+        for platform in shard_platforms.iter().take(shard_count) {
+            let media = self.durable.then(Media::new);
+            if let (Some(media), Some(latency)) = (&media, self.wal_write_latency) {
+                media.set_write_latency(latency);
+            }
+            let store = media.as_ref().map(|media| {
+                let vault = StateVault::load(platform, &enclave_author)
+                    .expect("state vault loads on the shard platform");
+                StateStore::new(media.clone(), vault)
+                    .with_compaction(self.wal_compaction)
+                    .with_group_commit(self.group_commit)
+            });
+            shard_media.push(media);
+            shard_stores.push(store);
+        }
 
-        // Standbys come up before the manager so the very first journaled
+        // Standbys come up before the managers so the very first journaled
         // record (the controller's server certificate) already streams:
         // each standby runs its own vault on its own platform and re-seals
-        // what it receives into its own media.
+        // what it receives into its own media. Every shard replicates into
+        // its own standby set — sequence spaces are per shard.
         let mut standbys = Vec::with_capacity(self.replicas);
         let mut standby_media = Vec::with_capacity(self.replicas);
         let mut standby_platforms = Vec::with_capacity(self.replicas);
         let mut replication = None;
+        let mut follower_replication = Vec::new();
+        let replication_config = self.replication_config.clone().unwrap_or_default();
         if self.replicas > 0 {
-            let store = store.as_ref().expect("replicas imply durable");
-            let mut addrs = Vec::with_capacity(self.replicas);
-            for i in 0..self.replicas {
-                let platform = SgxPlatform::with_config(
-                    &vnfguard_crypto::sha2::sha256(
-                        &[&self.seed[..], format!("vm standby {i} platform").as_bytes()]
-                            .concat(),
-                    ),
-                    PlatformConfig::default(),
-                    TransitionModel::new(0, 0),
-                );
-                let vault = StateVault::load(&platform, &enclave_author)
-                    .expect("state vault loads on the standby platform");
-                let media = Media::new();
-                let standby_store =
-                    StateStore::new(media.clone(), vault).with_compaction(self.wal_compaction);
-                let addr = format!("vm-standby-{i}:7600");
-                let node = StandbyNode::spawn(
+            for (s, shard_store) in shard_stores.iter().enumerate() {
+                let store = shard_store.as_ref().expect("replicas imply durable");
+                let mut addrs = Vec::with_capacity(self.replicas);
+                let mut nodes = Vec::with_capacity(self.replicas);
+                let mut medias = Vec::with_capacity(self.replicas);
+                let mut platforms = Vec::with_capacity(self.replicas);
+                for i in 0..self.replicas {
+                    let label = if s == 0 {
+                        format!("vm standby {i} platform")
+                    } else {
+                        format!("vm shard {s} standby {i} platform")
+                    };
+                    let platform = SgxPlatform::with_config(
+                        &vnfguard_crypto::sha2::sha256(
+                            &[&self.seed[..], label.as_bytes()].concat(),
+                        ),
+                        PlatformConfig::default(),
+                        TransitionModel::new(0, 0),
+                    );
+                    let vault = StateVault::load(&platform, &enclave_author)
+                        .expect("state vault loads on the standby platform");
+                    let media = Media::new();
+                    let standby_store = StateStore::new(media.clone(), vault)
+                        .with_compaction(self.wal_compaction);
+                    let addr = if s == 0 {
+                        format!("vm-standby-{i}:7600")
+                    } else {
+                        format!("vm-shard-{s}-standby-{i}:7600")
+                    };
+                    let node = StandbyNode::spawn(
+                        &network,
+                        &addr,
+                        standby_store,
+                        clock.clone(),
+                        telemetry.clone(),
+                        0,
+                    )
+                    .expect("standby binds its fabric address");
+                    addrs.push(addr);
+                    nodes.push(node);
+                    medias.push(media);
+                    platforms.push(platform);
+                }
+                let set = ReplicaSet::new(
                     &network,
-                    &addr,
-                    standby_store,
+                    &addrs,
+                    0,
+                    1,
+                    replication_config.clone(),
                     clock.clone(),
                     telemetry.clone(),
-                    0,
-                )
-                .expect("standby binds its fabric address");
-                addrs.push(addr);
-                standbys.push(node);
-                standby_media.push(media);
-                standby_platforms.push(platform);
+                );
+                set.attach_store(store.clone());
+                store.set_observer(Arc::new(set.clone()));
+                if s == 0 {
+                    standbys = nodes;
+                    standby_media = medias;
+                    standby_platforms = platforms;
+                    replication = Some(set);
+                } else {
+                    follower_replication.push(FollowerReplica {
+                        shard: s,
+                        set,
+                        standbys: nodes,
+                    });
+                }
             }
-            let set = ReplicaSet::new(
-                &network,
-                &addrs,
-                0,
-                1,
-                self.replication_config.clone().unwrap_or_default(),
+        }
+
+        // The manager fleet. Every shard derives from the same seed (so CA
+        // key, root certificate, and HMAC key agree everywhere), then
+        // `set_shard` moves non-authority shards onto their disjoint
+        // serial/challenge spans and reseeds their nonce generators.
+        let mut managers = Vec::with_capacity(shard_count);
+        for (s, store) in shard_stores.iter().enumerate() {
+            let mut manager = VerificationManager::with_runtime(
+                vm_config.clone(),
+                &self.seed,
                 clock.clone(),
                 telemetry.clone(),
             );
-            set.attach_store(store.clone());
-            store.set_observer(Arc::new(set.clone()));
-            replication = Some(set);
+            if let Some(store) = store {
+                manager = manager.with_store(store.clone());
+            }
+            if let Some(plan) = &self.crash_plan {
+                manager = manager.with_crash_plan(plan.clone());
+            }
+            if s == 0 {
+                if let Some(set) = &replication {
+                    manager.with_replication(set.clone());
+                }
+            } else if let Some(f) = follower_replication.iter().find(|f| f.shard == s) {
+                manager.with_replication(f.set.clone());
+            }
+            manager.set_shard(s as u32, shard_count as u32);
+            managers.push(manager);
         }
+        let vm = VmService::from_shards(managers);
 
-        let mut vm = VerificationManager::with_runtime(
-            vm_config.clone(),
-            &self.seed,
-            clock.clone(),
-            telemetry.clone(),
-        );
-        if let Some(store) = &store {
-            vm = vm.with_store(store.clone());
-        }
-        if let Some(plan) = &self.crash_plan {
-            vm = vm.with_crash_plan(plan.clone());
-        }
-        if let Some(set) = &replication {
-            vm.with_replication(set.clone());
-        }
         let mut notifier = RevocationNotifier::new(&network).with_telemetry(&telemetry);
-        if let Some(store) = &store {
+        if let Some(store) = &shard_stores[0] {
             notifier = notifier.with_store(store.clone());
         }
 
-        // Whitelist the integrity attestation enclave and seed the host
-        // reference database with the standard software stack.
+        // Whitelist the integrity attestation enclave and seed every
+        // shard's host reference database with the standard software stack.
         vm.trust_integrity_enclave(
             IntegrityAttestationEnclave::expected_measurement(1),
             "integrity-attestation-v1",
         );
         for (path, content) in STANDARD_HOST_FILES {
-            vm.reference_db_mut().allow_content(path, content);
+            vm.allow_reference_content(path, content);
         }
 
         // Controller identity and client validation.
@@ -422,7 +541,7 @@ impl TestbedBuilder {
             ValidationModel::Ca => {
                 let mut store = TrustStore::new();
                 store
-                    .add_anchor(vm.ca_certificate().clone())
+                    .add_anchor(vm.ca_certificate())
                     .expect("VM CA is a valid anchor");
                 if let Some(policy) = self.revocation_policy {
                     store.set_revocation_policy(policy);
@@ -500,8 +619,9 @@ impl TestbedBuilder {
             validation: self.validation,
             seed: self.seed,
             vm_config,
-            vm_platform,
-            store_media,
+            shard_platforms,
+            shard_media,
+            group_commit: self.group_commit,
             crash_plan: self.crash_plan,
             wal_compaction: self.wal_compaction,
             trust_log: Vec::new(),
@@ -509,7 +629,8 @@ impl TestbedBuilder {
             standbys,
             standby_media,
             standby_platforms,
-            replication_config: self.replication_config.unwrap_or_default(),
+            follower_replication,
+            replication_config,
         }
     }
 }
@@ -529,17 +650,29 @@ enum TrustAction {
     AllowContent(String, Vec<u8>),
 }
 
+/// Replication assets of a non-authority shard. The authority shard keeps
+/// the testbed's historical top-level fields (`standbys`, `replication`)
+/// so `promote` and the failover drills keep their shape.
+struct FollowerReplica {
+    shard: usize,
+    set: ReplicaSet,
+    standbys: Vec<StandbyNode>,
+}
+
 /// The assembled deployment.
 pub struct Testbed {
     pub network: Network,
     pub clock: SimClock,
-    /// The deployment-wide telemetry bundle (shared by fabric, IAS, and the
-    /// Verification Manager).
+    /// The deployment-wide telemetry bundle (shared by fabric, IAS, and
+    /// every Verification Manager shard).
     pub telemetry: Telemetry,
     pub ias: AttestationService,
-    pub vm: VerificationManager,
-    /// Store-and-forward revocation notifier, journaling into the same WAL
-    /// as the manager when the testbed is durable.
+    /// The sharded Verification Manager behind its service handle. Clone
+    /// it ([`Testbed::vm_service`]) to serve the operator API or to drive
+    /// the fleet from concurrent client threads.
+    pub vm: VmService,
+    /// Store-and-forward revocation notifier, journaling into the
+    /// authority shard's WAL when the testbed is durable.
     pub notifier: RevocationNotifier,
     pub controller: Controller,
     pub controller_addr: String,
@@ -551,25 +684,42 @@ pub struct Testbed {
     pub validation: ValidationModel,
     seed: Vec<u8>,
     vm_config: ManagerConfig,
-    vm_platform: SgxPlatform,
-    /// The crash-surviving medium behind the VM's WAL (`None`: volatile).
-    store_media: Option<Media>,
+    /// Each shard's SGX platform (its vault seals only open there).
+    shard_platforms: Vec<SgxPlatform>,
+    /// Each shard's crash-surviving medium (`None`: volatile testbed).
+    shard_media: Vec<Option<Media>>,
+    group_commit: bool,
     crash_plan: Option<CrashPlan>,
     wal_compaction: u64,
     trust_log: Vec<TrustAction>,
-    /// The primary-side replication handle (a clone of the one installed
-    /// as the store's append observer); `None` when unreplicated.
+    /// The authority shard's replication handle (a clone of the one
+    /// installed as its store's append observer); `None` when
+    /// unreplicated.
     replication: Option<ReplicaSet>,
-    /// Standby managers receiving the WAL stream, in builder order.
+    /// The authority shard's standby managers, in builder order.
     pub standbys: Vec<StandbyNode>,
-    /// Each standby's crash-surviving medium (parallel to `standbys`).
+    /// Each authority standby's crash-surviving medium (parallel to
+    /// `standbys`).
     standby_media: Vec<Media>,
-    /// Each standby's SGX platform (its vault seals only open there).
+    /// Each authority standby's SGX platform.
     standby_platforms: Vec<SgxPlatform>,
+    /// Standby sets of the non-authority shards.
+    follower_replication: Vec<FollowerReplica>,
     replication_config: ReplicationConfig,
 }
 
 impl Testbed {
+    /// A clone of the service handle — the supported way to hand the
+    /// manager fleet to `serve_vm_api` or to concurrent client threads.
+    pub fn vm_service(&self) -> VmService {
+        self.vm.clone()
+    }
+
+    /// How many Verification Manager shards the deployment runs.
+    pub fn shard_count(&self) -> usize {
+        self.vm.shard_count()
+    }
+
     /// Steps 1–2: attest a container host.
     pub fn attest_host(&mut self, host_idx: usize) -> Result<Verdict, CoreError> {
         let host = &mut self.hosts[host_idx];
@@ -609,14 +759,13 @@ impl Testbed {
         let id = container.id.clone();
         for (i, layer) in reference_image.layers.iter().enumerate() {
             let path = format!("/var/lib/docker/overlay2/{id}/layer-{i}");
-            self.vm.reference_db_mut().allow_content(&path, &layer.content);
+            self.vm.allow_reference_content(&path, &layer.content);
             self.trust_log
                 .push(TrustAction::AllowContent(path, layer.content.clone()));
         }
         let entrypoint = format!("/var/lib/docker/overlay2/{id}/entrypoint");
         self.vm
-            .reference_db_mut()
-            .allow_content(&entrypoint, &reference_image.entrypoint.content);
+            .allow_reference_content(&entrypoint, &reference_image.entrypoint.content);
         self.trust_log.push(TrustAction::AllowContent(
             entrypoint,
             reference_image.entrypoint.content.clone(),
@@ -816,78 +965,89 @@ impl Testbed {
         Ok(guard.open_session(&self.controller_addr, self.clock.now())?)
     }
 
-    /// The crash-surviving medium behind the VM's WAL, if the testbed was
-    /// built [`durable`](TestbedBuilder::durable). Exposed so chaos tests
-    /// can inject media faults (torn tails, flipped bytes) between crash
-    /// and recovery.
+    /// The crash-surviving medium behind the authority shard's WAL, if the
+    /// testbed was built [`durable`](TestbedBuilder::durable). Exposed so
+    /// chaos tests can inject media faults (torn tails, flipped bytes)
+    /// between crash and recovery.
     pub fn store_media(&self) -> Option<&Media> {
-        self.store_media.as_ref()
+        self.shard_media[0].as_ref()
     }
 
-    /// Restart the Verification Manager after a crash: reload the state
-    /// vault on the same platform, replay the sealed snapshot + WAL, and
-    /// replace `vm` (and the notifier) with the recovered incarnation.
+    /// The crash-surviving medium behind one shard's WAL.
+    pub fn shard_store_media(&self, shard: usize) -> Option<&Media> {
+        self.shard_media.get(shard).and_then(Option::as_ref)
+    }
+
+    /// Restart the Verification Manager fleet after a crash: for every
+    /// shard — authority first — reload its state vault on its own
+    /// platform, replay its sealed snapshot + WAL, and swap the recovered
+    /// incarnation into the service handle **in place**, so every clone of
+    /// the handle (including the one `serve_vm_api` routes against) sees
+    /// the new incarnations on its next call. Returns the authority
+    /// shard's recovery report.
     ///
     /// Config-time trust (integrity enclave, reference files, TPM AIKs,
     /// whitelisted guard measurements) is replayed from the deployment's
     /// own records — it is input, not journaled state. Host attestations
     /// are *not* carried over: every host must re-attest to the new
-    /// incarnation before further enrollments.
+    /// incarnation before further enrollments. Follower shards re-adopt
+    /// the authority's rotation chain after replay, because adoption is
+    /// un-journaled by design (the rotated certificates re-derive
+    /// bit-identically from the shared seed).
     pub fn recover_vm(&mut self) -> Result<RecoveryReport, CoreError> {
-        let (vm, notifier, report) = self.recover_vm_incarnation()?;
-        self.vm = vm;
-        self.notifier = notifier;
-        Ok(report)
+        let shard_count = self.vm.shard_count();
+        let mut authority_report = None;
+        for s in 0..shard_count {
+            let (vm, notifier, report) = self.recover_shard_incarnation(s)?;
+            *self.vm.shard_mutex(s).lock() = vm;
+            if s == 0 {
+                self.notifier =
+                    notifier.expect("authority shard recovery rebuilds the notifier");
+                authority_report = Some(report);
+            }
+        }
+        if shard_count > 1 {
+            let chain = self.vm.ca_rotation_chain();
+            let now = self.clock.now();
+            for s in 1..shard_count {
+                let mut shard = self.vm.shard_mutex(s).lock();
+                for (epoch, root, cross) in &chain {
+                    let _ = shard.adopt_rotation(*epoch, root.serial(), cross.serial(), now);
+                }
+            }
+        }
+        Ok(authority_report.expect("testbed has at least one shard"))
     }
 
-    /// Move the Verification Manager out of the testbed (e.g. to wrap it in
-    /// an `Arc<Mutex<..>>` for `serve_vm_api`), leaving a fresh placeholder
-    /// incarnation behind so the testbed's own methods keep working.
-    pub fn take_vm(&mut self) -> VerificationManager {
-        let placeholder = VerificationManager::with_runtime(
-            self.vm_config.clone(),
-            &self.seed,
-            self.clock.clone(),
-            self.telemetry.clone(),
-        );
-        std::mem::replace(&mut self.vm, placeholder)
-    }
-
-    /// Like [`recover_vm`](Self::recover_vm), but install the recovered
-    /// incarnation into a *shared* manager handle (the one `serve_vm_api`
-    /// routes dispatch against) instead of `self.vm`. This models an
-    /// in-place process restart: HTTP clients keep talking to the same
-    /// address and hit the new incarnation on their next request.
-    pub fn recover_vm_shared(
-        &mut self,
-        shared: &Arc<parking_lot::Mutex<VerificationManager>>,
-    ) -> Result<RecoveryReport, CoreError> {
-        let (vm, notifier, report) = self.recover_vm_incarnation()?;
-        *shared.lock() = vm;
-        self.notifier = notifier;
-        Ok(report)
-    }
-
-    fn recover_vm_incarnation(
-        &mut self,
-    ) -> Result<(VerificationManager, RevocationNotifier, RecoveryReport), CoreError> {
-        let media = self.store_media.clone().ok_or_else(|| {
+    /// Recover one shard's incarnation from its own media. Only the
+    /// authority shard owns the revocation notifier (its store-and-forward
+    /// queue journals into the authority WAL).
+    fn recover_shard_incarnation(
+        &self,
+        shard: usize,
+    ) -> Result<(VerificationManager, Option<RevocationNotifier>, RecoveryReport), CoreError>
+    {
+        let media = self.shard_media[shard].clone().ok_or_else(|| {
             CoreError::Store(
                 "testbed is not durable (build with TestbedBuilder::durable)".into(),
             )
         })?;
-        let vault = StateVault::load(&self.vm_platform, &self.enclave_author)?;
-        let store = StateStore::new(media, vault).with_compaction(self.wal_compaction);
-        let mut notifier = RevocationNotifier::new(&self.network)
-            .with_telemetry(&self.telemetry)
-            .with_store(store.clone());
+        let vault = StateVault::load(&self.shard_platforms[shard], &self.enclave_author)?;
+        let store = StateStore::new(media, vault)
+            .with_compaction(self.wal_compaction)
+            .with_group_commit(self.group_commit);
+        let mut notifier = (shard == 0).then(|| {
+            RevocationNotifier::new(&self.network)
+                .with_telemetry(&self.telemetry)
+                .with_store(store.clone())
+        });
         let (mut vm, report) = VerificationManager::recover(
             self.vm_config.clone(),
             &self.seed,
             self.clock.clone(),
             self.telemetry.clone(),
             store,
-            Some(&mut notifier),
+            notifier.as_mut(),
         )?;
         vm.trust_integrity_enclave(
             IntegrityAttestationEnclave::expected_measurement(1),
@@ -914,25 +1074,67 @@ impl Testbed {
         if let Some(plan) = &self.crash_plan {
             vm = vm.with_crash_plan(plan.clone());
         }
+        // Replay restored the journaled allocator high-water marks; the
+        // shard floors are max-semantics, so re-applying them is safe.
+        vm.set_shard(shard as u32, self.vm.shard_count() as u32);
         Ok((vm, notifier, report))
     }
 
-    /// The primary-side replication handle, when built with
+    /// Detach the authority shard's current incarnation — e.g. to keep a
+    /// partitioned-away zombie primary alive across a failover drill —
+    /// leaving a fresh placeholder incarnation behind in the service
+    /// handle so the testbed's own methods keep working.
+    pub fn detach_primary(&mut self) -> VerificationManager {
+        let placeholder = VerificationManager::with_runtime(
+            self.vm_config.clone(),
+            &self.seed,
+            self.clock.clone(),
+            self.telemetry.clone(),
+        );
+        std::mem::replace(&mut *self.vm.shard_mutex(0).lock(), placeholder)
+    }
+
+    /// The authority shard's replication handle, when built with
     /// [`replicas`](TestbedBuilder::replicas).
     pub fn replication(&self) -> Option<&ReplicaSet> {
         self.replication.as_ref()
     }
 
-    /// Node-loss injection: kill the primary Verification Manager in
-    /// place. Every later call on it fails [`CoreError::VmCrashed`]; the
-    /// standbys keep everything it journaled. Follow with
-    /// [`promote`](Self::promote) to fail over.
+    /// One shard's replication handle (shard 0 is the authority).
+    pub fn shard_replication(&self, shard: usize) -> Option<&ReplicaSet> {
+        if shard == 0 {
+            self.replication.as_ref()
+        } else {
+            self.follower_replication
+                .iter()
+                .find(|f| f.shard == shard)
+                .map(|f| &f.set)
+        }
+    }
+
+    /// One shard's standby nodes (empty when unreplicated).
+    pub fn shard_standbys(&self, shard: usize) -> &[StandbyNode] {
+        if shard == 0 {
+            &self.standbys
+        } else {
+            self.follower_replication
+                .iter()
+                .find(|f| f.shard == shard)
+                .map(|f| &f.standbys[..])
+                .unwrap_or(&[])
+        }
+    }
+
+    /// Node-loss injection: kill the Verification Manager fleet in place.
+    /// Every later call on it fails [`CoreError::VmCrashed`]; the standbys
+    /// keep everything it journaled. Follow with
+    /// [`promote`](Self::promote) to fail over the authority shard.
     pub fn kill_primary(&mut self, reason: &str) {
         self.vm.halt(reason);
     }
 
-    /// True once every standby's view of the primary is staler than
-    /// `timeout_secs` — the missed-heartbeat promotion trigger for
+    /// True once every authority standby's view of the primary is staler
+    /// than `timeout_secs` — the missed-heartbeat promotion trigger for
     /// operators who poll instead of being told.
     pub fn failover_due(&self, timeout_secs: u64) -> bool {
         !self.standbys.is_empty()
@@ -942,9 +1144,9 @@ impl Testbed {
                 .all(|s| s.primary_suspect(timeout_secs))
     }
 
-    /// Deterministic failover: promote the standby with the highest
-    /// contiguous WAL high-water mark (lowest builder index on ties) to
-    /// primary.
+    /// Deterministic failover: promote the authority standby with the
+    /// highest contiguous WAL high-water mark (lowest builder index on
+    /// ties) to primary.
     ///
     /// The chosen standby stops accepting frames and its store is
     /// recovered through the exact crash-recovery path — CA and HMAC keys
@@ -955,7 +1157,8 @@ impl Testbed {
     /// drained. The surviving standbys (and the new primary's frames)
     /// move to `epoch + 1`, fencing the old primary: its next append is
     /// rejected and the operation fails instead of committing into a dead
-    /// timeline.
+    /// timeline. The recovered incarnation is swapped into the service
+    /// handle in place, so API servers keep routing to the same handle.
     pub fn promote(&mut self) -> Result<PromotionReport, CoreError> {
         if self.standbys.is_empty() {
             return Err(CoreError::ServiceUnavailable(
@@ -1037,6 +1240,7 @@ impl Testbed {
         if let Some(plan) = &self.crash_plan {
             vm = vm.with_crash_plan(plan.clone());
         }
+        vm.set_shard(0, self.vm.shard_count() as u32);
         vm.with_replication(set.clone());
         // The failed primary's store-and-forward queue was part of the
         // replicated state, so its undelivered notices came back in the
@@ -1050,10 +1254,10 @@ impl Testbed {
             "failover_promoted",
             &format!("{promoted_addr} promoted to primary at epoch {new_epoch} (high-water {high_water})"),
         );
-        self.vm = vm;
+        *self.vm.shard_mutex(0).lock() = vm;
         self.notifier = notifier;
-        self.store_media = Some(media);
-        self.vm_platform = platform;
+        self.shard_media[0] = Some(media);
+        self.shard_platforms[0] = platform;
         self.replication = Some(set);
         Ok(PromotionReport {
             epoch: new_epoch,
@@ -1065,26 +1269,37 @@ impl Testbed {
         })
     }
 
-    /// An *oracle twin*: a manager recovered from an independent fork of
-    /// the current primary's media, without touching the deployment. The
-    /// chaos tests compare a promoted standby against this — byte-equal
-    /// CA roots, serials, enrollment records, and CRL numbers mean the
-    /// replication stream lost nothing the primary had made durable.
+    /// An *oracle twin* of the authority shard: a manager recovered from
+    /// an independent fork of its media, without touching the deployment.
+    /// The chaos tests compare a promoted standby against this —
+    /// byte-equal CA roots, serials, enrollment records, and CRL numbers
+    /// mean the replication stream lost nothing the primary had made
+    /// durable.
     pub fn oracle_twin(&self) -> Result<VerificationManager, CoreError> {
+        self.oracle_twin_for(0)
+    }
+
+    /// An oracle twin of one shard, recovered from a fork of that shard's
+    /// media (the fork drops the injected write latency, so building
+    /// twins is fast even on a slow-media testbed).
+    pub fn oracle_twin_for(&self, shard: usize) -> Result<VerificationManager, CoreError> {
         let media = self
-            .store_media
-            .as_ref()
+            .shard_media
+            .get(shard)
+            .and_then(Option::as_ref)
             .ok_or_else(|| {
                 CoreError::Store(
                     "testbed is not durable (build with TestbedBuilder::durable)".into(),
                 )
             })?
             .fork();
-        let vault = StateVault::load(&self.vm_platform, &self.enclave_author)?;
-        let store = StateStore::new(media, vault).with_compaction(self.wal_compaction);
+        let vault = StateVault::load(&self.shard_platforms[shard], &self.enclave_author)?;
+        let store = StateStore::new(media, vault)
+            .with_compaction(self.wal_compaction)
+            .with_group_commit(self.group_commit);
         // Fresh telemetry: the twin is a measuring instrument, not part of
         // the deployment, and must not disturb the shared metrics.
-        let (vm, _) = VerificationManager::recover(
+        let (mut vm, _) = VerificationManager::recover(
             self.vm_config.clone(),
             &self.seed,
             self.clock.clone(),
@@ -1092,7 +1307,15 @@ impl Testbed {
             store,
             None,
         )?;
+        vm.set_shard(shard as u32, self.vm.shard_count() as u32);
         Ok(vm)
+    }
+
+    /// Oracle twins of every shard, in shard order.
+    pub fn oracle_twins(&self) -> Result<Vec<VerificationManager>, CoreError> {
+        (0..self.vm.shard_count())
+            .map(|s| self.oracle_twin_for(s))
+            .collect()
     }
 }
 
@@ -1117,6 +1340,7 @@ impl std::fmt::Debug for Testbed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Testbed")
             .field("mode", &self.mode.as_str())
+            .field("shards", &self.vm.shard_count())
             .field("hosts", &self.hosts.len())
             .field("enrollments", &self.vm.issued_count())
             .finish_non_exhaustive()

@@ -41,6 +41,7 @@ pub mod remote;
 pub mod replication;
 pub mod resilience;
 pub mod revocation;
+pub mod service;
 
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
 pub use crash::{CrashEvent, CrashPlan};
@@ -51,6 +52,7 @@ pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
 pub use manager::{ManagerConfig, ManagerConfigBuilder, RecoveryReport, VerificationManager};
 pub use resilience::{BreakerState, CircuitBreaker, RetryPolicy};
+pub use service::VmService;
 pub use revocation::{DeliveredNotice, RevocationNotifier};
 
 /// Errors from the Verification Manager and workflow orchestration.

@@ -27,6 +27,7 @@
 //! context with `Request::with_trace`.
 
 use crate::CoreError;
+use vnfguard_controller::clock::SimClock;
 use parking_lot::RwLock;
 use std::sync::Arc;
 use vnfguard_encoding::{base64, Json};
@@ -145,7 +146,7 @@ struct RetiringAnchor {
     deadline: u64,
 }
 
-/// What one [`LifecycleMonitor::tick_at`] pass did.
+/// What one [`LifecycleMonitor::tick`] pass did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LifecycleTick {
     /// A new CA epoch was verified and adopted this pass.
@@ -168,6 +169,7 @@ pub struct LifecycleTick {
 /// trust store's [`RevocationPolicy`](vnfguard_pki::RevocationPolicy).
 pub struct LifecycleMonitor {
     network: Network,
+    clock: SimClock,
     vm_addr: String,
     origin: String,
     trust: Arc<RwLock<TrustStore>>,
@@ -192,6 +194,7 @@ impl LifecycleMonitor {
     /// whose subject is `issuer_cn` inside `trust`.
     pub fn new(
         network: Network,
+        clock: SimClock,
         vm_addr: &str,
         origin: &str,
         trust: Arc<RwLock<TrustStore>>,
@@ -205,6 +208,7 @@ impl LifecycleMonitor {
         let crl_age = telemetry.gauge("vnfguard_core_controller_crl_age_seconds");
         LifecycleMonitor {
             network,
+            clock,
             vm_addr: vm_addr.to_string(),
             origin: origin.to_string(),
             trust,
@@ -287,7 +291,8 @@ impl LifecycleMonitor {
     /// skipped epoch in order, so every handover still verifies against an
     /// anchor adopted one step earlier. Returns the epoch adopted this
     /// call, if any.
-    pub fn poll_ca_at(&mut self, now: u64) -> Result<Option<u64>, CoreError> {
+    pub fn poll_ca(&mut self) -> Result<Option<u64>, CoreError> {
+        let now = self.clock.now();
         self.ca_polls.inc();
         let doc = self.fetch("/vm/ca")?;
         let epoch = doc.get("epoch").and_then(Json::as_i64).unwrap_or(0) as u64;
@@ -363,7 +368,8 @@ impl LifecycleMonitor {
     /// Poll `GET /vm/crl` and install the signed CRL into the shared trust
     /// store. Lower-numbered (replayed) CRLs are rejected by the store;
     /// an equal number re-installs harmlessly. Returns the CRL number.
-    pub fn poll_crl_at(&mut self, now: u64) -> Result<u64, CoreError> {
+    pub fn poll_crl(&mut self) -> Result<u64, CoreError> {
+        let now = self.clock.now();
         self.crl_polls.inc();
         let doc = self.fetch("/vm/crl")?;
         let text = doc
@@ -381,10 +387,11 @@ impl LifecycleMonitor {
         Ok(number)
     }
 
-    /// Age of the newest installed CRL at `now` (`None` before the first
+    /// Age of the newest installed CRL (`None` before the first
     /// successful poll). Also refreshes the age gauge, so periodic status
     /// checks keep the metric honest between polls.
-    pub fn crl_age_at(&self, now: u64) -> Option<u64> {
+    pub fn crl_age(&self) -> Option<u64> {
+        let now = self.clock.now();
         let age = self
             .last_crl_issued_at
             .map(|issued| now.saturating_sub(issued));
@@ -396,7 +403,8 @@ impl LifecycleMonitor {
 
     /// Remove anchors whose dual-trust window has drained. Returns how
     /// many were retired.
-    pub fn enforce_drain_at(&mut self, now: u64) -> usize {
+    pub fn enforce_drain(&mut self) -> usize {
+        let now = self.clock.now();
         let (due, keep): (Vec<RetiringAnchor>, Vec<RetiringAnchor>) =
             self.retiring.drain(..).partition(|r| now > r.deadline);
         self.retiring = keep;
@@ -422,10 +430,10 @@ impl LifecycleMonitor {
     /// the first failure is then reported, CA poll first. The caller
     /// decides whether a missed poll is tolerable (the trust store's
     /// revocation policy governs what stale data means in the meantime).
-    pub fn tick_at(&mut self, now: u64) -> Result<LifecycleTick, CoreError> {
-        let ca_result = self.poll_ca_at(now);
-        let crl_result = self.poll_crl_at(now);
-        let anchors_retired = self.enforce_drain_at(now);
+    pub fn tick(&mut self) -> Result<LifecycleTick, CoreError> {
+        let ca_result = self.poll_ca();
+        let crl_result = self.poll_crl();
+        let anchors_retired = self.enforce_drain();
         Ok(LifecycleTick {
             adopted_epoch: ca_result?,
             crl_installed: Some(crl_result?),

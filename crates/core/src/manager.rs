@@ -17,7 +17,7 @@ use vnfguard_ima::appraisal::{AppraisalPolicy, ReferenceDatabase, Verdict};
 use vnfguard_ima::list::IMA_PCR;
 use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
 use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
-use vnfguard_pki::crl::{Crl, RevocationReason};
+use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
 use vnfguard_sgx::measurement::Measurement;
 use vnfguard_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry, TraceContext};
 use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
@@ -529,6 +529,26 @@ pub struct VerificationManager {
     /// Primary-side replication handle (also installed as the store's
     /// append observer); `None` runs unreplicated.
     replication: Option<ReplicaSet>,
+    /// This manager's shard index (0 = the authority shard) and the total
+    /// shard count of the deployment it belongs to.
+    shard: u32,
+    shard_count: u32,
+}
+
+/// Serial-number span reserved per shard: shard `i` allocates serials in
+/// `[i * SPAN, (i+1) * SPAN)`, so a serial names its owning shard.
+pub const SHARD_SERIAL_SPAN: u64 = 1 << 40;
+/// Challenge-id span reserved per shard (same ownership trick as serials).
+pub const SHARD_CHALLENGE_SPAN: u64 = 1 << 32;
+
+/// The shard that allocated `serial` (shard 0 for pre-sharding serials).
+pub fn shard_of_serial(serial: u64) -> u32 {
+    (serial / SHARD_SERIAL_SPAN) as u32
+}
+
+/// The shard that minted challenge `id`.
+pub fn shard_of_challenge(id: u64) -> u32 {
+    (id / SHARD_CHALLENGE_SPAN) as u32
 }
 
 impl VerificationManager {
@@ -584,7 +604,43 @@ impl VerificationManager {
             last_recovery: None,
             active_trace: None,
             replication: None,
+            shard: 0,
+            shard_count: 1,
         }
+    }
+
+    /// Place this manager at shard `index` of `count`.
+    ///
+    /// Shard 0 — the authority shard — keeps the default allocators, so a
+    /// single-shard deployment is bit-identical to an unsharded one. A
+    /// non-authority shard floors its serial and challenge allocators at
+    /// the base of its reserved span and diverges its DRBG (two shards
+    /// must never mint the same key seeds or nonces). All floors use
+    /// max-semantics, so re-applying after a crash-recovery replay (which
+    /// restores allocators from the shard's own WAL, already inside the
+    /// span) is idempotent.
+    pub fn set_shard(&mut self, index: u32, count: u32) {
+        self.shard = index;
+        self.shard_count = count.max(1);
+        if index == 0 {
+            return;
+        }
+        self.ca.restore_issuance(u64::from(index) * SHARD_SERIAL_SPAN, 0);
+        self.next_challenge = self
+            .next_challenge
+            .max(u64::from(index) * SHARD_CHALLENGE_SPAN + 1);
+        self.rng
+            .reseed(&[b"shard" as &[u8], &index.to_be_bytes()].concat());
+    }
+
+    /// This manager's shard index (0 when unsharded).
+    pub fn shard_index(&self) -> u32 {
+        self.shard
+    }
+
+    /// Total shards in the deployment this manager belongs to.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
     }
 
     /// Attach a sealed state store: from here on every state transition is
@@ -696,16 +752,7 @@ impl VerificationManager {
         host_id: &str,
         aik: vnfguard_crypto::ed25519::VerifyingKey,
     ) {
-        self.register_host_tpm_at(host_id, aik, self.clock.now());
-    }
-
-    /// Explicit-time shim for [`register_host_tpm`](Self::register_host_tpm).
-    pub fn register_host_tpm_at(
-        &mut self,
-        host_id: &str,
-        aik: vnfguard_crypto::ed25519::VerifyingKey,
-        now: u64,
-    ) {
+        let now = self.clock.now();
         let record = self.hosts.entry(host_id.to_string()).or_insert(HostRecord {
             host_id: host_id.to_string(),
             verdict: Verdict::UnknownComponents,
@@ -727,6 +774,19 @@ impl VerificationManager {
         if let Some(store) = &self.store {
             store.append(record)?;
             self.metrics.wal_records.inc();
+        }
+        Ok(())
+    }
+
+    /// Journal a whole workflow's records in one flush (see
+    /// [`StateStore::append_group`]): with group commit enabled on the
+    /// store, the records land in a single group frame — one device write
+    /// for a multi-record workflow — and a torn tail drops all of them or
+    /// none. A no-op without a store.
+    fn journal_group(&self, records: &[WalRecord]) -> Result<(), CoreError> {
+        if let Some(store) = &self.store {
+            store.append_group(records)?;
+            self.metrics.wal_records.add(records.len() as u64);
         }
         Ok(())
     }
@@ -843,6 +903,13 @@ impl VerificationManager {
         self.hosts.get(host_id)
     }
 
+    /// Every host trust record this manager holds (the service layer
+    /// propagates these to non-authority shards after attestations, so
+    /// shard-local enrollment checks see the authority's verdicts).
+    pub fn host_records(&self) -> Vec<HostRecord> {
+        self.hosts.values().cloned().collect()
+    }
+
     pub fn enrollments(&self) -> impl Iterator<Item = &EnrollmentRecord> {
         self.enrollments.values()
     }
@@ -878,12 +945,7 @@ impl VerificationManager {
 
     /// Step 1: initiate remote attestation of a container host.
     pub fn begin_host_attestation(&mut self, host_id: &str) -> Challenge {
-        self.begin_host_attestation_at(host_id, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`begin_host_attestation`](Self::begin_host_attestation).
-    pub fn begin_host_attestation_at(&mut self, host_id: &str, now: u64) -> Challenge {
+        let now = self.clock.now();
         self.event(now, "host_attestation_started", host_id);
         self.new_challenge(
             ChallengeSubject::Host {
@@ -901,18 +963,7 @@ impl VerificationManager {
         challenge_id: u64,
         evidence: &HostEvidence,
     ) -> Result<Verdict, CoreError> {
-        self.complete_host_attestation_at(ias, challenge_id, evidence, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`complete_host_attestation`](Self::complete_host_attestation).
-    pub fn complete_host_attestation_at(
-        &mut self,
-        ias: &mut dyn QuoteVerifier,
-        challenge_id: u64,
-        evidence: &HostEvidence,
-        now: u64,
-    ) -> Result<Verdict, CoreError> {
+        let now = self.clock.now();
         let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self
@@ -1061,17 +1112,11 @@ impl VerificationManager {
     /// degraded answer is audit-logged as a `DegradedVerdict` event so
     /// operators can see exactly which trust decisions lacked fresh
     /// evidence.
-    pub fn degraded_host_verdict(&mut self, host_id: &str) -> Result<Verdict, CoreError> {
-        self.degraded_host_verdict_at(host_id, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`degraded_host_verdict`](Self::degraded_host_verdict).
-    pub fn degraded_host_verdict_at(
+    pub fn degraded_host_verdict(
         &mut self,
         host_id: &str,
-        now: u64,
     ) -> Result<Verdict, CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         if !self.config.degraded_verdicts {
             return Err(CoreError::ServiceUnavailable(format!(
@@ -1120,17 +1165,7 @@ impl VerificationManager {
         host_id: &str,
         vnf_name: &str,
     ) -> Result<Challenge, CoreError> {
-        self.begin_vnf_attestation_at(host_id, vnf_name, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`begin_vnf_attestation`](Self::begin_vnf_attestation).
-    pub fn begin_vnf_attestation_at(
-        &mut self,
-        host_id: &str,
-        vnf_name: &str,
-        now: u64,
-    ) -> Result<Challenge, CoreError> {
+        let now = self.clock.now();
         if !self.host_is_trusted(host_id, now) {
             self.event(now, "vnf_attestation_refused", &format!("{vnf_name}: host {host_id} untrusted"));
             return Err(CoreError::WorkflowViolation(format!(
@@ -1165,36 +1200,14 @@ impl VerificationManager {
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
-        self.complete_vnf_enrollment_at(
+        let (serial, wrapped, certificate) = self.prepare_vnf_enrollment(
             ias,
             challenge_id,
             quote_bytes,
             provisioning_key,
             controller_cn,
-            self.clock.now(),
-        )
-    }
-
-    /// Explicit-time shim for
-    /// [`complete_vnf_enrollment`](Self::complete_vnf_enrollment).
-    pub fn complete_vnf_enrollment_at(
-        &mut self,
-        ias: &mut dyn QuoteVerifier,
-        challenge_id: u64,
-        quote_bytes: &[u8],
-        provisioning_key: &[u8; 32],
-        controller_cn: &str,
-        now: u64,
-    ) -> Result<(Vec<u8>, Certificate), CoreError> {
-        let (serial, wrapped, certificate) = self.prepare_vnf_enrollment_at(
-            ias,
-            challenge_id,
-            quote_bytes,
-            provisioning_key,
-            controller_cn,
-            now,
         )?;
-        self.commit_vnf_enrollment_at(serial, now)?;
+        self.commit_vnf_enrollment(serial)?;
         Ok((wrapped, certificate))
     }
 
@@ -1212,27 +1225,7 @@ impl VerificationManager {
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
-        self.prepare_vnf_enrollment_at(
-            ias,
-            challenge_id,
-            quote_bytes,
-            provisioning_key,
-            controller_cn,
-            self.clock.now(),
-        )
-    }
-
-    /// Explicit-time shim for
-    /// [`prepare_vnf_enrollment`](Self::prepare_vnf_enrollment).
-    pub fn prepare_vnf_enrollment_at(
-        &mut self,
-        ias: &mut dyn QuoteVerifier,
-        challenge_id: u64,
-        quote_bytes: &[u8],
-        provisioning_key: &[u8; 32],
-        controller_cn: &str,
-        now: u64,
-    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        let now = self.clock.now();
         let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self
@@ -1350,20 +1343,25 @@ impl VerificationManager {
         let serial = certificate.serial();
         // WAL-before-response: the issuance and the preparation must be
         // durable before the serial (the commit token) leaves the manager.
-        self.journal(&WalRecord::CertIssued {
-            serial,
-            subject: vnf_name.clone(),
-            at: now,
-        })?;
+        // One workflow, one flush: under group commit both records share a
+        // group frame, so a crash can never persist the issuance without
+        // the preparation that explains it.
         let key_hash = provisioning_key_hash(provisioning_key);
-        self.journal(&WalRecord::EnrollmentPrepared {
-            serial,
-            vnf_name: vnf_name.clone(),
-            host_id: host_id.clone(),
-            mrenclave: *body.mrenclave.as_bytes(),
-            provisioning_key_hash: key_hash,
-            at: now,
-        })?;
+        self.journal_group(&[
+            WalRecord::CertIssued {
+                serial,
+                subject: vnf_name.clone(),
+                at: now,
+            },
+            WalRecord::EnrollmentPrepared {
+                serial,
+                vnf_name: vnf_name.clone(),
+                host_id: host_id.clone(),
+                mrenclave: *body.mrenclave.as_bytes(),
+                provisioning_key_hash: key_hash,
+                at: now,
+            },
+        ])?;
         self.crash_point("enrollment.prepare")?;
         self.pending_enrollments.insert(
             serial,
@@ -1383,12 +1381,7 @@ impl VerificationManager {
     /// Phase two of enrollment: the wrapped bundle reached the enclave, so
     /// promote the pending record to an established enrollment.
     pub fn commit_vnf_enrollment(&mut self, serial: u64) -> Result<(), CoreError> {
-        self.commit_vnf_enrollment_at(serial, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`commit_vnf_enrollment`](Self::commit_vnf_enrollment).
-    pub fn commit_vnf_enrollment_at(&mut self, serial: u64, now: u64) -> Result<(), CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         if !self.pending_enrollments.contains_key(&serial) {
             return Err(CoreError::WorkflowViolation(format!(
@@ -1426,18 +1419,12 @@ impl VerificationManager {
     /// partially working network) and the pending record is dropped, so the
     /// manager's state is exactly as if the enrollment never happened —
     /// except for the audit trail and the CRL entry.
-    pub fn abort_vnf_enrollment(&mut self, serial: u64, reason: &str) -> Result<(), CoreError> {
-        self.abort_vnf_enrollment_at(serial, reason, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`abort_vnf_enrollment`](Self::abort_vnf_enrollment).
-    pub fn abort_vnf_enrollment_at(
+    pub fn abort_vnf_enrollment(
         &mut self,
         serial: u64,
         reason: &str,
-        now: u64,
     ) -> Result<(), CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         if !self.pending_enrollments.contains_key(&serial) {
             return Err(CoreError::WorkflowViolation(format!(
@@ -1476,12 +1463,7 @@ impl VerificationManager {
     /// bundle may be in flight somewhere) and counts as an enrollment
     /// abort. A TTL of `0` disables the sweep. Returns how many expired.
     pub fn sweep_pending_enrollments(&mut self) -> Result<usize, CoreError> {
-        self.sweep_pending_enrollments_at(self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`sweep_pending_enrollments`](Self::sweep_pending_enrollments).
-    pub fn sweep_pending_enrollments_at(&mut self, now: u64) -> Result<usize, CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         let ttl = self.config.pending_enrollment_ttl_secs;
         if ttl == 0 {
@@ -1705,16 +1687,7 @@ impl VerificationManager {
         serial: u64,
         reason: RevocationReason,
     ) -> Result<(), CoreError> {
-        self.revoke_credential_at(serial, reason, self.clock.now())
-    }
-
-    /// Explicit-time shim for [`revoke_credential`](Self::revoke_credential).
-    pub fn revoke_credential_at(
-        &mut self,
-        serial: u64,
-        reason: RevocationReason,
-        now: u64,
-    ) -> Result<(), CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         if !self.enrollments.contains_key(&serial) {
             return Err(CoreError::WorkflowViolation(format!(
@@ -1742,11 +1715,7 @@ impl VerificationManager {
     /// Revoke every credential issued to VNFs on a host (platform
     /// compromise response).
     pub fn revoke_host(&mut self, host_id: &str) -> usize {
-        self.revoke_host_at(host_id, self.clock.now())
-    }
-
-    /// Explicit-time shim for [`revoke_host`](Self::revoke_host).
-    pub fn revoke_host_at(&mut self, host_id: &str, now: u64) -> usize {
+        let now = self.clock.now();
         let serials: Vec<u64> = self
             .enrollments
             .values()
@@ -1754,7 +1723,7 @@ impl VerificationManager {
             .map(|e| e.serial)
             .collect();
         for serial in &serials {
-            let _ = self.revoke_credential_at(*serial, RevocationReason::PlatformCompromise, now);
+            let _ = self.revoke_credential(*serial, RevocationReason::PlatformCompromise);
         }
         // The host loses its trusted status.
         if let Some(record) = self.hosts.get_mut(host_id) {
@@ -1766,12 +1735,17 @@ impl VerificationManager {
 
     /// Produce the current CRL for distribution to relying parties.
     pub fn current_crl(&self, lifetime_secs: u64) -> Crl {
-        self.current_crl_at(self.clock.now(), lifetime_secs)
+        let now = self.clock.now();
+        self.ca.current_crl(now, lifetime_secs)
     }
 
-    /// Explicit-time shim for [`current_crl`](Self::current_crl).
-    pub fn current_crl_at(&self, now: u64, lifetime_secs: u64) -> Crl {
-        self.ca.current_crl(now, lifetime_secs)
+    /// Read-only preview of the fleet CRL: this shard's revocations merged
+    /// with `extra` (the other shards' entries), signed by this shard's CA
+    /// key. Like [`current_crl`](Self::current_crl), neither journals nor
+    /// bumps the CRL number.
+    pub fn current_crl_merged(&self, extra: &[CrlEntry], lifetime_secs: u64) -> Crl {
+        let now = self.clock.now();
+        self.ca.current_crl_with(extra, now, lifetime_secs)
     }
 
     // ---- Credential lifecycle ---------------------------------------------
@@ -1782,18 +1756,67 @@ impl VerificationManager {
     /// number never regresses across a crash — relying parties use it to
     /// reject replayed revocation data.
     pub fn issue_crl(&mut self) -> Result<Crl, CoreError> {
-        self.issue_crl_at(self.clock.now())
+        self.issue_crl_merged(&[])
     }
 
-    /// Explicit-time shim for [`issue_crl`](Self::issue_crl).
-    pub fn issue_crl_at(&mut self, now: u64) -> Result<Crl, CoreError> {
+    /// The CRL to serve to a polling relying party. Re-serves the most
+    /// recently issued numbered CRL byte-for-byte, so distribution reads
+    /// (`GET /vm/crl`) neither journal WAL records nor burn CRL numbers. A
+    /// fresh CRL is minted through [`issue_crl`](Self::issue_crl)
+    /// only when none has been issued yet, when a revocation or key
+    /// rotation obsoleted the cached one, or when the cached one passed
+    /// its `next_update`.
+    pub fn latest_crl(&mut self) -> Result<Crl, CoreError> {
+        let now = self.clock.now();
+        self.ensure_alive()?;
+        match &self.last_crl {
+            Some(crl) if !self.crl_dirty && !crl.is_stale(now) => Ok(crl.clone()),
+            _ => self.issue_crl(),
+        }
+    }
+
+    // ---- Shard fleet coordination ------------------------------------------
+    //
+    // In a sharded deployment the CA key, the CRL number and the rotation
+    // epoch are owned by the authority shard (shard 0); the methods below
+    // are how the service layer folds the other shards' state into the
+    // authority's signed artifacts, and how non-authority shards adopt the
+    // authority's decisions. Adoption is deliberately *not* journaled:
+    // authority state appears only in the authority's WAL, and recovery
+    // re-adopts from the authority's replayed state.
+
+    /// Revocation entries this shard has registered (for folding into the
+    /// authority-signed fleet CRL).
+    pub fn revoked_entries(&self) -> Vec<CrlEntry> {
+        self.ca.revoked_entries().copied().collect()
+    }
+
+    /// Whether revocations or a rotation have obsoleted the cached CRL.
+    pub fn crl_dirty(&self) -> bool {
+        self.crl_dirty
+    }
+
+    /// Mark this shard's revocations as folded into a distributed CRL
+    /// (called by the service layer after the authority signed them).
+    pub fn clear_crl_dirty(&mut self) {
+        self.crl_dirty = false;
+    }
+
+    /// Authority-shard issuance of a fleet CRL: journal the number bump,
+    /// then sign the authority's own revocations merged with `extra` (the
+    /// other shards' entries). With no extras this is exactly
+    /// [`issue_crl`](Self::issue_crl).
+    pub fn issue_crl_merged(&mut self, extra: &[CrlEntry]) -> Result<Crl, CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         self.journal(&WalRecord::CrlIssued {
             number: self.ca.crl_number() + 1,
             at: now,
         })?;
         self.crash_point("crl.issue")?;
-        let crl = self.ca.issue_crl(now, self.config.crl_lifetime_secs);
+        let crl = self
+            .ca
+            .issue_crl_with(extra, now, self.config.crl_lifetime_secs);
         self.last_crl_issued_at = Some(now);
         self.last_crl = Some(crl.clone());
         self.crl_dirty = false;
@@ -1807,24 +1830,63 @@ impl VerificationManager {
         Ok(crl)
     }
 
-    /// The CRL to serve to a polling relying party. Re-serves the most
-    /// recently issued numbered CRL byte-for-byte, so distribution reads
-    /// (`GET /vm/crl`) neither journal WAL records nor burn CRL numbers. A
-    /// fresh CRL is minted through [`issue_crl_at`](Self::issue_crl_at)
-    /// only when none has been issued yet, when a revocation or key
-    /// rotation obsoleted the cached one, or when the cached one passed
-    /// its `next_update`.
-    pub fn latest_crl(&mut self) -> Result<Crl, CoreError> {
-        self.latest_crl_at(self.clock.now())
-    }
-
-    /// Explicit-time shim for [`latest_crl`](Self::latest_crl).
-    pub fn latest_crl_at(&mut self, now: u64) -> Result<Crl, CoreError> {
+    /// [`latest_crl`](Self::latest_crl) for the fleet: serve the cached
+    /// CRL when it is still fresh, else mint a merged one carrying `extra`.
+    /// The caller decides staleness of the *extras* (a shard-side
+    /// revocation does not flip this shard's dirty bit) and forces a fresh
+    /// issue through [`issue_crl_merged`](Self::issue_crl_merged) instead.
+    pub fn latest_crl_merged(&mut self, extra: &[CrlEntry]) -> Result<Crl, CoreError> {
+        let now = self.clock.now();
         self.ensure_alive()?;
         match &self.last_crl {
             Some(crl) if !self.crl_dirty && !crl.is_stale(now) => Ok(crl.clone()),
-            _ => self.issue_crl_at(now),
+            _ => self.issue_crl_merged(extra),
         }
+    }
+
+    /// Adopt a CA rotation decided by the authority shard.
+    ///
+    /// The epoch key re-derives from the shared construction seed and the
+    /// journaled serials, so the installed root and cross certificates are
+    /// byte-identical to the authority's. Idempotent for epochs already
+    /// adopted; epochs must otherwise arrive in order.
+    pub fn adopt_rotation(
+        &mut self,
+        epoch: u64,
+        root_serial: u64,
+        cross_serial: u64,
+        rotated_at: u64,
+    ) -> Result<(), CoreError> {
+        self.ensure_alive()?;
+        let current = self.ca.epoch() as u64;
+        if epoch <= current {
+            return Ok(());
+        }
+        if epoch != current + 1 {
+            return Err(CoreError::WorkflowViolation(format!(
+                "cannot adopt rotation epoch {epoch} from epoch {current}: not contiguous"
+            )));
+        }
+        let key = self.epoch_key(epoch);
+        self.ca
+            .install_rotation(key, self.config.ca_validity, root_serial, cross_serial);
+        self.crl_dirty = true;
+        self.rotation_drain_deadline =
+            Some(rotated_at + self.config.rotation_drain_secs);
+        self.event(
+            self.clock.now(),
+            "ca_rotation_adopted",
+            &format!("epoch {epoch} from authority shard"),
+        );
+        Ok(())
+    }
+
+    /// Adopt a host trust record decided by the authority shard (which
+    /// runs all host attestation). Verdicts are volatile evidence — like
+    /// the authority's own host table they are not journaled and do not
+    /// survive recovery.
+    pub fn adopt_host_record(&mut self, record: HostRecord) {
+        self.hosts.insert(record.host_id.clone(), record);
     }
 
     /// The signing key for CA epoch `epoch`, derived deterministically from
@@ -1846,11 +1908,7 @@ impl VerificationManager {
     /// [`recover`](Self::recover) resumes a committed rotation (re-deriving
     /// the epoch key) or rolls back an uncommitted one.
     pub fn rotate_ca(&mut self) -> Result<CaRotation, CoreError> {
-        self.rotate_ca_at(self.clock.now())
-    }
-
-    /// Explicit-time shim for [`rotate_ca`](Self::rotate_ca).
-    pub fn rotate_ca_at(&mut self, now: u64) -> Result<CaRotation, CoreError> {
+        let now = self.clock.now();
         let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self.workflow_span("ca_rotation", now);
@@ -1872,22 +1930,24 @@ impl VerificationManager {
         // recovery can replay the rotation byte-identically.
         let root_serial = self.ca.next_serial();
         let cross_serial = root_serial + 1;
-        self.journal(&WalRecord::CertIssued {
-            serial: root_serial,
-            subject: self.config.name.clone(),
-            at: now,
-        })?;
-        self.journal(&WalRecord::CertIssued {
-            serial: cross_serial,
-            subject: format!("{} (cross-signed)", self.config.name),
-            at: now,
-        })?;
-        self.journal(&WalRecord::CaRotationCommitted {
-            epoch,
-            root_serial,
-            cross_serial,
-            at: now,
-        })?;
+        self.journal_group(&[
+            WalRecord::CertIssued {
+                serial: root_serial,
+                subject: self.config.name.clone(),
+                at: now,
+            },
+            WalRecord::CertIssued {
+                serial: cross_serial,
+                subject: format!("{} (cross-signed)", self.config.name),
+                at: now,
+            },
+            WalRecord::CaRotationCommitted {
+                epoch,
+                root_serial,
+                cross_serial,
+                at: now,
+            },
+        ])?;
         self.crash_point("rotation.commit")?;
 
         let (_, rotate_span) = self.step_span("rotate_keys", now);
@@ -1935,18 +1995,7 @@ impl VerificationManager {
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
-        self.renew_vnf_credential_at(serial, provisioning_key, controller_cn, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`renew_vnf_credential`](Self::renew_vnf_credential).
-    pub fn renew_vnf_credential_at(
-        &mut self,
-        serial: u64,
-        provisioning_key: &[u8; 32],
-        controller_cn: &str,
-        now: u64,
-    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let now = self.clock.now();
         let saved_trace = self.active_trace.clone();
         let result = {
             let _span = self
@@ -2045,20 +2094,22 @@ impl VerificationManager {
         let wrapped = wrap_credentials(&mut self.rng, provisioning_key, &bundle);
         drop(wrap_span);
         let new_serial = certificate.serial();
-        self.journal(&WalRecord::CertIssued {
-            serial: new_serial,
-            subject: old.vnf_name.clone(),
-            at: now,
-        })?;
-        self.journal(&WalRecord::CredentialRenewed {
-            old_serial: serial,
-            new_serial,
-            vnf_name: old.vnf_name.clone(),
-            host_id: old.host_id.clone(),
-            mrenclave: *old.mrenclave.as_bytes(),
-            provisioning_key_hash: old.provisioning_key_hash,
-            at: now,
-        })?;
+        self.journal_group(&[
+            WalRecord::CertIssued {
+                serial: new_serial,
+                subject: old.vnf_name.clone(),
+                at: now,
+            },
+            WalRecord::CredentialRenewed {
+                old_serial: serial,
+                new_serial,
+                vnf_name: old.vnf_name.clone(),
+                host_id: old.host_id.clone(),
+                mrenclave: *old.mrenclave.as_bytes(),
+                provisioning_key_hash: old.provisioning_key_hash,
+                at: now,
+            },
+        ])?;
         self.crash_point("renewal.issue")?;
         self.enrollments.insert(
             new_serial,
@@ -2082,11 +2133,7 @@ impl VerificationManager {
 
     /// Unrevoked enrollments inside the renewal window at the clock's now.
     pub fn certs_expiring(&self) -> Vec<RenewalDue> {
-        self.certs_expiring_at(self.clock.now())
-    }
-
-    /// Explicit-time shim for [`certs_expiring`](Self::certs_expiring).
-    pub fn certs_expiring_at(&self, now: u64) -> Vec<RenewalDue> {
+        let now = self.clock.now();
         let validity = self.config.credential_validity_secs;
         // Clamp: a window at or beyond the whole lifetime would flag every
         // credential the moment it is issued.
@@ -2119,18 +2166,14 @@ impl VerificationManager {
     /// `vnfguard_core_crl_age_seconds`) so a metrics scrape after any
     /// status sweep sees current values.
     pub fn lifecycle_status(&self) -> LifecycleStatus {
-        self.lifecycle_status_at(self.clock.now())
-    }
-
-    /// Explicit-time shim for [`lifecycle_status`](Self::lifecycle_status).
-    pub fn lifecycle_status_at(&self, now: u64) -> LifecycleStatus {
+        let now = self.clock.now();
         let validity = self.config.credential_validity_secs;
         let active = self
             .enrollments
             .values()
             .filter(|e| !e.revoked && now <= e.issued_at.saturating_add(validity))
             .count();
-        let expiring = self.certs_expiring_at(now).len();
+        let expiring = self.certs_expiring().len();
         let crl_age_secs = self.last_crl_issued_at.map(|at| now.saturating_sub(at));
         self.metrics.certs_active.set(active as i64);
         self.metrics.certs_expiring.set(expiring as i64);
@@ -2209,17 +2252,7 @@ impl VerificationManager {
         cn: &str,
         public_key: vnfguard_crypto::ed25519::VerifyingKey,
     ) -> Certificate {
-        self.issue_client_certificate_at(cn, public_key, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`issue_client_certificate`](Self::issue_client_certificate).
-    pub fn issue_client_certificate_at(
-        &mut self,
-        cn: &str,
-        public_key: vnfguard_crypto::ed25519::VerifyingKey,
-        now: u64,
-    ) -> Certificate {
+        let now = self.clock.now();
         self.metrics.certificates_issued.inc();
         let certificate = self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
@@ -2245,17 +2278,7 @@ impl VerificationManager {
         cn: &str,
         public_key: vnfguard_crypto::ed25519::VerifyingKey,
     ) -> Certificate {
-        self.issue_server_certificate_at(cn, public_key, self.clock.now())
-    }
-
-    /// Explicit-time shim for
-    /// [`issue_server_certificate`](Self::issue_server_certificate).
-    pub fn issue_server_certificate_at(
-        &mut self,
-        cn: &str,
-        public_key: vnfguard_crypto::ed25519::VerifyingKey,
-        now: u64,
-    ) -> Certificate {
+        let now = self.clock.now();
         self.metrics.certificates_issued.inc();
         let certificate = self.ca.issue(
             DistinguishedName::new(cn).with_org(&self.config.name),
@@ -2350,14 +2373,15 @@ mod tests {
             .renewal_window_secs(3600)
             .build()
             .unwrap();
+        let clock = SimClock::at(1_000);
         let mut vm = VerificationManager::with_runtime(
             config,
             b"clamp test",
-            SimClock::at(1_000),
+            clock.clone(),
             Telemetry::new(),
         );
         let key = SigningKey::from_seed(&[3; 32]);
-        let cert = vm.issue_client_certificate_at("op", key.public_key(), 1_000);
+        let cert = vm.issue_client_certificate("op", key.public_key());
         vm.enrollments.insert(
             cert.serial(),
             EnrollmentRecord {
@@ -2370,8 +2394,9 @@ mod tests {
                 revoked: false,
             },
         );
-        assert!(vm.certs_expiring_at(1_000).is_empty());
-        assert_eq!(vm.certs_expiring_at(1_001).len(), 1);
+        assert!(vm.certs_expiring().is_empty());
+        clock.advance(1);
+        assert_eq!(vm.certs_expiring().len(), 1);
     }
 
     #[test]
@@ -2409,8 +2434,10 @@ mod tests {
         clock.advance(100);
         let challenge = vm.begin_host_attestation("host-1");
         assert_eq!(challenge.issued_at, 5_100);
-        // The explicit-time shim overrides the clock.
-        let challenge = vm.begin_host_attestation_at("host-1", 42);
+        // Rewinding the shared clock is the only way to move time: there
+        // is no explicit-time entry point to bypass the injected clock.
+        clock.set(42);
+        let challenge = vm.begin_host_attestation("host-1");
         assert_eq!(challenge.issued_at, 42);
     }
 

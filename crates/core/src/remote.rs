@@ -25,8 +25,8 @@
 //! Payload binary fields travel base64-encoded inside JSON bodies.
 
 use crate::attestation::{host_evidence, HostEvidence};
-use crate::manager::VerificationManager;
 use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryPolicy};
+use crate::service::VmService;
 use crate::CoreError;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
@@ -620,10 +620,10 @@ fn connect_agent(
 ///
 /// When the attestation service reports itself [`Availability::Unavailable`]
 /// (circuit open), no fresh appraisal is possible; the call falls back to
-/// [`VerificationManager::degraded_host_verdict`] — policy-gated reuse of
+/// [`VmService::degraded_host_verdict`] — policy-gated reuse of
 /// the cached verdict, audit-logged as `DegradedVerdict`.
 pub fn remote_attest_host(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
@@ -635,24 +635,22 @@ pub fn remote_attest_host(
 /// manager's workflow spans, the IAS round-trips and the agent hop all
 /// become children of `trace`.
 pub fn remote_attest_host_traced(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
     trace: Option<&TraceContext>,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
     let base = trace.cloned().unwrap_or_default();
-    let telemetry = vm.telemetry().clone();
-    vm.set_trace_context(Some(base.clone()));
+    let telemetry = vm.telemetry();
     ias.set_trace_context(Some(base.clone()));
     let result = remote_attest_host_inner(vm, ias, network, host_id, &base, &telemetry);
     ias.set_trace_context(None);
-    vm.set_trace_context(None);
     result
 }
 
 fn remote_attest_host_inner(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
@@ -660,8 +658,10 @@ fn remote_attest_host_inner(
     telemetry: &Telemetry,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
     if ias.availability() == Availability::Unavailable {
-        return vm.degraded_host_verdict(host_id);
+        return vm.degraded_host_verdict_traced(host_id, Some(base));
     }
+    // Each `vm.*` call locks its shard only for the duration of the
+    // manager work; the agent hop below runs with no shard lock held.
     let challenge = vm.begin_host_attestation(host_id);
     let mut client = connect_agent(network, host_id)?;
     let response = {
@@ -686,7 +686,7 @@ fn remote_attest_host_inner(
         .map_err(|e| CoreError::Encoding(e.to_string()))?;
     let evidence_bytes = b64_field(&body, "evidence").map_err(CoreError::Encoding)?;
     let evidence = HostEvidence::decode(&evidence_bytes)?;
-    vm.complete_host_attestation(ias, challenge.id, &evidence)
+    vm.complete_host_attestation_traced(ias, challenge.id, &evidence, Some(base))
 }
 
 /// Drive VNF enrollment (steps 3–5) against a remote agent. Time comes
@@ -699,7 +699,7 @@ fn remote_attest_host_inner(
 /// delivered, the issued certificate is revoked and the enrollment rolled
 /// back, so no half-provisioned state survives a mid-transfer fault.
 pub fn remote_enroll_vnf(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
@@ -714,7 +714,7 @@ pub fn remote_enroll_vnf(
 /// children of `trace`.
 #[allow(clippy::too_many_arguments)]
 pub fn remote_enroll_vnf_traced(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
@@ -723,19 +723,17 @@ pub fn remote_enroll_vnf_traced(
     trace: Option<&TraceContext>,
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
     let base = trace.cloned().unwrap_or_default();
-    let telemetry = vm.telemetry().clone();
-    vm.set_trace_context(Some(base.clone()));
+    let telemetry = vm.telemetry();
     ias.set_trace_context(Some(base.clone()));
     let result =
         remote_enroll_vnf_inner(vm, ias, network, host_id, vnf_name, controller_cn, &base, &telemetry);
     ias.set_trace_context(None);
-    vm.set_trace_context(None);
     result
 }
 
 #[allow(clippy::too_many_arguments)]
 fn remote_enroll_vnf_inner(
-    vm: &mut VerificationManager,
+    vm: &VmService,
     ias: &mut dyn QuoteVerifier,
     network: &Network,
     host_id: &str,
@@ -749,6 +747,8 @@ fn remote_enroll_vnf_inner(
             "attestation service unavailable; refusing to enroll {vnf_name}"
         )));
     }
+    // Shard locks are scoped inside each `vm.*` call: both agent hops in
+    // this flow run with no shard lock held.
     let challenge = vm.begin_vnf_attestation(host_id, vnf_name)?;
     let mut client = connect_agent(network, host_id)?;
 
@@ -782,8 +782,14 @@ fn remote_enroll_vnf_inner(
 
     // Steps 4-5: verify + generate + wrap (prepare), deliver through the
     // agent, and only then commit the enrollment.
-    let (serial, wrapped, certificate) =
-        vm.prepare_vnf_enrollment(ias, challenge.id, &quote, &provisioning_key, controller_cn)?;
+    let (serial, wrapped, certificate) = vm.prepare_vnf_enrollment_traced(
+        ias,
+        challenge.id,
+        &quote,
+        &provisioning_key,
+        controller_cn,
+        Some(base),
+    )?;
     let delivery = {
         let (agent_ctx, _span) =
             telemetry.trace_child(base, "vm", "agent_provision", vm.clock().now());
@@ -804,11 +810,11 @@ fn remote_enroll_vnf_inner(
     };
     match delivery {
         Ok(()) => {
-            vm.commit_vnf_enrollment(serial)?;
+            vm.commit_vnf_enrollment_traced(serial, Some(base))?;
             Ok(certificate)
         }
         Err(reason) => {
-            vm.abort_vnf_enrollment(serial, &reason)?;
+            vm.abort_vnf_enrollment_traced(serial, &reason, Some(base))?;
             Err(CoreError::ProvisioningRolledBack(format!(
                 "{vnf_name} serial {serial}: {reason}"
             )))
@@ -819,6 +825,22 @@ fn remote_enroll_vnf_inner(
 // ---------------------------------------------------------------------------
 // The VM's operator API
 // ---------------------------------------------------------------------------
+
+/// Map a manager error to an API error: a halted (crashed) or fenced
+/// manager is a zombie, and every route reports it as `503` with the
+/// machine-readable code `"fenced"` so clients can tell zombie rejection
+/// from overload; other errors fall through to the route's own mapping.
+fn fenced_or(error: CoreError, fallback: impl FnOnce(CoreError) -> ApiError) -> ApiError {
+    match &error {
+        CoreError::VmCrashed(_) => {
+            ApiError::unavailable(error.to_string()).with_code("fenced")
+        }
+        CoreError::ServiceUnavailable(detail) if detail.contains("fenced") => {
+            ApiError::unavailable(error.to_string()).with_code("fenced")
+        }
+        _ => fallback(error),
+    }
+}
 
 /// Serve the Verification Manager's operator API on the fabric.
 ///
@@ -866,19 +888,19 @@ fn remote_enroll_vnf_inner(
 pub fn serve_vm_api(
     network: &Network,
     address: &str,
-    vm: Arc<Mutex<VerificationManager>>,
+    vm: VmService,
     ias: Arc<Mutex<dyn QuoteVerifier + Send>>,
     controller_cn: &str,
 ) -> Result<ServerHandle, CoreError> {
     let mut router = Router::new();
     let controller_cn = controller_cn.to_string();
-    let telemetry = vm.lock().telemetry().clone();
+    let telemetry = vm.telemetry();
     router.instrument(
         telemetry.counter("vnfguard_core_api_requests_total"),
         telemetry.counter("vnfguard_core_api_request_errors_total"),
     );
     {
-        let clock = vm.lock().clock().clone();
+        let clock = vm.clock();
         router.instrument_traces(&telemetry, "vm_api", move || clock.now());
     }
 
@@ -889,11 +911,10 @@ pub fn serve_vm_api(
         router.post_api("/vm/hosts/:id/attest", move |request, params| {
             let host_id = params.get("id").unwrap_or("");
             let trace = request.trace_context();
-            let mut vm = vm.lock();
             let mut ias = ias.lock();
             let verdict =
-                remote_attest_host_traced(&mut vm, &mut *ias, &network, host_id, trace.as_ref())
-                    .map_err(|e| ApiError::forbidden(e.to_string()))?;
+                remote_attest_host_traced(&vm, &mut *ias, &network, host_id, trace.as_ref())
+                    .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object().with("verdict", format!("{verdict:?}")),
@@ -909,10 +930,9 @@ pub fn serve_vm_api(
             let host_id = params.get("id").unwrap_or("");
             let vnf_name = params.get("name").unwrap_or("");
             let trace = request.trace_context();
-            let mut vm = vm.lock();
             let mut ias = ias.lock();
             let cert = remote_enroll_vnf_traced(
-                &mut vm,
+                &vm,
                 &mut *ias,
                 &network,
                 host_id,
@@ -920,7 +940,7 @@ pub fn serve_vm_api(
                 &controller_cn,
                 trace.as_ref(),
             )
-            .map_err(|e| ApiError::forbidden(e.to_string()))?;
+            .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -937,12 +957,11 @@ pub fn serve_vm_api(
                 .get("serial")
                 .and_then(Json::as_i64)
                 .ok_or_else(|| ApiError::bad_request("missing 'serial'"))?;
-            let mut vm = vm.lock();
             vm.revoke_credential(
                 serial as u64,
                 vnfguard_pki::crl::RevocationReason::KeyCompromise,
             )
-            .map_err(|e| ApiError::not_found(e.to_string()))?;
+            .map_err(|e| fenced_or(e, |e| ApiError::not_found(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object().with("revoked", true),
@@ -961,15 +980,19 @@ pub fn serve_vm_api(
             let provisioning_key =
                 b64_array32(&body, "provisioning_key").map_err(ApiError::bad_request)?;
             let trace = request.trace_context();
-            let mut vm = vm.lock();
-            vm.set_trace_context(trace);
-            let result =
-                vm.renew_vnf_credential(serial as u64, &provisioning_key, &controller_cn);
-            vm.set_trace_context(None);
-            let (wrapped, cert) = result.map_err(|e| match e {
-                CoreError::WorkflowViolation(_) => ApiError::not_found(e.to_string()),
-                _ => ApiError::forbidden(e.to_string()),
-            })?;
+            let (wrapped, cert) = vm
+                .renew_vnf_credential_traced(
+                    serial as u64,
+                    &provisioning_key,
+                    &controller_cn,
+                    trace.as_ref(),
+                )
+                .map_err(|e| {
+                    fenced_or(e, |e| match e {
+                        CoreError::WorkflowViolation(_) => ApiError::not_found(e.to_string()),
+                        _ => ApiError::forbidden(e.to_string()),
+                    })
+                })?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -983,11 +1006,9 @@ pub fn serve_vm_api(
         let vm = vm.clone();
         router.post_api("/vm/rotate", move |request, _| {
             let trace = request.trace_context();
-            let mut vm = vm.lock();
-            vm.set_trace_context(trace);
-            let result = vm.rotate_ca();
-            vm.set_trace_context(None);
-            let rotation = result.map_err(|e| ApiError::forbidden(e.to_string()))?;
+            let rotation = vm
+                .rotate_ca_traced(trace.as_ref())
+                .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -999,7 +1020,6 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/ca", move |_, _| {
-            let vm = vm.lock();
             let mut body = Json::object()
                 .with("certificate", base64::encode(&vm.ca_certificate().encode()))
                 .with("epoch", vm.ca_epoch() as i64);
@@ -1032,10 +1052,9 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/crl", move |_, _| {
-            let mut vm = vm.lock();
             let crl = vm
                 .latest_crl()
-                .map_err(|e| ApiError::forbidden(e.to_string()))?;
+                .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -1047,7 +1066,6 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/lifecycle", move |_, _| {
-            let vm = vm.lock();
             let status = vm.lifecycle_status();
             let mut body = Json::object()
                 .with("at", status.at as i64)
@@ -1067,7 +1085,6 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/status", move |_, _| {
-            let vm = vm.lock();
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -1080,9 +1097,9 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/recovery", move |_, _| {
-            let vm = vm.lock();
-            let mut body = Json::object().with("recovered", vm.recovery_report().is_some());
-            if let Some(report) = vm.recovery_report() {
+            let report = vm.recovery_report();
+            let mut body = Json::object().with("recovered", report.is_some());
+            if let Some(report) = report {
                 body = body
                     .with("generation", report.generation as i64)
                     .with("recovered_at", report.at as i64)
@@ -1113,7 +1130,6 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         router.get_api("/vm/replication", move |_, _| {
-            let vm = vm.lock();
             // Reading the status refreshes the replication gauges, so a
             // metrics scrape right after this sees current lag numbers.
             let body = match vm.replication_status() {

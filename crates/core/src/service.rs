@@ -1,0 +1,644 @@
+//! [`VmService`]: the shard-routing service handle in front of the
+//! Verification Manager fleet.
+//!
+//! A deployment partitions enrollment, serial and renewal state across N
+//! [`VerificationManager`] shards keyed by VNF identity, while the CA key,
+//! the CRL number and the rotation epoch live on a single serialized
+//! *authority* shard (shard 0). `VmService` is the only surface callers
+//! see: it owns the routing table and one fine-grained lock per shard, so
+//! the per-connection handler threads of `serve_vm_api` execute manager
+//! work concurrently instead of convoying on one global mutex.
+//!
+//! Routing rules:
+//! - **VNF identity** picks the shard for `begin_vnf_attestation` (a
+//!   deterministic digest of the VNF name, mod shard count);
+//! - **challenge ids** and **serials** are allocated from disjoint
+//!   per-shard spans ([`shard_of_challenge`], [`shard_of_serial`]), so
+//!   every later workflow step self-routes back to the shard that began
+//!   it;
+//! - **host attestation, CA, CRL, rotation and operator certificates**
+//!   always go to the authority shard.
+//!
+//! Cross-shard coordination is explicit and small: host trust records
+//! established on the authority are propagated to the other shards (they
+//! gate shard-local enrollments and renewals), CA rotations committed on
+//! the authority are *adopted* (never independently performed) by the
+//! others, and the fleet CRL folds every shard's revocations into one
+//! authority-signed artifact. None of the adoption traffic is journaled —
+//! authority decisions appear only in the authority's WAL, and recovery
+//! re-adopts from the authority's replayed state (see
+//! `Testbed::recover_vm`).
+//!
+//! Every method takes `&self` and locks only the shard(s) it touches, for
+//! only as long as the manager call runs — in particular, no lock is ever
+//! held across a network call (the `remote` module's agent hops all happen
+//! between `VmService` calls).
+
+use crate::lifecycle::{CaRotation, LifecycleStatus, RenewalDue};
+use crate::manager::{
+    shard_of_challenge, shard_of_serial, Challenge, EnrollmentRecord, HostRecord,
+    PendingEnrollment, RecoveryReport, VerificationManager, VmEvent,
+};
+use crate::replication::ReplicationStatus;
+use crate::CoreError;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::Arc;
+use vnfguard_controller::SimClock;
+use vnfguard_crypto::sha2::sha256;
+use vnfguard_ias::QuoteVerifier;
+use vnfguard_ima::appraisal::Verdict;
+use vnfguard_pki::cert::Certificate;
+use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
+use vnfguard_sgx::measurement::Measurement;
+use vnfguard_store::StoreStats;
+use vnfguard_telemetry::{Telemetry, TraceContext};
+
+/// Deterministic shard index for a VNF name: the first eight bytes of a
+/// domain-separated digest, mod the shard count. Stable across runs and
+/// incarnations, so a VNF's enrollment state always lives on one shard.
+pub fn shard_of_vnf(vnf_name: &str, shard_count: usize) -> usize {
+    if shard_count <= 1 {
+        return 0;
+    }
+    let digest = sha256(&[b"vnfguard-shard-route-v1\0", vnf_name.as_bytes()].concat());
+    let word = u64::from_be_bytes(digest[..8].try_into().expect("sha256 is 32 bytes"));
+    (word % shard_count as u64) as usize
+}
+
+/// Cloneable handle over the sharded Verification Manager fleet. See the
+/// module docs for the routing and coordination rules.
+#[derive(Clone)]
+pub struct VmService {
+    shards: Arc<Vec<Mutex<VerificationManager>>>,
+}
+
+impl VmService {
+    /// Wrap a single manager (the unsharded deployment). Bit-for-bit
+    /// identical behavior to calling the manager directly.
+    pub fn single(vm: VerificationManager) -> VmService {
+        VmService::from_shards(vec![vm])
+    }
+
+    /// Wrap an already-constructed shard fleet. Shard 0 is the authority;
+    /// every manager must have been configured with
+    /// [`VerificationManager::set_shard`] for its position.
+    pub fn from_shards(shards: Vec<VerificationManager>) -> VmService {
+        assert!(!shards.is_empty(), "a VmService needs at least one shard");
+        VmService {
+            shards: Arc::new(shards.into_iter().map(Mutex::new).collect()),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The mutex guarding one shard — for the deployment layer, which
+    /// swaps recovered incarnations in place (so every clone of this
+    /// handle, including the one inside `serve_vm_api`, sees the new
+    /// incarnation on its next request).
+    pub(crate) fn shard_mutex(&self, index: usize) -> &Mutex<VerificationManager> {
+        &self.shards[index]
+    }
+
+    fn authority(&self) -> MutexGuard<'_, VerificationManager> {
+        self.shards[0].lock()
+    }
+
+    fn shard_for_vnf(&self, vnf_name: &str) -> usize {
+        shard_of_vnf(vnf_name, self.shards.len())
+    }
+
+    /// Serials outside every shard's span (garbage input) route to the
+    /// authority, which answers "no such enrollment".
+    fn shard_for_serial(&self, serial: u64) -> usize {
+        (shard_of_serial(serial) as usize).min(self.shards.len() - 1)
+    }
+
+    fn shard_for_challenge(&self, challenge_id: u64) -> usize {
+        (shard_of_challenge(challenge_id) as usize).min(self.shards.len() - 1)
+    }
+
+    /// Run `f` on shard `index` with the manager's trace context scoped to
+    /// `trace` for exactly the duration of the call (all under one lock
+    /// hold, so concurrent requests cannot cross-contaminate contexts).
+    fn with_shard_traced<R>(
+        &self,
+        index: usize,
+        trace: Option<&TraceContext>,
+        f: impl FnOnce(&mut VerificationManager) -> R,
+    ) -> R {
+        let mut vm = self.shards[index].lock();
+        if let Some(ctx) = trace {
+            vm.set_trace_context(Some(ctx.clone()));
+        }
+        let result = f(&mut vm);
+        if trace.is_some() {
+            vm.set_trace_context(None);
+        }
+        result
+    }
+
+    /// Copy the authority's host trust records to every other shard.
+    /// Shard-local enrollment and renewal checks (`host_is_trusted`) read
+    /// the local copy; verdicts are volatile by design, so propagation is
+    /// not journaled and does not survive recovery — hosts re-attest.
+    fn sync_host_records(&self) {
+        if self.shards.len() == 1 {
+            return;
+        }
+        let records = self.authority().host_records();
+        for shard in &self.shards[1..] {
+            let mut vm = shard.lock();
+            for record in &records {
+                vm.adopt_host_record(record.clone());
+            }
+        }
+    }
+
+    /// Collect the non-authority shards' revocation entries and whether
+    /// any of them has revocations not yet folded into a distributed CRL.
+    fn gather_remote_revocations(&self) -> (Vec<CrlEntry>, bool) {
+        let mut extras = Vec::new();
+        let mut any_dirty = false;
+        for shard in &self.shards[1..] {
+            let vm = shard.lock();
+            any_dirty |= vm.crl_dirty();
+            extras.extend(vm.revoked_entries());
+        }
+        (extras, any_dirty)
+    }
+
+    fn clear_remote_dirty(&self) {
+        for shard in &self.shards[1..] {
+            shard.lock().clear_crl_dirty();
+        }
+    }
+
+    // ---- Host attestation (authority shard) -------------------------------
+
+    /// Register a host TPM AIK ahead of attestation.
+    pub fn register_host_tpm(
+        &self,
+        host_id: &str,
+        aik: vnfguard_crypto::ed25519::VerifyingKey,
+    ) {
+        self.authority().register_host_tpm(host_id, aik);
+        self.sync_host_records();
+    }
+
+    /// Step 1: challenge a container host.
+    pub fn begin_host_attestation(&self, host_id: &str) -> Challenge {
+        self.authority().begin_host_attestation(host_id)
+    }
+
+    /// Step 2: verify and appraise host evidence. The resulting trust
+    /// record is propagated to every shard.
+    pub fn complete_host_attestation(
+        &self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        evidence: &crate::attestation::HostEvidence,
+    ) -> Result<Verdict, CoreError> {
+        self.complete_host_attestation_traced(ias, challenge_id, evidence, None)
+    }
+
+    pub(crate) fn complete_host_attestation_traced(
+        &self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        evidence: &crate::attestation::HostEvidence,
+        trace: Option<&TraceContext>,
+    ) -> Result<Verdict, CoreError> {
+        let verdict = self.with_shard_traced(0, trace, |vm| {
+            vm.complete_host_attestation(ias, challenge_id, evidence)
+        })?;
+        self.sync_host_records();
+        Ok(verdict)
+    }
+
+    /// Policy-gated reuse of a cached host verdict when the attestation
+    /// service is unreachable.
+    pub fn degraded_host_verdict(&self, host_id: &str) -> Result<Verdict, CoreError> {
+        self.degraded_host_verdict_traced(host_id, None)
+    }
+
+    pub(crate) fn degraded_host_verdict_traced(
+        &self,
+        host_id: &str,
+        trace: Option<&TraceContext>,
+    ) -> Result<Verdict, CoreError> {
+        self.with_shard_traced(0, trace, |vm| vm.degraded_host_verdict(host_id))
+    }
+
+    /// Platform-compromise response: every shard revokes its own
+    /// credentials for the host and flips its local trust record.
+    pub fn revoke_host(&self, host_id: &str) -> usize {
+        let mut revoked = 0;
+        for shard in self.shards.iter() {
+            revoked += shard.lock().revoke_host(host_id);
+        }
+        revoked
+    }
+
+    pub fn host_record(&self, host_id: &str) -> Option<HostRecord> {
+        self.authority().host_record(host_id).cloned()
+    }
+
+    // ---- VNF enrollment (routed shards) -----------------------------------
+
+    /// Step 3: initiate VNF attestation on the shard that owns this VNF's
+    /// identity. The returned challenge id self-routes the later steps.
+    pub fn begin_vnf_attestation(
+        &self,
+        host_id: &str,
+        vnf_name: &str,
+    ) -> Result<Challenge, CoreError> {
+        let shard = self.shard_for_vnf(vnf_name);
+        self.shards[shard].lock().begin_vnf_attestation(host_id, vnf_name)
+    }
+
+    /// Steps 4–5 in one shot (prepare + commit).
+    pub fn complete_vnf_enrollment(
+        &self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let shard = self.shard_for_challenge(challenge_id);
+        self.shards[shard].lock().complete_vnf_enrollment(
+            ias,
+            challenge_id,
+            quote_bytes,
+            provisioning_key,
+            controller_cn,
+        )
+    }
+
+    /// Phase one of two-phase enrollment; the returned serial is the
+    /// commit token (and routes the commit/abort back here).
+    pub fn prepare_vnf_enrollment(
+        &self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        self.prepare_vnf_enrollment_traced(
+            ias,
+            challenge_id,
+            quote_bytes,
+            provisioning_key,
+            controller_cn,
+            None,
+        )
+    }
+
+    pub(crate) fn prepare_vnf_enrollment_traced(
+        &self,
+        ias: &mut dyn QuoteVerifier,
+        challenge_id: u64,
+        quote_bytes: &[u8],
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        trace: Option<&TraceContext>,
+    ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        let shard = self.shard_for_challenge(challenge_id);
+        self.with_shard_traced(shard, trace, |vm| {
+            vm.prepare_vnf_enrollment(ias, challenge_id, quote_bytes, provisioning_key, controller_cn)
+        })
+    }
+
+    pub fn commit_vnf_enrollment(&self, serial: u64) -> Result<(), CoreError> {
+        self.commit_vnf_enrollment_traced(serial, None)
+    }
+
+    pub(crate) fn commit_vnf_enrollment_traced(
+        &self,
+        serial: u64,
+        trace: Option<&TraceContext>,
+    ) -> Result<(), CoreError> {
+        let shard = self.shard_for_serial(serial);
+        self.with_shard_traced(shard, trace, |vm| vm.commit_vnf_enrollment(serial))
+    }
+
+    pub fn abort_vnf_enrollment(&self, serial: u64, reason: &str) -> Result<(), CoreError> {
+        self.abort_vnf_enrollment_traced(serial, reason, None)
+    }
+
+    pub(crate) fn abort_vnf_enrollment_traced(
+        &self,
+        serial: u64,
+        reason: &str,
+        trace: Option<&TraceContext>,
+    ) -> Result<(), CoreError> {
+        let shard = self.shard_for_serial(serial);
+        self.with_shard_traced(shard, trace, |vm| vm.abort_vnf_enrollment(serial, reason))
+    }
+
+    /// Enrollments issued but not yet committed, across all shards.
+    pub fn pending_enrollments(&self) -> impl Iterator<Item = PendingEnrollment> {
+        let mut pending = Vec::new();
+        for shard in self.shards.iter() {
+            pending.extend(shard.lock().pending_enrollments().cloned().collect::<Vec<_>>());
+        }
+        pending.into_iter()
+    }
+
+    /// Expire prepared-but-uncommitted enrollments on every shard; returns
+    /// the fleet-wide count.
+    pub fn sweep_pending_enrollments(&self) -> Result<usize, CoreError> {
+        let mut swept = 0;
+        for shard in self.shards.iter() {
+            swept += shard.lock().sweep_pending_enrollments()?;
+        }
+        Ok(swept)
+    }
+
+    /// Every shard's enrollment records (authority first, then shards in
+    /// ascending order — the same deterministic order recovery replays).
+    pub fn enrollments(&self) -> impl Iterator<Item = EnrollmentRecord> {
+        let mut records = Vec::new();
+        for shard in self.shards.iter() {
+            records.extend(shard.lock().enrollments().cloned().collect::<Vec<_>>());
+        }
+        records.into_iter()
+    }
+
+    // ---- Renewal and revocation -------------------------------------------
+
+    /// Renew a live credential by serial on the shard that issued it.
+    pub fn renew_vnf_credential(
+        &self,
+        serial: u64,
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        self.renew_vnf_credential_traced(serial, provisioning_key, controller_cn, None)
+    }
+
+    /// [`renew_vnf_credential`](Self::renew_vnf_credential) with the
+    /// manager's workflow span parented under `trace`.
+    pub fn renew_vnf_credential_traced(
+        &self,
+        serial: u64,
+        provisioning_key: &[u8; 32],
+        controller_cn: &str,
+        trace: Option<&TraceContext>,
+    ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let shard = self.shard_for_serial(serial);
+        self.with_shard_traced(shard, trace, |vm| {
+            vm.renew_vnf_credential(serial, provisioning_key, controller_cn)
+        })
+    }
+
+    pub fn revoke_credential(
+        &self,
+        serial: u64,
+        reason: RevocationReason,
+    ) -> Result<(), CoreError> {
+        let shard = self.shard_for_serial(serial);
+        self.shards[shard].lock().revoke_credential(serial, reason)
+    }
+
+    pub fn credential_is_revoked(&self, serial: u64) -> bool {
+        let shard = self.shard_for_serial(serial);
+        self.shards[shard].lock().credential_is_revoked(serial)
+    }
+
+    /// Credentials inside their renewal window, across all shards.
+    pub fn certs_expiring(&self) -> Vec<RenewalDue> {
+        let mut due = Vec::new();
+        for shard in self.shards.iter() {
+            due.extend(shard.lock().certs_expiring());
+        }
+        due
+    }
+
+    // ---- CA, CRL and rotation (authority shard) ---------------------------
+
+    pub fn ca_certificate(&self) -> Certificate {
+        self.authority().ca_certificate().clone()
+    }
+
+    pub fn ca_epoch(&self) -> u64 {
+        self.authority().ca_epoch()
+    }
+
+    pub fn ca_cross_signed(&self) -> Option<Certificate> {
+        self.authority().ca_cross_signed().cloned()
+    }
+
+    pub fn ca_previous_roots(&self) -> Vec<Certificate> {
+        self.authority().ca_previous_roots().to_vec()
+    }
+
+    pub fn ca_rotation_chain(&self) -> Vec<(u64, Certificate, Certificate)> {
+        self.authority().ca_rotation_chain()
+    }
+
+    pub fn rotation_drain_deadline(&self) -> Option<u64> {
+        self.authority().rotation_drain_deadline()
+    }
+
+    /// Rotate the authority's CA key; every other shard then adopts the
+    /// committed epoch so its future issuance is signed by the new key. A
+    /// crashed shard skips adoption here and re-adopts during recovery.
+    pub fn rotate_ca(&self) -> Result<CaRotation, CoreError> {
+        self.rotate_ca_traced(None)
+    }
+
+    /// [`rotate_ca`](Self::rotate_ca) with the rotation span parented
+    /// under `trace`.
+    pub fn rotate_ca_traced(
+        &self,
+        trace: Option<&TraceContext>,
+    ) -> Result<CaRotation, CoreError> {
+        let (rotation, rotated_at) = self.with_shard_traced(0, trace, |vm| {
+            let rotated_at = vm.clock().now();
+            vm.rotate_ca().map(|rotation| (rotation, rotated_at))
+        })?;
+        for shard in &self.shards[1..] {
+            let _ = shard.lock().adopt_rotation(
+                rotation.epoch,
+                rotation.new_root.serial(),
+                rotation.cross_signed.serial(),
+                rotated_at,
+            );
+        }
+        Ok(rotation)
+    }
+
+    /// Mint a fresh fleet CRL: the authority journals the number bump and
+    /// signs its own revocations merged with every other shard's.
+    pub fn issue_crl(&self) -> Result<Crl, CoreError> {
+        let (extras, _) = self.gather_remote_revocations();
+        let crl = self.authority().issue_crl_merged(&extras)?;
+        self.clear_remote_dirty();
+        Ok(crl)
+    }
+
+    /// The fleet CRL to serve to polling relying parties: the cached copy
+    /// unless any shard has revocations (or a rotation) not yet covered.
+    pub fn latest_crl(&self) -> Result<Crl, CoreError> {
+        let (extras, any_dirty) = self.gather_remote_revocations();
+        let crl = {
+            let mut authority = self.authority();
+            if any_dirty {
+                authority.issue_crl_merged(&extras)
+            } else {
+                authority.latest_crl_merged(&extras)
+            }
+        }?;
+        self.clear_remote_dirty();
+        Ok(crl)
+    }
+
+    /// Read-only preview of the fleet CRL (no journaling, no number bump).
+    pub fn current_crl(&self, lifetime_secs: u64) -> Crl {
+        let (extras, _) = self.gather_remote_revocations();
+        self.authority().current_crl_merged(&extras, lifetime_secs)
+    }
+
+    pub fn issue_client_certificate(
+        &self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
+    ) -> Certificate {
+        self.authority().issue_client_certificate(cn, public_key)
+    }
+
+    pub fn issue_server_certificate(
+        &self,
+        cn: &str,
+        public_key: vnfguard_crypto::ed25519::VerifyingKey,
+    ) -> Certificate {
+        self.authority().issue_server_certificate(cn, public_key)
+    }
+
+    // ---- Deployment trust inputs ------------------------------------------
+
+    /// Whitelist a credential-enclave measurement on every shard (any
+    /// shard may be asked to enroll this VNF).
+    pub fn trust_enclave(&self, measurement: Measurement, label: &str) {
+        for shard in self.shards.iter() {
+            shard.lock().trust_enclave(measurement, label);
+        }
+    }
+
+    /// Whitelist the integrity attestation enclave on every shard.
+    pub fn trust_integrity_enclave(&self, measurement: Measurement, label: &str) {
+        for shard in self.shards.iter() {
+            shard.lock().trust_integrity_enclave(measurement, label);
+        }
+    }
+
+    /// Allow a host file's content in every shard's reference database.
+    pub fn allow_reference_content(&self, path: &str, content: &[u8]) {
+        for shard in self.shards.iter() {
+            shard.lock().reference_db_mut().allow_content(path, content);
+        }
+    }
+
+    // ---- Operator surface --------------------------------------------------
+
+    pub fn hmac_tag(&self, message: &[u8]) -> [u8; 32] {
+        self.authority().hmac_tag(message)
+    }
+
+    pub fn share_hmac_key(&self) -> [u8; 32] {
+        self.authority().share_hmac_key()
+    }
+
+    /// Short identity fingerprint of the authority CA, for logs.
+    pub fn fingerprint(&self) -> String {
+        self.authority().fingerprint()
+    }
+
+    /// Credentials issued fleet-wide (per-shard allocators live in
+    /// disjoint serial spans; counts simply add).
+    pub fn issued_count(&self) -> u64 {
+        self.shards.iter().map(|shard| shard.lock().issued_count()).sum()
+    }
+
+    /// The audit journal (shared telemetry; one journal for the fleet).
+    pub fn events(&self) -> Vec<VmEvent> {
+        self.authority().events()
+    }
+
+    /// Fleet lifecycle posture: per-shard active/expiring counts summed,
+    /// CA/CRL/rotation posture from the authority.
+    pub fn lifecycle_status(&self) -> LifecycleStatus {
+        let mut status = self.authority().lifecycle_status();
+        for shard in &self.shards[1..] {
+            let shard_status = shard.lock().lifecycle_status();
+            status.active += shard_status.active;
+            status.expiring += shard_status.expiring;
+        }
+        status
+    }
+
+    /// Node-loss injection: halt every shard in place.
+    pub fn halt(&self, reason: &str) {
+        for shard in self.shards.iter() {
+            shard.lock().halt(reason);
+        }
+    }
+
+    /// The crash site that halted a shard, if any (authority first).
+    pub fn crashed_site(&self) -> Option<String> {
+        self.shards
+            .iter()
+            .find_map(|shard| shard.lock().crashed_site().map(str::to_string))
+    }
+
+    pub fn clock(&self) -> SimClock {
+        self.authority().clock().clone()
+    }
+
+    pub fn telemetry(&self) -> Telemetry {
+        self.authority().telemetry().clone()
+    }
+
+    /// Scope subsequent manager work on every shard to a trace context.
+    /// Prefer the `*_traced` call forms for request-scoped tracing; this
+    /// exists for single-threaded harnesses.
+    pub fn set_trace_context(&self, ctx: Option<TraceContext>) {
+        for shard in self.shards.iter() {
+            shard.lock().set_trace_context(ctx.clone());
+        }
+    }
+
+    /// The authority's last recovery report, if it was recovered.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.authority().recovery_report().cloned()
+    }
+
+    /// Authority-shard sealed-store occupancy.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.authority().store_stats()
+    }
+
+    /// Authority-shard replication posture.
+    pub fn replication_status(&self) -> Option<ReplicationStatus> {
+        self.authority().replication_status()
+    }
+
+    /// Emit a replication heartbeat from every shard's primary handle.
+    pub fn replication_heartbeat(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().replication_heartbeat();
+        }
+    }
+}
+
+impl std::fmt::Debug for VmService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VmService")
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}

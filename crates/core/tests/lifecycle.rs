@@ -317,6 +317,7 @@ fn monitor_distributes_rotations_and_crls() {
         .unwrap();
     let mut monitor = LifecycleMonitor::new(
         tb.network.clone(),
+        tb.clock.clone(),
         "vm:8443",
         "controller",
         trust,
@@ -326,16 +327,15 @@ fn monitor_distributes_rotations_and_crls() {
 
     // Publish the VM behind its operator API.
     let network = tb.network.clone();
-    let vm = Arc::new(Mutex::new(tb.take_vm()));
     let ias = std::mem::replace(&mut tb.ias, vnfguard_ias::AttestationService::new(b"x"));
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", tb.vm_service(), ias, "controller").unwrap();
 
     // First tick: no rotation yet, CRL number 1 installed.
-    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    let tick = monitor.tick().unwrap();
     assert_eq!(tick.adopted_epoch, None);
     assert_eq!(tick.crl_installed, Some(1));
-    assert_eq!(monitor.crl_age_at(tb.clock.now()), Some(0));
+    assert_eq!(monitor.crl_age(), Some(0));
     tb.clock.advance(1);
     tb.open_session(&mut guard).unwrap();
 
@@ -354,26 +354,28 @@ fn monitor_distributes_rotations_and_crls() {
     tb.clock.advance(1);
     tb.open_session(&mut guard).unwrap();
 
-    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    let tick = monitor.tick().unwrap();
     assert_eq!(tick.crl_installed, Some(2));
     tb.clock.advance(1);
     assert!(tb.open_session(&mut guard).is_err());
 
     // Polling again without new revocations re-serves number 2: GET
     // /vm/crl is a read, not a fresh issuance per request.
-    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    let tick = monitor.tick().unwrap();
     assert_eq!(tick.crl_installed, Some(2));
 
     // Rotate through the API; the monitor verifies the cross-signed
     // handover and adopts epoch 1, then retires the old root after drain.
     let response = client.request(&Request::post("/vm/rotate")).unwrap();
     assert!(response.status.is_success(), "{:?}", response.status.code());
-    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    let tick = monitor.tick().unwrap();
     assert_eq!(tick.adopted_epoch, Some(1));
     assert_eq!(monitor.known_epoch(), 1);
     let deadline = monitor.drain_deadline().unwrap();
-    assert_eq!(monitor.enforce_drain_at(deadline), 0); // window still open
-    assert_eq!(monitor.enforce_drain_at(deadline + 1), 1);
+    tb.clock.set(deadline);
+    assert_eq!(monitor.enforce_drain(), 0); // window still open
+    tb.clock.set(deadline + 1);
+    assert_eq!(monitor.enforce_drain(), 1);
 }
 
 #[test]
@@ -392,6 +394,7 @@ fn monitor_catches_up_after_missed_rotations() {
         .unwrap();
     let mut monitor = LifecycleMonitor::new(
         tb.network.clone(),
+        tb.clock.clone(),
         "vm:8443",
         "controller",
         trust,
@@ -399,12 +402,11 @@ fn monitor_catches_up_after_missed_rotations() {
         &issuer_cn,
     );
     let network = tb.network.clone();
-    let vm = Arc::new(Mutex::new(tb.take_vm()));
     let ias = std::mem::replace(&mut tb.ias, vnfguard_ias::AttestationService::new(b"x"));
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", tb.vm_service(), ias, "controller").unwrap();
 
-    monitor.tick_at(tb.clock.now()).unwrap();
+    monitor.tick().unwrap();
     assert_eq!(monitor.known_epoch(), 0);
 
     // Two rotations land while the monitor is offline. Epoch 2's handover
@@ -417,7 +419,7 @@ fn monitor_catches_up_after_missed_rotations() {
         assert!(response.status.is_success(), "{:?}", response.status.code());
     }
 
-    let tick = monitor.tick_at(tb.clock.now()).unwrap();
+    let tick = monitor.tick().unwrap();
     assert_eq!(tick.adopted_epoch, Some(2));
     assert_eq!(monitor.known_epoch(), 2);
     // The catch-up CRL is signed by the epoch-2 key anchored moments
@@ -430,7 +432,8 @@ fn monitor_catches_up_after_missed_rotations() {
     tb.open_session(&mut guard).unwrap();
     // ...and BOTH displaced roots retire together at the deadline.
     let deadline = monitor.drain_deadline().unwrap();
-    assert_eq!(monitor.enforce_drain_at(deadline + 1), 2);
+    tb.clock.set(deadline + 1);
+    assert_eq!(monitor.enforce_drain(), 2);
     tb.clock.advance(1);
     assert!(tb.open_session(&mut guard).is_err());
 }

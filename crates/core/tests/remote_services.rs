@@ -6,7 +6,6 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use vnfguard_core::deployment::TestbedBuilder;
-use vnfguard_core::manager::VerificationManager;
 use vnfguard_core::remote::{
     remote_attest_host, remote_enroll_vnf, serve_ias, serve_vm_api, HostAgent, HostAgentState,
     RemoteIas,
@@ -79,7 +78,7 @@ fn networked_attestation_and_enrollment() {
     // Steps 1-2 across the fabric (VM → agent → integrity enclave → QE,
     // then VM → remote IAS).
     let verdict = remote_attest_host(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
@@ -89,7 +88,7 @@ fn networked_attestation_and_enrollment() {
 
     // Steps 3-5 across the fabric.
     let certificate: Certificate = remote_enroll_vnf(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
@@ -111,14 +110,14 @@ fn networked_attestation_and_enrollment() {
 fn networked_enrollment_of_unknown_vnf_fails() {
     let mut world = remote_world(b"remote world 2");
     remote_attest_host(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
     )
     .unwrap();
     let err = remote_enroll_vnf(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
@@ -131,7 +130,7 @@ fn networked_enrollment_of_unknown_vnf_fails() {
 
 #[test]
 fn unreachable_ias_fails_closed() {
-    let mut world = remote_world(b"remote world 3");
+    let world = remote_world(b"remote world 3");
     // Point the client at an address nobody serves.
     let mut dead_ias = RemoteIas::new(
         &world.testbed.network,
@@ -139,7 +138,7 @@ fn unreachable_ias_fails_closed() {
         world.remote_ias.report_signing_key(),
     );
     let err = remote_attest_host(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut dead_ias,
         &world.testbed.network,
         "host-0",
@@ -157,10 +156,10 @@ fn operator_api_drives_the_workflow() {
     let world = remote_world(b"remote world 4");
     let network = world.testbed.network.clone();
 
-    // Wrap VM + IAS for the API service.
-    let vm: Arc<Mutex<VerificationManager>> = Arc::new(Mutex::new(world.testbed.vm));
+    // Hand the service handle + wrapped IAS to the API server.
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(world.remote_ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", world.testbed.vm_service(), ias, "controller")
+        .unwrap();
 
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
 

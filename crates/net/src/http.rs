@@ -56,6 +56,7 @@ pub enum Status {
     NotFound,
     Conflict,
     ServerError,
+    ServiceUnavailable,
 }
 
 impl Status {
@@ -70,6 +71,7 @@ impl Status {
             Status::NotFound => 404,
             Status::Conflict => 409,
             Status::ServerError => 500,
+            Status::ServiceUnavailable => 503,
         }
     }
 
@@ -84,6 +86,7 @@ impl Status {
             Status::NotFound => "Not Found",
             Status::Conflict => "Conflict",
             Status::ServerError => "Internal Server Error",
+            Status::ServiceUnavailable => "Service Unavailable",
         }
     }
 
@@ -97,6 +100,7 @@ impl Status {
             403 => Status::Forbidden,
             404 => Status::NotFound,
             409 => Status::Conflict,
+            503 => Status::ServiceUnavailable,
             _ => Status::ServerError,
         }
     }

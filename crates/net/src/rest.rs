@@ -17,24 +17,48 @@ impl PathParams {
     }
 }
 
-/// A handler-level API error: a status code plus a message that the single
-/// `From<ApiError> for Response` mapping renders as `{"error": message}`.
+/// A handler-level API error: a status code, a machine-readable error
+/// code, and a human-readable detail. The single `From<ApiError> for
+/// Response` mapping renders it as `{"code": code, "detail": detail}` —
+/// clients branch on `code` (stable identifiers like `"fenced"` or
+/// `"not_found"`) and log `detail`.
 ///
 /// Handlers registered through [`Router::get_api`] and friends return
 /// [`ApiResult`] and use `?` on fallible steps instead of hand-building
-/// error responses at every exit point.
+/// error responses at every exit point. Each constructor sets a default
+/// code matching its status; [`with_code`](Self::with_code) refines it
+/// when one status covers several client-distinguishable conditions (a
+/// 503 from a fenced zombie is not a 503 from overload).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ApiError {
     pub status: Status,
+    pub code: String,
     pub message: String,
 }
 
 impl ApiError {
     pub fn new(status: Status, message: impl Into<String>) -> ApiError {
+        let code = match status {
+            Status::BadRequest => "bad_request",
+            Status::Unauthorized => "unauthorized",
+            Status::Forbidden => "forbidden",
+            Status::NotFound => "not_found",
+            Status::Conflict => "conflict",
+            Status::ServiceUnavailable => "unavailable",
+            _ => "server_error",
+        };
         ApiError {
             status,
+            code: code.to_string(),
             message: message.into(),
         }
+    }
+
+    /// Override the machine-readable code (e.g. `"fenced"` on a 503 from a
+    /// deposed primary).
+    pub fn with_code(mut self, code: impl Into<String>) -> ApiError {
+        self.code = code.into();
+        self
     }
 
     pub fn bad_request(message: impl Into<String>) -> ApiError {
@@ -60,17 +84,34 @@ impl ApiError {
     pub fn server_error(message: impl Into<String>) -> ApiError {
         ApiError::new(Status::ServerError, message)
     }
+
+    /// A 503 for a backend that cannot serve the request right now.
+    pub fn unavailable(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::ServiceUnavailable, message)
+    }
 }
 
 impl std::fmt::Display for ApiError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} {}: {}", self.status.code(), self.status.reason(), self.message)
+        write!(
+            f,
+            "{} {} [{}]: {}",
+            self.status.code(),
+            self.status.reason(),
+            self.code,
+            self.message
+        )
     }
 }
 
 impl From<ApiError> for Response {
     fn from(error: ApiError) -> Response {
-        Response::error(error.status, &error.message)
+        Response::json(
+            error.status,
+            &vnfguard_encoding::Json::object()
+                .with("code", error.code.as_str())
+                .with("detail", error.message.as_str()),
+        )
     }
 }
 
@@ -437,9 +478,25 @@ mod tests {
     fn api_error_maps_to_json_error_response() {
         let response: Response = ApiError::forbidden("quote rejected").into();
         assert_eq!(response.status, Status::Forbidden);
+        let body = response.parse_json().unwrap();
+        assert_eq!(body.get("code").and_then(Json::as_str), Some("forbidden"));
         assert_eq!(
-            response.parse_json().unwrap().get("error").and_then(Json::as_str),
+            body.get("detail").and_then(Json::as_str),
             Some("quote rejected")
+        );
+    }
+
+    #[test]
+    fn api_error_codes_are_overridable() {
+        let fenced = ApiError::unavailable("a newer primary holds the epoch").with_code("fenced");
+        assert_eq!(fenced.status.code(), 503);
+        let response: Response = fenced.into();
+        assert_eq!(response.status, Status::ServiceUnavailable);
+        let body = response.parse_json().unwrap();
+        assert_eq!(body.get("code").and_then(Json::as_str), Some("fenced"));
+        assert_eq!(
+            body.get("detail").and_then(Json::as_str),
+            Some("a newer primary holds the epoch")
         );
     }
 
@@ -461,7 +518,7 @@ mod tests {
         let miss = r.dispatch(&Request::get("/vm/vnf/vnf-9"));
         assert_eq!(miss.status, Status::NotFound);
         assert_eq!(
-            miss.parse_json().unwrap().get("error").and_then(Json::as_str),
+            miss.parse_json().unwrap().get("detail").and_then(Json::as_str),
             Some("unknown vnf vnf-9")
         );
     }

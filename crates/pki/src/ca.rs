@@ -231,6 +231,36 @@ impl CertificateAuthority {
         self.current_crl(now, lifetime_secs)
     }
 
+    /// Like [`current_crl`](Self::current_crl) but merging `extra`
+    /// revocation entries into the signed list — the sharded deployment's
+    /// authority CA folds the other shards' revocations in here, so one
+    /// signed CRL still covers the whole fleet. Duplicate serials keep the
+    /// authority's own entry.
+    pub fn current_crl_with(&self, extra: &[CrlEntry], now: u64, lifetime_secs: u64) -> Crl {
+        let mut merged: std::collections::BTreeMap<u64, CrlEntry> = extra
+            .iter()
+            .map(|entry| (entry.serial, *entry))
+            .collect();
+        for entry in self.revoked.values() {
+            merged.insert(entry.serial, *entry);
+        }
+        Crl::build(
+            self.certificate.tbs.subject.clone(),
+            now,
+            now.saturating_add(lifetime_secs),
+            self.crl_number,
+            merged.into_values(),
+            &self.key,
+        )
+    }
+
+    /// [`issue_crl`](Self::issue_crl) with merged `extra` entries: bumps
+    /// the monotonic counter and signs the fleet-wide list.
+    pub fn issue_crl_with(&mut self, extra: &[CrlEntry], now: u64, lifetime_secs: u64) -> Crl {
+        self.crl_number += 1;
+        self.current_crl_with(extra, now, lifetime_secs)
+    }
+
     /// Serials currently in the revocation registry, with their entries.
     pub fn revoked_entries(&self) -> impl Iterator<Item = &CrlEntry> {
         self.revoked.values()

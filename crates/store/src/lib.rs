@@ -124,6 +124,8 @@ pub struct StateStore {
     vault: Arc<StateVault>,
     /// Auto-compact once the log holds this many frames (`None`: manual).
     compact_every: Option<u64>,
+    /// Coalesce [`StateStore::append_group`] calls into one group frame.
+    group_commit: bool,
     /// Replication tap; shared by all clones of this store.
     observer: Arc<Mutex<Option<Arc<dyn AppendObserver>>>>,
 }
@@ -134,6 +136,7 @@ impl StateStore {
             media,
             vault: Arc::new(vault),
             compact_every: None,
+            group_commit: false,
             observer: Arc::new(Mutex::new(None)),
         }
     }
@@ -157,6 +160,20 @@ impl StateStore {
         self
     }
 
+    /// Enable (or disable) group commit: [`StateStore::append_group`]
+    /// coalesces its records into one group frame — one device flush —
+    /// instead of one frame per record. Off by default; replay is
+    /// byte-for-byte the same either way for an untorn log.
+    pub fn with_group_commit(mut self, enabled: bool) -> StateStore {
+        self.group_commit = enabled;
+        self
+    }
+
+    /// Whether group commit is enabled on this handle.
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
     /// Seal `record` and append it to the log — the WAL-before-response
     /// step. Returns only once the frame is on the medium and any
     /// installed [`AppendObserver`] has accepted it.
@@ -168,6 +185,41 @@ impl StateStore {
             observer
                 .appended(record)
                 .map_err(StoreError::Rejected)?;
+        }
+        if let Some(every) = self.compact_every {
+            if self.media.frame_count() >= every {
+                self.compact()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Journal a whole workflow's records in one flush. With group commit
+    /// enabled the records are sealed individually and coalesced into one
+    /// group frame (one device write; a tear drops all or none of them);
+    /// with it disabled this degrades to sequential [`StateStore::append`]
+    /// calls. Either way the [`AppendObserver`] sees every record in order
+    /// before the call returns, preserving WAL-and-stream-before-response.
+    pub fn append_group(&self, records: &[WalRecord]) -> Result<(), StoreError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        if !self.group_commit {
+            for record in records {
+                self.append(record)?;
+            }
+            return Ok(());
+        }
+        let mut sealed = Vec::with_capacity(records.len());
+        for record in records {
+            sealed.push(self.vault.seal(PayloadKind::Record, &record.encode())?);
+        }
+        self.media.append_group_frame(&sealed);
+        let observer = self.observer.lock().clone();
+        if let Some(observer) = observer {
+            for record in records {
+                observer.appended(record).map_err(StoreError::Rejected)?;
+            }
         }
         if let Some(every) = self.compact_every {
             if self.media.frame_count() >= every {
@@ -357,6 +409,93 @@ mod tests {
         assert!(replay.truncated_tail);
         assert_eq!(replay.replayed_records, 3, "torn revocation dropped");
         assert!(!replay.state.enrollments[&2].revoked);
+    }
+
+    #[test]
+    fn group_append_replays_like_sequential() {
+        let platform = SgxPlatform::new(b"vm");
+        let grouped = store_on(&platform, Media::new()).with_group_commit(true);
+        let sequential = store_on(&platform, Media::new());
+        let records = [
+            WalRecord::CertIssued {
+                serial: 2,
+                subject: "vnf-2".into(),
+                at: 10,
+            },
+            WalRecord::EnrollmentPrepared {
+                serial: 2,
+                vnf_name: "vnf-2".into(),
+                host_id: "host-0".into(),
+                mrenclave: [1; 32],
+                provisioning_key_hash: [2; 32],
+                at: 10,
+            },
+        ];
+        grouped.append_group(&records).unwrap();
+        sequential.append_group(&records).unwrap(); // degrades to append()
+        let a = grouped.replay().unwrap();
+        let b = sequential.replay().unwrap();
+        assert_eq!(a.state, b.state);
+        assert_eq!(a.replayed_records, 2);
+        assert_eq!(b.replayed_records, 2);
+        assert_eq!(grouped.stats().log_frames, 2, "members counted");
+    }
+
+    #[test]
+    fn group_observer_sees_each_record_in_order() {
+        struct Tape(Mutex<Vec<u64>>);
+        impl AppendObserver for Tape {
+            fn appended(&self, record: &WalRecord) -> Result<(), String> {
+                if let WalRecord::CertIssued { serial, .. } = record {
+                    self.0.lock().push(*serial);
+                }
+                Ok(())
+            }
+        }
+        let platform = SgxPlatform::new(b"vm");
+        let store = store_on(&platform, Media::new()).with_group_commit(true);
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        store.set_observer(tape.clone());
+        let records: Vec<WalRecord> = (2..6)
+            .map(|serial| WalRecord::CertIssued {
+                serial,
+                subject: format!("vnf-{serial}"),
+                at: 1,
+            })
+            .collect();
+        store.append_group(&records).unwrap();
+        assert_eq!(*tape.0.lock(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn torn_group_loses_the_whole_workflow() {
+        let platform = SgxPlatform::new(b"vm");
+        let media = Media::new();
+        let store = store_on(&platform, media.clone()).with_group_commit(true);
+        issue_and_commit(&store, 2, 10);
+        store
+            .append_group(&[
+                WalRecord::CertIssued {
+                    serial: 3,
+                    subject: "vnf-3".into(),
+                    at: 20,
+                },
+                WalRecord::EnrollmentPrepared {
+                    serial: 3,
+                    vnf_name: "vnf-3".into(),
+                    host_id: "host-0".into(),
+                    mrenclave: [1; 32],
+                    provisioning_key_hash: [2; 32],
+                    at: 20,
+                },
+            ])
+            .unwrap();
+        media.tear_tail(7);
+        let replay = store.replay().unwrap();
+        assert!(replay.truncated_tail);
+        assert_eq!(replay.replayed_records, 3, "whole group gone, prefix kept");
+        assert_eq!(replay.state.max_serial, 2);
+        assert!(replay.state.pending.is_empty());
     }
 
     #[test]

@@ -18,12 +18,29 @@
 //! torn-tail rule: a crash mid-append may leave a partial final frame, and
 //! that frame's record simply never happened (its response was never sent,
 //! so nothing observable is lost).
+//!
+//! **Group frames** extend the format for group commit: several payloads
+//! coalesced into one device write, framed as
+//!
+//! ```text
+//! ┌──────┬────────────────┬─────────────────────────────┬────────────┐
+//! │ 0xA6 │ body len (u32) │ (len | payload) × n         │ crc32 (u32)│
+//! └──────┴────────────────┴─────────────────────────────┴────────────┘
+//! ```
+//!
+//! One CRC covers the whole body, so a tear *inside* a group drops the
+//! entire group — exactly the atomicity a multi-record workflow wants: the
+//! response was only sent after the whole group landed, so either every
+//! record of the workflow replays or none does.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Frame marker byte; a cheap misalignment detector.
 const FRAME_MAGIC: u8 = 0xA5;
+/// Marker for a group-commit frame holding several payloads.
+const GROUP_MAGIC: u8 = 0xA6;
 /// Magic + length prefix.
 const FRAME_HEADER: usize = 5;
 /// Trailing checksum.
@@ -48,10 +65,14 @@ struct MediaInner {
     snapshot: Option<Vec<u8>>,
     /// Frames appended since the snapshot.
     log: Vec<u8>,
-    /// Frames appended since the snapshot (not adjusted by `tear_tail`).
+    /// Records appended since the snapshot (a group frame counts each of
+    /// its payloads; not adjusted by `tear_tail`).
     frames: u64,
     /// Snapshot installations over the media's lifetime.
     compactions: u64,
+    /// Simulated device-write latency charged once per flush (per
+    /// `append_frame` / `append_group_frame` call). Zero by default.
+    write_latency: Duration,
 }
 
 /// Durable storage shared across VM incarnations.
@@ -71,16 +92,61 @@ impl Media {
         Media::default()
     }
 
+    /// Model the write latency of the backing device: every flush (one
+    /// `append_frame` or `append_group_frame` call) costs `latency` of
+    /// wall-clock time. Zero — the default — keeps the media instantaneous.
+    /// Saturation benchmarks use this to reproduce cloud block-storage
+    /// behavior, where the per-write flush dominates the request path.
+    pub fn set_write_latency(&self, latency: Duration) {
+        self.inner.lock().write_latency = latency;
+    }
+
+    fn charge_flush(&self, latency: Duration) {
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
+        }
+    }
+
     /// Append one frame around `payload`.
     pub fn append_frame(&self, payload: &[u8]) {
-        let mut inner = self.inner.lock();
-        inner.log.push(FRAME_MAGIC);
-        inner
-            .log
-            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        inner.log.extend_from_slice(payload);
-        inner.log.extend_from_slice(&crc32(payload).to_be_bytes());
-        inner.frames += 1;
+        let latency = {
+            let mut inner = self.inner.lock();
+            inner.log.push(FRAME_MAGIC);
+            inner
+                .log
+                .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            inner.log.extend_from_slice(payload);
+            inner.log.extend_from_slice(&crc32(payload).to_be_bytes());
+            inner.frames += 1;
+            inner.write_latency
+        };
+        self.charge_flush(latency);
+    }
+
+    /// Append every payload in one group frame — one device write, one
+    /// checksum, one flush charge. Replay yields the payloads individually
+    /// and in order, so a group is byte-equivalent (in replayed records) to
+    /// the same payloads appended one frame at a time; the difference is
+    /// that a tear anywhere inside the group drops the *whole* group.
+    pub fn append_group_frame(&self, payloads: &[Vec<u8>]) {
+        if payloads.is_empty() {
+            return;
+        }
+        let mut body = Vec::new();
+        for payload in payloads {
+            body.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            body.extend_from_slice(payload);
+        }
+        let latency = {
+            let mut inner = self.inner.lock();
+            inner.log.push(GROUP_MAGIC);
+            inner.log.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            inner.log.extend_from_slice(&body);
+            inner.log.extend_from_slice(&crc32(&body).to_be_bytes());
+            inner.frames += payloads.len() as u64;
+            inner.write_latency
+        };
+        self.charge_flush(latency);
     }
 
     /// Replace the snapshot region and truncate the log (compaction).
@@ -132,6 +198,8 @@ impl Media {
                 log: inner.log.clone(),
                 frames: inner.frames,
                 compactions: inner.compactions,
+                // Forks are for offline oracle replay; they read, not flush.
+                write_latency: Duration::ZERO,
             })),
         }
     }
@@ -176,13 +244,16 @@ pub(crate) struct ParsedLog {
 }
 
 /// Walk `log` front to back, stopping at the first incomplete or
-/// checksum-failing frame.
+/// checksum-failing frame. Group frames are expanded into their member
+/// payloads in order; a torn or corrupt group is dropped whole.
 pub(crate) fn parse_log(log: &[u8]) -> ParsedLog {
     let mut frames = Vec::new();
     let mut pos = 0;
     while pos < log.len() {
         let rest = &log[pos..];
-        if rest.len() < FRAME_HEADER + FRAME_TRAILER || rest[0] != FRAME_MAGIC {
+        if rest.len() < FRAME_HEADER + FRAME_TRAILER
+            || (rest[0] != FRAME_MAGIC && rest[0] != GROUP_MAGIC)
+        {
             break;
         }
         let len = u32::from_be_bytes(rest[1..5].try_into().expect("4 bytes")) as usize;
@@ -197,7 +268,36 @@ pub(crate) fn parse_log(log: &[u8]) -> ParsedLog {
         if crc32(payload) != stored {
             break;
         }
-        frames.push(payload.to_vec());
+        if rest[0] == FRAME_MAGIC {
+            frames.push(payload.to_vec());
+        } else {
+            // Group body: (len | payload) repeated. The body passed its
+            // checksum, so an ill-formed interior is corruption beyond the
+            // tolerated torn tail — stop here like any bad frame.
+            let mut at = 0;
+            let mut members = Vec::new();
+            let mut well_formed = true;
+            while at < payload.len() {
+                if payload.len() - at < 4 {
+                    well_formed = false;
+                    break;
+                }
+                let sub = u32::from_be_bytes(
+                    payload[at..at + 4].try_into().expect("4 bytes"),
+                ) as usize;
+                at += 4;
+                if payload.len() - at < sub {
+                    well_formed = false;
+                    break;
+                }
+                members.push(payload[at..at + sub].to_vec());
+                at += sub;
+            }
+            if !well_formed {
+                break;
+            }
+            frames.extend(members);
+        }
         pos += total;
     }
     ParsedLog {
@@ -275,6 +375,57 @@ mod tests {
         assert_eq!(a.frame_count(), 2);
         assert_eq!(b.frame_count(), 1);
         assert_eq!(parse_log(&b.log()).frames, vec![b"shared history".to_vec()]);
+    }
+
+    #[test]
+    fn group_frame_expands_to_member_payloads() {
+        let media = Media::new();
+        media.append_frame(b"solo");
+        media.append_group_frame(&[b"one".to_vec(), b"two".to_vec(), vec![]]);
+        media.append_frame(b"after");
+        let parsed = parse_log(&media.log());
+        assert_eq!(
+            parsed.frames,
+            vec![
+                b"solo".to_vec(),
+                b"one".to_vec(),
+                b"two".to_vec(),
+                vec![],
+                b"after".to_vec()
+            ]
+        );
+        assert!(!parsed.truncated);
+        assert_eq!(media.frame_count(), 5, "each group member counts");
+    }
+
+    #[test]
+    fn torn_group_drops_whole_group() {
+        let media = Media::new();
+        media.append_frame(b"keep");
+        media.append_group_frame(&[b"aaaa".to_vec(), b"bbbb".to_vec()]);
+        media.tear_tail(2);
+        let parsed = parse_log(&media.log());
+        assert_eq!(parsed.frames, vec![b"keep".to_vec()], "no partial group");
+        assert!(parsed.truncated);
+    }
+
+    #[test]
+    fn corrupt_group_member_drops_whole_group() {
+        let media = Media::new();
+        media.append_group_frame(&[b"first".to_vec(), b"second".to_vec()]);
+        // Flip a byte inside the first member's payload.
+        media.corrupt_byte(FRAME_HEADER + 4 + 1);
+        let parsed = parse_log(&media.log());
+        assert!(parsed.frames.is_empty());
+        assert!(parsed.truncated);
+    }
+
+    #[test]
+    fn empty_group_is_a_no_op() {
+        let media = Media::new();
+        media.append_group_frame(&[]);
+        assert_eq!(media.log_bytes(), 0);
+        assert_eq!(media.frame_count(), 0);
     }
 
     #[test]

@@ -59,12 +59,13 @@ fn main() {
     let agent = HostAgent::serve(&network, state).unwrap();
     println!("[svc] host agent serving at {}", agent.address);
 
-    // The VM's operator API.
-    let vm = Arc::new(Mutex::new(testbed.vm));
+    // The VM's operator API: the service handle clones into the server,
+    // so per-connection threads route to the shards concurrently.
     let remote_ias: Arc<Mutex<dyn QuoteVerifier + Send>> =
         Arc::new(Mutex::new(RemoteIas::new(&network, "ias:443", report_key)));
     let _vm_api =
-        serve_vm_api(&network, "vm:8443", vm.clone(), remote_ias, "controller").unwrap();
+        serve_vm_api(&network, "vm:8443", testbed.vm_service(), remote_ias, "controller")
+            .unwrap();
     println!("[svc] Verification Manager API serving at vm:8443");
     println!("[svc] controller serving at {} (trusted HTTPS)\n", testbed.controller_addr);
 

@@ -81,7 +81,7 @@ fn world_with(
 
 fn attest(w: &mut World) -> Result<vnfguard::ima::appraisal::Verdict, CoreError> {
     remote_attest_host(
-        &mut w.testbed.vm,
+        &w.testbed.vm,
         &mut w.remote_ias,
         &w.testbed.network,
         "host-0",
@@ -90,7 +90,7 @@ fn attest(w: &mut World) -> Result<vnfguard::ima::appraisal::Verdict, CoreError>
 
 fn enroll(w: &mut World) -> Result<vnfguard::pki::Certificate, CoreError> {
     remote_enroll_vnf(
-        &mut w.testbed.vm,
+        &w.testbed.vm,
         &mut w.remote_ias,
         &w.testbed.network,
         "host-0",

@@ -1,6 +1,9 @@
 //! Lifecycle drill: a fleet enrolled, renewed without re-enrollment, the
 //! CA rotated mid-fleet with a cross-signed dual-trust window, one VNF
-//! revoked and evicted through the distributed CRL — narrated.
+//! revoked and evicted through the distributed CRL — narrated. The
+//! manager runs as two shards behind a `VmService` handle: renewals and
+//! revocations route by serial to the owning shard, while rotation and
+//! CRL issuance stay on the authority shard.
 //!
 //! ```text
 //! cargo run --example lifecycle_drill
@@ -12,8 +15,12 @@ use vnfguard::pki::crl::RevocationReason;
 fn main() {
     let mut tb = TestbedBuilder::new(b"lifecycle drill")
         .renewal_window(86_000)
+        .shards(2)
         .build();
     tb.attest_host(0).unwrap();
+    // The service handle: the supported way to talk to the manager fleet
+    // (clones cheaply; every call routes to the right shard internally).
+    let vm = tb.vm_service();
 
     println!("== phase 1: enroll a fleet of three VNFs ==");
     let mut guards = Vec::new();
@@ -32,7 +39,7 @@ fn main() {
 
     println!("== phase 2: advance the clock — the sweep flags what's due ==");
     tb.clock.advance(1200);
-    let due = tb.vm.certs_expiring();
+    let due = vm.certs_expiring();
     println!("  {} credential(s) inside the renewal window", due.len());
     for entry in &due {
         println!(
@@ -71,8 +78,7 @@ fn main() {
     println!("  fleet renewed onto epoch {}; {retired} old root retired", rotation.epoch);
 
     println!("== phase 5: revoke vnf-dpi and distribute the CRL ==");
-    tb.vm
-        .revoke_credential(serials[2], RevocationReason::KeyCompromise)
+    vm.revoke_credential(serials[2], RevocationReason::KeyCompromise)
         .unwrap();
     tb.push_crl().unwrap();
     tb.clock.advance(1);
@@ -83,7 +89,7 @@ fn main() {
     let session = tb.open_session(&mut guards[0]).unwrap();
     println!("  vnf-fw still serving (session {session})");
 
-    let status = tb.vm.lifecycle_status();
+    let status = vm.lifecycle_status();
     println!(
         "== final: epoch {}, {} active, {} expiring, CRL #{} ({}s old) ==",
         status.epoch,

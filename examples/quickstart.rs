@@ -138,5 +138,58 @@ fn main() {
         println!("  t={} {}: {}", event.time, event.kind, event.detail);
     }
 
+    // Scale-out coda: the same manager partitioned into four shards
+    // behind one service handle. Each client thread clones the handle and
+    // drives its own VNF; the service routes by VNF identity, so the four
+    // enrollments issue from four independent shards with disjoint serial
+    // spans — no cross-thread lock contention on a single manager.
+    let t = Instant::now();
+    let mut scaled = TestbedBuilder::new(b"quickstart-scale").shards(4).build();
+    scaled.attest_host(0).expect("host attestation");
+    let mut guards = Vec::new();
+    for i in 0..4 {
+        guards.push(scaled.deploy_guard(0, &format!("vnf-scale-{i}"), 1).expect("guard"));
+    }
+    let vm = scaled.vm_service();
+    let ias = std::sync::Arc::new(parking_lot::Mutex::new(std::mem::replace(
+        &mut scaled.ias,
+        vnfguard::ias::AttestationService::new(b"placeholder"),
+    )));
+    let platform = &scaled.hosts[0].platform;
+    let serials: Vec<u64> = std::thread::scope(|scope| {
+        guards
+            .iter()
+            .map(|guard| {
+                let vm = vm.clone();
+                let ias = ias.clone();
+                scope.spawn(move || {
+                    let challenge = vm.begin_vnf_attestation("host-0", &guard.name).unwrap();
+                    let key = guard.provisioning_key().unwrap();
+                    let quote = guard
+                        .quote(platform, &challenge.nonce, challenge.nonce)
+                        .unwrap();
+                    let (_, certificate) = vm
+                        .complete_vnf_enrollment(
+                            &mut *ias.lock(),
+                            challenge.id,
+                            &quote.encode(),
+                            &key,
+                            "controller",
+                        )
+                        .unwrap();
+                    certificate.serial()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    println!(
+        "\n[scale]   4 shards enrolled 4 VNFs from 4 threads in {:?}; serials {:?} (disjoint per-shard spans)",
+        t.elapsed(),
+        serials
+    );
+
     println!("\nDone in {:?}. The private key never left the enclave.", t0.elapsed());
 }

@@ -65,7 +65,7 @@ fn main() {
     let _agent =
         HostAgent::serve_traced(&network, state, &telemetry, move || agent_clock.now()).unwrap();
 
-    let vm = Arc::new(Mutex::new(tb.take_vm()));
+    let vm = tb.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(remote_ias));
     let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());

@@ -372,7 +372,7 @@ fn recovery_report_is_served_over_the_operator_api() {
     assert!(tb.vm.credential_is_revoked(certificate.serial()));
 
     let network = tb.network.clone();
-    let vm = Arc::new(Mutex::new(tb.vm));
+    let vm = tb.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
     let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
@@ -396,7 +396,7 @@ fn recovery_report_is_served_over_the_operator_api() {
 fn recovery_route_on_a_fresh_manager_reports_nothing() {
     let tb = TestbedBuilder::new(b"fresh vm api").durable().build();
     let network = tb.network.clone();
-    let vm = Arc::new(Mutex::new(tb.vm));
+    let vm = tb.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
     let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());

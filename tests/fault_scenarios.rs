@@ -103,7 +103,7 @@ fn chaos_world_with(
 
 fn attest_host0(world: &mut ChaosWorld) -> Result<vnfguard::ima::appraisal::Verdict, CoreError> {
     remote_attest_host(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",
@@ -112,7 +112,7 @@ fn attest_host0(world: &mut ChaosWorld) -> Result<vnfguard::ima::appraisal::Verd
 
 fn enroll_vnf(world: &mut ChaosWorld) -> Result<vnfguard::pki::Certificate, CoreError> {
     remote_enroll_vnf(
-        &mut world.testbed.vm,
+        &world.testbed.vm,
         &mut world.remote_ias,
         &world.testbed.network,
         "host-0",

@@ -13,7 +13,6 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use vnfguard::core::deployment::TestbedBuilder;
-use vnfguard::core::manager::VerificationManager;
 use vnfguard::core::remote::{serve_ias, serve_vm_api, HostAgent, HostAgentState, RemoteIas};
 use vnfguard::core::resilience::{CircuitBreaker, RetryPolicy};
 use vnfguard::encoding::Json;
@@ -102,9 +101,9 @@ fn metrics_surface_reflects_a_fault_injected_enrollment() {
     world.plan.refuse_connections("ias:443", 0.30);
 
     // Serve the operator API and drive the whole workflow through it.
-    let vm: Arc<Mutex<VerificationManager>> = Arc::new(Mutex::new(world.testbed.vm));
+    let vm = world.testbed.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(world.remote_ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
 
     let response = client

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vnfguard::core::crash::CrashPlan;
 use vnfguard::core::deployment::{Testbed, TestbedBuilder};
-use vnfguard::core::manager::VerificationManager;
+use vnfguard::core::service::VmService;
 use vnfguard::core::remote::{serve_vm_api, HostAgent, HostAgentState};
 use vnfguard::core::replication::ReplicationConfig;
 use vnfguard::core::revocation::revocation_message;
@@ -45,7 +45,7 @@ const MAX_FAILOVER: Duration = Duration::from_secs(2);
 /// committed enrollment records, and prepared-but-uncommitted serials.
 #[allow(clippy::type_complexity)]
 fn authority_view(
-    vm: &VerificationManager,
+    vm: &VmService,
 ) -> (
     Vec<u8>,
     u64,
@@ -207,7 +207,7 @@ fn ride_out(tb: &mut Testbed, seed: u64, promotions: &mut usize) {
         );
         *promotions += 1;
         assert_eq!(
-            authority_view(&oracle),
+            authority_view(&VmService::single(oracle)),
             authority_view(&tb.vm),
             "seed {seed}: promoted standby diverged from the oracle twin \
              (epoch {}, high-water {})",
@@ -343,7 +343,7 @@ fn run_failover_scenario(seed: u64) -> Outcome {
     // state (replication never forked the timeline).
     let oracle = tb.oracle_twin().unwrap();
     assert_eq!(
-        authority_view(&oracle),
+        authority_view(&VmService::single(oracle)),
         authority_view(&tb.vm),
         "seed {seed}: final state diverged from the oracle twin"
     );
@@ -417,7 +417,7 @@ fn zombie_primary_is_fenced_after_partition_heals() {
     assert!(tb.vm.credential_is_revoked(serial));
 
     // Operators declare the partitioned primary dead and fail over.
-    let zombie_handle = tb.take_vm();
+    let zombie_handle = tb.detach_primary();
     plan.heal("vm-standby-0:7600");
     plan.heal("vm-standby-1:7600");
     let report = tb.promote().unwrap();
@@ -562,7 +562,7 @@ fn replication_status_is_served_over_the_operator_api() {
 
     let network = tb.network.clone();
     let telemetry = tb.telemetry.clone();
-    let vm = Arc::new(Mutex::new(tb.vm));
+    let vm = tb.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
     let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
@@ -606,7 +606,7 @@ fn replication_status_is_served_over_the_operator_api() {
 fn replication_route_reports_unreplicated_deployments() {
     let tb = TestbedBuilder::new(b"replication api bare").durable().build();
     let network = tb.network.clone();
-    let vm = Arc::new(Mutex::new(tb.vm));
+    let vm = tb.vm_service();
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(tb.ias));
     let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());

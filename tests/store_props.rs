@@ -277,4 +277,141 @@ proptest! {
             "torn-tail replay is not any prefix state"
         );
     }
+
+    /// A coalesced flush is byte-equivalent to sequential appends on
+    /// replay: the same record sequence pushed through `append_group` in
+    /// arbitrary chunkings replays to the same state (and the same frame
+    /// accounting) as one-record-per-flush appends. Group commit changes
+    /// *when* the medium is flushed, never *what* the log means.
+    #[test]
+    fn group_commit_replay_matches_sequential(
+        ops in vec(any::<u8>(), 1..50),
+        chunk_sizes in vec(1usize..6, 1..50),
+    ) {
+        let records = script(&ops);
+        let sequential = fresh_store(0);
+        for record in &records {
+            sequential.append(record).unwrap();
+        }
+        let grouped = fresh_store(0).with_group_commit(true);
+        let mut cursor = 0;
+        let mut chunks = chunk_sizes.iter().cycle();
+        while cursor < records.len() {
+            let take = (*chunks.next().unwrap()).min(records.len() - cursor);
+            grouped.append_group(&records[cursor..cursor + take]).unwrap();
+            cursor += take;
+        }
+        let grouped_state = grouped.replay().unwrap().state;
+        let sequential_state = sequential.replay().unwrap().state;
+        prop_assert_eq!(&grouped_state, &sequential_state, "group-commit replay diverged");
+        prop_assert_eq!(&grouped_state, &fold(&records), "group-commit replay diverged from fold");
+        // Frame accounting counts group members individually, so the two
+        // logs agree on how many records they hold.
+        prop_assert_eq!(
+            grouped.stats().log_frames,
+            sequential.stats().log_frames,
+            "group frames not counted per member"
+        );
+    }
+
+    /// A tear inside a group frame truncates to the last *whole group*:
+    /// the replayed state always sits on a group-commit boundary, never in
+    /// the middle of a coalesced batch. Each group is atomic — all of its
+    /// records survive or none do — which is what lets a workflow coalesce
+    /// its journal entries into one flush without weakening
+    /// WAL-before-response.
+    #[test]
+    fn torn_group_truncates_to_whole_group_boundary(
+        ops in vec(any::<u8>(), 2..40),
+        chunk_sizes in vec(1usize..6, 1..40),
+        tear in 1usize..96,
+    ) {
+        let records = script(&ops);
+        let store = fresh_store(0).with_group_commit(true);
+        let mut boundary_states = vec![ManagerState::default()];
+        let mut cursor = 0;
+        let mut chunks = chunk_sizes.iter().cycle();
+        while cursor < records.len() {
+            let take = (*chunks.next().unwrap()).min(records.len() - cursor);
+            store.append_group(&records[cursor..cursor + take]).unwrap();
+            cursor += take;
+            boundary_states.push(fold(&records[..cursor]));
+        }
+        store.media().tear_tail(tear);
+        let replayed = store.replay().unwrap().state;
+        prop_assert!(
+            boundary_states.contains(&replayed),
+            "torn group frame replayed to a non-boundary state (partial group applied)"
+        );
+    }
+}
+
+/// Eight parallel clients against a four-shard service handle: every
+/// enrollment succeeds, every serial is unique, and each serial lands in
+/// the serial span owned by the shard that the VNF's identity routes to —
+/// the store-level guarantee (disjoint per-shard sequence spaces) that
+/// makes sharded WALs mergeable without coordination.
+#[test]
+fn concurrent_enrollments_issue_unique_serials_across_shards() {
+    use std::sync::Arc;
+    use vnfguard::core::deployment::TestbedBuilder;
+    use vnfguard::core::service::shard_of_vnf;
+
+    const CLIENTS: usize = 8;
+    const SHARDS: usize = 4;
+    const SHARD_SERIAL_SPAN: u64 = 1 << 40;
+
+    let mut tb = TestbedBuilder::new(b"store-props-shards").shards(SHARDS).build();
+    tb.attest_host(0).expect("host attestation");
+    let mut guards = Vec::new();
+    for i in 0..CLIENTS {
+        guards.push(tb.deploy_guard(0, &format!("vnf-conc-{i}"), 1).expect("guard"));
+    }
+    let vm = tb.vm_service();
+    let ias = Arc::new(parking_lot::Mutex::new(std::mem::replace(
+        &mut tb.ias,
+        vnfguard::ias::AttestationService::new(b"placeholder"),
+    )));
+    let platform = &tb.hosts[0].platform;
+    let serials: Vec<(String, u64)> = std::thread::scope(|scope| {
+        guards
+            .iter()
+            .map(|guard| {
+                let vm = vm.clone();
+                let ias = ias.clone();
+                scope.spawn(move || {
+                    let challenge = vm.begin_vnf_attestation("host-0", &guard.name).unwrap();
+                    let key = guard.provisioning_key().unwrap();
+                    let quote = guard
+                        .quote(platform, &challenge.nonce, challenge.nonce)
+                        .unwrap();
+                    let (_, certificate) = vm
+                        .complete_vnf_enrollment(
+                            &mut *ias.lock(),
+                            challenge.id,
+                            &quote.encode(),
+                            &key,
+                            "controller",
+                        )
+                        .unwrap();
+                    (guard.name.clone(), certificate.serial())
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|handle| handle.join().unwrap())
+            .collect()
+    });
+
+    let mut seen = std::collections::HashSet::new();
+    for (name, serial) in &serials {
+        assert!(seen.insert(*serial), "serial {serial} issued twice");
+        let shard = (serial / SHARD_SERIAL_SPAN) as usize;
+        assert_eq!(
+            shard,
+            shard_of_vnf(name, SHARDS),
+            "serial {serial} for {name} landed outside its shard's span"
+        );
+    }
+    assert_eq!(seen.len(), CLIENTS, "expected one distinct serial per client");
 }

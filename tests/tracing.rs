@@ -106,10 +106,10 @@ fn faulted_crashed_enrollment_assembles_one_connected_trace() {
     let _agent =
         HostAgent::serve_traced(&network, state, &telemetry, move || agent_clock.now()).unwrap();
 
-    // The manager behind its REST API.
-    let vm = Arc::new(Mutex::new(tb.take_vm()));
+    // The manager behind its REST API: the server routes against a clone
+    // of the testbed's service handle.
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(remote_ias));
-    let _api = serve_vm_api(&network, "vm:8443", vm.clone(), ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", tb.vm_service(), ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
 
     // The operator's root span: everything below joins this trace.
@@ -144,9 +144,10 @@ fn faulted_crashed_enrollment_assembles_one_connected_trace() {
         "error responses must carry x-vnfguard-trace"
     );
 
-    // Restart the manager in place: HTTP clients keep the same address and
+    // Restart the manager in place: recovery swaps the incarnation inside
+    // the shared service handle, so HTTP clients keep the same address and
     // reach the recovered incarnation.
-    let report = tb.recover_vm_shared(&vm).unwrap();
+    let report = tb.recover_vm().unwrap();
     assert_eq!(report.generation, 1);
 
     // The new incarnation trusts no host until it re-attests; then the
@@ -278,12 +279,11 @@ fn untraced_requests_stay_untraced_and_the_surface_validates_input() {
         .build();
     let network = tb.network.clone();
     tb.attest_host(0).unwrap();
-    let vm = Arc::new(Mutex::new(tb.take_vm()));
     let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(std::mem::replace(
         &mut tb.ias,
         vnfguard::ias::AttestationService::new(b"placeholder"),
     )));
-    let _api = serve_vm_api(&network, "vm:8443", vm, ias, "controller").unwrap();
+    let _api = serve_vm_api(&network, "vm:8443", tb.vm_service(), ias, "controller").unwrap();
     let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
 
     // A request without a traceparent makes no server span and gets no
