@@ -69,6 +69,33 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "== deadline hygiene: /vm/ routes must honor request deadlines or opt out =="
+# Every /vm/ route registration in serve_vm_api must install the request's
+# propagated deadline budget (enter_deadline) or carry an explicit
+# 'deadline-opt-out' comment explaining why it stays exempt (diagnostics
+# endpoints that must remain readable under overload). Keeps new routes
+# from silently ignoring caller budgets.
+violations=$(awk '
+  /^pub fn serve_vm_api/ { in_region = 1 }
+  in_region && /^(pub )?fn / && $0 !~ /serve_vm_api/ { in_region = 0; flush() }
+  function flush() {
+    if (route != "" && body !~ /enter_deadline|deadline-opt-out/)
+      print "crates/core/src/remote.rs: route " route " neither enters the deadline scope nor opts out"
+    route = ""; body = ""
+  }
+  in_region && /router\.(get|post|delete)_api\("\/vm\// {
+    flush()
+    route = $0; sub(/.*_api\("/, "", route); sub(/".*/, "", route)
+  }
+  in_region { body = body "\n" $0 }
+  END { flush() }
+' crates/core/src/remote.rs)
+if [ -n "$violations" ]; then
+  echo "found /vm/ routes ignoring the x-vnfguard-deadline budget:"
+  echo "$violations"
+  exit 1
+fi
+
 echo "== wal hygiene: manager mutations must journal before mutating =="
 # WAL-before-response: any pub fn in the manager that issues/revokes through
 # the CA or touches the enrollment maps must have a journal call in its body
@@ -125,5 +152,8 @@ cargo bench -p vnfguard-bench --bench e14_failover
 
 echo "== e15: shard saturation (4-shard >= 2x 1-shard) + crash-under-load matrix =="
 cargo bench -p vnfguard-bench --bench e15_saturation
+
+echo "== e16: overload (admitted p99 <= 5x unloaded, goodput >= 60% while shedding) + storm chaos matrix =="
+cargo bench -p vnfguard-bench --bench e16_overload
 
 echo "CI OK"

@@ -5,13 +5,14 @@
 //! session lives inside the credential enclave (`vnfguard-vnf`). This
 //! client exists for the plain/HTTPS modes and as the baseline in E4.
 
+use crate::clock::SimClock;
 use crate::flowspec::FlowSpec;
 use crate::ControllerError;
 use std::sync::Arc;
 use vnfguard_crypto::drbg::SystemEntropy;
 use vnfguard_encoding::Json;
 use vnfguard_net::fabric::Network;
-use vnfguard_net::http::{roundtrip, Request, Response};
+use vnfguard_net::http::{roundtrip, Request, Response, Status};
 use vnfguard_net::stream::Duplex;
 use vnfguard_pki::TrustStore;
 use vnfguard_tls::handshake::{client_handshake, ClientConfig};
@@ -91,6 +92,33 @@ impl NorthboundClient {
             Transport::Plain(stream) => Ok(roundtrip(stream, request)?),
             Transport::Tls(stream) => Ok(roundtrip(stream.as_mut(), request)?),
         }
+    }
+
+    /// Like [`request`](Self::request), but honors overload backpressure: a
+    /// 503 carrying a `retry-after` hint waits the hinted seconds out on the
+    /// sim clock and retries, up to `max_attempts` total tries. The last
+    /// shed response is returned if every attempt was refused; responses
+    /// without a retry hint (including other errors) return immediately.
+    pub fn request_with_backpressure(
+        &mut self,
+        request: &Request,
+        clock: &SimClock,
+        max_attempts: u32,
+    ) -> Result<Response, ControllerError> {
+        let attempts = max_attempts.max(1);
+        let mut last = None;
+        for _ in 0..attempts {
+            let response = self.request(request)?;
+            if response.status == Status::ServiceUnavailable {
+                if let Some(hint) = response.retry_after_secs() {
+                    clock.advance(hint.max(1));
+                    last = Some(response);
+                    continue;
+                }
+            }
+            return Ok(response);
+        }
+        Ok(last.expect("at least one attempt ran"))
     }
 
     fn expect_success(response: Response) -> Result<Json, ControllerError> {
@@ -324,6 +352,47 @@ mod tests {
                 && e.get("action").and_then(Json::as_str) == Some("push_flow")));
         assert!(s.controller.handshake_failures() >= 1);
         s.controller.stop();
+    }
+
+    #[test]
+    fn backpressure_waits_out_the_retry_hint() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use vnfguard_net::rest::{ApiError, Router};
+        use vnfguard_net::server::{serve, PlainUpgrade};
+
+        let network = Network::new();
+        let clock = SimClock::at(5000);
+        let sheds = Arc::new(AtomicU32::new(2));
+        let mut router = Router::new();
+        {
+            let sheds = sheds.clone();
+            router.get_api("/busy", move |_, _| {
+                if sheds.fetch_sub(1, Ordering::SeqCst) > 0 {
+                    return Err(ApiError::overloaded("queue full", 3));
+                }
+                Ok(Response::json(Status::Ok, &Json::object().with("ok", true)))
+            });
+        }
+        let listener = network.listen("svc:80").unwrap();
+        let handle = serve(listener, PlainUpgrade, router);
+
+        let mut client = NorthboundClient::connect_plain(&network, "svc:80").unwrap();
+        let response = client
+            .request_with_backpressure(&Request::get("/busy"), &clock, 5)
+            .unwrap();
+        assert_eq!(response.status, Status::Ok);
+        // Two sheds, each advancing the hinted 3 seconds before retrying.
+        assert_eq!(clock.now(), 5006);
+
+        // With the budget exhausted, the shed response itself comes back.
+        sheds.store(10, Ordering::SeqCst);
+        let mut client = NorthboundClient::connect_plain(&network, "svc:80").unwrap();
+        let refused = client
+            .request_with_backpressure(&Request::get("/busy"), &clock, 2)
+            .unwrap();
+        assert_eq!(refused.status, Status::ServiceUnavailable);
+        assert_eq!(refused.retry_after_secs(), Some(3));
+        handle.stop();
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
 use crate::crash::CrashPlan;
 use crate::lifecycle::{verify_handover, CaRotation};
 use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
+use crate::overload::{AdmissionConfig, AdmissionController};
 use crate::replication::{ReplicaSet, ReplicationConfig, StandbyNode};
 use crate::revocation::RevocationNotifier;
 use crate::service::VmService;
@@ -118,6 +119,7 @@ pub struct TestbedBuilder {
     shards: usize,
     group_commit: bool,
     wal_write_latency: Option<Duration>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl TestbedBuilder {
@@ -148,6 +150,7 @@ impl TestbedBuilder {
             shards: 1,
             group_commit: false,
             wal_write_latency: None,
+            admission: None,
         }
     }
 
@@ -309,6 +312,20 @@ impl TestbedBuilder {
     /// or `partition` can then sever.
     pub fn faults(mut self, plan: FaultPlan) -> TestbedBuilder {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Put the VM service behind an admission controller with the default
+    /// queue bounds: requests queue per priority class in front of the
+    /// shard locks and are shed with a retry hint once a class's queue
+    /// fills or its sojourn time stays above the CoDel target.
+    pub fn admission(self) -> TestbedBuilder {
+        self.admission_config(AdmissionConfig::default())
+    }
+
+    /// Like [`TestbedBuilder::admission`], with explicit queue bounds.
+    pub fn admission_config(mut self, config: AdmissionConfig) -> TestbedBuilder {
+        self.admission = Some(config);
         self
     }
 
@@ -512,7 +529,14 @@ impl TestbedBuilder {
             manager.set_shard(s as u32, shard_count as u32);
             managers.push(manager);
         }
-        let vm = VmService::from_shards(managers);
+        let mut vm = VmService::from_shards(managers);
+        if let Some(config) = self.admission {
+            vm = vm.with_admission(Arc::new(AdmissionController::instrumented(
+                config,
+                clock.clone(),
+                &telemetry,
+            )));
+        }
 
         let mut notifier = RevocationNotifier::new(&network).with_telemetry(&telemetry);
         if let Some(store) = &shard_stores[0] {

@@ -37,6 +37,7 @@ pub mod crash;
 pub mod deployment;
 pub mod lifecycle;
 pub mod manager;
+pub mod overload;
 pub mod remote;
 pub mod replication;
 pub mod resilience;
@@ -48,10 +49,13 @@ pub use crash::{CrashEvent, CrashPlan};
 pub use lifecycle::{
     verify_handover, CaRotation, LifecycleMonitor, LifecycleStatus, LifecycleTick, RenewalDue,
 };
+pub use overload::{
+    current_deadline, AdmissionConfig, AdmissionController, Deadline, DeadlineScope, Workclass,
+};
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};
 pub use manager::{ManagerConfig, ManagerConfigBuilder, RecoveryReport, VerificationManager};
-pub use resilience::{BreakerState, CircuitBreaker, RetryPolicy};
+pub use resilience::{BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
 pub use service::VmService;
 pub use revocation::{DeliveredNotice, RevocationNotifier};
 
@@ -89,6 +93,17 @@ pub enum CoreError {
     /// The durability layer failed: sealing, unsealing, or media
     /// corruption beyond the tolerated torn tail.
     Store(String),
+    /// The request's propagated deadline budget ran out before the work
+    /// completed; the remaining work was abandoned because nobody is
+    /// waiting for the answer. Maps to HTTP 504 `code:"deadline"`.
+    DeadlineExceeded(String),
+    /// Admission control shed the request before any state was touched.
+    /// `retry_after_secs` tells the client how long to back off, sized to
+    /// the queue it failed to join. Maps to HTTP 503 `code:"overloaded"`.
+    Overloaded {
+        detail: String,
+        retry_after_secs: u64,
+    },
 }
 
 impl std::fmt::Display for CoreError {
@@ -112,6 +127,11 @@ impl std::fmt::Display for CoreError {
                 write!(f, "verification manager crashed at {site}; recovery required")
             }
             CoreError::Store(msg) => write!(f, "state store: {msg}"),
+            CoreError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            CoreError::Overloaded {
+                detail,
+                retry_after_secs,
+            } => write!(f, "overloaded: {detail} (retry after {retry_after_secs}s)"),
         }
     }
 }

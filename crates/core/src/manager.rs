@@ -533,6 +533,21 @@ pub struct VerificationManager {
     /// shard count of the deployment it belongs to.
     shard: u32,
     shard_count: u32,
+    /// Per-serial next-attempt state for renewals the serving layer
+    /// refused (shed or deadline-expired):
+    /// [`certs_expiring`](Self::certs_expiring) skips a serial until its jittered
+    /// next-attempt time, so a refused fleet doesn't re-offer the same
+    /// renewals every sweep. Volatile soft state — never journaled, never
+    /// recovered; after a restart the worst case is one extra offer.
+    renewal_backoff: HashMap<u64, RenewalBackoff>,
+}
+
+/// Backoff state for one refused renewal (see
+/// [`VerificationManager::note_renewal_refused`]).
+#[derive(Debug, Default, Clone)]
+struct RenewalBackoff {
+    attempts: u32,
+    next_attempt_at: u64,
 }
 
 /// Serial-number span reserved per shard: shard `i` allocates serials in
@@ -606,6 +621,7 @@ impl VerificationManager {
             replication: None,
             shard: 0,
             shard_count: 1,
+            renewal_backoff: HashMap::new(),
         }
     }
 
@@ -2128,10 +2144,46 @@ impl VerificationManager {
             "credential_renewed",
             &format!("{} serial {serial} -> {new_serial}", old.vnf_name),
         );
+        self.renewal_backoff.remove(&serial);
         Ok((wrapped, certificate))
     }
 
+    /// Record that a renewal of `serial` was refused by the serving layer
+    /// (shed under overload, or its deadline died) with a server retry
+    /// hint. The serial disappears from
+    /// [`certs_expiring`](Self::certs_expiring) until a jittered next-attempt time —
+    /// exponential in the refusal streak — so the agent fleet stops
+    /// re-offering the same renewals every sweep while the VM sheds.
+    pub fn note_renewal_refused(&mut self, serial: u64, retry_after_secs: u64) {
+        let now = self.clock.now();
+        let entry = self.renewal_backoff.entry(serial).or_default();
+        entry.attempts += 1;
+        let shift = (entry.attempts - 1).min(6);
+        let bound = retry_after_secs.max(1).saturating_mul(1u64 << shift);
+        // Deterministic jitter in [bound/2, bound] derived from the serial
+        // and streak alone — the DRBG stream must stay untouched, because
+        // oracle twins replay it and this state is never journaled.
+        let mut z = serial
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(u64::from(entry.attempts));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z ^= z >> 27;
+        let jittered = (bound / 2 + z % (bound / 2 + 1)).max(1);
+        entry.next_attempt_at = now.saturating_add(jittered);
+    }
+
+    /// When `serial` becomes eligible for another renewal offer, if it is
+    /// currently backing off.
+    pub fn renewal_backoff_until(&self, serial: u64) -> Option<u64> {
+        self.renewal_backoff
+            .get(&serial)
+            .map(|backoff| backoff.next_attempt_at)
+    }
+
     /// Unrevoked enrollments inside the renewal window at the clock's now.
+    /// Serials backing off after a refused renewal are skipped until their
+    /// next-attempt time — unless the credential has actually expired, at
+    /// which point waiting politely costs more than retrying.
     pub fn certs_expiring(&self) -> Vec<RenewalDue> {
         let now = self.clock.now();
         let validity = self.config.credential_validity_secs;
@@ -2147,12 +2199,21 @@ impl VerificationManager {
             .filter_map(|e| {
                 let not_after = e.issued_at.saturating_add(validity);
                 if now.saturating_add(window) >= not_after {
+                    let expired = now > not_after;
+                    let backing_off = !expired
+                        && self
+                            .renewal_backoff
+                            .get(&e.serial)
+                            .is_some_and(|backoff| backoff.next_attempt_at > now);
+                    if backing_off {
+                        return None;
+                    }
                     Some(RenewalDue {
                         serial: e.serial,
                         vnf_name: e.vnf_name.clone(),
                         host_id: e.host_id.clone(),
                         not_after,
-                        expired: now > not_after,
+                        expired,
                     })
                 } else {
                     None

@@ -1,0 +1,669 @@
+//! Overload control: deadline propagation and admission control.
+//!
+//! The Verification Manager sits on the critical path of every enrollment,
+//! renewal, and revocation in the network. Without overload control a
+//! renewal stampede drives queueing delay unbounded until *every* request
+//! times out at once — zero goodput at peak demand. This module gives the
+//! serving stack two defenses:
+//!
+//! - **[`Deadline`] propagation** — requests carry a remaining-budget
+//!   header (`x-vnfguard-deadline`, milliseconds); every layer that might
+//!   wait (shard queues, IAS retry loops, replication acks) checks the
+//!   budget first and fails fast with [`CoreError::DeadlineExceeded`]
+//!   instead of doing work nobody will wait for. A deadline has **two
+//!   components** because the testbed runs on a [`SimClock`] that stands
+//!   still during real waits (queueing, WAL flush latency): a simulated
+//!   expiry for backoff loops that advance the clock, and a wall-clock
+//!   expiry for real stalls.
+//! - **[`AdmissionController`]** — bounded per-class FIFO accounting in
+//!   front of the shard mutexes, with a CoDel-style sojourn test at
+//!   dequeue. Once a class's queue is full, or queueing delay has stayed
+//!   above target for a full interval, new arrivals are shed with
+//!   [`CoreError::Overloaded`] carrying a `retry-after-secs` hint sized to
+//!   the congestion — turning collapse into bounded latency for admitted
+//!   requests plus fast, honest rejections for the rest.
+//!
+//! Priority is expressed through queue bounds, not reordering: revocation
+//! and CRL work (the security-critical path — a revoked credential must
+//! die *now*) gets the full bound, renewals three quarters, enrollments
+//! half, and introspection a quarter. Under sustained enrollment flood the
+//! enrollment queue saturates and sheds while revocations still find room.
+
+use crate::CoreError;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use vnfguard_controller::clock::SimClock;
+use vnfguard_telemetry::{Counter, Gauge, Telemetry, TraceContext};
+
+/// A request's remaining time budget, in both simulated and wall-clock
+/// time. Expired when **either** component is exhausted: the simulated
+/// component catches budget burned by backoff loops (which advance the
+/// [`SimClock`]), the wall-clock component catches real stalls (queueing,
+/// WAL group-commit flushes) during which the simulated clock stands
+/// still.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    sim_expires_at: u64,
+    real_expires: Instant,
+}
+
+impl Deadline {
+    /// Start a deadline `budget_millis` from now. The simulated component
+    /// rounds the budget up to whole seconds ([`SimClock`] ticks in
+    /// seconds); a zero budget is already expired.
+    pub fn start(clock: &SimClock, budget_millis: u64) -> Deadline {
+        Deadline {
+            sim_expires_at: clock.now().saturating_add(budget_millis.div_ceil(1000)),
+            real_expires: Instant::now() + Duration::from_millis(budget_millis),
+        }
+    }
+
+    pub fn expired(&self, clock: &SimClock) -> bool {
+        clock.now() >= self.sim_expires_at || Instant::now() >= self.real_expires
+    }
+
+    /// Remaining budget in milliseconds — the tighter of the two
+    /// components. This is what gets re-propagated downstream, so a hop
+    /// that burned half the budget hands the remainder on.
+    pub fn remaining_millis(&self, clock: &SimClock) -> u64 {
+        let sim = self.sim_expires_at.saturating_sub(clock.now()).saturating_mul(1000);
+        let real = self
+            .real_expires
+            .saturating_duration_since(Instant::now())
+            .as_millis() as u64;
+        sim.min(real)
+    }
+}
+
+thread_local! {
+    static AMBIENT_DEADLINE: Cell<Option<Deadline>> = const { Cell::new(None) };
+}
+
+/// RAII scope installing a [`Deadline`] as the thread's ambient deadline,
+/// visible to everything downstream via [`current_deadline`] without
+/// threading a parameter through every signature. Scopes nest; dropping
+/// restores the previous deadline.
+///
+/// The ambient deadline is thread-local, which matches the serving model:
+/// a request is handled start-to-finish on one fabric thread.
+#[derive(Debug)]
+pub struct DeadlineScope {
+    previous: Option<Deadline>,
+}
+
+impl DeadlineScope {
+    pub fn enter(deadline: Deadline) -> DeadlineScope {
+        let previous = AMBIENT_DEADLINE.with(|cell| cell.replace(Some(deadline)));
+        DeadlineScope { previous }
+    }
+}
+
+impl Drop for DeadlineScope {
+    fn drop(&mut self) {
+        AMBIENT_DEADLINE.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// The ambient deadline installed by the innermost live [`DeadlineScope`]
+/// on this thread, if any.
+pub fn current_deadline() -> Option<Deadline> {
+    AMBIENT_DEADLINE.with(Cell::get)
+}
+
+/// Fail fast if the ambient deadline has expired. `what` names the work
+/// being abandoned (it lands in the error detail and, via the remote
+/// layer, in the 504 body).
+pub fn check_deadline(clock: &SimClock, what: &str) -> Result<(), CoreError> {
+    match current_deadline() {
+        Some(deadline) if deadline.expired(clock) => Err(CoreError::DeadlineExceeded(format!(
+            "{what}: request budget exhausted"
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Priority class of a request, highest first. Priority is enforced by
+/// queue-bound asymmetry (see [`AdmissionConfig`]), not reordering: lower
+/// classes run out of queue room first and shed while higher classes still
+/// admit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workclass {
+    /// Revocations and CRL issue/fetch: the security-critical path.
+    Revocation,
+    /// Credential renewals: losing one strands a VNF when its cert lapses.
+    Renewal,
+    /// New enrollments: deferrable — the VNF is not serving yet.
+    Enrollment,
+    /// Status and lifecycle reads.
+    Introspection,
+}
+
+impl Workclass {
+    pub const ALL: [Workclass; 4] = [
+        Workclass::Revocation,
+        Workclass::Renewal,
+        Workclass::Enrollment,
+        Workclass::Introspection,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Workclass::Revocation => "revocation",
+            Workclass::Renewal => "renewal",
+            Workclass::Enrollment => "enrollment",
+            Workclass::Introspection => "introspection",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Workclass::Revocation => 0,
+            Workclass::Renewal => 1,
+            Workclass::Enrollment => 2,
+            Workclass::Introspection => 3,
+        }
+    }
+}
+
+/// Tuning for an [`AdmissionController`].
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Queue bound for the highest class ([`Workclass::Revocation`]).
+    /// Lower classes get a fraction: renewal ¾, enrollment ½,
+    /// introspection ¼ (minimum 1 each).
+    pub queue_bound: usize,
+    /// CoDel target: sojourn above this is "standing queue" territory.
+    pub sojourn_target_micros: u64,
+    /// CoDel interval: shed once sojourn has stayed above target for this
+    /// long without a single below-target dequeue.
+    pub sojourn_interval_micros: u64,
+    /// Base of the `retry-after-secs` hint; scaled up with total queue
+    /// depth so a deeper storm spreads retries wider.
+    pub retry_after_base_secs: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_bound: 64,
+            sojourn_target_micros: 5_000,
+            sojourn_interval_micros: 100_000,
+            retry_after_base_secs: 1,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    fn bound_for(&self, class: Workclass) -> usize {
+        let bound = self.queue_bound.max(1);
+        match class {
+            Workclass::Revocation => bound,
+            Workclass::Renewal => (bound * 3 / 4).max(1),
+            Workclass::Enrollment => (bound / 2).max(1),
+            Workclass::Introspection => (bound / 4).max(1),
+        }
+    }
+}
+
+struct ClassState {
+    bound: usize,
+    waiting: AtomicUsize,
+    codel: Mutex<CodelState>,
+    depth_gauge: Gauge,
+    sojourn_gauge: Gauge,
+    shed: Counter,
+    deadline_exceeded: Counter,
+}
+
+#[derive(Default)]
+struct CodelState {
+    /// Wall-clock moment sojourn first exceeded target with no
+    /// below-target dequeue since; `None` while the queue is draining
+    /// promptly.
+    above_since: Option<Instant>,
+}
+
+/// Bounded-FIFO admission accounting with a CoDel-style sojourn test,
+/// shared by every route in front of the shard mutexes.
+///
+/// Two gates per request:
+///
+/// 1. [`admit`](Self::admit) **before** queueing for a shard lock — sheds
+///    immediately when the class queue is full (depth gate) or the
+///    ambient deadline is already dead.
+/// 2. [`dequeued`](Self::dequeued) **after** the lock is acquired — sheds
+///    when the measured sojourn shows a standing queue (CoDel gate), and
+///    re-checks the deadline so work that waited too long is abandoned
+///    before it touches state.
+///
+/// The depth gate keeps memory bounded; the sojourn gate keeps *latency*
+/// bounded, catching overload that a depth bound alone admits (many short
+/// queues all moving slowly).
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    clock: SimClock,
+    classes: [ClassState; 4],
+    shed_total: Counter,
+    deadline_total: Counter,
+    telemetry: Option<Telemetry>,
+}
+
+impl AdmissionController {
+    /// A controller with detached (unrendered) metrics; use
+    /// [`instrumented`](Self::instrumented) to publish them.
+    pub fn new(config: AdmissionConfig, clock: SimClock) -> AdmissionController {
+        AdmissionController::build(config, clock, None)
+    }
+
+    /// A controller whose gauges and counters register with `telemetry`
+    /// (rendered by the Prometheus endpoint) and whose shed/deadline
+    /// events annotate active trace spans.
+    pub fn instrumented(
+        config: AdmissionConfig,
+        clock: SimClock,
+        telemetry: &Telemetry,
+    ) -> AdmissionController {
+        AdmissionController::build(config, clock, Some(telemetry.clone()))
+    }
+
+    fn build(
+        config: AdmissionConfig,
+        clock: SimClock,
+        telemetry: Option<Telemetry>,
+    ) -> AdmissionController {
+        let class = |c: Workclass| {
+            let label = c.label();
+            let (depth_gauge, sojourn_gauge, shed, deadline_exceeded) = match &telemetry {
+                Some(t) => (
+                    t.gauge(&format!("vnfguard_net_queue_depth_{label}")),
+                    t.gauge(&format!("vnfguard_net_sojourn_micros_{label}")),
+                    t.counter(&format!("vnfguard_net_shed_total_{label}")),
+                    t.counter(&format!("vnfguard_net_deadline_exceeded_total_{label}")),
+                ),
+                None => (
+                    Gauge::detached(),
+                    Gauge::detached(),
+                    Counter::detached(),
+                    Counter::detached(),
+                ),
+            };
+            ClassState {
+                bound: config.bound_for(c),
+                waiting: AtomicUsize::new(0),
+                codel: Mutex::new(CodelState::default()),
+                depth_gauge,
+                sojourn_gauge,
+                shed,
+                deadline_exceeded,
+            }
+        };
+        let (shed_total, deadline_total) = match &telemetry {
+            Some(t) => (
+                t.counter("vnfguard_net_shed_total"),
+                t.counter("vnfguard_net_deadline_exceeded_total"),
+            ),
+            None => (Counter::detached(), Counter::detached()),
+        };
+        AdmissionController {
+            clock,
+            classes: [
+                class(Workclass::Revocation),
+                class(Workclass::Renewal),
+                class(Workclass::Enrollment),
+                class(Workclass::Introspection),
+            ],
+            shed_total,
+            deadline_total,
+            telemetry,
+            config,
+        }
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Requests of `class` currently queued (admitted, not yet released).
+    pub fn waiting(&self, class: Workclass) -> usize {
+        self.classes[class.index()].waiting.load(Ordering::Relaxed)
+    }
+
+    fn total_waiting(&self) -> usize {
+        self.classes
+            .iter()
+            .map(|c| c.waiting.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// How long a shed client should back off, scaled to total congestion
+    /// so deeper storms spread their retries across a wider window.
+    fn retry_after_secs(&self) -> u64 {
+        let congestion = self.total_waiting() / self.config.queue_bound.max(1);
+        self.config
+            .retry_after_base_secs
+            .max(1)
+            .saturating_mul(1 + congestion as u64)
+    }
+
+    fn note_shed(&self, class: Workclass, trace: Option<&TraceContext>, detail: &str) {
+        self.classes[class.index()].shed.inc();
+        self.shed_total.inc();
+        self.annotate(trace, "shed", detail);
+    }
+
+    fn note_deadline(&self, class: Workclass, trace: Option<&TraceContext>, detail: &str) {
+        self.classes[class.index()].deadline_exceeded.inc();
+        self.deadline_total.inc();
+        self.annotate(trace, "deadline", detail);
+    }
+
+    /// Record why a request died into its active trace span, so waterfall
+    /// views show shed/deadline events inline.
+    pub fn annotate(&self, trace: Option<&TraceContext>, kind: &str, detail: &str) {
+        if let (Some(telemetry), Some(ctx)) = (&self.telemetry, trace) {
+            telemetry.trace_annotate(ctx, self.clock.now(), kind, detail);
+        }
+    }
+
+    /// The depth gate: admit a request of `class` into its queue, or shed.
+    /// Call **before** waiting on a shard lock; hold the returned
+    /// [`Permit`] until the request is finished (its `Drop` releases the
+    /// queue slot).
+    pub fn admit(
+        &self,
+        class: Workclass,
+        trace: Option<&TraceContext>,
+    ) -> Result<Permit<'_>, CoreError> {
+        if let Some(deadline) = current_deadline() {
+            if deadline.expired(&self.clock) {
+                let detail = format!("{} request arrived with exhausted budget", class.label());
+                self.note_deadline(class, trace, &detail);
+                return Err(CoreError::DeadlineExceeded(detail));
+            }
+        }
+        let state = &self.classes[class.index()];
+        // Optimistically reserve, then back out if over bound: racing
+        // admits may both see room, but depth never exceeds bound + racers
+        // and the accounting stays exact.
+        let depth = state.waiting.fetch_add(1, Ordering::Relaxed) + 1;
+        if depth > state.bound {
+            state.waiting.fetch_sub(1, Ordering::Relaxed);
+            let retry_after_secs = self.retry_after_secs();
+            let detail = format!(
+                "{} queue full ({} waiting, bound {})",
+                class.label(),
+                depth - 1,
+                state.bound
+            );
+            self.note_shed(class, trace, &detail);
+            return Err(CoreError::Overloaded {
+                detail,
+                retry_after_secs,
+            });
+        }
+        state.depth_gauge.set(depth as i64);
+        Ok(Permit {
+            controller: self,
+            class,
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// The sojourn gate: call once the shard lock is acquired. Sheds if
+    /// queueing delay shows a standing queue (CoDel: sojourn above target
+    /// for a full interval) or if the request's deadline died while it
+    /// waited. On `Err` the caller must release the lock without touching
+    /// state; the permit's `Drop` still releases the queue slot.
+    pub fn dequeued(&self, permit: &Permit<'_>, trace: Option<&TraceContext>) -> Result<(), CoreError> {
+        let class = permit.class;
+        let state = &self.classes[class.index()];
+        let sojourn_micros = permit.enqueued.elapsed().as_micros() as u64;
+        state.sojourn_gauge.set(sojourn_micros as i64);
+        if let Some(deadline) = current_deadline() {
+            if deadline.expired(&self.clock) {
+                let detail = format!(
+                    "{} request budget died in queue ({sojourn_micros}us sojourn)",
+                    class.label()
+                );
+                self.note_deadline(class, trace, &detail);
+                return Err(CoreError::DeadlineExceeded(detail));
+            }
+        }
+        let shed = {
+            let mut codel = state.codel.lock().expect("codel state poisoned");
+            if sojourn_micros <= self.config.sojourn_target_micros {
+                codel.above_since = None;
+                false
+            } else {
+                let now = Instant::now();
+                match codel.above_since {
+                    None => {
+                        codel.above_since = Some(now);
+                        false
+                    }
+                    Some(since)
+                        if now.duration_since(since).as_micros() as u64
+                            >= self.config.sojourn_interval_micros =>
+                    {
+                        // Restart the interval rather than shedding every
+                        // subsequent dequeue while above target.
+                        codel.above_since = Some(now);
+                        true
+                    }
+                    Some(_) => false,
+                }
+            }
+        };
+        if shed {
+            let retry_after_secs = self.retry_after_secs();
+            let detail = format!(
+                "{} sojourn {}us above {}us target for a full interval",
+                class.label(),
+                sojourn_micros,
+                self.config.sojourn_target_micros
+            );
+            self.note_shed(class, trace, &detail);
+            return Err(CoreError::Overloaded {
+                detail,
+                retry_after_secs,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("AdmissionController");
+        for class in Workclass::ALL {
+            s.field(class.label(), &self.waiting(class));
+        }
+        s.finish()
+    }
+}
+
+/// A queue slot held by an admitted request; dropping it releases the
+/// slot and updates the depth gauge.
+#[derive(Debug)]
+pub struct Permit<'a> {
+    controller: &'a AdmissionController,
+    class: Workclass,
+    enqueued: Instant,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let state = &self.controller.classes[self.class.index()];
+        let before = state.waiting.fetch_sub(1, Ordering::Relaxed);
+        state.depth_gauge.set(before.saturating_sub(1) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(bound: usize) -> AdmissionConfig {
+        AdmissionConfig {
+            queue_bound: bound,
+            // Effectively disable the sojourn gate unless a test opts in.
+            sojourn_target_micros: u64::MAX,
+            sojourn_interval_micros: u64::MAX,
+            retry_after_base_secs: 2,
+        }
+    }
+
+    #[test]
+    fn zero_budget_deadline_is_born_expired() {
+        let clock = SimClock::at(100);
+        let deadline = Deadline::start(&clock, 0);
+        assert!(deadline.expired(&clock));
+        assert_eq!(deadline.remaining_millis(&clock), 0);
+    }
+
+    #[test]
+    fn sim_clock_advance_expires_deadline() {
+        let clock = SimClock::at(100);
+        let deadline = Deadline::start(&clock, 2_000);
+        assert!(!deadline.expired(&clock));
+        clock.advance(1);
+        assert!(!deadline.expired(&clock));
+        clock.advance(1);
+        assert!(deadline.expired(&clock));
+        assert_eq!(deadline.remaining_millis(&clock), 0);
+    }
+
+    #[test]
+    fn wall_clock_expires_deadline_while_sim_time_stands_still() {
+        let clock = SimClock::at(100);
+        let deadline = Deadline::start(&clock, 5);
+        std::thread::sleep(Duration::from_millis(10));
+        // The sim clock never moved, but the real budget is gone.
+        assert_eq!(clock.now(), 100);
+        assert!(deadline.expired(&clock));
+    }
+
+    #[test]
+    fn deadline_scopes_nest_and_restore() {
+        let clock = SimClock::at(0);
+        assert!(current_deadline().is_none());
+        let outer = DeadlineScope::enter(Deadline::start(&clock, 60_000));
+        assert!(check_deadline(&clock, "outer").is_ok());
+        {
+            let _inner = DeadlineScope::enter(Deadline::start(&clock, 0));
+            assert!(matches!(
+                check_deadline(&clock, "inner"),
+                Err(CoreError::DeadlineExceeded(_))
+            ));
+        }
+        // Inner scope dropped: the outer (live) deadline is back.
+        assert!(check_deadline(&clock, "outer again").is_ok());
+        drop(outer);
+        assert!(current_deadline().is_none());
+    }
+
+    #[test]
+    fn depth_gate_sheds_at_bound_and_permits_release() {
+        let controller = AdmissionController::new(config(4), SimClock::at(0));
+        let permits: Vec<_> = (0..4)
+            .map(|_| controller.admit(Workclass::Revocation, None).expect("room"))
+            .collect();
+        assert_eq!(controller.waiting(Workclass::Revocation), 4);
+        let shed = controller.admit(Workclass::Revocation, None);
+        match shed {
+            Err(CoreError::Overloaded {
+                retry_after_secs, ..
+            }) => assert!(retry_after_secs >= 2),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        drop(permits);
+        assert_eq!(controller.waiting(Workclass::Revocation), 0);
+        let permit = controller.admit(Workclass::Revocation, None).expect("drained");
+        assert!(controller.dequeued(&permit, None).is_ok());
+    }
+
+    #[test]
+    fn lower_classes_run_out_of_room_first() {
+        let controller = AdmissionController::new(config(8), SimClock::at(0));
+        // Enrollment gets half the bound; fill it.
+        let _enrollments: Vec<_> = (0..4)
+            .map(|_| controller.admit(Workclass::Enrollment, None).expect("room"))
+            .collect();
+        assert!(controller.admit(Workclass::Enrollment, None).is_err());
+        // Revocations still admit: priority by bound asymmetry.
+        assert!(controller.admit(Workclass::Revocation, None).is_ok());
+        // Introspection has the smallest queue of all.
+        let _reads: Vec<_> = (0..2)
+            .map(|_| controller.admit(Workclass::Introspection, None).expect("room"))
+            .collect();
+        assert!(controller.admit(Workclass::Introspection, None).is_err());
+    }
+
+    #[test]
+    fn codel_sheds_only_after_a_standing_queue_persists() {
+        let clock = SimClock::at(0);
+        let controller = AdmissionController::new(
+            AdmissionConfig {
+                queue_bound: 8,
+                sojourn_target_micros: 500,
+                sojourn_interval_micros: 3_000,
+                retry_after_base_secs: 1,
+            },
+            clock,
+        );
+        let slow_dequeue = || {
+            let permit = controller.admit(Workclass::Renewal, None).expect("room");
+            std::thread::sleep(Duration::from_millis(2));
+            controller.dequeued(&permit, None)
+        };
+        // First above-target sojourn starts the interval, no shed yet.
+        assert!(slow_dequeue().is_ok());
+        std::thread::sleep(Duration::from_millis(4));
+        // Still above target a full interval later: shed.
+        assert!(matches!(
+            slow_dequeue(),
+            Err(CoreError::Overloaded { .. })
+        ));
+        // A prompt dequeue resets the interval.
+        let quick = controller.admit(Workclass::Renewal, None).expect("room");
+        assert!(controller.dequeued(&quick, None).is_ok());
+        drop(quick);
+        assert!(slow_dequeue().is_ok(), "interval restarted after drain");
+    }
+
+    #[test]
+    fn expired_ambient_deadline_is_refused_at_both_gates() {
+        let clock = SimClock::at(0);
+        let controller = AdmissionController::new(config(8), clock.clone());
+        let _scope = DeadlineScope::enter(Deadline::start(&clock, 2_000));
+        let permit = controller.admit(Workclass::Renewal, None).expect("live budget");
+        clock.advance(5);
+        assert!(matches!(
+            controller.dequeued(&permit, None),
+            Err(CoreError::DeadlineExceeded(_))
+        ));
+        drop(permit);
+        assert!(matches!(
+            controller.admit(Workclass::Renewal, None),
+            Err(CoreError::DeadlineExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn instrumented_controller_publishes_metrics() {
+        let telemetry = Telemetry::new();
+        let clock = SimClock::at(0);
+        // queue_bound 4 → enrollment (half) gets 2 slots.
+        let controller = AdmissionController::instrumented(config(4), clock, &telemetry);
+        let _held: Vec<_> = (0..2)
+            .map(|_| controller.admit(Workclass::Enrollment, None).expect("room"))
+            .collect();
+        let _ = controller.admit(Workclass::Enrollment, None);
+        let rendered = telemetry.render_prometheus();
+        assert!(rendered.contains("vnfguard_net_queue_depth_enrollment 2"));
+        assert!(rendered.contains("vnfguard_net_shed_total_enrollment 1"));
+        assert!(rendered.contains("vnfguard_net_shed_total 1"));
+    }
+}

@@ -25,7 +25,8 @@
 //! Payload binary fields travel base64-encoded inside JSON bodies.
 
 use crate::attestation::{host_evidence, HostEvidence};
-use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryPolicy};
+use crate::overload::{check_deadline, Deadline, DeadlineScope};
+use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
 use crate::service::VmService;
 use crate::CoreError;
 use parking_lot::{Mutex, RwLock};
@@ -201,6 +202,7 @@ pub struct RemoteIas {
     report_key: vnfguard_crypto::ed25519::VerifyingKey,
     clock: SimClock,
     retry: RetryPolicy,
+    retry_budget: Option<Arc<RetryBudget>>,
     breaker: CircuitBreaker,
     last_attempts: Vec<AttemptRecord>,
     telemetry: Telemetry,
@@ -228,6 +230,7 @@ impl RemoteIas {
             report_key,
             clock: SimClock::at(0),
             retry: RetryPolicy::default(),
+            retry_budget: None,
             breaker: CircuitBreaker::new(3, 60),
             last_attempts: Vec::new(),
             telemetry: Telemetry::disabled(),
@@ -249,6 +252,16 @@ impl RemoteIas {
         self.clock = clock;
         self.retry = retry;
         self.breaker = breaker;
+        self
+    }
+
+    /// Cap retry amplification with a shared token bucket: once the budget
+    /// is empty, failed IAS calls are not retried until tokens refill —
+    /// one brownout cannot turn N failing verifications into N × attempts
+    /// extra load. The `Arc` is typically shared with the deployment's
+    /// other clients so the cap is per-deployment, not per-handle.
+    pub fn with_retry_budget(mut self, budget: Arc<RetryBudget>) -> RemoteIas {
+        self.retry_budget = Some(budget);
         self
     }
 
@@ -327,6 +340,18 @@ impl RemoteIas {
 impl QuoteVerifier for RemoteIas {
     fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
         let trace = self.trace.clone().unwrap_or_default();
+        if check_deadline(&self.clock, "ias verify_quote").is_err() {
+            // The request's budget is already gone: don't spend a network
+            // round-trip (or a breaker sample) on an answer nobody will
+            // read. The unverifiable report fails closed like the rest.
+            self.telemetry.trace_annotate(
+                &trace,
+                self.clock.now(),
+                "deadline",
+                &format!("{}: budget exhausted before IAS round-trip", self.address),
+            );
+            return Self::unverifiable_report(nonce, "IAS_DEADLINE_EXCEEDED");
+        }
         if !self.breaker.allows(self.clock.now()) {
             // Open circuit: fail fast without touching the network. The
             // report is unverifiable, so callers that ignore availability
@@ -354,7 +379,10 @@ impl QuoteVerifier for RemoteIas {
                 clock.now(),
             );
             let _span = span.with_histogram(self.roundtrip_micros.clone());
-            let outcome = self.retry.run(&self.clock, |attempt| {
+            // The retry loop itself re-checks the ambient deadline and the
+            // shared retry budget before every backoff.
+            let budget = self.retry_budget.as_deref();
+            let outcome = self.retry.run_with_budget(&self.clock, budget, |attempt| {
                 let (attempt_ctx, _attempt_span) = telemetry.trace_child(
                     &roundtrip_ctx,
                     "vm",
@@ -838,8 +866,64 @@ fn fenced_or(error: CoreError, fallback: impl FnOnce(CoreError) -> ApiError) -> 
         CoreError::ServiceUnavailable(detail) if detail.contains("fenced") => {
             ApiError::unavailable(error.to_string()).with_code("fenced")
         }
+        // Admission shed: 503 `"overloaded"` with the retry hint in both
+        // the body and a `retry-after` header, distinct from `"fenced"`.
+        CoreError::Overloaded {
+            retry_after_secs, ..
+        } => ApiError::overloaded(error.to_string(), *retry_after_secs),
+        // Budget ran out mid-request: 504 `"deadline"`, no retry hint —
+        // the caller's own (refreshed) budget decides what happens next.
+        CoreError::DeadlineExceeded(_) => ApiError::deadline(error.to_string()),
         _ => fallback(error),
     }
+}
+
+/// Install the request's propagated `x-vnfguard-deadline` budget (if any)
+/// as the thread's ambient deadline for the rest of the handler: shard
+/// admission gates, IAS retry loops and replication ack retries all check
+/// it and fail fast once it dies. Requests without the header run
+/// unbounded, as before.
+fn enter_deadline(clock: &SimClock, request: &Request) -> Option<DeadlineScope> {
+    request
+        .deadline_millis()
+        .map(|budget| DeadlineScope::enter(Deadline::start(clock, budget)))
+}
+
+/// Issue a VM API request, honoring overload backpressure: a 503
+/// `"overloaded"` response waits out the server's `retry-after-secs` hint
+/// (advancing the sim clock, not sleeping) before trying again, up to
+/// `max_attempts` total tries. A 504 `"deadline"` is returned immediately
+/// — the budget that died was this caller's own, so blind retry without a
+/// fresh budget would just die again. Other responses, success or error,
+/// pass straight through.
+pub fn vm_request_with_backpressure(
+    network: &Network,
+    address: &str,
+    request: &Request,
+    clock: &SimClock,
+    max_attempts: u32,
+) -> Result<Response, CoreError> {
+    let attempts = max_attempts.max(1);
+    let mut last = None;
+    for _ in 0..attempts {
+        let mut stream = network
+            .connect_from("operator", address)
+            .map_err(|e| CoreError::ServiceUnavailable(format!("{address}: {e}")))?;
+        stream.set_read_timeout(Some(AGENT_READ_TIMEOUT));
+        let mut client = vnfguard_net::server::HttpClient::new(stream);
+        let response = client
+            .request(request)
+            .map_err(|e| CoreError::ServiceUnavailable(format!("{address}: {e}")))?;
+        if response.status == Status::ServiceUnavailable {
+            if let Some(hint) = response.retry_after_secs() {
+                clock.advance(hint.max(1));
+                last = Some(response);
+                continue;
+            }
+        }
+        return Ok(response);
+    }
+    Ok(last.expect("at least one attempt ran"))
 }
 
 /// Serve the Verification Manager's operator API on the fabric.
@@ -899,8 +983,11 @@ pub fn serve_vm_api(
         telemetry.counter("vnfguard_core_api_requests_total"),
         telemetry.counter("vnfguard_core_api_request_errors_total"),
     );
+    // One clock clone for the whole router: `vm.clock()` locks the
+    // authority shard, so handlers must not call it per-request.
+    let clock = vm.clock();
     {
-        let clock = vm.clock();
+        let clock = clock.clone();
         router.instrument_traces(&telemetry, "vm_api", move || clock.now());
     }
 
@@ -908,7 +995,9 @@ pub fn serve_vm_api(
         let vm = vm.clone();
         let ias = ias.clone();
         let network = network.clone();
+        let clock = clock.clone();
         router.post_api("/vm/hosts/:id/attest", move |request, params| {
+            let _deadline = enter_deadline(&clock, request);
             let host_id = params.get("id").unwrap_or("");
             let trace = request.trace_context();
             let mut ias = ias.lock();
@@ -926,7 +1015,9 @@ pub fn serve_vm_api(
         let ias = ias.clone();
         let network = network.clone();
         let controller_cn = controller_cn.clone();
+        let clock = clock.clone();
         router.post_api("/vm/hosts/:id/vnfs/:name/enroll", move |request, params| {
+            let _deadline = enter_deadline(&clock, request);
             let host_id = params.get("id").unwrap_or("");
             let vnf_name = params.get("name").unwrap_or("");
             let trace = request.trace_context();
@@ -951,7 +1042,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
+        let clock = clock.clone();
         router.post_api("/vm/revoke", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let body = api_json(request)?;
             let serial = body
                 .get("serial")
@@ -971,7 +1064,9 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         let controller_cn = controller_cn.clone();
+        let clock = clock.clone();
         router.post_api("/vm/renew", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let body = api_json(request)?;
             let serial = body
                 .get("serial")
@@ -988,6 +1083,19 @@ pub fn serve_vm_api(
                     trace.as_ref(),
                 )
                 .map_err(|e| {
+                    // A shed or expired renewal must not wait for the cert's
+                    // renewal window to come around again: park this serial on
+                    // a jittered backoff so the next lifecycle sweep retries
+                    // it off-peak instead of rejoining the stampede.
+                    match &e {
+                        CoreError::Overloaded {
+                            retry_after_secs, ..
+                        } => vm.note_renewal_refused(serial as u64, *retry_after_secs),
+                        CoreError::DeadlineExceeded(_) => {
+                            vm.note_renewal_refused(serial as u64, 1)
+                        }
+                        _ => {}
+                    }
                     fenced_or(e, |e| match e {
                         CoreError::WorkflowViolation(_) => ApiError::not_found(e.to_string()),
                         _ => ApiError::forbidden(e.to_string()),
@@ -1004,7 +1112,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
+        let clock = clock.clone();
         router.post_api("/vm/rotate", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let trace = request.trace_context();
             let rotation = vm
                 .rotate_ca_traced(trace.as_ref())
@@ -1019,7 +1129,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/ca", move |_, _| {
+        let clock = clock.clone();
+        router.get_api("/vm/ca", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let mut body = Json::object()
                 .with("certificate", base64::encode(&vm.ca_certificate().encode()))
                 .with("epoch", vm.ca_epoch() as i64);
@@ -1051,7 +1163,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/crl", move |_, _| {
+        let clock = clock.clone();
+        router.get_api("/vm/crl", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let crl = vm
                 .latest_crl()
                 .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
@@ -1065,8 +1179,13 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/lifecycle", move |_, _| {
-            let status = vm.lifecycle_status();
+        let clock = clock.clone();
+        router.get_api("/vm/lifecycle", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
+            let trace = request.trace_context();
+            let status = vm
+                .lifecycle_status_admitted(trace.as_ref())
+                .map_err(|e| fenced_or(e, |e| ApiError::unavailable(e.to_string())))?;
             let mut body = Json::object()
                 .with("at", status.at as i64)
                 .with("active", status.active as i64)
@@ -1084,7 +1203,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/status", move |_, _| {
+        let clock = clock.clone();
+        router.get_api("/vm/status", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             Ok(Response::json(
                 Status::Ok,
                 &Json::object()
@@ -1096,7 +1217,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/recovery", move |_, _| {
+        let clock = clock.clone();
+        router.get_api("/vm/recovery", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             let report = vm.recovery_report();
             let mut body = Json::object().with("recovered", report.is_some());
             if let Some(report) = report {
@@ -1129,7 +1252,9 @@ pub fn serve_vm_api(
     }
     {
         let vm = vm.clone();
-        router.get_api("/vm/replication", move |_, _| {
+        let clock = clock.clone();
+        router.get_api("/vm/replication", move |request, _| {
+            let _deadline = enter_deadline(&clock, request);
             // Reading the status refreshes the replication gauges, so a
             // metrics scrape right after this sees current lag numbers.
             let body = match vm.replication_status() {
@@ -1168,12 +1293,15 @@ pub fn serve_vm_api(
     {
         let telemetry = telemetry.clone();
         router.get_api("/vm/metrics", move |_, _| {
+            // deadline-opt-out: metrics scrapes must stay readable while
+            // the service is overloaded — exactly when operators need them.
             Ok(Response::text(Status::Ok, &telemetry.render_prometheus()))
         });
     }
     {
         let telemetry = telemetry.clone();
         router.get_api("/vm/traces", move |_, _| {
+            // deadline-opt-out: trace reads are the overload debugging tool.
             let traces: Json = telemetry
                 .traces()
                 .summaries()
@@ -1199,6 +1327,7 @@ pub fn serve_vm_api(
     {
         let telemetry = telemetry.clone();
         router.get_api("/vm/traces/:id", move |request, params| {
+            // deadline-opt-out: trace reads are the overload debugging tool.
             let raw = params.get("id").unwrap_or("");
             let trace_id = u128::from_str_radix(raw, 16)
                 .map_err(|_| ApiError::bad_request("trace id must be hex"))?;
@@ -1236,6 +1365,7 @@ pub fn serve_vm_api(
     {
         let telemetry = telemetry.clone();
         router.get_api("/vm/events", move |request, _| {
+            // deadline-opt-out: the audit journal feed stays readable under load.
             let since = match request.query_param("since") {
                 Some(raw) => raw.parse::<u64>().map_err(|_| {
                     ApiError::bad_request("'since' must be an integer sequence number")

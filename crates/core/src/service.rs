@@ -39,6 +39,7 @@ use crate::manager::{
     shard_of_challenge, shard_of_serial, Challenge, EnrollmentRecord, HostRecord,
     PendingEnrollment, RecoveryReport, VerificationManager, VmEvent,
 };
+use crate::overload::{AdmissionController, Permit, Workclass};
 use crate::replication::ReplicationStatus;
 use crate::CoreError;
 use parking_lot::{Mutex, MutexGuard};
@@ -70,6 +71,7 @@ pub fn shard_of_vnf(vnf_name: &str, shard_count: usize) -> usize {
 #[derive(Clone)]
 pub struct VmService {
     shards: Arc<Vec<Mutex<VerificationManager>>>,
+    admission: Option<Arc<AdmissionController>>,
 }
 
 impl VmService {
@@ -86,7 +88,48 @@ impl VmService {
         assert!(!shards.is_empty(), "a VmService needs at least one shard");
         VmService {
             shards: Arc::new(shards.into_iter().map(Mutex::new).collect()),
+            admission: None,
         }
+    }
+
+    /// Put an [`AdmissionController`] in front of the workflow methods.
+    /// Enrollment, renewal, revocation/CRL, and admitted introspection
+    /// calls then pass the depth gate before queueing on a shard lock and
+    /// the sojourn/deadline gate right after acquiring it. Commit and
+    /// abort are deliberately *never* gated: shedding the second phase of
+    /// a two-phase enrollment would orphan the prepare in the WAL.
+    pub fn with_admission(mut self, admission: Arc<AdmissionController>) -> VmService {
+        self.admission = Some(admission);
+        self
+    }
+
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_deref()
+    }
+
+    /// The depth gate, a no-op when admission control is off.
+    fn gate(
+        &self,
+        class: Workclass,
+        trace: Option<&TraceContext>,
+    ) -> Result<Option<Permit<'_>>, CoreError> {
+        match &self.admission {
+            Some(admission) => admission.admit(class, trace).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// The sojourn/deadline gate; call with the shard lock held, before
+    /// touching any state, so a shed leaves nothing behind.
+    fn pass_dequeue(
+        &self,
+        permit: &Option<Permit<'_>>,
+        trace: Option<&TraceContext>,
+    ) -> Result<(), CoreError> {
+        if let (Some(admission), Some(permit)) = (self.admission.as_deref(), permit.as_ref()) {
+            admission.dequeued(permit, trace)?;
+        }
+        Ok(())
     }
 
     pub fn shard_count(&self) -> usize {
@@ -129,6 +172,31 @@ impl VmService {
         f: impl FnOnce(&mut VerificationManager) -> R,
     ) -> R {
         let mut vm = self.shards[index].lock();
+        if let Some(ctx) = trace {
+            vm.set_trace_context(Some(ctx.clone()));
+        }
+        let result = f(&mut vm);
+        if trace.is_some() {
+            vm.set_trace_context(None);
+        }
+        result
+    }
+
+    /// [`with_shard_traced`](Self::with_shard_traced) behind both
+    /// admission gates: shed before queueing when the class is full, shed
+    /// after acquiring the lock when sojourn shows a standing queue or the
+    /// request's deadline died while it waited. Either shed happens before
+    /// `f` runs, so refused requests touch no manager state.
+    fn with_shard_gated<R>(
+        &self,
+        index: usize,
+        class: Workclass,
+        trace: Option<&TraceContext>,
+        f: impl FnOnce(&mut VerificationManager) -> Result<R, CoreError>,
+    ) -> Result<R, CoreError> {
+        let permit = self.gate(class, trace)?;
+        let mut vm = self.shards[index].lock();
+        self.pass_dequeue(&permit, trace)?;
         if let Some(ctx) = trace {
             vm.set_trace_context(Some(ctx.clone()));
         }
@@ -255,7 +323,9 @@ impl VmService {
         vnf_name: &str,
     ) -> Result<Challenge, CoreError> {
         let shard = self.shard_for_vnf(vnf_name);
-        self.shards[shard].lock().begin_vnf_attestation(host_id, vnf_name)
+        self.with_shard_gated(shard, Workclass::Enrollment, None, |vm| {
+            vm.begin_vnf_attestation(host_id, vnf_name)
+        })
     }
 
     /// Steps 4–5 in one shot (prepare + commit).
@@ -268,13 +338,15 @@ impl VmService {
         controller_cn: &str,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
         let shard = self.shard_for_challenge(challenge_id);
-        self.shards[shard].lock().complete_vnf_enrollment(
-            ias,
-            challenge_id,
-            quote_bytes,
-            provisioning_key,
-            controller_cn,
-        )
+        self.with_shard_gated(shard, Workclass::Enrollment, None, |vm| {
+            vm.complete_vnf_enrollment(
+                ias,
+                challenge_id,
+                quote_bytes,
+                provisioning_key,
+                controller_cn,
+            )
+        })
     }
 
     /// Phase one of two-phase enrollment; the returned serial is the
@@ -307,7 +379,7 @@ impl VmService {
         trace: Option<&TraceContext>,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
         let shard = self.shard_for_challenge(challenge_id);
-        self.with_shard_traced(shard, trace, |vm| {
+        self.with_shard_gated(shard, Workclass::Enrollment, trace, |vm| {
             vm.prepare_vnf_enrollment(ias, challenge_id, quote_bytes, provisioning_key, controller_cn)
         })
     }
@@ -390,7 +462,7 @@ impl VmService {
         trace: Option<&TraceContext>,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
         let shard = self.shard_for_serial(serial);
-        self.with_shard_traced(shard, trace, |vm| {
+        self.with_shard_gated(shard, Workclass::Renewal, trace, |vm| {
             vm.renew_vnf_credential(serial, provisioning_key, controller_cn)
         })
     }
@@ -401,12 +473,30 @@ impl VmService {
         reason: RevocationReason,
     ) -> Result<(), CoreError> {
         let shard = self.shard_for_serial(serial);
-        self.shards[shard].lock().revoke_credential(serial, reason)
+        self.with_shard_gated(shard, Workclass::Revocation, None, |vm| {
+            vm.revoke_credential(serial, reason)
+        })
     }
 
     pub fn credential_is_revoked(&self, serial: u64) -> bool {
         let shard = self.shard_for_serial(serial);
         self.shards[shard].lock().credential_is_revoked(serial)
+    }
+
+    /// Record a refused renewal (see
+    /// [`VerificationManager::note_renewal_refused`]) on the owning shard.
+    /// Ungated: the bookkeeping that *stops* refused renewals from being
+    /// re-offered must not itself be sheddable.
+    pub fn note_renewal_refused(&self, serial: u64, retry_after_secs: u64) {
+        let shard = self.shard_for_serial(serial);
+        self.shards[shard].lock().note_renewal_refused(serial, retry_after_secs);
+    }
+
+    /// The instant before which refused-renewal backoff hides `serial`
+    /// from the renewal sweep, if the serial is parked.
+    pub fn renewal_backoff_until(&self, serial: u64) -> Option<u64> {
+        let shard = self.shard_for_serial(serial);
+        self.shards[shard].lock().renewal_backoff_until(serial)
     }
 
     /// Credentials inside their renewal window, across all shards.
@@ -473,10 +563,17 @@ impl VmService {
     }
 
     /// Mint a fresh fleet CRL: the authority journals the number bump and
-    /// signs its own revocations merged with every other shard's.
+    /// signs its own revocations merged with every other shard's. Gated
+    /// in the revocation class — the highest, so CRL work still admits
+    /// under an enrollment flood.
     pub fn issue_crl(&self) -> Result<Crl, CoreError> {
+        let permit = self.gate(Workclass::Revocation, None)?;
         let (extras, _) = self.gather_remote_revocations();
-        let crl = self.authority().issue_crl_merged(&extras)?;
+        let crl = {
+            let mut authority = self.authority();
+            self.pass_dequeue(&permit, None)?;
+            authority.issue_crl_merged(&extras)
+        }?;
         self.clear_remote_dirty();
         Ok(crl)
     }
@@ -484,9 +581,11 @@ impl VmService {
     /// The fleet CRL to serve to polling relying parties: the cached copy
     /// unless any shard has revocations (or a rotation) not yet covered.
     pub fn latest_crl(&self) -> Result<Crl, CoreError> {
+        let permit = self.gate(Workclass::Revocation, None)?;
         let (extras, any_dirty) = self.gather_remote_revocations();
         let crl = {
             let mut authority = self.authority();
+            self.pass_dequeue(&permit, None)?;
             if any_dirty {
                 authority.issue_crl_merged(&extras)
             } else {
@@ -579,6 +678,29 @@ impl VmService {
             status.expiring += shard_status.expiring;
         }
         status
+    }
+
+    /// [`lifecycle_status`](Self::lifecycle_status) behind the
+    /// introspection admission class — the smallest queue, so status
+    /// polling is the first traffic shed when the fleet is busy saving
+    /// credentials. Serving-path callers use this; harness code that must
+    /// never be refused keeps the ungated form.
+    pub fn lifecycle_status_admitted(
+        &self,
+        trace: Option<&TraceContext>,
+    ) -> Result<LifecycleStatus, CoreError> {
+        let permit = self.gate(Workclass::Introspection, trace)?;
+        let mut status = {
+            let authority = self.authority();
+            self.pass_dequeue(&permit, trace)?;
+            authority.lifecycle_status()
+        };
+        for shard in &self.shards[1..] {
+            let shard_status = shard.lock().lifecycle_status();
+            status.active += shard_status.active;
+            status.expiring += shard_status.expiring;
+        }
+        Ok(status)
     }
 
     /// Node-loss injection: halt every shard in place.

@@ -188,12 +188,17 @@ fn guard_auto_renews_before_expiry() {
         }),
     );
 
-    // Outside the window: the old credential keeps serving.
+    // Before the guard's jittered renewal point: the old credential keeps
+    // serving.
     tb.open_session(&mut guard).unwrap();
     assert_eq!(guard.status().unwrap().serial, first.serial());
 
-    // Inside the window: open_session renews first, then connects.
-    tb.clock.advance(79_000);
+    // At the jittered point (inside the window, spread per guard so a
+    // fleet does not stampede): open_session renews first, then connects.
+    let renew_at = guard.renew_at().unwrap();
+    assert!(renew_at >= not_after - 7200, "renew_at inside the window");
+    assert!(renew_at < not_after, "renew_at before expiry");
+    tb.clock.advance(renew_at.saturating_sub(tb.clock.now()));
     tb.open_session(&mut guard).unwrap();
     assert_eq!(guard.status().unwrap().serial, renewed.serial());
     assert_eq!(guard.credential_not_after(), Some(renewed_not_after));
@@ -230,7 +235,8 @@ fn failed_renewal_provision_keeps_auto_renew_armed() {
     // Inside the window the garbage bundle fails to provision — but the
     // still-valid credential keeps serving and the hook stays armed
     // instead of being silently dropped on the error path.
-    tb.clock.advance(79_000);
+    let renew_at = guard.renew_at().unwrap();
+    tb.clock.advance(renew_at.saturating_sub(tb.clock.now()));
     tb.open_session(&mut guard).unwrap();
     assert_eq!(guard.status().unwrap().serial, first.serial());
     assert_eq!(guard.credential_not_after(), Some(not_after));

@@ -14,6 +14,10 @@ use vnfguard_telemetry::TraceContext;
 pub const MAX_HEADER_BYTES: usize = 16 * 1024;
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
+/// Header carrying a request's remaining deadline budget in milliseconds.
+/// Travels alongside `traceparent`; see [`Request::with_deadline_millis`].
+pub const DEADLINE_HEADER: &str = "x-vnfguard-deadline";
+
 /// HTTP request methods used by the REST APIs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -57,6 +61,7 @@ pub enum Status {
     Conflict,
     ServerError,
     ServiceUnavailable,
+    GatewayTimeout,
 }
 
 impl Status {
@@ -72,6 +77,7 @@ impl Status {
             Status::Conflict => 409,
             Status::ServerError => 500,
             Status::ServiceUnavailable => 503,
+            Status::GatewayTimeout => 504,
         }
     }
 
@@ -87,6 +93,7 @@ impl Status {
             Status::Conflict => "Conflict",
             Status::ServerError => "Internal Server Error",
             Status::ServiceUnavailable => "Service Unavailable",
+            Status::GatewayTimeout => "Gateway Timeout",
         }
     }
 
@@ -101,6 +108,7 @@ impl Status {
             404 => Status::NotFound,
             409 => Status::Conflict,
             503 => Status::ServiceUnavailable,
+            504 => Status::GatewayTimeout,
             _ => Status::ServerError,
         }
     }
@@ -161,6 +169,22 @@ impl Request {
     /// header, if present and well-formed.
     pub fn trace_context(&self) -> Option<TraceContext> {
         self.header("traceparent").and_then(TraceContext::parse)
+    }
+
+    /// Attach a deadline budget: the caller will wait at most
+    /// `budget_millis` for this request. Servers propagate the *remaining*
+    /// budget on downstream hops and refuse work once it reaches zero, so
+    /// nobody burns cycles on an answer no one is still waiting for.
+    pub fn with_deadline_millis(self, budget_millis: u64) -> Request {
+        self.with_header(DEADLINE_HEADER, &budget_millis.to_string())
+    }
+
+    /// The remaining deadline budget carried by this request, if any.
+    /// A malformed value reads as an exhausted budget (`Some(0)`) rather
+    /// than an absent deadline — fail closed, not open.
+    pub fn deadline_millis(&self) -> Option<u64> {
+        self.header(DEADLINE_HEADER)
+            .map(|raw| raw.trim().parse().unwrap_or(0))
     }
 
     pub fn with_json(mut self, body: &Json) -> Request {
@@ -245,6 +269,21 @@ impl Response {
         let text = std::str::from_utf8(&self.body)
             .map_err(|_| NetError::Protocol("response body is not UTF-8".into()))?;
         Ok(vnfguard_encoding::json::parse(text)?)
+    }
+
+    /// The server's backpressure hint: how many seconds to wait before
+    /// retrying, from the `retry-after` header or the `retry-after-secs`
+    /// field of a JSON error body. `None` when the server gave no hint.
+    pub fn retry_after_secs(&self) -> Option<u64> {
+        if let Some(raw) = self.header("retry-after") {
+            if let Ok(secs) = raw.trim().parse() {
+                return Some(secs);
+            }
+        }
+        self.parse_json()
+            .ok()
+            .and_then(|doc| doc.get("retry-after-secs").and_then(Json::as_i64))
+            .map(|secs| secs.max(0) as u64)
     }
 }
 
@@ -522,5 +561,32 @@ mod tests {
         assert!(!Status::Forbidden.is_success());
         assert_eq!(Status::from_code(404), Status::NotFound);
         assert_eq!(Status::from_code(599), Status::ServerError);
+        assert_eq!(Status::from_code(504), Status::GatewayTimeout);
+        assert_eq!(Status::GatewayTimeout.code(), 504);
+        assert!(!Status::GatewayTimeout.is_success());
+    }
+
+    #[test]
+    fn deadline_header_roundtrip() {
+        let request = Request::post("/vm/renew").with_deadline_millis(1500);
+        assert_eq!(request.header(DEADLINE_HEADER), Some("1500"));
+        assert_eq!(request.deadline_millis(), Some(1500));
+        assert_eq!(Request::get("/vm/ca").deadline_millis(), None);
+        // A garbled budget fails closed: exhausted, not absent.
+        let garbled = Request::get("/vm/ca").with_header(DEADLINE_HEADER, "soon");
+        assert_eq!(garbled.deadline_millis(), Some(0));
+    }
+
+    #[test]
+    fn retry_after_from_header_and_body() {
+        let mut response = Response::json(
+            Status::ServiceUnavailable,
+            &Json::object().with("code", "overloaded").with("retry-after-secs", 7i64),
+        );
+        assert_eq!(response.retry_after_secs(), Some(7));
+        // The header, when present, wins over the body field.
+        response.headers.insert("retry-after".into(), "3".into());
+        assert_eq!(response.retry_after_secs(), Some(3));
+        assert_eq!(Response::new(Status::Ok).retry_after_secs(), None);
     }
 }

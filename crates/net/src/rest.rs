@@ -34,6 +34,10 @@ pub struct ApiError {
     pub status: Status,
     pub code: String,
     pub message: String,
+    /// When set, the response advertises how long the client should wait
+    /// before retrying — both as a `retry-after` header and a
+    /// `retry-after-secs` body field. Set by [`ApiError::overloaded`].
+    pub retry_after_secs: Option<u64>,
 }
 
 impl ApiError {
@@ -45,12 +49,14 @@ impl ApiError {
             Status::NotFound => "not_found",
             Status::Conflict => "conflict",
             Status::ServiceUnavailable => "unavailable",
+            Status::GatewayTimeout => "deadline",
             _ => "server_error",
         };
         ApiError {
             status,
             code: code.to_string(),
             message: message.into(),
+            retry_after_secs: None,
         }
     }
 
@@ -89,6 +95,23 @@ impl ApiError {
     pub fn unavailable(message: impl Into<String>) -> ApiError {
         ApiError::new(Status::ServiceUnavailable, message)
     }
+
+    /// A 503 from admission control: the request was shed before any work
+    /// was done. Carries a retry hint sized to the queue the request would
+    /// have joined, so a storm of clients spreads out instead of hammering
+    /// the same instant.
+    pub fn overloaded(message: impl Into<String>, retry_after_secs: u64) -> ApiError {
+        let mut error = ApiError::new(Status::ServiceUnavailable, message).with_code("overloaded");
+        error.retry_after_secs = Some(retry_after_secs);
+        error
+    }
+
+    /// A 504 for a request whose deadline budget ran out before the work
+    /// completed — the caller has already given up, so nothing downstream
+    /// should keep spending on it.
+    pub fn deadline(message: impl Into<String>) -> ApiError {
+        ApiError::new(Status::GatewayTimeout, message)
+    }
 }
 
 impl std::fmt::Display for ApiError {
@@ -106,12 +129,17 @@ impl std::fmt::Display for ApiError {
 
 impl From<ApiError> for Response {
     fn from(error: ApiError) -> Response {
-        Response::json(
-            error.status,
-            &vnfguard_encoding::Json::object()
-                .with("code", error.code.as_str())
-                .with("detail", error.message.as_str()),
-        )
+        let mut body = vnfguard_encoding::Json::object()
+            .with("code", error.code.as_str())
+            .with("detail", error.message.as_str());
+        if let Some(secs) = error.retry_after_secs {
+            body = body.with("retry-after-secs", secs as i64);
+        }
+        let mut response = Response::json(error.status, &body);
+        if let Some(secs) = error.retry_after_secs {
+            response.headers.insert("retry-after".into(), secs.to_string());
+        }
+        response
     }
 }
 
@@ -498,6 +526,32 @@ mod tests {
             body.get("detail").and_then(Json::as_str),
             Some("a newer primary holds the epoch")
         );
+    }
+
+    #[test]
+    fn overloaded_error_advertises_retry_after() {
+        let shed = ApiError::overloaded("renewal queue full", 4);
+        assert_eq!(shed.status, Status::ServiceUnavailable);
+        assert_eq!(shed.code, "overloaded");
+        let response: Response = shed.into();
+        assert_eq!(response.header("retry-after"), Some("4"));
+        let body = response.parse_json().unwrap();
+        assert_eq!(body.get("code").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(body.get("retry-after-secs").and_then(Json::as_i64), Some(4));
+        assert_eq!(response.retry_after_secs(), Some(4));
+    }
+
+    #[test]
+    fn deadline_error_is_504_with_deadline_code() {
+        let late = ApiError::deadline("budget exhausted in shard queue");
+        assert_eq!(late.status.code(), 504);
+        let response: Response = late.into();
+        assert_eq!(response.status, Status::GatewayTimeout);
+        let body = response.parse_json().unwrap();
+        assert_eq!(body.get("code").and_then(Json::as_str), Some("deadline"));
+        // No retry hint: the caller's own budget decides whether to retry.
+        assert_eq!(response.header("retry-after"), None);
+        assert_eq!(response.retry_after_secs(), None);
     }
 
     #[test]

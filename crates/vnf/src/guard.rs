@@ -31,7 +31,43 @@ pub type RenewFn = Box<dyn FnMut() -> Result<(Vec<u8>, u64), VnfError> + Send + 
 struct AutoRenew {
     not_after: u64,
     window_secs: u64,
+    /// Jittered instant this guard actually starts renewing — a per-guard
+    /// point in the first half of the renewal window, so a fleet whose
+    /// certificates expire together does not stampede the manager at the
+    /// window edge. The second half of the window is retry headroom.
+    renew_at: u64,
+    /// Earliest next attempt after a refusal (backpressure backoff).
+    next_attempt_at: u64,
+    consecutive_refusals: u32,
     renewer: RenewFn,
+}
+
+/// Stateless splitmix64 finalizer: deterministic per-guard jitter without
+/// carrying an RNG (the guard must stay reproducible run-to-run).
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn name_seed(name: &str) -> u64 {
+    name.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+}
+
+/// The jittered renewal start for a credential expiring at `not_after`:
+/// window opening plus a (name, not_after)-keyed offset into the first
+/// half of the window.
+fn jittered_renew_at(name: &str, not_after: u64, window_secs: u64) -> u64 {
+    let opens = not_after.saturating_sub(window_secs);
+    let spread = window_secs / 2;
+    if spread == 0 {
+        return opens;
+    }
+    opens + splitmix(name_seed(name) ^ not_after) % (spread + 1)
 }
 
 /// A VNF's enclave-guarded credential store, as deployed on a container
@@ -224,8 +260,17 @@ impl VnfGuard {
         self.auto_renew = Some(AutoRenew {
             not_after,
             window_secs,
+            renew_at: jittered_renew_at(&self.name, not_after, window_secs),
+            next_attempt_at: 0,
+            consecutive_refusals: 0,
             renewer,
         });
+    }
+
+    /// The jittered instant this guard starts renewing, if armed. Distinct
+    /// per guard even when a whole fleet's certificates share `not_after`.
+    pub fn renew_at(&self) -> Option<u64> {
+        self.auto_renew.as_ref().map(|r| r.renew_at)
     }
 
     /// Disarm auto-renewal.
@@ -238,23 +283,30 @@ impl VnfGuard {
         self.auto_renew.as_ref().map(|r| r.not_after)
     }
 
-    /// Run the auto-renew hook if the credential is inside its renewal
-    /// window at `now`. Returns whether a renewal happened. A failing
+    /// Run the auto-renew hook if the credential has reached its jittered
+    /// renewal point at `now`. Returns whether a renewal happened. A failing
     /// renewal — whether fetching the wrapped bundle or provisioning it
     /// into the enclave — propagates its error only once the credential is
     /// actually expired; while the old certificate is still valid, the
     /// session can proceed and retry renewal later. Either way the hook
     /// stays armed: a transient failure must not silently disarm renewal.
+    ///
+    /// A [`VnfError::Backpressure`] refusal (manager shed the renewal under
+    /// load) parks the hook until the server's retry hint elapses, doubled
+    /// and jittered per consecutive refusal so a shed stampede fans back
+    /// out instead of re-forming. An expired credential ignores the parking
+    /// and retries every call — correctness beats politeness once the cert
+    /// is dead.
     pub fn maybe_renew(&mut self, now: u64) -> Result<bool, VnfError> {
         let Some(mut renew) = self.auto_renew.take() else {
             return Ok(false);
         };
-        let due = now.saturating_add(renew.window_secs) >= renew.not_after;
-        if !due {
+        let expired = now > renew.not_after;
+        let due = expired || now >= renew.renew_at;
+        if !due || (!expired && now < renew.next_attempt_at) {
             self.auto_renew = Some(renew);
             return Ok(false);
         }
-        let expired = now > renew.not_after;
         let outcome = (renew.renewer)().and_then(|(wrapped, not_after)| {
             self.provision(&wrapped)?;
             Ok(not_after)
@@ -262,8 +314,20 @@ impl VnfGuard {
         match outcome {
             Ok(not_after) => {
                 renew.not_after = not_after;
+                renew.renew_at = jittered_renew_at(&self.name, not_after, renew.window_secs);
+                renew.next_attempt_at = 0;
+                renew.consecutive_refusals = 0;
                 self.auto_renew = Some(renew);
                 Ok(true)
+            }
+            Err(VnfError::Backpressure { retry_after_secs }) if !expired => {
+                renew.consecutive_refusals += 1;
+                let shift = (renew.consecutive_refusals - 1).min(6);
+                let bound = retry_after_secs.max(1).saturating_mul(1 << shift);
+                let jitter = splitmix(name_seed(&self.name) ^ now) % (bound / 2 + 1);
+                renew.next_attempt_at = now.saturating_add(bound / 2 + jitter);
+                self.auto_renew = Some(renew);
+                Ok(false)
             }
             Err(e) if expired => {
                 self.auto_renew = Some(renew);
@@ -348,5 +412,46 @@ impl std::fmt::Debug for VnfGuard {
             .field("mrenclave", &self.mrenclave())
             .field("open_connections", &self.connections.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::jittered_renew_at;
+
+    #[test]
+    fn renew_jitter_stays_in_first_half_of_window() {
+        let not_after = 1_600_086_400;
+        let window = 7200;
+        for i in 0..100 {
+            let at = jittered_renew_at(&format!("vnf-{i}"), not_after, window);
+            assert!(at >= not_after - window, "vnf-{i} renews inside the window");
+            assert!(
+                at <= not_after - window + window / 2,
+                "vnf-{i} leaves the second half as retry headroom"
+            );
+        }
+    }
+
+    #[test]
+    fn renew_jitter_spreads_a_fleet() {
+        let not_after = 1_600_086_400;
+        let points: std::collections::BTreeSet<u64> = (0..100)
+            .map(|i| jittered_renew_at(&format!("vnf-{i}"), not_after, 7200))
+            .collect();
+        // 100 guards sharing one expiry must not renew in lockstep.
+        assert!(points.len() > 50, "only {} distinct points", points.len());
+    }
+
+    #[test]
+    fn renew_jitter_is_deterministic_and_degrades_to_window_edge() {
+        assert_eq!(
+            jittered_renew_at("vnf-a", 1_600_086_400, 7200),
+            jittered_renew_at("vnf-a", 1_600_086_400, 7200),
+        );
+        // A zero-width window renews exactly at expiry.
+        assert_eq!(jittered_renew_at("vnf-a", 500, 0), 500);
+        // A one-second window cannot jitter past the opening.
+        assert_eq!(jittered_renew_at("vnf-a", 500, 1), 499);
     }
 }

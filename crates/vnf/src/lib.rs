@@ -38,6 +38,8 @@ pub enum VnfError {
     NotProvisioned,
     /// Malformed structure crossing the enclave boundary.
     Encoding(String),
+    /// The controller shed the request under load; retry after the hint.
+    Backpressure { retry_after_secs: u64 },
 }
 
 impl std::fmt::Display for VnfError {
@@ -47,6 +49,9 @@ impl std::fmt::Display for VnfError {
             VnfError::Net(e) => write!(f, "net: {e}"),
             VnfError::NotProvisioned => write!(f, "enclave holds no credentials"),
             VnfError::Encoding(msg) => write!(f, "encoding: {msg}"),
+            VnfError::Backpressure { retry_after_secs } => {
+                write!(f, "controller overloaded, retry after {retry_after_secs}s")
+            }
         }
     }
 }
