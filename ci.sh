@@ -141,6 +141,42 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "== metric hygiene: exported series must carry their crate's namespace =="
+# Every metric literal registered in a library crate (.counter("...") /
+# .gauge("...") / .histogram("...")) must be prefixed vnfguard_<crate>_ so
+# fleet-level scrapes stay collision-free, or sit within eight lines after a
+# 'metric-name-opt-out' comment explaining the shared namespace.
+# Test modules are exempt (throwaway series names).
+violations=""
+for dir in crates/*/src; do
+  crate=$(basename "$(dirname "$dir")")
+  for f in "$dir"/*.rs; do
+    [ -f "$f" ] || continue
+    found=$(awk -v prefix="vnfguard_${crate}_" -v file="$f" '
+      /^mod tests|^#\[cfg\(test\)\]/ { in_tests = 1 }
+      in_tests { next }
+      {
+        if (index($0, "metric-name-opt-out") != 0) allow = NR + 8
+        if (match($0, /\.(counter|gauge|histogram)\((&format!\()?"[a-z_{]+/)) {
+          name = substr($0, RSTART, RLENGTH)
+          sub(/.*"/, "", name)
+          if (index(name, prefix) != 1 && NR > allow)
+            print file ":" NR ": series \"" name "...\" lacks prefix " prefix
+        }
+      }
+    ' "$f")
+    if [ -n "$found" ]; then
+      violations="$violations$found
+"
+    fi
+  done
+done
+if [ -n "$violations" ]; then
+  echo "found exported metrics outside their crate namespace:"
+  echo "$violations"
+  exit 1
+fi
+
 echo "== e12: tracing overhead bar (<=5% vs disabled telemetry) =="
 cargo bench -p vnfguard-bench --bench e12_tracing
 
@@ -155,5 +191,8 @@ cargo bench -p vnfguard-bench --bench e15_saturation
 
 echo "== e16: overload (admitted p99 <= 5x unloaded, goodput >= 60% while shedding) + storm chaos matrix =="
 cargo bench -p vnfguard-bench --bench e16_overload
+
+echo "== e17: health plane (overhead <=5%, burn-rate alert fires in-window, exemplar resolvable, partition staleness) =="
+cargo bench -p vnfguard-bench --bench e17_health
 
 echo "CI OK"

@@ -48,7 +48,8 @@ use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
 use vnfguard_sgx::sigstruct::EnclaveAuthor;
 use vnfguard_sgx::transition::TransitionModel;
 use vnfguard_store::{Media, StateStore, StateVault};
-use vnfguard_telemetry::Telemetry;
+use vnfguard_net::server::ServerHandle;
+use vnfguard_telemetry::{HealthMonitor, Telemetry};
 use vnfguard_tls::signer::LocalSigner;
 use vnfguard_tls::validate::ClientValidator;
 use vnfguard_vnf::credential_enclave::CredentialEnclave;
@@ -120,6 +121,7 @@ pub struct TestbedBuilder {
     group_commit: bool,
     wal_write_latency: Option<Duration>,
     admission: Option<AdmissionConfig>,
+    health: bool,
 }
 
 impl TestbedBuilder {
@@ -151,6 +153,7 @@ impl TestbedBuilder {
             group_commit: false,
             wal_write_latency: None,
             admission: None,
+            health: false,
         }
     }
 
@@ -326,6 +329,15 @@ impl TestbedBuilder {
     /// Like [`TestbedBuilder::admission`], with explicit queue bounds.
     pub fn admission_config(mut self, config: AdmissionConfig) -> TestbedBuilder {
         self.admission = Some(config);
+        self
+    }
+
+    /// Enable the health plane: a [`HealthMonitor`] with the default SLO
+    /// set (availability 99% + latency p95 ≤ 100ms per workclass) attached
+    /// to the service handle, so every gated request feeds the burn-rate
+    /// alert pipeline and `GET /vm/health` serves a full snapshot.
+    pub fn health(mut self) -> TestbedBuilder {
+        self.health = true;
         self
     }
 
@@ -536,6 +548,9 @@ impl TestbedBuilder {
                 clock.clone(),
                 &telemetry,
             )));
+        }
+        if self.health {
+            vm = vm.with_health(HealthMonitor::with_defaults(&telemetry));
         }
 
         let mut notifier = RevocationNotifier::new(&network).with_telemetry(&telemetry);
@@ -1147,6 +1162,45 @@ impl Testbed {
                 .map(|f| &f.standbys[..])
                 .unwrap_or(&[])
         }
+    }
+
+    /// Stand up the fleet health plane over the fabric: one
+    /// `GET /standby/health` server per authority standby (at
+    /// `health-<standby addr>`) plus a
+    /// [`FleetMonitor`](crate::fleet::FleetMonitor) registered against
+    /// the primary's API at `vm_addr` and every standby endpoint. The
+    /// caller adds host agents it launched via
+    /// [`FleetMonitor::add_agent`](crate::fleet::FleetMonitor::add_agent),
+    /// and must keep the returned
+    /// [`ServerHandle`]s alive for as long as the monitor scrapes.
+    ///
+    /// The primary's API itself is served separately
+    /// ([`serve_vm_api`](crate::remote::serve_vm_api)) — this helper only
+    /// wires the observers.
+    pub fn fleet_monitor(
+        &self,
+        origin: &str,
+        vm_addr: &str,
+    ) -> Result<(crate::fleet::FleetMonitor, Vec<ServerHandle>), CoreError> {
+        let mut monitor = crate::fleet::FleetMonitor::new(
+            self.network.clone(),
+            self.clock.clone(),
+            origin,
+            &self.telemetry,
+        );
+        monitor.add_vm("vm-primary", vm_addr);
+        let mut handles = Vec::with_capacity(self.standbys.len());
+        for (i, standby) in self.standbys.iter().enumerate() {
+            let health_addr = format!("health-{}", standby.addr());
+            handles.push(crate::fleet::serve_standby_health(
+                &self.network,
+                &health_addr,
+                standby.status_probe(),
+                self.clock.clone(),
+            )?);
+            monitor.add_standby(&format!("vm-standby-{i}"), &health_addr);
+        }
+        Ok((monitor, handles))
     }
 
     /// Node-loss injection: kill the Verification Manager fleet in place.

@@ -35,6 +35,7 @@
 pub mod attestation;
 pub mod crash;
 pub mod deployment;
+pub mod fleet;
 pub mod lifecycle;
 pub mod manager;
 pub mod overload;
@@ -51,6 +52,9 @@ pub use lifecycle::{
 };
 pub use overload::{
     current_deadline, AdmissionConfig, AdmissionController, Deadline, DeadlineScope, Workclass,
+};
+pub use fleet::{
+    serve_fleet_api, serve_standby_health, FleetMonitor, FleetStatus, NodeKind,
 };
 pub use remote::{HostAgent, RemoteIas};
 pub use deployment::{Testbed, TestbedBuilder, TestbedHost};

@@ -402,34 +402,56 @@ struct ManagerMetrics {
     host_attestation_micros: Histogram,
     enrollment_micros: Histogram,
     renewal_micros: Histogram,
+    wal_append_micros: Histogram,
 }
 
 impl ManagerMetrics {
     fn bind(telemetry: &Telemetry) -> ManagerMetrics {
+        ManagerMetrics::bind_with(telemetry, None)
+    }
+
+    /// Bind this shard's series under a `{shard="i"}` label so N shards'
+    /// metrics stop colliding into one registry entry. Authority-only
+    /// series — CA rotations, CRL issuance and age — exist once per
+    /// deployment and stay unlabeled.
+    fn bind_sharded(telemetry: &Telemetry, shard: u32) -> ManagerMetrics {
+        ManagerMetrics::bind_with(telemetry, Some(shard))
+    }
+
+    fn bind_with(telemetry: &Telemetry, shard: Option<u32>) -> ManagerMetrics {
+        let shard = shard.map(|s| s.to_string());
+        let series = |family: &str| match &shard {
+            Some(shard) => vnfguard_telemetry::labeled(family, "shard", shard),
+            None => family.to_string(),
+        };
         ManagerMetrics {
-            challenges: telemetry.counter("vnfguard_core_challenges_total"),
-            host_attestations: telemetry.counter("vnfguard_core_host_attestations_total"),
+            challenges: telemetry.counter(&series("vnfguard_core_challenges_total")),
+            host_attestations: telemetry.counter(&series("vnfguard_core_host_attestations_total")),
             host_attestation_failures: telemetry
-                .counter("vnfguard_core_host_attestation_failures_total"),
-            enrollments: telemetry.counter("vnfguard_core_enrollments_total"),
-            enrollment_failures: telemetry.counter("vnfguard_core_enrollment_failures_total"),
-            enrollment_aborts: telemetry.counter("vnfguard_core_enrollment_aborts_total"),
-            degraded_verdicts: telemetry.counter("vnfguard_core_degraded_verdicts_total"),
-            revocations: telemetry.counter("vnfguard_core_revocations_total"),
-            certificates_issued: telemetry.counter("vnfguard_core_certificates_issued_total"),
-            recoveries: telemetry.counter("vnfguard_core_recoveries_total"),
-            recovered_orphans: telemetry.counter("vnfguard_core_recovery_orphans_total"),
-            wal_records: telemetry.counter("vnfguard_core_wal_records_total"),
-            renewals: telemetry.counter("vnfguard_core_renewals_total"),
-            renewal_failures: telemetry.counter("vnfguard_core_renewal_failures_total"),
+                .counter(&series("vnfguard_core_host_attestation_failures_total")),
+            enrollments: telemetry.counter(&series("vnfguard_core_enrollments_total")),
+            enrollment_failures: telemetry
+                .counter(&series("vnfguard_core_enrollment_failures_total")),
+            enrollment_aborts: telemetry.counter(&series("vnfguard_core_enrollment_aborts_total")),
+            degraded_verdicts: telemetry.counter(&series("vnfguard_core_degraded_verdicts_total")),
+            revocations: telemetry.counter(&series("vnfguard_core_revocations_total")),
+            certificates_issued: telemetry
+                .counter(&series("vnfguard_core_certificates_issued_total")),
+            recoveries: telemetry.counter(&series("vnfguard_core_recoveries_total")),
+            recovered_orphans: telemetry.counter(&series("vnfguard_core_recovery_orphans_total")),
+            wal_records: telemetry.counter(&series("vnfguard_core_wal_records_total")),
+            renewals: telemetry.counter(&series("vnfguard_core_renewals_total")),
+            renewal_failures: telemetry.counter(&series("vnfguard_core_renewal_failures_total")),
             rotations: telemetry.counter("vnfguard_core_ca_rotations_total"),
             crls_issued: telemetry.counter("vnfguard_core_crls_issued_total"),
-            certs_active: telemetry.gauge("vnfguard_core_certs_active"),
-            certs_expiring: telemetry.gauge("vnfguard_core_certs_expiring"),
+            certs_active: telemetry.gauge(&series("vnfguard_core_certs_active")),
+            certs_expiring: telemetry.gauge(&series("vnfguard_core_certs_expiring")),
             crl_age_seconds: telemetry.gauge("vnfguard_core_crl_age_seconds"),
-            host_attestation_micros: telemetry.histogram("vnfguard_core_host_attestation_micros"),
-            enrollment_micros: telemetry.histogram("vnfguard_core_enrollment_micros"),
-            renewal_micros: telemetry.histogram("vnfguard_core_renewal_micros"),
+            host_attestation_micros: telemetry
+                .histogram(&series("vnfguard_core_host_attestation_micros")),
+            enrollment_micros: telemetry.histogram(&series("vnfguard_core_enrollment_micros")),
+            renewal_micros: telemetry.histogram(&series("vnfguard_core_renewal_micros")),
+            wal_append_micros: telemetry.histogram(&series("vnfguard_core_wal_append_micros")),
         }
     }
 }
@@ -638,6 +660,12 @@ impl VerificationManager {
     pub fn set_shard(&mut self, index: u32, count: u32) {
         self.shard = index;
         self.shard_count = count.max(1);
+        // In a multi-shard deployment every shard's per-shard series carry
+        // a `{shard="i"}` label (otherwise N registries collide into one);
+        // a single-shard deployment keeps the unlabeled names.
+        if self.shard_count > 1 {
+            self.metrics = ManagerMetrics::bind_sharded(&self.telemetry, index);
+        }
         if index == 0 {
             return;
         }
@@ -788,7 +816,11 @@ impl VerificationManager {
     /// operation if the journal write fails. A no-op without a store.
     fn journal(&self, record: &WalRecord) -> Result<(), CoreError> {
         if let Some(store) = &self.store {
+            let begun = std::time::Instant::now();
             store.append(record)?;
+            self.metrics
+                .wal_append_micros
+                .record(begun.elapsed().as_micros() as u64);
             self.metrics.wal_records.inc();
         }
         Ok(())
@@ -801,7 +833,11 @@ impl VerificationManager {
     /// none. A no-op without a store.
     fn journal_group(&self, records: &[WalRecord]) -> Result<(), CoreError> {
         if let Some(store) = &self.store {
+            let begun = std::time::Instant::now();
             store.append_group(records)?;
+            self.metrics
+                .wal_append_micros
+                .record(begun.elapsed().as_micros() as u64);
             self.metrics.wal_records.add(records.len() as u64);
         }
         Ok(())
@@ -861,6 +897,17 @@ impl VerificationManager {
     /// Occupancy of the attached state store, if any.
     pub fn store_stats(&self) -> Option<StoreStats> {
         self.store.as_ref().map(|s| s.stats())
+    }
+
+    /// Distribution of wall-clock WAL append latency (empty when the
+    /// manager runs volatile). Feeds the per-shard health snapshot.
+    pub fn wal_append_latency(&self) -> vnfguard_telemetry::HistogramSnapshot {
+        self.metrics.wal_append_micros.snapshot()
+    }
+
+    /// Total WAL records journaled by this incarnation's counter.
+    pub fn wal_record_count(&self) -> u64 {
+        self.metrics.wal_records.get()
     }
 
     /// The recovery pass that produced this incarnation, if any.

@@ -157,7 +157,7 @@ impl Workclass {
         }
     }
 
-    fn index(self) -> usize {
+    pub(crate) fn index(self) -> usize {
         match self {
             Workclass::Revocation => 0,
             Workclass::Renewal => 1,
@@ -276,6 +276,9 @@ impl AdmissionController {
         let class = |c: Workclass| {
             let label = c.label();
             let (depth_gauge, sojourn_gauge, shed, deadline_exceeded) = match &telemetry {
+                // metric-name-opt-out: admission control guards the serving
+                // surface, so its series live in the vnfguard_net_ namespace
+                // even though the controller itself lives in core.
                 Some(t) => (
                     t.gauge(&format!("vnfguard_net_queue_depth_{label}")),
                     t.gauge(&format!("vnfguard_net_sojourn_micros_{label}")),
@@ -300,6 +303,7 @@ impl AdmissionController {
             }
         };
         let (shed_total, deadline_total) = match &telemetry {
+            // metric-name-opt-out: vnfguard_net_ namespace (see above).
             Some(t) => (
                 t.counter("vnfguard_net_shed_total"),
                 t.counter("vnfguard_net_deadline_exceeded_total"),
@@ -328,6 +332,21 @@ impl AdmissionController {
     /// Requests of `class` currently queued (admitted, not yet released).
     pub fn waiting(&self, class: Workclass) -> usize {
         self.classes[class.index()].waiting.load(Ordering::Relaxed)
+    }
+
+    /// The depth bound for `class` under the current config.
+    pub fn bound(&self, class: Workclass) -> usize {
+        self.classes[class.index()].bound
+    }
+
+    /// Requests of `class` shed by the depth or sojourn gate so far.
+    pub fn shed_count(&self, class: Workclass) -> u64 {
+        self.classes[class.index()].shed.get()
+    }
+
+    /// Requests of `class` abandoned because their deadline expired.
+    pub fn deadline_count(&self, class: Workclass) -> u64 {
+        self.classes[class.index()].deadline_exceeded.get()
     }
 
     fn total_waiting(&self) -> usize {

@@ -27,7 +27,7 @@
 use crate::attestation::{host_evidence, HostEvidence};
 use crate::overload::{check_deadline, Deadline, DeadlineScope};
 use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
-use crate::service::VmService;
+use crate::service::{HealthSnapshot, VmService};
 use crate::CoreError;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
@@ -97,6 +97,135 @@ fn span_node(span: &TraceSpan, children: &HashMap<u64, Vec<&TraceSpan>>) -> Json
         .with("duration_micros", span.duration_micros as i64)
         .with("annotations", annotations)
         .with("children", kids)
+}
+
+/// Serialize a [`ReplicationStatus`](crate::replication::ReplicationStatus)
+/// — shared by `GET /vm/replication` and the per-shard health snapshot.
+fn replication_json(status: &crate::replication::ReplicationStatus) -> Json {
+    let standbys: Json = status
+        .standbys
+        .iter()
+        .map(|s| {
+            let mut entry = Json::object()
+                .with("addr", s.addr.as_str())
+                .with("acked_seq", s.acked_seq as i64)
+                .with("lag_records", s.lag_records as i64)
+                .with("snapshots_sent", s.snapshots_sent as i64);
+            if let Some(secs) = s.lag_seconds {
+                entry = entry.with("lag_seconds", secs as i64);
+            }
+            entry
+        })
+        .collect();
+    let mut body = Json::object()
+        .with("role", status.role)
+        .with("epoch", status.epoch as i64)
+        .with("head_seq", status.head_seq as i64)
+        .with("fenced", status.fenced)
+        .with("standbys", standbys);
+    if let Some(age) = status.heartbeat_age_seconds {
+        body = body.with("heartbeat_age_seconds", age as i64);
+    }
+    body
+}
+
+fn histogram_json(snapshot: &vnfguard_telemetry::HistogramSnapshot) -> Json {
+    let buckets: Json = snapshot.buckets.iter().map(|&b| Json::from(b as i64)).collect();
+    let exemplars: Json = snapshot
+        .exemplars
+        .iter()
+        .map(|e| {
+            Json::object()
+                .with("value", e.value as i64)
+                .with("trace_id", format!("{:032x}", e.trace_id))
+                .with("bucket", e.bucket as i64)
+        })
+        .collect();
+    Json::object()
+        .with("buckets", buckets)
+        .with("count", snapshot.count as i64)
+        .with("sum", snapshot.sum as i64)
+        .with("max", snapshot.max as i64)
+        .with("exemplars", exemplars)
+}
+
+/// Serialize a [`HealthSnapshot`] for `GET /vm/health` — the same wire
+/// shape the fleet monitor parses back for cross-node aggregation.
+pub(crate) fn health_json(snapshot: &HealthSnapshot) -> Json {
+    let admission: Json = snapshot
+        .admission
+        .iter()
+        .map(|a| {
+            Json::object()
+                .with("class", a.class)
+                .with("depth", a.depth as i64)
+                .with("bound", a.bound as i64)
+                .with("shed", a.shed as i64)
+                .with("deadline_exceeded", a.deadline_exceeded as i64)
+        })
+        .collect();
+    let shards: Json = snapshot
+        .shards
+        .iter()
+        .map(|s| {
+            let mut entry = Json::object()
+                .with("shard", s.shard as i64)
+                .with("wal_records", s.wal_records as i64)
+                .with("wal_append_p50_micros", s.wal_append_p50_micros as i64)
+                .with("wal_append_p99_micros", s.wal_append_p99_micros as i64)
+                .with("wal_append_max_micros", s.wal_append_max_micros as i64)
+                .with("recovery_generation", s.recovery_generation as i64);
+            if let Some(site) = &s.crashed_site {
+                entry = entry.with("crashed_site", site.as_str());
+            }
+            if let Some(replication) = &s.replication {
+                entry = entry.with("replication", replication_json(replication));
+            }
+            entry
+        })
+        .collect();
+    let latency: Json = snapshot
+        .latency
+        .iter()
+        .map(|l| {
+            Json::object()
+                .with("class", l.class)
+                .with("histogram", histogram_json(&l.histogram))
+        })
+        .collect();
+    let alerts: Json = snapshot
+        .alerts
+        .iter()
+        .map(|a| {
+            let exemplars: Json = a
+                .exemplar_trace_ids
+                .iter()
+                .map(|id| Json::from(format!("{id:032x}")))
+                .collect();
+            let mut entry = Json::object()
+                .with("slo", a.slo.as_str())
+                .with("workclass", a.workclass.as_str())
+                .with("state", a.state.as_str())
+                .with("state_code", a.state.code())
+                .with("fast_burn_milli", (a.fast_burn * 1000.0).round() as i64)
+                .with("slow_burn_milli", (a.slow_burn * 1000.0).round() as i64)
+                .with("since", a.since as i64)
+                .with("fast_good", a.fast_good as i64)
+                .with("fast_bad", a.fast_bad as i64)
+                .with("exemplar_trace_ids", exemplars);
+            if let Some(at) = a.resolved_at {
+                entry = entry.with("resolved_at", at as i64);
+            }
+            entry
+        })
+        .collect();
+    Json::object()
+        .with("at", snapshot.at as i64)
+        .with("shard_count", snapshot.shard_count as i64)
+        .with("admission", admission)
+        .with("shards", shards)
+        .with("latency", latency)
+        .with("alerts", alerts)
 }
 
 /// Assemble a trace's spans into the nested-tree JSON body served by
@@ -605,6 +734,27 @@ impl HostAgent {
                 let guards = state.guards.read();
                 let names: Json = guards.keys().map(|k| Json::from(k.as_str())).collect();
                 Ok(Response::json(Status::Ok, &names))
+            });
+        }
+
+        // GET /agent/health → liveness + workload summary, scraped by the
+        // fleet monitor alongside the VM nodes.
+        {
+            let state = state.clone();
+            router.get_api("/agent/health", move |_, _| {
+                let vnfs: Json = state
+                    .guards
+                    .read()
+                    .keys()
+                    .map(|k| Json::from(k.as_str()))
+                    .collect();
+                Ok(Response::json(
+                    Status::Ok,
+                    &Json::object()
+                        .with("host_id", state.host_id.as_str())
+                        .with("vnfs", vnfs)
+                        .with("revoked_serials", state.revoked_serials.read().len() as i64),
+                ))
             });
         }
 
@@ -1259,35 +1409,18 @@ pub fn serve_vm_api(
             // metrics scrape right after this sees current lag numbers.
             let body = match vm.replication_status() {
                 None => Json::object().with("role", "unreplicated"),
-                Some(status) => {
-                    let standbys: Json = status
-                        .standbys
-                        .iter()
-                        .map(|s| {
-                            let mut entry = Json::object()
-                                .with("addr", s.addr.as_str())
-                                .with("acked_seq", s.acked_seq as i64)
-                                .with("lag_records", s.lag_records as i64)
-                                .with("snapshots_sent", s.snapshots_sent as i64);
-                            if let Some(secs) = s.lag_seconds {
-                                entry = entry.with("lag_seconds", secs as i64);
-                            }
-                            entry
-                        })
-                        .collect();
-                    let mut body = Json::object()
-                        .with("role", status.role)
-                        .with("epoch", status.epoch as i64)
-                        .with("head_seq", status.head_seq as i64)
-                        .with("fenced", status.fenced)
-                        .with("standbys", standbys);
-                    if let Some(age) = status.heartbeat_age_seconds {
-                        body = body.with("heartbeat_age_seconds", age as i64);
-                    }
-                    body
-                }
+                Some(status) => replication_json(&status),
             };
             Ok(Response::json(Status::Ok, &body))
+        });
+    }
+    {
+        let vm = vm.clone();
+        router.get_api("/vm/health", move |_, _| {
+            // deadline-opt-out: health is the mid-incident diagnosis
+            // surface — it must answer while the admission queues are
+            // full and every budgeted request is being shed.
+            Ok(Response::json(Status::Ok, &health_json(&vm.health_snapshot())))
         });
     }
     {

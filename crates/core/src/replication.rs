@@ -240,6 +240,47 @@ struct StandbyShared {
     inner: Mutex<StandbyInner>,
 }
 
+impl StandbyShared {
+    fn snapshot(&self) -> StandbyStatus {
+        let inner = self.inner.lock();
+        StandbyStatus {
+            addr: self.addr.clone(),
+            epoch: inner.epoch,
+            next_seq: inner.next_seq,
+            applied_records: inner.applied_records,
+            snapshots_installed: inner.snapshots_installed,
+            fenced_rejections: inner.fenced_rejections,
+            last_heartbeat_at: inner.last_heartbeat_at,
+        }
+    }
+}
+
+/// A detachable, read-only view of one standby's replication state — what
+/// [`serve_standby_health`](crate::fleet::serve_standby_health) scrapes.
+/// Holds the shared state without owning the node, so a health endpoint
+/// built over it survives promotion (which consumes the [`StandbyNode`]).
+#[derive(Clone)]
+pub struct StandbyProbe {
+    shared: Arc<StandbyShared>,
+}
+
+impl StandbyProbe {
+    pub fn status(&self) -> StandbyStatus {
+        self.shared.snapshot()
+    }
+
+    /// Seconds since the last frame or heartbeat from the primary,
+    /// measured on the standby's own clock.
+    pub fn heartbeat_age(&self) -> Option<u64> {
+        let now = self.shared.clock.now();
+        self.shared
+            .inner
+            .lock()
+            .last_heartbeat_at
+            .map(|at| now.saturating_sub(at))
+    }
+}
+
 /// A standby manager's replication endpoint: listens on the fabric,
 /// applies streamed records into its own sealed store, and answers acks.
 /// The applied log is what [`Testbed::promote`](crate::deployment::Testbed)
@@ -327,15 +368,14 @@ impl StandbyNode {
     }
 
     pub fn status(&self) -> StandbyStatus {
-        let inner = self.shared.inner.lock();
-        StandbyStatus {
-            addr: self.shared.addr.clone(),
-            epoch: inner.epoch,
-            next_seq: inner.next_seq,
-            applied_records: inner.applied_records,
-            snapshots_installed: inner.snapshots_installed,
-            fenced_rejections: inner.fenced_rejections,
-            last_heartbeat_at: inner.last_heartbeat_at,
+        self.shared.snapshot()
+    }
+
+    /// A detachable [`StandbyProbe`] over this node's state, for the
+    /// fleet monitor's per-standby health endpoints.
+    pub fn status_probe(&self) -> StandbyProbe {
+        StandbyProbe {
+            shared: self.shared.clone(),
         }
     }
 

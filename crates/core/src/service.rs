@@ -52,7 +52,9 @@ use vnfguard_pki::cert::Certificate;
 use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
 use vnfguard_sgx::measurement::Measurement;
 use vnfguard_store::StoreStats;
-use vnfguard_telemetry::{Telemetry, TraceContext};
+use vnfguard_telemetry::{
+    labeled, AlertSnapshot, HealthMonitor, Histogram, HistogramSnapshot, Telemetry, TraceContext,
+};
 
 /// Deterministic shard index for a VNF name: the first eight bytes of a
 /// domain-separated digest, mod the shard count. Stable across runs and
@@ -72,6 +74,18 @@ pub fn shard_of_vnf(vnf_name: &str, shard_count: usize) -> usize {
 pub struct VmService {
     shards: Arc<Vec<Mutex<VerificationManager>>>,
     admission: Option<Arc<AdmissionController>>,
+    health: Option<HealthHandle>,
+}
+
+/// The SLO monitor plus a clock clone, so hot-path outcome recording never
+/// has to lock the authority shard just to read the time. Each workclass
+/// also gets an exact log₂ latency histogram (with trace exemplars) —
+/// the unit of cross-node merging in the fleet monitor.
+#[derive(Clone)]
+struct HealthHandle {
+    monitor: HealthMonitor,
+    clock: SimClock,
+    latency: [Histogram; 4],
 }
 
 impl VmService {
@@ -89,6 +103,7 @@ impl VmService {
         VmService {
             shards: Arc::new(shards.into_iter().map(Mutex::new).collect()),
             admission: None,
+            health: None,
         }
     }
 
@@ -105,6 +120,60 @@ impl VmService {
 
     pub fn admission(&self) -> Option<&AdmissionController> {
         self.admission.as_deref()
+    }
+
+    /// Attach an SLO [`HealthMonitor`]: every gated workflow call then
+    /// reports its outcome (success, wall-clock latency, trace id) to the
+    /// per-workclass burn-rate trackers. Shed and deadline-expired
+    /// requests count as bad availability events — from the caller's view
+    /// they failed, and the SLO measures the caller's view.
+    pub fn with_health(mut self, monitor: HealthMonitor) -> VmService {
+        let clock = self.clock();
+        let telemetry = self.telemetry();
+        let latency = Workclass::ALL.map(|class| {
+            telemetry.histogram(&labeled(
+                "vnfguard_core_workclass_latency_micros",
+                "class",
+                class.label(),
+            ))
+        });
+        self.health = Some(HealthHandle {
+            monitor,
+            clock,
+            latency,
+        });
+        self
+    }
+
+    /// The attached SLO monitor, if any.
+    pub fn health(&self) -> Option<&HealthMonitor> {
+        self.health.as_ref().map(|h| &h.monitor)
+    }
+
+    /// Report one workflow outcome to the SLO trackers (no-op without a
+    /// monitor). Latency is wall-clock from before the admission gate, so
+    /// queueing time the caller experienced is charged to the SLO.
+    fn note_health(
+        &self,
+        class: Workclass,
+        begun: std::time::Instant,
+        ok: bool,
+        trace: Option<&TraceContext>,
+    ) {
+        if let Some(health) = &self.health {
+            let micros = begun.elapsed().as_micros() as u64;
+            let trace_id = trace
+                .filter(|ctx| ctx.is_recording())
+                .map(|ctx| ctx.trace_id);
+            health
+                .monitor
+                .record(class.label(), health.clock.now(), ok, micros, trace_id);
+            let histogram = &health.latency[class.index()];
+            match trace_id {
+                Some(id) => histogram.record_with_exemplar(micros, id),
+                None => histogram.record(micros),
+            }
+        }
     }
 
     /// The depth gate, a no-op when admission control is off.
@@ -194,16 +263,21 @@ impl VmService {
         trace: Option<&TraceContext>,
         f: impl FnOnce(&mut VerificationManager) -> Result<R, CoreError>,
     ) -> Result<R, CoreError> {
-        let permit = self.gate(class, trace)?;
-        let mut vm = self.shards[index].lock();
-        self.pass_dequeue(&permit, trace)?;
-        if let Some(ctx) = trace {
-            vm.set_trace_context(Some(ctx.clone()));
-        }
-        let result = f(&mut vm);
-        if trace.is_some() {
-            vm.set_trace_context(None);
-        }
+        let begun = std::time::Instant::now();
+        let result = (|| {
+            let permit = self.gate(class, trace)?;
+            let mut vm = self.shards[index].lock();
+            self.pass_dequeue(&permit, trace)?;
+            if let Some(ctx) = trace {
+                vm.set_trace_context(Some(ctx.clone()));
+            }
+            let result = f(&mut vm);
+            if trace.is_some() {
+                vm.set_trace_context(None);
+            }
+            result
+        })();
+        self.note_health(class, begun, result.is_ok(), trace);
         result
     }
 
@@ -567,33 +641,43 @@ impl VmService {
     /// in the revocation class — the highest, so CRL work still admits
     /// under an enrollment flood.
     pub fn issue_crl(&self) -> Result<Crl, CoreError> {
-        let permit = self.gate(Workclass::Revocation, None)?;
-        let (extras, _) = self.gather_remote_revocations();
-        let crl = {
-            let mut authority = self.authority();
-            self.pass_dequeue(&permit, None)?;
-            authority.issue_crl_merged(&extras)
-        }?;
-        self.clear_remote_dirty();
-        Ok(crl)
+        let begun = std::time::Instant::now();
+        let result = (|| {
+            let permit = self.gate(Workclass::Revocation, None)?;
+            let (extras, _) = self.gather_remote_revocations();
+            let crl = {
+                let mut authority = self.authority();
+                self.pass_dequeue(&permit, None)?;
+                authority.issue_crl_merged(&extras)
+            }?;
+            self.clear_remote_dirty();
+            Ok(crl)
+        })();
+        self.note_health(Workclass::Revocation, begun, result.is_ok(), None);
+        result
     }
 
     /// The fleet CRL to serve to polling relying parties: the cached copy
     /// unless any shard has revocations (or a rotation) not yet covered.
     pub fn latest_crl(&self) -> Result<Crl, CoreError> {
-        let permit = self.gate(Workclass::Revocation, None)?;
-        let (extras, any_dirty) = self.gather_remote_revocations();
-        let crl = {
-            let mut authority = self.authority();
-            self.pass_dequeue(&permit, None)?;
-            if any_dirty {
-                authority.issue_crl_merged(&extras)
-            } else {
-                authority.latest_crl_merged(&extras)
-            }
-        }?;
-        self.clear_remote_dirty();
-        Ok(crl)
+        let begun = std::time::Instant::now();
+        let result = (|| {
+            let permit = self.gate(Workclass::Revocation, None)?;
+            let (extras, any_dirty) = self.gather_remote_revocations();
+            let crl = {
+                let mut authority = self.authority();
+                self.pass_dequeue(&permit, None)?;
+                if any_dirty {
+                    authority.issue_crl_merged(&extras)
+                } else {
+                    authority.latest_crl_merged(&extras)
+                }
+            }?;
+            self.clear_remote_dirty();
+            Ok(crl)
+        })();
+        self.note_health(Workclass::Revocation, begun, result.is_ok(), None);
+        result
     }
 
     /// Read-only preview of the fleet CRL (no journaling, no number bump).
@@ -689,18 +773,23 @@ impl VmService {
         &self,
         trace: Option<&TraceContext>,
     ) -> Result<LifecycleStatus, CoreError> {
-        let permit = self.gate(Workclass::Introspection, trace)?;
-        let mut status = {
-            let authority = self.authority();
-            self.pass_dequeue(&permit, trace)?;
-            authority.lifecycle_status()
-        };
-        for shard in &self.shards[1..] {
-            let shard_status = shard.lock().lifecycle_status();
-            status.active += shard_status.active;
-            status.expiring += shard_status.expiring;
-        }
-        Ok(status)
+        let begun = std::time::Instant::now();
+        let result = (|| {
+            let permit = self.gate(Workclass::Introspection, trace)?;
+            let mut status = {
+                let authority = self.authority();
+                self.pass_dequeue(&permit, trace)?;
+                authority.lifecycle_status()
+            };
+            for shard in &self.shards[1..] {
+                let shard_status = shard.lock().lifecycle_status();
+                status.active += shard_status.active;
+                status.expiring += shard_status.expiring;
+            }
+            Ok(status)
+        })();
+        self.note_health(Workclass::Introspection, begun, result.is_ok(), trace);
+        result
     }
 
     /// Node-loss injection: halt every shard in place.
@@ -755,6 +844,133 @@ impl VmService {
             shard.lock().replication_heartbeat();
         }
     }
+
+    /// The full per-process health picture: admission posture per
+    /// workclass, per-shard durability/replication/recovery state, and the
+    /// evaluated SLO alerts. This is what `GET /vm/health` serves and what
+    /// the fleet monitor scrapes. Locks one shard at a time, never across
+    /// anything slow.
+    pub fn health_snapshot(&self) -> HealthSnapshot {
+        let at = self.clock().now();
+        let admission = match &self.admission {
+            Some(admission) => Workclass::ALL
+                .iter()
+                .map(|&class| AdmissionHealth {
+                    class: class.label(),
+                    depth: admission.waiting(class),
+                    bound: admission.bound(class),
+                    shed: admission.shed_count(class),
+                    deadline_exceeded: admission.deadline_count(class),
+                })
+                .collect(),
+            None => Vec::new(),
+        };
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                let vm = shard.lock();
+                let wal = vm.wal_append_latency();
+                ShardHealth {
+                    shard: index,
+                    wal_records: vm.wal_record_count(),
+                    wal_append_p50_micros: wal.quantile(0.50),
+                    wal_append_p99_micros: wal.quantile(0.99),
+                    wal_append_max_micros: wal.max,
+                    recovery_generation: vm
+                        .recovery_report()
+                        .map_or(0, |report| report.generation),
+                    crashed_site: vm.crashed_site().map(str::to_string),
+                    replication: vm.replication_status(),
+                }
+            })
+            .collect();
+        let (alerts, latency) = match &self.health {
+            Some(health) => (
+                health.monitor.evaluate(at),
+                Workclass::ALL
+                    .iter()
+                    .map(|&class| WorkclassLatency {
+                        class: class.label(),
+                        histogram: health.latency[class.index()].snapshot(),
+                    })
+                    .collect(),
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        HealthSnapshot {
+            at,
+            shard_count: self.shards.len(),
+            admission,
+            shards,
+            latency,
+            alerts,
+        }
+    }
+}
+
+/// One workclass's exact latency distribution inside a [`HealthSnapshot`]
+/// — what the fleet monitor merges across nodes.
+#[derive(Clone, Debug)]
+pub struct WorkclassLatency {
+    /// Workclass label.
+    pub class: &'static str,
+    /// Exact log₂ distribution with trace exemplars.
+    pub histogram: HistogramSnapshot,
+}
+
+/// One workclass's admission posture inside a [`HealthSnapshot`].
+#[derive(Clone, Debug)]
+pub struct AdmissionHealth {
+    /// Workclass label (`enrollment`, `renewal`, ...).
+    pub class: &'static str,
+    /// Requests currently queued for a shard lock.
+    pub depth: usize,
+    /// The class's depth bound.
+    pub bound: usize,
+    /// Requests shed by the depth or sojourn gate so far.
+    pub shed: u64,
+    /// Requests abandoned because their deadline expired.
+    pub deadline_exceeded: u64,
+}
+
+/// One shard's health inside a [`HealthSnapshot`].
+#[derive(Clone, Debug)]
+pub struct ShardHealth {
+    /// Shard index (0 = authority).
+    pub shard: usize,
+    /// WAL records journaled by this incarnation.
+    pub wal_records: u64,
+    /// Median wall-clock WAL append latency (0 when volatile).
+    pub wal_append_p50_micros: u64,
+    /// p99 wall-clock WAL append latency.
+    pub wal_append_p99_micros: u64,
+    /// Worst observed WAL append latency.
+    pub wal_append_max_micros: u64,
+    /// Recovery generation (0 for a never-recovered incarnation).
+    pub recovery_generation: u64,
+    /// The crash site that halted this shard, if one fired.
+    pub crashed_site: Option<String>,
+    /// Replication role, lag, and heartbeat age; `None` when unreplicated.
+    pub replication: Option<ReplicationStatus>,
+}
+
+/// The process-local health picture served by `GET /vm/health`.
+#[derive(Clone, Debug)]
+pub struct HealthSnapshot {
+    /// Simulated time the snapshot was taken.
+    pub at: u64,
+    /// Shards in this service handle.
+    pub shard_count: usize,
+    /// Per-workclass admission posture (empty without admission control).
+    pub admission: Vec<AdmissionHealth>,
+    /// Per-shard durability and replication state, shard order.
+    pub shards: Vec<ShardHealth>,
+    /// Per-workclass latency distributions (empty without a monitor).
+    pub latency: Vec<WorkclassLatency>,
+    /// Evaluated SLO alerts (empty without a [`HealthMonitor`]).
+    pub alerts: Vec<AlertSnapshot>,
 }
 
 impl std::fmt::Debug for VmService {

@@ -6,6 +6,7 @@
 use parking_lot::Mutex;
 use std::sync::Arc;
 use vnfguard_core::deployment::TestbedBuilder;
+use vnfguard_core::fleet::serve_fleet_api;
 use vnfguard_core::overload::{AdmissionConfig, Workclass};
 use vnfguard_core::remote::serve_vm_api;
 use vnfguard_core::CoreError;
@@ -210,6 +211,73 @@ fn vm_api_honors_deadlines_and_advertises_retry_hints() {
         rendered.contains("vnfguard_net_deadline_exceeded_total 1"),
         "missing deadline counter:\n{rendered}"
     );
+}
+
+/// The health plane opts out of deadline enforcement end to end: both
+/// `GET /vm/health` and `GET /fleet/status` answer a request whose
+/// `x-vnfguard-deadline` budget is already exhausted. An incident is
+/// exactly when those surfaces get read, and an incident is exactly when
+/// caller budgets are all burned.
+#[test]
+fn health_surfaces_ignore_exhausted_deadlines() {
+    let mut tb = TestbedBuilder::new(b"overload health optout")
+        .durable()
+        .replicas(1)
+        .admission_config(tight_admission())
+        .health()
+        .build();
+    tb.attest_host(0).unwrap();
+    let guard = tb.deploy_guard(0, "vnf-health", 1).unwrap();
+    tb.enroll(0, &guard).unwrap();
+
+    let network = tb.network.clone();
+    let ias: Arc<Mutex<dyn QuoteVerifier + Send>> = Arc::new(Mutex::new(std::mem::replace(
+        &mut tb.ias,
+        vnfguard_ias::AttestationService::new(b"placeholder"),
+    )));
+    let _api = serve_vm_api(&network, "vm:8443", tb.vm_service(), ias, "controller").unwrap();
+    let (monitor, _standby_health) = tb.fleet_monitor("operator", "vm:8443").unwrap();
+    let _fleet =
+        serve_fleet_api(&network, "fleet:9443", Arc::new(Mutex::new(monitor))).unwrap();
+
+    // Dead budget straight at the VM's health surface → still a full 200.
+    let mut client = HttpClient::new(network.connect("vm:8443").unwrap());
+    let response = client
+        .request(&Request::get("/vm/health").with_header(DEADLINE_HEADER, "0"))
+        .unwrap();
+    assert!(response.status.is_success(), "{:?}", response.status);
+    let body = response.parse_json().unwrap();
+    let alerts = body
+        .get("alerts")
+        .and_then(Json::as_array)
+        .expect("health body carries the alert list");
+    assert!(!alerts.is_empty(), "default SLO set evaluates to alerts");
+    assert!(body.get("shards").and_then(Json::as_array).is_some());
+
+    // Same contract one layer up, on the fleet cockpit (which scrapes the
+    // VM and the standby endpoint underneath this request).
+    let mut client = HttpClient::new(network.connect("fleet:9443").unwrap());
+    let response = client
+        .request(&Request::get("/fleet/status").with_header(DEADLINE_HEADER, "0"))
+        .unwrap();
+    assert!(response.status.is_success(), "{:?}", response.status);
+    let body = response.parse_json().unwrap();
+    assert_eq!(body.get("stale_nodes").and_then(Json::as_i64), Some(0));
+    let nodes = body.get("nodes").and_then(Json::as_array).unwrap();
+    assert_eq!(nodes.len(), 2, "primary + one standby: {body:?}");
+    assert!(nodes
+        .iter()
+        .all(|n| n.get("reachable").and_then(Json::as_bool) == Some(true)));
+
+    // The ASCII cockpit answers under the same dead budget.
+    let response = client
+        .request(
+            &Request::get("/fleet/status?format=ascii").with_header(DEADLINE_HEADER, "0"),
+        )
+        .unwrap();
+    assert!(response.status.is_success());
+    let text = String::from_utf8(response.body.clone()).unwrap();
+    assert!(text.contains("fleet cockpit"), "{text}");
 }
 
 /// Manager-side renewal backoff: a refused serial disappears from the

@@ -26,13 +26,18 @@
 //! counters and `_micros` for latency histograms (see DESIGN.md
 //! §Observability).
 
+pub mod health;
 pub mod journal;
 pub mod metrics;
 pub mod spans;
 pub mod trace;
 
+pub use health::{AlertSnapshot, AlertState, HealthMonitor, SloKind, SloSpec};
 pub use journal::{Event, Journal};
-pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use metrics::{
+    labeled, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricsRegistry,
+    EXEMPLAR_CAP,
+};
 pub use spans::{SpanGuard, SpanRecord, Tracer};
 pub use trace::{Annotation, TraceCollector, TraceContext, TraceIds, TraceSpan, TraceSummary};
 

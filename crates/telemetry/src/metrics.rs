@@ -59,9 +59,44 @@ impl Gauge {
 /// Number of finite histogram buckets; one more holds the overflow.
 pub const FINITE_BUCKETS: usize = 32;
 
+/// How many exemplars a histogram (or a merged snapshot) retains.
+pub const EXEMPLAR_CAP: usize = 8;
+
 /// Upper bound (inclusive) of finite bucket `idx`: `2^idx`.
 pub fn bucket_bound(idx: usize) -> u64 {
     1u64 << idx
+}
+
+/// A sampled observation that links a histogram bucket back to the
+/// distributed trace that produced it: the operator path from "p99
+/// breached" to the exact `/vm/traces/{id}` waterfall to blame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded sample (typically microseconds).
+    pub value: u64,
+    /// The 128-bit trace id of the request that produced the sample.
+    pub trace_id: u128,
+    /// Index of the log₂ bucket the sample landed in.
+    pub bucket: usize,
+}
+
+impl Exemplar {
+    /// Strict total order used for retention: slowest samples first, ties
+    /// broken by trace id then bucket. A *total* order (no equal distinct
+    /// elements survive ambiguously) is what makes top-K retention under
+    /// merge associative and commutative.
+    fn rank(&self) -> (u64, u128, usize) {
+        (self.value, self.trace_id, self.bucket)
+    }
+}
+
+/// Keep only the top-[`EXEMPLAR_CAP`] exemplars by [`Exemplar::rank`],
+/// descending. Shared by live recording and snapshot merge so both sides
+/// agree on which exemplars survive.
+fn retain_top_exemplars(exemplars: &mut Vec<Exemplar>) {
+    exemplars.sort_by_key(|e| std::cmp::Reverse(e.rank()));
+    exemplars.dedup_by(|a, b| a.rank() == b.rank());
+    exemplars.truncate(EXEMPLAR_CAP);
 }
 
 struct HistogramInner {
@@ -69,6 +104,9 @@ struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    // Only traced requests pay for this lock, and only rarely: the hot
+    // untraced path stays lock-free atomics.
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 /// A log₂-bucketed histogram of `u64` samples (typically microseconds).
@@ -90,6 +128,7 @@ impl Default for Histogram {
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
+                exemplars: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -115,6 +154,45 @@ impl Histogram {
         inner.count.fetch_add(1, Ordering::Relaxed);
         inner.sum.fetch_add(v, Ordering::Relaxed);
         inner.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a sample that came from a traced request, keeping its trace
+    /// id as an [`Exemplar`] so the rendered series links back to the
+    /// waterfall that produced it.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u128) {
+        self.record(v);
+        let mut exemplars = self
+            .inner
+            .exemplars
+            .lock()
+            .expect("histogram exemplars poisoned");
+        exemplars.push(Exemplar {
+            value: v,
+            trace_id,
+            bucket: Self::bucket_index(v),
+        });
+        retain_top_exemplars(&mut exemplars);
+    }
+
+    /// The retained exemplars, slowest first.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        self.inner
+            .exemplars
+            .lock()
+            .expect("histogram exemplars poisoned")
+            .clone()
+    }
+
+    /// A point-in-time copy of the full distribution — buckets, exact
+    /// aggregates, and exemplars — suitable for exact cross-node merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.bucket_counts(),
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            exemplars: self.exemplars(),
+        }
     }
 
     pub fn count(&self) -> u64 {
@@ -172,11 +250,122 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
+/// A detached copy of a [`Histogram`]'s state. Because the buckets are
+/// exact log₂ counts (not sketches), merging two snapshots elementwise is
+/// *exact*: the merge of N nodes' snapshots is bit-identical to the
+/// histogram a single node would have produced observing all N streams.
+/// Merge is associative and commutative, so fleet aggregation order never
+/// changes the answer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts: [`FINITE_BUCKETS`] finite buckets then overflow.
+    pub buckets: Vec<u64>,
+    /// Exact total sample count.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+    /// Retained trace exemplars, slowest first (top-[`EXEMPLAR_CAP`]).
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot — the identity element for [`merge`](Self::merge).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; FINITE_BUCKETS + 1],
+            ..HistogramSnapshot::default()
+        }
+    }
+
+    /// Fold another snapshot into this one: buckets, count and sum add;
+    /// max takes the max; exemplars keep the global top-[`EXEMPLAR_CAP`]
+    /// under a strict total-order rank, so an exemplar recorded on any node
+    /// survives every merge order the fleet aggregator might use.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.exemplars.extend(other.exemplars.iter().copied());
+        retain_top_exemplars(&mut self.exemplars);
+    }
+
+    /// Bucket-bound quantile estimate, mirroring [`Histogram::quantile`]:
+    /// the upper bound of the bucket holding the target rank, clamped to
+    /// the exact observed max. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (idx, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= target {
+                return if idx < FINITE_BUCKETS {
+                    bucket_bound(idx).min(self.max)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+}
+
 #[derive(Default)]
 struct RegistryInner {
     counters: BTreeMap<String, Counter>,
     gauges: BTreeMap<String, Gauge>,
     histograms: BTreeMap<String, Histogram>,
+}
+
+/// Compose a registry key carrying one label dimension, e.g.
+/// `labeled("vnfguard_core_enrollments_total", "shard", "2")` →
+/// `vnfguard_core_enrollments_total{shard="2"}`. The registry treats each
+/// labeled key as its own series; [`MetricsRegistry::render_prometheus`]
+/// folds every series of a family under a single `# TYPE` header and
+/// merges the labels into histogram companion lines.
+pub fn labeled(family: &str, key: &str, value: &str) -> String {
+    format!("{family}{{{key}=\"{value}\"}}")
+}
+
+/// Split a registry key into its metric family and the label body (the
+/// text between the braces), if any.
+fn split_series(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(pos) => (
+            &name[..pos],
+            Some(name[pos + 1..].trim_end_matches('}')),
+        ),
+        None => (name, None),
+    }
+}
+
+/// A companion series line (`_sum`, `_count`, …) for a possibly-labeled
+/// histogram: the suffix attaches to the family, the labels re-attach
+/// after it.
+fn companion(family: &str, suffix: &str, labels: Option<&str>) -> String {
+    match labels {
+        Some(labels) => format!("{family}{suffix}{{{labels}}}"),
+        None => format!("{family}{suffix}"),
+    }
+}
+
+/// A `_bucket` line for a possibly-labeled histogram: `le` merges after
+/// any existing labels, matching Prometheus exposition conventions.
+fn bucket_series(family: &str, labels: Option<&str>, le: &str) -> String {
+    match labels {
+        Some(labels) => format!("{family}_bucket{{{labels},le=\"{le}\"}}"),
+        None => format!("{family}_bucket{{le=\"{le}\"}}"),
+    }
 }
 
 /// A registry of named metrics. Get-or-register by name; cloning shares
@@ -239,20 +428,39 @@ impl MetricsRegistry {
     }
 
     /// Render every metric in Prometheus text exposition format, sorted by
-    /// name. Histogram bucket lines stop at the highest occupied finite
-    /// bucket (plus the mandatory `+Inf` line) to keep the surface compact.
+    /// name. Labeled series (registered via [`labeled`] keys) share one
+    /// `# TYPE` header per family. Histogram bucket lines stop at the
+    /// highest occupied finite bucket (plus the mandatory `+Inf` line) to
+    /// keep the surface compact; a bucket holding a retained exemplar
+    /// carries it OpenMetrics-style after a `#`.
     pub fn render_prometheus(&self) -> String {
         let inner = self.inner.lock().expect("metrics registry poisoned");
         let mut out = String::new();
+        // Families can interleave with unrelated names in key order (`{`
+        // sorts after `_`), so track emitted TYPE headers by family rather
+        // than by adjacency.
+        let mut typed = std::collections::BTreeSet::new();
         for (name, counter) in &inner.counters {
-            out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", counter.get()));
+            let (family, _) = split_series(name);
+            if typed.insert(family.to_string()) {
+                out.push_str(&format!("# TYPE {family} counter\n"));
+            }
+            out.push_str(&format!("{name} {}\n", counter.get()));
         }
         for (name, gauge) in &inner.gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", gauge.get()));
+            let (family, _) = split_series(name);
+            if typed.insert(family.to_string()) {
+                out.push_str(&format!("# TYPE {family} gauge\n"));
+            }
+            out.push_str(&format!("{name} {}\n", gauge.get()));
         }
         for (name, histogram) in &inner.histograms {
-            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let (family, labels) = split_series(name);
+            if typed.insert(family.to_string()) {
+                out.push_str(&format!("# TYPE {family} histogram\n"));
+            }
             let counts = histogram.bucket_counts();
+            let exemplars = histogram.exemplars();
             let last_occupied = counts[..FINITE_BUCKETS]
                 .iter()
                 .rposition(|&c| c > 0)
@@ -261,20 +469,52 @@ impl MetricsRegistry {
             for (idx, &count) in counts.iter().take(last_occupied + 1).enumerate() {
                 cumulative += count;
                 out.push_str(&format!(
-                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                    bucket_bound(idx)
+                    "{} {cumulative}",
+                    bucket_series(family, labels, &bucket_bound(idx).to_string())
                 ));
+                if let Some(ex) = exemplars.iter().find(|e| e.bucket == idx) {
+                    out.push_str(&format!(
+                        " # {{trace_id=\"{:032x}\"}} {}",
+                        ex.trace_id, ex.value
+                    ));
+                }
+                out.push('\n');
             }
             out.push_str(&format!(
-                "{name}_bucket{{le=\"+Inf\"}} {}\n",
+                "{} {}\n",
+                bucket_series(family, labels, "+Inf"),
                 histogram.count()
             ));
-            out.push_str(&format!("{name}_sum {}\n", histogram.sum()));
-            out.push_str(&format!("{name}_count {}\n", histogram.count()));
-            out.push_str(&format!("{name}_p50 {}\n", histogram.quantile(0.50)));
-            out.push_str(&format!("{name}_p90 {}\n", histogram.quantile(0.90)));
-            out.push_str(&format!("{name}_p99 {}\n", histogram.quantile(0.99)));
-            out.push_str(&format!("{name}_max {}\n", histogram.max()));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_sum", labels),
+                histogram.sum()
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_count", labels),
+                histogram.count()
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_p50", labels),
+                histogram.quantile(0.50)
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_p90", labels),
+                histogram.quantile(0.90)
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_p99", labels),
+                histogram.quantile(0.99)
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                companion(family, "_max", labels),
+                histogram.max()
+            ));
         }
         out
     }
@@ -388,5 +628,80 @@ mod tests {
         let c = Counter::detached();
         c.add(10);
         assert_eq!(registry.render_prometheus(), "");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let registry = MetricsRegistry::default();
+        registry
+            .counter(&labeled("vnfguard_x_ops_total", "shard", "0"))
+            .add(2);
+        registry
+            .counter(&labeled("vnfguard_x_ops_total", "shard", "1"))
+            .add(5);
+        let text = registry.render_prometheus();
+        assert_eq!(text.matches("# TYPE vnfguard_x_ops_total counter").count(), 1);
+        assert!(text.contains("vnfguard_x_ops_total{shard=\"0\"} 2"));
+        assert!(text.contains("vnfguard_x_ops_total{shard=\"1\"} 5"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_labels_into_companion_lines() {
+        let registry = MetricsRegistry::default();
+        let h = registry.histogram(&labeled("vnfguard_x_micros", "shard", "2"));
+        h.record(3);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE vnfguard_x_micros histogram"));
+        assert!(text.contains("vnfguard_x_micros_bucket{shard=\"2\",le=\"4\"} 1"));
+        assert!(text.contains("vnfguard_x_micros_bucket{shard=\"2\",le=\"+Inf\"} 1"));
+        assert!(text.contains("vnfguard_x_micros_sum{shard=\"2\"} 3"));
+        assert!(text.contains("vnfguard_x_micros_count{shard=\"2\"} 1"));
+        assert!(text.contains("vnfguard_x_micros_max{shard=\"2\"} 3"));
+    }
+
+    #[test]
+    fn exemplars_retained_slowest_first_and_rendered() {
+        let h = Histogram::default();
+        for v in 0..(EXEMPLAR_CAP as u64 + 4) {
+            h.record_with_exemplar(v * 100, 0xAB00 + v as u128);
+        }
+        let exemplars = h.exemplars();
+        assert_eq!(exemplars.len(), EXEMPLAR_CAP);
+        // Slowest survive; the 4 fastest were evicted.
+        assert_eq!(exemplars[0].value, (EXEMPLAR_CAP as u64 + 3) * 100);
+        assert!(exemplars.iter().all(|e| e.value >= 400));
+        let registry = MetricsRegistry::default();
+        let h = registry.histogram("vnfguard_x_micros");
+        h.record_with_exemplar(300, 0xDEAD);
+        let text = registry.render_prometheus();
+        assert!(text.contains(&format!(" # {{trace_id=\"{:032x}\"}} 300", 0xDEADu128)));
+    }
+
+    #[test]
+    fn snapshot_merge_is_exact() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        let whole = Histogram::default();
+        for v in [1u64, 7, 300, 9000] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 300, 40_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        b.record_with_exemplar(1_000_000, 0x77);
+        whole.record(1_000_000);
+        let mut merged = HistogramSnapshot::empty();
+        merged.merge(&a.snapshot());
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.buckets, whole.snapshot().buckets);
+        assert_eq!(merged.count, whole.count());
+        assert_eq!(merged.sum, whole.sum());
+        assert_eq!(merged.max, whole.max());
+        assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+        assert_eq!(merged.quantile(0.99), whole.quantile(0.99));
+        // The exemplar recorded on node b survives the merge.
+        assert!(merged.exemplars.iter().any(|e| e.trace_id == 0x77));
     }
 }

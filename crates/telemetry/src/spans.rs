@@ -196,7 +196,12 @@ impl Drop for SpanGuard {
     fn drop(&mut self) {
         let micros = self.begun.elapsed().as_micros() as u64;
         if let Some(histogram) = &self.histogram {
-            histogram.record(micros);
+            // A traced span leaves its trace id behind as an exemplar, so a
+            // breached latency series links back to a concrete waterfall.
+            match &self.trace {
+                Some(trace) => histogram.record_with_exemplar(micros, trace.trace_id),
+                None => histogram.record(micros),
+            }
         }
         if let Some(tracer) = &self.tracer {
             tracer.finish(self.id, micros);
