@@ -177,6 +177,39 @@ if [ -n "$violations" ]; then
   exit 1
 fi
 
+echo "== backend hygiene: core appraises through vnfguard-attest, not raw SGX/IAS =="
+# The AttestationBackend seam: relying-party code in vnfguard-core must not
+# name vnfguard_sgx:: / vnfguard_ias:: types directly. The adapter module
+# (backend.rs) is the one sanctioned home; any other reference needs a
+# 'backend-opt-out' rationale within the 8 preceding lines (agent-side
+# platform plumbing, IAS transport, testbed assembly). Test modules are
+# exempt (they build fixtures, not appraisal paths).
+violations=""
+for f in crates/core/src/*.rs; do
+  [ "$f" = "crates/core/src/backend.rs" ] && continue
+  found=$(awk -v file="$f" '
+    /^mod tests|^#\[cfg\(test\)\]/ { in_tests = 1 }
+    in_tests { next }
+    {
+      if (index($0, "backend-opt-out") != 0) allow = NR + 8
+      if ($0 ~ /vnfguard_(sgx|ias)::/ && NR > allow)
+        print file ":" NR ": " $0
+    }
+  ' "$f")
+  if [ -n "$found" ]; then
+    violations="$violations$found
+"
+  fi
+done
+if [ -n "$violations" ]; then
+  echo "found raw SGX/IAS references outside the backend adapter (route through vnfguard-attest or add a backend-opt-out rationale):"
+  echo "$violations"
+  exit 1
+fi
+
+echo "== attest refusal properties (forged/stale/truncated/cross-backend evidence) =="
+cargo test -q --test attest_props
+
 echo "== e12: tracing overhead bar (<=5% vs disabled telemetry) =="
 cargo bench -p vnfguard-bench --bench e12_tracing
 
@@ -194,5 +227,8 @@ cargo bench -p vnfguard-bench --bench e16_overload
 
 echo "== e17: health plane (overhead <=5%, burn-rate alert fires in-window, exemplar resolvable, partition staleness) =="
 cargo bench -p vnfguard-bench --bench e17_health
+
+echo "== e18: attestation backends (SNP offline <= SGX/IAS remote, zero forged/cross-backend acceptances over >=10 seeds) =="
+cargo bench -p vnfguard-bench --bench e18_backends
 
 echo "CI OK"

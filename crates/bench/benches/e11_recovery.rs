@@ -48,6 +48,7 @@ fn logged_media(n: u64, compact: bool) -> Fixture {
                 host_id: format!("host-{}", i % 8),
                 mrenclave: [i as u8; 32],
                 provisioning_key_hash: [i as u8; 32],
+                backend: 0,
                 at: 100 + i,
             })
             .unwrap();

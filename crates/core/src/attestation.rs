@@ -5,6 +5,9 @@ use vnfguard_crypto::sha2::sha256;
 use vnfguard_encoding::{TlvReader, TlvWriter};
 use vnfguard_ima::list::MeasurementList;
 use vnfguard_ima::tpm::PcrQuote;
+// backend-opt-out: the integrity attestation enclave is itself an SGX
+// enclave running on the host agent — platform-side plumbing, not
+// relying-party appraisal (which goes through vnfguard-attest backends).
 use vnfguard_sgx::enclave::{Enclave, EnclaveCode, EnclaveContext};
 use vnfguard_sgx::measurement::Measurement;
 use vnfguard_sgx::platform::SgxPlatform;
@@ -200,6 +203,8 @@ pub fn host_evidence(
         op::ATTEST,
         &encode_integrity_attest(&qe.target_info(), nonce),
     )?;
+    // backend-opt-out: decoding the enclave's local report to hand it to
+    // the quoting enclave — still agent-side evidence *production*.
     let report = vnfguard_sgx::report::Report::decode(&report_bytes)?;
     let quote = qe.quote(&report, *nonce)?;
     Ok(HostEvidence {

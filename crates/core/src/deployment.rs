@@ -19,6 +19,7 @@
 //! simply a service with one shard, routing everything to it.
 
 use crate::attestation::{host_evidence, IntegrityAttestationEnclave};
+use crate::backend::snp_vnf_measurement;
 use crate::crash::CrashPlan;
 use crate::lifecycle::{verify_handover, CaRotation};
 use crate::manager::{ManagerConfig, RecoveryReport, TcbPolicy, VerificationManager};
@@ -33,7 +34,14 @@ use vnfguard_container::host::ContainerHost;
 use vnfguard_container::image::Image;
 use vnfguard_container::registry::Registry;
 use vnfguard_controller::{Controller, ControllerConfig, SecurityMode, SimClock};
+use vnfguard_attest::snp::{
+    launch_measurement, normalize_measurement, AmdRoot, SnpPlatform, SnpVerifier,
+};
+use vnfguard_attest::BackendKind;
 use vnfguard_crypto::ed25519::SigningKey;
+// backend-opt-out: the testbed assembles concrete TEE stacks — the IAS
+// simulation is the SGX hosts' verification collateral, exactly as the
+// AmdRoot above is the SNP hosts'.
 use vnfguard_ias::AttestationService;
 use vnfguard_ima::appraisal::Verdict;
 use vnfguard_ima::list::IMA_PCR;
@@ -42,6 +50,9 @@ use vnfguard_net::fabric::Network;
 use vnfguard_net::fault::FaultPlan;
 use vnfguard_pki::cert::Certificate;
 use vnfguard_pki::{KeyStore, RevocationPolicy, TrustStore};
+// backend-opt-out: the testbed *builds* the SGX hosts, shard platforms
+// and state-vault enclaves — agent-side platform plumbing, not relying-
+// party appraisal (which goes through vnfguard-attest backends).
 use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::measurement::Measurement;
 use vnfguard_sgx::platform::{PlatformConfig, SgxPlatform};
@@ -64,10 +75,24 @@ pub enum ValidationModel {
     Keystore,
 }
 
-/// One SGX-capable container host in the testbed.
+/// One TEE-capable container host in the testbed.
+///
+/// Every host carries the SGX stack (platform + integrity enclave); a host
+/// whose [`backend`](Self::backend) is [`BackendKind::SevSnp`] additionally
+/// carries a provisioned [`SnpPlatform`] and attests as a confidential VM:
+/// its evidence is an SNP attestation report over the same integrity
+/// measurement list and the same REPORT_DATA bindings, appraised offline —
+/// the SGX quote path is never exercised for it (and the host is not even
+/// registered with IAS, so an accidental SGX quote fails closed).
 pub struct TestbedHost {
     pub id: String,
+    /// Which attestation backend this host enrolls under.
+    pub backend: BackendKind,
     pub platform: SgxPlatform,
+    /// The SNP chip + CVM identity, for [`BackendKind::SevSnp`] hosts.
+    /// Public so fault drills can arm [`SnpFault`](vnfguard_attest::snp::SnpFault)
+    /// hooks (forged signature, stale VCEK, debug policy) post-build.
+    pub snp: Option<SnpPlatform>,
     pub container_host: ContainerHost,
     pub integrity_enclave: Enclave,
     pub tpm: Option<SimTpm>,
@@ -99,6 +124,8 @@ pub struct TestbedBuilder {
     mode: SecurityMode,
     validation: ValidationModel,
     host_count: usize,
+    default_backend: BackendKind,
+    host_backends: Vec<(usize, BackendKind)>,
     with_tpm: bool,
     tcb_policy: TcbPolicy,
     transition_spin: (u64, u64),
@@ -131,6 +158,8 @@ impl TestbedBuilder {
             mode: SecurityMode::TrustedHttps,
             validation: ValidationModel::Ca,
             host_count: 1,
+            default_backend: BackendKind::SgxEpid,
+            host_backends: Vec::new(),
             with_tpm: false,
             tcb_policy: TcbPolicy::Strict,
             transition_spin: (0, 0),
@@ -169,6 +198,22 @@ impl TestbedBuilder {
 
     pub fn hosts(mut self, count: usize) -> TestbedBuilder {
         self.host_count = count;
+        self
+    }
+
+    /// Attestation backend for every host that has no per-host override
+    /// (default [`BackendKind::SgxEpid`] — the paper's deployment).
+    /// Building with any SEV-SNP host also provisions the model AMD root
+    /// and wires an offline [`SnpVerifier`] into the service handle.
+    pub fn backend(mut self, kind: BackendKind) -> TestbedBuilder {
+        self.default_backend = kind;
+        self
+    }
+
+    /// Override one host's attestation backend — mixed SGX+SNP fleets.
+    /// The last override for an index wins.
+    pub fn host_backend(mut self, host_idx: usize, kind: BackendKind) -> TestbedBuilder {
+        self.host_backends.push((host_idx, kind));
         self
     }
 
@@ -370,6 +415,30 @@ impl TestbedBuilder {
         let mut ias = AttestationService::new(&self.seed);
         ias.set_telemetry(&telemetry);
 
+        // Per-host backend assignment (last override wins), and — when any
+        // host is a SEV-SNP confidential VM — the model AMD root plus the
+        // offline verifier that appraises against it. Pure-SGX testbeds
+        // provision neither, so their builds stay bit-identical to before.
+        let backend_kinds: Vec<BackendKind> = (0..self.host_count)
+            .map(|i| {
+                self.host_backends
+                    .iter()
+                    .rev()
+                    .find(|(host, _)| *host == i)
+                    .map(|&(_, kind)| kind)
+                    .unwrap_or(self.default_backend)
+            })
+            .collect();
+        let any_snp = backend_kinds.contains(&BackendKind::SevSnp);
+        let amd_root = any_snp.then(|| {
+            AmdRoot::new(&vnfguard_crypto::sha2::sha256(
+                &[&self.seed[..], b"amd root"].concat(),
+            ))
+        });
+        let snp_verifier = amd_root
+            .as_ref()
+            .map(|root| SnpVerifier::new(root.ark_public(), clock.clone()));
+
         let mut vm_config = ManagerConfig::builder()
             .tcb_policy(self.tcb_policy)
             .require_tpm(self.with_tpm);
@@ -542,6 +611,9 @@ impl TestbedBuilder {
             managers.push(manager);
         }
         let mut vm = VmService::from_shards(managers);
+        if let Some(verifier) = &snp_verifier {
+            vm = vm.with_snp_verifier(verifier.clone());
+        }
         if let Some(config) = self.admission {
             vm = vm.with_admission(Arc::new(AdmissionController::instrumented(
                 config,
@@ -566,6 +638,27 @@ impl TestbedBuilder {
         );
         for (path, content) in STANDARD_HOST_FILES {
             vm.allow_reference_content(path, content);
+        }
+
+        // SNP hosts all boot the standard CVM host image; whitelist its
+        // launch measurement under the SNP backend (journaled into the
+        // trust log so recovered incarnations re-learn it). The SGX
+        // integrity-enclave whitelist above cannot satisfy SNP evidence —
+        // whitelists key on (backend, measurement).
+        let mut trust_log = Vec::new();
+        let snp_host_measurement = launch_measurement(SNP_HOST_IMAGE);
+        if any_snp {
+            let measurement = Measurement(normalize_measurement(&snp_host_measurement));
+            vm.trust_integrity_enclave_for(
+                BackendKind::SevSnp,
+                measurement,
+                "snp-host-cvm-v1",
+            );
+            trust_log.push(TrustAction::TrustIntegrity(
+                BackendKind::SevSnp,
+                measurement,
+                "snp-host-cvm-v1".to_string(),
+            ));
         }
 
         // Controller identity and client validation.
@@ -609,7 +702,7 @@ impl TestbedBuilder {
             Controller::start(&network, controller_config).expect("controller start");
 
         let mut hosts = Vec::with_capacity(self.host_count);
-        for i in 0..self.host_count {
+        for (i, &backend) in backend_kinds.iter().enumerate() {
             let id = format!("host-{i}");
             let platform_seed = [&self.seed[..], id.as_bytes()].concat();
             let platform = SgxPlatform::with_config(
@@ -617,7 +710,23 @@ impl TestbedBuilder {
                 PlatformConfig::default(),
                 TransitionModel::new(self.transition_spin.0, self.transition_spin.1),
             );
-            ias.register_member(platform.epid_group_id(), platform.attestation_public_key());
+            // Only SGX hosts join the EPID group. An SNP host that somehow
+            // produced an SGX quote would be refused by IAS — cross-backend
+            // confusion fails closed at the membership layer too.
+            if backend == BackendKind::SgxEpid {
+                ias.register_member(
+                    platform.epid_group_id(),
+                    platform.attestation_public_key(),
+                );
+            }
+            let snp = (backend == BackendKind::SevSnp).then(|| {
+                SnpPlatform::provision(
+                    amd_root.as_ref().expect("SNP hosts imply an AMD root"),
+                    &[&platform_seed[..], b" snp"].concat(),
+                    snp_host_measurement,
+                    1,
+                )
+            });
             let container_host = ContainerHost::standard(&id);
             let integrity_enclave =
                 IntegrityAttestationEnclave::load(&platform, &enclave_author, 1)
@@ -633,7 +742,9 @@ impl TestbedBuilder {
             };
             hosts.push(TestbedHost {
                 id,
+                backend,
                 platform,
+                snp,
                 container_host,
                 integrity_enclave,
                 tpm,
@@ -663,7 +774,9 @@ impl TestbedBuilder {
             group_commit: self.group_commit,
             crash_plan: self.crash_plan,
             wal_compaction: self.wal_compaction,
-            trust_log: Vec::new(),
+            trust_log,
+            amd_root,
+            snp_verifier,
             replication,
             standbys,
             standby_media,
@@ -682,10 +795,18 @@ const STANDARD_HOST_FILES: &[(&str, &[u8])] = &[
     ("/sbin/init", b"systemd 229"),
 ];
 
+/// The confidential-VM host image every SNP testbed host boots; its launch
+/// measurement is what the Verification Manager whitelists for SNP host
+/// attestation.
+const SNP_HOST_IMAGE: &[u8] = b"snp host cvm image v1";
+
 /// Config-time trust decisions made after build, replayed into a recovered
 /// manager (they are deployment inputs, not journaled state transitions).
+/// Each whitelist entry records the backend it was granted under —
+/// recovery must re-learn SNP trust as SNP trust, never as SGX trust.
 enum TrustAction {
-    TrustEnclave(Measurement, String),
+    TrustEnclave(BackendKind, Measurement, String),
+    TrustIntegrity(BackendKind, Measurement, String),
     AllowContent(String, Vec<u8>),
 }
 
@@ -731,6 +852,11 @@ pub struct Testbed {
     crash_plan: Option<CrashPlan>,
     wal_compaction: u64,
     trust_log: Vec<TrustAction>,
+    /// The model AMD certificate root, when any host is SEV-SNP.
+    amd_root: Option<AmdRoot>,
+    /// The deployment's offline SNP appraiser (also wired into the
+    /// service handle for `serve_vm_api` dispatch).
+    snp_verifier: Option<SnpVerifier>,
     /// The authority shard's replication handle (a clone of the one
     /// installed as its store's append observer); `None` when
     /// unreplicated.
@@ -759,7 +885,27 @@ impl Testbed {
         self.vm.shard_count()
     }
 
-    /// Steps 1–2: attest a container host.
+    /// The model AMD certificate root, when any host is SEV-SNP.
+    pub fn amd_root(&self) -> Option<&AmdRoot> {
+        self.amd_root.as_ref()
+    }
+
+    /// The deployment's offline SNP appraiser (a clone is also wired into
+    /// the service handle for API dispatch).
+    pub fn snp_verifier(&self) -> Option<&SnpVerifier> {
+        self.snp_verifier.as_ref()
+    }
+
+    /// The launch measurement every SNP testbed host boots with.
+    pub fn snp_host_measurement(&self) -> [u8; 48] {
+        launch_measurement(SNP_HOST_IMAGE)
+    }
+
+    /// Steps 1–2: attest a container host through the backend it was
+    /// built with — SGX hosts quote through the integrity attestation
+    /// enclave and verify via IAS; SNP hosts produce an attestation
+    /// report over the same measurement list and REPORT_DATA binding,
+    /// appraised offline against the deployment's AMD root.
     pub fn attest_host(&mut self, host_idx: usize) -> Result<Verdict, CoreError> {
         let host = &mut self.hosts[host_idx];
         let challenge = self.vm.begin_host_attestation(&host.id);
@@ -769,15 +915,35 @@ impl Testbed {
             .tpm
             .as_ref()
             .map(|tpm| tpm.quote(IMA_PCR, challenge.nonce).encode());
-        let evidence = host_evidence(
-            &host.platform,
-            &host.integrity_enclave,
-            &iml,
-            &challenge.nonce,
-            tpm_quote,
-        )?;
-        self.vm
-            .complete_host_attestation(&mut self.ias, challenge.id, &evidence)
+        match host.backend {
+            BackendKind::SgxEpid => {
+                let evidence = host_evidence(
+                    &host.platform,
+                    &host.integrity_enclave,
+                    &iml,
+                    &challenge.nonce,
+                    tpm_quote,
+                )?;
+                self.vm
+                    .complete_host_attestation(&mut self.ias, challenge.id, &evidence)
+            }
+            BackendKind::SevSnp => {
+                let snp = host.snp.as_ref().expect("SNP host has an SNP platform");
+                let report_data =
+                    crate::attestation::host_report_data(&iml, &challenge.nonce);
+                let evidence = crate::attestation::HostEvidence {
+                    quote: snp.attest_self(report_data),
+                    iml,
+                    tpm_quote,
+                };
+                let verifier = self
+                    .snp_verifier
+                    .as_mut()
+                    .expect("SNP hosts imply an SNP verifier");
+                self.vm
+                    .complete_host_attestation_backend(verifier, challenge.id, &evidence)
+            }
+        }
     }
 
     /// Deploy a VNF container: the host runs `actual_image`, while the VM's
@@ -828,13 +994,34 @@ impl Testbed {
             vnf_name,
             version,
         )?;
-        let image = CredentialEnclave::image_for(vnf_name, version);
-        let measurement =
-            SgxPlatform::measure_image(&image, vnfguard_vnf::guard::ENCLAVE_SIZE);
         let label = format!("{vnf_name}-v{version}");
-        self.vm.trust_enclave(measurement, &label);
-        self.trust_log
-            .push(TrustAction::TrustEnclave(measurement, label));
+        match self.hosts[host_idx].backend {
+            BackendKind::SgxEpid => {
+                let image = CredentialEnclave::image_for(vnf_name, version);
+                let measurement =
+                    SgxPlatform::measure_image(&image, vnfguard_vnf::guard::ENCLAVE_SIZE);
+                self.vm.trust_enclave(measurement, &label);
+                self.trust_log.push(TrustAction::TrustEnclave(
+                    BackendKind::SgxEpid,
+                    measurement,
+                    label,
+                ));
+            }
+            BackendKind::SevSnp => {
+                // On a confidential-VM host the credential workload runs
+                // as its own CVM; whitelist its deterministic launch
+                // measurement under the SNP backend.
+                let measurement =
+                    Measurement(normalize_measurement(&snp_vnf_measurement(vnf_name)));
+                self.vm
+                    .trust_enclave_for(BackendKind::SevSnp, measurement, &label);
+                self.trust_log.push(TrustAction::TrustEnclave(
+                    BackendKind::SevSnp,
+                    measurement,
+                    label,
+                ));
+            }
+        }
         Ok(guard)
     }
 
@@ -867,18 +1054,48 @@ impl Testbed {
         let host_id = self.hosts[host_idx].id.clone();
         let challenge = self.vm.begin_vnf_attestation(&host_id, &guard.name)?;
         let provisioning_key = guard.provisioning_key()?;
-        let quote = guard.quote(
-            &self.hosts[host_idx].platform,
-            &challenge.nonce,
-            challenge.nonce,
-        )?;
-        let (wrapped, certificate) = self.vm.complete_vnf_enrollment(
-            &mut self.ias,
-            challenge.id,
-            &quote.encode(),
-            &provisioning_key,
-            &self.controller_cn,
-        )?;
+        let (wrapped, certificate) = match self.hosts[host_idx].backend {
+            BackendKind::SgxEpid => {
+                let quote = guard.quote(
+                    &self.hosts[host_idx].platform,
+                    &challenge.nonce,
+                    challenge.nonce,
+                )?;
+                self.vm.complete_vnf_enrollment(
+                    &mut self.ias,
+                    challenge.id,
+                    &quote.encode(),
+                    &provisioning_key,
+                    &self.controller_cn,
+                )?
+            }
+            BackendKind::SevSnp => {
+                // The workload CVM binds the same REPORT_DATA an SGX
+                // guard would: sha256(provisioning key) || nonce.
+                let snp = self.hosts[host_idx]
+                    .snp
+                    .as_ref()
+                    .expect("SNP host has an SNP platform");
+                let evidence = snp.attest(
+                    snp_vnf_measurement(&guard.name),
+                    vnfguard_vnf::credential_enclave::provisioning_report_data(
+                        &provisioning_key,
+                        &challenge.nonce,
+                    ),
+                );
+                let verifier = self
+                    .snp_verifier
+                    .as_mut()
+                    .expect("SNP hosts imply an SNP verifier");
+                self.vm.complete_vnf_enrollment_backend(
+                    verifier,
+                    challenge.id,
+                    &evidence,
+                    &provisioning_key,
+                    &self.controller_cn,
+                )?
+            }
+        };
         guard.provision(&wrapped)?;
         // Keystore validation model: the controller's keystore must be
         // updated with the new certificate (the maintenance burden the
@@ -1102,8 +1319,11 @@ impl Testbed {
         }
         for action in &self.trust_log {
             match action {
-                TrustAction::TrustEnclave(measurement, label) => {
-                    vm.trust_enclave(*measurement, label);
+                TrustAction::TrustEnclave(backend, measurement, label) => {
+                    vm.trust_enclave_for(*backend, *measurement, label);
+                }
+                TrustAction::TrustIntegrity(backend, measurement, label) => {
+                    vm.trust_integrity_enclave_for(*backend, *measurement, label);
                 }
                 TrustAction::AllowContent(path, content) => {
                     vm.reference_db_mut().allow_content(path, content);
@@ -1307,8 +1527,11 @@ impl Testbed {
         }
         for action in &self.trust_log {
             match action {
-                TrustAction::TrustEnclave(measurement, label) => {
-                    vm.trust_enclave(*measurement, label);
+                TrustAction::TrustEnclave(backend, measurement, label) => {
+                    vm.trust_enclave_for(*backend, *measurement, label);
+                }
+                TrustAction::TrustIntegrity(backend, measurement, label) => {
+                    vm.trust_integrity_enclave_for(*backend, *measurement, label);
                 }
                 TrustAction::AllowContent(path, content) => {
                     vm.reference_db_mut().allow_content(path, content);

@@ -93,6 +93,10 @@ pub struct NodeStatus {
     pub stale_since: Option<u64>,
     /// Consecutive or cumulative scrape failures.
     pub failures: u64,
+    /// Attestation backend the node advertises (`"sgx"` / `"snp"` from a
+    /// host agent's `GET /agent/health`); `None` for nodes that are not
+    /// TEE hosts or were never scraped.
+    pub backend: Option<String>,
     /// Human-oriented one-liner derived from the last good document.
     pub summary: String,
 }
@@ -142,6 +146,9 @@ pub struct FleetStatus {
     pub slos: Vec<FleetSlo>,
     /// Nodes currently marked stale.
     pub stale_nodes: usize,
+    /// Host-agent population per attestation backend (label → count),
+    /// so a mixed SGX+SNP fleet reads at a glance.
+    pub backend_counts: Vec<(String, usize)>,
 }
 
 /// Controller-side fleet scraper. Pull-based: `scrape` polls every
@@ -275,7 +282,17 @@ impl FleetMonitor {
         let mut latency: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
         let mut alerts: Vec<FleetAlert> = Vec::new();
         let mut slos: BTreeMap<String, FleetSlo> = BTreeMap::new();
+        let mut backend_counts: BTreeMap<String, usize> = BTreeMap::new();
         for node in &self.nodes {
+            let backend = node
+                .last_good
+                .as_ref()
+                .and_then(|doc| doc.get("backend"))
+                .and_then(Json::as_str)
+                .map(str::to_string);
+            if let Some(label) = &backend {
+                *backend_counts.entry(label.clone()).or_insert(0) += 1;
+            }
             nodes.push(NodeStatus {
                 name: node.name.clone(),
                 kind: node.kind,
@@ -284,6 +301,7 @@ impl FleetMonitor {
                 observed_at: node.observed_at,
                 stale_since: node.stale_since,
                 failures: node.failures,
+                backend,
                 summary: node
                     .last_good
                     .as_ref()
@@ -356,6 +374,7 @@ impl FleetMonitor {
             alerts,
             slos: slos.into_values().collect(),
             stale_nodes,
+            backend_counts: backend_counts.into_iter().collect(),
         }
     }
 }
@@ -497,6 +516,9 @@ pub fn fleet_json(status: &FleetStatus) -> Json {
                 .with("reachable", n.reachable)
                 .with("failures", n.failures as i64)
                 .with("summary", n.summary.as_str());
+            if let Some(backend) = &n.backend {
+                entry = entry.with("backend", backend.as_str());
+            }
             if let Some(at) = n.observed_at {
                 entry = entry.with("observed_at", at as i64);
             }
@@ -560,9 +582,16 @@ pub fn fleet_json(status: &FleetStatus) -> Json {
                 .with("worst_state", s.worst_state.as_str())
         })
         .collect();
+    let backends = status
+        .backend_counts
+        .iter()
+        .fold(Json::object(), |acc, (label, count)| {
+            acc.with(label.as_str(), *count as i64)
+        });
     Json::object()
         .with("at", status.at as i64)
         .with("stale_nodes", status.stale_nodes as i64)
+        .with("backends", backends)
         .with("nodes", nodes)
         .with("latency", latency)
         .with("alerts", alerts)
@@ -573,14 +602,23 @@ pub fn fleet_json(status: &FleetStatus) -> Json {
 pub fn render_cockpit(status: &FleetStatus) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "vnfguard fleet cockpit @ {} — {} node(s), {} stale\n",
+        "vnfguard fleet cockpit @ {} — {} node(s), {} stale",
         status.at,
         status.nodes.len(),
         status.stale_nodes
     ));
+    if !status.backend_counts.is_empty() {
+        let populations: Vec<String> = status
+            .backend_counts
+            .iter()
+            .map(|(label, count)| format!("{count} {label}"))
+            .collect();
+        out.push_str(&format!(" — hosts: {}", populations.join(", ")));
+    }
+    out.push('\n');
     out.push_str(&format!(
-        "{:<18} {:<8} {:<6} DETAIL\n",
-        "NODE", "KIND", "STATE"
+        "{:<18} {:<8} {:<8} {:<6} DETAIL\n",
+        "NODE", "KIND", "BACKEND", "STATE"
     ));
     for node in &status.nodes {
         let state = match node.stale_since {
@@ -593,9 +631,10 @@ pub fn render_cockpit(status: &FleetStatus) -> String {
             detail.push_str(&format!(" (stale since {since})"));
         }
         out.push_str(&format!(
-            "{:<18} {:<8} {:<6} {}\n",
+            "{:<18} {:<8} {:<8} {:<6} {}\n",
             node.name,
             node.kind.as_str(),
+            node.backend.as_deref().unwrap_or("-"),
             state,
             detail
         ));

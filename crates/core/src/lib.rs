@@ -33,6 +33,7 @@
 //! | 6 VNF ↔ controller TLS | `VnfGuard::open_session` / `request` |
 
 pub mod attestation;
+pub mod backend;
 pub mod crash;
 pub mod deployment;
 pub mod fleet;
@@ -46,6 +47,7 @@ pub mod revocation;
 pub mod service;
 
 pub use attestation::{HostEvidence, IntegrityAttestationEnclave};
+pub use backend::MultiBackend;
 pub use crash::{CrashEvent, CrashPlan};
 pub use lifecycle::{
     verify_handover, CaRotation, LifecycleMonitor, LifecycleStatus, LifecycleTick, RenewalDue,
@@ -66,6 +68,8 @@ pub use revocation::{DeliveredNotice, RevocationNotifier};
 /// Errors from the Verification Manager and workflow orchestration.
 #[derive(Debug)]
 pub enum CoreError {
+    // backend-opt-out: error plumbing for agent-side SGX platform calls;
+    // appraisal verdicts travel as AttestationRefused, not SgxError.
     Sgx(vnfguard_sgx::SgxError),
     Vnf(vnfguard_vnf::VnfError),
     Controller(vnfguard_controller::ControllerError),
@@ -142,6 +146,7 @@ impl std::fmt::Display for CoreError {
 
 impl std::error::Error for CoreError {}
 
+// backend-opt-out: error conversion for agent-side SGX platform calls.
 impl From<vnfguard_sgx::SgxError> for CoreError {
     fn from(e: vnfguard_sgx::SgxError) -> CoreError {
         CoreError::Sgx(e)

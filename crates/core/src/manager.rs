@@ -12,31 +12,36 @@ use vnfguard_controller::clock::SimClock;
 use vnfguard_crypto::drbg::{HmacDrbg, SecureRandom};
 use vnfguard_crypto::ed25519::SigningKey;
 use vnfguard_crypto::sha2::sha256;
-use vnfguard_ias::{QuoteStatus, QuoteVerifier};
+use vnfguard_attest::{
+    AppraisalPolicy as BackendPolicy, AttestationBackend, BackendKind, Measurement,
+    PolicyRegistry,
+};
 use vnfguard_ima::appraisal::{AppraisalPolicy, ReferenceDatabase, Verdict};
 use vnfguard_ima::list::IMA_PCR;
 use vnfguard_pki::ca::{CertificateAuthority, IssueProfile};
 use vnfguard_pki::cert::{Certificate, DistinguishedName, Validity};
 use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
-use vnfguard_sgx::measurement::Measurement;
 use vnfguard_telemetry::{Counter, Gauge, Histogram, SpanGuard, Telemetry, TraceContext};
 use vnfguard_vnf::credential_enclave::{provisioning_report_data, ProvisionBundle};
 use vnfguard_vnf::wrap_credentials;
 
-/// How strictly IAS TCB warnings are treated.
+/// How strictly TCB warnings in attestation evidence are treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcbPolicy {
-    /// Only `OK` is acceptable.
+    /// Only a fully up-to-date TCB is acceptable.
     Strict,
-    /// `GROUP_OUT_OF_DATE` / `CONFIGURATION_NEEDED` are tolerated.
+    /// Out-of-date / configuration-needed platforms are tolerated.
     Lenient,
 }
 
 impl TcbPolicy {
-    fn accepts(self, status: QuoteStatus) -> bool {
+    /// The equivalent normalized per-backend appraisal policy: the manager
+    /// seeds its [`PolicyRegistry`] uniformly from this, and
+    /// [`VerificationManager::set_backend_policy`] overrides per backend.
+    pub fn backend_policy(self) -> BackendPolicy {
         match self {
-            TcbPolicy::Strict => status.is_ok_strict(),
-            TcbPolicy::Lenient => status.is_ok_lenient(),
+            TcbPolicy::Strict => BackendPolicy::strict(),
+            TcbPolicy::Lenient => BackendPolicy::lenient(),
         }
     }
 }
@@ -326,6 +331,9 @@ pub struct HostRecord {
     pub verdict: Verdict,
     pub attested_at: u64,
     pub iml_entries: usize,
+    /// Which TEE technology vouched for the last appraisal. Renewal and
+    /// re-attestation re-bind to the same backend.
+    pub backend: BackendKind,
     /// TPM AIK public key registered for this host (§4 extension).
     pub tpm_aik: Option<vnfguard_crypto::ed25519::VerifyingKey>,
 }
@@ -336,6 +344,10 @@ pub struct EnrollmentRecord {
     pub serial: u64,
     pub vnf_name: String,
     pub host_id: String,
+    /// The TEE backend whose evidence established this enrollment. The
+    /// WAL persists the code, so recovery and renewal re-bind the record
+    /// to the same backend's appraisal policy and whitelist.
+    pub backend: BackendKind,
     pub mrenclave: Measurement,
     /// Digest of the enclave's provisioning public key as bound by the
     /// enrollment quote (see [`provisioning_key_hash`]). Renewals must
@@ -354,6 +366,8 @@ pub struct PendingEnrollment {
     pub serial: u64,
     pub vnf_name: String,
     pub host_id: String,
+    /// The TEE backend whose evidence prepared this enrollment.
+    pub backend: BackendKind,
     pub mrenclave: Measurement,
     /// Digest of the quote-bound provisioning public key (see
     /// [`provisioning_key_hash`]).
@@ -394,6 +408,13 @@ struct ManagerMetrics {
     wal_records: Counter,
     renewals: Counter,
     renewal_failures: Counter,
+    /// Per-backend breakouts of the verdict / enrollment / renewal
+    /// counters, indexed by [`BackendKind::as_u8`]. The unlabeled series
+    /// above keep counting everything, so existing dashboards and tests
+    /// are undisturbed; these add the `{backend="sgx"|"snp"}` dimension.
+    host_attestations_by_backend: [Counter; 2],
+    enrollments_by_backend: [Counter; 2],
+    renewals_by_backend: [Counter; 2],
     rotations: Counter,
     crls_issued: Counter,
     certs_active: Gauge,
@@ -424,6 +445,19 @@ impl ManagerMetrics {
             Some(shard) => vnfguard_telemetry::labeled(family, "shard", shard),
             None => family.to_string(),
         };
+        // Two-dimensional series are hand-composed: `labeled` carries one
+        // dimension, and label order is lexicographic (backend before
+        // shard) so renderers see one canonical key per series.
+        let backend_series = |family: &str, backend: BackendKind| match &shard {
+            Some(shard) => format!(
+                "{family}{{backend=\"{}\",shard=\"{shard}\"}}",
+                backend.label()
+            ),
+            None => vnfguard_telemetry::labeled(family, "backend", backend.label()),
+        };
+        let per_backend = |family: &str| {
+            BackendKind::ALL.map(|b| telemetry.counter(&backend_series(family, b)))
+        };
         ManagerMetrics {
             challenges: telemetry.counter(&series("vnfguard_core_challenges_total")),
             host_attestations: telemetry.counter(&series("vnfguard_core_host_attestations_total")),
@@ -442,6 +476,9 @@ impl ManagerMetrics {
             wal_records: telemetry.counter(&series("vnfguard_core_wal_records_total")),
             renewals: telemetry.counter(&series("vnfguard_core_renewals_total")),
             renewal_failures: telemetry.counter(&series("vnfguard_core_renewal_failures_total")),
+            host_attestations_by_backend: per_backend("vnfguard_core_host_attestations_total"),
+            enrollments_by_backend: per_backend("vnfguard_core_enrollments_total"),
+            renewals_by_backend: per_backend("vnfguard_core_renewals_total"),
             rotations: telemetry.counter("vnfguard_core_ca_rotations_total"),
             crls_issued: telemetry.counter("vnfguard_core_crls_issued_total"),
             certs_active: telemetry.gauge(&series("vnfguard_core_certs_active")),
@@ -505,10 +542,15 @@ pub struct VerificationManager {
     ca: CertificateAuthority,
     rng: HmacDrbg,
     reference_db: ReferenceDatabase,
-    /// Whitelisted VNF credential-enclave measurements, with labels.
-    trusted_enclaves: BTreeMap<Measurement, String>,
-    /// Whitelisted integrity-attestation-enclave measurements.
-    trusted_integrity_enclaves: BTreeMap<Measurement, String>,
+    /// Per-backend appraisal policies, seeded uniformly from the config's
+    /// [`TcbPolicy`] and overridable per backend.
+    policies: PolicyRegistry,
+    /// Whitelisted VNF credential-enclave (or CVM launch) measurements,
+    /// keyed by the backend that may present them — equal bytes from a
+    /// different TEE never satisfy an entry — with labels.
+    trusted_enclaves: BTreeMap<(BackendKind, Measurement), String>,
+    /// Whitelisted integrity-attestation measurements, keyed per backend.
+    trusted_integrity_enclaves: BTreeMap<(BackendKind, Measurement), String>,
     hosts: HashMap<String, HostRecord>,
     enrollments: BTreeMap<u64, EnrollmentRecord>,
     /// Prepared-but-uncommitted enrollments, keyed by certificate serial.
@@ -614,11 +656,13 @@ impl VerificationManager {
         // of how far the dead incarnation had advanced its DRBG.
         let rotation_seed = sha256(&[seed, b"ca rotation" as &[u8]].concat());
         let metrics = ManagerMetrics::bind(&telemetry);
+        let policies = PolicyRegistry::uniform(config.tcb_policy.backend_policy());
         VerificationManager {
             config,
             ca,
             rng,
             reference_db: ReferenceDatabase::new(),
+            policies,
             trusted_enclaves: BTreeMap::new(),
             trusted_integrity_enclaves: BTreeMap::new(),
             hosts: HashMap::new(),
@@ -779,15 +823,51 @@ impl VerificationManager {
         &mut self.reference_db
     }
 
-    /// Whitelist a VNF credential-enclave measurement.
+    /// Whitelist a VNF credential-enclave measurement (SGX backend; the
+    /// paper's original single-TEE form).
     pub fn trust_enclave(&mut self, measurement: Measurement, label: &str) {
-        self.trusted_enclaves.insert(measurement, label.to_string());
+        self.trust_enclave_for(BackendKind::SgxEpid, measurement, label);
     }
 
-    /// Whitelist an integrity-attestation-enclave measurement.
+    /// Whitelist a workload measurement for one backend: MRENCLAVE under
+    /// SGX, the normalized CVM launch measurement under SNP. The key is
+    /// `(backend, measurement)`, so cross-backend presentation of the
+    /// same bytes stays unauthorized.
+    pub fn trust_enclave_for(
+        &mut self,
+        backend: BackendKind,
+        measurement: Measurement,
+        label: &str,
+    ) {
+        self.trusted_enclaves
+            .insert((backend, measurement), label.to_string());
+    }
+
+    /// Whitelist an integrity-attestation-enclave measurement (SGX).
     pub fn trust_integrity_enclave(&mut self, measurement: Measurement, label: &str) {
+        self.trust_integrity_enclave_for(BackendKind::SgxEpid, measurement, label);
+    }
+
+    /// Whitelist a host integrity-attestation measurement for one backend.
+    pub fn trust_integrity_enclave_for(
+        &mut self,
+        backend: BackendKind,
+        measurement: Measurement,
+        label: &str,
+    ) {
         self.trusted_integrity_enclaves
-            .insert(measurement, label.to_string());
+            .insert((backend, measurement), label.to_string());
+    }
+
+    /// The per-backend appraisal policies in force.
+    pub fn backend_policies(&self) -> &PolicyRegistry {
+        &self.policies
+    }
+
+    /// Override the appraisal policy for one backend (the registry starts
+    /// uniform at the config's [`TcbPolicy`] equivalent).
+    pub fn set_backend_policy(&mut self, backend: BackendKind, policy: BackendPolicy) {
+        self.policies.set(backend, policy);
     }
 
     /// Register a host's TPM AIK (the §4 extension).
@@ -802,6 +882,9 @@ impl VerificationManager {
             verdict: Verdict::UnknownComponents,
             attested_at: 0,
             iml_entries: 0,
+            // Placeholder until the host actually attests; the record is
+            // untrusted (UnknownComponents) so the value never gates anything.
+            backend: BackendKind::SgxEpid,
             tpm_aik: None,
         });
         record.tpm_aik = Some(aik);
@@ -1018,11 +1101,12 @@ impl VerificationManager {
         )
     }
 
-    /// Step 2: verify the quote with the attestation service and appraise
-    /// the measurement list.
+    /// Step 2: verify the evidence with the backend's verifier (IAS for
+    /// SGX, the offline VCEK chain for SNP) and appraise the measurement
+    /// list.
     pub fn complete_host_attestation(
         &mut self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         evidence: &HostEvidence,
     ) -> Result<Verdict, CoreError> {
@@ -1032,7 +1116,7 @@ impl VerificationManager {
             let _span = self
                 .workflow_span("host_attestation", now)
                 .with_histogram(self.metrics.host_attestation_micros.clone());
-            self.host_attestation_inner(ias, challenge_id, evidence, now)
+            self.host_attestation_inner(backend, challenge_id, evidence, now)
         };
         self.active_trace = saved_trace;
         match &result {
@@ -1044,7 +1128,7 @@ impl VerificationManager {
 
     fn host_attestation_inner(
         &mut self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         evidence: &HostEvidence,
         now: u64,
@@ -1056,46 +1140,46 @@ impl VerificationManager {
             ));
         };
 
-        // IAS verification of the quote (revocation list + quote validity).
-        let (ias_ctx, ias_span) = self.step_span("ias_verify", now);
-        if let Some(ctx) = ias_ctx {
+        // Backend verification of the evidence: signature chains,
+        // revocation collateral, TCB status. (The span keeps the name
+        // "ias_verify" from the single-TEE days — renaming would orphan
+        // every stored trace comparison.)
+        let (verify_ctx, verify_span) = self.step_span("ias_verify", now);
+        if let Some(ctx) = verify_ctx {
             // A remote backend propagates this step's context on the wire,
             // so its server spans and retry attempts chain under it.
-            ias.set_trace_context(Some(ctx));
+            backend.set_trace_context(Some(ctx));
         }
-        let report = ias.verify_quote(&evidence.quote, &challenge.nonce);
-        report
-            .verify(&ias.report_signing_key())
-            .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
-        drop(ias_span);
-        if !self.config.tcb_policy.accepts(report.status) {
-            self.event(now, "host_attestation_rejected", &format!("{host_id}: {}", report.status));
-            return Err(CoreError::AttestationFailed(format!(
-                "IAS status {}",
-                report.status
-            )));
+        let appraised = backend
+            .appraise(&evidence.quote, &challenge.nonce)
+            .map_err(|e| CoreError::AttestationFailed(e.to_string()));
+        drop(verify_span);
+        let appraisal = match appraised {
+            Ok(appraisal) => appraisal,
+            Err(e) => {
+                self.event(now, "host_attestation_rejected", &format!("{host_id}: {e}"));
+                return Err(e);
+            }
+        };
+        if let Err(reason) = self.policies.policy_for(appraisal.backend).check(&appraisal) {
+            self.event(now, "host_attestation_rejected", &format!("{host_id}: {reason}"));
+            return Err(CoreError::AttestationFailed(reason));
         }
-        let body = report
-            .quote_body
-            .as_ref()
-            .ok_or_else(|| CoreError::AttestationFailed("report carries no quote body".into()))?;
-
-        // The quoting enclave must be one of our integrity enclaves and not
-        // a debug build.
-        if body.is_debug() {
-            return Err(CoreError::AttestationFailed("debug enclave".into()));
-        }
-        if !self.trusted_integrity_enclaves.contains_key(&body.mrenclave) {
+        let measurement = Measurement(appraisal.measurement);
+        if !self
+            .trusted_integrity_enclaves
+            .contains_key(&(appraisal.backend, measurement))
+        {
             self.event(now, "host_attestation_rejected", &format!("{host_id}: unknown enclave"));
             return Err(CoreError::AttestationFailed(format!(
-                "integrity enclave measurement {} not whitelisted",
-                body.mrenclave
+                "integrity measurement {measurement} not whitelisted for backend {}",
+                appraisal.backend
             )));
         }
 
-        // The quote must bind exactly the measurement list we received.
+        // The evidence must bind exactly the measurement list we received.
         let expected = host_report_data(&evidence.iml, &challenge.nonce);
-        if body.report_data != expected {
+        if appraisal.report_data != expected {
             return Err(CoreError::AttestationFailed(
                 "quote does not bind the transmitted measurement list".into(),
             ));
@@ -1143,9 +1227,11 @@ impl VerificationManager {
                 verdict,
                 attested_at: now,
                 iml_entries: result.entries,
+                backend: appraisal.backend,
                 tpm_aik: previous_aik,
             },
         );
+        self.metrics.host_attestations_by_backend[appraisal.backend.as_u8() as usize].inc();
         self.event(
             now,
             if verdict.is_trusted() {
@@ -1257,14 +1343,14 @@ impl VerificationManager {
     /// fail mid-delivery.
     pub fn complete_vnf_enrollment(
         &mut self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
         let (serial, wrapped, certificate) = self.prepare_vnf_enrollment(
-            ias,
+            backend,
             challenge_id,
             quote_bytes,
             provisioning_key,
@@ -1282,7 +1368,7 @@ impl VerificationManager {
     /// issued certificate; nothing half-provisioned survives.
     pub fn prepare_vnf_enrollment(
         &mut self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
@@ -1295,7 +1381,7 @@ impl VerificationManager {
                 .workflow_span("vnf_enrollment", now)
                 .with_histogram(self.metrics.enrollment_micros.clone());
             self.prepare_enrollment_inner(
-                ias,
+                backend,
                 challenge_id,
                 quote_bytes,
                 provisioning_key,
@@ -1312,7 +1398,7 @@ impl VerificationManager {
 
     fn prepare_enrollment_inner(
         &mut self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
@@ -1333,46 +1419,48 @@ impl VerificationManager {
             )));
         }
 
-        let (ias_ctx, ias_span) = self.step_span("ias_verify", now);
-        if let Some(ctx) = ias_ctx {
-            ias.set_trace_context(Some(ctx));
+        let (verify_ctx, verify_span) = self.step_span("ias_verify", now);
+        if let Some(ctx) = verify_ctx {
+            backend.set_trace_context(Some(ctx));
         }
-        let report = ias.verify_quote(quote_bytes, &challenge.nonce);
-        report
-            .verify(&ias.report_signing_key())
-            .map_err(|e| CoreError::AttestationFailed(e.to_string()))?;
-        drop(ias_span);
-        if !self.config.tcb_policy.accepts(report.status) {
-            self.event(now, "vnf_attestation_rejected", &format!("{vnf_name}: {}", report.status));
-            return Err(CoreError::AttestationFailed(format!(
-                "IAS status {}",
-                report.status
-            )));
+        let appraised = backend
+            .appraise(quote_bytes, &challenge.nonce)
+            .map_err(|e| CoreError::AttestationFailed(e.to_string()));
+        drop(verify_span);
+        let appraisal = match appraised {
+            Ok(appraisal) => appraisal,
+            Err(e) => {
+                self.event(now, "vnf_attestation_rejected", &format!("{vnf_name}: {e}"));
+                return Err(e);
+            }
+        };
+        if let Err(reason) = self.policies.policy_for(appraisal.backend).check(&appraisal) {
+            self.event(now, "vnf_attestation_rejected", &format!("{vnf_name}: {reason}"));
+            return Err(CoreError::AttestationFailed(reason));
         }
-        let body = report
-            .quote_body
-            .as_ref()
-            .ok_or_else(|| CoreError::AttestationFailed("report carries no quote body".into()))?;
-        if body.is_debug() {
-            return Err(CoreError::AttestationFailed("debug enclave".into()));
-        }
-        // The enclave measurement must be whitelisted: this is where a
-        // trojaned VNF image (different enclave code) is caught.
-        if !self.trusted_enclaves.contains_key(&body.mrenclave) {
+        let measurement = Measurement(appraisal.measurement);
+        // The workload measurement must be whitelisted *for this backend*:
+        // this is where a trojaned VNF image (different enclave or CVM
+        // code) — or known-good bytes presented through the wrong TEE —
+        // is caught.
+        if !self
+            .trusted_enclaves
+            .contains_key(&(appraisal.backend, measurement))
+        {
             self.event(
                 now,
                 "vnf_attestation_rejected",
-                &format!("{vnf_name}: measurement {} unknown", body.mrenclave),
+                &format!("{vnf_name}: measurement {measurement} unknown"),
             );
             return Err(CoreError::AttestationFailed(format!(
-                "enclave measurement {} not whitelisted",
-                body.mrenclave
+                "enclave measurement {measurement} not whitelisted for backend {}",
+                appraisal.backend
             )));
         }
-        // The quote must bind the provisioning key we are about to use —
+        // The evidence must bind the provisioning key we are about to use —
         // otherwise a man-in-the-middle could substitute its own key.
         let expected = provisioning_report_data(provisioning_key, &challenge.nonce);
-        if body.report_data != expected {
+        if appraisal.report_data != expected {
             return Err(CoreError::AttestationFailed(
                 "quote does not bind the provisioning key".into(),
             ));
@@ -1387,7 +1475,7 @@ impl VerificationManager {
             client_key.public_key(),
             &IssueProfile {
                 validity_secs: self.config.credential_validity_secs,
-                ..IssueProfile::vnf_client(*body.mrenclave.as_bytes())
+                ..IssueProfile::vnf_client(appraisal.measurement)
             },
             now,
         );
@@ -1420,8 +1508,9 @@ impl VerificationManager {
                 serial,
                 vnf_name: vnf_name.clone(),
                 host_id: host_id.clone(),
-                mrenclave: *body.mrenclave.as_bytes(),
+                mrenclave: appraisal.measurement,
                 provisioning_key_hash: key_hash,
+                backend: appraisal.backend.as_u8(),
                 at: now,
             },
         ])?;
@@ -1432,7 +1521,8 @@ impl VerificationManager {
                 serial,
                 vnf_name: vnf_name.clone(),
                 host_id,
-                mrenclave: body.mrenclave,
+                backend: appraisal.backend,
+                mrenclave: measurement,
                 provisioning_key_hash: key_hash,
                 prepared_at: now,
             },
@@ -1461,12 +1551,14 @@ impl VerificationManager {
             "vnf_enrolled",
             &format!("{} serial {serial}", pending.vnf_name),
         );
+        let backend = pending.backend;
         self.enrollments.insert(
             serial,
             EnrollmentRecord {
                 serial,
                 vnf_name: pending.vnf_name,
                 host_id: pending.host_id,
+                backend,
                 mrenclave: pending.mrenclave,
                 provisioning_key_hash: pending.provisioning_key_hash,
                 issued_at: now,
@@ -1474,6 +1566,7 @@ impl VerificationManager {
             },
         );
         self.metrics.enrollments.inc();
+        self.metrics.enrollments_by_backend[backend.as_u8() as usize].inc();
         Ok(())
     }
 
@@ -1638,6 +1731,9 @@ impl VerificationManager {
                     serial: e.serial,
                     vnf_name: e.vnf_name.clone(),
                     host_id: e.host_id.clone(),
+                    // Unknown codes (from a future incarnation's WAL) fall
+                    // back to SGX, the only backend that predates the tag.
+                    backend: BackendKind::from_u8(e.backend).unwrap_or(BackendKind::SgxEpid),
                     mrenclave: Measurement(e.mrenclave),
                     provisioning_key_hash: e.provisioning_key_hash,
                     issued_at: e.issued_at,
@@ -1679,6 +1775,8 @@ impl VerificationManager {
                         serial: p.serial,
                         vnf_name: p.vnf_name.clone(),
                         host_id: p.host_id.clone(),
+                        backend: BackendKind::from_u8(p.backend)
+                            .unwrap_or(BackendKind::SgxEpid),
                         mrenclave: Measurement(p.mrenclave),
                         provisioning_key_hash: p.provisioning_key_hash,
                         prepared_at: p.prepared_at,
@@ -2127,6 +2225,28 @@ impl VerificationManager {
                 old.host_id
             )));
         }
+        // The cached verdict must come from the same TEE backend the
+        // enrollment was established under: a host that re-attested as a
+        // different technology is a different trust story, so the renewal
+        // falls back to the full protocol.
+        let host_backend = self.hosts.get(&old.host_id).map(|h| h.backend);
+        if host_backend != Some(old.backend) {
+            self.event(
+                now,
+                "renewal_refused",
+                &format!(
+                    "{} serial {serial}: host {} attested under a different backend",
+                    old.vnf_name, old.host_id
+                ),
+            );
+            return Err(CoreError::AttestationFailed(format!(
+                "host {} last attested under backend {}, but serial {serial} was \
+                 enrolled under {}; full re-attestation required",
+                old.host_id,
+                host_backend.map(|b| b.label()).unwrap_or("none"),
+                old.backend
+            )));
+        }
 
         let (_, issue_span) = self.step_span("issue_certificate", now);
         let key_seed = self.rng.gen_array::<32>();
@@ -2170,6 +2290,7 @@ impl VerificationManager {
                 host_id: old.host_id.clone(),
                 mrenclave: *old.mrenclave.as_bytes(),
                 provisioning_key_hash: old.provisioning_key_hash,
+                backend: old.backend.as_u8(),
                 at: now,
             },
         ])?;
@@ -2180,12 +2301,14 @@ impl VerificationManager {
                 serial: new_serial,
                 vnf_name: old.vnf_name.clone(),
                 host_id: old.host_id,
+                backend: old.backend,
                 mrenclave: old.mrenclave,
                 provisioning_key_hash: old.provisioning_key_hash,
                 issued_at: now,
                 revoked: false,
             },
         );
+        self.metrics.renewals_by_backend[old.backend.as_u8() as usize].inc();
         self.event(
             now,
             "credential_renewed",
@@ -2496,6 +2619,7 @@ mod tests {
                 serial: cert.serial(),
                 vnf_name: "op".into(),
                 host_id: "h".into(),
+                backend: BackendKind::SgxEpid,
                 mrenclave: Measurement([0; 32]),
                 provisioning_key_hash: [0; 32],
                 issued_at: 1_000,

@@ -25,6 +25,7 @@
 //! Payload binary fields travel base64-encoded inside JSON bodies.
 
 use crate::attestation::{host_evidence, HostEvidence};
+use crate::backend::MultiBackend;
 use crate::overload::{check_deadline, Deadline, DeadlineScope};
 use crate::resilience::{AttemptRecord, BreakerState, CircuitBreaker, RetryBudget, RetryPolicy};
 use crate::service::{HealthSnapshot, VmService};
@@ -33,21 +34,34 @@ use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
+use vnfguard_attest::snp::SnpPlatform;
+use vnfguard_attest::{AttestationBackend, Availability, BackendKind};
 use vnfguard_container::host::ContainerHost;
 use vnfguard_controller::SimClock;
 use vnfguard_crypto::hmac::hmac_sha256;
 use vnfguard_encoding::{base64, Json};
-use vnfguard_ias::{AttestationReport, AttestationService, Availability, QuoteVerifier};
+// backend-opt-out: this module hosts the IAS transport itself (serve_ias,
+// RemoteIas) and the SGX host agent; they legitimately speak IAS/SGX types.
+use vnfguard_ias::{AttestationReport, AttestationService, QuoteVerifier};
 use vnfguard_ima::list::IMA_PCR;
 use vnfguard_ima::tpm::SimTpm;
 use vnfguard_net::fabric::Network;
 use vnfguard_net::http::{Request, Response, Status};
 use vnfguard_net::rest::{ApiError, ApiResult, Router};
 use vnfguard_net::server::{serve, PlainUpgrade, ServerHandle};
+// backend-opt-out: agent-side SGX platform plumbing (the host side of the
+// paper's Figure 1), not verifier-side appraisal.
 use vnfguard_sgx::enclave::Enclave;
 use vnfguard_sgx::platform::SgxPlatform;
 use vnfguard_telemetry::{Counter, Histogram, Telemetry, TraceContext, TraceSpan};
 use vnfguard_vnf::VnfGuard;
+
+// The SGX-era IAS-handle entry points now live in the backend adapter
+// module; re-exported here so `vnfguard_core::remote::remote_attest_host`
+// and friends keep resolving for existing harnesses.
+pub use crate::backend::{
+    remote_attest_host, remote_attest_host_traced, remote_enroll_vnf, remote_enroll_vnf_traced,
+};
 
 fn b64_field(doc: &Json, field: &str) -> Result<Vec<u8>, String> {
     let text = doc
@@ -189,7 +203,7 @@ pub(crate) fn health_json(snapshot: &HealthSnapshot) -> Json {
         .iter()
         .map(|l| {
             Json::object()
-                .with("class", l.class)
+                .with("class", l.class.as_str())
                 .with("histogram", histogram_json(&l.histogram))
         })
         .collect();
@@ -442,6 +456,8 @@ impl RemoteIas {
 
     /// An unverifiable self-signed report: the caller's signature check
     /// against the real report key fails closed.
+    // backend-opt-out: the IAS transport synthesizes a fail-closed report
+    // in the service's own vocabulary when the round-trip dies.
     fn unverifiable_report(nonce: &[u8], advisory: &str) -> AttestationReport {
         let key = vnfguard_crypto::ed25519::SigningKey::from_seed(&[0; 32]);
         AttestationReport::create(
@@ -589,6 +605,22 @@ pub struct HostAgentState {
     /// The VM's HMAC key for authenticating revocation notices; `None`
     /// accepts unauthenticated notices (testbed convenience).
     pub vm_hmac_key: Option<[u8; 32]>,
+    /// When `Some`, this host is a SEV-SNP confidential VM: attestation
+    /// routes produce SNP report bundles instead of SGX quotes (binding
+    /// the exact same report data), and `/agent/health` advertises the
+    /// `snp` backend. `None` keeps the original SGX behavior untouched.
+    pub snp: Option<SnpPlatform>,
+}
+
+impl HostAgentState {
+    /// The attestation backend this host enrolls under.
+    pub fn backend(&self) -> BackendKind {
+        if self.snp.is_some() {
+            BackendKind::SevSnp
+        } else {
+            BackendKind::SgxEpid
+        }
+    }
 }
 
 /// The per-host agent: answers the Verification Manager's attestation and
@@ -640,14 +672,25 @@ impl HostAgent {
                     .as_ref()
                     .map(|tpm| tpm.lock().quote(IMA_PCR, nonce).encode());
                 let iml = state.container_host.read().measurement_list().encode();
-                let evidence = host_evidence(
-                    &state.platform,
-                    &state.integrity_enclave,
-                    &iml,
-                    &nonce,
-                    tpm_quote,
-                )
-                .map_err(|e| ApiError::server_error(e.to_string()))?;
+                let evidence = match &state.snp {
+                    // SNP CVM host: the report binds the identical IML
+                    // hash + nonce report data; IML and TPM quote travel
+                    // alongside exactly as in the SGX evidence bundle.
+                    Some(snp) => HostEvidence {
+                        quote: snp
+                            .attest_self(crate::attestation::host_report_data(&iml, &nonce)),
+                        iml,
+                        tpm_quote,
+                    },
+                    None => host_evidence(
+                        &state.platform,
+                        &state.integrity_enclave,
+                        &iml,
+                        &nonce,
+                        tpm_quote,
+                    )
+                    .map_err(|e| ApiError::server_error(e.to_string()))?,
+                };
                 Ok(Response::json(
                     Status::Ok,
                     &Json::object().with("evidence", base64::encode(&evidence.encode())),
@@ -671,13 +714,27 @@ impl HostAgent {
                 let provisioning_key = guard
                     .provisioning_key()
                     .map_err(|e| ApiError::server_error(e.to_string()))?;
-                let quote = guard
-                    .quote(&state.platform, &nonce, basename)
-                    .map_err(|e| ApiError::server_error(e.to_string()))?;
+                let quote = match &state.snp {
+                    // SNP host: per-VNF CVM evidence binding the same
+                    // provisioning-key + nonce report data the SGX quote
+                    // would carry. `basename` is an EPID concept; SNP
+                    // reports have no equivalent and ignore it.
+                    Some(snp) => snp.attest(
+                        crate::backend::snp_vnf_measurement(name),
+                        vnfguard_vnf::credential_enclave::provisioning_report_data(
+                            &provisioning_key,
+                            &nonce,
+                        ),
+                    ),
+                    None => guard
+                        .quote(&state.platform, &nonce, basename)
+                        .map_err(|e| ApiError::server_error(e.to_string()))?
+                        .encode(),
+                };
                 Ok(Response::json(
                     Status::Ok,
                     &Json::object()
-                        .with("quote", base64::encode(&quote.encode()))
+                        .with("quote", base64::encode(&quote))
                         .with("provisioning_key", base64::encode(&provisioning_key)),
                 ))
             });
@@ -752,6 +809,7 @@ impl HostAgent {
                     Status::Ok,
                     &Json::object()
                         .with("host_id", state.host_id.as_str())
+                        .with("backend", state.backend().label())
                         .with("vnfs", vnfs)
                         .with("revoked_serials", state.revoked_serials.read().len() as i64),
                 ))
@@ -793,49 +851,38 @@ fn connect_agent(
     Ok(vnfguard_net::server::HttpClient::new(stream))
 }
 
-/// Drive the full host attestation (steps 1–2) against a remote agent.
-/// Time comes from the manager's injected clock.
+/// Drive the full host attestation (steps 1–2) against a remote agent
+/// through any [`AttestationBackend`]. Time comes from the manager's
+/// injected clock.
 ///
-/// When the attestation service reports itself [`Availability::Unavailable`]
+/// When the backend reports itself [`Availability::Unavailable`]
 /// (circuit open), no fresh appraisal is possible; the call falls back to
 /// [`VmService::degraded_host_verdict`] — policy-gated reuse of
 /// the cached verdict, audit-logged as `DegradedVerdict`.
-pub fn remote_attest_host(
+pub fn remote_attest_host_backend(
     vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
-    network: &Network,
-    host_id: &str,
-) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
-    remote_attest_host_traced(vm, ias, network, host_id, None)
-}
-
-/// [`remote_attest_host`] scoped to a distributed-trace context: the
-/// manager's workflow spans, the IAS round-trips and the agent hop all
-/// become children of `trace`.
-pub fn remote_attest_host_traced(
-    vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
+    backend: &mut dyn AttestationBackend,
     network: &Network,
     host_id: &str,
     trace: Option<&TraceContext>,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
     let base = trace.cloned().unwrap_or_default();
     let telemetry = vm.telemetry();
-    ias.set_trace_context(Some(base.clone()));
-    let result = remote_attest_host_inner(vm, ias, network, host_id, &base, &telemetry);
-    ias.set_trace_context(None);
+    backend.set_trace_context(Some(base.clone()));
+    let result = remote_attest_host_inner(vm, backend, network, host_id, &base, &telemetry);
+    backend.set_trace_context(None);
     result
 }
 
 fn remote_attest_host_inner(
     vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
+    backend: &mut dyn AttestationBackend,
     network: &Network,
     host_id: &str,
     base: &TraceContext,
     telemetry: &Telemetry,
 ) -> Result<vnfguard_ima::appraisal::Verdict, CoreError> {
-    if ias.availability() == Availability::Unavailable {
+    if backend.availability() == Availability::Unavailable {
         return vm.degraded_host_verdict_traced(host_id, Some(base));
     }
     // Each `vm.*` call locks its shard only for the duration of the
@@ -864,36 +911,22 @@ fn remote_attest_host_inner(
         .map_err(|e| CoreError::Encoding(e.to_string()))?;
     let evidence_bytes = b64_field(&body, "evidence").map_err(CoreError::Encoding)?;
     let evidence = HostEvidence::decode(&evidence_bytes)?;
-    vm.complete_host_attestation_traced(ias, challenge.id, &evidence, Some(base))
+    vm.complete_host_attestation_traced(backend, challenge.id, &evidence, Some(base))
 }
 
-/// Drive VNF enrollment (steps 3–5) against a remote agent. Time comes
-/// from the manager's injected clock.
+/// Drive VNF enrollment (steps 3–5) against a remote agent through any
+/// [`AttestationBackend`]. Time comes from the manager's injected clock.
 ///
-/// Credential issuance has no degraded mode: when the attestation service
+/// Credential issuance has no degraded mode: when the attestation backend
 /// is unavailable the call fails fast and closed with
 /// [`CoreError::ServiceUnavailable`]. Delivery uses the two-phase
 /// prepare → commit protocol: if the wrapped bundle cannot be confirmed
 /// delivered, the issued certificate is revoked and the enrollment rolled
 /// back, so no half-provisioned state survives a mid-transfer fault.
-pub fn remote_enroll_vnf(
-    vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
-    network: &Network,
-    host_id: &str,
-    vnf_name: &str,
-    controller_cn: &str,
-) -> Result<vnfguard_pki::Certificate, CoreError> {
-    remote_enroll_vnf_traced(vm, ias, network, host_id, vnf_name, controller_cn, None)
-}
-
-/// [`remote_enroll_vnf`] scoped to a distributed-trace context: the
-/// two-phase enrollment, the IAS verification and both agent hops become
-/// children of `trace`.
 #[allow(clippy::too_many_arguments)]
-pub fn remote_enroll_vnf_traced(
+pub fn remote_enroll_vnf_backend(
     vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
+    backend: &mut dyn AttestationBackend,
     network: &Network,
     host_id: &str,
     vnf_name: &str,
@@ -902,17 +935,25 @@ pub fn remote_enroll_vnf_traced(
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
     let base = trace.cloned().unwrap_or_default();
     let telemetry = vm.telemetry();
-    ias.set_trace_context(Some(base.clone()));
-    let result =
-        remote_enroll_vnf_inner(vm, ias, network, host_id, vnf_name, controller_cn, &base, &telemetry);
-    ias.set_trace_context(None);
+    backend.set_trace_context(Some(base.clone()));
+    let result = remote_enroll_vnf_inner(
+        vm,
+        backend,
+        network,
+        host_id,
+        vnf_name,
+        controller_cn,
+        &base,
+        &telemetry,
+    );
+    backend.set_trace_context(None);
     result
 }
 
 #[allow(clippy::too_many_arguments)]
 fn remote_enroll_vnf_inner(
     vm: &VmService,
-    ias: &mut dyn QuoteVerifier,
+    backend: &mut dyn AttestationBackend,
     network: &Network,
     host_id: &str,
     vnf_name: &str,
@@ -920,7 +961,7 @@ fn remote_enroll_vnf_inner(
     base: &TraceContext,
     telemetry: &Telemetry,
 ) -> Result<vnfguard_pki::Certificate, CoreError> {
-    if ias.availability() == Availability::Unavailable {
+    if backend.availability() == Availability::Unavailable {
         return Err(CoreError::ServiceUnavailable(format!(
             "attestation service unavailable; refusing to enroll {vnf_name}"
         )));
@@ -961,7 +1002,7 @@ fn remote_enroll_vnf_inner(
     // Steps 4-5: verify + generate + wrap (prepare), deliver through the
     // agent, and only then commit the enrollment.
     let (serial, wrapped, certificate) = vm.prepare_vnf_enrollment_traced(
-        ias,
+        backend,
         challenge.id,
         &quote,
         &provisioning_key,
@@ -1141,18 +1182,24 @@ pub fn serve_vm_api(
         router.instrument_traces(&telemetry, "vm_api", move || clock.now());
     }
 
+    // Both evidence-carrying routes dispatch through a MultiBackend built
+    // per request (two Arc clones): SNP evidence self-describes and goes
+    // to the service's offline appraiser, everything else rides the IAS
+    // path exactly as before.
+    let snp = vm.snp_verifier().cloned();
     {
         let vm = vm.clone();
         let ias = ias.clone();
+        let snp = snp.clone();
         let network = network.clone();
         let clock = clock.clone();
         router.post_api("/vm/hosts/:id/attest", move |request, params| {
             let _deadline = enter_deadline(&clock, request);
             let host_id = params.get("id").unwrap_or("");
             let trace = request.trace_context();
-            let mut ias = ias.lock();
+            let mut backend = MultiBackend::from_parts(ias.clone(), snp.clone());
             let verdict =
-                remote_attest_host_traced(&vm, &mut *ias, &network, host_id, trace.as_ref())
+                remote_attest_host_backend(&vm, &mut backend, &network, host_id, trace.as_ref())
                     .map_err(|e| fenced_or(e, |e| ApiError::forbidden(e.to_string())))?;
             Ok(Response::json(
                 Status::Ok,
@@ -1163,6 +1210,7 @@ pub fn serve_vm_api(
     {
         let vm = vm.clone();
         let ias = ias.clone();
+        let snp = snp.clone();
         let network = network.clone();
         let controller_cn = controller_cn.clone();
         let clock = clock.clone();
@@ -1171,10 +1219,10 @@ pub fn serve_vm_api(
             let host_id = params.get("id").unwrap_or("");
             let vnf_name = params.get("name").unwrap_or("");
             let trace = request.trace_context();
-            let mut ias = ias.lock();
-            let cert = remote_enroll_vnf_traced(
+            let mut backend = MultiBackend::from_parts(ias.clone(), snp.clone());
+            let cert = remote_enroll_vnf_backend(
                 &vm,
-                &mut *ias,
+                &mut backend,
                 &network,
                 host_id,
                 vnf_name,

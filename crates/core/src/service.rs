@@ -44,13 +44,12 @@ use crate::replication::ReplicationStatus;
 use crate::CoreError;
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::Arc;
+use vnfguard_attest::{AttestationBackend, BackendKind, Measurement};
 use vnfguard_controller::SimClock;
 use vnfguard_crypto::sha2::sha256;
-use vnfguard_ias::QuoteVerifier;
 use vnfguard_ima::appraisal::Verdict;
 use vnfguard_pki::cert::Certificate;
 use vnfguard_pki::crl::{Crl, CrlEntry, RevocationReason};
-use vnfguard_sgx::measurement::Measurement;
 use vnfguard_store::StoreStats;
 use vnfguard_telemetry::{
     labeled, AlertSnapshot, HealthMonitor, Histogram, HistogramSnapshot, Telemetry, TraceContext,
@@ -75,6 +74,10 @@ pub struct VmService {
     shards: Arc<Vec<Mutex<VerificationManager>>>,
     admission: Option<Arc<AdmissionController>>,
     health: Option<HealthHandle>,
+    /// Offline SEV-SNP appraiser for this deployment, if SNP hosts exist.
+    /// `serve_vm_api` folds it into its evidence-sniffing dispatcher so
+    /// the one API surface serves a mixed SGX + SNP fleet.
+    snp: Option<vnfguard_attest::snp::SnpVerifier>,
 }
 
 /// The SLO monitor plus a clock clone, so hot-path outcome recording never
@@ -86,6 +89,11 @@ struct HealthHandle {
     monitor: HealthMonitor,
     clock: SimClock,
     latency: [Histogram; 4],
+    /// Per-(workclass, attestation backend) latency breakouts, indexed
+    /// `[class.index()][backend.as_u8()]`. Only the evidence-carrying
+    /// workflows charge these; the unlabeled per-class series above keeps
+    /// counting everything, so the labeled series are a pure refinement.
+    backend_latency: [[Histogram; 2]; 4],
 }
 
 impl VmService {
@@ -104,7 +112,20 @@ impl VmService {
             shards: Arc::new(shards.into_iter().map(Mutex::new).collect()),
             admission: None,
             health: None,
+            snp: None,
         }
+    }
+
+    /// Attach the deployment's offline SNP appraiser; `serve_vm_api`
+    /// dispatches SNP evidence through it instead of the IAS path.
+    pub fn with_snp_verifier(mut self, verifier: vnfguard_attest::snp::SnpVerifier) -> VmService {
+        self.snp = Some(verifier);
+        self
+    }
+
+    /// The attached SNP appraiser, if any.
+    pub fn snp_verifier(&self) -> Option<&vnfguard_attest::snp::SnpVerifier> {
+        self.snp.as_ref()
     }
 
     /// Put an [`AdmissionController`] in front of the workflow methods.
@@ -137,10 +158,22 @@ impl VmService {
                 class.label(),
             ))
         });
+        // Label order is lexicographic (backend before class), matching the
+        // hand-composed multi-label series elsewhere in the crate.
+        let backend_latency = Workclass::ALL.map(|class| {
+            BackendKind::ALL.map(|backend| {
+                telemetry.histogram(&format!(
+                    "vnfguard_core_workclass_latency_micros{{backend=\"{}\",class=\"{}\"}}",
+                    backend.label(),
+                    class.label(),
+                ))
+            })
+        });
         self.health = Some(HealthHandle {
             monitor,
             clock,
             latency,
+            backend_latency,
         });
         self
     }
@@ -169,6 +202,38 @@ impl VmService {
                 .monitor
                 .record(class.label(), health.clock.now(), ok, micros, trace_id);
             let histogram = &health.latency[class.index()];
+            match trace_id {
+                Some(id) => histogram.record_with_exemplar(micros, id),
+                None => histogram.record(micros),
+            }
+        }
+    }
+
+    /// Charge an evidence-carrying workflow outcome to its attestation
+    /// backend's breakout series, and to the composite
+    /// `<class>.<backend>` SLO tracker if the operator configured one
+    /// (recording an unconfigured workclass label is a no-op by design).
+    fn note_backend_health(
+        &self,
+        class: Workclass,
+        backend: BackendKind,
+        begun: std::time::Instant,
+        ok: bool,
+        trace: Option<&TraceContext>,
+    ) {
+        if let Some(health) = &self.health {
+            let micros = begun.elapsed().as_micros() as u64;
+            let trace_id = trace
+                .filter(|ctx| ctx.is_recording())
+                .map(|ctx| ctx.trace_id);
+            health.monitor.record(
+                &format!("{}.{}", class.label(), backend.label()),
+                health.clock.now(),
+                ok,
+                micros,
+                trace_id,
+            );
+            let histogram = &health.backend_latency[class.index()][backend.as_u8() as usize];
             match trace_id {
                 Some(id) => histogram.record_with_exemplar(micros, id),
                 None => histogram.record(micros),
@@ -334,26 +399,30 @@ impl VmService {
         self.authority().begin_host_attestation(host_id)
     }
 
-    /// Step 2: verify and appraise host evidence. The resulting trust
-    /// record is propagated to every shard.
-    pub fn complete_host_attestation(
+    /// Step 2: verify and appraise host evidence through any attestation
+    /// backend. The resulting trust record is propagated to every shard.
+    /// (The SGX/IAS-flavored [`complete_host_attestation`] wrapper lives
+    /// in the `backend` module.)
+    ///
+    /// [`complete_host_attestation`]: Self::complete_host_attestation
+    pub fn complete_host_attestation_backend(
         &self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         evidence: &crate::attestation::HostEvidence,
     ) -> Result<Verdict, CoreError> {
-        self.complete_host_attestation_traced(ias, challenge_id, evidence, None)
+        self.complete_host_attestation_traced(backend, challenge_id, evidence, None)
     }
 
     pub(crate) fn complete_host_attestation_traced(
         &self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         evidence: &crate::attestation::HostEvidence,
         trace: Option<&TraceContext>,
     ) -> Result<Verdict, CoreError> {
         let verdict = self.with_shard_traced(0, trace, |vm| {
-            vm.complete_host_attestation(ias, challenge_id, evidence)
+            vm.complete_host_attestation(backend, challenge_id, evidence)
         })?;
         self.sync_host_records();
         Ok(verdict)
@@ -402,39 +471,56 @@ impl VmService {
         })
     }
 
-    /// Steps 4–5 in one shot (prepare + commit).
-    pub fn complete_vnf_enrollment(
+    /// Steps 4–5 in one shot (prepare + commit), through any attestation
+    /// backend. (The SGX/IAS-flavored [`complete_vnf_enrollment`] wrapper
+    /// lives in the `backend` module.)
+    ///
+    /// [`complete_vnf_enrollment`]: Self::complete_vnf_enrollment
+    pub fn complete_vnf_enrollment_backend(
         &self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(Vec<u8>, Certificate), CoreError> {
+        let begun = std::time::Instant::now();
         let shard = self.shard_for_challenge(challenge_id);
-        self.with_shard_gated(shard, Workclass::Enrollment, None, |vm| {
+        let result = self.with_shard_gated(shard, Workclass::Enrollment, None, |vm| {
             vm.complete_vnf_enrollment(
-                ias,
+                &mut *backend,
                 challenge_id,
                 quote_bytes,
                 provisioning_key,
                 controller_cn,
             )
-        })
+        });
+        self.note_backend_health(
+            Workclass::Enrollment,
+            backend.kind(),
+            begun,
+            result.is_ok(),
+            None,
+        );
+        result
     }
 
-    /// Phase one of two-phase enrollment; the returned serial is the
-    /// commit token (and routes the commit/abort back here).
-    pub fn prepare_vnf_enrollment(
+    /// Phase one of two-phase enrollment through any attestation backend;
+    /// the returned serial is the commit token (and routes the
+    /// commit/abort back here). (The SGX/IAS-flavored
+    /// [`prepare_vnf_enrollment`] wrapper lives in the `backend` module.)
+    ///
+    /// [`prepare_vnf_enrollment`]: Self::prepare_vnf_enrollment
+    pub fn prepare_vnf_enrollment_backend(
         &self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
         controller_cn: &str,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
         self.prepare_vnf_enrollment_traced(
-            ias,
+            backend,
             challenge_id,
             quote_bytes,
             provisioning_key,
@@ -445,17 +531,32 @@ impl VmService {
 
     pub(crate) fn prepare_vnf_enrollment_traced(
         &self,
-        ias: &mut dyn QuoteVerifier,
+        backend: &mut dyn AttestationBackend,
         challenge_id: u64,
         quote_bytes: &[u8],
         provisioning_key: &[u8; 32],
         controller_cn: &str,
         trace: Option<&TraceContext>,
     ) -> Result<(u64, Vec<u8>, Certificate), CoreError> {
+        let begun = std::time::Instant::now();
         let shard = self.shard_for_challenge(challenge_id);
-        self.with_shard_gated(shard, Workclass::Enrollment, trace, |vm| {
-            vm.prepare_vnf_enrollment(ias, challenge_id, quote_bytes, provisioning_key, controller_cn)
-        })
+        let result = self.with_shard_gated(shard, Workclass::Enrollment, trace, |vm| {
+            vm.prepare_vnf_enrollment(
+                &mut *backend,
+                challenge_id,
+                quote_bytes,
+                provisioning_key,
+                controller_cn,
+            )
+        });
+        self.note_backend_health(
+            Workclass::Enrollment,
+            backend.kind(),
+            begun,
+            result.is_ok(),
+            trace,
+        );
+        result
     }
 
     pub fn commit_vnf_enrollment(&self, serial: u64) -> Result<(), CoreError> {
@@ -705,17 +806,46 @@ impl VmService {
     // ---- Deployment trust inputs ------------------------------------------
 
     /// Whitelist a credential-enclave measurement on every shard (any
-    /// shard may be asked to enroll this VNF).
+    /// shard may be asked to enroll this VNF). SGX-scoped; see
+    /// [`trust_enclave_for`](Self::trust_enclave_for).
     pub fn trust_enclave(&self, measurement: Measurement, label: &str) {
+        self.trust_enclave_for(BackendKind::SgxEpid, measurement, label);
+    }
+
+    /// Whitelist a workload measurement under a specific attestation
+    /// backend on every shard. Whitelists are backend-scoped: an SNP
+    /// launch measurement never satisfies an SGX enrollment or vice versa.
+    pub fn trust_enclave_for(&self, backend: BackendKind, measurement: Measurement, label: &str) {
         for shard in self.shards.iter() {
-            shard.lock().trust_enclave(measurement, label);
+            shard.lock().trust_enclave_for(backend, measurement, label);
         }
     }
 
-    /// Whitelist the integrity attestation enclave on every shard.
+    /// Whitelist the integrity attestation enclave on every shard
+    /// (SGX-scoped).
     pub fn trust_integrity_enclave(&self, measurement: Measurement, label: &str) {
+        self.trust_integrity_enclave_for(BackendKind::SgxEpid, measurement, label);
+    }
+
+    /// Backend-scoped integrity-enclave whitelist entry on every shard.
+    pub fn trust_integrity_enclave_for(
+        &self,
+        backend: BackendKind,
+        measurement: Measurement,
+        label: &str,
+    ) {
         for shard in self.shards.iter() {
-            shard.lock().trust_integrity_enclave(measurement, label);
+            shard
+                .lock()
+                .trust_integrity_enclave_for(backend, measurement, label);
+        }
+    }
+
+    /// Override one backend's appraisal policy on every shard (policies
+    /// default to the TCB policy the managers were configured with).
+    pub fn set_backend_policy(&self, backend: BackendKind, policy: vnfguard_attest::AppraisalPolicy) {
+        for shard in self.shards.iter() {
+            shard.lock().set_backend_policy(backend, policy);
         }
     }
 
@@ -887,16 +1017,35 @@ impl VmService {
             })
             .collect();
         let (alerts, latency) = match &self.health {
-            Some(health) => (
-                health.monitor.evaluate(at),
-                Workclass::ALL
+            Some(health) => {
+                let mut latency: Vec<WorkclassLatency> = Workclass::ALL
                     .iter()
                     .map(|&class| WorkclassLatency {
-                        class: class.label(),
+                        class: class.label().to_string(),
                         histogram: health.latency[class.index()].snapshot(),
                     })
-                    .collect(),
-            ),
+                    .collect();
+                // Backend breakouts ride along as composite workclass
+                // labels (`enrollment.sgx`), so the fleet monitor merges
+                // them as distinct series and never double-counts them
+                // into the unlabeled class totals. Empty breakouts are
+                // omitted — a pure-SGX fleet's health document looks
+                // exactly as it did before backends existed.
+                for &class in Workclass::ALL.iter() {
+                    for backend in BackendKind::ALL {
+                        let snapshot =
+                            health.backend_latency[class.index()][backend.as_u8() as usize]
+                                .snapshot();
+                        if snapshot.count > 0 {
+                            latency.push(WorkclassLatency {
+                                class: format!("{}.{}", class.label(), backend.label()),
+                                histogram: snapshot,
+                            });
+                        }
+                    }
+                }
+                (health.monitor.evaluate(at), latency)
+            }
             None => (Vec::new(), Vec::new()),
         };
         HealthSnapshot {
@@ -914,8 +1063,10 @@ impl VmService {
 /// — what the fleet monitor merges across nodes.
 #[derive(Clone, Debug)]
 pub struct WorkclassLatency {
-    /// Workclass label.
-    pub class: &'static str,
+    /// Workclass label — a plain class (`enrollment`), or a
+    /// backend-scoped breakout (`enrollment.sgx`) for the
+    /// evidence-carrying workflows.
+    pub class: String,
     /// Exact log₂ distribution with trace exemplars.
     pub histogram: HistogramSnapshot,
 }

@@ -57,6 +57,24 @@ pub trait QuoteVerifier {
     fn set_trace_context(&mut self, _ctx: Option<vnfguard_telemetry::TraceContext>) {}
 }
 
+impl<T: QuoteVerifier + ?Sized> QuoteVerifier for &mut T {
+    fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
+        (**self).verify_quote(quote_bytes, nonce)
+    }
+
+    fn report_signing_key(&self) -> vnfguard_crypto::ed25519::VerifyingKey {
+        (**self).report_signing_key()
+    }
+
+    fn availability(&self) -> Availability {
+        (**self).availability()
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<vnfguard_telemetry::TraceContext>) {
+        (**self).set_trace_context(ctx)
+    }
+}
+
 impl QuoteVerifier for AttestationService {
     fn verify_quote(&mut self, quote_bytes: &[u8], nonce: &[u8]) -> AttestationReport {
         AttestationService::verify_quote(self, quote_bytes, nonce)

@@ -333,6 +333,7 @@ mod tests {
                 host_id: "host-0".into(),
                 mrenclave: [1; 32],
                 provisioning_key_hash: [2; 32],
+                backend: 0,
                 at,
             })
             .unwrap();
@@ -428,6 +429,7 @@ mod tests {
                 host_id: "host-0".into(),
                 mrenclave: [1; 32],
                 provisioning_key_hash: [2; 32],
+                backend: 0,
                 at: 10,
             },
         ];
@@ -486,6 +488,7 @@ mod tests {
                     host_id: "host-0".into(),
                     mrenclave: [1; 32],
                     provisioning_key_hash: [2; 32],
+                    backend: 0,
                     at: 20,
                 },
             ])

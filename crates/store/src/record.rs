@@ -26,6 +26,7 @@ const TAG_NUMBER: u8 = 0x0b;
 const TAG_CROSS_SERIAL: u8 = 0x0c;
 const TAG_OLD_SERIAL: u8 = 0x0d;
 const TAG_PROV_KEY_HASH: u8 = 0x0e;
+const TAG_BACKEND: u8 = 0x0f;
 
 const TAG_ENROLLMENT: u8 = 0x20;
 const TAG_PENDING: u8 = 0x21;
@@ -76,6 +77,9 @@ pub enum WalRecord {
         host_id: String,
         mrenclave: [u8; 32],
         provisioning_key_hash: [u8; 32],
+        /// Attestation backend code (`BackendKind::as_u8`) the enrollment
+        /// was appraised under; recovery re-binds to the same backend.
+        backend: u8,
         at: u64,
     },
     /// Phase two: the wrapped bundle reached the enclave.
@@ -122,6 +126,8 @@ pub enum WalRecord {
         host_id: String,
         mrenclave: [u8; 32],
         provisioning_key_hash: [u8; 32],
+        /// Attestation backend code the renewed enrollment stays bound to.
+        backend: u8,
         at: u64,
     },
 }
@@ -142,6 +148,7 @@ impl WalRecord {
                 host_id,
                 mrenclave,
                 provisioning_key_hash,
+                backend,
                 at,
             } => {
                 w.u8(TAG_KIND, KIND_PREPARED)
@@ -150,6 +157,7 @@ impl WalRecord {
                     .string(TAG_HOST, host_id)
                     .bytes(TAG_MRENCLAVE, mrenclave)
                     .bytes(TAG_PROV_KEY_HASH, provisioning_key_hash)
+                    .u8(TAG_BACKEND, *backend)
                     .u64(TAG_AT, *at);
             }
             WalRecord::EnrollmentCommitted { serial, at } => {
@@ -230,6 +238,7 @@ impl WalRecord {
                 host_id,
                 mrenclave,
                 provisioning_key_hash,
+                backend,
                 at,
             } => {
                 w.u8(TAG_KIND, KIND_RENEWED)
@@ -239,6 +248,7 @@ impl WalRecord {
                     .string(TAG_HOST, host_id)
                     .bytes(TAG_MRENCLAVE, mrenclave)
                     .bytes(TAG_PROV_KEY_HASH, provisioning_key_hash)
+                    .u8(TAG_BACKEND, *backend)
                     .u64(TAG_AT, *at);
             }
         }
@@ -260,6 +270,7 @@ impl WalRecord {
                 host_id: r.expect_string(TAG_HOST)?,
                 mrenclave: r.expect_array::<32>(TAG_MRENCLAVE)?,
                 provisioning_key_hash: r.expect_array::<32>(TAG_PROV_KEY_HASH)?,
+                backend: r.expect_u8(TAG_BACKEND)?,
                 at: r.expect_u64(TAG_AT)?,
             },
             KIND_COMMITTED => WalRecord::EnrollmentCommitted {
@@ -316,6 +327,7 @@ impl WalRecord {
                 host_id: r.expect_string(TAG_HOST)?,
                 mrenclave: r.expect_array::<32>(TAG_MRENCLAVE)?,
                 provisioning_key_hash: r.expect_array::<32>(TAG_PROV_KEY_HASH)?,
+                backend: r.expect_u8(TAG_BACKEND)?,
                 at: r.expect_u64(TAG_AT)?,
             },
             other => {
@@ -337,6 +349,9 @@ pub struct EnrollmentEntry {
     /// Digest of the enclave's quote-bound provisioning public key;
     /// renewals must wrap to this key and nothing else.
     pub provisioning_key_hash: [u8; 32],
+    /// Attestation backend code (`BackendKind::as_u8`) the enrollment was
+    /// appraised under.
+    pub backend: u8,
     pub issued_at: u64,
     pub revoked: bool,
 }
@@ -350,6 +365,8 @@ pub struct PendingEntry {
     pub mrenclave: [u8; 32],
     /// Digest of the enclave's quote-bound provisioning public key.
     pub provisioning_key_hash: [u8; 32],
+    /// Attestation backend code the prepare was appraised under.
+    pub backend: u8,
     pub prepared_at: u64,
 }
 
@@ -421,6 +438,7 @@ impl ManagerState {
                 host_id,
                 mrenclave,
                 provisioning_key_hash,
+                backend,
                 at,
             } => {
                 self.pending.insert(
@@ -431,6 +449,7 @@ impl ManagerState {
                         host_id: host_id.clone(),
                         mrenclave: *mrenclave,
                         provisioning_key_hash: *provisioning_key_hash,
+                        backend: *backend,
                         prepared_at: *at,
                     },
                 );
@@ -445,6 +464,7 @@ impl ManagerState {
                             host_id: pending.host_id,
                             mrenclave: pending.mrenclave,
                             provisioning_key_hash: pending.provisioning_key_hash,
+                            backend: pending.backend,
                             issued_at: *at,
                             revoked: self.revoked.contains_key(serial),
                         },
@@ -530,6 +550,7 @@ impl ManagerState {
                 host_id,
                 mrenclave,
                 provisioning_key_hash,
+                backend,
                 at,
             } => {
                 // The old enrollment stays live until its certificate
@@ -542,6 +563,7 @@ impl ManagerState {
                         host_id: host_id.clone(),
                         mrenclave: *mrenclave,
                         provisioning_key_hash: *provisioning_key_hash,
+                        backend: *backend,
                         issued_at: *at,
                         revoked: self.revoked.contains_key(new_serial),
                     },
@@ -578,6 +600,7 @@ impl ManagerState {
                     .string(TAG_HOST, &e.host_id)
                     .bytes(TAG_MRENCLAVE, &e.mrenclave)
                     .bytes(TAG_PROV_KEY_HASH, &e.provisioning_key_hash)
+                    .u8(TAG_BACKEND, e.backend)
                     .u64(TAG_AT, e.issued_at)
                     .u8(TAG_REVOKED_FLAG, e.revoked as u8);
             });
@@ -590,6 +613,7 @@ impl ManagerState {
                     .string(TAG_HOST, &p.host_id)
                     .bytes(TAG_MRENCLAVE, &p.mrenclave)
                     .bytes(TAG_PROV_KEY_HASH, &p.provisioning_key_hash)
+                    .u8(TAG_BACKEND, p.backend)
                     .u64(TAG_AT, p.prepared_at);
             });
         }
@@ -643,6 +667,7 @@ impl ManagerState {
                             host_id: inner.expect_string(TAG_HOST)?,
                             mrenclave: inner.expect_array::<32>(TAG_MRENCLAVE)?,
                             provisioning_key_hash: inner.expect_array::<32>(TAG_PROV_KEY_HASH)?,
+                            backend: inner.expect_u8(TAG_BACKEND)?,
                             issued_at: inner.expect_u64(TAG_AT)?,
                             revoked: inner.expect_u8(TAG_REVOKED_FLAG)? != 0,
                         },
@@ -658,6 +683,7 @@ impl ManagerState {
                             host_id: inner.expect_string(TAG_HOST)?,
                             mrenclave: inner.expect_array::<32>(TAG_MRENCLAVE)?,
                             provisioning_key_hash: inner.expect_array::<32>(TAG_PROV_KEY_HASH)?,
+                            backend: inner.expect_u8(TAG_BACKEND)?,
                             prepared_at: inner.expect_u64(TAG_AT)?,
                         },
                     );
@@ -780,6 +806,7 @@ mod tests {
                 host_id: "host-0".into(),
                 mrenclave: [7; 32],
                 provisioning_key_hash: [21; 32],
+                backend: 0,
                 at: 100,
             },
             WalRecord::EnrollmentCommitted { serial: 2, at: 101 },
@@ -794,6 +821,7 @@ mod tests {
                 host_id: "host-0".into(),
                 mrenclave: [8; 32],
                 provisioning_key_hash: [22; 32],
+                backend: 0,
                 at: 110,
             },
             WalRecord::EnrollmentAborted {
@@ -850,6 +878,7 @@ mod tests {
                 host_id: "host-0".into(),
                 mrenclave: [7; 32],
                 provisioning_key_hash: [21; 32],
+                backend: 1,
                 at: 160,
             },
         ]
@@ -1004,6 +1033,7 @@ mod tests {
             host_id: "h".into(),
             mrenclave: [0; 32],
             provisioning_key_hash: [0; 32],
+            backend: 0,
             at: 0,
         });
         state.apply(&WalRecord::EnrollmentCommitted { serial: 2, at: 1 });

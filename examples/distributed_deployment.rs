@@ -49,6 +49,7 @@ fn main() {
     let state = Arc::new(HostAgentState {
         host_id: host.id.clone(),
         platform: host.platform,
+        snp: host.snp,
         container_host: RwLock::new(host.container_host),
         integrity_enclave: host.integrity_enclave,
         tpm: None,

@@ -62,6 +62,7 @@ fn world_with(
     let state = Arc::new(HostAgentState {
         host_id: host.id.clone(),
         platform: host.platform,
+        snp: host.snp,
         container_host: RwLock::new(host.container_host),
         integrity_enclave: host.integrity_enclave,
         tpm: None,

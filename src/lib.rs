@@ -29,8 +29,10 @@
 //! - [`vnf`] — the VNF framework and credential enclave
 //! - [`store`] — the sealed write-ahead log behind the Verification Manager
 //! - [`core`] — the Verification Manager (the paper's contribution)
+//! - [`attest`] — multi-TEE attestation backends (SGX/EPID, SEV-SNP)
 //! - [`telemetry`] — spans, metrics and the event journal
 
+pub use vnfguard_attest as attest;
 pub use vnfguard_container as container;
 pub use vnfguard_controller as controller;
 pub use vnfguard_core as core;

@@ -69,6 +69,7 @@ fn observed_world(seed: &[u8], plan_seed: u64) -> ObservedWorld {
     let state = Arc::new(HostAgentState {
         host_id: host.id.clone(),
         platform: host.platform,
+        snp: host.snp,
         container_host: RwLock::new(host.container_host),
         integrity_enclave: host.integrity_enclave,
         tpm: None,

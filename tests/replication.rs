@@ -518,6 +518,7 @@ fn promotion_requeues_and_drains_undelivered_notices() {
     let agent_state = Arc::new(HostAgentState {
         host_id: host.id.clone(),
         platform: host.platform,
+        snp: host.snp,
         container_host: RwLock::new(host.container_host),
         integrity_enclave: host.integrity_enclave,
         tpm: None,

@@ -67,6 +67,7 @@ fn script(ops: &[u8]) -> Vec<WalRecord> {
                     host_id: format!("host-{}", serial % 3),
                     mrenclave: [serial as u8; 32],
                     provisioning_key_hash: [!(serial as u8); 32],
+                    backend: (serial % 2) as u8,
                     at,
                 });
                 model.pending.push(serial);
@@ -153,6 +154,7 @@ fn script(ops: &[u8]) -> Vec<WalRecord> {
                     host_id: format!("host-{}", old % 3),
                     mrenclave: [old as u8; 32],
                     provisioning_key_hash: [!(old as u8); 32],
+                    backend: (old % 2) as u8,
                     at,
                 });
                 model.committed.push(serial);

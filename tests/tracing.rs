@@ -95,6 +95,7 @@ fn faulted_crashed_enrollment_assembles_one_connected_trace() {
     let state = Arc::new(HostAgentState {
         host_id: host.id.clone(),
         platform: host.platform,
+        snp: host.snp,
         container_host: RwLock::new(host.container_host),
         integrity_enclave: host.integrity_enclave,
         tpm: None,
